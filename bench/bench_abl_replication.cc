@@ -1,0 +1,194 @@
+// ABL-REP — Section 5.2 calls for "decisions to replicate popular
+// datasets and procedures either on demand and/or via pre-staging",
+// citing the dynamic-replication studies [18, 19]. This ablation runs
+// the four strategies (none / caching / cascading / fast-spread) on a
+// tiered grid under Zipf-skewed access and reports mean response time,
+// hit rate, bytes moved, and evictions — the shape to reproduce is
+// cascading/fast-spread beating no-replication under skew.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "replication/manager.h"
+#include "workload/testbed.h"
+
+namespace vdg {
+namespace {
+
+constexpr int kFiles = 64;
+constexpr int64_t kFileBytes = 8 << 20;  // 8 MiB survey files
+constexpr int kRequests = 600;
+
+std::unique_ptr<ReplicationPolicy> MakePolicy(
+    int kind, const std::map<std::string, std::string>& parents,
+    const std::vector<std::string>& sites) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<NoReplicationPolicy>();
+    case 1:
+      return std::make_unique<CachingPolicy>();
+    case 2:
+      return std::make_unique<CascadingPolicy>(parents, 2);
+    default:
+      return std::make_unique<FastSpreadPolicy>(sites);
+  }
+}
+
+ReplicationStats RunWorkload(int policy_kind, double zipf_skew,
+                             uint64_t seed) {
+  Logger::set_threshold(LogLevel::kError);
+  std::map<std::string, std::string> parents;
+  // 2 regions x 4 leaves; leaves hold 128 MiB (16 files) each.
+  GridTopology topology =
+      workload::TieredTestbed(2, 4, 128LL << 20, &parents);
+  GridSimulator grid(std::move(topology), seed);
+  std::vector<std::string> sites = grid.topology().SiteNames();
+  std::vector<std::string> leaves;
+  for (const auto& [site, parent] : parents) {
+    if (site.find("leaf") != std::string::npos) leaves.push_back(site);
+  }
+
+  ReplicaManager manager(&grid,
+                         MakePolicy(policy_kind, parents, sites));
+  // All files originate at the root archive.
+  for (int f = 0; f < kFiles; ++f) {
+    Status s = manager.ProduceFile("root", "file" + std::to_string(f),
+                                   kFileBytes);
+    if (!s.ok()) std::abort();
+  }
+  grid.RunUntilIdle();
+
+  // Zipf-skewed demand from random leaves, arriving over time.
+  Rng rng(seed);
+  for (int r = 0; r < kRequests; ++r) {
+    const std::string& leaf = leaves[rng.Index(leaves.size())];
+    std::string file =
+        "file" + std::to_string(rng.Zipf(kFiles, zipf_skew));
+    grid.events().ScheduleAfter(
+        static_cast<double>(r) * 2.0, [&manager, leaf, file]() {
+          Status s = manager.RequestFile(leaf, file, nullptr);
+          (void)s;
+        });
+  }
+  grid.RunUntilIdle();
+  return manager.stats();
+}
+
+const char* PolicyName(int kind) {
+  switch (kind) {
+    case 0:
+      return "none";
+    case 1:
+      return "caching";
+    case 2:
+      return "cascading";
+    default:
+      return "fast-spread";
+  }
+}
+
+void BM_StrategyUnderSkew(benchmark::State& state) {
+  int policy = static_cast<int>(state.range(0));
+  ReplicationStats stats;
+  for (auto _ : state) {
+    stats = RunWorkload(policy, /*zipf_skew=*/1.0, /*seed=*/99);
+  }
+  state.SetLabel(PolicyName(policy));
+  state.counters["mean_response_s"] = stats.mean_latency_s();
+  state.counters["hit_rate"] = stats.hit_rate();
+  state.counters["mb_transferred"] =
+      static_cast<double>(stats.bytes_transferred) / (1 << 20);
+  state.counters["replicas_created"] =
+      static_cast<double>(stats.replicas_created);
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+}
+BENCHMARK(BM_StrategyUnderSkew)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Pre-staging (§5.2's other half): no reactive replication, but after
+// a warm-up quarter of the workload, the advisor mines access history
+// and pushes popular files ahead of demand. Response time should land
+// between `none` and `caching`.
+void BM_PrestagingAdvisor(benchmark::State& state) {
+  uint64_t min_accesses = static_cast<uint64_t>(state.range(0));
+  ReplicationStats stats;
+  for (auto _ : state) {
+    Logger::set_threshold(LogLevel::kError);
+    std::map<std::string, std::string> parents;
+    GridTopology topology =
+        workload::TieredTestbed(2, 4, 128LL << 20, &parents);
+    GridSimulator grid(std::move(topology), 99);
+    std::vector<std::string> leaves;
+    for (const auto& [site, parent] : parents) {
+      if (site.find("leaf") != std::string::npos) leaves.push_back(site);
+    }
+    ReplicaManager manager(&grid,
+                           std::make_unique<NoReplicationPolicy>());
+    for (int f = 0; f < kFiles; ++f) {
+      Status s = manager.ProduceFile("root", "file" + std::to_string(f),
+                                     kFileBytes);
+      if (!s.ok()) std::abort();
+    }
+    grid.RunUntilIdle();
+    Rng rng(99);
+    for (int r = 0; r < kRequests; ++r) {
+      const std::string& leaf = leaves[rng.Index(leaves.size())];
+      std::string file = "file" + std::to_string(rng.Zipf(kFiles, 1.0));
+      grid.events().ScheduleAfter(
+          static_cast<double>(r) * 2.0, [&manager, leaf, file]() {
+            Status s = manager.RequestFile(leaf, file, nullptr);
+            (void)s;
+          });
+      if (r == kRequests / 4) {
+        // One advisory pass after the warm-up window.
+        grid.events().ScheduleAfter(
+            static_cast<double>(r) * 2.0 + 1.0,
+            [&manager, min_accesses]() {
+              Status s = manager.ApplyPrestaging(
+                  manager.SuggestPrestaging(min_accesses));
+              (void)s;
+            });
+      }
+    }
+    grid.RunUntilIdle();
+    stats = manager.stats();
+  }
+  state.counters["min_accesses"] = static_cast<double>(min_accesses);
+  state.counters["mean_response_s"] = stats.mean_latency_s();
+  state.counters["hit_rate"] = stats.hit_rate();
+  state.counters["replicas_created"] =
+      static_cast<double>(stats.replicas_created);
+}
+BENCHMARK(BM_PrestagingAdvisor)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Skew sensitivity for the caching strategy: more skew, more hits.
+void BM_CachingVsSkew(benchmark::State& state) {
+  double skew = static_cast<double>(state.range(0)) / 10.0;
+  ReplicationStats stats;
+  for (auto _ : state) {
+    stats = RunWorkload(/*policy=*/1, skew, /*seed=*/99);
+  }
+  state.counters["zipf_skew"] = skew;
+  state.counters["hit_rate"] = stats.hit_rate();
+  state.counters["mean_response_s"] = stats.mean_latency_s();
+}
+BENCHMARK(BM_CachingVsSkew)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(15)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace vdg

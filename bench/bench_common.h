@@ -1,0 +1,73 @@
+#ifndef VDG_BENCH_BENCH_COMMON_H_
+#define VDG_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the reproduction benchmarks. Each bench binary
+// regenerates one figure/experiment of the paper (see DESIGN.md §4 and
+// EXPERIMENTS.md); these helpers build the catalogs and grids they
+// sweep over.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/logging.h"
+#include "workload/canonical.h"
+
+namespace vdg {
+namespace bench {
+
+/// Builds (once per distinct size, cached) a catalog populated with a
+/// canonical dependency graph of `num_derivations` derivations.
+inline VirtualDataCatalog* CachedCanonicalCatalog(size_t num_derivations) {
+  static std::map<size_t, std::unique_ptr<VirtualDataCatalog>>* cache =
+      new std::map<size_t, std::unique_ptr<VirtualDataCatalog>>();
+  auto it = cache->find(num_derivations);
+  if (it != cache->end()) return it->second.get();
+
+  Logger::set_threshold(LogLevel::kError);
+  auto catalog = std::make_unique<VirtualDataCatalog>(
+      "bench-" + std::to_string(num_derivations));
+  Status opened = catalog->Open();
+  if (!opened.ok()) std::abort();
+  workload::CanonicalGraphOptions options;
+  options.num_derivations = num_derivations;
+  options.num_raw_inputs = std::max<size_t>(4, num_derivations / 20);
+  options.num_transformations = 8;
+  options.seed = 42;
+  Result<workload::CanonicalGraph> graph =
+      workload::GenerateCanonicalGraph(catalog.get(), options);
+  if (!graph.ok()) std::abort();
+  VirtualDataCatalog* raw = catalog.get();
+  cache->emplace(num_derivations, std::move(catalog));
+  return raw;
+}
+
+/// The matching ground-truth graph for CachedCanonicalCatalog sizes.
+inline const workload::CanonicalGraph& CachedCanonicalGraph(
+    size_t num_derivations) {
+  static std::map<size_t, workload::CanonicalGraph>* cache =
+      new std::map<size_t, workload::CanonicalGraph>();
+  auto it = cache->find(num_derivations);
+  if (it != cache->end()) return it->second;
+  // Regenerate against a throwaway catalog; same seed -> same graph.
+  VirtualDataCatalog scratch("scratch");
+  Status opened = scratch.Open();
+  if (!opened.ok()) std::abort();
+  workload::CanonicalGraphOptions options;
+  options.num_derivations = num_derivations;
+  options.num_raw_inputs = std::max<size_t>(4, num_derivations / 20);
+  options.num_transformations = 8;
+  options.seed = 42;
+  Result<workload::CanonicalGraph> graph =
+      workload::GenerateCanonicalGraph(&scratch, options);
+  if (!graph.ok()) std::abort();
+  return cache->emplace(num_derivations, std::move(*graph)).first->second;
+}
+
+}  // namespace bench
+}  // namespace vdg
+
+#endif  // VDG_BENCH_BENCH_COMMON_H_

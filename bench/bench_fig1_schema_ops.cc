@@ -1,0 +1,160 @@
+// FIG1 — Figure 1 of the paper defines the five-object virtual data
+// schema (dataset, replica, transformation, derivation, invocation).
+// This bench measures the catalog operations over that schema at
+// growing catalog sizes: definition throughput, point lookup,
+// provenance navigation, attribute discovery, and the
+// "has-this-been-computed" signature probe.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "catalog/catalog.h"
+
+namespace vdg {
+namespace {
+
+void BM_DefineDerivation(benchmark::State& state) {
+  Logger::set_threshold(LogLevel::kError);
+  // Fresh catalog per run; derivations appended during timing.
+  VirtualDataCatalog catalog("define-bench");
+  if (!catalog.Open().ok()) std::abort();
+  if (!catalog
+           .ImportVdl("TR step( output out, input in ) {"
+                      "  argument stdin = ${input:in};"
+                      "  argument stdout = ${output:out};"
+                      "  exec = \"/bin/step\"; }"
+                      "DS seed0 : Dataset size=\"1\";")
+           .ok()) {
+    std::abort();
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    Derivation dv("dv" + std::to_string(i), "step");
+    Status s1 = dv.AddArg(ActualArg::DatasetRef(
+        "out", "out" + std::to_string(i), ArgDirection::kOut));
+    Status s2 = dv.AddArg(ActualArg::DatasetRef(
+        "in", i == 0 ? "seed0" : "out" + std::to_string(i - 1),
+        ArgDirection::kIn));
+    Status s3 = catalog.DefineDerivation(std::move(dv));
+    if (!s1.ok() || !s2.ok() || !s3.ok()) std::abort();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DefineDerivation);
+
+void BM_PointLookup(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  VirtualDataCatalog* catalog = bench::CachedCanonicalCatalog(size);
+  const workload::CanonicalGraph& graph = bench::CachedCanonicalGraph(size);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& name = graph.outputs[i++ % graph.outputs.size()];
+    Result<Dataset> ds = catalog->GetDataset(name);
+    benchmark::DoNotOptimize(ds);
+    if (!ds.ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["catalog_objects"] =
+      static_cast<double>(catalog->Stats().total());
+}
+BENCHMARK(BM_PointLookup)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_ProducerNavigation(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  VirtualDataCatalog* catalog = bench::CachedCanonicalCatalog(size);
+  const workload::CanonicalGraph& graph = bench::CachedCanonicalGraph(size);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& name = graph.outputs[i++ % graph.outputs.size()];
+    Result<std::string> producer = catalog->ProducerOf(name);
+    benchmark::DoNotOptimize(producer);
+    std::vector<std::string> consumers = catalog->ConsumersOf(name);
+    benchmark::DoNotOptimize(consumers);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProducerNavigation)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_AttributeDiscovery(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  VirtualDataCatalog* catalog = bench::CachedCanonicalCatalog(size);
+  DatasetQuery query;
+  query.name_prefix = "canon-out1";
+  for (auto _ : state) {
+    std::vector<std::string> hits = catalog->FindDatasets(query);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttributeDiscovery)->Arg(100)->Arg(1000)->Arg(5000);
+
+// Equality discovery through the attribute index: should stay ~flat in
+// catalog size, unlike the predicate scan above.
+void BM_AttributeDiscoveryIndexed(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  VirtualDataCatalog* catalog = bench::CachedCanonicalCatalog(size);
+  const workload::CanonicalGraph& graph = bench::CachedCanonicalGraph(size);
+  // Tag a fixed-size subset once (idempotent across iterations).
+  static std::set<size_t>* tagged = new std::set<size_t>();
+  if (tagged->insert(size).second) {
+    for (size_t i = 0; i < 20 && i < graph.outputs.size(); ++i) {
+      Status s = catalog->Annotate("dataset", graph.outputs[i], "quality",
+                                   "approved");
+      if (!s.ok()) std::abort();
+    }
+  }
+  DatasetQuery query;
+  query.predicates = {{"quality", PredicateOp::kEq, "approved"}};
+  size_t hits = 0;
+  for (auto _ : state) {
+    std::vector<std::string> found = catalog->FindDatasets(query);
+    benchmark::DoNotOptimize(found);
+    hits = found.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_AttributeDiscoveryIndexed)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_SignatureDedupProbe(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  VirtualDataCatalog* catalog = bench::CachedCanonicalCatalog(size);
+  const workload::CanonicalGraph& graph = bench::CachedCanonicalGraph(size);
+  // Probe with real (hit) derivations re-materialized from the catalog.
+  std::vector<Derivation> probes;
+  for (size_t i = 0; i < 16 && i < graph.derivations.size(); ++i) {
+    Result<Derivation> dv = catalog->GetDerivation(graph.derivations[i]);
+    if (!dv.ok()) std::abort();
+    probes.push_back(std::move(*dv));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    Result<std::string> hit =
+        catalog->FindEquivalentDerivation(probes[i++ % probes.size()]);
+    benchmark::DoNotOptimize(hit);
+    if (!hit.ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignatureDedupProbe)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_InvocationRecording(benchmark::State& state) {
+  VirtualDataCatalog* catalog = bench::CachedCanonicalCatalog(1000);
+  const workload::CanonicalGraph& graph = bench::CachedCanonicalGraph(1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    Invocation iv;
+    iv.derivation = graph.derivations[i++ % graph.derivations.size()];
+    iv.context.site = "uchicago";
+    iv.context.host = "n0";
+    iv.start_time = static_cast<double>(i);
+    iv.duration_s = 10;
+    Result<std::string> id = catalog->RecordInvocation(std::move(iv));
+    if (!id.ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InvocationRecording);
+
+}  // namespace
+}  // namespace vdg

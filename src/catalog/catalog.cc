@@ -1,0 +1,953 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "catalog/codec.h"
+#include "common/strings.h"
+#include "common/uri.h"
+#include "schema/validation.h"
+#include "vdl/printer.h"
+
+namespace vdg {
+
+namespace {
+
+// Removes one (key, value) pair from a multimap index.
+template <typename Map, typename K, typename V>
+void EraseIndexEntry(Map* map, const K& key, const V& value) {
+  auto [lo, hi] = map->equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == value) {
+      map->erase(it);
+      return;
+    }
+  }
+}
+
+// Normalized index key for one attribute (key, value) pair. Numbers
+// collapse to one text form so int 5 and double 5.0 index identically,
+// matching AttributePredicate's coercing comparison.
+std::string AttrIndexKey(std::string_view key, const AttributeValue& value) {
+  std::string out(key);
+  out.push_back('\x1f');
+  if (value.AsNumber().has_value()) {
+    out += "n:";
+  } else if (value.is_bool()) {
+    out += "b:";
+  } else {
+    out += "s:";
+  }
+  out += value.ToString();
+  return out;
+}
+
+}  // namespace
+
+void VirtualDataCatalog::IndexDatasetAttributes(const Dataset& dataset) {
+  for (const auto& [key, value] : dataset.annotations) {
+    datasets_by_attr_.emplace(AttrIndexKey(key, value), dataset.name);
+  }
+}
+
+void VirtualDataCatalog::UnindexDatasetAttributes(const Dataset& dataset) {
+  for (const auto& [key, value] : dataset.annotations) {
+    EraseIndexEntry(&datasets_by_attr_, AttrIndexKey(key, value),
+                    dataset.name);
+  }
+}
+
+VirtualDataCatalog::VirtualDataCatalog(
+    std::string name, std::unique_ptr<CatalogJournal> journal)
+    : name_(std::move(name)),
+      journal_(journal ? std::move(journal) : std::make_unique<NullJournal>()) {}
+
+Status VirtualDataCatalog::Open() {
+  if (opened_) return Status::OK();
+  opened_ = true;
+  VDG_ASSIGN_OR_RETURN(std::vector<std::string> records, journal_->ReadAll());
+  replaying_ = true;
+  for (const std::string& record : records) {
+    Status s = ApplyRecord(record);
+    if (!s.ok()) {
+      replaying_ = false;
+      return Status::IoError("journal replay failed on record '" + record +
+                             "': " + s.ToString());
+    }
+  }
+  replaying_ = false;
+  return Status::OK();
+}
+
+Status VirtualDataCatalog::Journal(const std::string& record) {
+  if (replaying_) return Status::OK();
+  return journal_->Append(record);
+}
+
+const DatasetType* VirtualDataCatalog::LookupDatasetType(
+    std::string_view name) const {
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : &it->second.type;
+}
+
+// ---------------------------------------------------------------------
+// Definition
+// ---------------------------------------------------------------------
+
+Status VirtualDataCatalog::DefineType(TypeDimension dim,
+                                      std::string_view type_name,
+                                      std::string_view parent) {
+  Status defined = types_.Define(dim, type_name, parent);
+  if (defined.IsAlreadyExists() && replaying_) return Status::OK();
+  VDG_RETURN_IF_ERROR(defined);
+  ++version_;
+  return Journal(codec::JoinRecord(
+      {"TY", std::to_string(static_cast<int>(dim)), std::string(type_name),
+       std::string(parent)}));
+}
+
+Status VirtualDataCatalog::LoadTypePreset() {
+  // Route through a scratch registry to obtain the preset's edges,
+  // then journal each through DefineType.
+  TypeRegistry preset;
+  VDG_RETURN_IF_ERROR(preset.LoadAppendixCPreset());
+  for (int d = 0; d < kNumTypeDimensions; ++d) {
+    auto dim = static_cast<TypeDimension>(d);
+    const TypeHierarchy& h = preset.dimension(dim);
+    // Parents must be defined before children: insert by depth.
+    std::vector<std::pair<int, std::string>> by_depth;
+    for (const std::string& name : h.AllTypes()) {
+      Result<int> depth = h.DepthOf(name);
+      by_depth.emplace_back(depth.ok() ? *depth : 0, name);
+    }
+    std::sort(by_depth.begin(), by_depth.end());
+    for (const auto& [depth, name] : by_depth) {
+      (void)depth;
+      VDG_ASSIGN_OR_RETURN(std::string parent, h.ParentOf(name));
+      if (types_.dimension(dim).Contains(name)) continue;  // idempotent
+      VDG_RETURN_IF_ERROR(DefineType(dim, name, parent));
+    }
+  }
+  return Status::OK();
+}
+
+Status VirtualDataCatalog::DefineDataset(Dataset dataset) {
+  VDG_RETURN_IF_ERROR(dataset.Validate());
+  VDG_RETURN_IF_ERROR(types_.Validate(dataset.type));
+  auto it = datasets_.find(dataset.name);
+  if (it != datasets_.end()) {
+    if (!replaying_) {
+      return Status::AlreadyExists("dataset already defined: " +
+                                   dataset.name);
+    }
+    UnindexDatasetAttributes(it->second);  // replay upsert
+  }
+  VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(dataset)));
+  IndexDatasetAttributes(dataset);
+  datasets_.insert_or_assign(dataset.name, std::move(dataset));
+  ++version_;
+  return Status::OK();
+}
+
+Status VirtualDataCatalog::DefineTransformation(
+    Transformation transformation) {
+  VDG_RETURN_IF_ERROR(transformation.Validate());
+  for (const FormalArg& arg : transformation.args()) {
+    for (const DatasetType& type : arg.types) {
+      VDG_RETURN_IF_ERROR(types_.Validate(type));
+    }
+  }
+  auto it = transformations_.find(transformation.name());
+  if (it != transformations_.end() && !replaying_) {
+    return Status::AlreadyExists("transformation already defined: " +
+                                 transformation.name());
+  }
+  VDG_RETURN_IF_ERROR(Journal(codec::EncodeTransformation(transformation)));
+  transformations_.insert_or_assign(transformation.name(),
+                                    std::move(transformation));
+  ++version_;
+  return Status::OK();
+}
+
+Status VirtualDataCatalog::DefineDerivation(Derivation derivation) {
+  VDG_RETURN_IF_ERROR(derivation.Validate());
+  if (derivations_.count(derivation.name()) != 0 && !replaying_) {
+    return Status::AlreadyExists("derivation already defined: " +
+                                 derivation.name());
+  }
+
+  // Type-check against the transformation when it is locally resolvable.
+  const std::string& tr_name = derivation.transformation();
+  const Transformation* tr = nullptr;
+  if (!IsVdpUri(tr_name)) {
+    auto it = transformations_.find(tr_name);
+    if (it == transformations_.end()) {
+      return Status::NotFound("derivation " + derivation.name() +
+                              " references unknown transformation " +
+                              tr_name);
+    }
+    tr = &it->second;
+    VDG_RETURN_IF_ERROR(ValidateDerivationAgainst(
+        derivation, *tr, types_,
+        [this](std::string_view ds) { return LookupDatasetType(ds); }));
+  }
+
+  // Auto-define missing output datasets as virtual data, typed from
+  // the formal they bind (first union element when present).
+  for (const ActualArg& arg : derivation.args()) {
+    if (!arg.is_dataset() || !DirectionWrites(*arg.direction)) continue;
+    if (IsVdpUri(*arg.dataset)) continue;  // lives in another catalog
+    auto existing = datasets_.find(*arg.dataset);
+    if (existing == datasets_.end()) {
+      Dataset out;
+      out.name = *arg.dataset;
+      out.producer = derivation.name();
+      if (tr != nullptr) {
+        const FormalArg* formal = tr->FindArg(arg.formal);
+        if (formal != nullptr && !formal->types.empty()) {
+          out.type = formal->types.front();
+        }
+      }
+      out.descriptor = DatasetDescriptor::File(out.name);
+      VDG_RETURN_IF_ERROR(DefineDataset(std::move(out)));
+    } else if (existing->second.producer.empty()) {
+      existing->second.producer = derivation.name();
+      VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(existing->second)));
+    } else if (existing->second.producer != derivation.name() &&
+               !replaying_) {
+      // A compound derivation's expansion children (named
+      // "<parent>.cK" by the planner) legitimately re-produce the
+      // parent's outputs; the parent remains the recorded producer.
+      bool expansion_child = StartsWith(
+          derivation.name(), existing->second.producer + ".");
+      if (!expansion_child) {
+        return Status::AlreadyExists(
+            "dataset " + *arg.dataset +
+            " is already produced by derivation " +
+            existing->second.producer +
+            " (a dataset has exactly one producing recipe)");
+      }
+    }
+  }
+
+  VDG_RETURN_IF_ERROR(Journal(codec::EncodeDerivation(derivation)));
+
+  // Index maintenance.
+  derivations_by_signature_.emplace(derivation.Signature(),
+                                    derivation.name());
+  derivations_by_transformation_.emplace(derivation.QualifiedTransformation(),
+                                         derivation.name());
+  for (const std::string& input : derivation.InputDatasets()) {
+    consumers_by_dataset_.emplace(input, derivation.name());
+  }
+  std::string name = derivation.name();
+  derivations_.insert_or_assign(std::move(name), std::move(derivation));
+  ++version_;
+  return Status::OK();
+}
+
+Result<std::string> VirtualDataCatalog::AddReplica(Replica replica) {
+  if (replica.id.empty()) {
+    replica.id = "rp-" + std::to_string(next_replica_id_++);
+  } else {
+    // Replayed / imported id: keep the counter ahead of it.
+    if (StartsWith(replica.id, "rp-")) {
+      uint64_t n = std::strtoull(replica.id.c_str() + 3, nullptr, 10);
+      next_replica_id_ = std::max(next_replica_id_, n + 1);
+    }
+  }
+  VDG_RETURN_IF_ERROR(replica.Validate());
+  if (datasets_.find(replica.dataset) == datasets_.end()) {
+    return Status::NotFound("replica " + replica.id +
+                            " references unknown dataset " + replica.dataset);
+  }
+  bool existed = replicas_.count(replica.id) != 0;
+  if (existed && !replaying_) {
+    return Status::AlreadyExists("replica already exists: " + replica.id);
+  }
+  VDG_RETURN_IF_ERROR(Journal(codec::EncodeReplica(replica)));
+  if (!existed) {
+    replicas_by_dataset_.emplace(replica.dataset, replica.id);
+  }
+  std::string id = replica.id;
+  replicas_.insert_or_assign(id, std::move(replica));
+  ++version_;
+  return id;
+}
+
+Result<std::string> VirtualDataCatalog::RecordInvocation(
+    Invocation invocation) {
+  if (invocation.id.empty()) {
+    invocation.id = "iv-" + std::to_string(next_invocation_id_++);
+  } else if (StartsWith(invocation.id, "iv-")) {
+    uint64_t n = std::strtoull(invocation.id.c_str() + 3, nullptr, 10);
+    next_invocation_id_ = std::max(next_invocation_id_, n + 1);
+  }
+  VDG_RETURN_IF_ERROR(invocation.Validate());
+  // New invocations must anchor to a defined derivation; replayed ones
+  // may legitimately be orphans (their derivation was removed later,
+  // but the execution history is retained as the audit record).
+  if (!replaying_ &&
+      derivations_.find(invocation.derivation) == derivations_.end()) {
+    return Status::NotFound("invocation " + invocation.id +
+                            " references unknown derivation " +
+                            invocation.derivation);
+  }
+  bool existed = invocations_.count(invocation.id) != 0;
+  if (existed && !replaying_) {
+    return Status::AlreadyExists("invocation already exists: " +
+                                 invocation.id);
+  }
+  VDG_RETURN_IF_ERROR(Journal(codec::EncodeInvocation(invocation)));
+  if (!existed) {
+    invocations_by_derivation_.emplace(invocation.derivation, invocation.id);
+  }
+  std::string id = invocation.id;
+  invocations_.insert_or_assign(id, std::move(invocation));
+  ++version_;
+  return id;
+}
+
+Status VirtualDataCatalog::ImportProgram(const VdlProgram& program) {
+  for (const Dataset& ds : program.datasets) {
+    VDG_RETURN_IF_ERROR(DefineDataset(ds));
+  }
+  for (const Transformation& tr : program.transformations) {
+    VDG_RETURN_IF_ERROR(DefineTransformation(tr));
+  }
+  for (const Derivation& dv : program.derivations) {
+    VDG_RETURN_IF_ERROR(DefineDerivation(dv));
+  }
+  return Status::OK();
+}
+
+Status VirtualDataCatalog::ImportVdl(std::string_view source) {
+  VDG_ASSIGN_OR_RETURN(VdlProgram program, ParseVdl(source));
+  return ImportProgram(program);
+}
+
+// ---------------------------------------------------------------------
+// Point lookups
+// ---------------------------------------------------------------------
+
+Result<Dataset> VirtualDataCatalog::GetDataset(std::string_view name) const {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not found: " + std::string(name));
+  }
+  return it->second;
+}
+
+Result<Transformation> VirtualDataCatalog::GetTransformation(
+    std::string_view name) const {
+  auto it = transformations_.find(name);
+  if (it == transformations_.end()) {
+    return Status::NotFound("transformation not found: " + std::string(name));
+  }
+  return it->second;
+}
+
+Result<Derivation> VirtualDataCatalog::GetDerivation(
+    std::string_view name) const {
+  auto it = derivations_.find(name);
+  if (it == derivations_.end()) {
+    return Status::NotFound("derivation not found: " + std::string(name));
+  }
+  return it->second;
+}
+
+Result<Replica> VirtualDataCatalog::GetReplica(std::string_view id) const {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return Status::NotFound("replica not found: " + std::string(id));
+  }
+  return it->second;
+}
+
+Result<Invocation> VirtualDataCatalog::GetInvocation(
+    std::string_view id) const {
+  auto it = invocations_.find(id);
+  if (it == invocations_.end()) {
+    return Status::NotFound("invocation not found: " + std::string(id));
+  }
+  return it->second;
+}
+
+bool VirtualDataCatalog::HasDataset(std::string_view name) const {
+  return datasets_.count(name) != 0;
+}
+bool VirtualDataCatalog::HasTransformation(std::string_view name) const {
+  return transformations_.count(name) != 0;
+}
+bool VirtualDataCatalog::HasDerivation(std::string_view name) const {
+  return derivations_.count(name) != 0;
+}
+
+// ---------------------------------------------------------------------
+// Updates & removal
+// ---------------------------------------------------------------------
+
+Status VirtualDataCatalog::Annotate(std::string_view kind,
+                                    std::string_view name,
+                                    std::string_view key,
+                                    AttributeValue value) {
+  if (kind == "dataset") {
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      return Status::NotFound("dataset not found: " + std::string(name));
+    }
+    UnindexDatasetAttributes(it->second);
+    it->second.annotations.Set(key, std::move(value));
+    IndexDatasetAttributes(it->second);
+    ++version_;
+    return Journal(codec::EncodeDataset(it->second));
+  }
+  if (kind == "transformation") {
+    auto it = transformations_.find(name);
+    if (it == transformations_.end()) {
+      return Status::NotFound("transformation not found: " +
+                              std::string(name));
+    }
+    it->second.annotations().Set(key, std::move(value));
+    ++version_;
+    return Journal(codec::EncodeTransformation(it->second));
+  }
+  if (kind == "derivation") {
+    auto it = derivations_.find(name);
+    if (it == derivations_.end()) {
+      return Status::NotFound("derivation not found: " + std::string(name));
+    }
+    it->second.annotations().Set(key, std::move(value));
+    ++version_;
+    return Journal(codec::EncodeDerivation(it->second));
+  }
+  if (kind == "replica") {
+    auto it = replicas_.find(name);
+    if (it == replicas_.end()) {
+      return Status::NotFound("replica not found: " + std::string(name));
+    }
+    it->second.annotations.Set(key, std::move(value));
+    ++version_;
+    return Journal(codec::EncodeReplica(it->second));
+  }
+  if (kind == "invocation") {
+    auto it = invocations_.find(name);
+    if (it == invocations_.end()) {
+      return Status::NotFound("invocation not found: " + std::string(name));
+    }
+    it->second.annotations.Set(key, std::move(value));
+    ++version_;
+    return Journal(codec::EncodeInvocation(it->second));
+  }
+  return Status::InvalidArgument("unknown object kind: " + std::string(kind));
+}
+
+Status VirtualDataCatalog::SetDatasetSize(std::string_view name,
+                                          int64_t size_bytes) {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not found: " + std::string(name));
+  }
+  if (size_bytes < 0) {
+    return Status::InvalidArgument("negative dataset size");
+  }
+  it->second.size_bytes = size_bytes;
+  ++version_;
+  return Journal(codec::EncodeDataset(it->second));
+}
+
+Status VirtualDataCatalog::InvalidateReplica(std::string_view id) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return Status::NotFound("replica not found: " + std::string(id));
+  }
+  if (!it->second.valid) return Status::OK();
+  it->second.valid = false;
+  ++version_;
+  return Journal(codec::EncodeReplica(it->second));
+}
+
+Status VirtualDataCatalog::RemoveDataset(std::string_view name) {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not found: " + std::string(name));
+  }
+  // Cascade to its replicas.
+  std::vector<std::string> replica_ids;
+  auto [lo, hi] = replicas_by_dataset_.equal_range(name);
+  for (auto r = lo; r != hi; ++r) replica_ids.push_back(r->second);
+  for (const std::string& id : replica_ids) {
+    VDG_RETURN_IF_ERROR(RemoveReplica(id));
+  }
+  VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('S', name)));
+  UnindexDatasetAttributes(it->second);
+  datasets_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+Status VirtualDataCatalog::RemoveTransformation(std::string_view name) {
+  auto it = transformations_.find(name);
+  if (it == transformations_.end()) {
+    return Status::NotFound("transformation not found: " + std::string(name));
+  }
+  if (derivations_by_transformation_.count(std::string(name)) != 0) {
+    return Status::FailedPrecondition(
+        "transformation " + std::string(name) +
+        " is referenced by derivations and cannot be removed");
+  }
+  VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('T', name)));
+  transformations_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+Status VirtualDataCatalog::RemoveDerivation(std::string_view name) {
+  auto it = derivations_.find(name);
+  if (it == derivations_.end()) {
+    return Status::NotFound("derivation not found: " + std::string(name));
+  }
+  const Derivation& dv = it->second;
+  EraseIndexEntry(&derivations_by_signature_, dv.Signature(),
+                  std::string(name));
+  EraseIndexEntry(&derivations_by_transformation_,
+                  dv.QualifiedTransformation(), std::string(name));
+  for (const std::string& input : dv.InputDatasets()) {
+    EraseIndexEntry(&consumers_by_dataset_, input, std::string(name));
+  }
+  // Outputs lose their producer but remain defined.
+  for (const std::string& output : dv.OutputDatasets()) {
+    auto ds = datasets_.find(output);
+    if (ds != datasets_.end() && ds->second.producer == name) {
+      ds->second.producer.clear();
+      VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(ds->second)));
+    }
+  }
+  VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('D', name)));
+  derivations_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+Status VirtualDataCatalog::RemoveReplica(std::string_view id) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return Status::NotFound("replica not found: " + std::string(id));
+  }
+  EraseIndexEntry(&replicas_by_dataset_, it->second.dataset, std::string(id));
+  VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('R', id)));
+  replicas_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Navigation
+// ---------------------------------------------------------------------
+
+std::vector<Replica> VirtualDataCatalog::ReplicasOf(std::string_view dataset,
+                                                    bool valid_only) const {
+  std::vector<Replica> out;
+  auto [lo, hi] = replicas_by_dataset_.equal_range(dataset);
+  for (auto it = lo; it != hi; ++it) {
+    auto r = replicas_.find(it->second);
+    if (r == replicas_.end()) continue;
+    if (valid_only && !r->second.valid) continue;
+    out.push_back(r->second);
+  }
+  return out;
+}
+
+bool VirtualDataCatalog::IsMaterialized(std::string_view dataset) const {
+  auto [lo, hi] = replicas_by_dataset_.equal_range(dataset);
+  for (auto it = lo; it != hi; ++it) {
+    auto r = replicas_.find(it->second);
+    if (r != replicas_.end() && r->second.valid) return true;
+  }
+  return false;
+}
+
+Result<std::string> VirtualDataCatalog::ProducerOf(
+    std::string_view dataset) const {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not found: " + std::string(dataset));
+  }
+  if (it->second.producer.empty()) {
+    return Status::NotFound("dataset " + std::string(dataset) +
+                            " has no producing derivation (raw input)");
+  }
+  return it->second.producer;
+}
+
+std::vector<std::string> VirtualDataCatalog::ConsumersOf(
+    std::string_view dataset) const {
+  std::vector<std::string> out;
+  auto [lo, hi] = consumers_by_dataset_.equal_range(dataset);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  // Canonical order: multimap insertion order depends on mutation
+  // history (e.g. annotate re-puts), which must not leak into results.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Invocation> VirtualDataCatalog::InvocationsOf(
+    std::string_view derivation) const {
+  std::vector<Invocation> out;
+  auto [lo, hi] = invocations_by_derivation_.equal_range(derivation);
+  for (auto it = lo; it != hi; ++it) {
+    auto iv = invocations_.find(it->second);
+    if (iv != invocations_.end()) out.push_back(iv->second);
+  }
+  return out;
+}
+
+std::vector<std::string> VirtualDataCatalog::DerivationsUsing(
+    std::string_view transformation) const {
+  std::vector<std::string> out;
+  auto [lo, hi] = derivations_by_transformation_.equal_range(transformation);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Discovery
+// ---------------------------------------------------------------------
+
+std::vector<std::string> VirtualDataCatalog::FindDatasets(
+    const DatasetQuery& query) const {
+  auto matches = [this, &query](const std::string& name,
+                                const Dataset& ds) {
+    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
+      return false;
+    }
+    if (query.type && !types_.Conforms(ds.type, *query.type)) return false;
+    if (!MatchesAll(ds.annotations, query.predicates)) return false;
+    if (query.require_materialized && !IsMaterialized(name)) return false;
+    if (query.only_virtual && IsMaterialized(name)) return false;
+    return true;
+  };
+
+  std::vector<std::string> out;
+
+  // Fast path: an equality predicate narrows the scan to the attribute
+  // index's posting list instead of the whole dataset space.
+  for (const AttributePredicate& predicate : query.predicates) {
+    if (predicate.op != PredicateOp::kEq) continue;
+    std::vector<std::string> candidates;
+    auto [lo, hi] = datasets_by_attr_.equal_range(
+        AttrIndexKey(predicate.key, predicate.operand));
+    for (auto it = lo; it != hi; ++it) candidates.push_back(it->second);
+    std::sort(candidates.begin(), candidates.end());
+    for (const std::string& name : candidates) {
+      auto ds = datasets_.find(name);
+      if (ds == datasets_.end()) continue;
+      if (!matches(name, ds->second)) continue;
+      out.push_back(name);
+      if (query.limit != 0 && out.size() >= query.limit) break;
+    }
+    return out;
+  }
+
+  for (const auto& [name, ds] : datasets_) {
+    if (!matches(name, ds)) continue;
+    out.push_back(name);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+std::vector<std::string> VirtualDataCatalog::FindTransformations(
+    const TransformationQuery& query) const {
+  std::vector<std::string> out;
+  for (const auto& [name, tr] : transformations_) {
+    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
+      continue;
+    }
+    if (!MatchesAll(tr.annotations(), query.predicates)) continue;
+    if (query.consumes) {
+      bool accepts = false;
+      for (const FormalArg& arg : tr.args()) {
+        if (arg.is_string() || !DirectionReads(arg.direction)) continue;
+        if (types_.ConformsToAny(*query.consumes, arg.types)) {
+          accepts = true;
+          break;
+        }
+      }
+      if (!accepts) continue;
+    }
+    if (query.produces) {
+      bool yields = false;
+      for (const FormalArg& arg : tr.args()) {
+        if (arg.is_string() || !DirectionWrites(arg.direction)) continue;
+        if (arg.types.empty()) {
+          yields = query.produces->IsAny();
+        } else {
+          for (const DatasetType& t : arg.types) {
+            if (types_.Conforms(t, *query.produces)) {
+              yields = true;
+              break;
+            }
+          }
+        }
+        if (yields) break;
+      }
+      if (!yields) continue;
+    }
+    out.push_back(name);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+std::vector<std::string> VirtualDataCatalog::FindDerivations(
+    const DerivationQuery& query) const {
+  std::vector<std::string> out;
+  for (const auto& [name, dv] : derivations_) {
+    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
+      continue;
+    }
+    if (!query.transformation.empty() &&
+        dv.QualifiedTransformation() != query.transformation &&
+        dv.transformation() != query.transformation) {
+      continue;
+    }
+    if (!query.reads_dataset.empty()) {
+      auto inputs = dv.InputDatasets();
+      if (std::find(inputs.begin(), inputs.end(), query.reads_dataset) ==
+          inputs.end()) {
+        continue;
+      }
+    }
+    if (!query.writes_dataset.empty()) {
+      auto outputs = dv.OutputDatasets();
+      if (std::find(outputs.begin(), outputs.end(), query.writes_dataset) ==
+          outputs.end()) {
+        continue;
+      }
+    }
+    if (!MatchesAll(dv.annotations(), query.predicates)) continue;
+    out.push_back(name);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+Result<std::string> VirtualDataCatalog::FindEquivalentDerivation(
+    const Derivation& derivation) const {
+  std::string want = derivation.SignatureText();
+  auto [lo, hi] = derivations_by_signature_.equal_range(derivation.Signature());
+  for (auto it = lo; it != hi; ++it) {
+    auto dv = derivations_.find(it->second);
+    if (dv != derivations_.end() && dv->second.SignatureText() == want) {
+      return it->second;
+    }
+  }
+  return Status::NotFound("no equivalent derivation recorded");
+}
+
+bool VirtualDataCatalog::HasBeenComputed(const Derivation& derivation) const {
+  Result<std::string> existing = FindEquivalentDerivation(derivation);
+  if (!existing.ok()) return false;
+  auto dv = derivations_.find(*existing);
+  if (dv == derivations_.end()) return false;
+  std::vector<std::string> outputs = dv->second.OutputDatasets();
+  if (outputs.empty()) return false;
+  for (const std::string& output : outputs) {
+    if (!IsMaterialized(output)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Enumeration & stats
+// ---------------------------------------------------------------------
+
+namespace {
+template <typename Map>
+std::vector<std::string> Keys(const Map& map) {
+  std::vector<std::string> out;
+  out.reserve(map.size());
+  for (const auto& [key, value] : map) {
+    (void)value;
+    out.push_back(key);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::string> VirtualDataCatalog::AllDatasetNames() const {
+  return Keys(datasets_);
+}
+std::vector<std::string> VirtualDataCatalog::AllTransformationNames() const {
+  return Keys(transformations_);
+}
+std::vector<std::string> VirtualDataCatalog::AllDerivationNames() const {
+  return Keys(derivations_);
+}
+std::vector<std::string> VirtualDataCatalog::AllReplicaIds() const {
+  return Keys(replicas_);
+}
+std::vector<std::string> VirtualDataCatalog::AllInvocationIds() const {
+  return Keys(invocations_);
+}
+
+CatalogStats VirtualDataCatalog::Stats() const {
+  CatalogStats stats;
+  stats.datasets = datasets_.size();
+  stats.transformations = transformations_.size();
+  stats.derivations = derivations_.size();
+  stats.replicas = replicas_.size();
+  stats.invocations = invocations_.size();
+  return stats;
+}
+
+std::vector<std::string> VirtualDataCatalog::CurrentStateRecords() const {
+  std::vector<std::string> records;
+  // Types, parents before children (sorted by depth per dimension).
+  for (int d = 0; d < kNumTypeDimensions; ++d) {
+    auto dim = static_cast<TypeDimension>(d);
+    const TypeHierarchy& h = types_.dimension(dim);
+    std::vector<std::pair<int, std::string>> by_depth;
+    for (const std::string& name : h.AllTypes()) {
+      Result<int> depth = h.DepthOf(name);
+      by_depth.emplace_back(depth.ok() ? *depth : 0, name);
+    }
+    std::sort(by_depth.begin(), by_depth.end());
+    for (const auto& [depth, name] : by_depth) {
+      (void)depth;
+      Result<std::string> parent = h.ParentOf(name);
+      records.push_back(codec::JoinRecord(
+          {"TY", std::to_string(d), name,
+           parent.ok() ? *parent : std::string(h.base_name())}));
+    }
+  }
+  for (const auto& [name, ds] : datasets_) {
+    (void)name;
+    records.push_back(codec::EncodeDataset(ds));
+  }
+  for (const auto& [name, tr] : transformations_) {
+    (void)name;
+    records.push_back(codec::EncodeTransformation(tr));
+  }
+  for (const auto& [name, dv] : derivations_) {
+    (void)name;
+    records.push_back(codec::EncodeDerivation(dv));
+  }
+  for (const auto& [id, replica] : replicas_) {
+    (void)id;
+    records.push_back(codec::EncodeReplica(replica));
+  }
+  for (const auto& [id, iv] : invocations_) {
+    (void)id;
+    records.push_back(codec::EncodeInvocation(iv));
+  }
+  return records;
+}
+
+std::string VirtualDataCatalog::ExportVdl() const {
+  return PrintProgram(ExportProgram());
+}
+
+VdlProgram VirtualDataCatalog::ExportProgram() const {
+  VdlProgram program;
+  for (const auto& [name, ds] : datasets_) {
+    (void)name;
+    program.datasets.push_back(ds);
+  }
+  for (const auto& [name, tr] : transformations_) {
+    (void)name;
+    program.transformations.push_back(tr);
+  }
+  for (const auto& [name, dv] : derivations_) {
+    (void)name;
+    program.derivations.push_back(dv);
+  }
+  return program;
+}
+
+// ---------------------------------------------------------------------
+// Journal replay
+// ---------------------------------------------------------------------
+
+Status VirtualDataCatalog::ApplyRecord(const std::string& record) {
+  VDG_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                       codec::SplitRecord(record));
+  if (fields.empty()) return Status::ParseError("empty journal record");
+  const std::string& tag = fields[0];
+
+  if (tag == "DS" || tag == "TR" || tag == "DV") {
+    if (fields.size() < 2) {
+      return Status::ParseError("object record missing VDL text");
+    }
+    VDG_ASSIGN_OR_RETURN(VdlProgram program, ParseVdl(fields[1]));
+    VDG_ASSIGN_OR_RETURN(AttributeSet attrs,
+                         codec::ParseAttributes(fields, 2));
+    if (tag == "DS" && program.datasets.size() == 1) {
+      Dataset ds = std::move(program.datasets[0]);
+      ds.annotations = std::move(attrs);
+      return DefineDataset(std::move(ds));
+    }
+    if (tag == "TR" && program.transformations.size() == 1) {
+      Transformation tr = std::move(program.transformations[0]);
+      tr.annotations() = std::move(attrs);
+      return DefineTransformation(std::move(tr));
+    }
+    if (tag == "DV" && program.derivations.size() == 1) {
+      Derivation dv = std::move(program.derivations[0]);
+      dv.annotations() = std::move(attrs);
+      // Rebuild indexes idempotently: drop any stale entries first.
+      if (derivations_.count(dv.name()) != 0) {
+        VDG_RETURN_IF_ERROR(RemoveDerivation(dv.name()));
+      }
+      return DefineDerivation(std::move(dv));
+    }
+    return Status::ParseError("record tag/content mismatch: " + tag);
+  }
+  if (tag == "RP") {
+    VDG_ASSIGN_OR_RETURN(Replica r, codec::DecodeReplica(fields));
+    // Upsert semantics: replica re-puts carry annotation/invalidation
+    // updates.
+    if (replicas_.count(r.id) != 0) {
+      replicas_.insert_or_assign(r.id, std::move(r));
+      return Status::OK();
+    }
+    Result<std::string> added = AddReplica(std::move(r));
+    return added.ok() ? Status::OK() : added.status();
+  }
+  if (tag == "IV") {
+    VDG_ASSIGN_OR_RETURN(Invocation iv, codec::DecodeInvocation(fields));
+    if (invocations_.count(iv.id) != 0) {
+      invocations_.insert_or_assign(iv.id, std::move(iv));
+      return Status::OK();
+    }
+    return RecordInvocation(std::move(iv)).status();
+  }
+  if (tag == "TY") {
+    if (fields.size() < 4) return Status::ParseError("short TY record");
+    int dim = static_cast<int>(std::strtol(fields[1].c_str(), nullptr, 10));
+    if (dim < 0 || dim >= kNumTypeDimensions) {
+      return Status::ParseError("bad TY dimension");
+    }
+    return DefineType(static_cast<TypeDimension>(dim), fields[2], fields[3]);
+  }
+  if (tag.size() == 2 && tag[0] == 'X') {
+    if (fields.size() < 2) return Status::ParseError("removal missing name");
+    const std::string& name = fields[1];
+    switch (tag[1]) {
+      case 'S':
+        return RemoveDataset(name);
+      case 'T':
+        return RemoveTransformation(name);
+      case 'D':
+        return RemoveDerivation(name);
+      case 'R':
+        return RemoveReplica(name);
+      default:
+        return Status::ParseError("unknown removal tag: " + tag);
+    }
+  }
+  return Status::ParseError("unknown journal record tag: " + tag);
+}
+
+}  // namespace vdg

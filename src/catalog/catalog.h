@@ -1,0 +1,233 @@
+#ifndef VDG_CATALOG_CATALOG_H_
+#define VDG_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/journal.h"
+#include "catalog/query.h"
+#include "schema/dataset.h"
+#include "schema/derivation.h"
+#include "schema/transformation.h"
+#include "types/type_system.h"
+#include "vdl/parser.h"
+
+namespace vdg {
+
+/// A Virtual Data Catalog (VDC, Section 4): the service that maintains
+/// the five-object virtual data schema for one scope (a person, group,
+/// or collaboration). The catalog is the single source of truth for
+/// the planner, executor, provenance, and federation layers.
+///
+/// Storage: an in-memory object graph with secondary indexes; every
+/// mutation streams through a CatalogJournal, so the same class serves
+/// as the memory-only backend (NullJournal) and the persistent
+/// log-file backend (FileJournal, recovered by replay in Open()).
+class VirtualDataCatalog {
+ public:
+  /// `name` identifies this catalog in vdp:// URIs (the authority).
+  explicit VirtualDataCatalog(
+      std::string name,
+      std::unique_ptr<CatalogJournal> journal = nullptr);
+
+  VirtualDataCatalog(const VirtualDataCatalog&) = delete;
+  VirtualDataCatalog& operator=(const VirtualDataCatalog&) = delete;
+
+  /// Replays the journal into memory. Must be called once before use
+  /// when a persistent journal is attached; a no-op otherwise.
+  Status Open();
+
+  const std::string& name() const { return name_; }
+
+  /// The catalog's dataset-type universe. Communities define their own
+  /// type names (Section 3.1); LoadAppendixCPreset() installs the
+  /// paper's example hierarchy.
+  TypeRegistry& types() { return types_; }
+  const TypeRegistry& types() const { return types_; }
+
+  // ------------------------------------------------------------------
+  // Definition (the "composition" facet of Figure 5)
+  // ------------------------------------------------------------------
+
+  /// Defines a dataset-type name in one dimension's hierarchy,
+  /// journaled so persistent catalogs recover their type universe.
+  /// Prefer this over mutating types() directly when durability
+  /// matters.
+  Status DefineType(TypeDimension dim, std::string_view type_name,
+                    std::string_view parent);
+  /// Installs the Appendix-C preset hierarchy, journaled.
+  Status LoadTypePreset();
+
+  /// Defines a dataset. Its type components must be registered.
+  Status DefineDataset(Dataset dataset);
+  /// Defines a transformation after structural validation.
+  Status DefineTransformation(Transformation transformation);
+  /// Defines a derivation, type-checking it against its transformation
+  /// (local TRs only; vdp:// TRs are checked by the federation layer).
+  /// Output datasets that are not yet defined are auto-defined as
+  /// virtual datasets typed from the formal argument, with `producer`
+  /// set to this derivation.
+  Status DefineDerivation(Derivation derivation);
+  /// Registers a physical replica; assigns and returns its id.
+  Result<std::string> AddReplica(Replica replica);
+  /// Records an invocation; assigns and returns its id.
+  Result<std::string> RecordInvocation(Invocation invocation);
+
+  /// Imports every definition in a parsed VDL program, in order.
+  Status ImportProgram(const VdlProgram& program);
+  /// Parses and imports VDL source text.
+  Status ImportVdl(std::string_view source);
+
+  // ------------------------------------------------------------------
+  // Point lookups
+  // ------------------------------------------------------------------
+
+  Result<Dataset> GetDataset(std::string_view name) const;
+  Result<Transformation> GetTransformation(std::string_view name) const;
+  Result<Derivation> GetDerivation(std::string_view name) const;
+  Result<Replica> GetReplica(std::string_view id) const;
+  Result<Invocation> GetInvocation(std::string_view id) const;
+
+  bool HasDataset(std::string_view name) const;
+  bool HasTransformation(std::string_view name) const;
+  bool HasDerivation(std::string_view name) const;
+
+  // ------------------------------------------------------------------
+  // Updates & removal
+  // ------------------------------------------------------------------
+
+  /// Annotates an object with user metadata (Section 2
+  /// "Documentation"). `kind` is one of "dataset", "transformation",
+  /// "derivation", "replica", "invocation".
+  Status Annotate(std::string_view kind, std::string_view name,
+                  std::string_view key, AttributeValue value);
+
+  /// Updates a dataset's logical size (learned after materialization).
+  Status SetDatasetSize(std::string_view name, int64_t size_bytes);
+
+  /// Marks a replica invalid (e.g. after upstream invalidation).
+  Status InvalidateReplica(std::string_view id);
+
+  Status RemoveDataset(std::string_view name);
+  Status RemoveTransformation(std::string_view name);
+  Status RemoveDerivation(std::string_view name);
+  Status RemoveReplica(std::string_view id);
+
+  // ------------------------------------------------------------------
+  // Navigation (provenance building blocks)
+  // ------------------------------------------------------------------
+
+  /// Replicas of a dataset; `valid_only` filters invalidated copies.
+  std::vector<Replica> ReplicasOf(std::string_view dataset,
+                                  bool valid_only = true) const;
+  /// True when the dataset has at least one valid replica (i.e. is
+  /// materialized rather than virtual).
+  bool IsMaterialized(std::string_view dataset) const;
+
+  /// The derivation that produces `dataset` (NotFound for raw inputs).
+  Result<std::string> ProducerOf(std::string_view dataset) const;
+  /// Derivations that read `dataset`.
+  std::vector<std::string> ConsumersOf(std::string_view dataset) const;
+  /// Invocations recorded for `derivation`, in record order.
+  std::vector<Invocation> InvocationsOf(std::string_view derivation) const;
+  /// Derivations that invoke `transformation`.
+  std::vector<std::string> DerivationsUsing(
+      std::string_view transformation) const;
+
+  // ------------------------------------------------------------------
+  // Discovery
+  // ------------------------------------------------------------------
+
+  std::vector<std::string> FindDatasets(const DatasetQuery& query) const;
+  std::vector<std::string> FindTransformations(
+      const TransformationQuery& query) const;
+  std::vector<std::string> FindDerivations(const DerivationQuery& query) const;
+
+  /// The "has this computation been performed before?" query (Section
+  /// 1). Returns the name of an existing derivation with the same
+  /// content signature, if any.
+  Result<std::string> FindEquivalentDerivation(
+      const Derivation& derivation) const;
+  /// True when an equivalent derivation exists AND all of its outputs
+  /// are materialized — re-use beats re-computation.
+  bool HasBeenComputed(const Derivation& derivation) const;
+
+  /// All names, for enumeration by indexes and tests.
+  std::vector<std::string> AllDatasetNames() const;
+  std::vector<std::string> AllTransformationNames() const;
+  std::vector<std::string> AllDerivationNames() const;
+  std::vector<std::string> AllReplicaIds() const;
+  std::vector<std::string> AllInvocationIds() const;
+
+  CatalogStats Stats() const;
+
+  /// Monotonic edit counter; bumped by every successful mutation.
+  /// Federated indexes use it to detect staleness cheaply.
+  uint64_t version() const { return version_; }
+
+  Status SyncJournal() { return journal_->Sync(); }
+
+  /// The minimal journal records that reproduce the catalog's current
+  /// state (types, then datasets, transformations, derivations,
+  /// replicas, invocations — a replay-safe order).
+  std::vector<std::string> CurrentStateRecords() const;
+
+  /// Log compaction: atomically rewrites the journal to
+  /// CurrentStateRecords(), discarding superseded history (annotate
+  /// re-puts, removed objects, invalidation flips). The in-memory
+  /// state is untouched; reopening from the compacted journal yields
+  /// an observationally identical catalog.
+  Status CompactJournal() { return journal_->Rewrite(CurrentStateRecords()); }
+
+  /// Whole-catalog dump as VDL text (DS/TR/DV declarations; replicas,
+  /// invocations, and annotations are not expressible in text VDL —
+  /// use ExportProgram + ProgramToXml for a lossless document).
+  std::string ExportVdl() const;
+
+  /// Whole-catalog dump as schema objects (annotations included).
+  VdlProgram ExportProgram() const;
+
+ private:
+  Status ApplyRecord(const std::string& record);
+  Status Journal(const std::string& record);
+  const DatasetType* LookupDatasetType(std::string_view name) const;
+
+  std::string name_;
+  std::unique_ptr<CatalogJournal> journal_;
+  bool replaying_ = false;
+  bool opened_ = false;
+  uint64_t version_ = 0;
+
+  TypeRegistry types_;
+
+  std::map<std::string, Dataset, std::less<>> datasets_;
+  std::map<std::string, Transformation, std::less<>> transformations_;
+  std::map<std::string, Derivation, std::less<>> derivations_;
+  std::map<std::string, Replica, std::less<>> replicas_;
+  std::map<std::string, Invocation, std::less<>> invocations_;
+
+  // Secondary indexes.
+  /// Attribute equality index over dataset annotations:
+  /// "key\x1f<normalized value>" -> dataset name. Lets FindDatasets
+  /// answer kEq predicates without a full scan.
+  void IndexDatasetAttributes(const Dataset& dataset);
+  void UnindexDatasetAttributes(const Dataset& dataset);
+  std::multimap<std::string, std::string, std::less<>> datasets_by_attr_;
+
+  std::multimap<uint64_t, std::string> derivations_by_signature_;
+  std::multimap<std::string, std::string, std::less<>> replicas_by_dataset_;
+  std::multimap<std::string, std::string, std::less<>>
+      invocations_by_derivation_;
+  std::multimap<std::string, std::string, std::less<>> consumers_by_dataset_;
+  std::multimap<std::string, std::string, std::less<>>
+      derivations_by_transformation_;
+
+  uint64_t next_replica_id_ = 1;
+  uint64_t next_invocation_id_ = 1;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_CATALOG_CATALOG_H_

@@ -1,0 +1,236 @@
+#include "catalog/codec.h"
+
+#include <cstdlib>
+
+#include "vdl/printer.h"
+
+namespace vdg {
+namespace codec {
+
+std::string EscapeField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '|':
+        out += "\\p";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    char c = field[i];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 1 >= field.size()) {
+      return Status::ParseError("dangling escape in journal field");
+    }
+    char esc = field[++i];
+    switch (esc) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'p':
+        out.push_back('|');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      default:
+        return Status::ParseError("unknown journal escape");
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> SplitRecord(std::string_view record) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (size_t i = 0; i < record.size(); ++i) {
+    char c = record[i];
+    if (c == '|') {
+      VDG_ASSIGN_OR_RETURN(std::string unescaped, UnescapeField(current));
+      fields.push_back(std::move(unescaped));
+      current.clear();
+    } else if (c == '\\' && i + 1 < record.size()) {
+      current.push_back(c);
+      current.push_back(record[++i]);
+    } else {
+      current.push_back(c);
+    }
+  }
+  VDG_ASSIGN_OR_RETURN(std::string unescaped, UnescapeField(current));
+  fields.push_back(std::move(unescaped));
+  return fields;
+}
+
+std::string JoinRecord(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += "|";
+    out += EscapeField(fields[i]);
+  }
+  return out;
+}
+
+std::string EncodeTransformation(const Transformation& tr) {
+  std::vector<std::string> fields{"TR", PrintTransformation(tr)};
+  AppendAttributes(tr.annotations(), &fields);
+  return JoinRecord(fields);
+}
+
+std::string EncodeDerivation(const Derivation& dv) {
+  std::vector<std::string> fields{"DV", PrintDerivation(dv)};
+  AppendAttributes(dv.annotations(), &fields);
+  return JoinRecord(fields);
+}
+
+std::string EncodeDataset(const Dataset& ds) {
+  std::vector<std::string> fields{"DS", PrintDatasetDecl(ds)};
+  AppendAttributes(ds.annotations, &fields);
+  return JoinRecord(fields);
+}
+
+std::string EncodeReplica(const Replica& replica) {
+  std::vector<std::string> fields{
+      "RP",
+      replica.id,
+      replica.dataset,
+      replica.site,
+      replica.storage_element,
+      replica.physical_path,
+      std::to_string(replica.size_bytes),
+      std::to_string(replica.created_at),
+      replica.valid ? "1" : "0"};
+  AppendAttributes(replica.annotations, &fields);
+  return JoinRecord(fields);
+}
+
+Result<Replica> DecodeReplica(const std::vector<std::string>& fields) {
+  if (fields.size() < 9) {
+    return Status::ParseError("replica record too short");
+  }
+  Replica r;
+  r.id = fields[1];
+  r.dataset = fields[2];
+  r.site = fields[3];
+  r.storage_element = fields[4];
+  r.physical_path = fields[5];
+  r.size_bytes = std::strtoll(fields[6].c_str(), nullptr, 10);
+  r.created_at = std::strtod(fields[7].c_str(), nullptr);
+  r.valid = fields[8] == "1";
+  VDG_ASSIGN_OR_RETURN(r.annotations, ParseAttributes(fields, 9));
+  return r;
+}
+
+std::string EncodeInvocation(const Invocation& iv) {
+  std::vector<std::string> fields{
+      "IV",
+      iv.id,
+      iv.derivation,
+      iv.context.site,
+      iv.context.host,
+      iv.context.os,
+      iv.context.architecture,
+      std::to_string(iv.start_time),
+      std::to_string(iv.duration_s),
+      std::to_string(iv.cpu_seconds),
+      std::to_string(iv.peak_memory_bytes),
+      std::to_string(iv.exit_code),
+      iv.succeeded ? "1" : "0",
+      std::to_string(iv.consumed_replicas.size())};
+  for (const std::string& id : iv.consumed_replicas) fields.push_back(id);
+  fields.push_back(std::to_string(iv.produced_replicas.size()));
+  for (const std::string& id : iv.produced_replicas) fields.push_back(id);
+  AppendAttributes(iv.annotations, &fields);
+  return JoinRecord(fields);
+}
+
+Result<Invocation> DecodeInvocation(const std::vector<std::string>& fields) {
+  if (fields.size() < 15) {
+    return Status::ParseError("invocation record too short");
+  }
+  Invocation iv;
+  iv.id = fields[1];
+  iv.derivation = fields[2];
+  iv.context.site = fields[3];
+  iv.context.host = fields[4];
+  iv.context.os = fields[5];
+  iv.context.architecture = fields[6];
+  iv.start_time = std::strtod(fields[7].c_str(), nullptr);
+  iv.duration_s = std::strtod(fields[8].c_str(), nullptr);
+  iv.cpu_seconds = std::strtod(fields[9].c_str(), nullptr);
+  iv.peak_memory_bytes = std::strtoll(fields[10].c_str(), nullptr, 10);
+  iv.exit_code = static_cast<int>(std::strtol(fields[11].c_str(), nullptr, 10));
+  iv.succeeded = fields[12] == "1";
+  size_t pos = 13;
+  size_t n_consumed = std::strtoull(fields[pos++].c_str(), nullptr, 10);
+  if (pos + n_consumed > fields.size()) {
+    return Status::ParseError("invocation record truncated (consumed)");
+  }
+  for (size_t i = 0; i < n_consumed; ++i) {
+    iv.consumed_replicas.push_back(fields[pos++]);
+  }
+  if (pos >= fields.size()) {
+    return Status::ParseError("invocation record truncated (produced count)");
+  }
+  size_t n_produced = std::strtoull(fields[pos++].c_str(), nullptr, 10);
+  if (pos + n_produced > fields.size()) {
+    return Status::ParseError("invocation record truncated (produced)");
+  }
+  for (size_t i = 0; i < n_produced; ++i) {
+    iv.produced_replicas.push_back(fields[pos++]);
+  }
+  VDG_ASSIGN_OR_RETURN(iv.annotations, ParseAttributes(fields, pos));
+  return iv;
+}
+
+void AppendAttributes(const AttributeSet& attrs,
+                      std::vector<std::string>* fields) {
+  for (const auto& [key, value] : attrs) {
+    fields->push_back(key);
+    fields->push_back(std::string(1, value.TypeTag()));
+    fields->push_back(value.ToString());
+  }
+}
+
+Result<AttributeSet> ParseAttributes(const std::vector<std::string>& fields,
+                                     size_t start) {
+  AttributeSet attrs;
+  if ((fields.size() - start) % 3 != 0) {
+    return Status::ParseError("attribute triples are misaligned");
+  }
+  for (size_t i = start; i + 2 < fields.size() + 1 && i < fields.size();
+       i += 3) {
+    if (fields[i + 1].size() != 1) {
+      return Status::ParseError("bad attribute type tag");
+    }
+    VDG_ASSIGN_OR_RETURN(
+        AttributeValue value,
+        AttributeValue::FromTagged(fields[i + 1][0], fields[i + 2]));
+    attrs.Set(fields[i], std::move(value));
+  }
+  return attrs;
+}
+
+std::string EncodeRemoval(char kind_tag, std::string_view name) {
+  return JoinRecord({std::string("X") + kind_tag, std::string(name)});
+}
+
+}  // namespace codec
+}  // namespace vdg

@@ -1,0 +1,54 @@
+#ifndef VDG_CATALOG_CODEC_H_
+#define VDG_CATALOG_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/dataset.h"
+#include "schema/derivation.h"
+#include "schema/transformation.h"
+
+namespace vdg {
+
+/// Journal record wire format. Each record is one line:
+///   <TAG>|field|field|...
+/// Fields are escaped ('\\'→"\\\\", '|'→"\\p", '\n'→"\\n").
+/// TR/DV/DS records carry the object's VDL text (the parser is the
+/// decoder); RP/IV records use positional fields; A* records carry
+/// annotation upserts; X* records are deletions.
+namespace codec {
+
+std::string EscapeField(std::string_view field);
+Result<std::string> UnescapeField(std::string_view field);
+
+/// Splits a record into its unescaped fields (including the tag).
+Result<std::vector<std::string>> SplitRecord(std::string_view record);
+/// Joins pre-escaped... rather: escapes and joins `fields` into a record.
+std::string JoinRecord(const std::vector<std::string>& fields);
+
+// --- Object records ---
+std::string EncodeTransformation(const Transformation& tr);
+std::string EncodeDerivation(const Derivation& dv);
+std::string EncodeDataset(const Dataset& ds);
+std::string EncodeReplica(const Replica& replica);
+std::string EncodeInvocation(const Invocation& invocation);
+
+Result<Replica> DecodeReplica(const std::vector<std::string>& fields);
+Result<Invocation> DecodeInvocation(const std::vector<std::string>& fields);
+
+// --- AttributeSet sub-encoding (triples appended to a field list) ---
+void AppendAttributes(const AttributeSet& attrs,
+                      std::vector<std::string>* fields);
+Result<AttributeSet> ParseAttributes(const std::vector<std::string>& fields,
+                                     size_t start);
+
+// --- Deletion records ---
+std::string EncodeRemoval(char kind_tag, std::string_view name);
+
+}  // namespace codec
+
+}  // namespace vdg
+
+#endif  // VDG_CATALOG_CODEC_H_

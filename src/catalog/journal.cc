@@ -1,0 +1,91 @@
+#include "catalog/journal.h"
+
+#include <cstdio>
+
+namespace vdg {
+
+FileJournal::~FileJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileJournal::EnsureOpen() {
+  if (file_ != nullptr) return Status::OK();
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open journal for append: " + path_);
+  }
+  return Status::OK();
+}
+
+Status FileJournal::Append(const std::string& record) {
+  VDG_RETURN_IF_ERROR(EnsureOpen());
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
+      std::fputc('\n', file_) == EOF) {
+    return Status::IoError("short write to journal: " + path_);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FileJournal::ReadAll() {
+  // Flush pending appends so we read our own writes.
+  if (file_ != nullptr) std::fflush(file_);
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) {
+    // A missing file is an empty journal (fresh catalog).
+    return std::vector<std::string>{};
+  }
+  std::vector<std::string> records;
+  std::string line;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      records.push_back(line);
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  std::fclose(in);
+  if (!line.empty()) records.push_back(line);  // tolerate torn tail
+  return records;
+}
+
+Status FileJournal::Sync() {
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("fflush failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status FileJournal::Rewrite(const std::vector<std::string>& records) {
+  std::string temp_path = path_ + ".compact";
+  std::FILE* out = std::fopen(temp_path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IoError("cannot open " + temp_path + " for compaction");
+  }
+  for (const std::string& record : records) {
+    if (std::fwrite(record.data(), 1, record.size(), out) !=
+            record.size() ||
+        std::fputc('\n', out) == EOF) {
+      std::fclose(out);
+      std::remove(temp_path.c_str());
+      return Status::IoError("short write during compaction: " + temp_path);
+    }
+  }
+  if (std::fflush(out) != 0 || std::fclose(out) != 0) {
+    std::remove(temp_path.c_str());
+    return Status::IoError("cannot finalize compacted journal");
+  }
+  // Close the live handle before replacing the file underneath it.
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
+    return Status::IoError("cannot replace journal with compacted copy");
+  }
+  return Status::OK();
+}
+
+}  // namespace vdg

@@ -1,0 +1,100 @@
+#ifndef VDG_CATALOG_JOURNAL_H_
+#define VDG_CATALOG_JOURNAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vdg {
+
+/// Durability backend for a Virtual Data Catalog. The paper allows a
+/// VDC to be "variously a relational database, OO database, XML
+/// repository, or even a ... file system"; we implement the catalog as
+/// an in-memory object graph whose mutations stream through one of
+/// these journals. Replaying the journal reconstructs the catalog.
+class CatalogJournal {
+ public:
+  virtual ~CatalogJournal() = default;
+
+  /// Appends one record (a single logical mutation; must not contain
+  /// raw newlines — the codec escapes them).
+  virtual Status Append(const std::string& record) = 0;
+
+  /// Reads every record previously appended, in order.
+  virtual Result<std::vector<std::string>> ReadAll() = 0;
+
+  /// Flushes buffered records to stable storage.
+  virtual Status Sync() = 0;
+
+  /// Atomically replaces the journal's contents with `records` (log
+  /// compaction). Backends without rewrite support may return
+  /// FailedPrecondition.
+  virtual Status Rewrite(const std::vector<std::string>& records) {
+    (void)records;
+    return Status::FailedPrecondition("journal does not support rewrite");
+  }
+};
+
+/// No durability: Append discards, ReadAll is empty. The memory-only
+/// catalog configuration.
+class NullJournal final : public CatalogJournal {
+ public:
+  Status Append(const std::string& record) override {
+    (void)record;
+    return Status::OK();
+  }
+  Result<std::vector<std::string>> ReadAll() override {
+    return std::vector<std::string>{};
+  }
+  Status Sync() override { return Status::OK(); }
+};
+
+/// Append-only log file, one record per line. Reopening a catalog on
+/// the same path replays the log (crash recovery = replay).
+class FileJournal final : public CatalogJournal {
+ public:
+  explicit FileJournal(std::string path) : path_(std::move(path)) {}
+  ~FileJournal() override;
+
+  Status Append(const std::string& record) override;
+  Result<std::vector<std::string>> ReadAll() override;
+  Status Sync() override;
+  /// Writes `records` to `<path>.compact` then renames over the live
+  /// file — crash-safe compaction.
+  Status Rewrite(const std::vector<std::string>& records) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Status EnsureOpen();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// In-memory journal retaining records; used by tests to verify replay
+/// and by the federation layer to ship catalog diffs.
+class VectorJournal final : public CatalogJournal {
+ public:
+  Status Append(const std::string& record) override {
+    records_.push_back(record);
+    return Status::OK();
+  }
+  Result<std::vector<std::string>> ReadAll() override { return records_; }
+  Status Sync() override { return Status::OK(); }
+  Status Rewrite(const std::vector<std::string>& records) override {
+    records_ = records;
+    return Status::OK();
+  }
+
+  const std::vector<std::string>& records() const { return records_; }
+
+ private:
+  std::vector<std::string> records_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_CATALOG_JOURNAL_H_

@@ -1,0 +1,74 @@
+#ifndef VDG_CATALOG_QUERY_H_
+#define VDG_CATALOG_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/attribute.h"
+#include "types/type_system.h"
+
+namespace vdg {
+
+/// Discovery query over datasets (Section 2 "Discovery"): conventional
+/// metadata search, with the virtual-data wrinkle that results may be
+/// materialized data or mere recipes.
+struct DatasetQuery {
+  /// Match datasets whose type conforms to this (subtype-aware).
+  std::optional<DatasetType> type;
+  /// Conjunction of annotation predicates.
+  std::vector<AttributePredicate> predicates;
+  /// Restrict to names starting with this prefix ("" = all).
+  std::string name_prefix;
+  /// Only datasets with at least one valid replica (i.e. real data).
+  bool require_materialized = false;
+  /// Only datasets with no valid replica (recipes awaiting derivation).
+  bool only_virtual = false;
+  /// 0 = unlimited.
+  size_t limit = 0;
+};
+
+/// Discovery query over transformations: "I want to search ... if a
+/// program that performs this analysis exists, I won't have to write
+/// one from scratch."
+struct TransformationQuery {
+  /// Match TRs with an input formal that would accept a dataset of
+  /// this type.
+  std::optional<DatasetType> consumes;
+  /// Match TRs with an output formal whose declared type conforms to
+  /// this type.
+  std::optional<DatasetType> produces;
+  std::vector<AttributePredicate> predicates;
+  std::string name_prefix;
+  size_t limit = 0;
+};
+
+/// Discovery query over derivations.
+struct DerivationQuery {
+  /// Restrict to derivations of this transformation ("" = any).
+  std::string transformation;
+  /// Restrict to derivations reading this dataset ("" = any).
+  std::string reads_dataset;
+  /// Restrict to derivations writing this dataset ("" = any).
+  std::string writes_dataset;
+  std::vector<AttributePredicate> predicates;
+  std::string name_prefix;
+  size_t limit = 0;
+};
+
+/// Aggregate catalog counters (object counts per class).
+struct CatalogStats {
+  size_t datasets = 0;
+  size_t transformations = 0;
+  size_t derivations = 0;
+  size_t replicas = 0;
+  size_t invocations = 0;
+
+  size_t total() const {
+    return datasets + transformations + derivations + replicas + invocations;
+  }
+};
+
+}  // namespace vdg
+
+#endif  // VDG_CATALOG_QUERY_H_

@@ -1,0 +1,52 @@
+#ifndef VDG_COMMON_HASH_H_
+#define VDG_COMMON_HASH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vdg {
+
+/// 64-bit FNV-1a. Used for cheap content fingerprints (derivation
+/// signatures, index bucketing); not collision-resistant.
+uint64_t Fnv1a64(std::string_view data);
+
+/// Incremental SHA-256, implemented from scratch (no TLS library is
+/// available offline). Used by vdg::security for entry signatures.
+class Sha256 {
+ public:
+  using Digest = std::array<uint8_t, 32>;
+
+  Sha256();
+
+  /// Absorbs `data`; may be called repeatedly.
+  void Update(std::string_view data);
+  void Update(const uint8_t* data, size_t len);
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// after Finish() without re-construction.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(std::string_view data);
+  /// One-shot digest rendered as lowercase hex (64 chars).
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t total_bytes_ = 0;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_ = 0;
+};
+
+/// Lowercase-hex encoding of arbitrary bytes.
+std::string ToHex(const uint8_t* data, size_t len);
+std::string ToHex(const Sha256::Digest& digest);
+
+}  // namespace vdg
+
+#endif  // VDG_COMMON_HASH_H_

@@ -1,0 +1,34 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace vdg {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::threshold() { return g_threshold; }
+
+void Logger::set_threshold(LogLevel level) { g_threshold = level; }
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < g_threshold) return;
+  std::fprintf(stderr, "[vdg %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace vdg

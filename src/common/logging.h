@@ -1,0 +1,49 @@
+#ifndef VDG_COMMON_LOGGING_H_
+#define VDG_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vdg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Benchmarks raise the
+/// threshold to kError so simulator chatter does not pollute results.
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal_logging {
+
+/// Collects one log statement and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define VDG_LOG(level) \
+  ::vdg::internal_logging::LogMessage(::vdg::LogLevel::k##level)
+
+}  // namespace vdg
+
+#endif  // VDG_COMMON_LOGGING_H_

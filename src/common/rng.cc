@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace vdg {
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return Index(n);
+  // Inverse-CDF sampling over the (small-n) harmonic weights. The
+  // workloads use n up to a few thousand, so the O(n) scan is fine and
+  // keeps the draw exactly reproducible across platforms.
+  double norm = 0.0;
+  for (size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(double(i), s);
+  double u = Uniform(0.0, 1.0) * norm;
+  double acc = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), s);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace vdg

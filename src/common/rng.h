@@ -1,0 +1,75 @@
+#ifndef VDG_COMMON_RNG_H_
+#define VDG_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace vdg {
+
+/// Deterministic random source. All stochastic behaviour in the grid
+/// simulator and the workload generators flows through an explicitly
+/// seeded Rng so that tests and benchmarks reproduce bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Chance(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean) {
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+  }
+
+  /// Normal draw, clamped below at `floor` (simulated runtimes must
+  /// stay positive).
+  double ClampedNormal(double mean, double stddev, double floor) {
+    std::normal_distribution<double> dist(mean, stddev);
+    double v = dist(engine_);
+    return v < floor ? floor : v;
+  }
+
+  /// Zipf-distributed rank in [0, n). Exponent `s` controls skew;
+  /// s = 0 degenerates to uniform. Used to model popularity skew in
+  /// replication experiments.
+  size_t Zipf(size_t n, double s);
+
+  /// Random index in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_COMMON_RNG_H_

@@ -1,0 +1,13 @@
+#ifndef VDG_COMMON_SIM_TIME_H_
+#define VDG_COMMON_SIM_TIME_H_
+
+namespace vdg {
+
+/// Simulated time in seconds since the start of a simulation run.
+/// Wall-clock time never leaks into results; everything that needs a
+/// timestamp (invocations, replicas, grid events) uses SimTime.
+using SimTime = double;
+
+}  // namespace vdg
+
+#endif  // VDG_COMMON_SIM_TIME_H_

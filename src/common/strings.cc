@@ -1,0 +1,108 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace vdg {
+
+std::vector<std::string> StrSplit(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplitTrimmed(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  for (const std::string& piece : StrSplit(input, sep)) {
+    std::string_view trimmed = StrTrim(piece);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view StrTrim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool IsValidIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  unsigned char first = static_cast<unsigned char>(s[0]);
+  if (!std::isalpha(first) && s[0] != '_') return false;
+  for (char c : s.substr(1)) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (!std::isalnum(uc) && c != '_' && c != '.' && c != '-') return false;
+  }
+  return true;
+}
+
+std::string StrReplaceAll(std::string_view s, std::string_view from,
+                          std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      break;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace vdg

@@ -1,0 +1,44 @@
+#ifndef VDG_COMMON_STRINGS_H_
+#define VDG_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdg {
+
+/// Splits `input` on every occurrence of `sep`. Adjacent separators
+/// produce empty pieces; an empty input yields one empty piece.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Splits and drops empty pieces and surrounding whitespace.
+std::vector<std::string> StrSplitTrimmed(std::string_view input, char sep);
+
+/// Joins `pieces` with `sep` between each pair.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters only.
+std::string AsciiToLower(std::string_view s);
+
+/// True when `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_.-]*.
+/// This is the lexical rule for VDG object names (transformations,
+/// derivations, type names).
+bool IsValidIdentifier(std::string_view s);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string StrReplaceAll(std::string_view s, std::string_view from,
+                          std::string_view to);
+
+/// Formats a double without trailing zero noise ("3.5", "2", "0.125").
+std::string FormatDouble(double value);
+
+}  // namespace vdg
+
+#endif  // VDG_COMMON_STRINGS_H_

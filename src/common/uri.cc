@@ -1,0 +1,39 @@
+#include "common/uri.h"
+
+#include "common/strings.h"
+
+namespace vdg {
+
+namespace {
+constexpr std::string_view kScheme = "vdp://";
+}  // namespace
+
+bool IsVdpUri(std::string_view name) {
+  return StartsWith(name, kScheme);
+}
+
+Result<VdpUri> ParseVdpUri(std::string_view uri) {
+  if (!IsVdpUri(uri)) {
+    return Status::ParseError("not a vdp:// URI: " + std::string(uri));
+  }
+  std::string_view rest = uri.substr(kScheme.size());
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) {
+    return Status::ParseError("vdp URI missing object path: " +
+                              std::string(uri));
+  }
+  VdpUri out;
+  out.authority = std::string(rest.substr(0, slash));
+  out.path = std::string(rest.substr(slash + 1));
+  if (out.authority.empty()) {
+    return Status::ParseError("vdp URI has empty authority: " +
+                              std::string(uri));
+  }
+  if (out.path.empty()) {
+    return Status::ParseError("vdp URI has empty object path: " +
+                              std::string(uri));
+  }
+  return out;
+}
+
+}  // namespace vdg

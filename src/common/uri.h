@@ -1,0 +1,39 @@
+#ifndef VDG_COMMON_URI_H_
+#define VDG_COMMON_URI_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace vdg {
+
+/// A parsed `vdp://` virtual-data-pointer URI, the inter-catalog
+/// hyperlink form shown in Figure 2 of the paper:
+///
+///   vdp://physics.wisconsin.edu/srch
+///   vdp://host[:port]/object-name
+///
+/// `authority` names the catalog server; `path` names the object within
+/// that catalog (a transformation, derivation, or dataset name).
+struct VdpUri {
+  std::string authority;  // catalog server, e.g. "physics.wisconsin.edu"
+  std::string path;       // object name within the catalog, e.g. "srch"
+
+  std::string ToString() const { return "vdp://" + authority + "/" + path; }
+
+  bool operator==(const VdpUri& other) const {
+    return authority == other.authority && path == other.path;
+  }
+};
+
+/// Parses "vdp://authority/path". Fails with ParseError on malformed
+/// input (missing scheme, empty authority, or empty path).
+Result<VdpUri> ParseVdpUri(std::string_view uri);
+
+/// True when `name` is a vdp:// reference rather than a local name.
+bool IsVdpUri(std::string_view name);
+
+}  // namespace vdg
+
+#endif  // VDG_COMMON_URI_H_

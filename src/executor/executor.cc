@@ -1,0 +1,378 @@
+#include "executor/executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vdg {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+}  // namespace
+
+double WorkflowEngine::NominalRuntime(const PlanNode& node) const {
+  double base = options_.default_runtime_s;
+  double per_mb = 0;
+  Result<Transformation> tr =
+      catalog_->GetTransformation(node.transformation);
+  if (tr.ok()) {
+    if (auto v = tr->annotations().GetDouble("sim.runtime_s")) base = *v;
+    if (auto v = tr->annotations().GetDouble("sim.runtime_s_per_mb")) {
+      per_mb = *v;
+    }
+  }
+  return base + per_mb * (static_cast<double>(InputBytes(node)) / kMiB);
+}
+
+int64_t WorkflowEngine::InputBytes(const PlanNode& node) const {
+  int64_t total = 0;
+  for (const std::string& input : node.inputs) {
+    Result<Dataset> ds = catalog_->GetDataset(input);
+    if (ds.ok() && ds->size_bytes > 0) {
+      total += ds->size_bytes;
+    } else {
+      for (const PhysicalLocation& loc : grid_->rls().Lookup(input)) {
+        total += loc.size_bytes;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+int64_t WorkflowEngine::OutputBytes(const PlanNode& node,
+                                    std::string_view output,
+                                    int64_t input_bytes) const {
+  // A declared dataset size wins.
+  Result<Dataset> ds = catalog_->GetDataset(output);
+  if (ds.ok() && ds->size_bytes > 0) return ds->size_bytes;
+  Result<Transformation> tr =
+      catalog_->GetTransformation(node.transformation);
+  if (tr.ok()) {
+    if (auto v = tr->annotations().GetDouble("sim.output_mb")) {
+      return static_cast<int64_t>(*v * kMiB);
+    }
+    if (auto v = tr->annotations().GetDouble("sim.output_ratio")) {
+      if (input_bytes > 0) {
+        return static_cast<int64_t>(*v *
+                                    static_cast<double>(input_bytes));
+      }
+    }
+  }
+  if (input_bytes > 0) return input_bytes;
+  return options_.default_output_bytes;
+}
+
+Result<uint64_t> WorkflowEngine::Submit(const ExecutionPlan& plan,
+                                        CompletionCallback on_done) {
+  auto wf = std::make_unique<WorkflowState>();
+  wf->id = next_workflow_id_++;
+  wf->plan = plan;
+  wf->start_time = grid_->now();
+  wf->on_done = std::move(on_done);
+  wf->result.workflow_id = wf->id;
+  wf->result.start_time = wf->start_time;
+  wf->result.nodes_total = plan.nodes.size();
+
+  wf->nodes.reserve(plan.nodes.size());
+  for (const PlanNode& node : plan.nodes) {
+    NodeState state;
+    state.plan = node;
+    state.pending_deps = node.deps.size();
+    state.execution.derivation = node.derivation.name();
+    state.execution.site = node.site;
+    wf->nodes.push_back(std::move(state));
+  }
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    for (size_t dep : plan.nodes[i].deps) {
+      if (dep >= wf->nodes.size()) {
+        return Status::InvalidArgument("plan node " + std::to_string(i) +
+                                       " has out-of-range dependency");
+      }
+      wf->nodes[dep].dependents.push_back(i);
+    }
+  }
+  wf->remaining = wf->nodes.size();
+
+  WorkflowState* raw = wf.get();
+  workflows_.emplace(raw->id, std::move(wf));
+
+  if (raw->nodes.empty()) {
+    // Pure-fetch or already-local plan.
+    RunFetches(raw);
+  } else {
+    for (size_t i = 0; i < raw->nodes.size(); ++i) {
+      if (raw->nodes[i].pending_deps == 0) StartNode(raw, i);
+    }
+  }
+  return raw->id;
+}
+
+void WorkflowEngine::StartNode(WorkflowState* wf, size_t index) {
+  NodeState& node = wf->nodes[index];
+  node.execution.attempts = 0;
+  node.pending_transfers = node.plan.staging.size();
+  if (node.pending_transfers == 0) {
+    LaunchJob(wf, index);
+    return;
+  }
+  for (const TransferPlan& stage : node.plan.staging) {
+    wf->result.transfers++;
+    wf->result.bytes_staged += stage.bytes;
+    uint64_t wf_id = wf->id;
+    Result<uint64_t> submitted = grid_->SubmitTransfer(
+        stage.from_site, stage.to_site, stage.bytes,
+        [this, wf_id, index](const TransferResult& result) {
+          (void)result;
+          auto it = workflows_.find(wf_id);
+          if (it == workflows_.end()) return;
+          WorkflowState* state = it->second.get();
+          NodeState& n = state->nodes[index];
+          if (n.failed) return;  // a sibling stage already failed
+          if (--n.pending_transfers == 0) LaunchJob(state, index);
+        });
+    if (!submitted.ok()) {
+      VDG_LOG(Warning) << "staging transfer failed to submit: "
+                       << submitted.status().ToString();
+      node.failed = true;
+      ++wf->result.nodes_failed;
+      SkipUnreachable(wf, index);
+      return;
+    }
+  }
+}
+
+void WorkflowEngine::LaunchJob(WorkflowState* wf, size_t index) {
+  NodeState& node = wf->nodes[index];
+  ++node.execution.attempts;
+  double runtime = NominalRuntime(node.plan);
+  uint64_t wf_id = wf->id;
+  Result<uint64_t> submitted = grid_->SubmitJob(
+      node.plan.site, runtime, [this, wf_id, index](const JobResult& job) {
+        auto it = workflows_.find(wf_id);
+        if (it == workflows_.end()) return;
+        FinishNode(it->second.get(), index, job);
+      });
+  if (!submitted.ok()) {
+    VDG_LOG(Warning) << "job submission failed: "
+                     << submitted.status().ToString();
+    node.failed = true;
+    ++wf->result.nodes_failed;
+    SkipUnreachable(wf, index);
+  }
+}
+
+void WorkflowEngine::FinishNode(WorkflowState* wf, size_t index,
+                                const JobResult& job) {
+  NodeState& node = wf->nodes[index];
+  if (!job.succeeded) {
+    if (node.execution.attempts <= options_.max_retries) {
+      LaunchJob(wf, index);  // retry in place
+      return;
+    }
+    node.failed = true;
+    node.execution.succeeded = false;
+    node.execution.start_time = job.start_time;
+    node.execution.end_time = job.end_time;
+    node.execution.host = job.host;
+    ++wf->result.nodes_failed;
+    SkipUnreachable(wf, index);
+    return;
+  }
+
+  node.done = true;
+  node.execution.succeeded = true;
+  node.execution.start_time = job.start_time;
+  node.execution.end_time = job.end_time;
+  node.execution.host = job.host;
+  ++wf->result.nodes_succeeded;
+  --wf->remaining;
+
+  // Materialize outputs at the execution site.
+  int64_t input_bytes = InputBytes(node.plan);
+  for (const std::string& output : node.plan.outputs) {
+    int64_t bytes = OutputBytes(node.plan, output, input_bytes);
+    Status placed = grid_->PlaceFile(node.plan.site, output, bytes);
+    if (!placed.ok() && !placed.IsAlreadyExists()) {
+      VDG_LOG(Warning) << "output placement failed: " << placed.ToString();
+    }
+  }
+  if (options_.record_provenance) RecordProvenance(wf, &node, job);
+
+  for (size_t dependent : node.dependents) {
+    NodeState& next = wf->nodes[dependent];
+    if (next.failed || next.done) continue;
+    if (--next.pending_deps == 0) StartNode(wf, dependent);
+  }
+  MaybeFinishWorkflow(wf);
+}
+
+void WorkflowEngine::SkipUnreachable(WorkflowState* wf, size_t index) {
+  wf->any_failure = true;
+  --wf->remaining;
+  // Everything downstream of a dead node can never run.
+  std::vector<size_t> frontier{index};
+  while (!frontier.empty()) {
+    size_t current = frontier.back();
+    frontier.pop_back();
+    for (size_t dependent : wf->nodes[current].dependents) {
+      NodeState& next = wf->nodes[dependent];
+      if (next.failed || next.done) continue;
+      next.failed = true;
+      ++wf->result.nodes_skipped;
+      --wf->remaining;
+      frontier.push_back(dependent);
+    }
+  }
+  MaybeFinishWorkflow(wf);
+}
+
+void WorkflowEngine::MaybeFinishWorkflow(WorkflowState* wf) {
+  if (wf->remaining > 0) return;
+  if (wf->any_failure) {
+    CompleteWorkflow(wf);
+    return;
+  }
+  RunFetches(wf);
+}
+
+void WorkflowEngine::RunFetches(WorkflowState* wf) {
+  if (wf->plan.fetches.empty()) {
+    CompleteWorkflow(wf);
+    return;
+  }
+  wf->pending_fetches = wf->plan.fetches.size();
+  for (const TransferPlan& fetch : wf->plan.fetches) {
+    wf->result.transfers++;
+    wf->result.bytes_staged += fetch.bytes;
+    uint64_t wf_id = wf->id;
+    std::string dataset = fetch.dataset;
+    std::string to_site = fetch.to_site;
+    int64_t bytes = fetch.bytes;
+    Result<uint64_t> submitted = grid_->SubmitTransfer(
+        fetch.from_site, fetch.to_site, fetch.bytes,
+        [this, wf_id, dataset, to_site, bytes](const TransferResult&) {
+          auto it = workflows_.find(wf_id);
+          if (it == workflows_.end()) return;
+          WorkflowState* state = it->second.get();
+          Status placed = grid_->PlaceFile(to_site, dataset, bytes);
+          if (!placed.ok() && !placed.IsAlreadyExists()) {
+            VDG_LOG(Warning) << "fetch placement failed: "
+                             << placed.ToString();
+          }
+          if (--state->pending_fetches == 0) CompleteWorkflow(state);
+        });
+    if (!submitted.ok()) {
+      wf->any_failure = true;
+      if (--wf->pending_fetches == 0) CompleteWorkflow(wf);
+    }
+  }
+}
+
+void WorkflowEngine::CompleteWorkflow(WorkflowState* wf) {
+  wf->result.succeeded = !wf->any_failure;
+  wf->result.end_time = grid_->now();
+  wf->result.makespan_s = wf->result.end_time - wf->start_time;
+
+  std::vector<NodeExecution> executions;
+  executions.reserve(wf->nodes.size());
+  for (const NodeState& node : wf->nodes) {
+    executions.push_back(node.execution);
+  }
+  finished_executions_.emplace(wf->id, std::move(executions));
+
+  WorkflowResult result = wf->result;
+  CompletionCallback on_done = std::move(wf->on_done);
+  workflows_.erase(wf->id);
+  if (on_done) on_done(result);
+}
+
+void WorkflowEngine::RecordProvenance(WorkflowState* wf, NodeState* node,
+                                      const JobResult& job) {
+  (void)wf;
+  const PlanNode& plan = node->plan;
+  // Synthesized sub-derivations (compound expansion) may not exist in
+  // the catalog yet; define them so invocations have an anchor.
+  if (!catalog_->HasDerivation(plan.derivation.name())) {
+    Status defined = catalog_->DefineDerivation(plan.derivation);
+    if (!defined.ok()) {
+      VDG_LOG(Warning) << "cannot define synthesized derivation "
+                       << plan.derivation.name() << ": "
+                       << defined.ToString();
+      return;
+    }
+  }
+
+  Invocation iv;
+  iv.derivation = plan.derivation.name();
+  iv.context.site = job.site;
+  iv.context.host = job.host;
+  iv.start_time = job.start_time;
+  iv.duration_s = job.end_time - job.start_time;
+  iv.cpu_seconds = job.cpu_seconds;
+  iv.exit_code = 0;
+  iv.succeeded = true;
+
+  // Consumed replicas: the first valid catalog replica of each input.
+  for (const std::string& input : plan.inputs) {
+    std::vector<Replica> replicas = catalog_->ReplicasOf(input);
+    if (!replicas.empty()) iv.consumed_replicas.push_back(replicas[0].id);
+  }
+
+  int64_t input_bytes = InputBytes(plan);
+  for (const std::string& output : plan.outputs) {
+    int64_t bytes = OutputBytes(plan, output, input_bytes);
+    Replica replica;
+    replica.dataset = output;
+    replica.site = job.site;
+    replica.storage_element = "se0";
+    replica.physical_path = "/" + job.site + "/" + output;
+    replica.size_bytes = bytes;
+    replica.created_at = job.end_time;
+    Result<std::string> added = catalog_->AddReplica(std::move(replica));
+    if (added.ok()) {
+      iv.produced_replicas.push_back(*added);
+    } else {
+      VDG_LOG(Warning) << "replica record failed: "
+                       << added.status().ToString();
+    }
+    Result<Dataset> ds = catalog_->GetDataset(output);
+    if (ds.ok() && ds->size_bytes == 0) {
+      Status sized = catalog_->SetDatasetSize(output, bytes);
+      (void)sized;
+    }
+  }
+  Result<std::string> recorded = catalog_->RecordInvocation(std::move(iv));
+  if (!recorded.ok()) {
+    VDG_LOG(Warning) << "invocation record failed: "
+                     << recorded.status().ToString();
+  }
+}
+
+Result<WorkflowResult> WorkflowEngine::Execute(const ExecutionPlan& plan) {
+  WorkflowResult captured;
+  bool finished = false;
+  VDG_ASSIGN_OR_RETURN(uint64_t id,
+                       Submit(plan, [&](const WorkflowResult& result) {
+                         captured = result;
+                         finished = true;
+                       }));
+  (void)id;
+  grid_->RunUntilIdle();
+  if (!finished) {
+    return Status::Internal("workflow did not complete after event drain");
+  }
+  return captured;
+}
+
+Result<std::vector<NodeExecution>> WorkflowEngine::ExecutionsOf(
+    uint64_t workflow_id) const {
+  auto it = finished_executions_.find(workflow_id);
+  if (it == finished_executions_.end()) {
+    return Status::NotFound("no finished workflow with id " +
+                            std::to_string(workflow_id));
+  }
+  return it->second;
+}
+
+}  // namespace vdg

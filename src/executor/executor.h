@@ -1,0 +1,136 @@
+#ifndef VDG_EXECUTOR_EXECUTOR_H_
+#define VDG_EXECUTOR_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "grid/simulator.h"
+#include "planner/plan.h"
+
+namespace vdg {
+
+/// Execution record of one plan node.
+struct NodeExecution {
+  std::string derivation;
+  std::string site;
+  std::string host;
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+  int attempts = 0;
+  bool succeeded = false;
+};
+
+/// Outcome of one workflow run.
+struct WorkflowResult {
+  uint64_t workflow_id = 0;
+  bool succeeded = false;
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+  double makespan_s = 0;
+  size_t nodes_total = 0;
+  size_t nodes_succeeded = 0;
+  size_t nodes_failed = 0;   // nodes that exhausted retries
+  size_t nodes_skipped = 0;  // unreachable after an upstream failure
+  uint64_t transfers = 0;
+  int64_t bytes_staged = 0;
+};
+
+struct ExecutorOptions {
+  /// Extra attempts after the first failure of a node's job.
+  int max_retries = 2;
+  /// Record invocations + output replicas + sizes into the catalog.
+  bool record_provenance = true;
+  /// Default nominal runtime when a transformation carries no
+  /// `sim.runtime_s` annotation.
+  double default_runtime_s = 10.0;
+  /// Default output size when nothing specifies one.
+  int64_t default_output_bytes = 1 << 20;
+};
+
+/// DAGMan-style workflow execution (Section 5.4): dispatches plan
+/// nodes to the simulated grid when their predecessors complete,
+/// stages inputs, retries failures, and writes the resulting
+/// invocation/replica records back into the catalog — turning virtual
+/// data into real data plus provenance.
+///
+/// Runtime model: each transformation's simulated behaviour is
+/// self-described through annotations on the transformation object:
+///   sim.runtime_s        — base nominal runtime (seconds)
+///   sim.runtime_s_per_mb — added per MiB of input
+///   sim.output_mb        — size of each produced output (MiB)
+///   sim.output_ratio     — alternative: output = ratio x input bytes
+class WorkflowEngine {
+ public:
+  using CompletionCallback = std::function<void(const WorkflowResult&)>;
+
+  WorkflowEngine(GridSimulator* grid, VirtualDataCatalog* catalog,
+                 ExecutorOptions options = {})
+      : grid_(grid), catalog_(catalog), options_(options) {}
+
+  /// Enqueues a workflow; `on_done` fires in simulated time when it
+  /// finishes. Multiple workflows may be in flight concurrently.
+  Result<uint64_t> Submit(const ExecutionPlan& plan,
+                          CompletionCallback on_done);
+
+  /// Submit + drive the event loop until everything (including other
+  /// outstanding work) drains; returns this workflow's result.
+  Result<WorkflowResult> Execute(const ExecutionPlan& plan);
+
+  /// Per-node execution records of a finished workflow.
+  Result<std::vector<NodeExecution>> ExecutionsOf(uint64_t workflow_id) const;
+
+  uint64_t workflows_submitted() const { return next_workflow_id_ - 1; }
+
+ private:
+  struct NodeState {
+    PlanNode plan;
+    size_t pending_deps = 0;
+    size_t pending_transfers = 0;
+    std::vector<size_t> dependents;
+    NodeExecution execution;
+    bool done = false;
+    bool failed = false;
+  };
+  struct WorkflowState {
+    uint64_t id = 0;
+    ExecutionPlan plan;
+    std::vector<NodeState> nodes;
+    size_t remaining = 0;  // nodes not yet finished (or skipped)
+    size_t pending_fetches = 0;
+    bool any_failure = false;
+    SimTime start_time = 0;
+    WorkflowResult result;
+    CompletionCallback on_done;
+  };
+
+  void StartNode(WorkflowState* wf, size_t index);
+  void LaunchJob(WorkflowState* wf, size_t index);
+  void FinishNode(WorkflowState* wf, size_t index, const JobResult& job);
+  void SkipUnreachable(WorkflowState* wf, size_t index);
+  void MaybeFinishWorkflow(WorkflowState* wf);
+  void RunFetches(WorkflowState* wf);
+  void CompleteWorkflow(WorkflowState* wf);
+
+  double NominalRuntime(const PlanNode& node) const;
+  int64_t OutputBytes(const PlanNode& node, std::string_view output,
+                      int64_t input_bytes) const;
+  int64_t InputBytes(const PlanNode& node) const;
+  void RecordProvenance(WorkflowState* wf, NodeState* node,
+                        const JobResult& job);
+
+  GridSimulator* grid_;
+  VirtualDataCatalog* catalog_;
+  ExecutorOptions options_;
+  uint64_t next_workflow_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<WorkflowState>> workflows_;
+  std::map<uint64_t, std::vector<NodeExecution>> finished_executions_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_EXECUTOR_EXECUTOR_H_

@@ -1,0 +1,81 @@
+#include "federation/annotation_overlay.h"
+
+#include "common/uri.h"
+
+namespace vdg {
+
+Status AnnotationOverlay::Annotate(std::string_view kind,
+                                   std::string_view ref,
+                                   std::string_view key,
+                                   AttributeValue value) {
+  if (!IsVdpUri(ref)) {
+    return Status::InvalidArgument(
+        "overlay annotations key on fully qualified vdp:// references, "
+        "got: " +
+        std::string(ref));
+  }
+  overlays_[Key(kind, ref)].Set(key, std::move(value));
+  return Status::OK();
+}
+
+Status AnnotationOverlay::Remove(std::string_view kind, std::string_view ref,
+                                 std::string_view key) {
+  auto it = overlays_.find(Key(kind, ref));
+  if (it == overlays_.end() || !it->second.Erase(key)) {
+    return Status::NotFound("no overlay annotation " + std::string(key) +
+                            " on " + std::string(ref));
+  }
+  if (it->second.empty()) overlays_.erase(it);
+  return Status::OK();
+}
+
+AttributeSet AnnotationOverlay::OverlayOf(std::string_view kind,
+                                          std::string_view ref) const {
+  auto it = overlays_.find(Key(kind, ref));
+  return it == overlays_.end() ? AttributeSet() : it->second;
+}
+
+Result<AttributeSet> AnnotationOverlay::EffectiveAnnotations(
+    const CatalogRegistry& registry, std::string_view kind,
+    std::string_view ref) const {
+  AttributeSet base;
+  if (kind == "dataset") {
+    VDG_ASSIGN_OR_RETURN(Dataset ds,
+                         registry.FetchDataset(nullptr, ref));
+    base = ds.annotations;
+  } else if (kind == "transformation") {
+    VDG_ASSIGN_OR_RETURN(Transformation tr,
+                         registry.FetchTransformation(nullptr, ref));
+    base = tr.annotations();
+  } else if (kind == "derivation") {
+    VDG_ASSIGN_OR_RETURN(Derivation dv,
+                         registry.FetchDerivation(nullptr, ref));
+    base = dv.annotations();
+  } else {
+    return Status::InvalidArgument("unknown object kind: " +
+                                   std::string(kind));
+  }
+  for (const auto& [key, value] : OverlayOf(kind, ref)) {
+    base.Set(key, value);  // the personal layer wins
+  }
+  return base;
+}
+
+Result<std::vector<std::string>> AnnotationOverlay::FindAnnotated(
+    const CatalogRegistry& registry, std::string_view kind,
+    const std::vector<AttributePredicate>& conjunction) const {
+  std::vector<std::string> out;
+  std::string prefix = std::string(kind) + "\x1f";
+  for (const auto& [key, overlay] : overlays_) {
+    (void)overlay;
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    std::string ref = key.substr(prefix.size());
+    Result<AttributeSet> effective =
+        EffectiveAnnotations(registry, kind, ref);
+    if (!effective.ok()) continue;  // base object gone: skip
+    if (MatchesAll(*effective, conjunction)) out.push_back(ref);
+  }
+  return out;
+}
+
+}  // namespace vdg

@@ -1,0 +1,68 @@
+#ifndef VDG_FEDERATION_ANNOTATION_OVERLAY_H_
+#define VDG_FEDERATION_ANNOTATION_OVERLAY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "federation/registry.h"
+
+namespace vdg {
+
+/// Section 4.1 lists, among the reasons VDC information is
+/// distributed, "a desire by subgroups or individuals to maintain
+/// independent 'overlay' information that enhances information
+/// maintained by other groups." This class is that overlay: a personal
+/// (or group) layer of annotations keyed by fully qualified object
+/// references, merged over the owning catalog's annotations at read
+/// time — the base object is never modified, and the owner never sees
+/// the overlay.
+class AnnotationOverlay {
+ public:
+  /// `owner` names whose overlay this is (for display/debug only).
+  explicit AnnotationOverlay(std::string owner) : owner_(std::move(owner)) {}
+
+  const std::string& owner() const { return owner_; }
+
+  /// Adds/overwrites one overlay annotation on (kind, vdp-ref).
+  /// `ref` must be a fully qualified vdp:// reference.
+  Status Annotate(std::string_view kind, std::string_view ref,
+                  std::string_view key, AttributeValue value);
+
+  /// Removes one overlay annotation; NotFound when absent.
+  Status Remove(std::string_view kind, std::string_view ref,
+                std::string_view key);
+
+  /// The overlay-only annotations on an object (empty when none).
+  AttributeSet OverlayOf(std::string_view kind, std::string_view ref) const;
+
+  /// The merged view: the owning catalog's annotations with this
+  /// overlay applied on top (overlay wins on key collisions). Resolves
+  /// `ref` through the registry; supports kind "dataset",
+  /// "transformation", and "derivation".
+  Result<AttributeSet> EffectiveAnnotations(
+      const CatalogRegistry& registry, std::string_view kind,
+      std::string_view ref) const;
+
+  /// Objects of `kind` whose *effective* annotations satisfy the
+  /// conjunction — discovery over enhanced metadata. Only objects this
+  /// overlay has touched are considered (the overlay is the personal
+  /// lens, not a full federation scan).
+  Result<std::vector<std::string>> FindAnnotated(
+      const CatalogRegistry& registry, std::string_view kind,
+      const std::vector<AttributePredicate>& conjunction) const;
+
+  size_t size() const { return overlays_.size(); }
+
+ private:
+  static std::string Key(std::string_view kind, std::string_view ref) {
+    return std::string(kind) + "\x1f" + std::string(ref);
+  }
+
+  std::string owner_;
+  std::map<std::string, AttributeSet, std::less<>> overlays_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_FEDERATION_ANNOTATION_OVERLAY_H_

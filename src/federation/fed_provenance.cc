@@ -1,0 +1,58 @@
+#include "federation/fed_provenance.h"
+
+namespace vdg {
+
+Status FederatedProvenance::Build(VirtualDataCatalog* home,
+                                  std::string_view dataset_ref, int depth,
+                                  int max_depth,
+                                  std::set<std::string>* on_path,
+                                  LineageNode* out) const {
+  VDG_ASSIGN_OR_RETURN(ResolvedRef ref, registry_.Resolve(home, dataset_ref));
+  if (ref.remote) ++last_hops_;
+  VirtualDataCatalog* catalog = ref.catalog;
+  if (!catalog->HasDataset(ref.local_name)) {
+    return Status::NotFound("dataset not found: " + ref.local_name + " at " +
+                            catalog->name());
+  }
+  std::string qualified = "vdp://" + catalog->name() + "/" + ref.local_name;
+  if (on_path->count(qualified) != 0) {
+    return Status::FailedPrecondition("provenance cycle through " +
+                                      qualified);
+  }
+  out->dataset = qualified;
+
+  Result<std::string> producer = catalog->ProducerOf(ref.local_name);
+  if (!producer.ok()) return Status::OK();  // raw input
+
+  out->derivation = "vdp://" + catalog->name() + "/" + *producer;
+  VDG_ASSIGN_OR_RETURN(Derivation dv, catalog->GetDerivation(*producer));
+  out->transformation = dv.QualifiedTransformation();
+  out->invocations = catalog->InvocationsOf(*producer);
+
+  if (max_depth != 0 && depth >= max_depth) return Status::OK();
+
+  on_path->insert(qualified);
+  for (const std::string& input : dv.InputDatasets()) {
+    LineageNode child;
+    // Inputs resolve relative to the catalog holding the derivation —
+    // a bare name means "this server", a hyperlink crosses servers.
+    VDG_RETURN_IF_ERROR(
+        Build(catalog, input, depth + 1, max_depth, on_path, &child));
+    out->inputs.push_back(std::move(child));
+  }
+  on_path->erase(qualified);
+  return Status::OK();
+}
+
+Result<LineageNode> FederatedProvenance::Lineage(VirtualDataCatalog* home,
+                                                 std::string_view dataset_ref,
+                                                 int max_depth) const {
+  last_hops_ = 0;
+  LineageNode root;
+  std::set<std::string> on_path;
+  VDG_RETURN_IF_ERROR(
+      Build(home, dataset_ref, 0, max_depth, &on_path, &root));
+  return root;
+}
+
+}  // namespace vdg

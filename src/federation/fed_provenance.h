@@ -1,0 +1,43 @@
+#ifndef VDG_FEDERATION_FED_PROVENANCE_H_
+#define VDG_FEDERATION_FED_PROVENANCE_H_
+
+#include <set>
+#include <string>
+
+#include "federation/registry.h"
+#include "provenance/provenance.h"
+
+namespace vdg {
+
+/// Cross-server provenance (Figure 3): derivation chains that span
+/// catalogs — a personal derivation depending on group data, which in
+/// turn depends on collaboration data. Dataset and transformation
+/// references may be `vdp://` hyperlinks or `authority::name` forms;
+/// traversal hops between catalogs through the registry.
+class FederatedProvenance {
+ public:
+  explicit FederatedProvenance(const CatalogRegistry& registry)
+      : registry_(registry) {}
+
+  /// Upstream lineage of `dataset_ref` starting from `home`. Node
+  /// dataset names are fully qualified vdp:// URIs, so the tree shows
+  /// which server holds each link of the chain.
+  Result<LineageNode> Lineage(VirtualDataCatalog* home,
+                              std::string_view dataset_ref,
+                              int max_depth = 0) const;
+
+  /// Number of catalog-to-catalog hops the last Lineage call made.
+  uint64_t last_hop_count() const { return last_hops_; }
+
+ private:
+  Status Build(VirtualDataCatalog* home, std::string_view dataset_ref,
+               int depth, int max_depth, std::set<std::string>* on_path,
+               LineageNode* out) const;
+
+  const CatalogRegistry& registry_;
+  mutable uint64_t last_hops_ = 0;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_FEDERATION_FED_PROVENANCE_H_

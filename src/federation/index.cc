@@ -1,0 +1,191 @@
+#include "federation/index.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace vdg {
+
+namespace {
+std::string NameKey(std::string_view kind, std::string_view name) {
+  return std::string(kind) + "/" + std::string(name);
+}
+}  // namespace
+
+Status FederatedIndex::AddSource(const VirtualDataCatalog* catalog) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  for (const SourceState& source : sources_) {
+    if (source.catalog == catalog) {
+      return Status::AlreadyExists("catalog already indexed: " +
+                                   catalog->name());
+    }
+  }
+  sources_.push_back(SourceState{catalog, 0});
+  return Status::OK();
+}
+
+Status FederatedIndex::Refresh() {
+  entries_.clear();
+  by_name_.clear();
+  version_sum_ = 0;
+  for (SourceState& source : sources_) {
+    const VirtualDataCatalog& catalog = *source.catalog;
+    for (const std::string& name : catalog.AllDatasetNames()) {
+      VDG_ASSIGN_OR_RETURN(Dataset ds, catalog.GetDataset(name));
+      IndexEntry entry;
+      entry.kind = "dataset";
+      entry.name = name;
+      entry.authority = catalog.name();
+      entry.type = ds.type;
+      entry.materialized = catalog.IsMaterialized(name);
+      entry.annotations = ds.annotations;
+      by_name_.emplace(NameKey(entry.kind, entry.name), entries_.size());
+      entries_.push_back(std::move(entry));
+    }
+    for (const std::string& name : catalog.AllTransformationNames()) {
+      VDG_ASSIGN_OR_RETURN(Transformation tr, catalog.GetTransformation(name));
+      IndexEntry entry;
+      entry.kind = "transformation";
+      entry.name = name;
+      entry.authority = catalog.name();
+      entry.annotations = tr.annotations();
+      by_name_.emplace(NameKey(entry.kind, entry.name), entries_.size());
+      entries_.push_back(std::move(entry));
+    }
+    for (const std::string& name : catalog.AllDerivationNames()) {
+      VDG_ASSIGN_OR_RETURN(Derivation dv, catalog.GetDerivation(name));
+      IndexEntry entry;
+      entry.kind = "derivation";
+      entry.name = name;
+      entry.authority = catalog.name();
+      entry.annotations = dv.annotations();
+      by_name_.emplace(NameKey(entry.kind, entry.name), entries_.size());
+      entries_.push_back(std::move(entry));
+    }
+    source.version_at_refresh = catalog.version();
+    version_sum_ += static_cast<double>(catalog.version());
+  }
+  ++refresh_count_;
+  return Status::OK();
+}
+
+bool FederatedIndex::IsStale() const {
+  if (refresh_count_ == 0) return true;
+  for (const SourceState& source : sources_) {
+    if (source.catalog->version() != source.version_at_refresh) return true;
+  }
+  return false;
+}
+
+std::vector<IndexEntry> FederatedIndex::FindDatasets(
+    const DatasetQuery& query) const {
+  std::vector<IndexEntry> out;
+  for (const IndexEntry& entry : entries_) {
+    if (entry.kind != "dataset") continue;
+    if (!query.name_prefix.empty() &&
+        !StartsWith(entry.name, query.name_prefix)) {
+      continue;
+    }
+    if (query.type) {
+      // Conformance is judged by the owning catalog's type universe.
+      const VirtualDataCatalog* owner = nullptr;
+      for (const SourceState& source : sources_) {
+        if (source.catalog->name() == entry.authority) {
+          owner = source.catalog;
+          break;
+        }
+      }
+      if (owner == nullptr ||
+          !owner->types().Conforms(entry.type, *query.type)) {
+        continue;
+      }
+    }
+    if (!MatchesAll(entry.annotations, query.predicates)) continue;
+    if (query.require_materialized && !entry.materialized) continue;
+    if (query.only_virtual && entry.materialized) continue;
+    out.push_back(entry);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+std::vector<IndexEntry> FederatedIndex::FindTransformations(
+    const TransformationQuery& query) const {
+  std::vector<IndexEntry> out;
+  for (const IndexEntry& entry : entries_) {
+    if (entry.kind != "transformation") continue;
+    if (!query.name_prefix.empty() &&
+        !StartsWith(entry.name, query.name_prefix)) {
+      continue;
+    }
+    if (!MatchesAll(entry.annotations, query.predicates)) continue;
+    // consumes/produces need full signatures; the index defers those
+    // to the owning catalog (one remote call per candidate).
+    if (query.consumes || query.produces) {
+      const VirtualDataCatalog* owner = nullptr;
+      for (const SourceState& source : sources_) {
+        if (source.catalog->name() == entry.authority) {
+          owner = source.catalog;
+          break;
+        }
+      }
+      if (owner == nullptr) continue;
+      TransformationQuery narrowed = query;
+      narrowed.name_prefix = entry.name;
+      if (owner->FindTransformations(narrowed).empty()) continue;
+    }
+    out.push_back(entry);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+std::vector<IndexEntry> FederatedIndex::FindDerivations(
+    const DerivationQuery& query) const {
+  std::vector<IndexEntry> out;
+  for (const IndexEntry& entry : entries_) {
+    if (entry.kind != "derivation") continue;
+    if (!query.name_prefix.empty() &&
+        !StartsWith(entry.name, query.name_prefix)) {
+      continue;
+    }
+    if (!MatchesAll(entry.annotations, query.predicates)) continue;
+    out.push_back(entry);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+std::vector<IndexEntry> FederatedIndex::LookupName(
+    std::string_view kind, std::string_view name) const {
+  std::vector<IndexEntry> out;
+  auto [lo, hi] = by_name_.equal_range(NameKey(kind, name));
+  for (auto it = lo; it != hi; ++it) {
+    out.push_back(entries_[it->second]);
+  }
+  return out;
+}
+
+std::vector<IndexEntry> FederatedIndex::ScanDatasets(
+    const DatasetQuery& query) const {
+  std::vector<IndexEntry> out;
+  for (const SourceState& source : sources_) {
+    const VirtualDataCatalog& catalog = *source.catalog;
+    for (const std::string& name : catalog.FindDatasets(query)) {
+      Result<Dataset> ds = catalog.GetDataset(name);
+      if (!ds.ok()) continue;
+      IndexEntry entry;
+      entry.kind = "dataset";
+      entry.name = name;
+      entry.authority = catalog.name();
+      entry.type = ds->type;
+      entry.materialized = catalog.IsMaterialized(name);
+      entry.annotations = ds->annotations;
+      out.push_back(std::move(entry));
+      if (query.limit != 0 && out.size() >= query.limit) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace vdg

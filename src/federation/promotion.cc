@@ -1,0 +1,90 @@
+#include "federation/promotion.h"
+
+#include "vdl/xml.h"
+
+namespace vdg {
+
+Result<std::string> PromotionPipeline::CanonicalContent(
+    size_t tier, std::string_view transformation) const {
+  if (tier >= tiers_.size()) {
+    return Status::FailedPrecondition("tier index out of range");
+  }
+  VDG_ASSIGN_OR_RETURN(Transformation tr,
+                       tiers_[tier]->GetTransformation(transformation));
+  // Provenance-of-the-copy annotations must not void endorsements made
+  // before promotion, so they are excluded from the signed content.
+  tr.annotations().Erase("vdg.origin");
+  tr.annotations().Erase("vdg.approved_by");
+  return TransformationToXml(tr);
+}
+
+Status PromotionPipeline::Endorse(size_t tier,
+                                  std::string_view transformation,
+                                  const Identity& signer,
+                                  const KeyPair& signer_keys) {
+  VDG_ASSIGN_OR_RETURN(std::string content,
+                       CanonicalContent(tier, transformation));
+  signatures_->Add(SignEntry("transformation", std::string(transformation),
+                             content, required_assertion_, signer,
+                             signer_keys));
+  return Status::OK();
+}
+
+Status PromotionPipeline::PromoteTransformation(
+    size_t from, std::string_view transformation) {
+  if (from + 1 >= tiers_.size()) {
+    return Status::FailedPrecondition(
+        "no tier above " + std::to_string(from) + " to promote into");
+  }
+  VDG_ASSIGN_OR_RETURN(std::string content,
+                       CanonicalContent(from, transformation));
+
+  // Gate: some registered signer must have endorsed exactly this
+  // content with the required assertion, under a trusted chain.
+  std::string approved_by;
+  for (const EntrySignature& entry :
+       signatures_->For("transformation", transformation)) {
+    if (entry.assertion != required_assertion_) continue;
+    auto chain = chains_.find(entry.signer);
+    if (chain == chains_.end()) continue;
+    if (signatures_->VerifyEntry(entry, chain->second, content, *trust_)
+            .ok()) {
+      approved_by = entry.signer;
+      break;
+    }
+  }
+  if (approved_by.empty()) {
+    return Status::PermissionDenied(
+        "transformation " + std::string(transformation) +
+        " carries no verified '" + required_assertion_ +
+        "' endorsement for its current content");
+  }
+
+  VDG_ASSIGN_OR_RETURN(
+      Transformation tr,
+      tiers_[from]->GetTransformation(transformation));
+  tr.annotations().Set("vdg.origin",
+                       "vdp://" + tiers_[from]->name() + "/" +
+                           std::string(transformation));
+  tr.annotations().Set("vdg.approved_by", approved_by);
+  Status defined = tiers_[from + 1]->DefineTransformation(std::move(tr));
+  if (defined.IsAlreadyExists()) {
+    return Status::AlreadyExists(
+        "tier " + tiers_[from + 1]->name() + " already holds " +
+        std::string(transformation));
+  }
+  return defined;
+}
+
+Status PromotionPipeline::PromoteToTop(size_t from,
+                                       std::string_view transformation,
+                                       const Identity& signer,
+                                       const KeyPair& signer_keys) {
+  for (size_t tier = from; tier + 1 < tiers_.size(); ++tier) {
+    VDG_RETURN_IF_ERROR(Endorse(tier, transformation, signer, signer_keys));
+    VDG_RETURN_IF_ERROR(PromoteTransformation(tier, transformation));
+  }
+  return Status::OK();
+}
+
+}  // namespace vdg

@@ -1,0 +1,79 @@
+#ifndef VDG_FEDERATION_PROMOTION_H_
+#define VDG_FEDERATION_PROMOTION_H_
+
+#include <string>
+#include <vector>
+
+#include "federation/registry.h"
+#include "security/signed_entry.h"
+#include "security/trust.h"
+
+namespace vdg {
+
+/// The community curation flow of Sections 4.1–4.2: "data and
+/// knowledge definitions will propagate across, up, and around the web
+/// of each virtual organization's knowledge servers as information is
+/// created, reprocessed, annotated, validated, and approved for
+/// broader use, trust, and distribution."
+///
+/// A PromotionPipeline moves definitions up a chain of catalogs
+/// (personal -> group -> collaboration). Each hop is gated: the object
+/// must carry a *verified* signed assertion (e.g. "approved") from a
+/// signer whose certificate chain anchors at a trusted root. The copy
+/// installed upstream is annotated with its origin and the approving
+/// identity. Endorsements are pinned to the object's canonical
+/// *content* (provenance-of-copy annotations excluded), so an
+/// unchanged definition climbs multiple tiers on one endorsement,
+/// while any edit voids it and demands re-approval.
+class PromotionPipeline {
+ public:
+  /// `tiers` orders the catalogs from least to most authoritative
+  /// (e.g. {personal, group, collaboration}); all borrowed.
+  PromotionPipeline(std::vector<VirtualDataCatalog*> tiers,
+                    const TrustStore* trust, SignatureRegistry* signatures)
+      : tiers_(std::move(tiers)), trust_(trust), signatures_(signatures) {}
+
+  /// The assertion a hop requires, per destination tier index
+  /// (defaults to "approved" everywhere).
+  void set_required_assertion(std::string assertion) {
+    required_assertion_ = std::move(assertion);
+  }
+
+  /// Registers the certificate chain that authenticates `signer`.
+  void RegisterSignerChain(std::string signer,
+                           std::vector<Certificate> chain) {
+    chains_[std::move(signer)] = std::move(chain);
+  }
+
+  /// Records a signed endorsement of a transformation currently
+  /// defined in `tier` (content-pinned: later edits void it).
+  Status Endorse(size_t tier, std::string_view transformation,
+                 const Identity& signer, const KeyPair& signer_keys);
+
+  /// Promotes `transformation` from tier `from` to tier `from + 1`.
+  /// Fails with PermissionDenied when no verified endorsement covers
+  /// the object's current content, and FailedPrecondition when the
+  /// tiers are out of range.
+  Status PromoteTransformation(size_t from, std::string_view transformation);
+
+  /// Convenience: endorse-and-promote through every remaining tier.
+  Status PromoteToTop(size_t from, std::string_view transformation,
+                      const Identity& signer, const KeyPair& signer_keys);
+
+  size_t tier_count() const { return tiers_.size(); }
+
+ private:
+  /// Canonical signable content of a transformation (its wire XML).
+  Result<std::string> CanonicalContent(size_t tier,
+                                       std::string_view transformation) const;
+
+  std::vector<VirtualDataCatalog*> tiers_;
+  const TrustStore* trust_;
+  SignatureRegistry* signatures_;
+  std::string required_assertion_ = "approved";
+  std::map<std::string, std::vector<Certificate>> chains_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_FEDERATION_PROMOTION_H_

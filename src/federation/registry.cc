@@ -1,0 +1,136 @@
+#include "federation/registry.h"
+
+#include "vdl/xml.h"
+#include "vdl/xml_parse.h"
+
+namespace vdg {
+
+Status CatalogRegistry::Register(VirtualDataCatalog* catalog) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("null catalog");
+  }
+  if (catalogs_.count(catalog->name()) != 0) {
+    return Status::AlreadyExists("catalog already registered: " +
+                                 catalog->name());
+  }
+  catalogs_.emplace(catalog->name(), catalog);
+  return Status::OK();
+}
+
+Result<VirtualDataCatalog*> CatalogRegistry::Find(
+    std::string_view authority) const {
+  auto it = catalogs_.find(authority);
+  if (it == catalogs_.end()) {
+    return Status::NotFound("no catalog registered for authority " +
+                            std::string(authority));
+  }
+  return it->second;
+}
+
+bool CatalogRegistry::Has(std::string_view authority) const {
+  return catalogs_.find(authority) != catalogs_.end();
+}
+
+Result<ResolvedRef> CatalogRegistry::Resolve(VirtualDataCatalog* home,
+                                             std::string_view ref) const {
+  ResolvedRef out;
+  if (IsVdpUri(ref)) {
+    VDG_ASSIGN_OR_RETURN(VdpUri uri, ParseVdpUri(ref));
+    VDG_ASSIGN_OR_RETURN(out.catalog, Find(uri.authority));
+    out.local_name = uri.path;
+    out.remote = home == nullptr || out.catalog != home;
+    if (out.remote) ++remote_lookups_;
+    return out;
+  }
+  size_t pos = ref.find("::");
+  if (pos != std::string_view::npos) {
+    std::string_view authority = ref.substr(0, pos);
+    VDG_ASSIGN_OR_RETURN(out.catalog, Find(authority));
+    out.local_name = std::string(ref.substr(pos + 2));
+    out.remote = home == nullptr || out.catalog != home;
+    if (out.remote) ++remote_lookups_;
+    return out;
+  }
+  if (home == nullptr) {
+    return Status::InvalidArgument("bare reference '" + std::string(ref) +
+                                   "' needs a home catalog");
+  }
+  out.catalog = home;
+  out.local_name = std::string(ref);
+  out.remote = false;
+  return out;
+}
+
+Result<Transformation> CatalogRegistry::FetchTransformation(
+    VirtualDataCatalog* home, std::string_view ref) const {
+  VDG_ASSIGN_OR_RETURN(ResolvedRef resolved, Resolve(home, ref));
+  return resolved.catalog->GetTransformation(resolved.local_name);
+}
+
+Result<Derivation> CatalogRegistry::FetchDerivation(
+    VirtualDataCatalog* home, std::string_view ref) const {
+  VDG_ASSIGN_OR_RETURN(ResolvedRef resolved, Resolve(home, ref));
+  return resolved.catalog->GetDerivation(resolved.local_name);
+}
+
+Result<Dataset> CatalogRegistry::FetchDataset(VirtualDataCatalog* home,
+                                              std::string_view ref) const {
+  VDG_ASSIGN_OR_RETURN(ResolvedRef resolved, Resolve(home, ref));
+  return resolved.catalog->GetDataset(resolved.local_name);
+}
+
+Result<std::string> ExportTransformationXml(
+    const VirtualDataCatalog& catalog, std::string_view name) {
+  VDG_ASSIGN_OR_RETURN(Transformation tr, catalog.GetTransformation(name));
+  return TransformationToXml(tr);
+}
+
+Result<std::string> ExportDerivationXml(const VirtualDataCatalog& catalog,
+                                        std::string_view name) {
+  VDG_ASSIGN_OR_RETURN(Derivation dv, catalog.GetDerivation(name));
+  return DerivationToXml(dv);
+}
+
+Status ImportTransformationXml(std::string_view xml,
+                               std::string_view origin,
+                               VirtualDataCatalog* destination) {
+  if (destination == nullptr) {
+    return Status::InvalidArgument("null destination catalog");
+  }
+  VDG_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> node, ParseXml(xml));
+  VDG_ASSIGN_OR_RETURN(Transformation tr, TransformationFromXml(*node));
+  if (!origin.empty()) {
+    tr.annotations().Set("vdg.origin", std::string(origin));
+  }
+  return destination->DefineTransformation(std::move(tr));
+}
+
+Status ImportDerivationXml(std::string_view xml, std::string_view origin,
+                           VirtualDataCatalog* destination) {
+  if (destination == nullptr) {
+    return Status::InvalidArgument("null destination catalog");
+  }
+  VDG_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> node, ParseXml(xml));
+  VDG_ASSIGN_OR_RETURN(Derivation dv, DerivationFromXml(*node));
+  if (!origin.empty()) {
+    dv.annotations().Set("vdg.origin", std::string(origin));
+  }
+  return destination->DefineDerivation(std::move(dv));
+}
+
+Status CatalogRegistry::ImportTransformation(
+    VirtualDataCatalog* home, std::string_view ref,
+    VirtualDataCatalog* destination) const {
+  if (destination == nullptr) {
+    return Status::InvalidArgument("null destination catalog");
+  }
+  VDG_ASSIGN_OR_RETURN(ResolvedRef resolved, Resolve(home, ref));
+  VDG_ASSIGN_OR_RETURN(
+      Transformation tr,
+      resolved.catalog->GetTransformation(resolved.local_name));
+  tr.annotations().Set("vdg.origin", "vdp://" + resolved.catalog->name() +
+                                         "/" + resolved.local_name);
+  return destination->DefineTransformation(std::move(tr));
+}
+
+}  // namespace vdg

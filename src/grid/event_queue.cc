@@ -1,0 +1,36 @@
+#include "grid/event_queue.h"
+
+#include <utility>
+
+namespace vdg {
+
+void EventQueue::ScheduleAt(SimTime at, Callback fn) {
+  if (at < now_) at = now_;  // late scheduling clamps to the present
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::RunUntilEmpty() {
+  while (!queue_.empty()) {
+    // The callback may schedule more events, so pop before invoking.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    ++dispatched_;
+    event.fn();
+  }
+  return now_;
+}
+
+SimTime EventQueue::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    ++dispatched_;
+    event.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace vdg

@@ -1,0 +1,61 @@
+#ifndef VDG_GRID_EVENT_QUEUE_H_
+#define VDG_GRID_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace vdg {
+
+/// Single-threaded discrete-event engine. Events fire in (time,
+/// insertion-order) order, which makes every simulation run fully
+/// deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now).
+  void ScheduleAt(SimTime at, Callback fn);
+  /// Schedules `fn` to run `delay` seconds from now.
+  void ScheduleAfter(SimTime delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains. Returns the final time.
+  SimTime RunUntilEmpty();
+  /// Runs events with time <= `deadline`; clock lands on the deadline
+  /// if the queue drains early. Returns the final time.
+  SimTime RunUntil(SimTime deadline);
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  /// Total events dispatched since construction.
+  uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_GRID_EVENT_QUEUE_H_

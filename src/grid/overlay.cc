@@ -1,0 +1,137 @@
+#include "grid/overlay.h"
+
+#include <algorithm>
+
+namespace vdg {
+
+Status OverlayManager::StoreBase(std::string_view base_object, int64_t bytes,
+                                 SimTime now) {
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("overlay manager has no storage");
+  }
+  if (bases_.find(base_object) != bases_.end()) {
+    return Status::AlreadyExists("base object already managed: " +
+                                 std::string(base_object));
+  }
+  VDG_RETURN_IF_ERROR(storage_->Store(base_object, bytes, now));
+  BaseState state;
+  state.bytes = bytes;
+  bases_.emplace(std::string(base_object), std::move(state));
+  return Status::OK();
+}
+
+Status OverlayManager::CreateOverlay(std::string_view dataset,
+                                     std::string_view base_object,
+                                     int64_t offset, int64_t length) {
+  auto base = bases_.find(base_object);
+  if (base == bases_.end()) {
+    return Status::NotFound("base object not managed: " +
+                            std::string(base_object));
+  }
+  if (overlays_.find(dataset) != overlays_.end()) {
+    return Status::AlreadyExists("overlay already defined: " +
+                                 std::string(dataset));
+  }
+  if (offset < 0 || length <= 0 || offset + length > base->second.bytes) {
+    return Status::InvalidArgument(
+        "overlay range [" + std::to_string(offset) + ", " +
+        std::to_string(offset + length) + ") exceeds base object of " +
+        std::to_string(base->second.bytes) + " bytes");
+  }
+  OverlayMapping mapping;
+  mapping.dataset = std::string(dataset);
+  mapping.base_object = std::string(base_object);
+  mapping.offset = offset;
+  mapping.length = length;
+  overlays_.emplace(mapping.dataset, mapping);
+  base->second.overlays.push_back(mapping.dataset);
+  // Every read of the overlay touches the base's access stats.
+  return Status::OK();
+}
+
+Result<int64_t> OverlayManager::ReleaseOverlay(std::string_view dataset) {
+  auto it = overlays_.find(dataset);
+  if (it == overlays_.end()) {
+    return Status::NotFound("overlay not defined: " + std::string(dataset));
+  }
+  auto base = bases_.find(it->second.base_object);
+  if (base == bases_.end()) {
+    return Status::Internal("overlay references unmanaged base " +
+                            it->second.base_object);
+  }
+  auto& members = base->second.overlays;
+  members.erase(std::remove(members.begin(), members.end(), it->second.dataset),
+                members.end());
+  overlays_.erase(it);
+
+  if (!members.empty()) return int64_t{0};
+
+  // Last overlay gone: garbage-collect the base's bytes.
+  int64_t reclaimed = base->second.bytes;
+  Status removed = storage_->Remove(base->first);
+  if (removed.code() == StatusCode::kFailedPrecondition) {
+    // Pinned independently of the overlay machinery: leave it.
+    bases_.erase(base);
+    return int64_t{0};
+  }
+  VDG_RETURN_IF_ERROR(removed);
+  bases_.erase(base);
+  return reclaimed;
+}
+
+bool OverlayManager::HasOverlay(std::string_view dataset) const {
+  return overlays_.find(dataset) != overlays_.end();
+}
+
+Result<OverlayMapping> OverlayManager::GetOverlay(
+    std::string_view dataset) const {
+  auto it = overlays_.find(dataset);
+  if (it == overlays_.end()) {
+    return Status::NotFound("overlay not defined: " + std::string(dataset));
+  }
+  return it->second;
+}
+
+std::vector<OverlayMapping> OverlayManager::OverlaysOf(
+    std::string_view base_object) const {
+  std::vector<OverlayMapping> out;
+  auto base = bases_.find(base_object);
+  if (base == bases_.end()) return out;
+  for (const std::string& name : base->second.overlays) {
+    auto overlay = overlays_.find(name);
+    if (overlay != overlays_.end()) out.push_back(overlay->second);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OverlayMapping& a, const OverlayMapping& b) {
+              return a.dataset < b.dataset;
+            });
+  return out;
+}
+
+std::vector<OverlayMapping> OverlayManager::OverlaysIntersecting(
+    std::string_view base_object, int64_t offset, int64_t length) const {
+  std::vector<OverlayMapping> out;
+  if (length <= 0) return out;  // an empty range touches nothing
+  for (const OverlayMapping& overlay : OverlaysOf(base_object)) {
+    bool disjoint = overlay.offset + overlay.length <= offset ||
+                    offset + length <= overlay.offset;
+    if (!disjoint) out.push_back(overlay);
+  }
+  return out;
+}
+
+int64_t OverlayManager::BytesSaved() const {
+  int64_t overlay_bytes = 0;
+  for (const auto& [name, overlay] : overlays_) {
+    (void)name;
+    overlay_bytes += overlay.length;
+  }
+  int64_t base_bytes = 0;
+  for (const auto& [name, base] : bases_) {
+    (void)name;
+    base_bytes += base.bytes;
+  }
+  return overlay_bytes - base_bytes;
+}
+
+}  // namespace vdg

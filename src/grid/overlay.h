@@ -1,0 +1,82 @@
+#ifndef VDG_GRID_OVERLAY_H_
+#define VDG_GRID_OVERLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "grid/storage.h"
+
+namespace vdg {
+
+/// One overlaid dataset: a byte range of a base physical object.
+struct OverlayMapping {
+  std::string dataset;      // logical overlay name
+  std::string base_object;  // physical object the bytes live in
+  int64_t offset = 0;
+  int64_t length = 0;
+};
+
+/// Section 8's "virtual datasets" concept, implemented: "multiple
+/// datasets refer to different overlaid subsets of the same physical
+/// storage elements. This raises difficult issues of storage
+/// management and garbage collection."
+///
+/// The manager tracks, per storage element, base physical objects and
+/// the overlay datasets carved out of them. A base object's bytes are
+/// shared — storing N overlays of one base costs one copy — and the
+/// base is garbage-collected from the storage element when its last
+/// overlay is released (unless independently pinned).
+class OverlayManager {
+ public:
+  explicit OverlayManager(StorageElement* storage) : storage_(storage) {}
+
+  /// Stores `base_object` (once) and registers it as overlayable.
+  /// AlreadyExists if the base is already managed.
+  Status StoreBase(std::string_view base_object, int64_t bytes, SimTime now);
+
+  /// Carves an overlay dataset out of a managed base. Validates the
+  /// byte range and name uniqueness. Overlays may overlap each other.
+  Status CreateOverlay(std::string_view dataset,
+                       std::string_view base_object, int64_t offset,
+                       int64_t length);
+
+  /// Releases one overlay. When the base object's last overlay goes,
+  /// the base's bytes are reclaimed from the storage element (GC).
+  /// Returns the number of bytes reclaimed (0 when the base lives on).
+  Result<int64_t> ReleaseOverlay(std::string_view dataset);
+
+  bool HasOverlay(std::string_view dataset) const;
+  Result<OverlayMapping> GetOverlay(std::string_view dataset) const;
+  /// All overlays carved from `base_object`, sorted by dataset name.
+  std::vector<OverlayMapping> OverlaysOf(std::string_view base_object) const;
+
+  /// Overlays of `base_object` whose ranges intersect [offset,
+  /// offset+length) — "which datasets are affected if these bytes are
+  /// corrupted?", the storage-side analogue of provenance invalidation.
+  std::vector<OverlayMapping> OverlaysIntersecting(
+      std::string_view base_object, int64_t offset, int64_t length) const;
+
+  /// Physical bytes shared: sum of overlay lengths minus base sizes —
+  /// how much storage the overlay representation saves vs. full copies.
+  int64_t BytesSaved() const;
+
+  size_t base_count() const { return bases_.size(); }
+  size_t overlay_count() const { return overlays_.size(); }
+
+ private:
+  struct BaseState {
+    int64_t bytes = 0;
+    std::vector<std::string> overlays;  // overlay dataset names
+  };
+
+  StorageElement* storage_;
+  std::map<std::string, BaseState, std::less<>> bases_;
+  std::map<std::string, OverlayMapping, std::less<>> overlays_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_GRID_OVERLAY_H_

@@ -1,0 +1,92 @@
+#include "grid/rls.h"
+
+namespace vdg {
+
+Status ReplicaLocationService::Register(std::string_view logical_name,
+                                        PhysicalLocation location) {
+  auto& locs = locations_[std::string(logical_name)];
+  for (const PhysicalLocation& existing : locs) {
+    if (existing == location) {
+      return Status::AlreadyExists("replica already registered: " +
+                                   std::string(logical_name) + " at " +
+                                   location.site);
+    }
+  }
+  locs.push_back(std::move(location));
+  return Status::OK();
+}
+
+Status ReplicaLocationService::Unregister(std::string_view logical_name,
+                                          std::string_view site,
+                                          std::string_view storage_element) {
+  auto it = locations_.find(logical_name);
+  if (it == locations_.end()) {
+    return Status::NotFound("no replicas registered for " +
+                            std::string(logical_name));
+  }
+  auto& locs = it->second;
+  for (size_t i = 0; i < locs.size(); ++i) {
+    if (locs[i].site == site && locs[i].storage_element == storage_element) {
+      locs.erase(locs.begin() + static_cast<ptrdiff_t>(i));
+      if (locs.empty()) locations_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("replica not registered: " +
+                          std::string(logical_name) + " at " +
+                          std::string(site));
+}
+
+std::vector<PhysicalLocation> ReplicaLocationService::Lookup(
+    std::string_view logical_name) const {
+  auto it = locations_.find(logical_name);
+  if (it == locations_.end()) return {};
+  return it->second;
+}
+
+bool ReplicaLocationService::Exists(std::string_view logical_name) const {
+  return locations_.find(logical_name) != locations_.end();
+}
+
+bool ReplicaLocationService::ExistsAt(std::string_view logical_name,
+                                      std::string_view site) const {
+  auto it = locations_.find(logical_name);
+  if (it == locations_.end()) return false;
+  for (const PhysicalLocation& loc : it->second) {
+    if (loc.site == site) return true;
+  }
+  return false;
+}
+
+Result<PhysicalLocation> ReplicaLocationService::BestSource(
+    std::string_view logical_name, std::string_view destination_site,
+    const GridTopology& topology) const {
+  auto it = locations_.find(logical_name);
+  if (it == locations_.end() || it->second.empty()) {
+    return Status::NotFound("no replicas registered for " +
+                            std::string(logical_name));
+  }
+  const PhysicalLocation* best = nullptr;
+  double best_cost = 0;
+  for (const PhysicalLocation& loc : it->second) {
+    double cost = topology.TransferSeconds(loc.site, destination_site,
+                                           loc.size_bytes);
+    if (best == nullptr || cost < best_cost ||
+        (cost == best_cost && loc.site < best->site)) {
+      best = &loc;
+      best_cost = cost;
+    }
+  }
+  return *best;
+}
+
+size_t ReplicaLocationService::replica_count() const {
+  size_t total = 0;
+  for (const auto& [name, locs] : locations_) {
+    (void)name;
+    total += locs.size();
+  }
+  return total;
+}
+
+}  // namespace vdg

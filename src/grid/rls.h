@@ -1,0 +1,53 @@
+#ifndef VDG_GRID_RLS_H_
+#define VDG_GRID_RLS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "grid/topology.h"
+
+namespace vdg {
+
+/// One physical location of a logical file.
+struct PhysicalLocation {
+  std::string site;
+  std::string storage_element;
+  int64_t size_bytes = 0;
+
+  bool operator==(const PhysicalLocation& other) const {
+    return site == other.site && storage_element == other.storage_element;
+  }
+};
+
+/// Replica Location Service: logical file name -> physical locations.
+/// The Grid substrate the paper assumes (Globus RLS); planners consult
+/// it to decide where data is and what a fetch would cost.
+class ReplicaLocationService {
+ public:
+  Status Register(std::string_view logical_name, PhysicalLocation location);
+  Status Unregister(std::string_view logical_name, std::string_view site,
+                    std::string_view storage_element);
+
+  std::vector<PhysicalLocation> Lookup(std::string_view logical_name) const;
+  bool Exists(std::string_view logical_name) const;
+  bool ExistsAt(std::string_view logical_name, std::string_view site) const;
+
+  /// The location cheapest to fetch from at `destination_site`, judged
+  /// by topology transfer time. NotFound when unreplicated.
+  Result<PhysicalLocation> BestSource(std::string_view logical_name,
+                                      std::string_view destination_site,
+                                      const GridTopology& topology) const;
+
+  size_t logical_count() const { return locations_.size(); }
+  size_t replica_count() const;
+
+ private:
+  std::map<std::string, std::vector<PhysicalLocation>, std::less<>>
+      locations_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_GRID_RLS_H_

@@ -1,0 +1,276 @@
+#include "grid/simulator.h"
+
+#include <algorithm>
+
+namespace vdg {
+
+GridSimulator::GridSimulator(GridTopology topology, uint64_t seed)
+    : topology_(std::move(topology)), rng_(seed) {
+  for (const std::string& site_name : topology_.SiteNames()) {
+    SiteConfig site = *topology_.GetSite(site_name);
+    SiteState state;
+    state.hosts.reserve(site.hosts.size());
+    for (const HostConfig& host : site.hosts) {
+      state.hosts.push_back(HostState{host, 0});
+    }
+    sites_.emplace(site_name, std::move(state));
+
+    if (site.storage.empty()) {
+      // Every site gets at least one (unbounded) storage element.
+      storage_.emplace(
+          std::make_pair(site_name, std::string("se0")),
+          std::make_unique<StorageElement>(site_name, "se0", 0));
+    } else {
+      for (const StorageElementConfig& se : site.storage) {
+        storage_.emplace(std::make_pair(site_name, se.name),
+                         std::make_unique<StorageElement>(
+                             site_name, se.name, se.capacity_bytes));
+      }
+    }
+  }
+}
+
+Status GridSimulator::SetSiteOffline(std::string_view site, bool offline) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return Status::NotFound("unknown site: " + std::string(site));
+  }
+  bool was_offline = it->second.offline;
+  it->second.offline = offline;
+  if (was_offline && !offline) {
+    // Back in service: drain whatever queued while down.
+    TryDispatch(std::string(site));
+  }
+  return Status::OK();
+}
+
+bool GridSimulator::IsSiteOffline(std::string_view site) const {
+  auto it = sites_.find(site);
+  return it != sites_.end() && it->second.offline;
+}
+
+Result<uint64_t> GridSimulator::SubmitJob(std::string_view site,
+                                          double cpu_seconds,
+                                          JobCallback callback) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return Status::NotFound("unknown site: " + std::string(site));
+  }
+  if (it->second.offline) {
+    return Status::Unavailable("site is offline: " + std::string(site));
+  }
+  if (cpu_seconds < 0) {
+    return Status::InvalidArgument("negative job length");
+  }
+  uint64_t id = next_job_id_++;
+  PendingJob job{id, std::string(site), cpu_seconds, now(),
+                 std::move(callback)};
+  pending_jobs_.emplace(id, std::move(job));
+  it->second.queue.push_back(id);
+  it->second.stats.peak_queue_depth = std::max(
+      it->second.stats.peak_queue_depth,
+      static_cast<uint64_t>(it->second.queue.size()));
+  TryDispatch(std::string(site));
+  return id;
+}
+
+void GridSimulator::TryDispatch(const std::string& site) {
+  auto site_it = sites_.find(site);
+  if (site_it == sites_.end()) return;
+  SiteState& state = site_it->second;
+  if (state.offline) return;  // queue holds until the site returns
+
+  while (!state.queue.empty()) {
+    // Fastest free host wins; index breaks ties deterministically.
+    HostState* best = nullptr;
+    size_t best_idx = 0;
+    for (size_t i = 0; i < state.hosts.size(); ++i) {
+      HostState& host = state.hosts[i];
+      if (host.busy_slots >= host.config.slots) continue;
+      if (best == nullptr ||
+          host.config.cpu_factor > best->config.cpu_factor) {
+        best = &host;
+        best_idx = i;
+      }
+    }
+    if (best == nullptr) return;  // all slots busy
+
+    uint64_t job_id = state.queue.front();
+    state.queue.pop_front();
+    auto job_it = pending_jobs_.find(job_id);
+    if (job_it == pending_jobs_.end()) continue;  // cancelled
+    PendingJob job = std::move(job_it->second);
+    pending_jobs_.erase(job_it);
+
+    double runtime = job.cpu_seconds / best->config.cpu_factor;
+    if (runtime_jitter_ > 0) {
+      runtime *= rng_.ClampedNormal(1.0, runtime_jitter_, 0.05);
+    }
+    bool succeeded =
+        job_failure_rate_ <= 0 || !rng_.Chance(job_failure_rate_);
+
+    ++best->busy_slots;
+    SimTime start = now();
+    std::string host_name = best->config.name;
+    // best_idx survives into the closure; the HostState pointer may
+    // not (map rehash cannot happen for std::map, but vector growth
+    // is impossible here since hosts are fixed) — index is safest.
+    events_.ScheduleAfter(
+        runtime, [this, site, best_idx, job = std::move(job), start,
+                  runtime, succeeded, host_name]() {
+          SiteState& s = sites_.find(site)->second;
+          HostState& h = s.hosts[best_idx];
+          --h.busy_slots;
+          if (succeeded) {
+            ++s.stats.jobs_completed;
+          } else {
+            ++s.stats.jobs_failed;
+          }
+          s.stats.busy_slot_seconds += runtime;
+
+          JobResult result;
+          result.job_id = job.id;
+          result.site = site;
+          result.host = host_name;
+          result.submit_time = job.submit_time;
+          result.start_time = start;
+          result.end_time = start + runtime;
+          result.cpu_seconds = job.cpu_seconds;
+          result.succeeded = succeeded;
+          if (job.callback) job.callback(result);
+          TryDispatch(site);
+        });
+  }
+}
+
+Result<uint64_t> GridSimulator::SubmitTransfer(std::string_view from_site,
+                                               std::string_view to_site,
+                                               int64_t bytes,
+                                               TransferCallback callback) {
+  if (!topology_.HasSite(from_site) || !topology_.HasSite(to_site)) {
+    return Status::NotFound("transfer endpoints must be defined sites: " +
+                            std::string(from_site) + " -> " +
+                            std::string(to_site));
+  }
+  if (bytes < 0) return Status::InvalidArgument("negative transfer size");
+
+  uint64_t id = next_transfer_id_++;
+  auto key = std::make_pair(std::string(from_site), std::string(to_site));
+  int& active = active_transfers_[key];
+  ++active;
+  // Concurrent transfers on a site pair share the link: snapshot the
+  // effective bandwidth at start (deterministic approximation of fair
+  // sharing).
+  double bandwidth = topology_.Bandwidth(from_site, to_site) /
+                     static_cast<double>(active);
+  double duration = topology_.Latency(from_site, to_site) +
+                    (bytes > 0 ? static_cast<double>(bytes) / bandwidth : 0);
+
+  TransferResult result;
+  result.transfer_id = id;
+  result.from_site = std::string(from_site);
+  result.to_site = std::string(to_site);
+  result.bytes = bytes;
+  result.start_time = now();
+  result.end_time = now() + duration;
+  result.succeeded = true;
+
+  events_.ScheduleAfter(
+      duration, [this, key, result, callback = std::move(callback)]() {
+        auto it = active_transfers_.find(key);
+        if (it != active_transfers_.end() && --it->second <= 0) {
+          active_transfers_.erase(it);
+        }
+        auto site_it = sites_.find(result.to_site);
+        if (site_it != sites_.end()) {
+          ++site_it->second.stats.transfers_in;
+          site_it->second.stats.bytes_in += result.bytes;
+        }
+        if (callback) callback(result);
+      });
+  return id;
+}
+
+StorageElement* GridSimulator::FindStorage(std::string_view site,
+                                           std::string_view name) {
+  auto it = storage_.find(std::make_pair(std::string(site), std::string(name)));
+  return it == storage_.end() ? nullptr : it->second.get();
+}
+
+StorageElement* GridSimulator::AnyStorageAt(std::string_view site) {
+  for (auto& [key, se] : storage_) {
+    if (key.first == site) return se.get();
+  }
+  return nullptr;
+}
+
+std::vector<StorageElement*> GridSimulator::StorageAt(std::string_view site) {
+  std::vector<StorageElement*> out;
+  for (auto& [key, se] : storage_) {
+    if (key.first == site) out.push_back(se.get());
+  }
+  return out;
+}
+
+Status GridSimulator::PlaceFile(std::string_view site,
+                                std::string_view logical_name, int64_t bytes,
+                                bool pinned) {
+  std::vector<StorageElement*> elements = StorageAt(site);
+  if (elements.empty()) {
+    return Status::NotFound("site has no storage: " + std::string(site));
+  }
+  Status last = Status::ResourceExhausted("no storage element has room");
+  for (StorageElement* se : elements) {
+    if (se->Contains(logical_name)) {
+      return Status::AlreadyExists("file already placed: " +
+                                   std::string(logical_name) + " at " +
+                                   std::string(site));
+    }
+    last = se->Store(logical_name, bytes, now());
+    if (last.ok()) {
+      if (pinned) VDG_RETURN_IF_ERROR(se->SetPinned(logical_name, true));
+      PhysicalLocation loc;
+      loc.site = std::string(site);
+      loc.storage_element = se->name();
+      loc.size_bytes = bytes;
+      return rls_.Register(logical_name, std::move(loc));
+    }
+  }
+  return last;
+}
+
+Status GridSimulator::EvictFile(std::string_view site,
+                                std::string_view logical_name) {
+  for (StorageElement* se : StorageAt(site)) {
+    if (!se->Contains(logical_name)) continue;
+    VDG_RETURN_IF_ERROR(se->Remove(logical_name));
+    return rls_.Unregister(logical_name, site, se->name());
+  }
+  return Status::NotFound("file not stored at " + std::string(site) + ": " +
+                          std::string(logical_name));
+}
+
+Result<SiteStats> GridSimulator::StatsFor(std::string_view site) const {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return Status::NotFound("unknown site: " + std::string(site));
+  }
+  return it->second.stats;
+}
+
+Result<double> GridSimulator::Utilization(std::string_view site) const {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return Status::NotFound("unknown site: " + std::string(site));
+  }
+  if (events_.now() <= 0) return 0.0;
+  double slot_capacity = 0;
+  for (const HostState& host : it->second.hosts) {
+    slot_capacity += host.config.slots;
+  }
+  if (slot_capacity == 0) return 0.0;
+  return it->second.stats.busy_slot_seconds /
+         (slot_capacity * events_.now());
+}
+
+}  // namespace vdg

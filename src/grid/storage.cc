@@ -1,0 +1,105 @@
+#include "grid/storage.h"
+
+#include <algorithm>
+
+namespace vdg {
+
+Status StorageElement::Store(std::string_view logical_name,
+                             int64_t size_bytes, SimTime now) {
+  if (size_bytes < 0) {
+    return Status::InvalidArgument("negative file size for " +
+                                   std::string(logical_name));
+  }
+  if (files_.find(logical_name) != files_.end()) {
+    return Status::AlreadyExists("file already stored: " +
+                                 std::string(logical_name) + " on " + name_);
+  }
+  if (capacity_bytes_ != 0 && used_bytes_ + size_bytes > capacity_bytes_) {
+    return Status::ResourceExhausted(
+        "storage element " + site_ + "/" + name_ + " is full (" +
+        std::to_string(used_bytes_) + "/" + std::to_string(capacity_bytes_) +
+        " bytes, need " + std::to_string(size_bytes) + ")");
+  }
+  StoredFile file;
+  file.logical_name = std::string(logical_name);
+  file.size_bytes = size_bytes;
+  file.stored_at = now;
+  file.last_access = now;
+  files_.emplace(file.logical_name, file);
+  used_bytes_ += size_bytes;
+  return Status::OK();
+}
+
+Status StorageElement::Remove(std::string_view logical_name) {
+  auto it = files_.find(logical_name);
+  if (it == files_.end()) {
+    return Status::NotFound("file not stored: " + std::string(logical_name));
+  }
+  if (it->second.pinned) {
+    return Status::FailedPrecondition("file is pinned: " +
+                                      std::string(logical_name));
+  }
+  used_bytes_ -= it->second.size_bytes;
+  files_.erase(it);
+  return Status::OK();
+}
+
+bool StorageElement::Contains(std::string_view logical_name) const {
+  return files_.find(logical_name) != files_.end();
+}
+
+Status StorageElement::Touch(std::string_view logical_name, SimTime now) {
+  auto it = files_.find(logical_name);
+  if (it == files_.end()) {
+    return Status::NotFound("file not stored: " + std::string(logical_name));
+  }
+  it->second.last_access = now;
+  ++it->second.access_count;
+  return Status::OK();
+}
+
+Status StorageElement::SetPinned(std::string_view logical_name, bool pinned) {
+  auto it = files_.find(logical_name);
+  if (it == files_.end()) {
+    return Status::NotFound("file not stored: " + std::string(logical_name));
+  }
+  it->second.pinned = pinned;
+  return Status::OK();
+}
+
+Result<StoredFile> StorageElement::GetFile(
+    std::string_view logical_name) const {
+  auto it = files_.find(logical_name);
+  if (it == files_.end()) {
+    return Status::NotFound("file not stored: " + std::string(logical_name));
+  }
+  return it->second;
+}
+
+std::vector<StoredFile> StorageElement::Files() const {
+  std::vector<StoredFile> out;
+  out.reserve(files_.size());
+  for (const auto& [name, file] : files_) {
+    (void)name;
+    out.push_back(file);
+  }
+  return out;
+}
+
+std::vector<StoredFile> StorageElement::EvictionCandidates() const {
+  std::vector<StoredFile> out;
+  for (const auto& [name, file] : files_) {
+    (void)name;
+    if (!file.pinned) out.push_back(file);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StoredFile& a, const StoredFile& b) {
+              if (a.last_access != b.last_access) {
+                return a.last_access < b.last_access;
+              }
+              return a.logical_name < b.logical_name;
+            });
+  return out;
+}
+
+}  // namespace vdg

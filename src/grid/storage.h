@@ -1,0 +1,73 @@
+#ifndef VDG_GRID_STORAGE_H_
+#define VDG_GRID_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace vdg {
+
+/// One stored logical file on a storage element, with the access
+/// statistics replication/eviction policies feed on.
+struct StoredFile {
+  std::string logical_name;
+  int64_t size_bytes = 0;
+  SimTime stored_at = 0;
+  SimTime last_access = 0;
+  uint64_t access_count = 0;
+  bool pinned = false;  // pinned files are exempt from eviction
+};
+
+/// A simulated storage element: bounded capacity, named files, access
+/// tracking. Eviction is policy-driven (vdg::replication), not
+/// built-in; Store fails with ResourceExhausted when full.
+class StorageElement {
+ public:
+  StorageElement(std::string site, std::string name, int64_t capacity_bytes)
+      : site_(std::move(site)),
+        name_(std::move(name)),
+        capacity_bytes_(capacity_bytes) {}
+
+  const std::string& site() const { return site_; }
+  const std::string& name() const { return name_; }
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  int64_t used_bytes() const { return used_bytes_; }
+  int64_t free_bytes() const {
+    return capacity_bytes_ == 0 ? INT64_MAX : capacity_bytes_ - used_bytes_;
+  }
+
+  /// Stores a file. AlreadyExists on duplicates, ResourceExhausted
+  /// when the file does not fit.
+  Status Store(std::string_view logical_name, int64_t size_bytes,
+               SimTime now);
+  /// Removes a file; NotFound if absent, FailedPrecondition if pinned.
+  Status Remove(std::string_view logical_name);
+  bool Contains(std::string_view logical_name) const;
+
+  /// Records a read of `logical_name` at `now` (feeds eviction stats).
+  Status Touch(std::string_view logical_name, SimTime now);
+  Status SetPinned(std::string_view logical_name, bool pinned);
+
+  Result<StoredFile> GetFile(std::string_view logical_name) const;
+  std::vector<StoredFile> Files() const;
+  size_t file_count() const { return files_.size(); }
+
+  /// Unpinned files ordered by eviction preference: least-recently
+  /// accessed first (ties broken by name for determinism).
+  std::vector<StoredFile> EvictionCandidates() const;
+
+ private:
+  std::string site_;
+  std::string name_;
+  int64_t capacity_bytes_;
+  int64_t used_bytes_ = 0;
+  std::map<std::string, StoredFile, std::less<>> files_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_GRID_STORAGE_H_

@@ -1,0 +1,112 @@
+#include "grid/topology.h"
+
+#include "common/strings.h"
+
+namespace vdg {
+
+Status GridTopology::AddSite(SiteConfig site) {
+  if (!IsValidIdentifier(site.name)) {
+    return Status::InvalidArgument("invalid site name: " + site.name);
+  }
+  if (sites_.count(site.name) != 0) {
+    return Status::AlreadyExists("site already defined: " + site.name);
+  }
+  for (const HostConfig& host : site.hosts) {
+    if (host.cpu_factor <= 0) {
+      return Status::InvalidArgument("host " + host.name +
+                                     " has non-positive cpu factor");
+    }
+    if (host.slots <= 0) {
+      return Status::InvalidArgument("host " + host.name + " has no slots");
+    }
+  }
+  std::string name = site.name;
+  sites_.emplace(std::move(name), std::move(site));
+  return Status::OK();
+}
+
+Status GridTopology::AddLink(LinkConfig link, bool bidirectional) {
+  if (!HasSite(link.from) || !HasSite(link.to)) {
+    return Status::NotFound("link endpoints must be defined sites: " +
+                            link.from + " -> " + link.to);
+  }
+  if (link.bandwidth_bytes_per_s <= 0) {
+    return Status::InvalidArgument("link " + link.from + "->" + link.to +
+                                   " has non-positive bandwidth");
+  }
+  links_[{link.from, link.to}] = link;
+  if (bidirectional) {
+    LinkConfig reverse = link;
+    std::swap(reverse.from, reverse.to);
+    links_[{reverse.from, reverse.to}] = reverse;
+  }
+  return Status::OK();
+}
+
+bool GridTopology::HasSite(std::string_view name) const {
+  return sites_.find(name) != sites_.end();
+}
+
+Result<SiteConfig> GridTopology::GetSite(std::string_view name) const {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    return Status::NotFound("site not found: " + std::string(name));
+  }
+  return it->second;
+}
+
+std::vector<std::string> GridTopology::SiteNames() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    (void)site;
+    out.push_back(name);
+  }
+  return out;
+}
+
+size_t GridTopology::total_hosts() const {
+  size_t total = 0;
+  for (const auto& [name, site] : sites_) {
+    (void)name;
+    total += site.hosts.size();
+  }
+  return total;
+}
+
+size_t GridTopology::total_slots() const {
+  size_t total = 0;
+  for (const auto& [name, site] : sites_) {
+    (void)name;
+    for (const HostConfig& host : site.hosts) {
+      total += static_cast<size_t>(host.slots);
+    }
+  }
+  return total;
+}
+
+double GridTopology::Bandwidth(std::string_view from,
+                               std::string_view to) const {
+  if (from == to) return kLocalBandwidth;
+  auto it = links_.find({std::string(from), std::string(to)});
+  if (it != links_.end()) return it->second.bandwidth_bytes_per_s;
+  return default_bandwidth_;
+}
+
+double GridTopology::Latency(std::string_view from,
+                             std::string_view to) const {
+  if (from == to) return kLocalLatency;
+  auto it = links_.find({std::string(from), std::string(to)});
+  if (it != links_.end()) return it->second.latency_s;
+  return default_latency_;
+}
+
+double GridTopology::TransferSeconds(std::string_view from,
+                                     std::string_view to,
+                                     int64_t bytes) const {
+  if (bytes <= 0) return Latency(from, to);
+  return Latency(from, to) +
+         static_cast<double>(bytes) / Bandwidth(from, to);
+}
+
+}  // namespace vdg

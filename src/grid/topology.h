@@ -1,0 +1,88 @@
+#ifndef VDG_GRID_TOPOLOGY_H_
+#define VDG_GRID_TOPOLOGY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vdg {
+
+/// One compute host: `cpu_factor` scales nominal job runtimes (2.0 =
+/// twice as fast), `slots` is how many jobs run concurrently.
+struct HostConfig {
+  std::string name;
+  double cpu_factor = 1.0;
+  int slots = 1;
+};
+
+/// One storage element within a site.
+struct StorageElementConfig {
+  std::string name;
+  int64_t capacity_bytes = 0;  // 0 = unbounded
+};
+
+/// A grid site: a named pool of hosts plus storage elements, connected
+/// to other sites by WAN links.
+struct SiteConfig {
+  std::string name;
+  std::vector<HostConfig> hosts;
+  std::vector<StorageElementConfig> storage;
+};
+
+/// A directed network link between two sites.
+struct LinkConfig {
+  std::string from;
+  std::string to;
+  double bandwidth_bytes_per_s = 0;
+  double latency_s = 0;
+};
+
+/// Static description of the simulated grid: sites, hosts, storage,
+/// links. The GriPhyN-like testbed of the paper's SDSS experiment
+/// (4 sites, ~800 hosts) is one preset built on this
+/// (vdg::workload::GriphynTestbed).
+class GridTopology {
+ public:
+  /// Intra-site "transfers" use this fast local path.
+  static constexpr double kLocalBandwidth = 1e9;  // 1 GB/s
+  static constexpr double kLocalLatency = 1e-4;
+
+  Status AddSite(SiteConfig site);
+  /// Adds a link; `bidirectional` also installs the reverse direction.
+  Status AddLink(LinkConfig link, bool bidirectional = true);
+
+  bool HasSite(std::string_view name) const;
+  Result<SiteConfig> GetSite(std::string_view name) const;
+  std::vector<std::string> SiteNames() const;
+  size_t site_count() const { return sites_.size(); }
+  size_t total_hosts() const;
+  size_t total_slots() const;
+
+  /// Effective bandwidth / latency between two sites. Same-site pairs
+  /// use the local path; unlinked pairs fall back to the default WAN
+  /// parameters (configurable).
+  double Bandwidth(std::string_view from, std::string_view to) const;
+  double Latency(std::string_view from, std::string_view to) const;
+
+  /// Estimated seconds to move `bytes` from one site to another.
+  double TransferSeconds(std::string_view from, std::string_view to,
+                         int64_t bytes) const;
+
+  void set_default_wan(double bandwidth_bytes_per_s, double latency_s) {
+    default_bandwidth_ = bandwidth_bytes_per_s;
+    default_latency_ = latency_s;
+  }
+
+ private:
+  std::map<std::string, SiteConfig, std::less<>> sites_;
+  std::map<std::pair<std::string, std::string>, LinkConfig> links_;
+  double default_bandwidth_ = 10e6;  // 10 MB/s WAN default (2003-era)
+  double default_latency_ = 0.05;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_GRID_TOPOLOGY_H_

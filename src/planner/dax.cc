@@ -1,0 +1,191 @@
+#include "planner/dax.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "vdl/xml.h"
+#include "vdl/xml_parse.h"
+
+namespace vdg {
+
+namespace {
+
+std::string JobId(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ID%06zu", index + 1);
+  return buf;
+}
+
+std::string TransferToXml(const char* tag, const TransferPlan& transfer,
+                          int indent) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  return pad + "<" + tag + " file=\"" + XmlEscape(transfer.dataset) +
+         "\" from=\"" + XmlEscape(transfer.from_site) + "\" to=\"" +
+         XmlEscape(transfer.to_site) + "\" bytes=\"" +
+         std::to_string(transfer.bytes) + "\" seconds=\"" +
+         std::to_string(transfer.est_seconds) + "\"/>\n";
+}
+
+Result<TransferPlan> TransferFromXml(const XmlNode& node) {
+  TransferPlan transfer;
+  const std::string* file = node.FindAttribute("file");
+  const std::string* from = node.FindAttribute("from");
+  const std::string* to = node.FindAttribute("to");
+  if (file == nullptr || from == nullptr || to == nullptr) {
+    return Status::ParseError("<" + node.name + "> missing file/from/to");
+  }
+  transfer.dataset = *file;
+  transfer.from_site = *from;
+  transfer.to_site = *to;
+  if (const std::string* bytes = node.FindAttribute("bytes")) {
+    transfer.bytes = std::strtoll(bytes->c_str(), nullptr, 10);
+  }
+  if (const std::string* seconds = node.FindAttribute("seconds")) {
+    transfer.est_seconds = std::strtod(seconds->c_str(), nullptr);
+  }
+  return transfer;
+}
+
+}  // namespace
+
+std::string PlanToDax(const ExecutionPlan& plan) {
+  std::string out = "<?xml version=\"1.0\"?>\n";
+  out += "<adag name=\"materialize-" + XmlEscape(plan.target_dataset) +
+         "\" target=\"" + XmlEscape(plan.target_dataset) + "\" site=\"" +
+         XmlEscape(plan.target_site) + "\" mode=\"" +
+         MaterializationModeToString(plan.mode) + "\" jobCount=\"" +
+         std::to_string(plan.nodes.size()) + "\">\n";
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    out += "  <job id=\"" + JobId(i) + "\" transformation=\"" +
+           XmlEscape(node.transformation) + "\" site=\"" +
+           XmlEscape(node.site) + "\" runtime=\"" +
+           std::to_string(node.est_runtime_s) + "\" pattern=\"" +
+           ShippingPatternToString(node.pattern) + "\">\n";
+    // The exact derivation travels inside the job, so a receiver can
+    // reconstruct the full record, not just the graph skeleton.
+    out += DerivationToXml(node.derivation, 4);
+    for (const std::string& input : node.inputs) {
+      out += "    <uses file=\"" + XmlEscape(input) + "\" link=\"input\"/>\n";
+    }
+    for (const std::string& output : node.outputs) {
+      out +=
+          "    <uses file=\"" + XmlEscape(output) + "\" link=\"output\"/>\n";
+    }
+    for (const TransferPlan& stage : node.staging) {
+      out += TransferToXml("stage-in", stage, 4);
+    }
+    out += "  </job>\n";
+  }
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    if (plan.nodes[i].deps.empty()) continue;
+    out += "  <child ref=\"" + JobId(i) + "\">\n";
+    for (size_t dep : plan.nodes[i].deps) {
+      out += "    <parent ref=\"" + JobId(dep) + "\"/>\n";
+    }
+    out += "  </child>\n";
+  }
+  for (const TransferPlan& fetch : plan.fetches) {
+    out += TransferToXml("stage-out", fetch, 2);
+  }
+  out += "</adag>\n";
+  return out;
+}
+
+Result<ExecutionPlan> PlanFromDax(std::string_view dax) {
+  VDG_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root, ParseXml(dax));
+  if (root->name != "adag") {
+    return Status::ParseError("expected <adag> root, got <" + root->name +
+                              ">");
+  }
+  ExecutionPlan plan;
+  if (const std::string* target = root->FindAttribute("target")) {
+    plan.target_dataset = *target;
+  }
+  if (const std::string* site = root->FindAttribute("site")) {
+    plan.target_site = *site;
+  }
+  if (const std::string* mode = root->FindAttribute("mode")) {
+    if (*mode == "fetch") {
+      plan.mode = MaterializationMode::kFetch;
+    } else if (*mode == "already-local") {
+      plan.mode = MaterializationMode::kAlreadyLocal;
+    } else {
+      plan.mode = MaterializationMode::kRerun;
+    }
+  }
+
+  std::map<std::string, size_t> index_by_id;
+  for (const XmlNode* job : root->Children("job")) {
+    PlanNode node;
+    const std::string* id = job->FindAttribute("id");
+    if (id == nullptr) return Status::ParseError("<job> missing id");
+    if (const std::string* tr = job->FindAttribute("transformation")) {
+      node.transformation = *tr;
+    }
+    if (const std::string* site = job->FindAttribute("site")) {
+      node.site = *site;
+    }
+    if (const std::string* runtime = job->FindAttribute("runtime")) {
+      node.est_runtime_s = std::strtod(runtime->c_str(), nullptr);
+    }
+    const XmlNode* derivation = job->FirstChild("derivation");
+    if (derivation == nullptr) {
+      return Status::ParseError("<job " + *id +
+                                "> carries no <derivation> payload");
+    }
+    VDG_ASSIGN_OR_RETURN(node.derivation, DerivationFromXml(*derivation));
+    for (const XmlNode* uses : job->Children("uses")) {
+      const std::string* file = uses->FindAttribute("file");
+      const std::string* link = uses->FindAttribute("link");
+      if (file == nullptr || link == nullptr) {
+        return Status::ParseError("<uses> missing file/link");
+      }
+      if (*link == "input") {
+        node.inputs.push_back(*file);
+      } else {
+        node.outputs.push_back(*file);
+      }
+    }
+    for (const XmlNode* stage : job->Children("stage-in")) {
+      VDG_ASSIGN_OR_RETURN(TransferPlan transfer, TransferFromXml(*stage));
+      plan.est_transfer_s += transfer.est_seconds;
+      node.staging.push_back(std::move(transfer));
+    }
+    index_by_id.emplace(*id, plan.nodes.size());
+    plan.est_compute_s += node.est_runtime_s;
+    plan.nodes.push_back(std::move(node));
+  }
+  for (const XmlNode* child : root->Children("child")) {
+    const std::string* ref = child->FindAttribute("ref");
+    if (ref == nullptr) return Status::ParseError("<child> missing ref");
+    auto it = index_by_id.find(*ref);
+    if (it == index_by_id.end()) {
+      return Status::ParseError("<child> references unknown job " + *ref);
+    }
+    PlanNode& node = plan.nodes[it->second];
+    for (const XmlNode* parent : child->Children("parent")) {
+      const std::string* parent_ref = parent->FindAttribute("ref");
+      if (parent_ref == nullptr) {
+        return Status::ParseError("<parent> missing ref");
+      }
+      auto parent_it = index_by_id.find(*parent_ref);
+      if (parent_it == index_by_id.end()) {
+        return Status::ParseError("<parent> references unknown job " +
+                                  *parent_ref);
+      }
+      if (parent_it->second >= it->second) {
+        return Status::ParseError("DAX dependency edge is not topological");
+      }
+      node.deps.push_back(parent_it->second);
+    }
+  }
+  for (const XmlNode* fetch : root->Children("stage-out")) {
+    VDG_ASSIGN_OR_RETURN(TransferPlan transfer, TransferFromXml(*fetch));
+    plan.est_transfer_s += transfer.est_seconds;
+    plan.fetches.push_back(std::move(transfer));
+  }
+  return plan;
+}
+
+}  // namespace vdg

@@ -1,0 +1,27 @@
+#ifndef VDG_PLANNER_DAX_H_
+#define VDG_PLANNER_DAX_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "planner/plan.h"
+
+namespace vdg {
+
+/// Renders an execution plan as an abstract-DAG XML document in the
+/// style of Chimera's actual output (the "DAX" consumed by Pegasus /
+/// Condor DAGMan — the paper's derivation machinery, Section 5.4):
+/// one <job> per derivation node with <uses> file declarations
+/// (link="input"/"output"), explicit <child><parent/></child>
+/// dependency edges, and <stage-in>/<stage-out> transfer directives.
+std::string PlanToDax(const ExecutionPlan& plan);
+
+/// Parses a DAX document produced by PlanToDax back into a skeletal
+/// plan (jobs, sites, dependency edges, transfers). Used to hand plans
+/// to out-of-process executors and in round-trip tests. Cost estimates
+/// are not carried on the wire and come back as zero.
+Result<ExecutionPlan> PlanFromDax(std::string_view dax);
+
+}  // namespace vdg
+
+#endif  // VDG_PLANNER_DAX_H_

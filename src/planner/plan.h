@@ -1,0 +1,82 @@
+#ifndef VDG_PLANNER_PLAN_H_
+#define VDG_PLANNER_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/derivation.h"
+
+namespace vdg {
+
+/// The four data/procedure shipping patterns of Section 5.2.
+enum class ShippingPattern {
+  kCollocated,       // 1: procedure already lives with the data
+  kProcedureToData,  // 2: computation moved to the data's site
+  kDataToProcedure,  // 3: data staged to the procedure's site
+  kShipBoth,         // 4: both shipped to a third-party compute site
+};
+
+const char* ShippingPatternToString(ShippingPattern pattern);
+
+/// One planned wide-area data movement.
+struct TransferPlan {
+  std::string dataset;
+  std::string from_site;
+  std::string to_site;
+  int64_t bytes = 0;
+  double est_seconds = 0;
+};
+
+/// One derivation execution in a plan: a simple-transformation
+/// derivation bound to a site, with its input staging and dependency
+/// edges (indices into ExecutionPlan::nodes).
+struct PlanNode {
+  Derivation derivation;
+  std::string transformation;  // bare transformation name
+  std::string site;            // chosen execution site
+  double est_runtime_s = 0;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<TransferPlan> staging;  // materialized inputs to move in
+  std::vector<size_t> deps;           // producer nodes within the plan
+  ShippingPattern pattern = ShippingPattern::kCollocated;
+};
+
+/// How a requested dataset gets materialized at the target site.
+enum class MaterializationMode {
+  kAlreadyLocal,  // a valid replica already sits at the target site
+  kFetch,         // copy an existing remote replica
+  kRerun,         // execute the derivation chain
+};
+
+const char* MaterializationModeToString(MaterializationMode mode);
+
+/// A complete, topologically ordered execution plan for materializing
+/// one virtual data product (the output of "Planning", Figure 5).
+struct ExecutionPlan {
+  std::string target_dataset;
+  std::string target_site;
+  MaterializationMode mode = MaterializationMode::kRerun;
+
+  /// Non-empty only in kFetch mode: the final copy to the target.
+  std::vector<TransferPlan> fetches;
+
+  /// Derivations to execute, producers before consumers.
+  std::vector<PlanNode> nodes;
+
+  /// Cost roll-up (simulated seconds).
+  double est_compute_s = 0;   // sum of node runtimes
+  double est_transfer_s = 0;  // sum of all staging + fetches
+  double est_makespan_s = 0;  // critical-path estimate
+
+  size_t size() const { return nodes.size(); }
+  bool empty() const { return nodes.empty() && fetches.empty(); }
+
+  /// Human-readable summary for logs and the quickstart example.
+  std::string ToString() const;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_PLANNER_PLAN_H_

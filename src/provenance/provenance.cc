@@ -1,0 +1,249 @@
+#include "provenance/provenance.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace vdg {
+
+size_t CountLineageNodes(const LineageNode& node) {
+  size_t total = 1;
+  for (const LineageNode& input : node.inputs) {
+    total += CountLineageNodes(input);
+  }
+  return total;
+}
+
+int LineageDepth(const LineageNode& node) {
+  int deepest = 0;
+  for (const LineageNode& input : node.inputs) {
+    deepest = std::max(deepest, 1 + LineageDepth(input));
+  }
+  return deepest;
+}
+
+namespace {
+
+void RenderLineageInto(const LineageNode& node, int indent,
+                       std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += node.dataset;
+  if (node.derivation.empty()) {
+    *out += "  [raw input]\n";
+  } else {
+    *out += "  <- " + node.derivation + " (" + node.transformation;
+    if (!node.invocations.empty()) {
+      const Invocation& last = node.invocations.back();
+      *out += ", last run at " + last.context.site + "/" +
+              last.context.host + " t=" + std::to_string(last.start_time);
+    } else {
+      *out += ", never executed: virtual";
+    }
+    *out += ")\n";
+  }
+  for (const LineageNode& input : node.inputs) {
+    RenderLineageInto(input, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderLineage(const LineageNode& node) {
+  std::string out;
+  RenderLineageInto(node, 0, &out);
+  return out;
+}
+
+Status ProvenanceTracker::BuildLineage(std::string_view dataset, int depth,
+                                       int max_depth,
+                                       std::set<std::string>* on_path,
+                                       LineageNode* out) const {
+  if (!catalog_.HasDataset(dataset)) {
+    return Status::NotFound("dataset not found: " + std::string(dataset));
+  }
+  if (on_path->count(std::string(dataset)) != 0) {
+    return Status::FailedPrecondition(
+        "provenance cycle detected through dataset " + std::string(dataset));
+  }
+  out->dataset = std::string(dataset);
+
+  Result<std::string> producer = catalog_.ProducerOf(dataset);
+  if (!producer.ok()) return Status::OK();  // raw input: leaf node
+
+  out->derivation = *producer;
+  VDG_ASSIGN_OR_RETURN(Derivation dv, catalog_.GetDerivation(*producer));
+  out->transformation = dv.QualifiedTransformation();
+  out->invocations = catalog_.InvocationsOf(*producer);
+  if (out->invocations.empty()) {
+    // Compound derivations execute through synthesized expansion
+    // children named "<parent>.cK"; surface their invocations here.
+    DerivationQuery children;
+    children.name_prefix = *producer + ".";
+    for (const std::string& child : catalog_.FindDerivations(children)) {
+      for (Invocation& iv : catalog_.InvocationsOf(child)) {
+        out->invocations.push_back(std::move(iv));
+      }
+    }
+  }
+
+  if (max_depth != 0 && depth >= max_depth) return Status::OK();
+
+  on_path->insert(std::string(dataset));
+  for (const std::string& input : dv.InputDatasets()) {
+    LineageNode child;
+    VDG_RETURN_IF_ERROR(
+        BuildLineage(input, depth + 1, max_depth, on_path, &child));
+    out->inputs.push_back(std::move(child));
+  }
+  on_path->erase(std::string(dataset));
+  return Status::OK();
+}
+
+Result<LineageNode> ProvenanceTracker::Lineage(std::string_view dataset,
+                                               int max_depth) const {
+  LineageNode root;
+  std::set<std::string> on_path;
+  VDG_RETURN_IF_ERROR(BuildLineage(dataset, 0, max_depth, &on_path, &root));
+  return root;
+}
+
+Result<std::set<std::string>> ProvenanceTracker::Ancestors(
+    std::string_view dataset) const {
+  if (!catalog_.HasDataset(dataset)) {
+    return Status::NotFound("dataset not found: " + std::string(dataset));
+  }
+  std::set<std::string> seen;
+  std::deque<std::string> frontier{std::string(dataset)};
+  size_t guard = 0;
+  const size_t kGuardLimit = 10'000'000;
+  while (!frontier.empty()) {
+    if (++guard > kGuardLimit) {
+      return Status::FailedPrecondition("ancestor walk exceeds guard limit");
+    }
+    std::string current = std::move(frontier.front());
+    frontier.pop_front();
+    Result<std::string> producer = catalog_.ProducerOf(current);
+    if (!producer.ok()) continue;
+    Result<Derivation> dv = catalog_.GetDerivation(*producer);
+    if (!dv.ok()) continue;
+    for (const std::string& input : dv->InputDatasets()) {
+      if (seen.insert(input).second) frontier.push_back(input);
+    }
+  }
+  return seen;
+}
+
+Result<std::set<std::string>> ProvenanceTracker::Descendants(
+    std::string_view dataset) const {
+  if (!catalog_.HasDataset(dataset)) {
+    return Status::NotFound("dataset not found: " + std::string(dataset));
+  }
+  std::set<std::string> seen;
+  std::deque<std::string> frontier{std::string(dataset)};
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.front());
+    frontier.pop_front();
+    for (const std::string& consumer : catalog_.ConsumersOf(current)) {
+      Result<Derivation> dv = catalog_.GetDerivation(consumer);
+      if (!dv.ok()) continue;
+      for (const std::string& output : dv->OutputDatasets()) {
+        if (output != dataset && seen.insert(output).second) {
+          frontier.push_back(output);
+        }
+      }
+    }
+  }
+  return seen;
+}
+
+Result<std::set<std::string>> ProvenanceTracker::RawSources(
+    std::string_view dataset) const {
+  VDG_ASSIGN_OR_RETURN(std::set<std::string> ancestors, Ancestors(dataset));
+  std::set<std::string> raw;
+  if (ancestors.empty() && !catalog_.ProducerOf(dataset).ok()) {
+    raw.insert(std::string(dataset));  // the dataset itself is raw
+    return raw;
+  }
+  for (const std::string& name : ancestors) {
+    if (!catalog_.ProducerOf(name).ok()) raw.insert(name);
+  }
+  return raw;
+}
+
+Result<std::vector<Invocation>> ProvenanceTracker::AuditTrail(
+    std::string_view dataset) const {
+  VDG_ASSIGN_OR_RETURN(std::set<std::string> ancestors, Ancestors(dataset));
+  ancestors.insert(std::string(dataset));
+  std::vector<Invocation> trail;
+  std::set<std::string> seen_derivations;
+  for (const std::string& name : ancestors) {
+    Result<std::string> producer = catalog_.ProducerOf(name);
+    if (!producer.ok()) continue;
+    if (!seen_derivations.insert(*producer).second) continue;
+    std::vector<Invocation> own = catalog_.InvocationsOf(*producer);
+    if (own.empty()) {
+      // Compound derivations execute via expansion children named
+      // "<parent>.cK"; their invocations are this derivation's trail.
+      DerivationQuery children;
+      children.name_prefix = *producer + ".";
+      for (const std::string& child : catalog_.FindDerivations(children)) {
+        for (Invocation& iv : catalog_.InvocationsOf(child)) {
+          own.push_back(std::move(iv));
+        }
+      }
+    }
+    for (Invocation& iv : own) {
+      trail.push_back(std::move(iv));
+    }
+  }
+  std::sort(trail.begin(), trail.end(),
+            [](const Invocation& a, const Invocation& b) {
+              if (a.start_time != b.start_time) {
+                return a.start_time < b.start_time;
+              }
+              return a.id < b.id;
+            });
+  return trail;
+}
+
+Result<InvalidationReport> ProvenanceTracker::PlanInvalidation(
+    std::string_view dataset) const {
+  VDG_ASSIGN_OR_RETURN(std::set<std::string> affected, Descendants(dataset));
+  InvalidationReport report;
+  report.source_dataset = std::string(dataset);
+  std::set<std::string> derivations;
+  for (const std::string& name : affected) {
+    report.affected_datasets.push_back(name);
+    Result<std::string> producer = catalog_.ProducerOf(name);
+    if (producer.ok()) derivations.insert(*producer);
+    for (const Replica& replica : catalog_.ReplicasOf(name)) {
+      report.invalidated_replicas.push_back(replica.id);
+    }
+  }
+  report.derivations_to_rerun.assign(derivations.begin(), derivations.end());
+  return report;
+}
+
+Result<InvalidationReport> ProvenanceTracker::Invalidate(
+    std::string_view dataset, VirtualDataCatalog* catalog) const {
+  if (catalog == nullptr || catalog != &catalog_) {
+    return Status::InvalidArgument(
+        "Invalidate must be handed the tracker's own catalog");
+  }
+  VDG_ASSIGN_OR_RETURN(InvalidationReport report, PlanInvalidation(dataset));
+  for (const std::string& replica_id : report.invalidated_replicas) {
+    VDG_RETURN_IF_ERROR(catalog->InvalidateReplica(replica_id));
+  }
+  return report;
+}
+
+Result<bool> ProvenanceTracker::FullyMaterialized(
+    std::string_view dataset) const {
+  VDG_ASSIGN_OR_RETURN(std::set<std::string> ancestors, Ancestors(dataset));
+  ancestors.insert(std::string(dataset));
+  for (const std::string& name : ancestors) {
+    if (!catalog_.IsMaterialized(name)) return false;
+  }
+  return true;
+}
+
+}  // namespace vdg

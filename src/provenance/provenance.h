@@ -1,0 +1,94 @@
+#ifndef VDG_PROVENANCE_PROVENANCE_H_
+#define VDG_PROVENANCE_PROVENANCE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace vdg {
+
+/// One node of a lineage tree: a dataset, the derivation that produced
+/// it (empty for raw inputs), and the lineage of each input.
+struct LineageNode {
+  std::string dataset;
+  std::string derivation;      // "" when the dataset is a raw input
+  std::string transformation;  // "" when the dataset is a raw input
+  std::vector<Invocation> invocations;  // executions of the derivation
+  std::vector<LineageNode> inputs;
+};
+
+/// Counts datasets in a lineage tree (including repeats of shared
+/// ancestors, i.e. tree nodes, not unique datasets).
+size_t CountLineageNodes(const LineageNode& node);
+/// Longest derivation chain below `node` (a raw input has depth 0).
+int LineageDepth(const LineageNode& node);
+/// Human-readable indented rendering — the paper's "detailed data
+/// lineage report" for a data point.
+std::string RenderLineage(const LineageNode& node);
+
+/// Result of an invalidation cascade ("I've detected a calibration
+/// error ... which derived data do I need to recompute?").
+struct InvalidationReport {
+  std::string source_dataset;
+  /// Derived datasets downstream of the source, in BFS order.
+  std::vector<std::string> affected_datasets;
+  /// Derivations that must be re-run to repair them.
+  std::vector<std::string> derivations_to_rerun;
+  /// Replica ids that were (or would be) marked invalid.
+  std::vector<std::string> invalidated_replicas;
+};
+
+/// Provenance queries over one Virtual Data Catalog. The tracker holds
+/// a borrowed catalog reference; mutating operations (cascades) take
+/// the catalog non-const.
+class ProvenanceTracker {
+ public:
+  explicit ProvenanceTracker(const VirtualDataCatalog& catalog)
+      : catalog_(catalog) {}
+
+  /// Full upstream lineage of `dataset`. `max_depth` bounds recursion
+  /// (0 = unlimited). Fails on unknown datasets and on cyclic
+  /// producer graphs (which the catalog cannot represent validly).
+  Result<LineageNode> Lineage(std::string_view dataset,
+                              int max_depth = 0) const;
+
+  /// Unique upstream dataset names (excluding `dataset` itself).
+  Result<std::set<std::string>> Ancestors(std::string_view dataset) const;
+  /// Unique downstream dataset names (excluding `dataset` itself).
+  Result<std::set<std::string>> Descendants(std::string_view dataset) const;
+
+  /// Raw (underived) datasets this dataset ultimately depends on.
+  Result<std::set<std::string>> RawSources(std::string_view dataset) const;
+
+  /// Every invocation on the upstream path of `dataset`, oldest first —
+  /// the complete audit trail of how the data came to be.
+  Result<std::vector<Invocation>> AuditTrail(std::string_view dataset) const;
+
+  /// Derivations downstream of `dataset` that would need re-running if
+  /// it were found faulty; pure query, no catalog mutation.
+  Result<InvalidationReport> PlanInvalidation(
+      std::string_view dataset) const;
+
+  /// Executes the cascade: marks every replica of every affected
+  /// dataset invalid in `catalog` (which must be the same catalog this
+  /// tracker reads). Returns the report of what was invalidated.
+  Result<InvalidationReport> Invalidate(std::string_view dataset,
+                                        VirtualDataCatalog* catalog) const;
+
+  /// True when every dataset on the upstream path of `dataset` is
+  /// materialized — i.e. the audit trail is complete with real data.
+  Result<bool> FullyMaterialized(std::string_view dataset) const;
+
+ private:
+  Status BuildLineage(std::string_view dataset, int depth, int max_depth,
+                      std::set<std::string>* on_path,
+                      LineageNode* out) const;
+
+  const VirtualDataCatalog& catalog_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_PROVENANCE_PROVENANCE_H_

@@ -1,0 +1,161 @@
+#include "replication/manager.h"
+
+namespace vdg {
+
+uint64_t& ReplicaManager::AccessCounter(std::string_view site,
+                                        std::string_view file) {
+  std::string key = std::string(site) + "#" + std::string(file);
+  return access_counts_[key];
+}
+
+Status ReplicaManager::RequestFile(
+    std::string_view site, std::string_view file,
+    std::function<void(double latency_s)> on_done) {
+  uint64_t& counter = AccessCounter(site, file);
+  ++counter;
+
+  // Local hit: answer at intra-site latency.
+  if (grid_->rls().ExistsAt(file, site)) {
+    for (StorageElement* se : grid_->StorageAt(site)) {
+      if (se->Contains(file)) {
+        VDG_RETURN_IF_ERROR(se->Touch(file, grid_->now()));
+        break;
+      }
+    }
+    ++stats_.local_hits;
+    double latency = GridTopology::kLocalLatency;
+    stats_.total_latency_s += latency;
+    if (on_done) {
+      grid_->events().ScheduleAfter(latency,
+                                    [on_done, latency]() { on_done(latency); });
+    }
+    return Status::OK();
+  }
+
+  // Remote: fetch from the cheapest source.
+  VDG_ASSIGN_OR_RETURN(PhysicalLocation source,
+                       grid_->rls().BestSource(file, site, grid_->topology()));
+  ++stats_.remote_fetches;
+  stats_.bytes_transferred += source.size_bytes;
+
+  ReplicationEvent event;
+  event.file = std::string(file);
+  event.size_bytes = source.size_bytes;
+  event.requester_site = std::string(site);
+  event.source_site = source.site;
+  event.access_count = counter;
+
+  SimTime start = grid_->now();
+  std::string site_copy(site);
+  VDG_ASSIGN_OR_RETURN(
+      uint64_t id,
+      grid_->SubmitTransfer(
+          source.site, site, source.size_bytes,
+          [this, event, on_done, start](const TransferResult& result) {
+            double latency = result.end_time - start;
+            stats_.total_latency_s += latency;
+            // Apply the policy's placements after the data arrived.
+            for (const std::string& target : policy_->OnAccess(event)) {
+              Status s = Replicate(target, event.file, event.size_bytes,
+                                   event.source_site);
+              (void)s;  // a full site simply declines the replica
+            }
+            if (on_done) on_done(latency);
+          }));
+  (void)id;
+  (void)site_copy;
+  return Status::OK();
+}
+
+Status ReplicaManager::ProduceFile(std::string_view site,
+                                   std::string_view file, int64_t bytes) {
+  VDG_RETURN_IF_ERROR(EnsureSpace(site, bytes));
+  VDG_RETURN_IF_ERROR(grid_->PlaceFile(site, file, bytes, /*pinned=*/true));
+
+  ReplicationEvent event;
+  event.file = std::string(file);
+  event.size_bytes = bytes;
+  event.requester_site = std::string(site);
+  for (const std::string& target : policy_->OnProduce(event)) {
+    Status s = Replicate(target, file, bytes, site);
+    (void)s;  // best-effort push
+  }
+  return Status::OK();
+}
+
+Status ReplicaManager::Replicate(std::string_view site, std::string_view file,
+                                 int64_t bytes,
+                                 std::string_view source_site) {
+  if (grid_->rls().ExistsAt(file, site)) return Status::OK();
+  VDG_RETURN_IF_ERROR(EnsureSpace(site, bytes));
+  VDG_RETURN_IF_ERROR(grid_->PlaceFile(site, file, bytes));
+  ++stats_.replicas_created;
+  stats_.bytes_transferred += bytes;
+  // Account the propagation delay in simulated time (fire-and-forget).
+  VDG_RETURN_IF_ERROR(
+      grid_->SubmitTransfer(source_site, site, bytes, nullptr).status());
+  return Status::OK();
+}
+
+std::vector<ReplicaManager::PrestagingAction>
+ReplicaManager::SuggestPrestaging(uint64_t min_accesses) const {
+  std::vector<PrestagingAction> actions;
+  for (const auto& [key, count] : access_counts_) {
+    if (count < min_accesses) continue;
+    size_t hash_pos = key.find('#');
+    if (hash_pos == std::string::npos) continue;
+    std::string site = key.substr(0, hash_pos);
+    std::string file = key.substr(hash_pos + 1);
+    if (grid_->rls().ExistsAt(file, site)) continue;  // already local
+    Result<PhysicalLocation> source =
+        grid_->rls().BestSource(file, site, grid_->topology());
+    if (!source.ok()) continue;  // file vanished entirely
+    PrestagingAction action;
+    action.file = std::move(file);
+    action.to_site = std::move(site);
+    action.from_site = source->site;
+    action.bytes = source->size_bytes;
+    action.observed_accesses = count;
+    actions.push_back(std::move(action));
+  }
+  return actions;  // map order: sorted by (site, file) key
+}
+
+Status ReplicaManager::ApplyPrestaging(
+    const std::vector<PrestagingAction>& actions) {
+  for (const PrestagingAction& action : actions) {
+    Status s = Replicate(action.to_site, action.file, action.bytes,
+                         action.from_site);
+    if (!s.ok() && s.code() != StatusCode::kResourceExhausted) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status ReplicaManager::EnsureSpace(std::string_view site, int64_t bytes) {
+  std::vector<StorageElement*> elements = grid_->StorageAt(site);
+  if (elements.empty()) {
+    return Status::NotFound("site has no storage: " + std::string(site));
+  }
+  // If any element already has room, done.
+  for (StorageElement* se : elements) {
+    if (se->free_bytes() >= bytes) return Status::OK();
+  }
+  // LRU-evict unpinned files until one element fits the request.
+  for (StorageElement* se : elements) {
+    for (const StoredFile& victim : se->EvictionCandidates()) {
+      if (se->free_bytes() >= bytes) break;
+      VDG_RETURN_IF_ERROR(se->Remove(victim.logical_name));
+      VDG_RETURN_IF_ERROR(grid_->rls().Unregister(victim.logical_name,
+                                                  se->site(), se->name()));
+      ++stats_.evictions;
+    }
+    if (se->free_bytes() >= bytes) return Status::OK();
+  }
+  return Status::ResourceExhausted("cannot free " + std::to_string(bytes) +
+                                   " bytes at " + std::string(site) +
+                                   " (pinned files block eviction)");
+}
+
+}  // namespace vdg

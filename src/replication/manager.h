@@ -1,0 +1,98 @@
+#ifndef VDG_REPLICATION_MANAGER_H_
+#define VDG_REPLICATION_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "grid/simulator.h"
+#include "replication/policy.h"
+
+namespace vdg {
+
+/// Aggregate outcome counters for a replication experiment.
+struct ReplicationStats {
+  uint64_t local_hits = 0;      // requests served from site-local storage
+  uint64_t remote_fetches = 0;  // requests that crossed the WAN
+  int64_t bytes_transferred = 0;
+  uint64_t replicas_created = 0;
+  uint64_t evictions = 0;
+  double total_latency_s = 0;   // sum of per-request response times
+
+  double hit_rate() const {
+    uint64_t total = local_hits + remote_fetches;
+    return total == 0 ? 0 : static_cast<double>(local_hits) /
+                                static_cast<double>(total);
+  }
+  double mean_latency_s() const {
+    uint64_t total = local_hits + remote_fetches;
+    return total == 0 ? 0 : total_latency_s / static_cast<double>(total);
+  }
+};
+
+/// Wires a ReplicationPolicy to the grid simulator: resolves file
+/// requests through the RLS, simulates the WAN transfer when remote,
+/// and carries out the policy's replica placements with LRU eviction
+/// when a destination is full.
+class ReplicaManager {
+ public:
+  ReplicaManager(GridSimulator* grid, std::unique_ptr<ReplicationPolicy> policy)
+      : grid_(grid), policy_(std::move(policy)) {}
+
+  ReplicationPolicy& policy() { return *policy_; }
+  const ReplicationStats& stats() const { return stats_; }
+
+  /// Requests `file` at `site`. Local replicas answer at disk latency;
+  /// otherwise the best remote source is fetched over the simulated
+  /// WAN. `on_done(latency_seconds)` fires in simulated time. Policy
+  /// placements happen after the fetch completes.
+  Status RequestFile(std::string_view site, std::string_view file,
+                     std::function<void(double latency_s)> on_done);
+
+  /// Registers a newly produced `file` at `site` (pinned at the
+  /// producer) and applies the policy's OnProduce placements.
+  Status ProduceFile(std::string_view site, std::string_view file,
+                     int64_t bytes);
+
+  /// Copies `file` to `site` (simulated transfer), evicting LRU files
+  /// if needed. No-op when already present.
+  Status Replicate(std::string_view site, std::string_view file,
+                   int64_t bytes, std::string_view source_site);
+
+  /// One recommended pre-staging movement (Section 5.2: replicate
+  /// popular datasets "on demand and/or via pre-staging").
+  struct PrestagingAction {
+    std::string file;
+    std::string to_site;
+    std::string from_site;
+    int64_t bytes = 0;
+    uint64_t observed_accesses = 0;
+  };
+
+  /// Mines the access history for sites that repeatedly fetched a file
+  /// they still do not hold (>= min_accesses times) and proposes
+  /// replicas, sourced from each site's cheapest current holder.
+  /// Deterministically ordered (by site, then file).
+  std::vector<PrestagingAction> SuggestPrestaging(
+      uint64_t min_accesses) const;
+
+  /// Executes the suggested movements (best effort: full sites with
+  /// only pinned content simply decline). Returns the first hard error.
+  Status ApplyPrestaging(const std::vector<PrestagingAction>& actions);
+
+ private:
+  /// Frees at least `bytes` at `site` by LRU eviction of unpinned
+  /// files. Fails when pinned files block the space.
+  Status EnsureSpace(std::string_view site, int64_t bytes);
+  uint64_t& AccessCounter(std::string_view site, std::string_view file);
+
+  GridSimulator* grid_;
+  std::unique_ptr<ReplicationPolicy> policy_;
+  ReplicationStats stats_;
+  std::map<std::string, uint64_t, std::less<>> access_counts_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_REPLICATION_MANAGER_H_

@@ -1,0 +1,28 @@
+#include "replication/policy.h"
+
+namespace vdg {
+
+std::vector<std::string> CascadingPolicy::OnAccess(
+    const ReplicationEvent& event) {
+  std::vector<std::string> targets;
+  auto parent = parents_.find(event.requester_site);
+  if (parent != parents_.end() && !parent->second.empty() &&
+      parent->second != event.source_site) {
+    targets.push_back(parent->second);
+  }
+  if (event.access_count >= popularity_threshold_) {
+    targets.push_back(event.requester_site);
+  }
+  return targets;
+}
+
+std::vector<std::string> FastSpreadPolicy::OnProduce(
+    const ReplicationEvent& event) {
+  std::vector<std::string> targets;
+  for (const std::string& site : all_sites_) {
+    if (site != event.requester_site) targets.push_back(site);
+  }
+  return targets;
+}
+
+}  // namespace vdg

@@ -1,0 +1,106 @@
+#ifndef VDG_REPLICATION_POLICY_H_
+#define VDG_REPLICATION_POLICY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vdg {
+
+/// Context handed to a replication policy on every file event.
+struct ReplicationEvent {
+  std::string file;
+  int64_t size_bytes = 0;
+  std::string requester_site;  // who needs / produced the file
+  std::string source_site;     // where it was fetched from (access only)
+  uint64_t access_count = 0;   // accesses by requester_site so far
+};
+
+/// Dynamic replication strategy (paper refs [18, 19]): decides, on
+/// each access or production event, which sites should gain a replica.
+/// Eviction is the ReplicaManager's job; policies only nominate sites.
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called after `requester_site` fetched `file` from `source_site`.
+  /// Returns sites that should now store a replica.
+  virtual std::vector<std::string> OnAccess(const ReplicationEvent& event) = 0;
+
+  /// Called when `requester_site` produced `file`. Returns *additional*
+  /// sites to push the new file to (the producer always keeps it).
+  virtual std::vector<std::string> OnProduce(
+      const ReplicationEvent& event) = 0;
+};
+
+/// Never replicates; every remote access pays the WAN. The baseline.
+class NoReplicationPolicy final : public ReplicationPolicy {
+ public:
+  const char* name() const override { return "none"; }
+  std::vector<std::string> OnAccess(const ReplicationEvent&) override {
+    return {};
+  }
+  std::vector<std::string> OnProduce(const ReplicationEvent&) override {
+    return {};
+  }
+};
+
+/// Plain caching: the requester keeps a copy of everything it fetches.
+class CachingPolicy final : public ReplicationPolicy {
+ public:
+  const char* name() const override { return "caching"; }
+  std::vector<std::string> OnAccess(const ReplicationEvent& event) override {
+    return {event.requester_site};
+  }
+  std::vector<std::string> OnProduce(const ReplicationEvent&) override {
+    return {};
+  }
+};
+
+/// Cascading: replicas trickle down a site hierarchy — a fetch places
+/// a copy at the requester's tier-parent, and at the requester itself
+/// once the file proves popular there.
+class CascadingPolicy final : public ReplicationPolicy {
+ public:
+  /// `parents` maps each site to its tier parent ("" / absent = root).
+  /// `popularity_threshold`: accesses at one site before it gets its
+  /// own copy.
+  CascadingPolicy(std::map<std::string, std::string> parents,
+                  uint64_t popularity_threshold = 2)
+      : parents_(std::move(parents)),
+        popularity_threshold_(popularity_threshold) {}
+
+  const char* name() const override { return "cascading"; }
+  std::vector<std::string> OnAccess(const ReplicationEvent& event) override;
+  std::vector<std::string> OnProduce(const ReplicationEvent&) override {
+    return {};
+  }
+
+ private:
+  std::map<std::string, std::string> parents_;
+  uint64_t popularity_threshold_;
+};
+
+/// Fast spread: newly produced files are pushed to every site
+/// immediately — maximum availability, maximum storage burn.
+class FastSpreadPolicy final : public ReplicationPolicy {
+ public:
+  explicit FastSpreadPolicy(std::vector<std::string> all_sites)
+      : all_sites_(std::move(all_sites)) {}
+
+  const char* name() const override { return "fast-spread"; }
+  std::vector<std::string> OnAccess(const ReplicationEvent& event) override {
+    return {event.requester_site};
+  }
+  std::vector<std::string> OnProduce(const ReplicationEvent& event) override;
+
+ private:
+  std::vector<std::string> all_sites_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_REPLICATION_POLICY_H_

@@ -1,0 +1,180 @@
+#include "schema/attribute.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace vdg {
+
+std::optional<double> AttributeValue::AsNumber() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  if (is_double()) return AsDouble();
+  return std::nullopt;
+}
+
+std::string AttributeValue::ToString() const {
+  if (is_string()) return AsString();
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return FormatDouble(AsDouble());
+  return AsBool() ? "true" : "false";
+}
+
+char AttributeValue::TypeTag() const {
+  if (is_string()) return 's';
+  if (is_int()) return 'i';
+  if (is_double()) return 'd';
+  return 'b';
+}
+
+Result<AttributeValue> AttributeValue::FromTagged(char tag,
+                                                  std::string_view text) {
+  switch (tag) {
+    case 's':
+      return AttributeValue(std::string(text));
+    case 'i': {
+      char* end = nullptr;
+      std::string buf(text);
+      int64_t v = std::strtoll(buf.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("bad int attribute: " + buf);
+      }
+      return AttributeValue(v);
+    }
+    case 'd': {
+      char* end = nullptr;
+      std::string buf(text);
+      double v = std::strtod(buf.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("bad double attribute: " + buf);
+      }
+      return AttributeValue(v);
+    }
+    case 'b':
+      if (text == "true") return AttributeValue(true);
+      if (text == "false") return AttributeValue(false);
+      return Status::ParseError("bad bool attribute: " + std::string(text));
+    default:
+      return Status::ParseError(std::string("unknown attribute tag: ") + tag);
+  }
+}
+
+void AttributeSet::Set(std::string_view key, AttributeValue value) {
+  values_.insert_or_assign(std::string(key), std::move(value));
+}
+
+bool AttributeSet::Has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+bool AttributeSet::Erase(std::string_view key) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  values_.erase(it);
+  return true;
+}
+
+const AttributeValue* AttributeSet::Find(std::string_view key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> AttributeSet::GetString(
+    std::string_view key) const {
+  const AttributeValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->AsString();
+}
+
+std::optional<int64_t> AttributeSet::GetInt(std::string_view key) const {
+  const AttributeValue* v = Find(key);
+  if (v == nullptr || !v->is_int()) return std::nullopt;
+  return v->AsInt();
+}
+
+std::optional<double> AttributeSet::GetDouble(std::string_view key) const {
+  const AttributeValue* v = Find(key);
+  if (v == nullptr) return std::nullopt;
+  return v->AsNumber();
+}
+
+std::optional<bool> AttributeSet::GetBool(std::string_view key) const {
+  const AttributeValue* v = Find(key);
+  if (v == nullptr || !v->is_bool()) return std::nullopt;
+  return v->AsBool();
+}
+
+std::string AttributeSet::ToString() const {
+  std::string out;
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) out += ";";
+    first = false;
+    out += key;
+    out += "=";
+    out += value.ToString();
+  }
+  return out;
+}
+
+namespace {
+
+// Three-way comparison usable for both numeric and string operands.
+// Returns nullopt when the kinds are incomparable.
+std::optional<int> Compare(const AttributeValue& lhs,
+                           const AttributeValue& rhs) {
+  auto ln = lhs.AsNumber();
+  auto rn = rhs.AsNumber();
+  if (ln && rn) {
+    if (*ln < *rn) return -1;
+    if (*ln > *rn) return 1;
+    return 0;
+  }
+  if (lhs.is_string() && rhs.is_string()) {
+    return lhs.AsString().compare(rhs.AsString()) < 0
+               ? -1
+               : (lhs.AsString() == rhs.AsString() ? 0 : 1);
+  }
+  if (lhs.is_bool() && rhs.is_bool()) {
+    return static_cast<int>(lhs.AsBool()) - static_cast<int>(rhs.AsBool());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool AttributePredicate::Matches(const AttributeSet& attrs) const {
+  const AttributeValue* actual = attrs.Find(key);
+  if (op == PredicateOp::kExists) return actual != nullptr;
+  if (actual == nullptr) return false;
+  if (op == PredicateOp::kContains) {
+    return actual->ToString().find(operand.ToString()) != std::string::npos;
+  }
+  std::optional<int> cmp = Compare(*actual, operand);
+  if (!cmp) return false;
+  switch (op) {
+    case PredicateOp::kEq:
+      return *cmp == 0;
+    case PredicateOp::kNe:
+      return *cmp != 0;
+    case PredicateOp::kLt:
+      return *cmp < 0;
+    case PredicateOp::kLe:
+      return *cmp <= 0;
+    case PredicateOp::kGt:
+      return *cmp > 0;
+    case PredicateOp::kGe:
+      return *cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+bool MatchesAll(const AttributeSet& attrs,
+                const std::vector<AttributePredicate>& conjunction) {
+  for (const AttributePredicate& p : conjunction) {
+    if (!p.Matches(attrs)) return false;
+  }
+  return true;
+}
+
+}  // namespace vdg

@@ -1,0 +1,98 @@
+#include "schema/dataset.h"
+
+#include "common/strings.h"
+
+namespace vdg {
+
+DatasetDescriptor DatasetDescriptor::File(std::string path) {
+  DatasetDescriptor d;
+  d.schema = "file";
+  d.fields.Set("path", std::move(path));
+  return d;
+}
+
+DatasetDescriptor DatasetDescriptor::FileSet(
+    const std::vector<std::string>& paths) {
+  DatasetDescriptor d;
+  d.schema = "file-set";
+  d.fields.Set("paths", StrJoin(paths, ","));
+  d.fields.Set("count", static_cast<int64_t>(paths.size()));
+  return d;
+}
+
+DatasetDescriptor DatasetDescriptor::FileSlice(std::string path,
+                                               int64_t offset,
+                                               int64_t length) {
+  DatasetDescriptor d;
+  d.schema = "file-slice";
+  d.fields.Set("path", std::move(path));
+  d.fields.Set("offset", offset);
+  d.fields.Set("length", length);
+  return d;
+}
+
+DatasetDescriptor DatasetDescriptor::SqlRows(std::string database,
+                                             std::string table,
+                                             std::string key_lo,
+                                             std::string key_hi) {
+  DatasetDescriptor d;
+  d.schema = "sql-rows";
+  d.fields.Set("database", std::move(database));
+  d.fields.Set("table", std::move(table));
+  d.fields.Set("key_lo", std::move(key_lo));
+  d.fields.Set("key_hi", std::move(key_hi));
+  return d;
+}
+
+DatasetDescriptor DatasetDescriptor::ObjectClosure(std::string store,
+                                                   std::string root_object) {
+  DatasetDescriptor d;
+  d.schema = "object-closure";
+  d.fields.Set("store", std::move(store));
+  d.fields.Set("root", std::move(root_object));
+  return d;
+}
+
+DatasetDescriptor DatasetDescriptor::SpreadsheetRegion(std::string workbook,
+                                                       std::string region) {
+  DatasetDescriptor d;
+  d.schema = "spreadsheet-region";
+  d.fields.Set("workbook", std::move(workbook));
+  d.fields.Set("region", std::move(region));
+  return d;
+}
+
+std::string DatasetDescriptor::ToString() const {
+  std::string out = schema;
+  if (!fields.empty()) {
+    out += "{";
+    out += fields.ToString();
+    out += "}";
+  }
+  return out;
+}
+
+Status Dataset::Validate() const {
+  if (!IsValidIdentifier(name)) {
+    return Status::InvalidArgument("invalid dataset name: " + name);
+  }
+  if (size_bytes < 0) {
+    return Status::InvalidArgument("dataset " + name + " has negative size");
+  }
+  return Status::OK();
+}
+
+Status Replica::Validate() const {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("replica " + id + " names no dataset");
+  }
+  if (site.empty()) {
+    return Status::InvalidArgument("replica " + id + " names no site");
+  }
+  if (size_bytes < 0) {
+    return Status::InvalidArgument("replica " + id + " has negative size");
+  }
+  return Status::OK();
+}
+
+}  // namespace vdg

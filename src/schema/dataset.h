@@ -1,0 +1,81 @@
+#ifndef VDG_SCHEMA_DATASET_H_
+#define VDG_SCHEMA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "schema/attribute.h"
+#include "types/type_system.h"
+
+namespace vdg {
+
+/// A dataset descriptor provides "all information needed to access and
+/// manipulate the dataset's contents" (Section 3.1). The paper leaves
+/// descriptor schemas collaboration-defined, so we model a descriptor
+/// as a schema tag plus schema-specific fields, and provide factory
+/// helpers for the representative container kinds the paper lists.
+struct DatasetDescriptor {
+  std::string schema;   // e.g. "file", "file-slice", "sql-rows"
+  AttributeSet fields;  // schema-specific, e.g. path=, table=, keys=
+
+  /// A single file.
+  static DatasetDescriptor File(std::string path);
+  /// A set of files viewed as one logical entity.
+  static DatasetDescriptor FileSet(const std::vector<std::string>& paths);
+  /// Files with an offset/length slice applied to each.
+  static DatasetDescriptor FileSlice(std::string path, int64_t offset,
+                                     int64_t length);
+  /// Rows extracted by primary key range from a SQL table.
+  static DatasetDescriptor SqlRows(std::string database, std::string table,
+                                   std::string key_lo, std::string key_hi);
+  /// A closure of object references from a persistent object store.
+  static DatasetDescriptor ObjectClosure(std::string store,
+                                         std::string root_object);
+  /// A cell-region segment of a spreadsheet.
+  static DatasetDescriptor SpreadsheetRegion(std::string workbook,
+                                             std::string region);
+
+  std::string ToString() const;
+
+  bool operator==(const DatasetDescriptor& other) const {
+    return schema == other.schema && fields == other.fields;
+  }
+};
+
+/// The unit of data managed within the virtual data model. A dataset
+/// may be *virtual* — defined only by a derivation recipe, with no
+/// physical replica yet — which is the state planners materialize.
+struct Dataset {
+  std::string name;            // logical name; catalog primary key
+  DatasetType type;            // 3-dimensional dataset type
+  DatasetDescriptor descriptor;
+  int64_t size_bytes = 0;      // logical size once known (0 = unknown)
+  std::string producer;        // derivation that produces it ("" = none)
+  AttributeSet annotations;    // user-defined metadata
+
+  /// Required-attribute check: a valid dataset has a non-empty name.
+  Status Validate() const;
+};
+
+/// One physical copy of a dataset (Section 3: replicas exist "to allow
+/// for datasets that may have multiple physical copies with different
+/// properties such as location").
+struct Replica {
+  std::string id;              // catalog-assigned unique id
+  std::string dataset;         // logical dataset name
+  std::string site;            // grid site holding the copy
+  std::string storage_element; // storage element within the site
+  std::string physical_path;   // location within the storage element
+  int64_t size_bytes = 0;
+  SimTime created_at = 0;
+  bool valid = true;           // invalidation flips this off
+  AttributeSet annotations;
+
+  Status Validate() const;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_SCHEMA_DATASET_H_

@@ -1,0 +1,131 @@
+#include "schema/derivation.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace vdg {
+
+std::string ActualArg::ToString() const {
+  std::string out = formal;
+  out += "=";
+  if (string_value) {
+    out += "\"" + *string_value + "\"";
+  } else if (dataset) {
+    out += "@{";
+    out += direction ? ArgDirectionToString(*direction) : "?";
+    out += ":\"" + *dataset + "\"}";
+  }
+  return out;
+}
+
+std::string Derivation::QualifiedTransformation() const {
+  if (tr_ns_.empty()) return transformation_;
+  return tr_ns_ + "::" + transformation_;
+}
+
+Status Derivation::AddArg(ActualArg arg) {
+  if (arg.formal.empty()) {
+    return Status::InvalidArgument("derivation " + name_ +
+                                   " has an unnamed actual argument");
+  }
+  if (arg.string_value.has_value() == arg.dataset.has_value()) {
+    return Status::InvalidArgument(
+        "actual argument " + arg.formal + " of " + name_ +
+        " must carry exactly one of a string value or a dataset binding");
+  }
+  if (FindArg(arg.formal) != nullptr) {
+    return Status::AlreadyExists("derivation " + name_ + " binds formal " +
+                                 arg.formal + " twice");
+  }
+  args_.push_back(std::move(arg));
+  return Status::OK();
+}
+
+const ActualArg* Derivation::FindArg(std::string_view formal) const {
+  for (const ActualArg& arg : args_) {
+    if (arg.formal == formal) return &arg;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Derivation::InputDatasets() const {
+  std::vector<std::string> out;
+  for (const ActualArg& arg : args_) {
+    if (arg.is_dataset() && arg.direction && DirectionReads(*arg.direction)) {
+      out.push_back(*arg.dataset);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Derivation::OutputDatasets() const {
+  std::vector<std::string> out;
+  for (const ActualArg& arg : args_) {
+    if (arg.is_dataset() && arg.direction && DirectionWrites(*arg.direction)) {
+      out.push_back(*arg.dataset);
+    }
+  }
+  return out;
+}
+
+std::string Derivation::SignatureText() const {
+  // Canonical text: transformation, then actual args sorted by formal
+  // name, then env overrides (already sorted by map order). The
+  // derivation's own name is deliberately excluded: two differently
+  // named derivations that request the same computation must collide.
+  std::vector<std::string> parts;
+  parts.reserve(args_.size());
+  for (const ActualArg& arg : args_) {
+    parts.push_back(arg.ToString());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string out = QualifiedTransformation();
+  out += "(";
+  out += StrJoin(parts, ",");
+  out += ")";
+  for (const auto& [key, value] : env_overrides_) {
+    out += ";" + key + "=" + value;
+  }
+  return out;
+}
+
+uint64_t Derivation::Signature() const { return Fnv1a64(SignatureText()); }
+
+Status Derivation::Validate() const {
+  if (!IsValidIdentifier(name_)) {
+    return Status::InvalidArgument("invalid derivation name: " + name_);
+  }
+  if (transformation_.empty()) {
+    return Status::InvalidArgument("derivation " + name_ +
+                                   " names no transformation");
+  }
+  for (const ActualArg& arg : args_) {
+    if (arg.string_value.has_value() == arg.dataset.has_value()) {
+      return Status::InvalidArgument(
+          "actual argument " + arg.formal + " of " + name_ +
+          " must carry exactly one of a string value or a dataset binding");
+    }
+    if (arg.is_dataset() && !arg.direction) {
+      return Status::InvalidArgument("dataset binding " + arg.formal +
+                                     " of " + name_ +
+                                     " is missing a direction");
+    }
+  }
+  return Status::OK();
+}
+
+Status Invocation::Validate() const {
+  if (derivation.empty()) {
+    return Status::InvalidArgument("invocation " + id +
+                                   " names no derivation");
+  }
+  if (duration_s < 0) {
+    return Status::InvalidArgument("invocation " + id +
+                                   " has negative duration");
+  }
+  return Status::OK();
+}
+
+}  // namespace vdg

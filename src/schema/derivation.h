@@ -1,0 +1,144 @@
+#ifndef VDG_SCHEMA_DERIVATION_H_
+#define VDG_SCHEMA_DERIVATION_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/dataset.h"
+#include "schema/transformation.h"
+
+namespace vdg {
+
+/// An actual argument supplied by a derivation: either a by-value
+/// string (for `none` formals) or a logical-dataset binding written
+/// `@{direction:"name"}` in VDL.
+struct ActualArg {
+  std::string formal;  // name of the bound formal argument
+
+  /// Exactly one of the two is set.
+  std::optional<std::string> string_value;
+  std::optional<std::string> dataset;
+
+  /// Direction as written at the call site (dataset bindings only).
+  std::optional<ArgDirection> direction;
+
+  bool is_dataset() const { return dataset.has_value(); }
+
+  static ActualArg String(std::string formal, std::string value) {
+    ActualArg a;
+    a.formal = std::move(formal);
+    a.string_value = std::move(value);
+    return a;
+  }
+  static ActualArg DatasetRef(std::string formal, std::string dataset_name,
+                              ArgDirection dir) {
+    ActualArg a;
+    a.formal = std::move(formal);
+    a.dataset = std::move(dataset_name);
+    a.direction = dir;
+    return a;
+  }
+
+  std::string ToString() const;
+};
+
+/// A derivation specializes a transformation with actual arguments —
+/// simultaneously a historical record of what was done and a recipe
+/// for what can be done (Section 3). Dataset outputs of a derivation
+/// are *virtual* until some invocation materializes them.
+class Derivation {
+ public:
+  Derivation() = default;
+  Derivation(std::string name, std::string transformation)
+      : name_(std::move(name)), transformation_(std::move(transformation)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Namespace qualifier from `DV d1->example1::t1(...)`; may be "".
+  const std::string& transformation_namespace() const { return tr_ns_; }
+  void set_transformation_namespace(std::string ns) { tr_ns_ = std::move(ns); }
+
+  /// Target transformation name (or vdp:// URI for remote TRs).
+  const std::string& transformation() const { return transformation_; }
+  void set_transformation(std::string tr) { transformation_ = std::move(tr); }
+
+  /// "ns::name" when a namespace is present, else the bare name.
+  std::string QualifiedTransformation() const;
+
+  const std::vector<ActualArg>& args() const { return args_; }
+  Status AddArg(ActualArg arg);
+  const ActualArg* FindArg(std::string_view formal) const;
+
+  /// Environment-variable overrides recorded with the derivation.
+  const std::map<std::string, std::string>& env_overrides() const {
+    return env_overrides_;
+  }
+  void SetEnvOverride(std::string name, std::string value) {
+    env_overrides_.insert_or_assign(std::move(name), std::move(value));
+  }
+
+  AttributeSet& annotations() { return annotations_; }
+  const AttributeSet& annotations() const { return annotations_; }
+
+  /// Logical names of datasets this derivation consumes / produces,
+  /// judged by the direction recorded on each actual argument.
+  std::vector<std::string> InputDatasets() const;
+  std::vector<std::string> OutputDatasets() const;
+
+  /// Canonical content signature over (transformation, sorted actual
+  /// arguments, env overrides). Two derivations with equal signatures
+  /// request the same computation — the key to the paper's
+  /// "has this been computed before?" dedup query.
+  uint64_t Signature() const;
+  std::string SignatureText() const;
+
+  /// Structural checks (names, one-value-per-arg).
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::string tr_ns_;
+  std::string transformation_;
+  std::vector<ActualArg> args_;
+  std::map<std::string, std::string> env_overrides_;
+  AttributeSet annotations_;
+};
+
+/// Execution environment details captured by an invocation.
+struct ExecutionContext {
+  std::string site;
+  std::string host;
+  std::string os = "linux";
+  std::string architecture = "x86_64";
+};
+
+/// An invocation specializes a derivation with a specific execution:
+/// when and where it ran, how long it took, which physical replicas it
+/// touched (Section 3). Invocations are the leaves of the provenance
+/// audit trail and feed the cost estimator.
+struct Invocation {
+  std::string id;          // catalog-assigned unique id
+  std::string derivation;  // derivation name
+  ExecutionContext context;
+  SimTime start_time = 0;
+  double duration_s = 0;   // wall time, simulated seconds
+  double cpu_seconds = 0;
+  int64_t peak_memory_bytes = 0;
+  int exit_code = 0;
+  bool succeeded = true;
+  /// Physical replicas consumed / produced, for replica-precise
+  /// provenance in a replicated environment.
+  std::vector<std::string> consumed_replicas;
+  std::vector<std::string> produced_replicas;
+  AttributeSet annotations;
+
+  Status Validate() const;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_SCHEMA_DERIVATION_H_

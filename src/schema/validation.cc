@@ -1,0 +1,173 @@
+#include "schema/validation.h"
+
+#include "common/uri.h"
+
+namespace vdg {
+
+namespace {
+
+// A written direction is acceptable for a formal when it is the same
+// direction, or when the formal is inout and the actual names one leg.
+bool DirectionCompatible(ArgDirection formal, ArgDirection actual) {
+  if (formal == actual) return true;
+  if (formal == ArgDirection::kInOut) {
+    return actual == ArgDirection::kIn || actual == ArgDirection::kOut;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidateDerivationAgainst(const Derivation& derivation,
+                                 const Transformation& transformation,
+                                 const TypeRegistry& registry,
+                                 const DatasetTypeLookup& lookup_type) {
+  VDG_RETURN_IF_ERROR(derivation.Validate());
+  VDG_RETURN_IF_ERROR(transformation.Validate());
+
+  // Every actual must name a formal and match its kind/direction.
+  for (const ActualArg& actual : derivation.args()) {
+    const FormalArg* formal = transformation.FindArg(actual.formal);
+    if (formal == nullptr) {
+      return Status::TypeError("derivation " + derivation.name() +
+                               " binds unknown formal " + actual.formal +
+                               " of " + transformation.name());
+    }
+    if (formal->is_string() != actual.string_value.has_value()) {
+      return Status::TypeError(
+          "derivation " + derivation.name() + " binds formal " +
+          actual.formal + " with a " +
+          (actual.is_dataset() ? "dataset" : "string") + " but " +
+          transformation.name() + " declares it " +
+          ArgDirectionToString(formal->direction));
+    }
+    if (actual.is_dataset()) {
+      if (!DirectionCompatible(formal->direction, *actual.direction)) {
+        return Status::TypeError(
+            "derivation " + derivation.name() + " binds " + actual.formal +
+            " as " + ArgDirectionToString(*actual.direction) + " but " +
+            transformation.name() + " declares it " +
+            ArgDirectionToString(formal->direction));
+      }
+      const DatasetType* ds_type =
+          lookup_type ? lookup_type(*actual.dataset) : nullptr;
+      if (ds_type == nullptr) {
+        // Unknown dataset: fine for outputs (virtual data), an error
+        // for inputs, which must at least be *defined* (they may still
+        // be unmaterialized recipes). vdp:// hyperlinks resolve in a
+        // different catalog, so they pass through here and are checked
+        // by the federation layer.
+        if (IsVdpUri(*actual.dataset)) continue;
+        if (DirectionReads(formal->direction) &&
+            formal->direction != ArgDirection::kInOut) {
+          return Status::TypeError("derivation " + derivation.name() +
+                                   " reads undefined dataset " +
+                                   *actual.dataset);
+        }
+        continue;
+      }
+      if (!registry.ConformsToAny(*ds_type, formal->types)) {
+        std::string want;
+        for (size_t i = 0; i < formal->types.size(); ++i) {
+          if (i > 0) want += "|";
+          want += formal->types[i].ToString();
+        }
+        return Status::TypeError(
+            "dataset " + *actual.dataset + " of type " + ds_type->ToString() +
+            " does not conform to formal " + actual.formal + " : " + want +
+            " of " + transformation.name());
+      }
+    }
+  }
+
+  // Every formal must be bound or defaulted.
+  for (const FormalArg& formal : transformation.args()) {
+    if (derivation.FindArg(formal.name) != nullptr) continue;
+    if (formal.is_string() && formal.default_string) continue;
+    if (!formal.is_string() && formal.default_dataset) continue;
+    return Status::TypeError("derivation " + derivation.name() +
+                             " leaves formal " + formal.name + " of " +
+                             transformation.name() + " unbound");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Resolves one template piece to its concrete text.
+Result<std::string> ResolvePiece(const TemplatePiece& piece,
+                                 const Transformation& tr,
+                                 const Derivation& dv) {
+  if (!piece.is_ref()) return piece.text;
+  const FormalArg* formal = tr.FindArg(piece.text);
+  if (formal == nullptr) {
+    return Status::Internal("template references unknown formal " +
+                            piece.text);
+  }
+  const ActualArg* actual = dv.FindArg(piece.text);
+  if (actual == nullptr) {
+    if (formal->default_string) return *formal->default_string;
+    if (formal->default_dataset) return *formal->default_dataset;
+    return Status::TypeError("formal " + piece.text +
+                             " is unbound and has no default");
+  }
+  if (actual->string_value) return *actual->string_value;
+  return *actual->dataset;
+}
+
+Result<std::string> ResolveExpr(const TemplateExpr& expr,
+                                const Transformation& tr,
+                                const Derivation& dv) {
+  std::string out;
+  for (const TemplatePiece& piece : expr) {
+    VDG_ASSIGN_OR_RETURN(std::string text, ResolvePiece(piece, tr, dv));
+    out += text;
+  }
+  return out;
+}
+
+bool IsStreamName(const std::string& name) {
+  return name == "stdin" || name == "stdout" || name == "stderr";
+}
+
+}  // namespace
+
+Result<ResolvedCommand> ResolveCommand(const Transformation& transformation,
+                                       const Derivation& derivation) {
+  if (transformation.is_compound()) {
+    return Status::InvalidArgument(
+        "ResolveCommand applies to simple transformations; " +
+        transformation.name() + " is compound (expand it first)");
+  }
+  ResolvedCommand cmd;
+  cmd.executable = transformation.executable();
+  if (cmd.executable.empty()) {
+    // Chimera VDL allows `profile hints.pfnHint = "/usr/bin/app1";`.
+    auto it = transformation.profile().find("hints.pfnHint");
+    if (it != transformation.profile().end()) {
+      VDG_ASSIGN_OR_RETURN(cmd.executable,
+                           ResolveExpr(it->second, transformation,
+                                       derivation));
+    }
+  }
+  for (const ArgumentTemplate& t : transformation.argument_templates()) {
+    VDG_ASSIGN_OR_RETURN(std::string value,
+                         ResolveExpr(t.expr, transformation, derivation));
+    if (IsStreamName(t.name)) {
+      cmd.streams[t.name] = value;
+    } else {
+      cmd.argv.push_back(value);
+    }
+  }
+  for (const auto& [name, expr] : transformation.env()) {
+    VDG_ASSIGN_OR_RETURN(std::string value,
+                         ResolveExpr(expr, transformation, derivation));
+    cmd.environment[name] = value;
+  }
+  for (const auto& [name, value] : derivation.env_overrides()) {
+    cmd.environment[name] = value;
+  }
+  return cmd;
+}
+
+}  // namespace vdg

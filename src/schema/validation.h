@@ -1,0 +1,56 @@
+#ifndef VDG_SCHEMA_VALIDATION_H_
+#define VDG_SCHEMA_VALIDATION_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "schema/derivation.h"
+#include "schema/transformation.h"
+#include "types/type_system.h"
+
+namespace vdg {
+
+/// Looks up the declared type of a logical dataset; returns nullptr
+/// when the dataset is not (yet) defined. Supplied by the catalog so
+/// the schema layer stays storage-agnostic.
+using DatasetTypeLookup =
+    std::function<const DatasetType*(std::string_view dataset_name)>;
+
+/// Type-checks `derivation` against `transformation` (Section 3.2's
+/// conformance rule):
+///  - every formal is bound by an actual or has a default;
+///  - every actual names a formal, with matching kind (string/dataset)
+///    and a compatible direction;
+///  - each bound input dataset's type is a proper subtype of the
+///    formal's type list. Output datasets may not exist yet (they are
+///    virtual until derived); when they do exist their type is checked
+///    too.
+Status ValidateDerivationAgainst(const Derivation& derivation,
+                                 const Transformation& transformation,
+                                 const TypeRegistry& registry,
+                                 const DatasetTypeLookup& lookup_type);
+
+/// The fully expanded command for one execution of a simple
+/// transformation under a derivation's actual arguments.
+struct ResolvedCommand {
+  std::string executable;
+  /// Positional argv entries, in template order. Streams excluded.
+  std::vector<std::string> argv;
+  /// stdin/stdout/stderr redirections (dataset names), when templated.
+  std::map<std::string, std::string> streams;
+  /// Fully resolved environment variables (templates + overrides).
+  std::map<std::string, std::string> environment;
+};
+
+/// Expands a simple transformation's argument/env templates with the
+/// derivation's actual values: `${none:x}` becomes the bound string,
+/// `${input:a}`/`${output:a}` become the bound logical dataset name.
+/// Fails on unbound references or when `transformation` is compound.
+Result<ResolvedCommand> ResolveCommand(const Transformation& transformation,
+                                       const Derivation& derivation);
+
+}  // namespace vdg
+
+#endif  // VDG_SCHEMA_VALIDATION_H_

@@ -1,0 +1,81 @@
+#include "security/access.h"
+
+#include "common/strings.h"
+
+namespace vdg {
+
+const char* AccessActionToString(AccessAction action) {
+  switch (action) {
+    case AccessAction::kRead:
+      return "read";
+    case AccessAction::kDefine:
+      return "define";
+    case AccessAction::kAnnotate:
+      return "annotate";
+    case AccessAction::kAdmin:
+      return "admin";
+  }
+  return "?";
+}
+
+void AccessPolicy::AddToGroup(std::string_view principal,
+                              std::string_view group) {
+  groups_.emplace(std::string(principal), std::string(group));
+}
+
+bool AccessPolicy::InGroup(std::string_view principal,
+                           std::string_view group) const {
+  auto [lo, hi] = groups_.equal_range(principal);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == group) return true;
+  }
+  return false;
+}
+
+void AccessPolicy::Grant(std::string_view who, AccessAction action,
+                         std::string_view name_prefix) {
+  rules_.push_back(
+      Rule{std::string(who), action, std::string(name_prefix), false});
+}
+
+void AccessPolicy::Deny(std::string_view who, AccessAction action,
+                        std::string_view name_prefix) {
+  rules_.push_back(
+      Rule{std::string(who), action, std::string(name_prefix), true});
+}
+
+bool AccessPolicy::RuleApplies(const Rule& rule, std::string_view principal,
+                               AccessAction action,
+                               std::string_view object_name) const {
+  if (rule.action != action && rule.action != AccessAction::kAdmin) {
+    return false;
+  }
+  if (!rule.name_prefix.empty() &&
+      !StartsWith(object_name, rule.name_prefix)) {
+    return false;
+  }
+  return rule.who == principal || InGroup(principal, rule.who) ||
+         rule.who == "*";
+}
+
+Status AccessPolicy::Check(std::string_view principal, AccessAction action,
+                           std::string_view object_name) const {
+  if (principal == owner_) return Status::OK();
+  bool granted = false;
+  for (const Rule& rule : rules_) {
+    if (!RuleApplies(rule, principal, action, object_name)) continue;
+    if (rule.deny) {
+      return Status::PermissionDenied(
+          std::string(principal) + " is denied " +
+          AccessActionToString(action) + " on " + std::string(object_name));
+    }
+    granted = true;
+  }
+  if (granted) return Status::OK();
+  return Status::PermissionDenied(std::string(principal) +
+                                  " has no grant for " +
+                                  AccessActionToString(action) + " on " +
+                                  std::string(object_name));
+}
+
+}  // namespace vdg

@@ -1,0 +1,61 @@
+#ifndef VDG_SECURITY_ACCESS_H_
+#define VDG_SECURITY_ACCESS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vdg {
+
+/// Actions a principal may perform against a catalog's objects.
+enum class AccessAction { kRead = 0, kDefine = 1, kAnnotate = 2, kAdmin = 3 };
+
+const char* AccessActionToString(AccessAction action);
+
+/// Community Authorization Service-style policy (the paper cites CAS
+/// [17]): principals belong to groups; rules grant actions to
+/// principals or groups, optionally scoped to an object-name prefix;
+/// explicit denies win over grants; the owner may do anything.
+class AccessPolicy {
+ public:
+  explicit AccessPolicy(std::string owner) : owner_(std::move(owner)) {}
+
+  const std::string& owner() const { return owner_; }
+
+  void AddToGroup(std::string_view principal, std::string_view group);
+  bool InGroup(std::string_view principal, std::string_view group) const;
+
+  /// Grants `action` to `who` (a principal or group name) on objects
+  /// whose name starts with `name_prefix` ("" = all).
+  void Grant(std::string_view who, AccessAction action,
+             std::string_view name_prefix = "");
+  /// Denies override grants.
+  void Deny(std::string_view who, AccessAction action,
+            std::string_view name_prefix = "");
+
+  /// OK when allowed; PermissionDenied otherwise.
+  Status Check(std::string_view principal, AccessAction action,
+               std::string_view object_name) const;
+
+ private:
+  struct Rule {
+    std::string who;
+    AccessAction action;
+    std::string name_prefix;
+    bool deny = false;
+  };
+
+  bool RuleApplies(const Rule& rule, std::string_view principal,
+                   AccessAction action, std::string_view object_name) const;
+
+  std::string owner_;
+  std::multimap<std::string, std::string, std::less<>> groups_;  // principal -> group
+  std::vector<Rule> rules_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_SECURITY_ACCESS_H_

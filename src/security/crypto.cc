@@ -1,0 +1,152 @@
+#include "security/crypto.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace vdg {
+
+namespace {
+
+// Largest 64-bit prime; group is (Z/pZ)* with generator g. The group
+// order p-1 is composite, which the Schnorr verification equation
+// tolerates (it holds identically for any exponent arithmetic mod p-1).
+constexpr uint64_t kP = 18446744073709551557ULL;
+constexpr uint64_t kOrder = kP - 1;
+constexpr uint64_t kG = 5;
+
+uint64_t MulMod(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % kP);
+}
+
+uint64_t PowMod(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  base %= kP;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base);
+    base = MulMod(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+uint64_t MulModOrder(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % kOrder);
+}
+
+// First 8 digest bytes as a big-endian integer.
+uint64_t HashToInt(std::string_view data) {
+  Sha256::Digest d = Sha256::Hash(data);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+  return v;
+}
+
+}  // namespace
+
+KeyPair KeyPair::FromSeed(std::string_view seed) {
+  KeyPair keys;
+  keys.private_key = HashToInt(std::string("vdg-key:") + std::string(seed));
+  if (keys.private_key % kOrder == 0) keys.private_key = 1;  // degenerate
+  keys.private_key %= kOrder;
+  keys.public_key = PowMod(kG, keys.private_key);
+  return keys;
+}
+
+std::string Signature::ToHex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(e),
+                static_cast<unsigned long long>(s));
+  return buf;
+}
+
+Result<Signature> Signature::FromHex(std::string_view hex) {
+  if (hex.size() != 32) {
+    return Status::ParseError("signature hex must be 32 chars");
+  }
+  auto parse16 = [](std::string_view part) -> Result<uint64_t> {
+    uint64_t v = 0;
+    for (char c : part) {
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint64_t>(c - 'A' + 10);
+      } else {
+        return Status::ParseError("bad hex digit in signature");
+      }
+    }
+    return v;
+  };
+  Signature sig;
+  VDG_ASSIGN_OR_RETURN(sig.e, parse16(hex.substr(0, 16)));
+  VDG_ASSIGN_OR_RETURN(sig.s, parse16(hex.substr(16, 16)));
+  return sig;
+}
+
+Signature Sign(const KeyPair& keys, std::string_view message) {
+  // Deterministic nonce: k = H(x || m), never reused across messages.
+  std::string nonce_input = "vdg-nonce:";
+  nonce_input += std::to_string(keys.private_key);
+  nonce_input += ":";
+  nonce_input += message;
+  uint64_t k = HashToInt(nonce_input) % kOrder;
+  if (k == 0) k = 1;
+
+  uint64_t r = PowMod(kG, k);
+  std::string challenge_input = "vdg-chal:";
+  challenge_input += std::to_string(r);
+  challenge_input += ":";
+  challenge_input += message;
+  uint64_t e = HashToInt(challenge_input) % kOrder;
+
+  // s = k - x*e (mod order). kOrder is within 60 of 2^64, so the
+  // naive (k + kOrder - xe) % kOrder form overflows; branch instead.
+  uint64_t xe = MulModOrder(keys.private_key % kOrder, e);
+  uint64_t s = k >= xe ? k - xe : k + (kOrder - xe);
+  return Signature{e, s};
+}
+
+bool Verify(uint64_t public_key, std::string_view message,
+            const Signature& signature) {
+  if (public_key == 0) return false;
+  // r' = g^s * y^e mod p; accept iff H(r' || m) == e.
+  uint64_t rv = MulMod(PowMod(kG, signature.s), PowMod(public_key, signature.e));
+  std::string challenge_input = "vdg-chal:";
+  challenge_input += std::to_string(rv);
+  challenge_input += ":";
+  challenge_input += message;
+  return (HashToInt(challenge_input) % kOrder) == signature.e;
+}
+
+std::string PublicKeyToHex(uint64_t public_key) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(public_key));
+  return buf;
+}
+
+Result<uint64_t> PublicKeyFromHex(std::string_view hex) {
+  if (hex.size() != 16) {
+    return Status::ParseError("public key hex must be 16 chars");
+  }
+  uint64_t v = 0;
+  for (char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::ParseError("bad hex digit in public key");
+    }
+  }
+  return v;
+}
+
+}  // namespace vdg

@@ -1,0 +1,56 @@
+#ifndef VDG_SECURITY_CRYPTO_H_
+#define VDG_SECURITY_CRYPTO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace vdg {
+
+/// Schnorr-style signatures over the multiplicative group mod a 64-bit
+/// prime. The *structure* is real asymmetric cryptography — verification
+/// uses only the public key — but the 64-bit modulus is toy-strength.
+/// The paper's architecture (Section 4.2) needs sign/verify/chain
+/// semantics to implement quality and trust policies, not production
+/// key sizes; DESIGN.md documents this substitution for the offline
+/// environment (no TLS library available).
+struct KeyPair {
+  uint64_t private_key = 0;  // x
+  uint64_t public_key = 0;   // y = g^x mod p
+
+  /// Deterministically derives a key pair from a seed phrase (e.g. an
+  /// identity name plus a secret). Same seed, same keys — which keeps
+  /// simulations reproducible.
+  static KeyPair FromSeed(std::string_view seed);
+};
+
+/// A detached signature (e, s) with hex rendering for catalogs.
+struct Signature {
+  uint64_t e = 0;
+  uint64_t s = 0;
+
+  std::string ToHex() const;
+  static Result<Signature> FromHex(std::string_view hex);
+
+  bool operator==(const Signature& other) const {
+    return e == other.e && s == other.s;
+  }
+};
+
+/// Signs `message` with the private key. Deterministic (the nonce is
+/// derived from key and message, RFC-6979 style).
+Signature Sign(const KeyPair& keys, std::string_view message);
+
+/// Verifies `signature` over `message` against `public_key`.
+bool Verify(uint64_t public_key, std::string_view message,
+            const Signature& signature);
+
+/// Renders a public key as fixed-width hex (16 chars).
+std::string PublicKeyToHex(uint64_t public_key);
+Result<uint64_t> PublicKeyFromHex(std::string_view hex);
+
+}  // namespace vdg
+
+#endif  // VDG_SECURITY_CRYPTO_H_

@@ -1,0 +1,82 @@
+#include "security/signed_entry.h"
+
+#include "common/hash.h"
+
+namespace vdg {
+
+namespace {
+std::string Key(std::string_view kind, std::string_view name) {
+  return std::string(kind) + "/" + std::string(name);
+}
+}  // namespace
+
+std::string EntrySignature::CanonicalText() const {
+  return "entry:" + object_kind + ":" + object_name + ":" + content_hash +
+         ":" + assertion + ":" + signer;
+}
+
+EntrySignature SignEntry(std::string object_kind, std::string object_name,
+                         std::string_view canonical_content,
+                         std::string assertion, const Identity& signer,
+                         const KeyPair& signer_keys) {
+  EntrySignature entry;
+  entry.object_kind = std::move(object_kind);
+  entry.object_name = std::move(object_name);
+  entry.content_hash = Sha256::HexDigest(canonical_content);
+  entry.assertion = std::move(assertion);
+  entry.signer = signer.name;
+  entry.signature = Sign(signer_keys, entry.CanonicalText());
+  return entry;
+}
+
+void SignatureRegistry::Add(EntrySignature signature) {
+  entries_.emplace(Key(signature.object_kind, signature.object_name),
+                   std::move(signature));
+}
+
+std::vector<EntrySignature> SignatureRegistry::For(
+    std::string_view kind, std::string_view name) const {
+  std::vector<EntrySignature> out;
+  auto [lo, hi] = entries_.equal_range(Key(kind, name));
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+Status SignatureRegistry::VerifyEntry(
+    const EntrySignature& entry,
+    const std::vector<Certificate>& signer_chain,
+    std::string_view current_content, const TrustStore& trust) const {
+  VDG_ASSIGN_OR_RETURN(Identity leaf, trust.ValidateChain(signer_chain));
+  if (leaf.name != entry.signer) {
+    return Status::PermissionDenied("chain terminates at " + leaf.name +
+                                    " but entry is signed by " + entry.signer);
+  }
+  if (!Verify(leaf.public_key, entry.CanonicalText(), entry.signature)) {
+    return Status::PermissionDenied("entry signature by " + entry.signer +
+                                    " does not verify");
+  }
+  if (Sha256::HexDigest(current_content) != entry.content_hash) {
+    return Status::FailedPrecondition(
+        "object " + entry.object_kind + "/" + entry.object_name +
+        " changed since it was signed by " + entry.signer);
+  }
+  return Status::OK();
+}
+
+bool SignatureRegistry::HasVerifiedAssertion(
+    std::string_view kind, std::string_view name, std::string_view assertion,
+    std::string_view current_content,
+    const std::map<std::string, std::vector<Certificate>>& chains,
+    const TrustStore& trust) const {
+  for (const EntrySignature& entry : For(kind, name)) {
+    if (entry.assertion != assertion) continue;
+    auto chain = chains.find(entry.signer);
+    if (chain == chains.end()) continue;
+    if (VerifyEntry(entry, chain->second, current_content, trust).ok()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vdg

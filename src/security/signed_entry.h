@@ -1,0 +1,75 @@
+#ifndef VDG_SECURITY_SIGNED_ENTRY_H_
+#define VDG_SECURITY_SIGNED_ENTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "security/crypto.h"
+#include "security/trust.h"
+
+namespace vdg {
+
+/// A cryptographic endorsement of one VDC entry (Section 4.2):
+/// "signatures on VDC entries and attributes as a means of
+/// establishing the identity of the authority(s) that vouch for their
+/// validity". `content_hash` pins the endorsed object state, so edits
+/// after signing are detectable; `assertion` carries the quality claim
+/// ("curated", "approved", "validated", ...).
+struct EntrySignature {
+  std::string object_kind;   // "dataset" | "transformation" | ...
+  std::string object_name;
+  std::string content_hash;  // SHA-256 hex of the canonical object text
+  std::string assertion;     // quality claim being vouched for
+  std::string signer;        // identity name
+  Signature signature;
+
+  /// Byte string covered by the signature.
+  std::string CanonicalText() const;
+};
+
+/// Signs an endorsement of (kind, name, canonical content).
+EntrySignature SignEntry(std::string object_kind, std::string object_name,
+                         std::string_view canonical_content,
+                         std::string assertion, const Identity& signer,
+                         const KeyPair& signer_keys);
+
+/// Community registry of endorsements, keyed by (kind, name). The
+/// quality machinery is policy-neutral: callers decide which signers
+/// and assertions they require (e.g. "approved by cms-production").
+class SignatureRegistry {
+ public:
+  void Add(EntrySignature signature);
+
+  /// All endorsements registered for one object.
+  std::vector<EntrySignature> For(std::string_view kind,
+                                  std::string_view name) const;
+
+  /// Verifies an endorsement against the signer's certificate chain
+  /// and the object's *current* canonical content. Fails with
+  /// PermissionDenied on an untrusted chain or a bad signature, and
+  /// FailedPrecondition when the content changed since signing.
+  Status VerifyEntry(const EntrySignature& entry,
+                     const std::vector<Certificate>& signer_chain,
+                     std::string_view current_content,
+                     const TrustStore& trust) const;
+
+  /// True when some registered endorsement for the object carries
+  /// `assertion`, verifies under `trust` via `chains[signer]`, and
+  /// matches `current_content`.
+  bool HasVerifiedAssertion(
+      std::string_view kind, std::string_view name,
+      std::string_view assertion, std::string_view current_content,
+      const std::map<std::string, std::vector<Certificate>>& chains,
+      const TrustStore& trust) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::multimap<std::string, EntrySignature, std::less<>> entries_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_SECURITY_SIGNED_ENTRY_H_

@@ -1,0 +1,226 @@
+#include "vdl/lexer.h"
+
+#include <cctype>
+
+namespace vdg {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kSemi:
+      return "';'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kColonColon:
+      return "'::'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kDollarBrace:
+      return "'${'";
+    case TokenKind::kAtBrace:
+      return "'@{'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+char VdlLexer::Peek(size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char VdlLexer::Advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Token VdlLexer::Make(TokenKind kind, std::string text) const {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = token_line_;
+  t.column = token_column_;
+  return t;
+}
+
+void VdlLexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '#' || (c == '/' && Peek(1) == '/')) {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+}
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentContinue(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '-';
+}
+}  // namespace
+
+Result<Token> VdlLexer::Next() {
+  SkipWhitespaceAndComments();
+  token_line_ = line_;
+  token_column_ = column_;
+  if (AtEnd()) return Make(TokenKind::kEof);
+
+  char c = Peek();
+
+  if (IsIdentStart(c)) {
+    std::string text;
+    while (!AtEnd() && IsIdentContinue(Peek())) {
+      // `->` must not be folded into an identifier ending in '-'.
+      if (Peek() == '-' && Peek(1) == '>') break;
+      text.push_back(Advance());
+    }
+    return Make(TokenKind::kIdent, std::move(text));
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    // Bare numbers appear only as identifier-like literals (rare in
+    // VDL; values are normally quoted). Lex as an identifier token.
+    std::string text;
+    while (!AtEnd() && IsIdentContinue(Peek())) text.push_back(Advance());
+    return Make(TokenKind::kIdent, std::move(text));
+  }
+
+  if (c == '"') {
+    Advance();  // opening quote
+    std::string text;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(token_line_));
+      }
+      char ch = Advance();
+      if (ch == '"') break;
+      if (ch == '\\') {
+        if (AtEnd()) {
+          return Status::ParseError("dangling escape at line " +
+                                    std::to_string(token_line_));
+        }
+        char esc = Advance();
+        switch (esc) {
+          case 'n':
+            text.push_back('\n');
+            break;
+          case 't':
+            text.push_back('\t');
+            break;
+          case '"':
+          case '\\':
+            text.push_back(esc);
+            break;
+          default:
+            return Status::ParseError(std::string("unknown escape \\") + esc +
+                                      " at line " + std::to_string(line_));
+        }
+      } else {
+        text.push_back(ch);
+      }
+    }
+    return Make(TokenKind::kString, std::move(text));
+  }
+
+  Advance();
+  switch (c) {
+    case '(':
+      return Make(TokenKind::kLParen);
+    case ')':
+      return Make(TokenKind::kRParen);
+    case '{':
+      return Make(TokenKind::kLBrace);
+    case '}':
+      return Make(TokenKind::kRBrace);
+    case ';':
+      return Make(TokenKind::kSemi);
+    case ',':
+      return Make(TokenKind::kComma);
+    case '=':
+      return Make(TokenKind::kEq);
+    case '|':
+      return Make(TokenKind::kPipe);
+    case '*':
+      return Make(TokenKind::kStar);
+    case '/':
+      return Make(TokenKind::kSlash);
+    case '-':
+      if (Peek() == '>') {
+        Advance();
+        return Make(TokenKind::kArrow);
+      }
+      return Status::ParseError("unexpected '-' at line " +
+                                std::to_string(token_line_));
+    case ':':
+      if (Peek() == ':') {
+        Advance();
+        return Make(TokenKind::kColonColon);
+      }
+      return Make(TokenKind::kColon);
+    case '$':
+      if (Peek() == '{') {
+        Advance();
+        return Make(TokenKind::kDollarBrace);
+      }
+      return Status::ParseError("expected '{' after '$' at line " +
+                                std::to_string(token_line_));
+    case '@':
+      if (Peek() == '{') {
+        Advance();
+        return Make(TokenKind::kAtBrace);
+      }
+      return Status::ParseError("expected '{' after '@' at line " +
+                                std::to_string(token_line_));
+    default:
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at line " + std::to_string(token_line_));
+  }
+}
+
+Result<std::vector<Token>> VdlLexer::Tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    VDG_ASSIGN_OR_RETURN(Token t, Next());
+    bool eof = t.is(TokenKind::kEof);
+    out.push_back(std::move(t));
+    if (eof) break;
+  }
+  return out;
+}
+
+}  // namespace vdg

@@ -1,0 +1,42 @@
+#ifndef VDG_VDL_LEXER_H_
+#define VDG_VDL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "vdl/token.h"
+
+namespace vdg {
+
+/// Tokenizes VDL source text. Comments run from `#` or `//` to end of
+/// line. Identifiers follow the VDG name rule and may contain dots and
+/// dashes (dataset names like `run1.exp15.T1932.raw`, dotted env names
+/// like `env.MAXMEM`).
+class VdlLexer {
+ public:
+  explicit VdlLexer(std::string_view source) : source_(source) {}
+
+  /// Tokenizes the whole input, appending a kEof token on success.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  void SkipWhitespaceAndComments();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  Token Make(TokenKind kind, std::string text = "") const;
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_VDL_LEXER_H_

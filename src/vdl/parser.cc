@@ -1,0 +1,404 @@
+#include "vdl/parser.h"
+
+#include "common/strings.h"
+#include "vdl/lexer.h"
+
+namespace vdg {
+
+const Token& VdlParser::Peek(size_t ahead) const {
+  size_t i = cursor_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // the kEof token
+  return tokens_[i];
+}
+
+Token VdlParser::Take() {
+  Token t = Peek();
+  if (cursor_ + 1 < tokens_.size()) ++cursor_;
+  return t;
+}
+
+bool VdlParser::Match(TokenKind kind) {
+  if (!Check(kind)) return false;
+  Take();
+  return true;
+}
+
+Result<Token> VdlParser::Expect(TokenKind kind, std::string_view what) {
+  if (!Check(kind)) {
+    return Status::ParseError(
+        "expected " + std::string(what) + " (" + TokenKindToString(kind) +
+        ") but found " + TokenKindToString(Peek().kind) +
+        (Peek().text.empty() ? "" : " '" + Peek().text + "'") + " at line " +
+        std::to_string(Peek().line));
+  }
+  return Take();
+}
+
+Status VdlParser::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message + " at line " +
+                            std::to_string(Peek().line));
+}
+
+Result<VdlProgram> VdlParser::Parse() {
+  VdlLexer lexer(source_);
+  VDG_ASSIGN_OR_RETURN(tokens_, lexer.Tokenize());
+  cursor_ = 0;
+
+  VdlProgram program;
+  while (!Check(TokenKind::kEof)) {
+    if (Peek().IsIdent("TR")) {
+      VDG_ASSIGN_OR_RETURN(Transformation tr, ParseTransformation());
+      program.transformations.push_back(std::move(tr));
+    } else if (Peek().IsIdent("DV")) {
+      VDG_ASSIGN_OR_RETURN(Derivation dv, ParseDerivation());
+      program.derivations.push_back(std::move(dv));
+    } else if (Peek().IsIdent("DS")) {
+      VDG_ASSIGN_OR_RETURN(Dataset ds, ParseDatasetDecl());
+      program.datasets.push_back(std::move(ds));
+    } else {
+      return ErrorHere("expected TR, DV, or DS, found '" + Peek().text + "'");
+    }
+  }
+  return program;
+}
+
+Result<DatasetType> VdlParser::ParseTypeSpec() {
+  // component ( "/" component ( "/" component )? )?
+  DatasetType type;
+  for (int dim = 0; dim < kNumTypeDimensions; ++dim) {
+    if (Check(TokenKind::kStar)) {
+      Take();  // "*" leaves the component unconstrained
+    } else {
+      VDG_ASSIGN_OR_RETURN(Token comp,
+                           Expect(TokenKind::kIdent, "type component"));
+      if (comp.text != "Dataset") {
+        type.component(static_cast<TypeDimension>(dim)) = comp.text;
+      }
+    }
+    if (dim < kNumTypeDimensions - 1 && !Match(TokenKind::kSlash)) break;
+  }
+  return type;
+}
+
+Result<FormalArg> VdlParser::ParseFormalArg() {
+  VDG_ASSIGN_OR_RETURN(Token dir_tok,
+                       Expect(TokenKind::kIdent, "argument direction"));
+  VDG_ASSIGN_OR_RETURN(ArgDirection dir, ArgDirectionFromString(dir_tok.text));
+
+  FormalArg arg;
+  arg.direction = dir;
+
+  // Either `direction name` or `direction type(|type)* name`. We parse
+  // one type-spec; if an identifier follows, the spec was a type list.
+  VDG_ASSIGN_OR_RETURN(DatasetType first, ParseTypeSpec());
+  std::vector<DatasetType> types{first};
+  while (Check(TokenKind::kPipe)) {
+    Take();
+    VDG_ASSIGN_OR_RETURN(DatasetType next, ParseTypeSpec());
+    types.push_back(next);
+  }
+  if (Check(TokenKind::kIdent)) {
+    // The leading spec(s) were the type union; this token is the name.
+    arg.types = std::move(types);
+    // Fully unconstrained unions collapse to "untyped".
+    bool all_any = true;
+    for (const DatasetType& t : arg.types) all_any = all_any && t.IsAny();
+    if (all_any) arg.types.clear();
+    arg.name = Take().text;
+  } else {
+    // A single bare identifier was the argument name, not a type. A
+    // name must be a plain content-component capture with no slashes.
+    if (types.size() != 1 || !types[0].format.empty() ||
+        !types[0].encoding.empty() || types[0].content.empty()) {
+      return ErrorHere("expected formal argument name");
+    }
+    arg.name = types[0].content;
+  }
+  if (arg.is_string()) arg.types.clear();
+
+  if (Match(TokenKind::kEq)) {
+    if (Check(TokenKind::kString)) {
+      arg.default_string = Take().text;
+    } else if (Check(TokenKind::kAtBrace)) {
+      VDG_ASSIGN_OR_RETURN(AtBinding binding, ParseAtBinding());
+      arg.default_dataset = binding.dataset;
+    } else {
+      return ErrorHere("expected default value for formal " + arg.name);
+    }
+  }
+  return arg;
+}
+
+Result<TemplatePiece> VdlParser::ParseDollarRef() {
+  VDG_ASSIGN_OR_RETURN(Token open, Expect(TokenKind::kDollarBrace, "'${'"));
+  (void)open;
+  VDG_ASSIGN_OR_RETURN(Token first, Expect(TokenKind::kIdent, "reference"));
+  std::optional<ArgDirection> dir;
+  std::string arg_name = first.text;
+  if (Match(TokenKind::kColon)) {
+    Result<ArgDirection> parsed = ArgDirectionFromString(first.text);
+    if (!parsed.ok()) {
+      return ErrorHere("'" + first.text + "' is not a direction qualifier");
+    }
+    dir = *parsed;
+    VDG_ASSIGN_OR_RETURN(Token name_tok,
+                         Expect(TokenKind::kIdent, "argument name"));
+    arg_name = name_tok.text;
+  }
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'").status());
+  return TemplatePiece::Ref(arg_name, dir);
+}
+
+Result<VdlParser::AtBinding> VdlParser::ParseAtBinding() {
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kAtBrace, "'@{'").status());
+  VDG_ASSIGN_OR_RETURN(Token dir_tok,
+                       Expect(TokenKind::kIdent, "binding direction"));
+  VDG_ASSIGN_OR_RETURN(ArgDirection dir, ArgDirectionFromString(dir_tok.text));
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+  VDG_ASSIGN_OR_RETURN(Token name_tok,
+                       Expect(TokenKind::kString, "dataset name"));
+  AtBinding out;
+  out.direction = dir;
+  out.dataset = name_tok.text;
+  if (Match(TokenKind::kColon)) {
+    VDG_ASSIGN_OR_RETURN(Token extra, Expect(TokenKind::kString, "extra"));
+    out.extra = extra.text;
+  }
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'").status());
+  return out;
+}
+
+Result<TemplateExpr> VdlParser::ParseTemplateExpr() {
+  TemplateExpr expr;
+  while (true) {
+    if (Check(TokenKind::kString)) {
+      expr.push_back(TemplatePiece::Literal(Take().text));
+    } else if (Check(TokenKind::kDollarBrace)) {
+      VDG_ASSIGN_OR_RETURN(TemplatePiece ref, ParseDollarRef());
+      expr.push_back(std::move(ref));
+    } else {
+      break;
+    }
+  }
+  if (expr.empty()) {
+    return ErrorHere("expected a string literal or ${...} reference");
+  }
+  return expr;
+}
+
+Status VdlParser::ParseSimpleBodyStatement(Transformation* tr) {
+  // Dispatch on the leading identifier.
+  Token head = Take();
+  if (head.IsIdent("argument")) {
+    ArgumentTemplate t;
+    if (Check(TokenKind::kIdent)) t.name = Take().text;
+    VDG_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+    VDG_ASSIGN_OR_RETURN(t.expr, ParseTemplateExpr());
+    VDG_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'").status());
+    tr->AddArgumentTemplate(std::move(t));
+    return Status::OK();
+  }
+  if (head.IsIdent("exec")) {
+    VDG_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+    VDG_ASSIGN_OR_RETURN(Token exe, Expect(TokenKind::kString, "executable"));
+    VDG_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'").status());
+    tr->set_executable(exe.text);
+    return Status::OK();
+  }
+  if (head.IsIdent("profile")) {
+    VDG_ASSIGN_OR_RETURN(Token key, Expect(TokenKind::kIdent, "profile key"));
+    VDG_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+    VDG_ASSIGN_OR_RETURN(TemplateExpr expr, ParseTemplateExpr());
+    VDG_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'").status());
+    tr->SetProfile(key.text, std::move(expr));
+    return Status::OK();
+  }
+  if (head.kind == TokenKind::kIdent && StartsWith(head.text, "env.")) {
+    std::string var = head.text.substr(4);
+    VDG_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+    VDG_ASSIGN_OR_RETURN(TemplateExpr expr, ParseTemplateExpr());
+    VDG_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'").status());
+    tr->SetEnv(var, std::move(expr));
+    return Status::OK();
+  }
+  return Status::ParseError("unexpected statement '" + head.text +
+                            "' in transformation body at line " +
+                            std::to_string(head.line));
+}
+
+Result<CompoundCall> VdlParser::ParseCompoundCall(std::string callee) {
+  CompoundCall call;
+  call.callee = std::move(callee);
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('").status());
+  if (!Check(TokenKind::kRParen)) {
+    while (true) {
+      VDG_ASSIGN_OR_RETURN(Token formal,
+                           Expect(TokenKind::kIdent, "formal name"));
+      VDG_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+      TemplatePiece value;
+      if (Check(TokenKind::kDollarBrace)) {
+        VDG_ASSIGN_OR_RETURN(value, ParseDollarRef());
+      } else if (Check(TokenKind::kString)) {
+        value = TemplatePiece::Literal(Take().text);
+      } else {
+        return ErrorHere("expected ${...} or string in call binding");
+      }
+      call.bindings.emplace_back(formal.text, std::move(value));
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'").status());
+  return call;
+}
+
+Result<Transformation> VdlParser::ParseTransformation() {
+  Take();  // TR
+  VDG_ASSIGN_OR_RETURN(Token name,
+                       Expect(TokenKind::kIdent, "transformation name"));
+  Transformation tr(name.text, Transformation::Kind::kSimple);
+
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('").status());
+  if (!Check(TokenKind::kRParen)) {
+    while (true) {
+      VDG_ASSIGN_OR_RETURN(FormalArg arg, ParseFormalArg());
+      VDG_RETURN_IF_ERROR(tr.AddArg(std::move(arg)));
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'").status());
+
+  bool saw_call = false;
+  bool saw_simple = false;
+  while (!Check(TokenKind::kRBrace)) {
+    if (Check(TokenKind::kEof)) {
+      return ErrorHere("unterminated transformation body for " + name.text);
+    }
+    const Token& head = Peek();
+    bool is_simple_stmt =
+        head.IsIdent("argument") || head.IsIdent("exec") ||
+        head.IsIdent("profile") ||
+        (head.kind == TokenKind::kIdent && StartsWith(head.text, "env."));
+    if (is_simple_stmt) {
+      saw_simple = true;
+      VDG_RETURN_IF_ERROR(ParseSimpleBodyStatement(&tr));
+    } else if (head.kind == TokenKind::kString) {
+      // Remote callee, e.g. "vdp://physics.illinois.edu/sim"(...)
+      saw_call = true;
+      std::string callee = Take().text;
+      VDG_ASSIGN_OR_RETURN(CompoundCall call,
+                           ParseCompoundCall(std::move(callee)));
+      tr.AddCall(std::move(call));
+    } else if (head.kind == TokenKind::kIdent) {
+      saw_call = true;
+      std::string callee = Take().text;
+      if (Match(TokenKind::kColonColon)) {
+        VDG_ASSIGN_OR_RETURN(Token local,
+                             Expect(TokenKind::kIdent, "callee name"));
+        callee += "::" + local.text;
+      }
+      VDG_ASSIGN_OR_RETURN(CompoundCall call,
+                           ParseCompoundCall(std::move(callee)));
+      tr.AddCall(std::move(call));
+    } else {
+      return ErrorHere("unexpected token in transformation body");
+    }
+  }
+  Take();  // closing brace
+  if (saw_call && saw_simple) {
+    return Status::ParseError(
+        "transformation " + name.text +
+        " mixes compound calls with simple-body statements");
+  }
+  tr.set_kind(saw_call ? Transformation::Kind::kCompound
+                       : Transformation::Kind::kSimple);
+  return tr;
+}
+
+Result<Derivation> VdlParser::ParseDerivation() {
+  Take();  // DV
+  VDG_ASSIGN_OR_RETURN(Token name,
+                       Expect(TokenKind::kIdent, "derivation name"));
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'->'").status());
+
+  Derivation dv;
+  dv.set_name(name.text);
+
+  // Transformation reference: `t1`, `ns::t1`, or a "vdp://..." string.
+  if (Check(TokenKind::kString)) {
+    dv.set_transformation(Take().text);
+  } else {
+    VDG_ASSIGN_OR_RETURN(Token first,
+                         Expect(TokenKind::kIdent, "transformation name"));
+    if (Match(TokenKind::kColonColon)) {
+      VDG_ASSIGN_OR_RETURN(Token second,
+                           Expect(TokenKind::kIdent, "transformation name"));
+      dv.set_transformation_namespace(first.text);
+      dv.set_transformation(second.text);
+    } else {
+      dv.set_transformation(first.text);
+    }
+  }
+
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('").status());
+  if (!Check(TokenKind::kRParen)) {
+    while (true) {
+      VDG_ASSIGN_OR_RETURN(Token formal,
+                           Expect(TokenKind::kIdent, "formal name"));
+      VDG_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+      if (Check(TokenKind::kString)) {
+        VDG_RETURN_IF_ERROR(
+            dv.AddArg(ActualArg::String(formal.text, Take().text)));
+      } else if (Check(TokenKind::kAtBrace)) {
+        VDG_ASSIGN_OR_RETURN(AtBinding binding, ParseAtBinding());
+        VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::DatasetRef(
+            formal.text, binding.dataset, binding.direction)));
+      } else {
+        return ErrorHere("expected \"string\" or @{...} actual value");
+      }
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'").status());
+  return dv;
+}
+
+Result<Dataset> VdlParser::ParseDatasetDecl() {
+  Take();  // DS
+  VDG_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent, "dataset name"));
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+  Dataset ds;
+  ds.name = name.text;
+  VDG_ASSIGN_OR_RETURN(ds.type, ParseTypeSpec());
+  while (Check(TokenKind::kIdent)) {
+    Token key = Take();
+    VDG_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+    VDG_ASSIGN_OR_RETURN(Token value, Expect(TokenKind::kString, "value"));
+    if (key.text == "size") {
+      char* end = nullptr;
+      int64_t size = std::strtoll(value.text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || size < 0) {
+        return ErrorHere("bad dataset size '" + value.text + "'");
+      }
+      ds.size_bytes = size;
+    } else if (key.text == "schema") {
+      ds.descriptor.schema = value.text;
+    } else if (key.text == "producer") {
+      ds.producer = value.text;
+    } else {
+      ds.descriptor.fields.Set(key.text, value.text);
+    }
+  }
+  VDG_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'").status());
+  if (ds.descriptor.schema.empty()) ds.descriptor.schema = "file";
+  return ds;
+}
+
+Result<VdlProgram> ParseVdl(std::string_view source) {
+  VdlParser parser(source);
+  return parser.Parse();
+}
+
+}  // namespace vdg

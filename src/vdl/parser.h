@@ -1,0 +1,92 @@
+#ifndef VDG_VDL_PARSER_H_
+#define VDG_VDL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/dataset.h"
+#include "schema/derivation.h"
+#include "schema/transformation.h"
+#include "vdl/token.h"
+
+namespace vdg {
+
+/// The result of parsing a VDL source unit: transformation, derivation
+/// and (extension) dataset definitions, in source order.
+struct VdlProgram {
+  std::vector<Transformation> transformations;
+  std::vector<Derivation> derivations;
+  std::vector<Dataset> datasets;
+
+  size_t size() const {
+    return transformations.size() + derivations.size() + datasets.size();
+  }
+};
+
+/// Recursive-descent parser for VDL 1.0 (Appendix A of the paper):
+///
+///   TR t1( output a2, input a1, none pa="500" ) {
+///     argument parg = "-p "${none:pa};
+///     argument stdout = ${output:a2};
+///     exec = "/usr/bin/app3";
+///     env.MAXMEM = ${none:env};
+///   }
+///   DV d1->example1::t1( a2=@{output:"file2"}, a1=@{input:"file1"},
+///                        pa="600" );
+///
+/// Compound transformations nest calls in the body instead of
+/// `argument`/`exec` statements. Formal arguments may carry dataset
+/// types (`input SDSS/Fileset/* a1`) and unions (`input T1|T2 x`) —
+/// the typed-signature extension Section 3.2 describes.
+///
+/// As an extension (the "sixth class" footnote in Section 3), dataset
+/// definitions are accepted:
+///
+///   DS file1 : SDSS/Simple/ASCII size="1024" schema="file"
+///      path="/data/file1";
+class VdlParser {
+ public:
+  explicit VdlParser(std::string_view source) : source_(source) {}
+
+  Result<VdlProgram> Parse();
+
+ private:
+  // Token cursor helpers.
+  const Token& Peek(size_t ahead = 0) const;
+  Token Take();
+  bool Check(TokenKind kind) const { return Peek().is(kind); }
+  bool Match(TokenKind kind);
+  Result<Token> Expect(TokenKind kind, std::string_view what);
+  Status ErrorHere(const std::string& message) const;
+
+  // Grammar productions.
+  Result<Transformation> ParseTransformation();
+  Result<Derivation> ParseDerivation();
+  Result<Dataset> ParseDatasetDecl();
+  Result<FormalArg> ParseFormalArg();
+  Result<DatasetType> ParseTypeSpec();
+  Status ParseSimpleBodyStatement(Transformation* tr);
+  Result<CompoundCall> ParseCompoundCall(std::string callee);
+  Result<TemplateExpr> ParseTemplateExpr();
+  Result<TemplatePiece> ParseDollarRef();
+  /// Parses `@{direction:"name"}` / `@{direction:"name":"extra"}`.
+  struct AtBinding {
+    ArgDirection direction;
+    std::string dataset;
+    std::string extra;
+  };
+  Result<AtBinding> ParseAtBinding();
+
+  std::string_view source_;
+  std::vector<Token> tokens_;
+  size_t cursor_ = 0;
+};
+
+/// Convenience wrapper: lex + parse in one call.
+Result<VdlProgram> ParseVdl(std::string_view source);
+
+}  // namespace vdg
+
+#endif  // VDG_VDL_PARSER_H_

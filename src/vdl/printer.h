@@ -1,0 +1,20 @@
+#ifndef VDG_VDL_PRINTER_H_
+#define VDG_VDL_PRINTER_H_
+
+#include <string>
+
+#include "vdl/parser.h"
+
+namespace vdg {
+
+/// Renders schema objects back to parseable VDL text. The printer and
+/// parser round-trip: Parse(Print(x)) yields an equivalent program,
+/// which the test suite verifies property-style.
+std::string PrintTransformation(const Transformation& tr);
+std::string PrintDerivation(const Derivation& dv);
+std::string PrintDatasetDecl(const Dataset& ds);
+std::string PrintProgram(const VdlProgram& program);
+
+}  // namespace vdg
+
+#endif  // VDG_VDL_PRINTER_H_

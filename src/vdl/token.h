@@ -1,0 +1,47 @@
+#ifndef VDG_VDL_TOKEN_H_
+#define VDG_VDL_TOKEN_H_
+
+#include <string>
+
+namespace vdg {
+
+/// Lexical token kinds of the Chimera Virtual Data Language (VDL 1.0,
+/// Appendix A of the paper).
+enum class TokenKind {
+  kIdent,       // t1, example1, env.MAXMEM, run1.exp15.T1932.raw
+  kString,      // "..." (supports \" and \\ escapes)
+  kLParen,      // (
+  kRParen,      // )
+  kLBrace,      // {
+  kRBrace,      // }
+  kSemi,        // ;
+  kComma,       // ,
+  kEq,          // =
+  kArrow,       // ->
+  kColonColon,  // ::
+  kColon,       // :
+  kDollarBrace, // ${
+  kAtBrace,     // @{
+  kSlash,       // /
+  kPipe,        // |
+  kStar,        // *
+  kEof,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  // identifier text or unescaped string contents
+  int line = 0;
+  int column = 0;
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool IsIdent(std::string_view word) const {
+    return kind == TokenKind::kIdent && text == word;
+  }
+};
+
+}  // namespace vdg
+
+#endif  // VDG_VDL_TOKEN_H_

@@ -1,0 +1,189 @@
+#include "vdl/xml.h"
+
+namespace vdg {
+
+std::string XmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string Indent(int n) { return std::string(static_cast<size_t>(n), ' '); }
+
+std::string ExprToXml(const TemplateExpr& expr, int indent) {
+  std::string out;
+  for (const TemplatePiece& piece : expr) {
+    out += Indent(indent);
+    if (piece.is_ref()) {
+      out += "<use name=\"" + XmlEscape(piece.text) + "\"";
+      if (piece.ref_direction) {
+        out += " link=\"" +
+               std::string(ArgDirectionToString(*piece.ref_direction)) + "\"";
+      }
+      out += "/>\n";
+    } else {
+      out += "<text>" + XmlEscape(piece.text) + "</text>\n";
+    }
+  }
+  return out;
+}
+
+std::string AttrsToXml(const AttributeSet& attrs, int indent) {
+  std::string out;
+  for (const auto& [key, value] : attrs) {
+    out += Indent(indent) + "<attribute name=\"" + XmlEscape(key) +
+           "\" kind=\"" + value.TypeTag() + "\">" +
+           XmlEscape(value.ToString()) + "</attribute>\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TransformationToXml(const Transformation& tr, int indent) {
+  std::string out = Indent(indent);
+  out += "<transformation name=\"" + XmlEscape(tr.name()) + "\" kind=\"";
+  out += tr.is_compound() ? "compound" : "simple";
+  out += "\"";
+  if (!tr.version().empty()) {
+    out += " version=\"" + XmlEscape(tr.version()) + "\"";
+  }
+  out += ">\n";
+  for (const FormalArg& arg : tr.args()) {
+    out += Indent(indent + 2) + "<declare name=\"" + XmlEscape(arg.name) +
+           "\" link=\"" + ArgDirectionToString(arg.direction) + "\"";
+    if (!arg.types.empty()) {
+      std::string types;
+      for (size_t i = 0; i < arg.types.size(); ++i) {
+        if (i > 0) types += "|";
+        types += arg.types[i].ToString();
+      }
+      out += " type=\"" + XmlEscape(types) + "\"";
+    }
+    if (arg.default_string) {
+      out += " default=\"" + XmlEscape(*arg.default_string) + "\"";
+    }
+    if (arg.default_dataset) {
+      out += " defaultDataset=\"" + XmlEscape(*arg.default_dataset) + "\"";
+    }
+    out += "/>\n";
+  }
+  if (tr.is_compound()) {
+    for (const CompoundCall& call : tr.calls()) {
+      out += Indent(indent + 2) + "<call ref=\"" + XmlEscape(call.callee) +
+             "\">\n";
+      for (const auto& [formal, piece] : call.bindings) {
+        out += Indent(indent + 4) + "<pass bind=\"" + XmlEscape(formal) +
+               "\">\n";
+        out += ExprToXml({piece}, indent + 6);
+        out += Indent(indent + 4) + "</pass>\n";
+      }
+      out += Indent(indent + 2) + "</call>\n";
+    }
+  } else {
+    if (!tr.executable().empty()) {
+      out += Indent(indent + 2) + "<executable>" +
+             XmlEscape(tr.executable()) + "</executable>\n";
+    }
+    for (const ArgumentTemplate& t : tr.argument_templates()) {
+      out += Indent(indent + 2) + "<argument";
+      if (!t.name.empty()) out += " name=\"" + XmlEscape(t.name) + "\"";
+      out += ">\n";
+      out += ExprToXml(t.expr, indent + 4);
+      out += Indent(indent + 2) + "</argument>\n";
+    }
+    for (const auto& [name, expr] : tr.env()) {
+      out += Indent(indent + 2) + "<env name=\"" + XmlEscape(name) + "\">\n";
+      out += ExprToXml(expr, indent + 4);
+      out += Indent(indent + 2) + "</env>\n";
+    }
+    for (const auto& [key, expr] : tr.profile()) {
+      out +=
+          Indent(indent + 2) + "<profile key=\"" + XmlEscape(key) + "\">\n";
+      out += ExprToXml(expr, indent + 4);
+      out += Indent(indent + 2) + "</profile>\n";
+    }
+  }
+  out += AttrsToXml(tr.annotations(), indent + 2);
+  out += Indent(indent) + "</transformation>\n";
+  return out;
+}
+
+std::string DerivationToXml(const Derivation& dv, int indent) {
+  std::string out = Indent(indent);
+  out += "<derivation name=\"" + XmlEscape(dv.name()) + "\" uses=\"" +
+         XmlEscape(dv.QualifiedTransformation()) + "\">\n";
+  for (const ActualArg& arg : dv.args()) {
+    out += Indent(indent + 2) + "<pass bind=\"" + XmlEscape(arg.formal) +
+           "\"";
+    if (arg.string_value) {
+      out += " value=\"" + XmlEscape(*arg.string_value) + "\"/>\n";
+    } else {
+      out += " dataset=\"" + XmlEscape(*arg.dataset) + "\" link=\"" +
+             ArgDirectionToString(*arg.direction) + "\"/>\n";
+    }
+  }
+  for (const auto& [name, value] : dv.env_overrides()) {
+    out += Indent(indent + 2) + "<env name=\"" + XmlEscape(name) +
+           "\" value=\"" + XmlEscape(value) + "\"/>\n";
+  }
+  out += AttrsToXml(dv.annotations(), indent + 2);
+  out += Indent(indent) + "</derivation>\n";
+  return out;
+}
+
+std::string DatasetToXml(const Dataset& ds, int indent) {
+  std::string out = Indent(indent);
+  out += "<dataset name=\"" + XmlEscape(ds.name) + "\" type=\"" +
+         XmlEscape(ds.type.ToString()) + "\" size=\"" +
+         std::to_string(ds.size_bytes) + "\"";
+  if (!ds.producer.empty()) {
+    out += " producer=\"" + XmlEscape(ds.producer) + "\"";
+  }
+  out += ">\n";
+  out += Indent(indent + 2) + "<descriptor schema=\"" +
+         XmlEscape(ds.descriptor.schema) + "\">\n";
+  out += AttrsToXml(ds.descriptor.fields, indent + 4);
+  out += Indent(indent + 2) + "</descriptor>\n";
+  out += AttrsToXml(ds.annotations, indent + 2);
+  out += Indent(indent) + "</dataset>\n";
+  return out;
+}
+
+std::string ProgramToXml(const VdlProgram& program) {
+  std::string out = "<?xml version=\"1.0\"?>\n<vdl version=\"1.0\">\n";
+  for (const Dataset& ds : program.datasets) out += DatasetToXml(ds, 2);
+  for (const Transformation& tr : program.transformations) {
+    out += TransformationToXml(tr, 2);
+  }
+  for (const Derivation& dv : program.derivations) {
+    out += DerivationToXml(dv, 2);
+  }
+  out += "</vdl>\n";
+  return out;
+}
+
+}  // namespace vdg

@@ -1,0 +1,24 @@
+#ifndef VDG_VDL_XML_H_
+#define VDG_VDL_XML_H_
+
+#include <string>
+
+#include "vdl/parser.h"
+
+namespace vdg {
+
+/// XML rendering of VDL programs — the paper notes "an XML version is
+/// also implemented for machine-to-machine interfaces". This is the
+/// machine-facing serialization used by the federation layer when
+/// shipping definitions between catalogs.
+std::string TransformationToXml(const Transformation& tr, int indent = 0);
+std::string DerivationToXml(const Derivation& dv, int indent = 0);
+std::string DatasetToXml(const Dataset& ds, int indent = 0);
+std::string ProgramToXml(const VdlProgram& program);
+
+/// Escapes &, <, >, ", ' for XML attribute/text contexts.
+std::string XmlEscape(const std::string& text);
+
+}  // namespace vdg
+
+#endif  // VDG_VDL_XML_H_

@@ -1,0 +1,177 @@
+#include "workload/canonical.h"
+
+#include <deque>
+#include <set>
+
+#include "common/rng.h"
+
+namespace vdg {
+namespace workload {
+
+std::set<std::string> CanonicalGraph::TrueAncestors(
+    const std::string& dataset) const {
+  std::set<std::string> seen;
+  std::deque<std::string> frontier{dataset};
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.front());
+    frontier.pop_front();
+    auto it = truth_inputs.find(current);
+    if (it == truth_inputs.end()) continue;  // raw input
+    for (const std::string& input : it->second) {
+      if (seen.insert(input).second) frontier.push_back(input);
+    }
+  }
+  return seen;
+}
+
+Result<CanonicalGraph> GenerateCanonicalGraph(
+    VirtualDataCatalog* catalog, const CanonicalGraphOptions& options) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  if (options.num_raw_inputs == 0 || options.num_transformations == 0) {
+    return Status::InvalidArgument(
+        "canonical graph needs raw inputs and transformations");
+  }
+  Rng rng(options.seed);
+  CanonicalGraph graph;
+
+  // Content type for this graph's datasets.
+  std::string type_name = options.prefix + "-data";
+  Status type_status = catalog->DefineType(
+      TypeDimension::kContent, type_name,
+      TypeDimensionBaseName(TypeDimension::kContent));
+  if (!type_status.ok() && !type_status.IsAlreadyExists()) {
+    return type_status;
+  }
+  DatasetType data_type;
+  data_type.content = type_name;
+
+  // Transformations with varying arity: canon-trK takes K%max+1
+  // inputs, a couple of tuning strings, and one output.
+  for (size_t t = 0; t < options.num_transformations; ++t) {
+    Transformation tr(options.prefix + "-tr" + std::to_string(t),
+                      Transformation::Kind::kSimple);
+    int inputs = 1 + static_cast<int>(
+                         t % static_cast<size_t>(
+                                 options.max_inputs_per_derivation));
+    FormalArg out;
+    out.name = "out";
+    out.direction = ArgDirection::kOut;
+    out.types = {data_type};
+    VDG_RETURN_IF_ERROR(tr.AddArg(std::move(out)));
+    // Every third shape writes a second output (log/sideband file),
+    // exercising multi-output provenance.
+    bool dual_output = t % 3 == 2;
+    if (dual_output) {
+      FormalArg aux;
+      aux.name = "aux";
+      aux.direction = ArgDirection::kOut;
+      aux.types = {data_type};
+      VDG_RETURN_IF_ERROR(tr.AddArg(std::move(aux)));
+      ArgumentTemplate aux_template;
+      aux_template.name = "aux";
+      aux_template.expr = {TemplatePiece::Literal("-x "),
+                           TemplatePiece::Ref("aux", ArgDirection::kOut)};
+      tr.AddArgumentTemplate(std::move(aux_template));
+    }
+    for (int i = 0; i < inputs; ++i) {
+      FormalArg in;
+      in.name = "in" + std::to_string(i);
+      in.direction = ArgDirection::kIn;
+      in.types = {data_type};
+      VDG_RETURN_IF_ERROR(tr.AddArg(std::move(in)));
+      ArgumentTemplate arg_template;
+      arg_template.name = "f" + std::to_string(i);
+      arg_template.expr = {TemplatePiece::Literal("-i "),
+                           TemplatePiece::Ref("in" + std::to_string(i),
+                                              ArgDirection::kIn)};
+      tr.AddArgumentTemplate(std::move(arg_template));
+    }
+    int strings = static_cast<int>(t) % (options.max_string_args + 1);
+    for (int s = 0; s < strings; ++s) {
+      FormalArg param;
+      param.name = "p" + std::to_string(s);
+      param.direction = ArgDirection::kNone;
+      param.default_string = std::to_string(100 * (s + 1));
+      VDG_RETURN_IF_ERROR(tr.AddArg(std::move(param)));
+    }
+    ArgumentTemplate stdout_template;
+    stdout_template.name = "stdout";
+    stdout_template.expr = {TemplatePiece::Ref("out", ArgDirection::kOut)};
+    tr.AddArgumentTemplate(std::move(stdout_template));
+    tr.set_executable("/usr/bin/" + options.prefix + "-app" +
+                      std::to_string(t));
+    tr.annotations().Set("sim.runtime_s", options.runtime_mean_s);
+    tr.annotations().Set("sim.output_mb", options.output_mb);
+    VDG_RETURN_IF_ERROR(catalog->DefineTransformation(std::move(tr)));
+  }
+
+  // Raw inputs.
+  for (size_t i = 0; i < options.num_raw_inputs; ++i) {
+    Dataset ds;
+    ds.name = options.prefix + "-raw" + std::to_string(i);
+    ds.type = data_type;
+    ds.size_bytes = static_cast<int64_t>(options.output_mb * 1024 * 1024);
+    ds.descriptor = DatasetDescriptor::File("/raw/" + ds.name);
+    graph.raw_inputs.push_back(ds.name);
+    VDG_RETURN_IF_ERROR(catalog->DefineDataset(std::move(ds)));
+  }
+
+  // Derivations: each consumes random earlier datasets.
+  std::vector<std::string> pool = graph.raw_inputs;
+  std::set<std::string> consumed;
+  for (size_t d = 0; d < options.num_derivations; ++d) {
+    size_t tr_index = rng.Index(options.num_transformations);
+    std::string tr_name =
+        options.prefix + "-tr" + std::to_string(tr_index);
+    VDG_ASSIGN_OR_RETURN(Transformation tr,
+                         catalog->GetTransformation(tr_name));
+
+    Derivation dv(options.prefix + "-dv" + std::to_string(d), tr_name);
+    std::string output = options.prefix + "-out" + std::to_string(d);
+    VDG_RETURN_IF_ERROR(
+        dv.AddArg(ActualArg::DatasetRef("out", output, ArgDirection::kOut)));
+    std::string aux_output;
+    if (tr.FindArg("aux") != nullptr) {
+      aux_output = output + ".aux";
+      VDG_RETURN_IF_ERROR(dv.AddArg(
+          ActualArg::DatasetRef("aux", aux_output, ArgDirection::kOut)));
+    }
+
+    std::vector<std::string> inputs;
+    for (const FormalArg& formal : tr.args()) {
+      if (formal.is_string()) {
+        // Bind half the strings explicitly; rest use defaults.
+        if (rng.Chance(0.5)) {
+          VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::String(
+              formal.name, std::to_string(rng.UniformInt(1, 1000)))));
+        }
+        continue;
+      }
+      if (formal.direction != ArgDirection::kIn) continue;
+      const std::string& input = pool[rng.Index(pool.size())];
+      VDG_RETURN_IF_ERROR(dv.AddArg(
+          ActualArg::DatasetRef(formal.name, input, ArgDirection::kIn)));
+      inputs.push_back(input);
+      consumed.insert(input);
+    }
+
+    VDG_RETURN_IF_ERROR(catalog->DefineDerivation(std::move(dv)));
+    graph.derivations.push_back(options.prefix + "-dv" + std::to_string(d));
+    graph.outputs.push_back(output);
+    if (!aux_output.empty()) {
+      graph.aux_outputs.push_back(aux_output);
+      graph.truth_inputs.emplace(aux_output, inputs);
+      pool.push_back(aux_output);
+    }
+    graph.truth_inputs.emplace(output, std::move(inputs));
+    pool.push_back(output);
+  }
+
+  for (const std::string& output : graph.outputs) {
+    if (consumed.count(output) == 0) graph.sinks.push_back(output);
+  }
+  return graph;
+}
+
+}  // namespace workload
+}  // namespace vdg

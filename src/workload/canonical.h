@@ -1,0 +1,62 @@
+#ifndef VDG_WORKLOAD_CANONICAL_H_
+#define VDG_WORKLOAD_CANONICAL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace vdg {
+namespace workload {
+
+/// Options for the Chimera-0 "canonical application" generator: the
+/// paper's synthetic programs "that could mimic arbitrary argument
+/// passing conventions and file I/O behavior", used "to create large
+/// application dependency graphs to validate our provenance tracking
+/// mechanism" (Section 6).
+struct CanonicalGraphOptions {
+  size_t num_derivations = 100;
+  size_t num_raw_inputs = 10;
+  size_t num_transformations = 5;
+  int max_inputs_per_derivation = 3;
+  int max_string_args = 2;
+  double runtime_mean_s = 5.0;
+  double output_mb = 1.0;
+  uint64_t seed = 1;
+  /// Prefix for all generated object names (lets several graphs share
+  /// a catalog without collisions).
+  std::string prefix = "canon";
+};
+
+/// Ground truth of a generated graph, for validating provenance
+/// queries against what was actually constructed.
+struct CanonicalGraph {
+  std::vector<std::string> raw_inputs;
+  std::vector<std::string> derivations;   // in creation order
+  std::vector<std::string> outputs;       // primary output per derivation
+  /// Secondary outputs of multi-output derivations (the "arbitrary
+  /// file I/O behavior" dimension: every third transformation shape
+  /// writes two datasets).
+  std::vector<std::string> aux_outputs;
+  std::vector<std::string> sinks;         // outputs nothing consumes
+  /// output dataset -> the exact input datasets of its derivation.
+  std::map<std::string, std::vector<std::string>> truth_inputs;
+
+  /// Ground-truth ancestor closure of `dataset`, computed from
+  /// truth_inputs (independent of the catalog's answer).
+  std::set<std::string> TrueAncestors(const std::string& dataset) const;
+};
+
+/// Generates `options.num_derivations` derivations over
+/// `options.num_transformations` synthetic transformations, each
+/// consuming 1..max_inputs random earlier outputs (or raw inputs) —
+/// a random DAG by construction. Defines everything in `catalog`.
+Result<CanonicalGraph> GenerateCanonicalGraph(
+    VirtualDataCatalog* catalog, const CanonicalGraphOptions& options);
+
+}  // namespace workload
+}  // namespace vdg
+
+#endif  // VDG_WORKLOAD_CANONICAL_H_

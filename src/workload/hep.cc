@@ -1,0 +1,246 @@
+#include "workload/hep.h"
+
+namespace vdg {
+namespace workload {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+
+Status EnsureContentType(VirtualDataCatalog* catalog,
+                         const std::string& name,
+                         const std::string& parent) {
+  const TypeHierarchy& content =
+      catalog->types().dimension(TypeDimension::kContent);
+  if (content.Contains(name)) return Status::OK();
+  if (!content.Contains(parent) &&
+      parent != TypeDimensionBaseName(TypeDimension::kContent)) {
+    VDG_RETURN_IF_ERROR(catalog->DefineType(
+        TypeDimension::kContent, parent,
+        TypeDimensionBaseName(TypeDimension::kContent)));
+  }
+  return catalog->DefineType(TypeDimension::kContent, name, parent);
+}
+
+struct StageSpec {
+  const char* suffix;
+  const char* input_formal;
+  const char* output_formal;
+  const char* output_content;
+  const char* exec;
+};
+
+}  // namespace
+
+Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
+                                const HepOptions& options) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  if (options.num_batches <= 0) {
+    return Status::InvalidArgument("HEP workload needs batches");
+  }
+
+  // CMS content tree (subset of Appendix C, defined on demand).
+  VDG_RETURN_IF_ERROR(EnsureContentType(catalog, "CMS-config", "CMS"));
+  VDG_RETURN_IF_ERROR(EnsureContentType(catalog, "Simulation", "CMS"));
+  VDG_RETURN_IF_ERROR(
+      EnsureContentType(catalog, "Zebra-file", "Simulation"));
+  VDG_RETURN_IF_ERROR(EnsureContentType(catalog, "Analysis", "CMS"));
+  VDG_RETURN_IF_ERROR(
+      EnsureContentType(catalog, "Reco-objects", "Analysis"));
+  VDG_RETURN_IF_ERROR(
+      EnsureContentType(catalog, "PAW-ntuple-file", "Analysis"));
+
+  auto content_type = [](const char* name) {
+    DatasetType type;
+    type.content = name;
+    return type;
+  };
+
+  const StageSpec stages[4] = {
+      {"generate", "config", "events", "Simulation", "/cms/bin/cmkin"},
+      {"simulate", "events", "hits", "Zebra-file", "/cms/bin/cmsim"},
+      {"reconstruct", "hits", "reco", "Reco-objects", "/cms/bin/orca"},
+      {"analyze", "reco", "ntuple", "PAW-ntuple-file", "/cms/bin/paw"},
+  };
+  const char* input_content[4] = {"CMS-config", "Simulation", "Zebra-file",
+                                  "Reco-objects"};
+
+  HepWorkload workload;
+  for (int s = 0; s < 4; ++s) {
+    const StageSpec& spec = stages[s];
+    Transformation tr(options.prefix + "-" + spec.suffix,
+                      Transformation::Kind::kSimple);
+    FormalArg in;
+    in.name = spec.input_formal;
+    in.direction = ArgDirection::kIn;
+    in.types = {content_type(input_content[s])};
+    VDG_RETURN_IF_ERROR(tr.AddArg(std::move(in)));
+    FormalArg out;
+    out.name = spec.output_formal;
+    out.direction = ArgDirection::kOut;
+    out.types = {content_type(spec.output_content)};
+    VDG_RETURN_IF_ERROR(tr.AddArg(std::move(out)));
+    if (s == 0) {
+      FormalArg nevents;
+      nevents.name = "nevents";
+      nevents.direction = ArgDirection::kNone;
+      nevents.default_string = "1000";
+      VDG_RETURN_IF_ERROR(tr.AddArg(std::move(nevents)));
+      ArgumentTemplate n_arg;
+      n_arg.name = "nevents";
+      n_arg.expr = {TemplatePiece::Literal("-n "),
+                    TemplatePiece::Ref("nevents", ArgDirection::kNone)};
+      tr.AddArgumentTemplate(std::move(n_arg));
+    }
+    ArgumentTemplate in_arg;
+    in_arg.name = "stdin";
+    in_arg.expr = {TemplatePiece::Ref(spec.input_formal, ArgDirection::kIn)};
+    tr.AddArgumentTemplate(std::move(in_arg));
+    ArgumentTemplate out_arg;
+    out_arg.name = "stdout";
+    out_arg.expr = {TemplatePiece::Ref(spec.output_formal,
+                                       ArgDirection::kOut)};
+    tr.AddArgumentTemplate(std::move(out_arg));
+    tr.set_executable(spec.exec);
+    tr.SetEnv("CMS_STAGE", {TemplatePiece::Literal(spec.suffix)});
+    tr.annotations().Set("sim.runtime_s", options.stage_runtime_s[s]);
+    tr.annotations().Set("sim.output_mb", options.stage_output_mb[s]);
+    tr.annotations().Set("science", "physics");
+    VDG_RETURN_IF_ERROR(catalog->DefineTransformation(std::move(tr)));
+    ++workload.transformation_count;
+  }
+
+  if (options.use_compound) {
+    Transformation pipeline(options.prefix + "-pipeline",
+                            Transformation::Kind::kCompound);
+    FormalArg config{.name = "config",
+                     .direction = ArgDirection::kIn,
+                     .types = {content_type("CMS-config")}};
+    FormalArg ntuple{.name = "ntuple",
+                     .direction = ArgDirection::kOut,
+                     .types = {content_type("PAW-ntuple-file")}};
+    FormalArg nevents{.name = "nevents", .direction = ArgDirection::kNone};
+    nevents.default_string = "1000";
+    VDG_RETURN_IF_ERROR(pipeline.AddArg(std::move(config)));
+    VDG_RETURN_IF_ERROR(pipeline.AddArg(std::move(ntuple)));
+    VDG_RETURN_IF_ERROR(pipeline.AddArg(std::move(nevents)));
+    const char* temps[3] = {"events", "hits", "reco"};
+    const char* temp_content[3] = {"Simulation", "Zebra-file",
+                                   "Reco-objects"};
+    for (int t = 0; t < 3; ++t) {
+      FormalArg temp;
+      temp.name = temps[t];
+      temp.direction = ArgDirection::kInOut;
+      temp.types = {content_type(temp_content[t])};
+      temp.default_dataset = std::string("scratch-") + temps[t];
+      VDG_RETURN_IF_ERROR(pipeline.AddArg(std::move(temp)));
+    }
+    CompoundCall gen;
+    gen.callee = options.prefix + "-generate";
+    gen.bindings = {
+        {"config", TemplatePiece::Ref("config", ArgDirection::kIn)},
+        {"events", TemplatePiece::Ref("events", ArgDirection::kOut)},
+        {"nevents", TemplatePiece::Ref("nevents")}};
+    pipeline.AddCall(std::move(gen));
+    CompoundCall sim;
+    sim.callee = options.prefix + "-simulate";
+    sim.bindings = {
+        {"events", TemplatePiece::Ref("events", ArgDirection::kIn)},
+        {"hits", TemplatePiece::Ref("hits", ArgDirection::kOut)}};
+    pipeline.AddCall(std::move(sim));
+    CompoundCall reco;
+    reco.callee = options.prefix + "-reconstruct";
+    reco.bindings = {
+        {"hits", TemplatePiece::Ref("hits", ArgDirection::kIn)},
+        {"reco", TemplatePiece::Ref("reco", ArgDirection::kOut)}};
+    pipeline.AddCall(std::move(reco));
+    CompoundCall ana;
+    ana.callee = options.prefix + "-analyze";
+    ana.bindings = {
+        {"reco", TemplatePiece::Ref("reco", ArgDirection::kIn)},
+        {"ntuple", TemplatePiece::Ref("ntuple", ArgDirection::kOut)}};
+    pipeline.AddCall(std::move(ana));
+    pipeline.annotations().Set("science", "physics");
+    VDG_RETURN_IF_ERROR(catalog->DefineTransformation(std::move(pipeline)));
+    ++workload.transformation_count;
+  }
+
+  // Raw generator configurations + per-batch derivation chains with
+  // multi-modal descriptors.
+  for (int b = 0; b < options.num_batches; ++b) {
+    std::string batch = options.prefix + ".batch" + std::to_string(b);
+    Dataset config;
+    config.name = batch + ".config";
+    config.type.content = "CMS-config";
+    config.size_bytes = 64 * 1024;
+    config.descriptor = DatasetDescriptor::File("/cms/cfg/" + batch);
+    VDG_RETURN_IF_ERROR(catalog->DefineDataset(std::move(config)));
+    workload.config_datasets.push_back(batch + ".config");
+
+    std::string ntuple = batch + ".ntuple";
+    if (options.use_compound) {
+      Derivation dv(options.prefix + "-batch" + std::to_string(b),
+                    options.prefix + "-pipeline");
+      VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::DatasetRef(
+          "config", batch + ".config", ArgDirection::kIn)));
+      VDG_RETURN_IF_ERROR(dv.AddArg(
+          ActualArg::DatasetRef("ntuple", ntuple, ArgDirection::kOut)));
+      VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::String(
+          "nevents", std::to_string(options.events_per_batch))));
+      VDG_RETURN_IF_ERROR(catalog->DefineDerivation(std::move(dv)));
+      workload.derivations.push_back(options.prefix + "-batch" +
+                                     std::to_string(b));
+      std::string dv_name =
+          options.prefix + "-batch" + std::to_string(b);
+      workload.intermediates.push_back({dv_name + ".events",
+                                        dv_name + ".hits",
+                                        dv_name + ".reco"});
+    } else {
+      const char* stage_tr[4] = {"generate", "simulate", "reconstruct",
+                                 "analyze"};
+      std::string stage_outputs[4] = {batch + ".events", batch + ".hits",
+                                      batch + ".reco", ntuple};
+      // Multi-modal intermediate descriptors: Zebra file, OODB object
+      // closure, then a plain ntuple file.
+      Dataset hits;
+      hits.name = batch + ".hits";
+      hits.type.content = "Zebra-file";
+      hits.descriptor = DatasetDescriptor::FileSet(
+          {"/cms/zebra/" + batch + ".1", "/cms/zebra/" + batch + ".2"});
+      VDG_RETURN_IF_ERROR(catalog->DefineDataset(std::move(hits)));
+      Dataset reco;
+      reco.name = batch + ".reco";
+      reco.type.content = "Reco-objects";
+      reco.descriptor =
+          DatasetDescriptor::ObjectClosure("objy://cms-db", batch);
+      VDG_RETURN_IF_ERROR(catalog->DefineDataset(std::move(reco)));
+
+      std::string prev = batch + ".config";
+      const char* in_formal[4] = {"config", "events", "hits", "reco"};
+      const char* out_formal[4] = {"events", "hits", "reco", "ntuple"};
+      for (int s = 0; s < 4; ++s) {
+        Derivation dv(options.prefix + "-b" + std::to_string(b) + "-" +
+                          stage_tr[s],
+                      options.prefix + "-" + stage_tr[s]);
+        VDG_RETURN_IF_ERROR(dv.AddArg(
+            ActualArg::DatasetRef(in_formal[s], prev, ArgDirection::kIn)));
+        VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::DatasetRef(
+            out_formal[s], stage_outputs[s], ArgDirection::kOut)));
+        if (s == 0) {
+          VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::String(
+              "nevents", std::to_string(options.events_per_batch))));
+        }
+        VDG_RETURN_IF_ERROR(catalog->DefineDerivation(std::move(dv)));
+        prev = stage_outputs[s];
+      }
+      workload.derivations.push_back(options.prefix + "-b" +
+                                     std::to_string(b) + "-analyze");
+      workload.intermediates.push_back(
+          {stage_outputs[0], stage_outputs[1], stage_outputs[2]});
+    }
+    workload.ntuples.push_back(ntuple);
+  }
+  return workload;
+}
+
+}  // namespace workload
+}  // namespace vdg

@@ -1,0 +1,51 @@
+#ifndef VDG_WORKLOAD_HEP_H_
+#define VDG_WORKLOAD_HEP_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace vdg {
+namespace workload {
+
+/// Options for the high-energy-physics challenge of Section 6: "a
+/// high energy physics collision event simulation application that
+/// consisted of four separate program executions with intermediate and
+/// final results passing between the stages as files", the last two
+/// stages using object-oriented database files — which we model with
+/// multi-modal dataset descriptors (file / object-closure / sql-rows).
+struct HepOptions {
+  int num_batches = 10;   // independent event batches
+  int events_per_batch = 1000;
+  /// Per-stage nominal runtimes (generate, simulate, reconstruct,
+  /// analyze).
+  double stage_runtime_s[4] = {50.0, 400.0, 200.0, 60.0};
+  /// Per-stage output sizes in MiB.
+  double stage_output_mb[4] = {2.0, 40.0, 20.0, 1.0};
+  /// Also define a compound transformation chaining the four stages,
+  /// and express the per-batch derivations through it (exercises
+  /// compound expansion end-to-end).
+  bool use_compound = true;
+  std::string prefix = "cms";
+};
+
+struct HepWorkload {
+  std::vector<std::string> config_datasets;  // raw generator configs
+  std::vector<std::string> ntuples;          // final per-batch outputs
+  /// Intermediate datasets per batch: [batch][stage 0..2].
+  std::vector<std::vector<std::string>> intermediates;
+  std::vector<std::string> derivations;      // per-batch top-level DVs
+  size_t transformation_count = 0;
+};
+
+/// Defines CMS types (content tree from Appendix C), the four stage
+/// transformations (plus the compound when requested), raw generator
+/// configuration datasets, and a derivation chain per batch.
+Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
+                                const HepOptions& options);
+
+}  // namespace workload
+}  // namespace vdg
+
+#endif  // VDG_WORKLOAD_HEP_H_

@@ -1,0 +1,48 @@
+#ifndef VDG_WORKLOAD_INTERACTIVE_H_
+#define VDG_WORKLOAD_INTERACTIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace vdg {
+namespace workload {
+
+/// Options for the interactive-analysis challenge (Section 6): a
+/// physicist iterates "in an unstructured manner over a small number
+/// of changeable analysis codes", selecting and filtering events,
+/// producing cut sets, then histograms combined into final graphs —
+/// with the goal of "a detailed data lineage report" for "each data
+/// point in the final graph".
+struct InteractiveOptions {
+  int num_iterations = 5;     // edit-code / re-filter cycles
+  int cuts_per_iteration = 3; // cut sets produced per analysis version
+  int points_per_histogram = 8;
+  double select_runtime_s = 30.0;
+  double hist_runtime_s = 5.0;
+  std::string prefix = "ana";
+};
+
+struct InteractiveWorkload {
+  std::string event_store;                 // raw multi-modal input
+  std::vector<std::string> analysis_codes; // one TR version per iteration
+  std::vector<std::string> cut_sets;
+  std::vector<std::string> histograms;
+  std::string final_graph;                 // combines all histograms
+  size_t derivation_count = 0;
+};
+
+/// Populates `catalog` with the iterative analysis session: versioned
+/// select transformations (v1..vN, each annotated with its version),
+/// cut-set derivations over a shared event store (sql-rows
+/// descriptor), histogram derivations per cut set, and one final
+/// graph combining every histogram — so the graph's lineage fans out
+/// across every iteration of the session.
+Result<InteractiveWorkload> GenerateInteractive(
+    VirtualDataCatalog* catalog, const InteractiveOptions& options);
+
+}  // namespace workload
+}  // namespace vdg
+
+#endif  // VDG_WORKLOAD_INTERACTIVE_H_

@@ -1,0 +1,195 @@
+#include "workload/sdss.h"
+
+namespace vdg {
+namespace workload {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+
+// Defines a content type under SDSS if the Appendix-C preset (or a
+// previous call) has not already.
+Status EnsureContentType(VirtualDataCatalog* catalog,
+                         const std::string& name,
+                         const std::string& parent) {
+  if (catalog->types()
+          .dimension(TypeDimension::kContent)
+          .Contains(name)) {
+    return Status::OK();
+  }
+  if (!catalog->types()
+           .dimension(TypeDimension::kContent)
+           .Contains(parent) &&
+      parent != TypeDimensionBaseName(TypeDimension::kContent)) {
+    VDG_RETURN_IF_ERROR(catalog->DefineType(
+        TypeDimension::kContent, parent,
+        TypeDimensionBaseName(TypeDimension::kContent)));
+  }
+  return catalog->DefineType(TypeDimension::kContent, name, parent);
+}
+
+}  // namespace
+
+Result<SdssWorkload> GenerateSdss(VirtualDataCatalog* catalog,
+                                  const SdssOptions& options) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  if (options.num_stripes <= 0 || options.fields_per_stripe <= 0) {
+    return Status::InvalidArgument("SDSS workload needs stripes and fields");
+  }
+
+  VDG_RETURN_IF_ERROR(EnsureContentType(catalog, "FITS-file", "SDSS"));
+  VDG_RETURN_IF_ERROR(EnsureContentType(catalog, "Object-map", "SDSS"));
+  VDG_RETURN_IF_ERROR(
+      EnsureContentType(catalog, "Cluster-catalog", "SDSS"));
+
+  DatasetType field_type;
+  field_type.content = "FITS-file";
+  DatasetType bcg_type;
+  bcg_type.content = "Object-map";
+  DatasetType cluster_type;
+  cluster_type.content = "Cluster-catalog";
+
+  // maxBcg: one field image in, one BCG candidate list out.
+  {
+    Transformation tr(options.prefix + "-maxBcg",
+                      Transformation::Kind::kSimple);
+    FormalArg field{.name = "field",
+                    .direction = ArgDirection::kIn,
+                    .types = {field_type}};
+    FormalArg bcg{.name = "bcg",
+                  .direction = ArgDirection::kOut,
+                  .types = {bcg_type}};
+    FormalArg zmax{.name = "zmax", .direction = ArgDirection::kNone};
+    zmax.default_string = "0.4";
+    VDG_RETURN_IF_ERROR(tr.AddArg(std::move(field)));
+    VDG_RETURN_IF_ERROR(tr.AddArg(std::move(bcg)));
+    VDG_RETURN_IF_ERROR(tr.AddArg(std::move(zmax)));
+    ArgumentTemplate in_arg;
+    in_arg.name = "field";
+    in_arg.expr = {TemplatePiece::Literal("-f "),
+                   TemplatePiece::Ref("field", ArgDirection::kIn)};
+    tr.AddArgumentTemplate(std::move(in_arg));
+    ArgumentTemplate z_arg;
+    z_arg.name = "zmax";
+    z_arg.expr = {TemplatePiece::Literal("-z "),
+                  TemplatePiece::Ref("zmax", ArgDirection::kNone)};
+    tr.AddArgumentTemplate(std::move(z_arg));
+    ArgumentTemplate out_arg;
+    out_arg.name = "stdout";
+    out_arg.expr = {TemplatePiece::Ref("bcg", ArgDirection::kOut)};
+    tr.AddArgumentTemplate(std::move(out_arg));
+    tr.set_executable("/opt/sdss/bin/maxBcg");
+    tr.annotations().Set("sim.runtime_s", options.search_runtime_s);
+    tr.annotations().Set("sim.output_mb", options.bcg_mb);
+    tr.annotations().Set("science", "astronomy");
+    VDG_RETURN_IF_ERROR(catalog->DefineTransformation(std::move(tr)));
+  }
+
+  // brightestCluster: coalesces a stripe's BCG lists into a cluster
+  // catalog. Variable arity is modelled as a file-set input.
+  {
+    Transformation tr(options.prefix + "-brightestCluster",
+                      Transformation::Kind::kSimple);
+    for (int f = 0; f < options.fields_per_stripe; ++f) {
+      FormalArg in;
+      in.name = "bcg" + std::to_string(f);
+      in.direction = ArgDirection::kIn;
+      in.types = {bcg_type};
+      VDG_RETURN_IF_ERROR(tr.AddArg(std::move(in)));
+      ArgumentTemplate arg;
+      arg.name = "bcg" + std::to_string(f);
+      arg.expr = {TemplatePiece::Literal("-b "),
+                  TemplatePiece::Ref("bcg" + std::to_string(f),
+                                     ArgDirection::kIn)};
+      tr.AddArgumentTemplate(std::move(arg));
+    }
+    FormalArg out;
+    out.name = "clusters";
+    out.direction = ArgDirection::kOut;
+    out.types = {cluster_type};
+    VDG_RETURN_IF_ERROR(tr.AddArg(std::move(out)));
+    ArgumentTemplate out_arg;
+    out_arg.name = "stdout";
+    out_arg.expr = {TemplatePiece::Ref("clusters", ArgDirection::kOut)};
+    tr.AddArgumentTemplate(std::move(out_arg));
+    tr.set_executable("/opt/sdss/bin/brightestCluster");
+    tr.annotations().Set("sim.runtime_s", options.merge_runtime_s);
+    tr.annotations().Set("sim.output_mb", options.cluster_mb);
+    tr.annotations().Set("science", "astronomy");
+    VDG_RETURN_IF_ERROR(catalog->DefineTransformation(std::move(tr)));
+  }
+
+  SdssWorkload workload;
+  for (int s = 0; s < options.num_stripes; ++s) {
+    std::vector<std::string> stripe_fields;
+    std::vector<std::string> stripe_bcgs;
+    for (int f = 0; f < options.fields_per_stripe; ++f) {
+      std::string field = options.prefix + ".stripe" + std::to_string(s) +
+                          ".field" + std::to_string(f);
+      Dataset ds;
+      ds.name = field;
+      ds.type = field_type;
+      ds.size_bytes = static_cast<int64_t>(options.field_mb * kMiB);
+      ds.descriptor = DatasetDescriptor::File("/sdss/dr1/" + field);
+      ds.annotations.Set("stripe", static_cast<int64_t>(s));
+      VDG_RETURN_IF_ERROR(catalog->DefineDataset(std::move(ds)));
+      workload.field_datasets.push_back(field);
+      stripe_fields.push_back(field);
+
+      std::string bcg = field + ".bcg";
+      Derivation dv(options.prefix + "-search-s" + std::to_string(s) + "-f" +
+                        std::to_string(f),
+                    options.prefix + "-maxBcg");
+      VDG_RETURN_IF_ERROR(
+          dv.AddArg(ActualArg::DatasetRef("field", field, ArgDirection::kIn)));
+      VDG_RETURN_IF_ERROR(
+          dv.AddArg(ActualArg::DatasetRef("bcg", bcg, ArgDirection::kOut)));
+      VDG_RETURN_IF_ERROR(catalog->DefineDerivation(std::move(dv)));
+      workload.bcg_datasets.push_back(bcg);
+      stripe_bcgs.push_back(bcg);
+      ++workload.derivation_count;
+    }
+    std::string clusters =
+        options.prefix + ".stripe" + std::to_string(s) + ".clusters";
+    Derivation merge(options.prefix + "-merge-s" + std::to_string(s),
+                     options.prefix + "-brightestCluster");
+    for (int f = 0; f < options.fields_per_stripe; ++f) {
+      VDG_RETURN_IF_ERROR(merge.AddArg(ActualArg::DatasetRef(
+          "bcg" + std::to_string(f), stripe_bcgs[static_cast<size_t>(f)],
+          ArgDirection::kIn)));
+    }
+    VDG_RETURN_IF_ERROR(merge.AddArg(
+        ActualArg::DatasetRef("clusters", clusters, ArgDirection::kOut)));
+    VDG_RETURN_IF_ERROR(catalog->DefineDerivation(std::move(merge)));
+    workload.cluster_catalogs.push_back(clusters);
+    workload.stripe_fields.push_back(std::move(stripe_fields));
+    ++workload.derivation_count;
+  }
+  return workload;
+}
+
+Status StageSdssInputs(const SdssWorkload& workload,
+                       const SdssOptions& options, GridSimulator* grid,
+                       VirtualDataCatalog* catalog) {
+  if (grid == nullptr) return Status::InvalidArgument("null grid");
+  std::vector<std::string> sites = grid->topology().SiteNames();
+  if (sites.empty()) return Status::FailedPrecondition("grid has no sites");
+  int64_t bytes = static_cast<int64_t>(options.field_mb * kMiB);
+  for (size_t i = 0; i < workload.field_datasets.size(); ++i) {
+    const std::string& field = workload.field_datasets[i];
+    const std::string& site = sites[i % sites.size()];
+    VDG_RETURN_IF_ERROR(grid->PlaceFile(site, field, bytes, /*pinned=*/true));
+    if (catalog != nullptr) {
+      Replica replica;
+      replica.dataset = field;
+      replica.site = site;
+      replica.storage_element = "se0";
+      replica.physical_path = "/archive/" + field;
+      replica.size_bytes = bytes;
+      VDG_RETURN_IF_ERROR(catalog->AddReplica(std::move(replica)).status());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace vdg

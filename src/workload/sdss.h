@@ -1,0 +1,57 @@
+#ifndef VDG_WORKLOAD_SDSS_H_
+#define VDG_WORKLOAD_SDSS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "grid/simulator.h"
+
+namespace vdg {
+namespace workload {
+
+/// Options for the SDSS MaxBCG galaxy-cluster challenge (Section 6 and
+/// reference [1]): per-field brightest-cluster-galaxy search followed
+/// by per-stripe cluster coalescing. The paper's full run created
+/// ~5000 derivations in DAGs of several hundred nodes.
+struct SdssOptions {
+  int num_stripes = 10;
+  int fields_per_stripe = 25;
+  /// Nominal per-field search runtime and per-stripe merge runtime.
+  double search_runtime_s = 100.0;
+  double merge_runtime_s = 30.0;
+  /// Field image size and derived-catalog sizes.
+  double field_mb = 6.0;
+  double bcg_mb = 0.5;
+  double cluster_mb = 2.0;
+  uint64_t seed = 42;
+  std::string prefix = "sdss";
+};
+
+/// The generated workload: raw field images, one maxBcg derivation
+/// per field, one brightestCluster merge per stripe.
+struct SdssWorkload {
+  std::vector<std::string> field_datasets;          // raw inputs
+  std::vector<std::vector<std::string>> stripe_fields;  // per stripe
+  std::vector<std::string> bcg_datasets;            // per field
+  std::vector<std::string> cluster_catalogs;        // per-stripe sinks
+  size_t derivation_count = 0;
+};
+
+/// Defines the SDSS type tree (content: SDSS > FITS-file etc., from
+/// the Appendix-C preset), the two transformations, and the full
+/// derivation space in `catalog`.
+Result<SdssWorkload> GenerateSdss(VirtualDataCatalog* catalog,
+                                  const SdssOptions& options);
+
+/// Stages the raw field images onto the grid, round-robin across
+/// sites (the survey archive is distributed), and records matching
+/// replicas in the catalog.
+Status StageSdssInputs(const SdssWorkload& workload,
+                       const SdssOptions& options, GridSimulator* grid,
+                       VirtualDataCatalog* catalog);
+
+}  // namespace workload
+}  // namespace vdg
+
+#endif  // VDG_WORKLOAD_SDSS_H_

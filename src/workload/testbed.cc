@@ -1,0 +1,93 @@
+#include "workload/testbed.h"
+
+namespace vdg {
+namespace workload {
+
+namespace {
+
+SiteConfig MakeSite(const std::string& name, int hosts, double cpu_factor,
+                    int64_t storage_bytes = 0) {
+  SiteConfig site;
+  site.name = name;
+  site.hosts.reserve(static_cast<size_t>(hosts));
+  for (int i = 0; i < hosts; ++i) {
+    HostConfig host;
+    host.name = name + "-n" + std::to_string(i);
+    host.cpu_factor = cpu_factor;
+    host.slots = 1;
+    site.hosts.push_back(std::move(host));
+  }
+  StorageElementConfig se;
+  se.name = "se0";
+  se.capacity_bytes = storage_bytes;
+  site.storage.push_back(std::move(se));
+  return site;
+}
+
+void MustAdd(GridTopology* topology, SiteConfig site) {
+  Status s = topology->AddSite(std::move(site));
+  (void)s;
+}
+
+void MustLink(GridTopology* topology, const std::string& a,
+              const std::string& b, double mbps, double latency) {
+  LinkConfig link;
+  link.from = a;
+  link.to = b;
+  link.bandwidth_bytes_per_s = mbps * 1e6 / 8.0;  // megabits -> bytes
+  link.latency_s = latency;
+  Status s = topology->AddLink(std::move(link));
+  (void)s;
+}
+
+}  // namespace
+
+GridTopology GriphynTestbed() {
+  GridTopology topology;
+  MustAdd(&topology, MakeSite("uchicago", 252, 1.0));
+  MustAdd(&topology, MakeSite("wisconsin", 300, 0.9));
+  MustAdd(&topology, MakeSite("fermilab", 128, 1.2));
+  MustAdd(&topology, MakeSite("caltech", 120, 1.1));
+  // 2003-era Abilene-class links (fractional OC-12 shares).
+  MustLink(&topology, "uchicago", "wisconsin", 155, 0.012);
+  MustLink(&topology, "uchicago", "fermilab", 622, 0.004);
+  MustLink(&topology, "uchicago", "caltech", 155, 0.030);
+  MustLink(&topology, "wisconsin", "fermilab", 155, 0.010);
+  MustLink(&topology, "wisconsin", "caltech", 100, 0.032);
+  MustLink(&topology, "fermilab", "caltech", 155, 0.028);
+  return topology;
+}
+
+GridTopology SmallTestbed() {
+  GridTopology topology;
+  MustAdd(&topology, MakeSite("east", 4, 1.0));
+  MustAdd(&topology, MakeSite("west", 4, 1.0));
+  MustLink(&topology, "east", "west", 100, 0.02);
+  return topology;
+}
+
+GridTopology TieredTestbed(int regionals, int leaves_per_regional,
+                           int64_t leaf_storage_bytes,
+                           std::map<std::string, std::string>* parents) {
+  GridTopology topology;
+  MustAdd(&topology, MakeSite("root", 4, 1.0));
+  if (parents != nullptr) (*parents)["root"] = "";
+  for (int r = 0; r < regionals; ++r) {
+    std::string regional = "region" + std::to_string(r);
+    MustAdd(&topology, MakeSite(regional, 4, 1.0,
+                                leaf_storage_bytes * 4));
+    MustLink(&topology, "root", regional, 622, 0.010);
+    if (parents != nullptr) (*parents)[regional] = "root";
+    for (int l = 0; l < leaves_per_regional; ++l) {
+      std::string leaf = regional + "-leaf" + std::to_string(l);
+      MustAdd(&topology, MakeSite(leaf, 2, 1.0, leaf_storage_bytes));
+      MustLink(&topology, regional, leaf, 100, 0.005);
+      MustLink(&topology, "root", leaf, 45, 0.020);
+      if (parents != nullptr) (*parents)[leaf] = regional;
+    }
+  }
+  return topology;
+}
+
+}  // namespace workload
+}  // namespace vdg

@@ -1,0 +1,32 @@
+#ifndef VDG_WORKLOAD_TESTBED_H_
+#define VDG_WORKLOAD_TESTBED_H_
+
+#include <map>
+#include <string>
+
+#include "grid/topology.h"
+
+namespace vdg {
+namespace workload {
+
+/// The GriPhyN-like grid of the paper's SDSS experiment (Section 6):
+/// "a grid consisting of almost 800 hosts spread across four sites".
+/// Sites: uchicago (252), wisconsin (300), fermilab (128),
+/// caltech (120) = 800 hosts, WAN-linked at 2003-era bandwidths.
+GridTopology GriphynTestbed();
+
+/// A compact 2-site x 4-host grid for unit tests and the quickstart.
+GridTopology SmallTestbed();
+
+/// A three-tier hierarchy for replication experiments: one root
+/// (archive) site, `regionals` mid-tier sites, `leaves_per_regional`
+/// leaf sites each. `parents` (out) receives the site hierarchy the
+/// cascading policy needs.
+GridTopology TieredTestbed(int regionals, int leaves_per_regional,
+                           int64_t leaf_storage_bytes,
+                           std::map<std::string, std::string>* parents);
+
+}  // namespace workload
+}  // namespace vdg
+
+#endif  // VDG_WORKLOAD_TESTBED_H_

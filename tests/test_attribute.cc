@@ -1,0 +1,156 @@
+#include "schema/attribute.h"
+
+#include <gtest/gtest.h>
+
+namespace vdg {
+namespace {
+
+TEST(AttributeValueTest, KindsAndAccessors) {
+  AttributeValue s("text");
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.AsString(), "text");
+  AttributeValue i(int64_t{42});
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.AsInt(), 42);
+  AttributeValue d(2.5);
+  EXPECT_TRUE(d.is_double());
+  EXPECT_EQ(d.AsDouble(), 2.5);
+  AttributeValue b(true);
+  EXPECT_TRUE(b.is_bool());
+  EXPECT_TRUE(b.AsBool());
+}
+
+TEST(AttributeValueTest, NumberCoercion) {
+  EXPECT_EQ(AttributeValue(int64_t{3}).AsNumber(), 3.0);
+  EXPECT_EQ(AttributeValue(1.5).AsNumber(), 1.5);
+  EXPECT_FALSE(AttributeValue("nope").AsNumber().has_value());
+  EXPECT_FALSE(AttributeValue(true).AsNumber().has_value());
+}
+
+TEST(AttributeValueTest, ToStringRendering) {
+  EXPECT_EQ(AttributeValue("x").ToString(), "x");
+  EXPECT_EQ(AttributeValue(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(AttributeValue(false).ToString(), "false");
+  EXPECT_EQ(AttributeValue(2.5).ToString(), "2.5");
+}
+
+TEST(AttributeValueTest, TaggedRoundTrip) {
+  for (const AttributeValue& v :
+       {AttributeValue("hello world"), AttributeValue(int64_t{-12}),
+        AttributeValue(3.25), AttributeValue(true)}) {
+    Result<AttributeValue> back =
+        AttributeValue::FromTagged(v.TypeTag(), v.ToString());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(AttributeValueTest, FromTaggedRejectsBadInput) {
+  EXPECT_FALSE(AttributeValue::FromTagged('i', "12x").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('d', "abc").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('b', "yes").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('?', "x").ok());
+}
+
+TEST(AttributeSetTest, SetGetEraseHas) {
+  AttributeSet attrs;
+  attrs.Set("owner", "alice");
+  attrs.Set("runs", int64_t{3});
+  EXPECT_TRUE(attrs.Has("owner"));
+  EXPECT_EQ(attrs.GetString("owner"), "alice");
+  EXPECT_EQ(attrs.GetInt("runs"), 3);
+  EXPECT_FALSE(attrs.GetInt("owner").has_value());  // kind mismatch
+  EXPECT_FALSE(attrs.GetString("missing").has_value());
+  EXPECT_TRUE(attrs.Erase("owner"));
+  EXPECT_FALSE(attrs.Erase("owner"));
+  EXPECT_EQ(attrs.size(), 1u);
+}
+
+TEST(AttributeSetTest, OverwriteReplacesValue) {
+  AttributeSet attrs;
+  attrs.Set("k", int64_t{1});
+  attrs.Set("k", "two");
+  EXPECT_EQ(attrs.GetString("k"), "two");
+  EXPECT_EQ(attrs.size(), 1u);
+}
+
+TEST(AttributeSetTest, GetDoubleCoercesInts) {
+  AttributeSet attrs;
+  attrs.Set("n", int64_t{4});
+  EXPECT_EQ(attrs.GetDouble("n"), 4.0);
+}
+
+TEST(AttributeSetTest, ToStringIsCanonicallySorted) {
+  AttributeSet attrs;
+  attrs.Set("zeta", int64_t{1});
+  attrs.Set("alpha", int64_t{2});
+  EXPECT_EQ(attrs.ToString(), "alpha=2;zeta=1");
+}
+
+TEST(PredicateTest, ExistsAndEq) {
+  AttributeSet attrs;
+  attrs.Set("quality", "approved");
+  AttributePredicate exists{"quality", PredicateOp::kExists, {}};
+  EXPECT_TRUE(exists.Matches(attrs));
+  AttributePredicate missing{"nope", PredicateOp::kExists, {}};
+  EXPECT_FALSE(missing.Matches(attrs));
+  AttributePredicate eq{"quality", PredicateOp::kEq, "approved"};
+  EXPECT_TRUE(eq.Matches(attrs));
+  AttributePredicate ne{"quality", PredicateOp::kNe, "draft"};
+  EXPECT_TRUE(ne.Matches(attrs));
+}
+
+TEST(PredicateTest, NumericComparisonsCoerce) {
+  AttributeSet attrs;
+  attrs.Set("events", int64_t{500});
+  EXPECT_TRUE(
+      (AttributePredicate{"events", PredicateOp::kGt, 100.0}).Matches(attrs));
+  EXPECT_TRUE((AttributePredicate{"events", PredicateOp::kLe, int64_t{500}})
+                  .Matches(attrs));
+  EXPECT_FALSE(
+      (AttributePredicate{"events", PredicateOp::kLt, int64_t{500}})
+          .Matches(attrs));
+  EXPECT_TRUE((AttributePredicate{"events", PredicateOp::kGe, int64_t{500}})
+                  .Matches(attrs));
+}
+
+TEST(PredicateTest, IncomparableKindsNeverMatchOrderedOps) {
+  AttributeSet attrs;
+  attrs.Set("name", "abc");
+  EXPECT_FALSE(
+      (AttributePredicate{"name", PredicateOp::kLt, int64_t{5}}).Matches(attrs));
+}
+
+TEST(PredicateTest, ContainsDoesSubstring) {
+  AttributeSet attrs;
+  attrs.Set("desc", "galaxy cluster search");
+  EXPECT_TRUE((AttributePredicate{"desc", PredicateOp::kContains, "cluster"})
+                  .Matches(attrs));
+  EXPECT_FALSE((AttributePredicate{"desc", PredicateOp::kContains, "quark"})
+                   .Matches(attrs));
+}
+
+TEST(PredicateTest, MatchesAllIsConjunction) {
+  AttributeSet attrs;
+  attrs.Set("science", "astronomy");
+  attrs.Set("year", int64_t{2002});
+  std::vector<AttributePredicate> conj{
+      {"science", PredicateOp::kEq, "astronomy"},
+      {"year", PredicateOp::kGe, int64_t{2000}}};
+  EXPECT_TRUE(MatchesAll(attrs, conj));
+  conj.push_back({"year", PredicateOp::kLt, int64_t{2001}});
+  EXPECT_FALSE(MatchesAll(attrs, conj));
+  EXPECT_TRUE(MatchesAll(attrs, {}));
+}
+
+TEST(PredicateTest, StringOrderingIsLexicographic) {
+  AttributeSet attrs;
+  attrs.Set("v", "beta");
+  EXPECT_TRUE(
+      (AttributePredicate{"v", PredicateOp::kGt, "alpha"}).Matches(attrs));
+  EXPECT_TRUE(
+      (AttributePredicate{"v", PredicateOp::kLt, "gamma"}).Matches(attrs));
+}
+
+}  // namespace
+}  // namespace vdg

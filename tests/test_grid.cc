@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "grid/event_queue.h"
+#include "grid/rls.h"
+#include "grid/simulator.h"
+#include "grid/storage.h"
+#include "grid/topology.h"
+#include "workload/testbed.h"
+
+namespace vdg {
+namespace {
+
+// ---------------------------- EventQueue -----------------------------
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunUntilEmpty(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(1.0, [&] { order.push_back(2); });
+  q.ScheduleAt(1.0, [&] { order.push_back(3); });
+  q.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, CallbacksMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] {
+    ++fired;
+    q.ScheduleAfter(1.0, [&] { ++fired; });
+  });
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(5.0, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(2.0), 2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, LateSchedulingClampsToNow) {
+  EventQueue q;
+  double fired_at = -1;
+  q.ScheduleAt(5.0, [&] {
+    q.ScheduleAt(1.0, [&] { fired_at = q.now(); });  // in the past
+  });
+  q.RunUntilEmpty();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+// ----------------------------- Topology ------------------------------
+
+TEST(TopologyTest, SitesAndLinks) {
+  GridTopology t = workload::SmallTestbed();
+  EXPECT_EQ(t.site_count(), 2u);
+  EXPECT_EQ(t.total_hosts(), 8u);
+  EXPECT_TRUE(t.HasSite("east"));
+  EXPECT_FALSE(t.HasSite("mars"));
+  EXPECT_EQ(t.SiteNames(), (std::vector<std::string>{"east", "west"}));
+}
+
+TEST(TopologyTest, DuplicateSiteRejected) {
+  GridTopology t;
+  SiteConfig s;
+  s.name = "x";
+  s.hosts.push_back({"x-0", 1.0, 1});
+  EXPECT_TRUE(t.AddSite(s).ok());
+  EXPECT_TRUE(t.AddSite(s).IsAlreadyExists());
+}
+
+TEST(TopologyTest, LinkValidation) {
+  GridTopology t = workload::SmallTestbed();
+  LinkConfig bad;
+  bad.from = "east";
+  bad.to = "nowhere";
+  bad.bandwidth_bytes_per_s = 1;
+  EXPECT_TRUE(t.AddLink(bad).IsNotFound());
+  LinkConfig zero;
+  zero.from = "east";
+  zero.to = "west";
+  zero.bandwidth_bytes_per_s = 0;
+  EXPECT_FALSE(t.AddLink(zero).ok());
+}
+
+TEST(TopologyTest, IntraSiteIsFastAndDefaultsApplyToUnlinked) {
+  GridTopology t = workload::SmallTestbed();
+  EXPECT_EQ(t.Bandwidth("east", "east"), GridTopology::kLocalBandwidth);
+  // east<->west linked at 100 Mbps = 12.5e6 B/s.
+  EXPECT_NEAR(t.Bandwidth("east", "west"), 12.5e6, 1.0);
+  SiteConfig lone;
+  lone.name = "lone";
+  lone.hosts.push_back({"l-0", 1.0, 1});
+  ASSERT_TRUE(t.AddSite(lone).ok());
+  EXPECT_EQ(t.Bandwidth("east", "lone"), 10e6);  // default WAN
+}
+
+TEST(TopologyTest, TransferSecondsIncludesLatency) {
+  GridTopology t = workload::SmallTestbed();
+  double secs = t.TransferSeconds("east", "west", 12'500'000);
+  EXPECT_NEAR(secs, 0.02 + 1.0, 1e-9);
+  EXPECT_EQ(t.TransferSeconds("east", "west", 0), 0.02);
+}
+
+// ------------------------------ Storage ------------------------------
+
+TEST(StorageTest, CapacityEnforced) {
+  StorageElement se("site", "se0", 100);
+  EXPECT_TRUE(se.Store("a", 60, 0).ok());
+  EXPECT_TRUE(se.Store("b", 50, 1).code() ==
+              StatusCode::kResourceExhausted);
+  EXPECT_TRUE(se.Store("b", 40, 1).ok());
+  EXPECT_EQ(se.used_bytes(), 100);
+  EXPECT_EQ(se.free_bytes(), 0);
+}
+
+TEST(StorageTest, UnboundedWhenCapacityZero) {
+  StorageElement se("site", "se0", 0);
+  EXPECT_TRUE(se.Store("big", int64_t{1} << 40, 0).ok());
+  EXPECT_GT(se.free_bytes(), 0);
+}
+
+TEST(StorageTest, DuplicateAndRemove) {
+  StorageElement se("site", "se0", 0);
+  ASSERT_TRUE(se.Store("a", 10, 0).ok());
+  EXPECT_TRUE(se.Store("a", 10, 0).IsAlreadyExists());
+  EXPECT_TRUE(se.Remove("a").ok());
+  EXPECT_TRUE(se.Remove("a").IsNotFound());
+  EXPECT_EQ(se.used_bytes(), 0);
+}
+
+TEST(StorageTest, PinnedFilesResistRemoval) {
+  StorageElement se("site", "se0", 0);
+  ASSERT_TRUE(se.Store("a", 10, 0).ok());
+  ASSERT_TRUE(se.SetPinned("a", true).ok());
+  EXPECT_EQ(se.Remove("a").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(se.SetPinned("a", false).ok());
+  EXPECT_TRUE(se.Remove("a").ok());
+}
+
+TEST(StorageTest, EvictionCandidatesAreLruOrdered) {
+  StorageElement se("site", "se0", 0);
+  ASSERT_TRUE(se.Store("a", 1, 0).ok());
+  ASSERT_TRUE(se.Store("b", 1, 1).ok());
+  ASSERT_TRUE(se.Store("c", 1, 2).ok());
+  ASSERT_TRUE(se.Touch("a", 10).ok());  // a becomes most recent
+  ASSERT_TRUE(se.SetPinned("c", true).ok());
+  std::vector<StoredFile> victims = se.EvictionCandidates();
+  ASSERT_EQ(victims.size(), 2u);  // c pinned
+  EXPECT_EQ(victims[0].logical_name, "b");
+  EXPECT_EQ(victims[1].logical_name, "a");
+}
+
+TEST(StorageTest, TouchTracksAccessStats) {
+  StorageElement se("site", "se0", 0);
+  ASSERT_TRUE(se.Store("a", 1, 0).ok());
+  ASSERT_TRUE(se.Touch("a", 5).ok());
+  ASSERT_TRUE(se.Touch("a", 9).ok());
+  Result<StoredFile> f = se.GetFile("a");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->access_count, 2u);
+  EXPECT_EQ(f->last_access, 9);
+  EXPECT_TRUE(se.Touch("ghost", 1).IsNotFound());
+}
+
+// -------------------------------- RLS --------------------------------
+
+TEST(RlsTest, RegisterLookupUnregister) {
+  ReplicaLocationService rls;
+  ASSERT_TRUE(rls.Register("f", {"east", "se0", 100}).ok());
+  EXPECT_TRUE(rls.Register("f", {"east", "se0", 100}).IsAlreadyExists());
+  ASSERT_TRUE(rls.Register("f", {"west", "se0", 100}).ok());
+  EXPECT_EQ(rls.Lookup("f").size(), 2u);
+  EXPECT_TRUE(rls.ExistsAt("f", "east"));
+  EXPECT_FALSE(rls.ExistsAt("f", "mars"));
+  ASSERT_TRUE(rls.Unregister("f", "east", "se0").ok());
+  EXPECT_FALSE(rls.ExistsAt("f", "east"));
+  EXPECT_TRUE(rls.Unregister("f", "east", "se0").IsNotFound());
+  ASSERT_TRUE(rls.Unregister("f", "west", "se0").ok());
+  EXPECT_FALSE(rls.Exists("f"));
+}
+
+TEST(RlsTest, BestSourcePicksCheapestTransfer) {
+  GridTopology t = workload::GriphynTestbed();
+  ReplicaLocationService rls;
+  // uchicago<->fermilab is the fattest link (622 Mbps).
+  ASSERT_TRUE(rls.Register("f", {"caltech", "se0", 1 << 30}).ok());
+  ASSERT_TRUE(rls.Register("f", {"fermilab", "se0", 1 << 30}).ok());
+  Result<PhysicalLocation> best = rls.BestSource("f", "uchicago", t);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->site, "fermilab");
+  // Local replica always wins.
+  ASSERT_TRUE(rls.Register("f", {"uchicago", "se0", 1 << 30}).ok());
+  EXPECT_EQ(rls.BestSource("f", "uchicago", t)->site, "uchicago");
+  EXPECT_TRUE(rls.BestSource("ghost", "uchicago", t).status().IsNotFound());
+}
+
+// ---------------------------- GridSimulator --------------------------
+
+TEST(SimulatorTest, SingleJobRunsForItsLength) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  std::vector<JobResult> results;
+  ASSERT_TRUE(grid.SubmitJob("east", 30.0,
+                             [&](const JobResult& r) { results.push_back(r); })
+                  .ok());
+  grid.RunUntilIdle();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].succeeded);
+  EXPECT_EQ(results[0].start_time, 0.0);
+  EXPECT_EQ(results[0].end_time, 30.0);
+  EXPECT_EQ(results[0].site, "east");
+}
+
+TEST(SimulatorTest, JobsQueueWhenSlotsBusy) {
+  // SmallTestbed east has 4 single-slot hosts; 8 jobs of 10s each
+  // should finish in two waves at t=10 and t=20.
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  std::vector<double> ends;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(grid.SubmitJob("east", 10.0, [&](const JobResult& r) {
+                      ends.push_back(r.end_time);
+                    })
+                    .ok());
+  }
+  grid.RunUntilIdle();
+  ASSERT_EQ(ends.size(), 8u);
+  int wave1 = 0, wave2 = 0;
+  for (double e : ends) {
+    if (e == 10.0) ++wave1;
+    if (e == 20.0) ++wave2;
+  }
+  EXPECT_EQ(wave1, 4);
+  EXPECT_EQ(wave2, 4);
+  Result<SiteStats> stats = grid.StatsFor("east");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->jobs_completed, 8u);
+  EXPECT_GE(stats->peak_queue_depth, 4u);
+}
+
+TEST(SimulatorTest, FasterHostsFinishSooner) {
+  GridTopology t;
+  SiteConfig site;
+  site.name = "mix";
+  site.hosts.push_back({"slow", 1.0, 1});
+  site.hosts.push_back({"fast", 2.0, 1});
+  ASSERT_TRUE(t.AddSite(site).ok());
+  GridSimulator grid(std::move(t), 1);
+  std::map<std::string, double> end_by_host;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(grid.SubmitJob("mix", 10.0, [&](const JobResult& r) {
+                      end_by_host[r.host] = r.end_time;
+                    })
+                    .ok());
+  }
+  grid.RunUntilIdle();
+  ASSERT_EQ(end_by_host.size(), 2u);
+  EXPECT_EQ(end_by_host["fast"], 5.0);   // dispatched first, 2x speed
+  EXPECT_EQ(end_by_host["slow"], 10.0);
+}
+
+TEST(SimulatorTest, UnknownSiteRejected) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  EXPECT_TRUE(grid.SubmitJob("mars", 1.0, nullptr).status().IsNotFound());
+  EXPECT_TRUE(
+      grid.SubmitTransfer("east", "mars", 1, nullptr).status().IsNotFound());
+  EXPECT_FALSE(grid.SubmitJob("east", -1.0, nullptr).ok());
+}
+
+TEST(SimulatorTest, TransferTimeMatchesTopology) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  std::vector<TransferResult> results;
+  ASSERT_TRUE(grid.SubmitTransfer("east", "west", 12'500'000,
+                                  [&](const TransferResult& r) {
+                                    results.push_back(r);
+                                  })
+                  .ok());
+  grid.RunUntilIdle();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].end_time, 1.02, 1e-9);
+  Result<SiteStats> stats = grid.StatsFor("west");
+  EXPECT_EQ(stats->transfers_in, 1u);
+  EXPECT_EQ(stats->bytes_in, 12'500'000);
+}
+
+TEST(SimulatorTest, ConcurrentTransfersShareBandwidth) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  std::vector<double> ends;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(grid.SubmitTransfer("east", "west", 12'500'000,
+                                    [&](const TransferResult& r) {
+                                      ends.push_back(r.end_time);
+                                    })
+                    .ok());
+  }
+  grid.RunUntilIdle();
+  ASSERT_EQ(ends.size(), 2u);
+  // First snapshot sees 1 active (full bw), second sees 2 (half bw).
+  EXPECT_NEAR(ends[0], 1.02, 1e-9);
+  EXPECT_NEAR(ends[1], 2.02, 1e-9);
+}
+
+TEST(SimulatorTest, FailureInjectionIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    GridSimulator grid(workload::SmallTestbed(), seed);
+    grid.set_job_failure_rate(0.5);
+    int failures = 0;
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(grid.SubmitJob("east", 1.0, [&](const JobResult& r) {
+                        if (!r.succeeded) ++failures;
+                      })
+                      .ok());
+    }
+    grid.RunUntilIdle();
+    return failures;
+  };
+  int a = run(7);
+  EXPECT_EQ(a, run(7));  // same seed, same failures
+  EXPECT_GT(a, 20);
+  EXPECT_LT(a, 80);
+}
+
+TEST(SimulatorTest, RuntimeJitterVariesRuntimes) {
+  GridSimulator grid(workload::SmallTestbed(), 3);
+  grid.set_runtime_jitter(0.3);
+  std::vector<double> durations;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(grid.SubmitJob("east", 10.0, [&](const JobResult& r) {
+                      durations.push_back(r.end_time - r.start_time);
+                    })
+                    .ok());
+  }
+  grid.RunUntilIdle();
+  ASSERT_EQ(durations.size(), 4u);
+  bool any_different = false;
+  for (double d : durations) {
+    if (d != durations[0]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SimulatorTest, UtilizationAccounting) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(grid.SubmitJob("east", 10.0, nullptr).ok());
+  }
+  grid.RunUntilIdle();
+  // 4 hosts busy 10s each over a 10s run: 100% at east, 0% at west.
+  EXPECT_NEAR(*grid.Utilization("east"), 1.0, 1e-9);
+  EXPECT_NEAR(*grid.Utilization("west"), 0.0, 1e-9);
+}
+
+TEST(SimulatorTest, PlaceEvictAndRlsIntegration) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  ASSERT_TRUE(grid.PlaceFile("east", "f1", 100).ok());
+  EXPECT_TRUE(grid.rls().ExistsAt("f1", "east"));
+  EXPECT_TRUE(grid.PlaceFile("east", "f1", 100).IsAlreadyExists());
+  ASSERT_TRUE(grid.EvictFile("east", "f1").ok());
+  EXPECT_FALSE(grid.rls().Exists("f1"));
+  EXPECT_TRUE(grid.EvictFile("east", "f1").IsNotFound());
+}
+
+TEST(SimulatorTest, GriphynTestbedShape) {
+  GridTopology t = workload::GriphynTestbed();
+  EXPECT_EQ(t.site_count(), 4u);
+  EXPECT_EQ(t.total_hosts(), 800u);  // the paper's "almost 800 hosts"
+}
+
+}  // namespace
+}  // namespace vdg

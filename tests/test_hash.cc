@@ -1,0 +1,87 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace vdg {
+namespace {
+
+TEST(Fnv1aTest, KnownVectors) {
+  // Standard FNV-1a 64-bit reference values.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aTest, DifferentInputsDiffer) {
+  EXPECT_NE(Fnv1a64("derivation-1"), Fnv1a64("derivation-2"));
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(
+      Sha256::HexDigest(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(
+      Sha256::HexDigest("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::HexDigest(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(
+      Sha256::HexDigest(input),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Property: incremental hashing over any chunking equals one-shot.
+class Sha256Chunking : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha256Chunking, IncrementalEqualsOneShot) {
+  std::string input;
+  for (int i = 0; i < 300; ++i) {
+    input += "chunk-" + std::to_string(i) + ";";
+  }
+  std::string expected = Sha256::HexDigest(input);
+
+  size_t chunk = GetParam();
+  Sha256 hasher;
+  for (size_t pos = 0; pos < input.size(); pos += chunk) {
+    hasher.Update(std::string_view(input).substr(pos, chunk));
+  }
+  EXPECT_EQ(ToHex(hasher.Finish()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, Sha256Chunking,
+                         ::testing::Values(1, 3, 55, 56, 63, 64, 65, 127,
+                                           1000));
+
+TEST(Sha256Test, BoundaryLengthsAroundPadding) {
+  // 55/56/64 bytes hit the padding edge cases.
+  for (size_t n : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    std::string input(n, 'x');
+    Sha256 a;
+    a.Update(input);
+    EXPECT_EQ(ToHex(a.Finish()), Sha256::HexDigest(input)) << n;
+  }
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::HexDigest("entry-1"), Sha256::HexDigest("entry-2"));
+}
+
+TEST(ToHexTest, EncodesBytes) {
+  uint8_t bytes[] = {0x00, 0xff, 0x10, 0xab};
+  EXPECT_EQ(ToHex(bytes, 4), "00ff10ab");
+}
+
+}  // namespace
+}  // namespace vdg

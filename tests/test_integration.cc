@@ -1,0 +1,261 @@
+// End-to-end integration tests: the full virtual-data cycle of
+// Figure 5 — compose, plan, estimate, derive, discover — run against
+// the simulated grid, plus persistence and invalidation flows.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "estimator/estimator.h"
+#include "executor/executor.h"
+#include "planner/planner.h"
+#include "provenance/provenance.h"
+#include "workload/hep.h"
+#include "workload/sdss.h"
+#include "workload/testbed.h"
+
+namespace vdg {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest()
+      : catalog_("griphyn.org"),
+        grid_(workload::GriphynTestbed(), 11),
+        planner_(catalog_, grid_.topology(), &grid_.rls(), estimator_),
+        engine_(&grid_, &catalog_) {
+    EXPECT_TRUE(catalog_.Open().ok());
+  }
+
+  VirtualDataCatalog catalog_;
+  GridSimulator grid_;
+  CostEstimator estimator_;
+  RequestPlanner planner_;
+  WorkflowEngine engine_;
+};
+
+TEST_F(IntegrationTest, SdssCampaignEndToEnd) {
+  workload::SdssOptions options;
+  options.num_stripes = 3;
+  options.fields_per_stripe = 6;
+  Result<workload::SdssWorkload> workload =
+      workload::GenerateSdss(&catalog_, options);
+  ASSERT_TRUE(workload.ok());
+  ASSERT_TRUE(
+      workload::StageSdssInputs(*workload, options, &grid_, &catalog_).ok());
+
+  PlannerOptions popt;
+  popt.target_site = "uchicago";
+  size_t executed_nodes = 0;
+  for (const std::string& clusters : workload->cluster_catalogs) {
+    Result<ExecutionPlan> plan = planner_.Plan(clusters, popt);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_EQ(plan->nodes.size(), 7u);  // 6 searches + 1 merge
+    Result<WorkflowResult> result = engine_.Execute(*plan);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->succeeded);
+    executed_nodes += result->nodes_succeeded;
+  }
+  EXPECT_EQ(executed_nodes, 21u);
+  for (const std::string& clusters : workload->cluster_catalogs) {
+    EXPECT_TRUE(catalog_.IsMaterialized(clusters));
+  }
+
+  // Discovery over what the campaign produced.
+  DatasetQuery astronomy;
+  astronomy.name_prefix = "sdss.stripe";
+  astronomy.require_materialized = true;
+  // 18 fields + 18 bcgs + 3 cluster catalogs, all materialized.
+  EXPECT_EQ(catalog_.FindDatasets(astronomy).size(), 39u);
+
+  // Provenance: each cluster catalog traces to exactly its stripe.
+  ProvenanceTracker tracker(catalog_);
+  Result<std::set<std::string>> ancestors =
+      tracker.Ancestors(workload->cluster_catalogs[0]);
+  ASSERT_TRUE(ancestors.ok());
+  EXPECT_EQ(ancestors->size(), 12u);  // 6 fields + 6 bcg lists
+  EXPECT_TRUE(*tracker.FullyMaterialized(workload->cluster_catalogs[0]));
+
+  // The estimator learned real runtimes from the invocations.
+  ASSERT_TRUE(estimator_.LearnFromCatalog(catalog_).ok());
+  EXPECT_GT(estimator_.ObservationCount("sdss-maxBcg"), 0u);
+  EXPECT_NEAR(estimator_.EstimateRuntime("sdss-maxBcg", "uchicago"), 100.0,
+              15.0);
+}
+
+TEST_F(IntegrationTest, CalibrationErrorInvalidatesAndReruns) {
+  workload::SdssOptions options;
+  options.num_stripes = 1;
+  options.fields_per_stripe = 4;
+  Result<workload::SdssWorkload> workload =
+      workload::GenerateSdss(&catalog_, options);
+  ASSERT_TRUE(workload.ok());
+  ASSERT_TRUE(
+      workload::StageSdssInputs(*workload, options, &grid_, &catalog_).ok());
+
+  PlannerOptions popt;
+  popt.target_site = "fermilab";
+  const std::string& clusters = workload->cluster_catalogs[0];
+  Result<ExecutionPlan> plan = planner_.Plan(clusters, popt);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine_.Execute(*plan)->succeeded);
+  ASSERT_TRUE(catalog_.IsMaterialized(clusters));
+
+  // "I've detected a calibration error in an instrument and want to
+  // know which derived data to recompute."
+  ProvenanceTracker tracker(catalog_);
+  const std::string& bad_field = workload->field_datasets[2];
+  Result<InvalidationReport> report =
+      tracker.Invalidate(bad_field, &catalog_);
+  ASSERT_TRUE(report.ok());
+  // Downstream: that field's bcg list and the stripe's cluster catalog.
+  EXPECT_EQ(report->affected_datasets.size(), 2u);
+  EXPECT_FALSE(catalog_.IsMaterialized(clusters));
+
+  // Re-plan: only the invalidated parts are recomputed.
+  Result<ExecutionPlan> repair = planner_.Plan(clusters, popt);
+  ASSERT_TRUE(repair.ok()) << repair.status();
+  EXPECT_EQ(repair->mode, MaterializationMode::kRerun);
+  EXPECT_EQ(repair->nodes.size(), 2u);  // bad search + merge
+  Result<WorkflowResult> result = engine_.Execute(*repair);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_TRUE(catalog_.IsMaterialized(clusters));
+}
+
+TEST_F(IntegrationTest, DedupAvoidsRecomputation) {
+  ASSERT_TRUE(catalog_.ImportVdl(R"(
+TR crunch( output out, input in, none level="2" ) {
+  argument stdin = ${input:in};
+  argument stdout = ${output:out};
+  exec = "/bin/crunch";
+}
+DS input.data : Dataset size="1000";
+DV job1->crunch( out=@{output:"result.data"}, in=@{input:"input.data"},
+                 level="5" );
+)")
+                  .ok());
+  ASSERT_TRUE(grid_.PlaceFile("uchicago", "input.data", 1000, true).ok());
+  Replica r;
+  r.dataset = "input.data";
+  r.site = "uchicago";
+  r.size_bytes = 1000;
+  ASSERT_TRUE(catalog_.AddReplica(r).ok());
+
+  PlannerOptions popt;
+  popt.target_site = "uchicago";
+  Result<ExecutionPlan> plan = planner_.Plan("result.data", popt);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine_.Execute(*plan)->succeeded);
+
+  // A scientist elsewhere writes the same request under another name.
+  Derivation dup("job2", "crunch");
+  ASSERT_TRUE(dup.AddArg(ActualArg::DatasetRef("out", "result.data",
+                                               ArgDirection::kOut))
+                  .ok());
+  ASSERT_TRUE(dup.AddArg(ActualArg::DatasetRef("in", "input.data",
+                                               ArgDirection::kIn))
+                  .ok());
+  ASSERT_TRUE(dup.AddArg(ActualArg::String("level", "5")).ok());
+  // "If the program has already been run and the results stored,
+  //  I'll save weeks of computation."
+  EXPECT_TRUE(catalog_.HasBeenComputed(dup));
+  Result<std::string> original = catalog_.FindEquivalentDerivation(dup);
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(*original, "job1");
+  // And the planner agrees nothing needs to run.
+  Result<ExecutionPlan> replan = planner_.Plan("result.data", popt);
+  ASSERT_TRUE(replan.ok());
+  EXPECT_EQ(replan->mode, MaterializationMode::kAlreadyLocal);
+}
+
+TEST_F(IntegrationTest, HepPipelinePersistsAcrossRestart) {
+  std::string path = ::testing::TempDir() + "/vdg_hep_journal.log";
+  std::remove(path.c_str());
+  uint64_t invocations = 0;
+  {
+    VirtualDataCatalog catalog("cms.org",
+                               std::make_unique<FileJournal>(path));
+    ASSERT_TRUE(catalog.Open().ok());
+    workload::HepOptions options;
+    options.num_batches = 2;
+    Result<workload::HepWorkload> workload =
+        workload::GenerateHep(&catalog, options);
+    ASSERT_TRUE(workload.ok());
+
+    GridSimulator grid(workload::SmallTestbed(), 5);
+    for (const std::string& config : workload->config_datasets) {
+      ASSERT_TRUE(grid.PlaceFile("east", config, 64 * 1024, true).ok());
+      Replica r;
+      r.dataset = config;
+      r.site = "east";
+      r.size_bytes = 64 * 1024;
+      ASSERT_TRUE(catalog.AddReplica(r).ok());
+    }
+    CostEstimator estimator;
+    RequestPlanner planner(catalog, grid.topology(), &grid.rls(),
+                           estimator);
+    WorkflowEngine engine(&grid, &catalog);
+    PlannerOptions popt;
+    popt.target_site = "east";
+    for (const std::string& ntuple : workload->ntuples) {
+      Result<ExecutionPlan> plan = planner.Plan(ntuple, popt);
+      ASSERT_TRUE(plan.ok()) << plan.status();
+      ASSERT_TRUE(engine.Execute(*plan)->succeeded);
+    }
+    invocations = catalog.Stats().invocations;
+    EXPECT_EQ(invocations, 8u);  // 4 stages x 2 batches
+    ASSERT_TRUE(catalog.SyncJournal().ok());
+  }
+  // Reopen: the full provenance record survives the restart.
+  VirtualDataCatalog reopened("cms.org",
+                              std::make_unique<FileJournal>(path));
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.Stats().invocations, invocations);
+  EXPECT_TRUE(reopened.IsMaterialized("cms.batch0.ntuple"));
+  ProvenanceTracker tracker(reopened);
+  Result<std::vector<Invocation>> trail =
+      tracker.AuditTrail("cms.batch1.ntuple");
+  ASSERT_TRUE(trail.ok());
+  EXPECT_EQ(trail->size(), 4u);  // the batch's four stages
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, EstimatorImprovesWithHistory) {
+  ASSERT_TRUE(catalog_.ImportVdl(R"(
+TR slowstep( output out, input in ) {
+  argument stdin = ${input:in};
+  argument stdout = ${output:out};
+  exec = "/bin/slow";
+}
+DS seed.data : Dataset size="1000";
+DV mk1->slowstep( out=@{output:"out1"}, in=@{input:"seed.data"} );
+DV mk2->slowstep( out=@{output:"out2"}, in=@{input:"seed.data"} );
+)")
+                  .ok());
+  ASSERT_TRUE(catalog_
+                  .Annotate("transformation", "slowstep", "sim.runtime_s",
+                            120.0)
+                  .ok());
+  ASSERT_TRUE(grid_.PlaceFile("caltech", "seed.data", 1000, true).ok());
+  Replica r;
+  r.dataset = "seed.data";
+  r.site = "caltech";
+  r.size_bytes = 1000;
+  ASSERT_TRUE(catalog_.AddReplica(r).ok());
+
+  PlannerOptions popt;
+  popt.target_site = "caltech";
+  // Before any history, the planner uses the default estimate.
+  Result<ExecutionPlan> first = planner_.Plan("out1", popt);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->nodes[0].est_runtime_s, estimator_.default_runtime());
+  ASSERT_TRUE(engine_.Execute(*first)->succeeded);
+
+  // After learning, the estimate tracks the observed 120s/1.1 factor.
+  ASSERT_TRUE(estimator_.LearnFromCatalog(catalog_).ok());
+  Result<ExecutionPlan> second = planner_.Plan("out2", popt);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(second->nodes[0].est_runtime_s, 120.0 / 1.1, 1.0);
+}
+
+}  // namespace
+}  // namespace vdg

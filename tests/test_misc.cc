@@ -1,0 +1,112 @@
+// Coverage for the small surfaces the focused suites skip: logging,
+// event-queue counters, storage/topology accessors, stat edge cases.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "grid/event_queue.h"
+#include "grid/storage.h"
+#include "grid/topology.h"
+#include "planner/plan.h"
+#include "replication/manager.h"
+#include "workload/testbed.h"
+
+namespace vdg {
+namespace {
+
+TEST(LoggingTest, ThresholdGatesOutput) {
+  LogLevel original = Logger::threshold();
+  Logger::set_threshold(LogLevel::kError);
+  EXPECT_EQ(Logger::threshold(), LogLevel::kError);
+  // Below-threshold logging is a no-op (must not crash or emit).
+  VDG_LOG(Debug) << "suppressed " << 42;
+  VDG_LOG(Info) << "suppressed too";
+  Logger::set_threshold(LogLevel::kDebug);
+  EXPECT_EQ(Logger::threshold(), LogLevel::kDebug);
+  Logger::set_threshold(original);
+}
+
+TEST(EventQueueTest, DispatchCounterAndPending) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.dispatched(), 0u);
+  for (int i = 0; i < 5; ++i) q.ScheduleAfter(i, [] {});
+  EXPECT_EQ(q.pending(), 5u);
+  EXPECT_FALSE(q.empty());
+  q.RunUntilEmpty();
+  EXPECT_EQ(q.dispatched(), 5u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(StorageTest, FilesEnumerates) {
+  StorageElement se("site", "se0", 0);
+  ASSERT_TRUE(se.Store("b", 2, 0).ok());
+  ASSERT_TRUE(se.Store("a", 1, 0).ok());
+  std::vector<StoredFile> files = se.Files();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0].logical_name, "a");  // map-sorted
+  EXPECT_EQ(files[1].size_bytes, 2);
+  EXPECT_EQ(se.file_count(), 2u);
+  EXPECT_EQ(se.site(), "site");
+  EXPECT_EQ(se.name(), "se0");
+}
+
+TEST(TopologyTest, TotalSlotsCountsMultiSlotHosts) {
+  GridTopology t;
+  SiteConfig site;
+  site.name = "fat";
+  site.hosts.push_back({"h0", 1.0, 4});
+  site.hosts.push_back({"h1", 1.0, 2});
+  ASSERT_TRUE(t.AddSite(site).ok());
+  EXPECT_EQ(t.total_hosts(), 2u);
+  EXPECT_EQ(t.total_slots(), 6u);
+  EXPECT_EQ(workload::SmallTestbed().total_slots(), 8u);
+}
+
+TEST(TopologyTest, HostValidation) {
+  GridTopology t;
+  SiteConfig bad_factor;
+  bad_factor.name = "s";
+  bad_factor.hosts.push_back({"h", 0.0, 1});
+  EXPECT_FALSE(t.AddSite(bad_factor).ok());
+  SiteConfig bad_slots;
+  bad_slots.name = "s";
+  bad_slots.hosts.push_back({"h", 1.0, 0});
+  EXPECT_FALSE(t.AddSite(bad_slots).ok());
+  SiteConfig bad_name;
+  bad_name.name = "has space";
+  EXPECT_FALSE(t.AddSite(bad_name).ok());
+  EXPECT_TRUE(t.GetSite("missing").status().IsNotFound());
+}
+
+TEST(PlanTest, EnumToStringCoverage) {
+  EXPECT_STREQ(ShippingPatternToString(ShippingPattern::kCollocated),
+               "collocated");
+  EXPECT_STREQ(ShippingPatternToString(ShippingPattern::kProcedureToData),
+               "procedure-to-data");
+  EXPECT_STREQ(ShippingPatternToString(ShippingPattern::kDataToProcedure),
+               "data-to-procedure");
+  EXPECT_STREQ(ShippingPatternToString(ShippingPattern::kShipBoth),
+               "ship-both");
+  EXPECT_STREQ(MaterializationModeToString(MaterializationMode::kFetch),
+               "fetch");
+  EXPECT_STREQ(
+      MaterializationModeToString(MaterializationMode::kAlreadyLocal),
+      "already-local");
+  ExecutionPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.size(), 0u);
+}
+
+TEST(ReplicationStatsTest, RatiosAreSafeWhenEmpty) {
+  ReplicationStats stats;
+  EXPECT_EQ(stats.hit_rate(), 0.0);
+  EXPECT_EQ(stats.mean_latency_s(), 0.0);
+  stats.local_hits = 3;
+  stats.remote_fetches = 1;
+  stats.total_latency_s = 8.0;
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_s(), 2.0);
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,119 @@
+// Tests for the Section-8 "virtual datasets" extension: overlay
+// datasets sharing one physical base object, with reference-counted
+// garbage collection.
+#include "grid/overlay.h"
+
+#include <gtest/gtest.h>
+
+namespace vdg {
+namespace {
+
+class OverlayTest : public ::testing::Test {
+ protected:
+  OverlayTest() : storage_("site", "se0", 10000), manager_(&storage_) {}
+  StorageElement storage_;
+  OverlayManager manager_;
+};
+
+TEST_F(OverlayTest, BaseStoredOnceOverlaysAreFree) {
+  ASSERT_TRUE(manager_.StoreBase("events.raw", 4000, 0).ok());
+  EXPECT_EQ(storage_.used_bytes(), 4000);
+  ASSERT_TRUE(manager_.CreateOverlay("run1", "events.raw", 0, 1500).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("run2", "events.raw", 1500, 2500).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("all", "events.raw", 0, 4000).ok());
+  // Still one physical copy.
+  EXPECT_EQ(storage_.used_bytes(), 4000);
+  EXPECT_EQ(manager_.overlay_count(), 3u);
+  // 1500 + 2500 + 4000 overlay bytes over a 4000-byte base.
+  EXPECT_EQ(manager_.BytesSaved(), 4000);
+}
+
+TEST_F(OverlayTest, RangeValidation) {
+  ASSERT_TRUE(manager_.StoreBase("base", 100, 0).ok());
+  EXPECT_FALSE(manager_.CreateOverlay("bad1", "base", -1, 10).ok());
+  EXPECT_FALSE(manager_.CreateOverlay("bad2", "base", 0, 0).ok());
+  EXPECT_FALSE(manager_.CreateOverlay("bad3", "base", 90, 20).ok());
+  EXPECT_TRUE(manager_.CreateOverlay("ok", "base", 90, 10).ok());
+  EXPECT_TRUE(manager_.CreateOverlay("dup", "base", 0, 10).ok());
+  EXPECT_TRUE(manager_.CreateOverlay("dup", "base", 0, 10).IsAlreadyExists());
+  EXPECT_TRUE(
+      manager_.CreateOverlay("x", "no-such-base", 0, 1).IsNotFound());
+}
+
+TEST_F(OverlayTest, GarbageCollectionOnLastRelease) {
+  ASSERT_TRUE(manager_.StoreBase("base", 4000, 0).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("a", "base", 0, 1000).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("b", "base", 1000, 1000).ok());
+
+  Result<int64_t> first = manager_.ReleaseOverlay("a");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0);  // b still references the base
+  EXPECT_EQ(storage_.used_bytes(), 4000);
+
+  Result<int64_t> last = manager_.ReleaseOverlay("b");
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(*last, 4000);  // base reclaimed
+  EXPECT_EQ(storage_.used_bytes(), 0);
+  EXPECT_EQ(manager_.base_count(), 0u);
+  EXPECT_TRUE(manager_.ReleaseOverlay("a").status().IsNotFound());
+}
+
+TEST_F(OverlayTest, PinnedBaseSurvivesGc) {
+  ASSERT_TRUE(manager_.StoreBase("base", 1000, 0).ok());
+  ASSERT_TRUE(storage_.SetPinned("base", true).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("a", "base", 0, 500).ok());
+  Result<int64_t> released = manager_.ReleaseOverlay("a");
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(*released, 0);  // pinned: bytes not reclaimed
+  EXPECT_TRUE(storage_.Contains("base"));
+}
+
+TEST_F(OverlayTest, LookupAndEnumeration) {
+  ASSERT_TRUE(manager_.StoreBase("base", 1000, 0).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("z-late", "base", 500, 100).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("a-early", "base", 0, 100).ok());
+  EXPECT_TRUE(manager_.HasOverlay("z-late"));
+  EXPECT_FALSE(manager_.HasOverlay("nope"));
+  Result<OverlayMapping> mapping = manager_.GetOverlay("z-late");
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->offset, 500);
+  EXPECT_EQ(mapping->length, 100);
+  std::vector<OverlayMapping> all = manager_.OverlaysOf("base");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].dataset, "a-early");  // sorted
+  EXPECT_TRUE(manager_.OverlaysOf("unknown").empty());
+}
+
+TEST_F(OverlayTest, IntersectionFindsAffectedDatasets) {
+  // The storage-side invalidation query: bytes [400, 600) corrupted.
+  ASSERT_TRUE(manager_.StoreBase("base", 1000, 0).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("left", "base", 0, 400).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("middle", "base", 300, 400).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("right", "base", 600, 400).ok());
+  ASSERT_TRUE(manager_.CreateOverlay("everything", "base", 0, 1000).ok());
+  std::vector<OverlayMapping> hit =
+      manager_.OverlaysIntersecting("base", 400, 200);
+  ASSERT_EQ(hit.size(), 2u);
+  EXPECT_EQ(hit[0].dataset, "everything");
+  EXPECT_EQ(hit[1].dataset, "middle");
+  // Boundary-touching ranges do not intersect.
+  std::vector<OverlayMapping> edge =
+      manager_.OverlaysIntersecting("base", 400, 0);
+  EXPECT_TRUE(edge.empty());
+}
+
+TEST_F(OverlayTest, CapacityInteraction) {
+  // Overlays let 3 logical datasets fit where 3 copies would not.
+  StorageElement small("site", "tiny", 5000);
+  OverlayManager manager(&small);
+  ASSERT_TRUE(manager.StoreBase("big", 4000, 0).ok());
+  ASSERT_TRUE(manager.CreateOverlay("v1", "big", 0, 4000).ok());
+  ASSERT_TRUE(manager.CreateOverlay("v2", "big", 0, 2000).ok());
+  ASSERT_TRUE(manager.CreateOverlay("v3", "big", 2000, 2000).ok());
+  EXPECT_EQ(small.free_bytes(), 1000);
+  // A fourth full copy would never have fit: 3 x 4000 > 5000.
+  EXPECT_EQ(manager.BytesSaved(), 4000);
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,222 @@
+#include "provenance/provenance.h"
+
+#include <gtest/gtest.h>
+
+namespace vdg {
+namespace {
+
+// Diamond + tail:
+//   raw -> (dvA) -> mid1 --+
+//   raw -> (dvB) -> mid2 --+-> (dvC) -> final -> (dvD) -> report
+constexpr const char* kDiamondVdl = R"(
+TR step( output out, input in ) {
+  argument stdin = ${input:in};
+  argument stdout = ${output:out};
+  exec = "/bin/step";
+}
+TR join( output out, input lhs, input rhs ) {
+  argument l = "-l "${input:lhs};
+  argument r = "-r "${input:rhs};
+  argument stdout = ${output:out};
+  exec = "/bin/join";
+}
+DS raw : Dataset size="1000";
+DV dvA->step( out=@{output:"mid1"}, in=@{input:"raw"} );
+DV dvB->step( out=@{output:"mid2"}, in=@{input:"raw"} );
+DV dvC->join( out=@{output:"final"}, lhs=@{input:"mid1"},
+              rhs=@{input:"mid2"} );
+DV dvD->step( out=@{output:"report"}, in=@{input:"final"} );
+)";
+
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  ProvenanceTest() : catalog_("prov.org"), tracker_(catalog_) {
+    EXPECT_TRUE(catalog_.Open().ok());
+    EXPECT_TRUE(catalog_.ImportVdl(kDiamondVdl).ok());
+  }
+
+  void AddReplicaFor(const std::string& dataset, const std::string& site) {
+    Replica r;
+    r.dataset = dataset;
+    r.site = site;
+    r.size_bytes = 10;
+    ASSERT_TRUE(catalog_.AddReplica(r).ok());
+  }
+
+  void AddInvocationFor(const std::string& derivation, SimTime start) {
+    Invocation iv;
+    iv.derivation = derivation;
+    iv.context.site = "uchicago";
+    iv.context.host = "n0";
+    iv.start_time = start;
+    iv.duration_s = 5;
+    ASSERT_TRUE(catalog_.RecordInvocation(iv).ok());
+  }
+
+  VirtualDataCatalog catalog_;
+  ProvenanceTracker tracker_;
+};
+
+TEST_F(ProvenanceTest, LineageOfRawInputIsLeaf) {
+  Result<LineageNode> node = tracker_.Lineage("raw");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->dataset, "raw");
+  EXPECT_TRUE(node->derivation.empty());
+  EXPECT_TRUE(node->inputs.empty());
+  EXPECT_EQ(LineageDepth(*node), 0);
+}
+
+TEST_F(ProvenanceTest, LineageTreeShape) {
+  Result<LineageNode> node = tracker_.Lineage("report");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->derivation, "dvD");
+  EXPECT_EQ(node->transformation, "step");
+  ASSERT_EQ(node->inputs.size(), 1u);
+  const LineageNode& final_node = node->inputs[0];
+  EXPECT_EQ(final_node.derivation, "dvC");
+  ASSERT_EQ(final_node.inputs.size(), 2u);
+  // The diamond duplicates raw in both branches (tree, not DAG).
+  EXPECT_EQ(CountLineageNodes(*node), 6u);
+  EXPECT_EQ(LineageDepth(*node), 3);
+}
+
+TEST_F(ProvenanceTest, LineageDepthLimit) {
+  Result<LineageNode> node = tracker_.Lineage("report", /*max_depth=*/1);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->derivation, "dvD");
+  ASSERT_EQ(node->inputs.size(), 1u);
+  // The child's producer is named but not expanded further.
+  EXPECT_EQ(node->inputs[0].derivation, "dvC");
+  EXPECT_TRUE(node->inputs[0].inputs.empty());
+}
+
+TEST_F(ProvenanceTest, LineageUnknownDatasetFails) {
+  EXPECT_TRUE(tracker_.Lineage("ghost").status().IsNotFound());
+}
+
+TEST_F(ProvenanceTest, RenderLineageMentionsEveryLink) {
+  Result<LineageNode> node = tracker_.Lineage("final");
+  ASSERT_TRUE(node.ok());
+  std::string text = RenderLineage(*node);
+  EXPECT_NE(text.find("final"), std::string::npos);
+  EXPECT_NE(text.find("dvC"), std::string::npos);
+  EXPECT_NE(text.find("mid1"), std::string::npos);
+  EXPECT_NE(text.find("[raw input]"), std::string::npos);
+  EXPECT_NE(text.find("never executed: virtual"), std::string::npos);
+}
+
+TEST_F(ProvenanceTest, AncestorsAndDescendants) {
+  Result<std::set<std::string>> ancestors = tracker_.Ancestors("final");
+  ASSERT_TRUE(ancestors.ok());
+  EXPECT_EQ(*ancestors, (std::set<std::string>{"mid1", "mid2", "raw"}));
+
+  Result<std::set<std::string>> descendants = tracker_.Descendants("raw");
+  ASSERT_TRUE(descendants.ok());
+  EXPECT_EQ(*descendants,
+            (std::set<std::string>{"mid1", "mid2", "final", "report"}));
+
+  EXPECT_TRUE(tracker_.Descendants("report")->empty());
+  EXPECT_TRUE(tracker_.Ancestors("raw")->empty());
+}
+
+TEST_F(ProvenanceTest, RawSources) {
+  Result<std::set<std::string>> sources = tracker_.RawSources("report");
+  ASSERT_TRUE(sources.ok());
+  EXPECT_EQ(*sources, std::set<std::string>{"raw"});
+  // A raw dataset is its own source.
+  EXPECT_EQ(*tracker_.RawSources("raw"), std::set<std::string>{"raw"});
+}
+
+TEST_F(ProvenanceTest, AuditTrailIsChronological) {
+  AddInvocationFor("dvA", 10);
+  AddInvocationFor("dvB", 5);
+  AddInvocationFor("dvC", 20);
+  AddInvocationFor("dvD", 30);
+  Result<std::vector<Invocation>> trail = tracker_.AuditTrail("report");
+  ASSERT_TRUE(trail.ok());
+  ASSERT_EQ(trail->size(), 4u);
+  EXPECT_EQ((*trail)[0].derivation, "dvB");
+  EXPECT_EQ((*trail)[1].derivation, "dvA");
+  EXPECT_EQ((*trail)[3].derivation, "dvD");
+}
+
+TEST_F(ProvenanceTest, PlanInvalidationListsDownstream) {
+  AddReplicaFor("mid1", "s1");
+  AddReplicaFor("final", "s1");
+  Result<InvalidationReport> report = tracker_.PlanInvalidation("raw");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->affected_datasets.size(), 4u);
+  EXPECT_EQ(report->derivations_to_rerun,
+            (std::vector<std::string>{"dvA", "dvB", "dvC", "dvD"}));
+  EXPECT_EQ(report->invalidated_replicas.size(), 2u);
+  // Pure query: nothing actually invalidated.
+  EXPECT_TRUE(catalog_.IsMaterialized("mid1"));
+}
+
+TEST_F(ProvenanceTest, InvalidateCascadesReplicas) {
+  AddReplicaFor("mid1", "s1");
+  AddReplicaFor("mid2", "s1");
+  AddReplicaFor("final", "s1");
+  AddReplicaFor("raw", "s1");  // the faulty source itself stays valid
+  Result<InvalidationReport> report =
+      tracker_.Invalidate("raw", &catalog_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(catalog_.IsMaterialized("mid1"));
+  EXPECT_FALSE(catalog_.IsMaterialized("mid2"));
+  EXPECT_FALSE(catalog_.IsMaterialized("final"));
+  EXPECT_TRUE(catalog_.IsMaterialized("raw"));
+}
+
+TEST_F(ProvenanceTest, InvalidateRejectsForeignCatalog) {
+  VirtualDataCatalog other("other.org");
+  ASSERT_TRUE(other.Open().ok());
+  EXPECT_FALSE(tracker_.Invalidate("raw", &other).ok());
+  EXPECT_FALSE(tracker_.Invalidate("raw", nullptr).ok());
+}
+
+TEST_F(ProvenanceTest, FullyMaterializedRequiresWholeChain) {
+  AddReplicaFor("raw", "s");
+  AddReplicaFor("mid1", "s");
+  AddReplicaFor("mid2", "s");
+  AddReplicaFor("final", "s");
+  EXPECT_FALSE(*tracker_.FullyMaterialized("report"));  // report missing
+  AddReplicaFor("report", "s");
+  EXPECT_TRUE(*tracker_.FullyMaterialized("report"));
+  EXPECT_TRUE(*tracker_.FullyMaterialized("final"));
+}
+
+TEST_F(ProvenanceTest, CycleDetection) {
+  // Construct a cycle directly: x -> (loopA) -> y -> (loopB) -> x.
+  // (Possible because x is defined first as a plain dataset.)
+  ASSERT_TRUE(catalog_.ImportVdl(R"(
+DS x : Dataset;
+DV loopA->step( out=@{output:"y"}, in=@{input:"x"} );
+DV loopB->step( out=@{output:"x"}, in=@{input:"y"} );
+)")
+                  .ok());
+  Status lineage = tracker_.Lineage("x").status();
+  EXPECT_EQ(lineage.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ProvenanceTest, ExpansionChildInvocationsSurfaceOnParent) {
+  // Record an invocation against a synthesized child derivation.
+  Derivation child("dvC.c0", "join");
+  ASSERT_TRUE(
+      child.AddArg(ActualArg::DatasetRef("out", "final", ArgDirection::kOut))
+          .ok());
+  ASSERT_TRUE(
+      child.AddArg(ActualArg::DatasetRef("lhs", "mid1", ArgDirection::kIn))
+          .ok());
+  ASSERT_TRUE(
+      child.AddArg(ActualArg::DatasetRef("rhs", "mid2", ArgDirection::kIn))
+          .ok());
+  ASSERT_TRUE(catalog_.DefineDerivation(child).ok());
+  AddInvocationFor("dvC.c0", 11);
+  Result<LineageNode> node = tracker_.Lineage("final");
+  ASSERT_TRUE(node.ok());
+  ASSERT_EQ(node->invocations.size(), 1u);
+  EXPECT_EQ(node->invocations[0].derivation, "dvC.c0");
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "replication/manager.h"
+#include "replication/policy.h"
+#include "workload/testbed.h"
+
+namespace vdg {
+namespace {
+
+ReplicationEvent MakeEvent(const std::string& requester,
+                           const std::string& source, uint64_t count = 1) {
+  ReplicationEvent e;
+  e.file = "f";
+  e.size_bytes = 100;
+  e.requester_site = requester;
+  e.source_site = source;
+  e.access_count = count;
+  return e;
+}
+
+TEST(PolicyTest, NoReplicationNeverNominates) {
+  NoReplicationPolicy policy;
+  EXPECT_TRUE(policy.OnAccess(MakeEvent("leaf", "root")).empty());
+  EXPECT_TRUE(policy.OnProduce(MakeEvent("root", "")).empty());
+  EXPECT_STREQ(policy.name(), "none");
+}
+
+TEST(PolicyTest, CachingKeepsAtRequester) {
+  CachingPolicy policy;
+  EXPECT_EQ(policy.OnAccess(MakeEvent("leaf", "root")),
+            std::vector<std::string>{"leaf"});
+  EXPECT_TRUE(policy.OnProduce(MakeEvent("root", "")).empty());
+}
+
+TEST(PolicyTest, CascadingPlacesAtParentThenRequester) {
+  std::map<std::string, std::string> parents{
+      {"leaf", "region"}, {"region", "root"}, {"root", ""}};
+  CascadingPolicy policy(parents, /*popularity_threshold=*/2);
+  // First access: parent only.
+  EXPECT_EQ(policy.OnAccess(MakeEvent("leaf", "root", 1)),
+            std::vector<std::string>{"region"});
+  // Popular: parent + requester.
+  EXPECT_EQ(policy.OnAccess(MakeEvent("leaf", "root", 2)),
+            (std::vector<std::string>{"region", "leaf"}));
+  // Parent == source: no point re-placing there.
+  EXPECT_TRUE(policy.OnAccess(MakeEvent("region", "root", 1)).empty());
+}
+
+TEST(PolicyTest, FastSpreadPushesEverywhereOnProduce) {
+  FastSpreadPolicy policy({"a", "b", "c"});
+  EXPECT_EQ(policy.OnProduce(MakeEvent("b", "")),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(policy.OnAccess(MakeEvent("a", "b")),
+            std::vector<std::string>{"a"});
+}
+
+class ReplicaManagerTest : public ::testing::Test {
+ protected:
+  ReplicaManagerTest()
+      : grid_(workload::TieredTestbed(1, 2, 1 << 20, &parents_), 1) {}
+
+  std::map<std::string, std::string> parents_;
+  GridSimulator grid_;
+};
+
+TEST_F(ReplicaManagerTest, LocalHitIsFast) {
+  ReplicaManager mgr(&grid_, std::make_unique<NoReplicationPolicy>());
+  ASSERT_TRUE(mgr.ProduceFile("root", "data", 1000).ok());
+  double latency = -1;
+  ASSERT_TRUE(
+      mgr.RequestFile("root", "data", [&](double l) { latency = l; }).ok());
+  grid_.RunUntilIdle();
+  EXPECT_EQ(mgr.stats().local_hits, 1u);
+  EXPECT_EQ(mgr.stats().remote_fetches, 0u);
+  EXPECT_NEAR(latency, GridTopology::kLocalLatency, 1e-9);
+}
+
+TEST_F(ReplicaManagerTest, RemoteFetchWithoutReplicationStaysRemote) {
+  ReplicaManager mgr(&grid_, std::make_unique<NoReplicationPolicy>());
+  ASSERT_TRUE(mgr.ProduceFile("root", "data", 1000).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "data", nullptr).ok());
+    grid_.RunUntilIdle();
+  }
+  EXPECT_EQ(mgr.stats().remote_fetches, 3u);
+  EXPECT_EQ(mgr.stats().local_hits, 0u);
+  EXPECT_EQ(mgr.stats().replicas_created, 0u);
+}
+
+TEST_F(ReplicaManagerTest, CachingTurnsRepeatsIntoHits) {
+  ReplicaManager mgr(&grid_, std::make_unique<CachingPolicy>());
+  ASSERT_TRUE(mgr.ProduceFile("root", "data", 1000).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "data", nullptr).ok());
+    grid_.RunUntilIdle();
+  }
+  EXPECT_EQ(mgr.stats().remote_fetches, 1u);
+  EXPECT_EQ(mgr.stats().local_hits, 2u);
+  EXPECT_EQ(mgr.stats().replicas_created, 1u);
+}
+
+TEST_F(ReplicaManagerTest, CascadingHelpsSiblings) {
+  ReplicaManager mgr(&grid_,
+                     std::make_unique<CascadingPolicy>(parents_, 2));
+  ASSERT_TRUE(mgr.ProduceFile("root", "data", 1000).ok());
+  // leaf0's fetch seeds region0.
+  ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "data", nullptr).ok());
+  grid_.RunUntilIdle();
+  EXPECT_TRUE(grid_.rls().ExistsAt("data", "region0"));
+  // Sibling leaf1 now fetches from region0, not root.
+  double latency = -1;
+  ASSERT_TRUE(mgr.RequestFile("region0-leaf1", "data",
+                              [&](double l) { latency = l; })
+                  .ok());
+  grid_.RunUntilIdle();
+  // region0->leaf link (100 Mbps, 5 ms) beats root->leaf (45 Mbps, 20 ms).
+  EXPECT_LT(latency, 0.01);
+}
+
+TEST_F(ReplicaManagerTest, FastSpreadMakesFirstAccessLocal) {
+  std::vector<std::string> sites = grid_.topology().SiteNames();
+  ReplicaManager mgr(&grid_, std::make_unique<FastSpreadPolicy>(sites));
+  ASSERT_TRUE(mgr.ProduceFile("root", "data", 1000).ok());
+  grid_.RunUntilIdle();
+  ASSERT_TRUE(mgr.RequestFile("region0-leaf1", "data", nullptr).ok());
+  grid_.RunUntilIdle();
+  EXPECT_EQ(mgr.stats().local_hits, 1u);
+  EXPECT_EQ(mgr.stats().remote_fetches, 0u);
+  EXPECT_GE(mgr.stats().replicas_created, 3u);
+}
+
+TEST_F(ReplicaManagerTest, EvictionMakesRoomAtFullLeaf) {
+  ReplicaManager mgr(&grid_, std::make_unique<CachingPolicy>());
+  // Leaf storage is 1 MiB; two 600 KiB files cannot coexist.
+  ASSERT_TRUE(mgr.ProduceFile("root", "big1", 600 * 1024).ok());
+  ASSERT_TRUE(mgr.ProduceFile("root", "big2", 600 * 1024).ok());
+  ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "big1", nullptr).ok());
+  grid_.RunUntilIdle();
+  EXPECT_TRUE(grid_.rls().ExistsAt("big1", "region0-leaf0"));
+  ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "big2", nullptr).ok());
+  grid_.RunUntilIdle();
+  EXPECT_TRUE(grid_.rls().ExistsAt("big2", "region0-leaf0"));
+  EXPECT_FALSE(grid_.rls().ExistsAt("big1", "region0-leaf0"));  // evicted
+  EXPECT_GE(mgr.stats().evictions, 1u);
+  // The archive copy at root is untouched.
+  EXPECT_TRUE(grid_.rls().ExistsAt("big1", "root"));
+}
+
+TEST_F(ReplicaManagerTest, MissingFileFails) {
+  ReplicaManager mgr(&grid_, std::make_unique<CachingPolicy>());
+  EXPECT_TRUE(
+      mgr.RequestFile("root", "no-such-file", nullptr).IsNotFound());
+}
+
+TEST_F(ReplicaManagerTest, PrestagingSuggestionsFollowAccessHistory) {
+  ReplicaManager mgr(&grid_, std::make_unique<NoReplicationPolicy>());
+  ASSERT_TRUE(mgr.ProduceFile("root", "hot", 1000).ok());
+  ASSERT_TRUE(mgr.ProduceFile("root", "cold", 1000).ok());
+  // leaf0 hammers "hot", touches "cold" once.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "hot", nullptr).ok());
+    grid_.RunUntilIdle();
+  }
+  ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "cold", nullptr).ok());
+  grid_.RunUntilIdle();
+
+  std::vector<ReplicaManager::PrestagingAction> actions =
+      mgr.SuggestPrestaging(/*min_accesses=*/2);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].file, "hot");
+  EXPECT_EQ(actions[0].to_site, "region0-leaf0");
+  EXPECT_EQ(actions[0].from_site, "root");
+  EXPECT_EQ(actions[0].observed_accesses, 3u);
+
+  ASSERT_TRUE(mgr.ApplyPrestaging(actions).ok());
+  EXPECT_TRUE(grid_.rls().ExistsAt("hot", "region0-leaf0"));
+  // Once staged, the suggestion disappears.
+  EXPECT_TRUE(mgr.SuggestPrestaging(2).empty());
+  // And the next access is a local hit.
+  uint64_t hits_before = mgr.stats().local_hits;
+  ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "hot", nullptr).ok());
+  grid_.RunUntilIdle();
+  EXPECT_EQ(mgr.stats().local_hits, hits_before + 1);
+}
+
+TEST_F(ReplicaManagerTest, PrestagingIgnoresSatisfiedSites) {
+  ReplicaManager mgr(&grid_, std::make_unique<CachingPolicy>());
+  ASSERT_TRUE(mgr.ProduceFile("root", "data", 1000).ok());
+  // Caching already placed a replica after the first fetch, so the
+  // repeated accesses are local and need no pre-staging.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "data", nullptr).ok());
+    grid_.RunUntilIdle();
+  }
+  EXPECT_TRUE(mgr.SuggestPrestaging(2).empty());
+}
+
+TEST_F(ReplicaManagerTest, MeanLatencyAggregates) {
+  ReplicaManager mgr(&grid_, std::make_unique<CachingPolicy>());
+  ASSERT_TRUE(mgr.ProduceFile("root", "data", 1 << 20).ok());
+  ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "data", nullptr).ok());
+  grid_.RunUntilIdle();
+  ASSERT_TRUE(mgr.RequestFile("region0-leaf0", "data", nullptr).ok());
+  grid_.RunUntilIdle();
+  EXPECT_GT(mgr.stats().mean_latency_s(), 0.0);
+  EXPECT_NEAR(mgr.stats().hit_rate(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,119 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace vdg {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool diverged = false;
+  for (int i = 0; i < 20 && !diverged; ++i) {
+    diverged = a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialIsPositiveWithRoughMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Exponential(10.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(RngTest, ClampedNormalRespectsFloor) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.ClampedNormal(1.0, 5.0, 0.25), 0.25);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(17);
+  const size_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) {
+    size_t r = rng.Zipf(n, 1.0);
+    ASSERT_LT(r, n);
+    ++counts[r];
+  }
+  // Rank 0 must dominate rank 50 heavily under s=1.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(RngTest, ZipfZeroExponentIsRoughlyUniform) {
+  Rng rng(19);
+  const size_t n = 10;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Zipf(n, 0.0)];
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GT(counts[i], 700);
+    EXPECT_LT(counts[i], 1300);
+  }
+}
+
+TEST(RngTest, ZipfHandlesEdgeCases) {
+  Rng rng(23);
+  EXPECT_EQ(rng.Zipf(0, 1.0), 0u);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(31);
+  std::vector<bool> seen(5, false);
+  for (int i = 0; i < 200; ++i) seen[rng.Index(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace vdg

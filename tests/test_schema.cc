@@ -1,0 +1,495 @@
+#include <gtest/gtest.h>
+
+#include "schema/dataset.h"
+#include "schema/derivation.h"
+#include "schema/transformation.h"
+#include "schema/validation.h"
+
+namespace vdg {
+namespace {
+
+DatasetType ContentType(const char* name) {
+  DatasetType t;
+  t.content = name;
+  return t;
+}
+
+// ------------------------- Dataset / Replica -------------------------
+
+TEST(DatasetTest, ValidateChecksNameAndSize) {
+  Dataset ds;
+  ds.name = "run1.exp15.raw";
+  EXPECT_TRUE(ds.Validate().ok());
+  ds.size_bytes = -1;
+  EXPECT_FALSE(ds.Validate().ok());
+  ds.size_bytes = 0;
+  ds.name = "bad name";
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetDescriptorTest, FactoriesCoverPaperContainerKinds) {
+  EXPECT_EQ(DatasetDescriptor::File("/a/b").schema, "file");
+  DatasetDescriptor fs = DatasetDescriptor::FileSet({"/a", "/b"});
+  EXPECT_EQ(fs.schema, "file-set");
+  EXPECT_EQ(fs.fields.GetInt("count"), 2);
+  DatasetDescriptor slice = DatasetDescriptor::FileSlice("/a", 100, 50);
+  EXPECT_EQ(slice.fields.GetInt("offset"), 100);
+  EXPECT_EQ(slice.fields.GetInt("length"), 50);
+  DatasetDescriptor rows =
+      DatasetDescriptor::SqlRows("db", "events", "k1", "k9");
+  EXPECT_EQ(rows.schema, "sql-rows");
+  EXPECT_EQ(rows.fields.GetString("table"), "events");
+  EXPECT_EQ(DatasetDescriptor::ObjectClosure("objy", "root42").schema,
+            "object-closure");
+  EXPECT_EQ(DatasetDescriptor::SpreadsheetRegion("wb.xls", "A1:C9").schema,
+            "spreadsheet-region");
+}
+
+TEST(ReplicaTest, ValidateRequiresDatasetAndSite) {
+  Replica r;
+  r.id = "rp-1";
+  r.dataset = "ds";
+  r.site = "uchicago";
+  EXPECT_TRUE(r.Validate().ok());
+  r.site.clear();
+  EXPECT_FALSE(r.Validate().ok());
+  r.site = "uchicago";
+  r.dataset.clear();
+  EXPECT_FALSE(r.Validate().ok());
+}
+
+// ------------------------- Transformation ---------------------------
+
+Transformation MakeSimpleTr() {
+  Transformation tr("t1", Transformation::Kind::kSimple);
+  FormalArg a2{.name = "a2",
+               .direction = ArgDirection::kOut,
+               .types = {ContentType("type2")}};
+  FormalArg a1{.name = "a1",
+               .direction = ArgDirection::kIn,
+               .types = {ContentType("type1")}};
+  FormalArg env{.name = "env", .direction = ArgDirection::kNone};
+  env.default_string = "100000";
+  FormalArg pa{.name = "pa", .direction = ArgDirection::kNone};
+  pa.default_string = "500";
+  EXPECT_TRUE(tr.AddArg(a2).ok());
+  EXPECT_TRUE(tr.AddArg(a1).ok());
+  EXPECT_TRUE(tr.AddArg(env).ok());
+  EXPECT_TRUE(tr.AddArg(pa).ok());
+  ArgumentTemplate parg;
+  parg.name = "parg";
+  parg.expr = {TemplatePiece::Literal("-p "),
+               TemplatePiece::Ref("pa", ArgDirection::kNone)};
+  tr.AddArgumentTemplate(parg);
+  ArgumentTemplate farg;
+  farg.name = "farg";
+  farg.expr = {TemplatePiece::Literal("-f "),
+               TemplatePiece::Ref("a1", ArgDirection::kIn)};
+  tr.AddArgumentTemplate(farg);
+  ArgumentTemplate stdout_arg;
+  stdout_arg.name = "stdout";
+  stdout_arg.expr = {TemplatePiece::Ref("a2", ArgDirection::kOut)};
+  tr.AddArgumentTemplate(stdout_arg);
+  tr.set_executable("/usr/bin/app3");
+  tr.SetEnv("MAXMEM", {TemplatePiece::Ref("env", ArgDirection::kNone)});
+  return tr;
+}
+
+TEST(TransformationTest, DirectionHelpers) {
+  EXPECT_TRUE(DirectionReads(ArgDirection::kIn));
+  EXPECT_TRUE(DirectionReads(ArgDirection::kInOut));
+  EXPECT_FALSE(DirectionReads(ArgDirection::kOut));
+  EXPECT_TRUE(DirectionWrites(ArgDirection::kOut));
+  EXPECT_TRUE(DirectionWrites(ArgDirection::kInOut));
+  EXPECT_FALSE(DirectionWrites(ArgDirection::kNone));
+}
+
+TEST(TransformationTest, DirectionParsing) {
+  EXPECT_EQ(*ArgDirectionFromString("input"), ArgDirection::kIn);
+  EXPECT_EQ(*ArgDirectionFromString("output"), ArgDirection::kOut);
+  EXPECT_EQ(*ArgDirectionFromString("inout"), ArgDirection::kInOut);
+  EXPECT_EQ(*ArgDirectionFromString("none"), ArgDirection::kNone);
+  EXPECT_FALSE(ArgDirectionFromString("sideways").ok());
+}
+
+TEST(TransformationTest, ValidSimpleTransformationPasses) {
+  Transformation tr = MakeSimpleTr();
+  EXPECT_TRUE(tr.Validate().ok());
+  EXPECT_EQ(tr.InputArgNames(), std::vector<std::string>{"a1"});
+  EXPECT_EQ(tr.OutputArgNames(), std::vector<std::string>{"a2"});
+}
+
+TEST(TransformationTest, TypeSignatureRendering) {
+  Transformation tr = MakeSimpleTr();
+  EXPECT_EQ(tr.TypeSignature(),
+            "t1( output type2/*/* a2, input type1/*/* a1, none env, "
+            "none pa )");
+}
+
+TEST(TransformationTest, RejectsDuplicateFormals) {
+  Transformation tr("t", Transformation::Kind::kSimple);
+  FormalArg a{.name = "x", .direction = ArgDirection::kIn};
+  EXPECT_TRUE(tr.AddArg(a).ok());
+  EXPECT_TRUE(tr.AddArg(a).IsAlreadyExists());
+}
+
+TEST(TransformationTest, ValidateRejectsMissingExecutable) {
+  Transformation tr("t", Transformation::Kind::kSimple);
+  EXPECT_FALSE(tr.Validate().ok());
+  tr.SetProfile("hints.pfnHint", {TemplatePiece::Literal("/usr/bin/app")});
+  EXPECT_TRUE(tr.Validate().ok());  // pfnHint counts as an executable
+}
+
+TEST(TransformationTest, ValidateRejectsUnknownTemplateRef) {
+  Transformation tr("t", Transformation::Kind::kSimple);
+  tr.set_executable("/bin/x");
+  ArgumentTemplate bad;
+  bad.expr = {TemplatePiece::Ref("ghost")};
+  tr.AddArgumentTemplate(bad);
+  EXPECT_FALSE(tr.Validate().ok());
+}
+
+TEST(TransformationTest, ValidateRejectsDirectionMismatchInTemplate) {
+  Transformation tr("t", Transformation::Kind::kSimple);
+  FormalArg in{.name = "a", .direction = ArgDirection::kIn};
+  EXPECT_TRUE(tr.AddArg(in).ok());
+  tr.set_executable("/bin/x");
+  ArgumentTemplate bad;
+  bad.expr = {TemplatePiece::Ref("a", ArgDirection::kOut)};
+  tr.AddArgumentTemplate(bad);
+  EXPECT_FALSE(tr.Validate().ok());
+}
+
+TEST(TransformationTest, ValidateRejectsStringArgWithTypes) {
+  Transformation tr("t", Transformation::Kind::kSimple);
+  FormalArg bad{.name = "p",
+                .direction = ArgDirection::kNone,
+                .types = {ContentType("type1")}};
+  tr.mutable_args().push_back(bad);
+  tr.set_executable("/bin/x");
+  EXPECT_TRUE(tr.Validate().IsTypeError());
+}
+
+TEST(TransformationTest, CompoundValidation) {
+  Transformation tr("c", Transformation::Kind::kCompound);
+  FormalArg in{.name = "a", .direction = ArgDirection::kIn};
+  FormalArg out{.name = "b", .direction = ArgDirection::kOut};
+  EXPECT_TRUE(tr.AddArg(in).ok());
+  EXPECT_TRUE(tr.AddArg(out).ok());
+  EXPECT_FALSE(tr.Validate().ok());  // empty body
+  CompoundCall call;
+  call.callee = "t1";
+  call.bindings = {{"x", TemplatePiece::Ref("a", ArgDirection::kIn)},
+                   {"y", TemplatePiece::Ref("b", ArgDirection::kOut)}};
+  tr.AddCall(call);
+  EXPECT_TRUE(tr.Validate().ok());
+  // Binding the same callee formal twice is rejected.
+  CompoundCall dup;
+  dup.callee = "t2";
+  dup.bindings = {{"x", TemplatePiece::Ref("a")},
+                  {"x", TemplatePiece::Ref("b")}};
+  tr.AddCall(dup);
+  EXPECT_FALSE(tr.Validate().ok());
+}
+
+TEST(TransformationTest, CompoundRejectsUnknownFormalRef) {
+  Transformation tr("c", Transformation::Kind::kCompound);
+  CompoundCall call;
+  call.callee = "t1";
+  call.bindings = {{"x", TemplatePiece::Ref("ghost")}};
+  tr.AddCall(call);
+  EXPECT_FALSE(tr.Validate().ok());
+}
+
+// --------------------------- Derivation -----------------------------
+
+Derivation MakeDerivation() {
+  Derivation dv("d1", "t1");
+  dv.set_transformation_namespace("example1");
+  EXPECT_TRUE(dv.AddArg(ActualArg::DatasetRef(
+                          "a2", "run1.summary", ArgDirection::kOut))
+                  .ok());
+  EXPECT_TRUE(
+      dv.AddArg(ActualArg::DatasetRef("a1", "run1.raw", ArgDirection::kIn))
+          .ok());
+  EXPECT_TRUE(dv.AddArg(ActualArg::String("env", "20000")).ok());
+  EXPECT_TRUE(dv.AddArg(ActualArg::String("pa", "600")).ok());
+  return dv;
+}
+
+TEST(DerivationTest, QualifiedTransformation) {
+  Derivation dv = MakeDerivation();
+  EXPECT_EQ(dv.QualifiedTransformation(), "example1::t1");
+  Derivation bare("d2", "t1");
+  EXPECT_EQ(bare.QualifiedTransformation(), "t1");
+}
+
+TEST(DerivationTest, InputOutputDatasets) {
+  Derivation dv = MakeDerivation();
+  EXPECT_EQ(dv.InputDatasets(), std::vector<std::string>{"run1.raw"});
+  EXPECT_EQ(dv.OutputDatasets(), std::vector<std::string>{"run1.summary"});
+}
+
+TEST(DerivationTest, RejectsDoubleBindingAndBadArgs) {
+  Derivation dv("d", "t");
+  EXPECT_TRUE(dv.AddArg(ActualArg::String("p", "1")).ok());
+  EXPECT_TRUE(dv.AddArg(ActualArg::String("p", "2")).IsAlreadyExists());
+  ActualArg malformed;
+  malformed.formal = "q";
+  EXPECT_FALSE(dv.AddArg(malformed).ok());  // neither string nor dataset
+}
+
+TEST(DerivationSignatureTest, IndependentOfArgOrderAndName) {
+  Derivation a("first", "t1");
+  ASSERT_TRUE(a.AddArg(ActualArg::String("p", "1")).ok());
+  ASSERT_TRUE(
+      a.AddArg(ActualArg::DatasetRef("in", "ds1", ArgDirection::kIn)).ok());
+
+  Derivation b("second", "t1");
+  ASSERT_TRUE(
+      b.AddArg(ActualArg::DatasetRef("in", "ds1", ArgDirection::kIn)).ok());
+  ASSERT_TRUE(b.AddArg(ActualArg::String("p", "1")).ok());
+
+  EXPECT_EQ(a.Signature(), b.Signature());
+  EXPECT_EQ(a.SignatureText(), b.SignatureText());
+}
+
+TEST(DerivationSignatureTest, SensitiveToArgsTransformationAndEnv) {
+  Derivation base("d", "t1");
+  ASSERT_TRUE(base.AddArg(ActualArg::String("p", "1")).ok());
+
+  Derivation other_arg("d", "t1");
+  ASSERT_TRUE(other_arg.AddArg(ActualArg::String("p", "2")).ok());
+  EXPECT_NE(base.SignatureText(), other_arg.SignatureText());
+
+  Derivation other_tr("d", "t2");
+  ASSERT_TRUE(other_tr.AddArg(ActualArg::String("p", "1")).ok());
+  EXPECT_NE(base.SignatureText(), other_tr.SignatureText());
+
+  Derivation with_env("d", "t1");
+  ASSERT_TRUE(with_env.AddArg(ActualArg::String("p", "1")).ok());
+  with_env.SetEnvOverride("MAXMEM", "1");
+  EXPECT_NE(base.SignatureText(), with_env.SignatureText());
+}
+
+TEST(InvocationTest, ValidateChecksBasics) {
+  Invocation iv;
+  iv.id = "iv-1";
+  iv.derivation = "d1";
+  iv.duration_s = 20;
+  EXPECT_TRUE(iv.Validate().ok());
+  iv.duration_s = -1;
+  EXPECT_FALSE(iv.Validate().ok());
+  iv.duration_s = 1;
+  iv.derivation.clear();
+  EXPECT_FALSE(iv.Validate().ok());
+}
+
+// --------------------------- Validation -----------------------------
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  ValidationTest() {
+    EXPECT_TRUE(registry_
+                    .Define(TypeDimension::kContent, "type1",
+                            TypeDimensionBaseName(TypeDimension::kContent))
+                    .ok());
+    EXPECT_TRUE(registry_
+                    .Define(TypeDimension::kContent, "type2",
+                            TypeDimensionBaseName(TypeDimension::kContent))
+                    .ok());
+    EXPECT_TRUE(registry_
+                    .Define(TypeDimension::kContent, "type1b", "type1")
+                    .ok());
+    types_["run1.raw"] = ContentType("type1");
+    types_["run1.summary"] = ContentType("type2");
+    types_["wrong.kind"] = ContentType("type2");
+    types_["sub.raw"] = ContentType("type1b");
+  }
+
+  DatasetTypeLookup Lookup() {
+    return [this](std::string_view name) -> const DatasetType* {
+      auto it = types_.find(std::string(name));
+      return it == types_.end() ? nullptr : &it->second;
+    };
+  }
+
+  TypeRegistry registry_;
+  std::map<std::string, DatasetType> types_;
+};
+
+TEST_F(ValidationTest, WellTypedDerivationPasses) {
+  EXPECT_TRUE(ValidateDerivationAgainst(MakeDerivation(), MakeSimpleTr(),
+                                        registry_, Lookup())
+                  .ok());
+}
+
+TEST_F(ValidationTest, SubtypeInputPasses) {
+  Derivation dv("d", "t1");
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("a2", "out.new",
+                                              ArgDirection::kOut))
+                  .ok());
+  ASSERT_TRUE(
+      dv.AddArg(ActualArg::DatasetRef("a1", "sub.raw", ArgDirection::kIn))
+          .ok());
+  EXPECT_TRUE(
+      ValidateDerivationAgainst(dv, MakeSimpleTr(), registry_, Lookup())
+          .ok());
+}
+
+TEST_F(ValidationTest, WrongInputTypeFails) {
+  Derivation dv("d", "t1");
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("a2", "out.new",
+                                              ArgDirection::kOut))
+                  .ok());
+  ASSERT_TRUE(
+      dv.AddArg(ActualArg::DatasetRef("a1", "wrong.kind", ArgDirection::kIn))
+          .ok());
+  EXPECT_TRUE(
+      ValidateDerivationAgainst(dv, MakeSimpleTr(), registry_, Lookup())
+          .IsTypeError());
+}
+
+TEST_F(ValidationTest, UnknownFormalFails) {
+  Derivation dv = MakeDerivation();
+  ASSERT_TRUE(dv.AddArg(ActualArg::String("ghost", "1")).ok());
+  EXPECT_TRUE(
+      ValidateDerivationAgainst(dv, MakeSimpleTr(), registry_, Lookup())
+          .IsTypeError());
+}
+
+TEST_F(ValidationTest, UnboundFormalWithoutDefaultFails) {
+  Derivation dv("d", "t1");
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("a2", "out.new",
+                                              ArgDirection::kOut))
+                  .ok());
+  // a1 unbound and has no default.
+  EXPECT_TRUE(
+      ValidateDerivationAgainst(dv, MakeSimpleTr(), registry_, Lookup())
+          .IsTypeError());
+}
+
+TEST_F(ValidationTest, DefaultsSatisfyStringFormals) {
+  Derivation dv("d", "t1");
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("a2", "out.new",
+                                              ArgDirection::kOut))
+                  .ok());
+  ASSERT_TRUE(
+      dv.AddArg(ActualArg::DatasetRef("a1", "run1.raw", ArgDirection::kIn))
+          .ok());
+  // env/pa unbound but defaulted.
+  EXPECT_TRUE(
+      ValidateDerivationAgainst(dv, MakeSimpleTr(), registry_, Lookup())
+          .ok());
+}
+
+TEST_F(ValidationTest, StringBoundToDatasetFormalFails) {
+  Derivation dv = MakeDerivation();
+  Derivation bad("d", "t1");
+  ASSERT_TRUE(bad.AddArg(ActualArg::String("a1", "not-a-dataset")).ok());
+  ASSERT_TRUE(bad.AddArg(ActualArg::DatasetRef("a2", "out.x",
+                                               ArgDirection::kOut))
+                  .ok());
+  EXPECT_TRUE(
+      ValidateDerivationAgainst(bad, MakeSimpleTr(), registry_, Lookup())
+          .IsTypeError());
+}
+
+TEST_F(ValidationTest, DirectionMismatchFails) {
+  Derivation dv("d", "t1");
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("a2", "out.x",
+                                              ArgDirection::kIn))
+                  .ok());  // a2 is output
+  ASSERT_TRUE(
+      dv.AddArg(ActualArg::DatasetRef("a1", "run1.raw", ArgDirection::kIn))
+          .ok());
+  EXPECT_TRUE(
+      ValidateDerivationAgainst(dv, MakeSimpleTr(), registry_, Lookup())
+          .IsTypeError());
+}
+
+TEST_F(ValidationTest, UndefinedInputDatasetFails) {
+  Derivation dv("d", "t1");
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("a2", "out.x",
+                                              ArgDirection::kOut))
+                  .ok());
+  ASSERT_TRUE(
+      dv.AddArg(ActualArg::DatasetRef("a1", "nonexistent", ArgDirection::kIn))
+          .ok());
+  EXPECT_TRUE(
+      ValidateDerivationAgainst(dv, MakeSimpleTr(), registry_, Lookup())
+          .IsTypeError());
+}
+
+TEST_F(ValidationTest, VdpInputSkipsLocalExistenceCheck) {
+  Derivation dv("d", "t1");
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("a2", "out.x",
+                                              ArgDirection::kOut))
+                  .ok());
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("a1", "vdp://other/dataset",
+                                              ArgDirection::kIn))
+                  .ok());
+  EXPECT_TRUE(
+      ValidateDerivationAgainst(dv, MakeSimpleTr(), registry_, Lookup())
+          .ok());
+}
+
+// -------------------------- ResolveCommand ---------------------------
+
+TEST(ResolveCommandTest, ExpandsTemplatesWithActuals) {
+  Transformation tr = MakeSimpleTr();
+  Derivation dv = MakeDerivation();
+  Result<ResolvedCommand> cmd = ResolveCommand(tr, dv);
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->executable, "/usr/bin/app3");
+  ASSERT_EQ(cmd->argv.size(), 2u);
+  EXPECT_EQ(cmd->argv[0], "-p 600");
+  EXPECT_EQ(cmd->argv[1], "-f run1.raw");
+  EXPECT_EQ(cmd->streams.at("stdout"), "run1.summary");
+  EXPECT_EQ(cmd->environment.at("MAXMEM"), "20000");
+}
+
+TEST(ResolveCommandTest, DefaultsFillUnboundFormals) {
+  Transformation tr = MakeSimpleTr();
+  Derivation dv("d", "t1");
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("a2", "out", ArgDirection::kOut))
+                  .ok());
+  ASSERT_TRUE(
+      dv.AddArg(ActualArg::DatasetRef("a1", "in", ArgDirection::kIn)).ok());
+  Result<ResolvedCommand> cmd = ResolveCommand(tr, dv);
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->argv[0], "-p 500");                 // default pa
+  EXPECT_EQ(cmd->environment.at("MAXMEM"), "100000");  // default env
+}
+
+TEST(ResolveCommandTest, EnvOverridesWin) {
+  Transformation tr = MakeSimpleTr();
+  Derivation dv = MakeDerivation();
+  dv.SetEnvOverride("MAXMEM", "override");
+  dv.SetEnvOverride("EXTRA", "added");
+  Result<ResolvedCommand> cmd = ResolveCommand(tr, dv);
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->environment.at("MAXMEM"), "override");
+  EXPECT_EQ(cmd->environment.at("EXTRA"), "added");
+}
+
+TEST(ResolveCommandTest, RejectsCompound) {
+  Transformation tr("c", Transformation::Kind::kCompound);
+  CompoundCall call;
+  call.callee = "x";
+  tr.AddCall(call);
+  Derivation dv("d", "c");
+  EXPECT_FALSE(ResolveCommand(tr, dv).ok());
+}
+
+TEST(ResolveCommandTest, UsesPfnHintWhenNoExec) {
+  Transformation tr("t", Transformation::Kind::kSimple);
+  tr.SetProfile("hints.pfnHint", {TemplatePiece::Literal("/usr/bin/app1")});
+  Derivation dv("d", "t");
+  Result<ResolvedCommand> cmd = ResolveCommand(tr, dv);
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->executable, "/usr/bin/app1");
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "security/access.h"
+#include "security/crypto.h"
+#include "security/signed_entry.h"
+#include "security/trust.h"
+
+namespace vdg {
+namespace {
+
+// ------------------------------ Crypto -------------------------------
+
+TEST(CryptoTest, KeysAreDeterministicPerSeed) {
+  KeyPair a = KeyPair::FromSeed("alice");
+  KeyPair b = KeyPair::FromSeed("alice");
+  KeyPair c = KeyPair::FromSeed("bob");
+  EXPECT_EQ(a.private_key, b.private_key);
+  EXPECT_EQ(a.public_key, b.public_key);
+  EXPECT_NE(a.public_key, c.public_key);
+  EXPECT_NE(a.public_key, 0u);
+}
+
+TEST(CryptoTest, SignVerifyRoundTrip) {
+  KeyPair keys = KeyPair::FromSeed("alice");
+  Signature sig = Sign(keys, "hello virtual data");
+  EXPECT_TRUE(Verify(keys.public_key, "hello virtual data", sig));
+}
+
+TEST(CryptoTest, VerifyRejectsTamperedMessage) {
+  KeyPair keys = KeyPair::FromSeed("alice");
+  Signature sig = Sign(keys, "original");
+  EXPECT_FALSE(Verify(keys.public_key, "tampered", sig));
+}
+
+TEST(CryptoTest, VerifyRejectsWrongKey) {
+  KeyPair alice = KeyPair::FromSeed("alice");
+  KeyPair bob = KeyPair::FromSeed("bob");
+  Signature sig = Sign(alice, "message");
+  EXPECT_FALSE(Verify(bob.public_key, "message", sig));
+  EXPECT_FALSE(Verify(0, "message", sig));
+}
+
+TEST(CryptoTest, VerifyRejectsTamperedSignature) {
+  KeyPair keys = KeyPair::FromSeed("alice");
+  Signature sig = Sign(keys, "message");
+  Signature bad = sig;
+  bad.s ^= 1;
+  EXPECT_FALSE(Verify(keys.public_key, "message", bad));
+  bad = sig;
+  bad.e ^= 1;
+  EXPECT_FALSE(Verify(keys.public_key, "message", bad));
+}
+
+TEST(CryptoTest, SignaturesAreDeterministic) {
+  KeyPair keys = KeyPair::FromSeed("alice");
+  EXPECT_EQ(Sign(keys, "m"), Sign(keys, "m"));
+  EXPECT_FALSE(Sign(keys, "m1") == Sign(keys, "m2"));
+}
+
+TEST(CryptoTest, HexRoundTrips) {
+  KeyPair keys = KeyPair::FromSeed("alice");
+  Signature sig = Sign(keys, "m");
+  Result<Signature> back = Signature::FromHex(sig.ToHex());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, sig);
+  EXPECT_FALSE(Signature::FromHex("short").ok());
+  EXPECT_FALSE(Signature::FromHex(std::string(32, 'z')).ok());
+
+  Result<uint64_t> key = PublicKeyFromHex(PublicKeyToHex(keys.public_key));
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, keys.public_key);
+}
+
+// ------------------------------- Trust -------------------------------
+
+class TrustTest : public ::testing::Test {
+ protected:
+  TrustTest()
+      : root_keys_(KeyPair::FromSeed("griphyn-root")),
+        group_keys_(KeyPair::FromSeed("cms-group")),
+        alice_keys_(KeyPair::FromSeed("alice")) {
+    root_ = Identity{"griphyn-root", root_keys_.public_key};
+    group_ = Identity{"cms-group", group_keys_.public_key};
+    alice_ = Identity{"alice", alice_keys_.public_key};
+    trust_.AddRoot(root_);
+    group_cert_ = IssueCertificate(group_, "griphyn-root", root_keys_);
+    alice_cert_ = IssueCertificate(alice_, "cms-group", group_keys_);
+  }
+
+  KeyPair root_keys_, group_keys_, alice_keys_;
+  Identity root_, group_, alice_;
+  Certificate group_cert_, alice_cert_;
+  TrustStore trust_;
+};
+
+TEST_F(TrustTest, ValidChainResolvesLeaf) {
+  Result<Identity> leaf = trust_.ValidateChain({group_cert_, alice_cert_});
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(*leaf, alice_);
+  // One-link chain also works.
+  EXPECT_EQ(trust_.ValidateChain({group_cert_})->name, "cms-group");
+}
+
+TEST_F(TrustTest, UntrustedAnchorRejected) {
+  Certificate rogue =
+      IssueCertificate(alice_, "unknown-root", KeyPair::FromSeed("evil"));
+  EXPECT_TRUE(
+      trust_.ValidateChain({rogue}).status().IsPermissionDenied());
+  EXPECT_FALSE(trust_.ValidateChain({}).ok());
+}
+
+TEST_F(TrustTest, BrokenLinkRejected) {
+  // alice's cert is issued by cms-group; presenting it directly after
+  // the root anchor skips a link.
+  Certificate forged = IssueCertificate(alice_, "griphyn-root", group_keys_);
+  EXPECT_TRUE(
+      trust_.ValidateChain({forged}).status().IsPermissionDenied());
+  // Out-of-order chain fails the issuer continuity check.
+  EXPECT_FALSE(trust_.ValidateChain({alice_cert_, group_cert_}).ok());
+}
+
+TEST_F(TrustTest, RevocationBlocksChains) {
+  trust_.Revoke("cms-group");
+  EXPECT_TRUE(trust_.IsRevoked("cms-group"));
+  EXPECT_TRUE(trust_.ValidateChain({group_cert_, alice_cert_})
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(TrustTest, VerifySignedChecksChainAndSignature) {
+  Signature sig = Sign(alice_keys_, "the data is good");
+  EXPECT_TRUE(trust_
+                  .VerifySigned({group_cert_, alice_cert_},
+                                "the data is good", sig)
+                  .ok());
+  EXPECT_TRUE(trust_
+                  .VerifySigned({group_cert_, alice_cert_},
+                                "something else", sig)
+                  .IsPermissionDenied());
+}
+
+// ---------------------------- SignedEntry ----------------------------
+
+TEST_F(TrustTest, EntrySignaturesVerifyAndDetectDrift) {
+  SignatureRegistry registry;
+  std::string content = "TR maxBcg( output bcg, input field ) {...}";
+  EntrySignature entry = SignEntry("transformation", "maxBcg", content,
+                                   "approved", alice_, alice_keys_);
+  registry.Add(entry);
+
+  std::vector<EntrySignature> found =
+      registry.For("transformation", "maxBcg");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].signer, "alice");
+
+  EXPECT_TRUE(registry
+                  .VerifyEntry(entry, {group_cert_, alice_cert_}, content,
+                               trust_)
+                  .ok());
+  // Content drift after signing is detected.
+  EXPECT_EQ(registry
+                .VerifyEntry(entry, {group_cert_, alice_cert_},
+                             "edited content", trust_)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // A chain ending at someone else is rejected.
+  EXPECT_TRUE(registry.VerifyEntry(entry, {group_cert_}, content, trust_)
+                  .IsPermissionDenied());
+}
+
+TEST_F(TrustTest, HasVerifiedAssertionHonoursPolicy) {
+  SignatureRegistry registry;
+  std::string content = "dataset bytes...";
+  registry.Add(SignEntry("dataset", "survey", content, "curated", alice_,
+                         alice_keys_));
+  std::map<std::string, std::vector<Certificate>> chains{
+      {"alice", {group_cert_, alice_cert_}}};
+  EXPECT_TRUE(registry.HasVerifiedAssertion("dataset", "survey", "curated",
+                                            content, chains, trust_));
+  EXPECT_FALSE(registry.HasVerifiedAssertion("dataset", "survey", "audited",
+                                             content, chains, trust_));
+  EXPECT_FALSE(registry.HasVerifiedAssertion(
+      "dataset", "survey", "curated", "changed", chains, trust_));
+  // Revoking the signer kills the assertion.
+  trust_.Revoke("alice");
+  EXPECT_FALSE(registry.HasVerifiedAssertion("dataset", "survey", "curated",
+                                             content, chains, trust_));
+}
+
+// ------------------------------ Access -------------------------------
+
+TEST(AccessTest, OwnerMayDoAnything) {
+  AccessPolicy policy("alice");
+  EXPECT_TRUE(policy.Check("alice", AccessAction::kAdmin, "anything").ok());
+}
+
+TEST(AccessTest, GrantsAndDefaultDeny) {
+  AccessPolicy policy("alice");
+  policy.Grant("bob", AccessAction::kRead);
+  EXPECT_TRUE(policy.Check("bob", AccessAction::kRead, "ds").ok());
+  EXPECT_TRUE(
+      policy.Check("bob", AccessAction::kDefine, "ds").IsPermissionDenied());
+  EXPECT_TRUE(
+      policy.Check("eve", AccessAction::kRead, "ds").IsPermissionDenied());
+}
+
+TEST(AccessTest, GroupMembershipGrants) {
+  AccessPolicy policy("alice");
+  policy.AddToGroup("bob", "cms");
+  policy.Grant("cms", AccessAction::kDefine);
+  EXPECT_TRUE(policy.InGroup("bob", "cms"));
+  EXPECT_FALSE(policy.InGroup("eve", "cms"));
+  EXPECT_TRUE(policy.Check("bob", AccessAction::kDefine, "x").ok());
+  EXPECT_FALSE(policy.Check("eve", AccessAction::kDefine, "x").ok());
+}
+
+TEST(AccessTest, PrefixScopedRules) {
+  AccessPolicy policy("alice");
+  policy.Grant("bob", AccessAction::kAnnotate, "cms.");
+  EXPECT_TRUE(
+      policy.Check("bob", AccessAction::kAnnotate, "cms.batch0").ok());
+  EXPECT_FALSE(
+      policy.Check("bob", AccessAction::kAnnotate, "sdss.field1").ok());
+}
+
+TEST(AccessTest, DenyOverridesGrant) {
+  AccessPolicy policy("alice");
+  policy.Grant("*", AccessAction::kRead);
+  policy.Deny("eve", AccessAction::kRead);
+  EXPECT_TRUE(policy.Check("bob", AccessAction::kRead, "x").ok());
+  EXPECT_TRUE(
+      policy.Check("eve", AccessAction::kRead, "x").IsPermissionDenied());
+}
+
+TEST(AccessTest, AdminGrantImpliesAllActions) {
+  AccessPolicy policy("alice");
+  policy.Grant("bob", AccessAction::kAdmin);
+  EXPECT_TRUE(policy.Check("bob", AccessAction::kRead, "x").ok());
+  EXPECT_TRUE(policy.Check("bob", AccessAction::kDefine, "x").ok());
+  EXPECT_TRUE(policy.Check("bob", AccessAction::kAnnotate, "x").ok());
+}
+
+TEST(AccessTest, WildcardPrincipal) {
+  AccessPolicy policy("alice");
+  policy.Grant("*", AccessAction::kRead, "public.");
+  EXPECT_TRUE(policy.Check("anyone", AccessAction::kRead, "public.x").ok());
+  EXPECT_FALSE(
+      policy.Check("anyone", AccessAction::kRead, "private.x").ok());
+}
+
+}  // namespace
+}  // namespace vdg

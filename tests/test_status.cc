@@ -1,0 +1,133 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace vdg {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::NotFound("x").message(), "x");
+  EXPECT_EQ(Status::InvalidArgument("y").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::TypeError("t").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::ParseError("p").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::IoError("i").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::PermissionDenied("d").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(Status::FailedPrecondition("f").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("r").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::AlreadyExists("a").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unavailable("u").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Internal("z").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("").IsAlreadyExists());
+  EXPECT_TRUE(Status::AlreadyExists("").IsAlreadyExists());
+  EXPECT_TRUE(Status::TypeError("").IsTypeError());
+  EXPECT_TRUE(Status::ParseError("").IsParseError());
+  EXPECT_TRUE(Status::PermissionDenied("").IsPermissionDenied());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, OkStatusConstructionBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 9);
+}
+
+namespace helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  VDG_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  VDG_ASSIGN_OR_RETURN(int h, Half(x));
+  VDG_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::Chain(1).ok());
+  EXPECT_EQ(helpers::Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsAndPropagates) {
+  Result<int> ok = helpers::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(helpers::Quarter(6).ok());  // second Half fails on 3
+  EXPECT_FALSE(helpers::Quarter(5).ok());  // first Half fails
+}
+
+}  // namespace
+}  // namespace vdg

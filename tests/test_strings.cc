@@ -1,0 +1,104 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace vdg {
+namespace {
+
+TEST(StrSplitTest, BasicSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StrSplitTest, AdjacentSeparatorsYieldEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrSplitTest, EmptyInputYieldsOneEmptyPiece) {
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrSplitTest, TrimmedDropsEmptyAndWhitespace) {
+  EXPECT_EQ(StrSplitTrimmed(" a , ,b ,", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+// Property: Join then Split is the identity for pieces with no
+// separator characters.
+class SplitJoinRoundTrip
+    : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(SplitJoinRoundTrip, JoinThenSplitIsIdentity) {
+  const std::vector<std::string>& pieces = GetParam();
+  std::string joined = StrJoin(pieces, "|");
+  EXPECT_EQ(StrSplit(joined, '|'), pieces);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SplitJoinRoundTrip,
+    ::testing::Values(std::vector<std::string>{"a"},
+                      std::vector<std::string>{"a", "b"},
+                      std::vector<std::string>{"", "x", ""},
+                      std::vector<std::string>{"run1.exp15", "T1932", "raw"},
+                      std::vector<std::string>{"with space", "tab\there"}));
+
+TEST(StrTrimTest, TrimsBothEnds) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim("\t\nabc\r "), "abc");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("no-trim"), "no-trim");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("vdp://host/x", "vdp://"));
+  EXPECT_FALSE(StartsWith("vd", "vdp://"));
+  EXPECT_TRUE(EndsWith("file.txt", ".txt"));
+  EXPECT_FALSE(EndsWith("txt", ".txt2"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(AsciiToLowerTest, LowersOnlyAscii) {
+  EXPECT_EQ(AsciiToLower("AbC-123"), "abc-123");
+}
+
+TEST(IsValidIdentifierTest, AcceptsVdgNames) {
+  EXPECT_TRUE(IsValidIdentifier("t1"));
+  EXPECT_TRUE(IsValidIdentifier("run1.exp15.T1932.raw"));
+  EXPECT_TRUE(IsValidIdentifier("_underscore"));
+  EXPECT_TRUE(IsValidIdentifier("Dataset-format"));
+  EXPECT_TRUE(IsValidIdentifier("a"));
+}
+
+TEST(IsValidIdentifierTest, RejectsBadNames) {
+  EXPECT_FALSE(IsValidIdentifier(""));
+  EXPECT_FALSE(IsValidIdentifier("1leading-digit"));
+  EXPECT_FALSE(IsValidIdentifier("-leading-dash"));
+  EXPECT_FALSE(IsValidIdentifier("has space"));
+  EXPECT_FALSE(IsValidIdentifier("slash/inside"));
+  EXPECT_FALSE(IsValidIdentifier(".leading-dot"));
+}
+
+TEST(StrReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(StrReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(StrReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(StrReplaceAll("none", "x", "y"), "none");
+  EXPECT_EQ(StrReplaceAll("x", "", "y"), "x");  // empty pattern: no-op
+}
+
+TEST(FormatDoubleTest, CompactRendering) {
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(3.5), "3.5");
+  EXPECT_EQ(FormatDouble(0.125), "0.125");
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,212 @@
+#include "types/type_system.h"
+
+#include <gtest/gtest.h>
+
+namespace vdg {
+namespace {
+
+class TypeHierarchyTest : public ::testing::Test {
+ protected:
+  TypeHierarchyTest() : h_(TypeDimension::kFormat) {
+    EXPECT_TRUE(h_.DefineTopLevel("Fileset").ok());
+    EXPECT_TRUE(h_.Define("Simple", "Fileset").ok());
+    EXPECT_TRUE(h_.Define("Tar-archive", "Fileset").ok());
+    EXPECT_TRUE(h_.DefineTopLevel("Relation").ok());
+    EXPECT_TRUE(h_.Define("SQL-table", "Relation").ok());
+  }
+  TypeHierarchy h_;
+};
+
+TEST_F(TypeHierarchyTest, ContainsDefinedTypes) {
+  EXPECT_TRUE(h_.Contains("Fileset"));
+  EXPECT_TRUE(h_.Contains("SQL-table"));
+  EXPECT_FALSE(h_.Contains("Nope"));
+  EXPECT_EQ(h_.size(), 5u);
+}
+
+TEST_F(TypeHierarchyTest, RejectsDuplicatesAndBadParents) {
+  EXPECT_TRUE(h_.Define("Simple", "Fileset").IsAlreadyExists());
+  EXPECT_TRUE(h_.Define("X", "NoSuchParent").IsNotFound());
+  EXPECT_FALSE(h_.Define("bad name", "Fileset").ok());
+  EXPECT_FALSE(h_.Define("Dataset-format", "Fileset").ok());
+}
+
+TEST_F(TypeHierarchyTest, SubtypeIsReflexiveForDefinedNames) {
+  EXPECT_TRUE(h_.IsSubtypeOf("Simple", "Simple"));
+  EXPECT_FALSE(h_.IsSubtypeOf("Undefined", "Undefined"));
+}
+
+TEST_F(TypeHierarchyTest, SubtypeIsTransitive) {
+  EXPECT_TRUE(h_.IsSubtypeOf("Simple", "Fileset"));
+  EXPECT_TRUE(h_.IsSubtypeOf("Simple", h_.base_name()));
+  EXPECT_TRUE(h_.IsSubtypeOf("SQL-table", "Relation"));
+}
+
+TEST_F(TypeHierarchyTest, SubtypeRejectsCrossBranch) {
+  EXPECT_FALSE(h_.IsSubtypeOf("Simple", "Relation"));
+  EXPECT_FALSE(h_.IsSubtypeOf("Fileset", "Simple"));  // not symmetric
+}
+
+TEST_F(TypeHierarchyTest, AncestryWalksToBase) {
+  Result<std::vector<std::string>> chain = h_.AncestryOf("Simple");
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(*chain, (std::vector<std::string>{"Simple", "Fileset",
+                                              "Dataset-format"}));
+  EXPECT_FALSE(h_.AncestryOf("Missing").ok());
+}
+
+TEST_F(TypeHierarchyTest, DepthCountsEdgesFromBase) {
+  EXPECT_EQ(*h_.DepthOf("Fileset"), 1);
+  EXPECT_EQ(*h_.DepthOf("Simple"), 2);
+  EXPECT_EQ(*h_.DepthOf(h_.base_name()), 0);
+}
+
+TEST_F(TypeHierarchyTest, ChildrenAreSorted) {
+  EXPECT_EQ(h_.ChildrenOf("Fileset"),
+            (std::vector<std::string>{"Simple", "Tar-archive"}));
+  EXPECT_EQ(h_.ChildrenOf(h_.base_name()),
+            (std::vector<std::string>{"Fileset", "Relation"}));
+}
+
+TEST(DatasetTypeTest, ToStringUsesStarsForUnconstrained) {
+  DatasetType t;
+  t.content = "SDSS";
+  EXPECT_EQ(t.ToString(), "SDSS/*/*");
+  EXPECT_EQ(DatasetType::Any().ToString(), "*/*/*");
+}
+
+TEST(DatasetTypeTest, ParseRoundTrip) {
+  for (const char* text :
+       {"SDSS/Fileset/ASCII", "CMS/*/*", "*/Relation/*", "*/*/*"}) {
+    Result<DatasetType> t = DatasetType::Parse(text);
+    ASSERT_TRUE(t.ok()) << text;
+    EXPECT_EQ(t->ToString(), text);
+  }
+}
+
+TEST(DatasetTypeTest, ParseDatasetSynonymIsAny) {
+  Result<DatasetType> t = DatasetType::Parse("Dataset");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->IsAny());
+}
+
+TEST(DatasetTypeTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(DatasetType::Parse("a/b/c/d").ok());
+  EXPECT_FALSE(DatasetType::Parse("bad name/x").ok());
+}
+
+TEST(DatasetTypeTest, PartialParseFillsLeadingDimensions) {
+  Result<DatasetType> t = DatasetType::Parse("SDSS/Fileset");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->content, "SDSS");
+  EXPECT_EQ(t->format, "Fileset");
+  EXPECT_TRUE(t->encoding.empty());
+}
+
+class TypeRegistryTest : public ::testing::Test {
+ protected:
+  TypeRegistryTest() { EXPECT_TRUE(registry_.LoadAppendixCPreset().ok()); }
+  TypeRegistry registry_;
+
+  static DatasetType Make(const char* c, const char* f, const char* e) {
+    DatasetType t;
+    t.content = c;
+    t.format = f;
+    t.encoding = e;
+    return t;
+  }
+};
+
+TEST_F(TypeRegistryTest, PresetLoadsAllDimensions) {
+  EXPECT_TRUE(registry_.dimension(TypeDimension::kFormat).Contains("Zip-archive"));
+  EXPECT_TRUE(
+      registry_.dimension(TypeDimension::kEncoding).Contains("HDF-5-file"));
+  EXPECT_TRUE(registry_.dimension(TypeDimension::kContent)
+                  .Contains("PAW-ntuple-file"));
+  EXPECT_GE(registry_.size(), 40u);
+}
+
+TEST_F(TypeRegistryTest, ValidateAcceptsKnownAndEmptyComponents) {
+  EXPECT_TRUE(registry_.Validate(Make("SDSS", "Fileset", "Text")).ok());
+  EXPECT_TRUE(registry_.Validate(DatasetType::Any()).ok());
+  EXPECT_TRUE(registry_.Validate(Make("", "Relation", "")).ok());
+}
+
+TEST_F(TypeRegistryTest, ValidateRejectsUnknownComponent) {
+  Status s = registry_.Validate(Make("NotAType", "", ""));
+  EXPECT_TRUE(s.IsTypeError());
+}
+
+TEST_F(TypeRegistryTest, ConformanceIsSubtypePerDimension) {
+  // Excel-95 is a Spreadsheet; DOS-text is ASCII is Text.
+  EXPECT_TRUE(registry_.Conforms(Make("", "Excel-95", "DOS-text"),
+                                 Make("", "Spreadsheet", "Text")));
+  EXPECT_FALSE(registry_.Conforms(Make("", "Excel-95", "DOS-text"),
+                                  Make("", "Relation", "Text")));
+}
+
+TEST_F(TypeRegistryTest, UnconstrainedFormalAcceptsAnything) {
+  EXPECT_TRUE(
+      registry_.Conforms(Make("SDSS", "Fileset", "Text"), DatasetType::Any()));
+}
+
+TEST_F(TypeRegistryTest, ConstrainedFormalRejectsUnconstrainedActual) {
+  // An untyped dataset does not conform to a typed formal.
+  EXPECT_FALSE(
+      registry_.Conforms(DatasetType::Any(), Make("SDSS", "", "")));
+}
+
+TEST_F(TypeRegistryTest, BaseNamedFormalAcceptsAnything) {
+  DatasetType base_formal;
+  base_formal.content = "Dataset-content";
+  EXPECT_TRUE(registry_.Conforms(DatasetType::Any(), base_formal));
+}
+
+TEST_F(TypeRegistryTest, UnionConformance) {
+  std::vector<DatasetType> formal{Make("CMS", "", ""), Make("SDSS", "", "")};
+  EXPECT_TRUE(registry_.ConformsToAny(Make("FITS-file", "", ""), formal));
+  EXPECT_TRUE(registry_.ConformsToAny(Make("Zebra-file", "", ""), formal));
+  EXPECT_FALSE(registry_.ConformsToAny(Make("UChicago", "", ""), formal));
+  EXPECT_TRUE(registry_.ConformsToAny(Make("UChicago", "", ""), {}));
+}
+
+TEST_F(TypeRegistryTest, CommonSupertypeFindsDeepestSharedAncestor) {
+  DatasetType sup = registry_.CommonSupertype(Make("Zebra-file", "", ""),
+                                              Make("Geant-4-file", "", ""));
+  EXPECT_EQ(sup.content, "Simulation");
+  sup = registry_.CommonSupertype(Make("Zebra-file", "", ""),
+                                  Make("ROOT-IO-file", "", ""));
+  EXPECT_EQ(sup.content, "CMS");
+  sup = registry_.CommonSupertype(Make("Zebra-file", "", ""),
+                                  Make("FITS-file", "", ""));
+  EXPECT_TRUE(sup.content.empty());  // only the base is shared
+}
+
+// Property: every type in the preset conforms to its own ancestors.
+class PresetConformance : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresetConformance, EveryTypeConformsToItsAncestry) {
+  TypeRegistry registry;
+  ASSERT_TRUE(registry.LoadAppendixCPreset().ok());
+  auto dim = static_cast<TypeDimension>(GetParam());
+  const TypeHierarchy& h = registry.dimension(dim);
+  for (const std::string& name : h.AllTypes()) {
+    Result<std::vector<std::string>> chain = h.AncestryOf(name);
+    ASSERT_TRUE(chain.ok());
+    for (const std::string& ancestor : *chain) {
+      EXPECT_TRUE(h.IsSubtypeOf(name, ancestor))
+          << name << " should be subtype of " << ancestor;
+      DatasetType actual;
+      actual.component(dim) = name;
+      DatasetType formal;
+      formal.component(dim) = ancestor;
+      EXPECT_TRUE(registry.Conforms(actual, formal));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDimensions, PresetConformance,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,47 @@
+#include "common/uri.h"
+
+#include <gtest/gtest.h>
+
+namespace vdg {
+namespace {
+
+TEST(VdpUriTest, ParsesFigure2Examples) {
+  Result<VdpUri> uri = ParseVdpUri("vdp://physics.wisconsin.edu/srch");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->authority, "physics.wisconsin.edu");
+  EXPECT_EQ(uri->path, "srch");
+}
+
+TEST(VdpUriTest, PathMayContainSlashes) {
+  Result<VdpUri> uri = ParseVdpUri("vdp://host/group/dataset.v2");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->path, "group/dataset.v2");
+}
+
+TEST(VdpUriTest, RoundTripsThroughToString) {
+  VdpUri uri{"physics.illinois.edu", "sim"};
+  Result<VdpUri> reparsed = ParseVdpUri(uri.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, uri);
+}
+
+TEST(VdpUriTest, RejectsWrongScheme) {
+  EXPECT_FALSE(ParseVdpUri("http://host/x").ok());
+  EXPECT_FALSE(ParseVdpUri("vdp:/host/x").ok());
+  EXPECT_FALSE(ParseVdpUri("").ok());
+}
+
+TEST(VdpUriTest, RejectsMissingParts) {
+  EXPECT_FALSE(ParseVdpUri("vdp://hostonly").ok());
+  EXPECT_FALSE(ParseVdpUri("vdp:///path").ok());
+  EXPECT_FALSE(ParseVdpUri("vdp://host/").ok());
+}
+
+TEST(VdpUriTest, IsVdpUriDetection) {
+  EXPECT_TRUE(IsVdpUri("vdp://a/b"));
+  EXPECT_FALSE(IsVdpUri("plain-name"));
+  EXPECT_FALSE(IsVdpUri("ns::name"));
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "vdl/lexer.h"
+#include "vdl/parser.h"
+#include "vdl/printer.h"
+#include "vdl/xml.h"
+
+namespace vdg {
+namespace {
+
+// ------------------------------ Lexer --------------------------------
+
+TEST(LexerTest, TokenizesPunctuationAndIdentifiers) {
+  VdlLexer lexer("TR t1( output a2 ) { exec = \"/bin/x\"; }");
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "TR");
+  EXPECT_EQ((*tokens)[1].text, "t1");
+  EXPECT_TRUE((*tokens)[2].is(TokenKind::kLParen));
+  EXPECT_TRUE((*tokens).back().is(TokenKind::kEof));
+}
+
+TEST(LexerTest, DottedIdentifiersStayWhole) {
+  VdlLexer lexer("env.MAXMEM run1.exp15.T1932.raw");
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "env.MAXMEM");
+  EXPECT_EQ((*tokens)[1].text, "run1.exp15.T1932.raw");
+}
+
+TEST(LexerTest, ArrowVersusDashIdentifiers) {
+  VdlLexer lexer("d1->example1::t1 Tar-archive");
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "d1");
+  EXPECT_TRUE((*tokens)[1].is(TokenKind::kArrow));
+  EXPECT_EQ((*tokens)[2].text, "example1");
+  EXPECT_TRUE((*tokens)[3].is(TokenKind::kColonColon));
+  EXPECT_EQ((*tokens)[4].text, "t1");
+  EXPECT_EQ((*tokens)[5].text, "Tar-archive");
+}
+
+TEST(LexerTest, DollarAndAtBraces) {
+  VdlLexer lexer("${input:a1} @{output:\"file2\"}");
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].is(TokenKind::kDollarBrace));
+  EXPECT_EQ((*tokens)[1].text, "input");
+  EXPECT_TRUE((*tokens)[2].is(TokenKind::kColon));
+  EXPECT_EQ((*tokens)[3].text, "a1");
+  EXPECT_TRUE((*tokens)[4].is(TokenKind::kRBrace));
+  EXPECT_TRUE((*tokens)[5].is(TokenKind::kAtBrace));
+}
+
+TEST(LexerTest, StringEscapes) {
+  VdlLexer lexer(R"("a\"b" "line\nnext" "back\\slash")");
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a\"b");
+  EXPECT_EQ((*tokens)[1].text, "line\nnext");
+  EXPECT_EQ((*tokens)[2].text, "back\\slash");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  VdlLexer lexer("# full line\nTR // trailing\nt1");
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "TR");
+  EXPECT_EQ((*tokens)[1].text, "t1");
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedString) {
+  VdlLexer lexer("\"never closed");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, ErrorsOnLoneDollar) {
+  VdlLexer lexer("$x");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+// ------------------------- Parser: Appendix A ------------------------
+
+// The first VDL example in Appendix A, verbatim modulo whitespace.
+constexpr const char* kAppendixT1 = R"(
+TR t1( output a2, input a1, none env="100000", none pa="500" ) {
+  argument parg = "-p "${none:pa};
+  argument farg = "-f "${input:a1};
+  argument xarg = "-x -y ";
+  argument stdout = ${output:a2};
+  exec = "/usr/bin/app3";
+  env.MAXMEM = ${none:env};
+}
+)";
+
+TEST(ParserTest, ParsesAppendixT1) {
+  Result<VdlProgram> program = ParseVdl(kAppendixT1);
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->transformations.size(), 1u);
+  const Transformation& tr = program->transformations[0];
+  EXPECT_EQ(tr.name(), "t1");
+  EXPECT_FALSE(tr.is_compound());
+  ASSERT_EQ(tr.args().size(), 4u);
+  EXPECT_EQ(tr.args()[0].name, "a2");
+  EXPECT_EQ(tr.args()[0].direction, ArgDirection::kOut);
+  EXPECT_EQ(tr.args()[2].name, "env");
+  EXPECT_EQ(tr.args()[2].default_string, "100000");
+  EXPECT_EQ(tr.executable(), "/usr/bin/app3");
+  ASSERT_EQ(tr.argument_templates().size(), 4u);
+  EXPECT_EQ(tr.argument_templates()[0].name, "parg");
+  ASSERT_EQ(tr.argument_templates()[0].expr.size(), 2u);
+  EXPECT_EQ(tr.argument_templates()[0].expr[0].text, "-p ");
+  EXPECT_EQ(tr.argument_templates()[0].expr[1].text, "pa");
+  EXPECT_EQ(tr.argument_templates()[3].name, "stdout");
+  ASSERT_EQ(tr.env().count("MAXMEM"), 1u);
+}
+
+TEST(ParserTest, ParsesAppendixDerivation) {
+  Result<VdlProgram> program = ParseVdl(R"(
+    DV d1->example1::t1(
+      a2=@{output:"run1.exp15.T1932.summary"},
+      a1=@{input:"run1.exp15.T1932.raw"},
+      env="20000", pa="600" );
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->derivations.size(), 1u);
+  const Derivation& dv = program->derivations[0];
+  EXPECT_EQ(dv.name(), "d1");
+  EXPECT_EQ(dv.transformation_namespace(), "example1");
+  EXPECT_EQ(dv.transformation(), "t1");
+  EXPECT_EQ(dv.QualifiedTransformation(), "example1::t1");
+  EXPECT_EQ(dv.OutputDatasets(),
+            std::vector<std::string>{"run1.exp15.T1932.summary"});
+  EXPECT_EQ(dv.InputDatasets(),
+            std::vector<std::string>{"run1.exp15.T1932.raw"});
+  const ActualArg* env = dv.FindArg("env");
+  ASSERT_NE(env, nullptr);
+  EXPECT_EQ(env->string_value, "20000");
+}
+
+// The dependency chain example: usetrans1 output feeds usetrans2.
+TEST(ParserTest, ParsesDependencyChain) {
+  Result<VdlProgram> program = ParseVdl(R"(
+TR trans1( output a2, input a1 ) {
+  argument stdin = ${input:a1};
+  argument stdout = ${output:a2};
+  exec = "/usr/bin/app1";
+}
+TR trans2( output a2, input a1 ) {
+  argument stdin = ${input:a1};
+  argument stdout = ${output:a2};
+  exec = "/usr/bin/app2";
+}
+DV usetrans1->trans1( a2=@{output:"file2"}, a1=@{input:"file1"} );
+DV usetrans2->trans2( a2=@{output:"file3"}, a1=@{input:"file2"} );
+)");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->transformations.size(), 2u);
+  EXPECT_EQ(program->derivations.size(), 2u);
+  EXPECT_EQ(program->derivations[1].InputDatasets(),
+            std::vector<std::string>{"file2"});
+}
+
+// trans4/trans5: compound transformations from Appendix A.
+constexpr const char* kAppendixCompound = R"(
+TR trans1( output a2, input a1 ) {
+  argument = "...";
+  argument stdin = ${input:a1};
+  argument stdout = ${output:a2};
+  profile hints.pfnHint = "/usr/bin/app1";
+}
+TR trans2( output a2, input a1 ) {
+  argument = "...";
+  argument stdin = ${input:a1};
+  argument stdout = ${output:a2};
+  exec = "/usr/bin/app2";
+}
+TR trans3( input a2, input a1, output a3 ) {
+  argument parg = "-p foo";
+  argument farg = "-f "${input:a1};
+  argument xarg = "-x -y -o "${output:a3};
+  argument stdin = ${input:a2};
+  exec = "/usr/bin/app3";
+}
+TR trans4( input a2, input a1,
+           inout a5=@{inout:"anywhere":""},
+           inout a4=@{inout:"somewhere":""},
+           output a3 ) {
+  trans1( a2=${output:a4}, a1=${a1} );
+  trans2( a2=${output:a5}, a1=${a2} );
+  trans3( a2=${input:a5}, a1=${input:a4}, a3=${output:a3} );
+}
+TR trans5( input a2, input a1,
+           inout a4=@{inout:"someplace":""},
+           output a3 ) {
+  trans1( a2=${output:a4}, a1=${a1} );
+  trans4( a2=${input:a4}, a1=${a2}, a3=${a3} );
+}
+)";
+
+TEST(ParserTest, ParsesAppendixCompounds) {
+  Result<VdlProgram> program = ParseVdl(kAppendixCompound);
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->transformations.size(), 5u);
+  const Transformation& t4 = program->transformations[3];
+  EXPECT_TRUE(t4.is_compound());
+  ASSERT_EQ(t4.calls().size(), 3u);
+  EXPECT_EQ(t4.calls()[0].callee, "trans1");
+  const TemplatePiece* binding = t4.calls()[0].FindBinding("a2");
+  ASSERT_NE(binding, nullptr);
+  EXPECT_TRUE(binding->is_ref());
+  EXPECT_EQ(binding->text, "a4");
+  EXPECT_EQ(binding->ref_direction, ArgDirection::kOut);
+  // Unqualified ${a1} carries no direction.
+  const TemplatePiece* plain = t4.calls()[0].FindBinding("a1");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_FALSE(plain->ref_direction.has_value());
+  // Default dataset bindings on inout formals.
+  const FormalArg* a5 = t4.FindArg("a5");
+  ASSERT_NE(a5, nullptr);
+  EXPECT_EQ(a5->direction, ArgDirection::kInOut);
+  EXPECT_EQ(a5->default_dataset, "anywhere");
+  // trans5 nests a compound.
+  const Transformation& t5 = program->transformations[4];
+  EXPECT_TRUE(t5.is_compound());
+  EXPECT_EQ(t5.calls()[1].callee, "trans4");
+}
+
+TEST(ParserTest, ParsesTypedFormalsAndUnions) {
+  Result<VdlProgram> program = ParseVdl(R"(
+TR typed( input SDSS/Fileset/ASCII a1, input CMS|SDSS a2,
+          output */Relation/* a3 ) {
+  exec = "/bin/x";
+}
+)");
+  ASSERT_TRUE(program.ok()) << program.status();
+  const Transformation& tr = program->transformations[0];
+  ASSERT_EQ(tr.args().size(), 3u);
+  EXPECT_EQ(tr.args()[0].types[0].ToString(), "SDSS/Fileset/ASCII");
+  ASSERT_EQ(tr.args()[1].types.size(), 2u);
+  EXPECT_EQ(tr.args()[1].types[0].content, "CMS");
+  EXPECT_EQ(tr.args()[1].types[1].content, "SDSS");
+  EXPECT_EQ(tr.args()[2].types[0].format, "Relation");
+  EXPECT_TRUE(tr.args()[2].types[0].content.empty());
+}
+
+TEST(ParserTest, ParsesDatasetDeclExtension) {
+  Result<VdlProgram> program = ParseVdl(R"(
+DS file1 : SDSS/Simple/ASCII size="2048" path="/data/file1";
+DS file2 : Dataset;
+)");
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->datasets.size(), 2u);
+  EXPECT_EQ(program->datasets[0].name, "file1");
+  EXPECT_EQ(program->datasets[0].type.ToString(), "SDSS/Simple/ASCII");
+  EXPECT_EQ(program->datasets[0].size_bytes, 2048);
+  EXPECT_EQ(program->datasets[0].descriptor.fields.GetString("path"),
+            "/data/file1");
+  EXPECT_TRUE(program->datasets[1].type.IsAny());
+}
+
+TEST(ParserTest, ParsesRemoteCalleeAndRemoteDerivation) {
+  Result<VdlProgram> program = ParseVdl(R"(
+TR cmpsim( input a1, inout mid=@{inout:"m":""}, output a2 ) {
+  "vdp://physics.illinois.edu/sim"( in=${input:a1}, out=${output:mid} );
+  "vdp://physics.illinois.edu/cmp"( in=${input:mid}, out=${output:a2} );
+}
+DV srch-muon->"vdp://physics.wisconsin.edu/srch"(
+    class="muon", data=@{input:"events"} );
+)");
+  ASSERT_TRUE(program.ok()) << program.status();
+  const Transformation& tr = program->transformations[0];
+  EXPECT_EQ(tr.calls()[0].callee, "vdp://physics.illinois.edu/sim");
+  const Derivation& dv = program->derivations[0];
+  EXPECT_EQ(dv.transformation(), "vdp://physics.wisconsin.edu/srch");
+}
+
+TEST(ParserTest, ErrorCases) {
+  EXPECT_FALSE(ParseVdl("TR t1( output a2 )").ok());      // no body
+  EXPECT_FALSE(ParseVdl("TR t1( sideways x ) {}").ok());  // bad direction
+  EXPECT_FALSE(ParseVdl("DV d1->t1( x=5 );").ok());       // unquoted value
+  EXPECT_FALSE(ParseVdl("BOGUS x;").ok());                // unknown stmt
+  EXPECT_FALSE(ParseVdl("TR t( input a, input a ) { exec=\"/x\"; }").ok());
+  // Mixing compound calls with simple statements is rejected.
+  EXPECT_FALSE(ParseVdl(R"(
+TR mixed( input a1, output a2 ) {
+  exec = "/bin/x";
+  trans1( a=${a1} );
+}
+)")
+                   .ok());
+}
+
+// ------------------------------ Printer ------------------------------
+
+// Property: print -> parse -> print is a fixed point.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  Result<VdlProgram> first = ParseVdl(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = PrintProgram(*first);
+  Result<VdlProgram> second = ParseVdl(printed);
+  ASSERT_TRUE(second.ok()) << second.status() << "\n" << printed;
+  EXPECT_EQ(PrintProgram(*second), printed);
+  EXPECT_EQ(second->transformations.size(), first->transformations.size());
+  EXPECT_EQ(second->derivations.size(), first->derivations.size());
+  // Type signatures survive the round trip.
+  for (size_t i = 0; i < first->transformations.size(); ++i) {
+    EXPECT_EQ(second->transformations[i].TypeSignature(),
+              first->transformations[i].TypeSignature());
+  }
+  // Derivation signatures survive the round trip.
+  for (size_t i = 0; i < first->derivations.size(); ++i) {
+    EXPECT_EQ(second->derivations[i].SignatureText(),
+              first->derivations[i].SignatureText());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTrip,
+    ::testing::Values(
+        kAppendixT1, kAppendixCompound,
+        "DV d1->example1::t1( a2=@{output:\"f.out\"}, pa=\"600\" );",
+        "TR typed( input SDSS/Fileset/ASCII a1, input CMS|SDSS a2, "
+        "output */Relation/* a3 ) { exec = \"/bin/x\"; }",
+        "TR esc( none p=\"quote\\\"inside\" ) { exec = \"/bin/x\"; "
+        "argument a = \"-p \"${none:p}; }"));
+
+// ------------------------------- XML ---------------------------------
+
+TEST(XmlTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&apos;c");
+}
+
+TEST(XmlTest, TransformationXmlStructure) {
+  Result<VdlProgram> program = ParseVdl(kAppendixT1);
+  ASSERT_TRUE(program.ok());
+  std::string xml = TransformationToXml(program->transformations[0]);
+  EXPECT_NE(xml.find("<transformation name=\"t1\" kind=\"simple\">"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<declare name=\"a2\" link=\"output\"/>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<executable>/usr/bin/app3</executable>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<env name=\"MAXMEM\">"), std::string::npos);
+}
+
+TEST(XmlTest, DerivationXmlStructure) {
+  Result<VdlProgram> program = ParseVdl(
+      "DV d1->ns::t1( a2=@{output:\"f2\"}, a1=@{input:\"f1\"} );");
+  ASSERT_TRUE(program.ok());
+  std::string xml = DerivationToXml(program->derivations[0]);
+  EXPECT_NE(xml.find("uses=\"ns::t1\""), std::string::npos);
+  EXPECT_NE(xml.find("dataset=\"f2\" link=\"output\""), std::string::npos);
+}
+
+TEST(XmlTest, ProgramXmlWrapsEverything) {
+  Result<VdlProgram> program = ParseVdl(
+      "DS d : CMS; TR t( input x ) { exec=\"/b\"; } "
+      "DV v->t( x=@{input:\"d\"} );");
+  ASSERT_TRUE(program.ok());
+  std::string xml = ProgramToXml(*program);
+  EXPECT_NE(xml.find("<vdl version=\"1.0\">"), std::string::npos);
+  EXPECT_NE(xml.find("<dataset name=\"d\""), std::string::npos);
+  EXPECT_NE(xml.find("<transformation name=\"t\""), std::string::npos);
+  EXPECT_NE(xml.find("<derivation name=\"v\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdg
