@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dedup.dir/bench_abl_dedup.cc.o"
+  "CMakeFiles/bench_abl_dedup.dir/bench_abl_dedup.cc.o.d"
+  "bench_abl_dedup"
+  "bench_abl_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

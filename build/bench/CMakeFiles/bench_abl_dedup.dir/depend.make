@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_dedup.
+# This may be replaced when dependencies are built.

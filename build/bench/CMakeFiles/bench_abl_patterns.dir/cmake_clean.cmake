@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_patterns.dir/bench_abl_patterns.cc.o"
+  "CMakeFiles/bench_abl_patterns.dir/bench_abl_patterns.cc.o.d"
+  "bench_abl_patterns"
+  "bench_abl_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_replication.dir/bench_abl_replication.cc.o"
+  "CMakeFiles/bench_abl_replication.dir/bench_abl_replication.cc.o.d"
+  "bench_abl_replication"
+  "bench_abl_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

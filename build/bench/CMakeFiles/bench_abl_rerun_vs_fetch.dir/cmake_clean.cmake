@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_rerun_vs_fetch.dir/bench_abl_rerun_vs_fetch.cc.o"
+  "CMakeFiles/bench_abl_rerun_vs_fetch.dir/bench_abl_rerun_vs_fetch.cc.o.d"
+  "bench_abl_rerun_vs_fetch"
+  "bench_abl_rerun_vs_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_rerun_vs_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl_rerun_vs_fetch.
+# This may be replaced when dependencies are built.

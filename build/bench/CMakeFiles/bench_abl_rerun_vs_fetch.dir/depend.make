@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_rerun_vs_fetch.
+# This may be replaced when dependencies are built.

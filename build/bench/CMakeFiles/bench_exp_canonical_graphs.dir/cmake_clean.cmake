@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_canonical_graphs.dir/bench_exp_canonical_graphs.cc.o"
+  "CMakeFiles/bench_exp_canonical_graphs.dir/bench_exp_canonical_graphs.cc.o.d"
+  "bench_exp_canonical_graphs"
+  "bench_exp_canonical_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_canonical_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

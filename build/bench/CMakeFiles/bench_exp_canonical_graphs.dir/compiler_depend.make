@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exp_canonical_graphs.
+# This may be replaced when dependencies are built.

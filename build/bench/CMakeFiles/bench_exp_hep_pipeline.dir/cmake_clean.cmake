@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_hep_pipeline.dir/bench_exp_hep_pipeline.cc.o"
+  "CMakeFiles/bench_exp_hep_pipeline.dir/bench_exp_hep_pipeline.cc.o.d"
+  "bench_exp_hep_pipeline"
+  "bench_exp_hep_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_hep_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

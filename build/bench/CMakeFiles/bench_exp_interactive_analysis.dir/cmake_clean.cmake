@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_interactive_analysis.dir/bench_exp_interactive_analysis.cc.o"
+  "CMakeFiles/bench_exp_interactive_analysis.dir/bench_exp_interactive_analysis.cc.o.d"
+  "bench_exp_interactive_analysis"
+  "bench_exp_interactive_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_interactive_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

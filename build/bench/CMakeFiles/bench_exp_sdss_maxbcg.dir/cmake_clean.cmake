@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp_sdss_maxbcg.dir/bench_exp_sdss_maxbcg.cc.o"
+  "CMakeFiles/bench_exp_sdss_maxbcg.dir/bench_exp_sdss_maxbcg.cc.o.d"
+  "bench_exp_sdss_maxbcg"
+  "bench_exp_sdss_maxbcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp_sdss_maxbcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

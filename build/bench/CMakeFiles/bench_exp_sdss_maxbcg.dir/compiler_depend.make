@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exp_sdss_maxbcg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_schema_ops.dir/bench_fig1_schema_ops.cc.o"
+  "CMakeFiles/bench_fig1_schema_ops.dir/bench_fig1_schema_ops.cc.o.d"
+  "bench_fig1_schema_ops"
+  "bench_fig1_schema_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_schema_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hyperlinks.dir/bench_fig2_hyperlinks.cc.o"
+  "CMakeFiles/bench_fig2_hyperlinks.dir/bench_fig2_hyperlinks.cc.o.d"
+  "bench_fig2_hyperlinks"
+  "bench_fig2_hyperlinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hyperlinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_provenance_chains.dir/bench_fig3_provenance_chains.cc.o"
+  "CMakeFiles/bench_fig3_provenance_chains.dir/bench_fig3_provenance_chains.cc.o.d"
+  "bench_fig3_provenance_chains"
+  "bench_fig3_provenance_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_provenance_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_federated_index.dir/bench_fig4_federated_index.cc.o"
+  "CMakeFiles/bench_fig4_federated_index.dir/bench_fig4_federated_index.cc.o.d"
+  "bench_fig4_federated_index"
+  "bench_fig4_federated_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_federated_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

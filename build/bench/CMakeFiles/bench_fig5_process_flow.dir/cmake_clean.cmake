@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_process_flow.dir/bench_fig5_process_flow.cc.o"
+  "CMakeFiles/bench_fig5_process_flow.dir/bench_fig5_process_flow.cc.o.d"
+  "bench_fig5_process_flow"
+  "bench_fig5_process_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_process_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

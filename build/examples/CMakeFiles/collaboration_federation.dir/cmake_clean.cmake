@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaboration_federation.dir/collaboration_federation.cpp.o"
+  "CMakeFiles/collaboration_federation.dir/collaboration_federation.cpp.o.d"
+  "collaboration_federation"
+  "collaboration_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaboration_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

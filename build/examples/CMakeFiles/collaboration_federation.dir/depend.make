@@ -1,0 +1,2 @@
+# Empty dependencies file for collaboration_federation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_analysis.dir/evolving_analysis.cpp.o"
+  "CMakeFiles/evolving_analysis.dir/evolving_analysis.cpp.o.d"
+  "evolving_analysis"
+  "evolving_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_pipeline.dir/hep_pipeline.cpp.o"
+  "CMakeFiles/hep_pipeline.dir/hep_pipeline.cpp.o.d"
+  "hep_pipeline"
+  "hep_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdss_cluster_search.dir/sdss_cluster_search.cpp.o"
+  "CMakeFiles/sdss_cluster_search.dir/sdss_cluster_search.cpp.o.d"
+  "sdss_cluster_search"
+  "sdss_cluster_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdss_cluster_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdss_cluster_search.
+# This may be replaced when dependencies are built.

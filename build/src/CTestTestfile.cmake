@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("schema")
+subdirs("vdl")
+subdirs("catalog")
+subdirs("security")
+subdirs("provenance")
+subdirs("grid")
+subdirs("estimator")
+subdirs("replication")
+subdirs("versioning")
+subdirs("planner")
+subdirs("executor")
+subdirs("federation")
+subdirs("workload")

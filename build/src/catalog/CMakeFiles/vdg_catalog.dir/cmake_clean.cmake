@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_catalog.dir/catalog.cc.o"
+  "CMakeFiles/vdg_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/vdg_catalog.dir/codec.cc.o"
+  "CMakeFiles/vdg_catalog.dir/codec.cc.o.d"
+  "CMakeFiles/vdg_catalog.dir/journal.cc.o"
+  "CMakeFiles/vdg_catalog.dir/journal.cc.o.d"
+  "libvdg_catalog.a"
+  "libvdg_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_common.dir/hash.cc.o"
+  "CMakeFiles/vdg_common.dir/hash.cc.o.d"
+  "CMakeFiles/vdg_common.dir/logging.cc.o"
+  "CMakeFiles/vdg_common.dir/logging.cc.o.d"
+  "CMakeFiles/vdg_common.dir/rng.cc.o"
+  "CMakeFiles/vdg_common.dir/rng.cc.o.d"
+  "CMakeFiles/vdg_common.dir/status.cc.o"
+  "CMakeFiles/vdg_common.dir/status.cc.o.d"
+  "CMakeFiles/vdg_common.dir/strings.cc.o"
+  "CMakeFiles/vdg_common.dir/strings.cc.o.d"
+  "CMakeFiles/vdg_common.dir/uri.cc.o"
+  "CMakeFiles/vdg_common.dir/uri.cc.o.d"
+  "libvdg_common.a"
+  "libvdg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vdg_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_estimator.dir/estimator.cc.o"
+  "CMakeFiles/vdg_estimator.dir/estimator.cc.o.d"
+  "libvdg_estimator.a"
+  "libvdg_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_executor.dir/executor.cc.o"
+  "CMakeFiles/vdg_executor.dir/executor.cc.o.d"
+  "libvdg_executor.a"
+  "libvdg_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

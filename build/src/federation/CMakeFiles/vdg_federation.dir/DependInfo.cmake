@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federation/annotation_overlay.cc" "src/federation/CMakeFiles/vdg_federation.dir/annotation_overlay.cc.o" "gcc" "src/federation/CMakeFiles/vdg_federation.dir/annotation_overlay.cc.o.d"
+  "/root/repo/src/federation/fed_provenance.cc" "src/federation/CMakeFiles/vdg_federation.dir/fed_provenance.cc.o" "gcc" "src/federation/CMakeFiles/vdg_federation.dir/fed_provenance.cc.o.d"
+  "/root/repo/src/federation/index.cc" "src/federation/CMakeFiles/vdg_federation.dir/index.cc.o" "gcc" "src/federation/CMakeFiles/vdg_federation.dir/index.cc.o.d"
+  "/root/repo/src/federation/promotion.cc" "src/federation/CMakeFiles/vdg_federation.dir/promotion.cc.o" "gcc" "src/federation/CMakeFiles/vdg_federation.dir/promotion.cc.o.d"
+  "/root/repo/src/federation/registry.cc" "src/federation/CMakeFiles/vdg_federation.dir/registry.cc.o" "gcc" "src/federation/CMakeFiles/vdg_federation.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/provenance/CMakeFiles/vdg_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/vdg_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdl/CMakeFiles/vdg_vdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/vdg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/vdg_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

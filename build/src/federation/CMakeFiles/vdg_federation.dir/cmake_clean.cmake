@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_federation.dir/annotation_overlay.cc.o"
+  "CMakeFiles/vdg_federation.dir/annotation_overlay.cc.o.d"
+  "CMakeFiles/vdg_federation.dir/fed_provenance.cc.o"
+  "CMakeFiles/vdg_federation.dir/fed_provenance.cc.o.d"
+  "CMakeFiles/vdg_federation.dir/index.cc.o"
+  "CMakeFiles/vdg_federation.dir/index.cc.o.d"
+  "CMakeFiles/vdg_federation.dir/promotion.cc.o"
+  "CMakeFiles/vdg_federation.dir/promotion.cc.o.d"
+  "CMakeFiles/vdg_federation.dir/registry.cc.o"
+  "CMakeFiles/vdg_federation.dir/registry.cc.o.d"
+  "libvdg_federation.a"
+  "libvdg_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

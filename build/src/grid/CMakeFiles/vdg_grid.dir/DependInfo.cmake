@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/event_queue.cc" "src/grid/CMakeFiles/vdg_grid.dir/event_queue.cc.o" "gcc" "src/grid/CMakeFiles/vdg_grid.dir/event_queue.cc.o.d"
+  "/root/repo/src/grid/overlay.cc" "src/grid/CMakeFiles/vdg_grid.dir/overlay.cc.o" "gcc" "src/grid/CMakeFiles/vdg_grid.dir/overlay.cc.o.d"
+  "/root/repo/src/grid/rls.cc" "src/grid/CMakeFiles/vdg_grid.dir/rls.cc.o" "gcc" "src/grid/CMakeFiles/vdg_grid.dir/rls.cc.o.d"
+  "/root/repo/src/grid/simulator.cc" "src/grid/CMakeFiles/vdg_grid.dir/simulator.cc.o" "gcc" "src/grid/CMakeFiles/vdg_grid.dir/simulator.cc.o.d"
+  "/root/repo/src/grid/storage.cc" "src/grid/CMakeFiles/vdg_grid.dir/storage.cc.o" "gcc" "src/grid/CMakeFiles/vdg_grid.dir/storage.cc.o.d"
+  "/root/repo/src/grid/topology.cc" "src/grid/CMakeFiles/vdg_grid.dir/topology.cc.o" "gcc" "src/grid/CMakeFiles/vdg_grid.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_grid.dir/event_queue.cc.o"
+  "CMakeFiles/vdg_grid.dir/event_queue.cc.o.d"
+  "CMakeFiles/vdg_grid.dir/overlay.cc.o"
+  "CMakeFiles/vdg_grid.dir/overlay.cc.o.d"
+  "CMakeFiles/vdg_grid.dir/rls.cc.o"
+  "CMakeFiles/vdg_grid.dir/rls.cc.o.d"
+  "CMakeFiles/vdg_grid.dir/simulator.cc.o"
+  "CMakeFiles/vdg_grid.dir/simulator.cc.o.d"
+  "CMakeFiles/vdg_grid.dir/storage.cc.o"
+  "CMakeFiles/vdg_grid.dir/storage.cc.o.d"
+  "CMakeFiles/vdg_grid.dir/topology.cc.o"
+  "CMakeFiles/vdg_grid.dir/topology.cc.o.d"
+  "libvdg_grid.a"
+  "libvdg_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

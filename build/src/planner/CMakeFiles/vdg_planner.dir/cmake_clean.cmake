@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_planner.dir/dax.cc.o"
+  "CMakeFiles/vdg_planner.dir/dax.cc.o.d"
+  "CMakeFiles/vdg_planner.dir/expansion.cc.o"
+  "CMakeFiles/vdg_planner.dir/expansion.cc.o.d"
+  "CMakeFiles/vdg_planner.dir/plan.cc.o"
+  "CMakeFiles/vdg_planner.dir/plan.cc.o.d"
+  "CMakeFiles/vdg_planner.dir/planner.cc.o"
+  "CMakeFiles/vdg_planner.dir/planner.cc.o.d"
+  "libvdg_planner.a"
+  "libvdg_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

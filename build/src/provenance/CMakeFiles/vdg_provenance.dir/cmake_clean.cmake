@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_provenance.dir/provenance.cc.o"
+  "CMakeFiles/vdg_provenance.dir/provenance.cc.o.d"
+  "libvdg_provenance.a"
+  "libvdg_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

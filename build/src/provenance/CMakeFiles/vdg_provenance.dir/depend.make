@@ -1,0 +1,2 @@
+# Empty dependencies file for vdg_provenance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/manager.cc" "src/replication/CMakeFiles/vdg_replication.dir/manager.cc.o" "gcc" "src/replication/CMakeFiles/vdg_replication.dir/manager.cc.o.d"
+  "/root/repo/src/replication/policy.cc" "src/replication/CMakeFiles/vdg_replication.dir/policy.cc.o" "gcc" "src/replication/CMakeFiles/vdg_replication.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/vdg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_replication.dir/manager.cc.o"
+  "CMakeFiles/vdg_replication.dir/manager.cc.o.d"
+  "CMakeFiles/vdg_replication.dir/policy.cc.o"
+  "CMakeFiles/vdg_replication.dir/policy.cc.o.d"
+  "libvdg_replication.a"
+  "libvdg_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/attribute.cc" "src/schema/CMakeFiles/vdg_schema.dir/attribute.cc.o" "gcc" "src/schema/CMakeFiles/vdg_schema.dir/attribute.cc.o.d"
+  "/root/repo/src/schema/dataset.cc" "src/schema/CMakeFiles/vdg_schema.dir/dataset.cc.o" "gcc" "src/schema/CMakeFiles/vdg_schema.dir/dataset.cc.o.d"
+  "/root/repo/src/schema/derivation.cc" "src/schema/CMakeFiles/vdg_schema.dir/derivation.cc.o" "gcc" "src/schema/CMakeFiles/vdg_schema.dir/derivation.cc.o.d"
+  "/root/repo/src/schema/transformation.cc" "src/schema/CMakeFiles/vdg_schema.dir/transformation.cc.o" "gcc" "src/schema/CMakeFiles/vdg_schema.dir/transformation.cc.o.d"
+  "/root/repo/src/schema/validation.cc" "src/schema/CMakeFiles/vdg_schema.dir/validation.cc.o" "gcc" "src/schema/CMakeFiles/vdg_schema.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/vdg_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_schema.dir/attribute.cc.o"
+  "CMakeFiles/vdg_schema.dir/attribute.cc.o.d"
+  "CMakeFiles/vdg_schema.dir/dataset.cc.o"
+  "CMakeFiles/vdg_schema.dir/dataset.cc.o.d"
+  "CMakeFiles/vdg_schema.dir/derivation.cc.o"
+  "CMakeFiles/vdg_schema.dir/derivation.cc.o.d"
+  "CMakeFiles/vdg_schema.dir/transformation.cc.o"
+  "CMakeFiles/vdg_schema.dir/transformation.cc.o.d"
+  "CMakeFiles/vdg_schema.dir/validation.cc.o"
+  "CMakeFiles/vdg_schema.dir/validation.cc.o.d"
+  "libvdg_schema.a"
+  "libvdg_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

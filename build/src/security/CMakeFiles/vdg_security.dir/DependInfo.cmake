@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/access.cc" "src/security/CMakeFiles/vdg_security.dir/access.cc.o" "gcc" "src/security/CMakeFiles/vdg_security.dir/access.cc.o.d"
+  "/root/repo/src/security/crypto.cc" "src/security/CMakeFiles/vdg_security.dir/crypto.cc.o" "gcc" "src/security/CMakeFiles/vdg_security.dir/crypto.cc.o.d"
+  "/root/repo/src/security/signed_entry.cc" "src/security/CMakeFiles/vdg_security.dir/signed_entry.cc.o" "gcc" "src/security/CMakeFiles/vdg_security.dir/signed_entry.cc.o.d"
+  "/root/repo/src/security/trust.cc" "src/security/CMakeFiles/vdg_security.dir/trust.cc.o" "gcc" "src/security/CMakeFiles/vdg_security.dir/trust.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_security.dir/access.cc.o"
+  "CMakeFiles/vdg_security.dir/access.cc.o.d"
+  "CMakeFiles/vdg_security.dir/crypto.cc.o"
+  "CMakeFiles/vdg_security.dir/crypto.cc.o.d"
+  "CMakeFiles/vdg_security.dir/signed_entry.cc.o"
+  "CMakeFiles/vdg_security.dir/signed_entry.cc.o.d"
+  "CMakeFiles/vdg_security.dir/trust.cc.o"
+  "CMakeFiles/vdg_security.dir/trust.cc.o.d"
+  "libvdg_security.a"
+  "libvdg_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

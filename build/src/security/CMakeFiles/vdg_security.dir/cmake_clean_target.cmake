@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdg_security.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_types.dir/type_system.cc.o"
+  "CMakeFiles/vdg_types.dir/type_system.cc.o.d"
+  "libvdg_types.a"
+  "libvdg_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

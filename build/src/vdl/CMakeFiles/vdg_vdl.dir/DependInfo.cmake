@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vdl/lexer.cc" "src/vdl/CMakeFiles/vdg_vdl.dir/lexer.cc.o" "gcc" "src/vdl/CMakeFiles/vdg_vdl.dir/lexer.cc.o.d"
+  "/root/repo/src/vdl/parser.cc" "src/vdl/CMakeFiles/vdg_vdl.dir/parser.cc.o" "gcc" "src/vdl/CMakeFiles/vdg_vdl.dir/parser.cc.o.d"
+  "/root/repo/src/vdl/printer.cc" "src/vdl/CMakeFiles/vdg_vdl.dir/printer.cc.o" "gcc" "src/vdl/CMakeFiles/vdg_vdl.dir/printer.cc.o.d"
+  "/root/repo/src/vdl/xml.cc" "src/vdl/CMakeFiles/vdg_vdl.dir/xml.cc.o" "gcc" "src/vdl/CMakeFiles/vdg_vdl.dir/xml.cc.o.d"
+  "/root/repo/src/vdl/xml_parse.cc" "src/vdl/CMakeFiles/vdg_vdl.dir/xml_parse.cc.o" "gcc" "src/vdl/CMakeFiles/vdg_vdl.dir/xml_parse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/vdg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/vdg_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

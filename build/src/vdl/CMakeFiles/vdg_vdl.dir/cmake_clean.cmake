@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_vdl.dir/lexer.cc.o"
+  "CMakeFiles/vdg_vdl.dir/lexer.cc.o.d"
+  "CMakeFiles/vdg_vdl.dir/parser.cc.o"
+  "CMakeFiles/vdg_vdl.dir/parser.cc.o.d"
+  "CMakeFiles/vdg_vdl.dir/printer.cc.o"
+  "CMakeFiles/vdg_vdl.dir/printer.cc.o.d"
+  "CMakeFiles/vdg_vdl.dir/xml.cc.o"
+  "CMakeFiles/vdg_vdl.dir/xml.cc.o.d"
+  "CMakeFiles/vdg_vdl.dir/xml_parse.cc.o"
+  "CMakeFiles/vdg_vdl.dir/xml_parse.cc.o.d"
+  "libvdg_vdl.a"
+  "libvdg_vdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_vdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

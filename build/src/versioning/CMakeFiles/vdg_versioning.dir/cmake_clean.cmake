@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_versioning.dir/versions.cc.o"
+  "CMakeFiles/vdg_versioning.dir/versions.cc.o.d"
+  "libvdg_versioning.a"
+  "libvdg_versioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_versioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/canonical.cc" "src/workload/CMakeFiles/vdg_workload.dir/canonical.cc.o" "gcc" "src/workload/CMakeFiles/vdg_workload.dir/canonical.cc.o.d"
+  "/root/repo/src/workload/hep.cc" "src/workload/CMakeFiles/vdg_workload.dir/hep.cc.o" "gcc" "src/workload/CMakeFiles/vdg_workload.dir/hep.cc.o.d"
+  "/root/repo/src/workload/interactive.cc" "src/workload/CMakeFiles/vdg_workload.dir/interactive.cc.o" "gcc" "src/workload/CMakeFiles/vdg_workload.dir/interactive.cc.o.d"
+  "/root/repo/src/workload/sdss.cc" "src/workload/CMakeFiles/vdg_workload.dir/sdss.cc.o" "gcc" "src/workload/CMakeFiles/vdg_workload.dir/sdss.cc.o.d"
+  "/root/repo/src/workload/testbed.cc" "src/workload/CMakeFiles/vdg_workload.dir/testbed.cc.o" "gcc" "src/workload/CMakeFiles/vdg_workload.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/vdg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vdg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/vdg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdl/CMakeFiles/vdg_vdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/vdg_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_workload.dir/canonical.cc.o"
+  "CMakeFiles/vdg_workload.dir/canonical.cc.o.d"
+  "CMakeFiles/vdg_workload.dir/hep.cc.o"
+  "CMakeFiles/vdg_workload.dir/hep.cc.o.d"
+  "CMakeFiles/vdg_workload.dir/interactive.cc.o"
+  "CMakeFiles/vdg_workload.dir/interactive.cc.o.d"
+  "CMakeFiles/vdg_workload.dir/sdss.cc.o"
+  "CMakeFiles/vdg_workload.dir/sdss.cc.o.d"
+  "CMakeFiles/vdg_workload.dir/testbed.cc.o"
+  "CMakeFiles/vdg_workload.dir/testbed.cc.o.d"
+  "libvdg_workload.a"
+  "libvdg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

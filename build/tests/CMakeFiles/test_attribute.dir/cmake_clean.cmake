@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attribute.dir/test_attribute.cc.o"
+  "CMakeFiles/test_attribute.dir/test_attribute.cc.o.d"
+  "test_attribute"
+  "test_attribute.pdb"
+  "test_attribute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dax.dir/test_dax.cc.o"
+  "CMakeFiles/test_dax.dir/test_dax.cc.o.d"
+  "test_dax"
+  "test_dax.pdb"
+  "test_dax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator.dir/test_estimator.cc.o"
+  "CMakeFiles/test_estimator.dir/test_estimator.cc.o.d"
+  "test_estimator"
+  "test_estimator.pdb"
+  "test_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor.dir/test_executor.cc.o"
+  "CMakeFiles/test_executor.dir/test_executor.cc.o.d"
+  "test_executor"
+  "test_executor.pdb"
+  "test_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

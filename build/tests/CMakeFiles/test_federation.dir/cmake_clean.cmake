@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_federation.dir/test_federation.cc.o"
+  "CMakeFiles/test_federation.dir/test_federation.cc.o.d"
+  "test_federation"
+  "test_federation.pdb"
+  "test_federation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

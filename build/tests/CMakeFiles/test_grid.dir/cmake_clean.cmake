@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid.dir/test_grid.cc.o"
+  "CMakeFiles/test_grid.dir/test_grid.cc.o.d"
+  "test_grid"
+  "test_grid.pdb"
+  "test_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

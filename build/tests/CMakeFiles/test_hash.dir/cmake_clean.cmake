@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash.dir/test_hash.cc.o"
+  "CMakeFiles/test_hash.dir/test_hash.cc.o.d"
+  "test_hash"
+  "test_hash.pdb"
+  "test_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

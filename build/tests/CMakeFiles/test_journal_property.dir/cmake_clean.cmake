@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_journal_property.dir/test_journal_property.cc.o"
+  "CMakeFiles/test_journal_property.dir/test_journal_property.cc.o.d"
+  "test_journal_property"
+  "test_journal_property.pdb"
+  "test_journal_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_journal_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

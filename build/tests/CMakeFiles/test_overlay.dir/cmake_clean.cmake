@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay.dir/test_overlay.cc.o"
+  "CMakeFiles/test_overlay.dir/test_overlay.cc.o.d"
+  "test_overlay"
+  "test_overlay.pdb"
+  "test_overlay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

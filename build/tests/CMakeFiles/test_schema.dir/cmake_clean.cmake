@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schema.dir/test_schema.cc.o"
+  "CMakeFiles/test_schema.dir/test_schema.cc.o.d"
+  "test_schema"
+  "test_schema.pdb"
+  "test_schema[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

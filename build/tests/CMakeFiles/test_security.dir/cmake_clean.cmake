@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security.dir/test_security.cc.o"
+  "CMakeFiles/test_security.dir/test_security.cc.o.d"
+  "test_security"
+  "test_security.pdb"
+  "test_security[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_uri.cc" "tests/CMakeFiles/test_uri.dir/test_uri.cc.o" "gcc" "tests/CMakeFiles/test_uri.dir/test_uri.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vdg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/vdg_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/executor/CMakeFiles/vdg_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/versioning/CMakeFiles/vdg_versioning.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/vdg_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/vdg_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/vdg_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vdg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/vdg_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/vdg_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdl/CMakeFiles/vdg_vdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/vdg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/vdg_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uri.dir/test_uri.cc.o"
+  "CMakeFiles/test_uri.dir/test_uri.cc.o.d"
+  "test_uri"
+  "test_uri.pdb"
+  "test_uri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

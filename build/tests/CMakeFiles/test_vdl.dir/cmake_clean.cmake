@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdl.dir/test_vdl.cc.o"
+  "CMakeFiles/test_vdl.dir/test_vdl.cc.o.d"
+  "test_vdl"
+  "test_vdl.pdb"
+  "test_vdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdl_fuzz.dir/test_vdl_fuzz.cc.o"
+  "CMakeFiles/test_vdl_fuzz.dir/test_vdl_fuzz.cc.o.d"
+  "test_vdl_fuzz"
+  "test_vdl_fuzz.pdb"
+  "test_vdl_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdl_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdl_xml.dir/test_vdl_xml.cc.o"
+  "CMakeFiles/test_vdl_xml.dir/test_vdl_xml.cc.o.d"
+  "test_vdl_xml"
+  "test_vdl_xml.pdb"
+  "test_vdl_xml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdl_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_versioning.dir/test_versioning.cc.o"
+  "CMakeFiles/test_versioning.dir/test_versioning.cc.o.d"
+  "test_versioning"
+  "test_versioning.pdb"
+  "test_versioning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_versioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

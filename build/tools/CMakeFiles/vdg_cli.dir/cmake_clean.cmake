@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdg_cli.dir/vdg_cli.cc.o"
+  "CMakeFiles/vdg_cli.dir/vdg_cli.cc.o.d"
+  "vdg"
+  "vdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
