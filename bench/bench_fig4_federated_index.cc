@@ -107,6 +107,59 @@ void BM_IndexRefresh(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexRefresh)->Arg(2)->Arg(8)->Arg(16);
 
+// The refresh-cost half of the delta-refresh claim: bring the index
+// current after K entries changed in one catalog. Delta refresh reads
+// the catalog changelog and touches K entries; the full rebuild
+// baseline below rescans every object in every source. The mutation
+// burst itself happens outside the timed region.
+void BM_DeltaRefresh(benchmark::State& state) {
+  IndexedWorld* world = BuildWorld(8, 500);
+  int churn = static_cast<int>(state.range(0));
+  if (!world->index->Refresh().ok()) std::abort();
+  int64_t tick = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    VirtualDataCatalog* catalog = world->catalogs[0].get();
+    for (int k = 0; k < churn; ++k) {
+      Status s = catalog->Annotate("dataset", "vds0-out" + std::to_string(k),
+                                   "touch", ++tick);
+      if (!s.ok()) std::abort();
+    }
+    state.ResumeTiming();
+    if (!world->index->Refresh().ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["indexed_entries"] =
+      static_cast<double>(world->index->size());
+  state.counters["changed_entries"] = static_cast<double>(churn);
+}
+BENCHMARK(BM_DeltaRefresh)->Arg(1)->Arg(16)->Arg(256);
+
+// Baseline: identical churn, but the index is rebuilt from scratch —
+// the pre-delta Refresh() behavior.
+void BM_FullRebuild(benchmark::State& state) {
+  IndexedWorld* world = BuildWorld(8, 500);
+  int churn = static_cast<int>(state.range(0));
+  if (!world->index->Refresh().ok()) std::abort();
+  int64_t tick = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    VirtualDataCatalog* catalog = world->catalogs[0].get();
+    for (int k = 0; k < churn; ++k) {
+      Status s = catalog->Annotate("dataset", "vds0-out" + std::to_string(k),
+                                   "touch", ++tick);
+      if (!s.ok()) std::abort();
+    }
+    state.ResumeTiming();
+    if (!world->index->RebuildAll().ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["indexed_entries"] =
+      static_cast<double>(world->index->size());
+  state.counters["changed_entries"] = static_cast<double>(churn);
+}
+BENCHMARK(BM_FullRebuild)->Arg(1)->Arg(16)->Arg(256);
+
 void BM_StalenessCheck(benchmark::State& state) {
   IndexedWorld* world = BuildWorld(8, 500);
   if (!world->index->Refresh().ok()) std::abort();

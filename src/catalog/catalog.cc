@@ -1,6 +1,7 @@
 #include "catalog/catalog.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "catalog/codec.h"
 #include "common/strings.h"
@@ -41,7 +42,58 @@ std::string AttrIndexKey(std::string_view key, const AttributeValue& value) {
   return out;
 }
 
+// Index key for one (dimension, type-name) pair of the type index.
+std::string TypeIndexKey(TypeDimension dim, std::string_view type_name) {
+  std::string out(1, static_cast<char>('0' + static_cast<int>(dim)));
+  out.push_back('\x1f');
+  out += type_name;
+  return out;
+}
+
+// Collects a multimap's posting list for `key`, sorted and deduplicated
+// so it can drive set intersection.
+template <typename Map, typename K>
+std::vector<std::string> SortedPosting(const Map& map, const K& key) {
+  std::vector<std::string> out;
+  auto [lo, hi] = map.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// Intersection of two sorted unique name lists.
+std::vector<std::string> IntersectSorted(const std::vector<std::string>& a,
+                                         const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
 }  // namespace
+
+std::string_view AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kFullScan:
+      return "full-scan";
+    case AccessPath::kNamePrefixRange:
+      return "name-prefix-range";
+    case AccessPath::kAttributeIndex:
+      return "attribute-index";
+    case AccessPath::kTypeIndex:
+      return "type-index";
+    case AccessPath::kMaterializedSet:
+      return "materialized-set";
+    case AccessPath::kTransformationIndex:
+      return "transformation-index";
+    case AccessPath::kReadsIndex:
+      return "reads-index";
+    case AccessPath::kWritesIndex:
+      return "writes-index";
+  }
+  return "unknown";
+}
 
 void VirtualDataCatalog::IndexDatasetAttributes(const Dataset& dataset) {
   for (const auto& [key, value] : dataset.annotations) {
@@ -54,6 +106,85 @@ void VirtualDataCatalog::UnindexDatasetAttributes(const Dataset& dataset) {
     EraseIndexEntry(&datasets_by_attr_, AttrIndexKey(key, value),
                     dataset.name);
   }
+}
+
+void VirtualDataCatalog::IndexDatasetType(const Dataset& dataset) {
+  for (int d = 0; d < kNumTypeDimensions; ++d) {
+    auto dim = static_cast<TypeDimension>(d);
+    const std::string& component = dataset.type.component(dim);
+    if (component.empty()) continue;
+    const TypeHierarchy& h = types_.dimension(dim);
+    Result<std::vector<std::string>> ancestry = h.AncestryOf(component);
+    if (!ancestry.ok()) continue;  // unvalidated type: not indexable
+    for (const std::string& ancestor : *ancestry) {
+      if (ancestor == h.base_name()) continue;  // base matches any type
+      datasets_by_type_.emplace(TypeIndexKey(dim, ancestor), dataset.name);
+    }
+  }
+}
+
+void VirtualDataCatalog::UnindexDatasetType(const Dataset& dataset) {
+  for (int d = 0; d < kNumTypeDimensions; ++d) {
+    auto dim = static_cast<TypeDimension>(d);
+    const std::string& component = dataset.type.component(dim);
+    if (component.empty()) continue;
+    const TypeHierarchy& h = types_.dimension(dim);
+    Result<std::vector<std::string>> ancestry = h.AncestryOf(component);
+    if (!ancestry.ok()) continue;
+    for (const std::string& ancestor : *ancestry) {
+      if (ancestor == h.base_name()) continue;
+      EraseIndexEntry(&datasets_by_type_, TypeIndexKey(dim, ancestor),
+                      dataset.name);
+    }
+  }
+}
+
+void VirtualDataCatalog::NoteReplicaState(const Replica* before,
+                                          const Replica* after) {
+  if (before != nullptr && before->valid) {
+    auto it = valid_replicas_by_dataset_.find(before->dataset);
+    if (it != valid_replicas_by_dataset_.end() && --it->second == 0) {
+      valid_replicas_by_dataset_.erase(it);
+    }
+  }
+  if (after != nullptr && after->valid) {
+    ++valid_replicas_by_dataset_[after->dataset];
+  }
+}
+
+void VirtualDataCatalog::BumpVersion(char op, std::string_view kind,
+                                     std::string_view name) {
+  ++version_;
+  changelog_.push_back(
+      CatalogChange{version_, op, std::string(kind), std::string(name)});
+  while (changelog_.size() > changelog_capacity_) changelog_.pop_front();
+}
+
+void VirtualDataCatalog::set_changelog_capacity(size_t capacity) {
+  changelog_capacity_ = capacity;
+  while (changelog_.size() > changelog_capacity_) changelog_.pop_front();
+}
+
+Result<std::vector<CatalogChange>> VirtualDataCatalog::ChangesSince(
+    uint64_t since_version) const {
+  if (since_version > version_) {
+    return Status::InvalidArgument(
+        "since_version " + std::to_string(since_version) +
+        " is ahead of catalog version " + std::to_string(version_));
+  }
+  if (since_version == version_) return std::vector<CatalogChange>{};
+  // Exactly one change per version bump, so the window is gap-free iff
+  // it reaches back to since_version + 1.
+  if (changelog_.empty() || changelog_.front().version > since_version + 1) {
+    return Status::ResourceExhausted(
+        "changelog window starts at version " +
+        std::to_string(changelog_floor()) + ", cannot answer since " +
+        std::to_string(since_version));
+  }
+  auto it = std::lower_bound(
+      changelog_.begin(), changelog_.end(), since_version + 1,
+      [](const CatalogChange& c, uint64_t v) { return c.version < v; });
+  return std::vector<CatalogChange>(it, changelog_.end());
 }
 
 VirtualDataCatalog::VirtualDataCatalog(
@@ -99,7 +230,7 @@ Status VirtualDataCatalog::DefineType(TypeDimension dim,
   Status defined = types_.Define(dim, type_name, parent);
   if (defined.IsAlreadyExists() && replaying_) return Status::OK();
   VDG_RETURN_IF_ERROR(defined);
-  ++version_;
+  BumpVersion('U', "type", type_name);
   return Journal(codec::JoinRecord(
       {"TY", std::to_string(static_cast<int>(dim)), std::string(type_name),
        std::string(parent)}));
@@ -139,12 +270,15 @@ Status VirtualDataCatalog::DefineDataset(Dataset dataset) {
       return Status::AlreadyExists("dataset already defined: " +
                                    dataset.name);
     }
-    UnindexDatasetAttributes(it->second);  // replay upsert
+    // Replay upsert: drop the superseded object's index entries.
+    UnindexDatasetAttributes(it->second);
+    UnindexDatasetType(it->second);
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(dataset)));
   IndexDatasetAttributes(dataset);
+  IndexDatasetType(dataset);
+  BumpVersion('U', "dataset", dataset.name);
   datasets_.insert_or_assign(dataset.name, std::move(dataset));
-  ++version_;
   return Status::OK();
 }
 
@@ -162,9 +296,9 @@ Status VirtualDataCatalog::DefineTransformation(
                                  transformation.name());
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeTransformation(transformation)));
+  BumpVersion('U', "transformation", transformation.name());
   transformations_.insert_or_assign(transformation.name(),
                                     std::move(transformation));
-  ++version_;
   return Status::OK();
 }
 
@@ -236,12 +370,19 @@ Status VirtualDataCatalog::DefineDerivation(Derivation derivation) {
                                     derivation.name());
   derivations_by_transformation_.emplace(derivation.QualifiedTransformation(),
                                          derivation.name());
+  if (derivation.QualifiedTransformation() != derivation.transformation()) {
+    derivations_by_bare_transformation_.emplace(derivation.transformation(),
+                                                derivation.name());
+  }
   for (const std::string& input : derivation.InputDatasets()) {
     consumers_by_dataset_.emplace(input, derivation.name());
   }
+  for (const std::string& output : derivation.OutputDatasets()) {
+    producers_by_dataset_.emplace(output, derivation.name());
+  }
+  BumpVersion('U', "derivation", derivation.name());
   std::string name = derivation.name();
   derivations_.insert_or_assign(std::move(name), std::move(derivation));
-  ++version_;
   return Status::OK();
 }
 
@@ -260,7 +401,8 @@ Result<std::string> VirtualDataCatalog::AddReplica(Replica replica) {
     return Status::NotFound("replica " + replica.id +
                             " references unknown dataset " + replica.dataset);
   }
-  bool existed = replicas_.count(replica.id) != 0;
+  auto existing = replicas_.find(replica.id);
+  bool existed = existing != replicas_.end();
   if (existed && !replaying_) {
     return Status::AlreadyExists("replica already exists: " + replica.id);
   }
@@ -268,9 +410,13 @@ Result<std::string> VirtualDataCatalog::AddReplica(Replica replica) {
   if (!existed) {
     replicas_by_dataset_.emplace(replica.dataset, replica.id);
   }
+  NoteReplicaState(existed ? &existing->second : nullptr, &replica);
+  // Index-visible effect of a replica mutation: its dataset's
+  // materialized bit may flip, so the changelog records a dataset
+  // upsert.
+  BumpVersion('U', "dataset", replica.dataset);
   std::string id = replica.id;
   replicas_.insert_or_assign(id, std::move(replica));
-  ++version_;
   return id;
 }
 
@@ -301,9 +447,9 @@ Result<std::string> VirtualDataCatalog::RecordInvocation(
   if (!existed) {
     invocations_by_derivation_.emplace(invocation.derivation, invocation.id);
   }
+  BumpVersion('U', "invocation", invocation.id);
   std::string id = invocation.id;
   invocations_.insert_or_assign(id, std::move(invocation));
-  ++version_;
   return id;
 }
 
@@ -398,7 +544,7 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
     UnindexDatasetAttributes(it->second);
     it->second.annotations.Set(key, std::move(value));
     IndexDatasetAttributes(it->second);
-    ++version_;
+    BumpVersion('U', "dataset", name);
     return Journal(codec::EncodeDataset(it->second));
   }
   if (kind == "transformation") {
@@ -408,7 +554,7 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
                               std::string(name));
     }
     it->second.annotations().Set(key, std::move(value));
-    ++version_;
+    BumpVersion('U', "transformation", name);
     return Journal(codec::EncodeTransformation(it->second));
   }
   if (kind == "derivation") {
@@ -417,7 +563,7 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
       return Status::NotFound("derivation not found: " + std::string(name));
     }
     it->second.annotations().Set(key, std::move(value));
-    ++version_;
+    BumpVersion('U', "derivation", name);
     return Journal(codec::EncodeDerivation(it->second));
   }
   if (kind == "replica") {
@@ -426,7 +572,7 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
       return Status::NotFound("replica not found: " + std::string(name));
     }
     it->second.annotations.Set(key, std::move(value));
-    ++version_;
+    BumpVersion('U', "dataset", it->second.dataset);
     return Journal(codec::EncodeReplica(it->second));
   }
   if (kind == "invocation") {
@@ -435,7 +581,7 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
       return Status::NotFound("invocation not found: " + std::string(name));
     }
     it->second.annotations.Set(key, std::move(value));
-    ++version_;
+    BumpVersion('U', "invocation", name);
     return Journal(codec::EncodeInvocation(it->second));
   }
   return Status::InvalidArgument("unknown object kind: " + std::string(kind));
@@ -451,7 +597,7 @@ Status VirtualDataCatalog::SetDatasetSize(std::string_view name,
     return Status::InvalidArgument("negative dataset size");
   }
   it->second.size_bytes = size_bytes;
-  ++version_;
+  BumpVersion('U', "dataset", name);
   return Journal(codec::EncodeDataset(it->second));
 }
 
@@ -461,8 +607,10 @@ Status VirtualDataCatalog::InvalidateReplica(std::string_view id) {
     return Status::NotFound("replica not found: " + std::string(id));
   }
   if (!it->second.valid) return Status::OK();
+  Replica before = it->second;
   it->second.valid = false;
-  ++version_;
+  NoteReplicaState(&before, &it->second);
+  BumpVersion('U', "dataset", it->second.dataset);
   return Journal(codec::EncodeReplica(it->second));
 }
 
@@ -480,8 +628,10 @@ Status VirtualDataCatalog::RemoveDataset(std::string_view name) {
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('S', name)));
   UnindexDatasetAttributes(it->second);
+  UnindexDatasetType(it->second);
+  valid_replicas_by_dataset_.erase(std::string(name));
+  BumpVersion('D', "dataset", name);
   datasets_.erase(it);
-  ++version_;
   return Status::OK();
 }
 
@@ -496,8 +646,8 @@ Status VirtualDataCatalog::RemoveTransformation(std::string_view name) {
         " is referenced by derivations and cannot be removed");
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('T', name)));
+  BumpVersion('D', "transformation", name);
   transformations_.erase(it);
-  ++version_;
   return Status::OK();
 }
 
@@ -511,8 +661,15 @@ Status VirtualDataCatalog::RemoveDerivation(std::string_view name) {
                   std::string(name));
   EraseIndexEntry(&derivations_by_transformation_,
                   dv.QualifiedTransformation(), std::string(name));
+  if (dv.QualifiedTransformation() != dv.transformation()) {
+    EraseIndexEntry(&derivations_by_bare_transformation_, dv.transformation(),
+                    std::string(name));
+  }
   for (const std::string& input : dv.InputDatasets()) {
     EraseIndexEntry(&consumers_by_dataset_, input, std::string(name));
+  }
+  for (const std::string& output : dv.OutputDatasets()) {
+    EraseIndexEntry(&producers_by_dataset_, output, std::string(name));
   }
   // Outputs lose their producer but remain defined.
   for (const std::string& output : dv.OutputDatasets()) {
@@ -523,8 +680,8 @@ Status VirtualDataCatalog::RemoveDerivation(std::string_view name) {
     }
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('D', name)));
+  BumpVersion('D', "derivation", name);
   derivations_.erase(it);
-  ++version_;
   return Status::OK();
 }
 
@@ -535,8 +692,9 @@ Status VirtualDataCatalog::RemoveReplica(std::string_view id) {
   }
   EraseIndexEntry(&replicas_by_dataset_, it->second.dataset, std::string(id));
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('R', id)));
+  NoteReplicaState(&it->second, nullptr);
+  BumpVersion('U', "dataset", it->second.dataset);
   replicas_.erase(it);
-  ++version_;
   return Status::OK();
 }
 
@@ -558,12 +716,10 @@ std::vector<Replica> VirtualDataCatalog::ReplicasOf(std::string_view dataset,
 }
 
 bool VirtualDataCatalog::IsMaterialized(std::string_view dataset) const {
-  auto [lo, hi] = replicas_by_dataset_.equal_range(dataset);
-  for (auto it = lo; it != hi; ++it) {
-    auto r = replicas_.find(it->second);
-    if (r != replicas_.end() && r->second.valid) return true;
-  }
-  return false;
+  // The incremental materialized set only holds datasets with a
+  // positive valid-replica count, so membership is the answer.
+  return valid_replicas_by_dataset_.find(dataset) !=
+         valid_replicas_by_dataset_.end();
 }
 
 Result<std::string> VirtualDataCatalog::ProducerOf(
@@ -614,8 +770,40 @@ std::vector<std::string> VirtualDataCatalog::DerivationsUsing(
 // Discovery
 // ---------------------------------------------------------------------
 
+std::vector<VirtualDataCatalog::Posting> VirtualDataCatalog::DatasetPostings(
+    const DatasetQuery& query) const {
+  std::vector<Posting> postings;
+  for (const AttributePredicate& predicate : query.predicates) {
+    if (predicate.op != PredicateOp::kEq) continue;
+    Posting p;
+    p.path = AccessPath::kAttributeIndex;
+    p.driver = "attr " + predicate.key + "=" + predicate.operand.ToString();
+    p.names = SortedPosting(datasets_by_attr_,
+                            AttrIndexKey(predicate.key, predicate.operand));
+    postings.push_back(std::move(p));
+  }
+  if (query.type && !query.type->IsAny()) {
+    for (int d = 0; d < kNumTypeDimensions; ++d) {
+      auto dim = static_cast<TypeDimension>(d);
+      const std::string& component = query.type->component(dim);
+      const TypeHierarchy& h = types_.dimension(dim);
+      // An empty or base-typed component accepts anything — no list.
+      if (component.empty() || component == h.base_name()) continue;
+      Posting p;
+      p.path = AccessPath::kTypeIndex;
+      p.driver =
+          "type " + std::string(TypeDimensionName(dim)) + ":" + component;
+      p.names = SortedPosting(datasets_by_type_, TypeIndexKey(dim, component));
+      postings.push_back(std::move(p));
+    }
+  }
+  return postings;
+}
+
 std::vector<std::string> VirtualDataCatalog::FindDatasets(
     const DatasetQuery& query) const {
+  // Residual filter: re-checks every condition, so the driving index
+  // only needs to be a superset of the answer.
   auto matches = [this, &query](const std::string& name,
                                 const Dataset& ds) {
     if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
@@ -630,15 +818,18 @@ std::vector<std::string> VirtualDataCatalog::FindDatasets(
 
   std::vector<std::string> out;
 
-  // Fast path: an equality predicate narrows the scan to the attribute
-  // index's posting list instead of the whole dataset space.
-  for (const AttributePredicate& predicate : query.predicates) {
-    if (predicate.op != PredicateOp::kEq) continue;
-    std::vector<std::string> candidates;
-    auto [lo, hi] = datasets_by_attr_.equal_range(
-        AttrIndexKey(predicate.key, predicate.operand));
-    for (auto it = lo; it != hi; ++it) candidates.push_back(it->second);
-    std::sort(candidates.begin(), candidates.end());
+  // Indexed path: intersect the posting lists, smallest first, then
+  // apply the residual filter to the survivors.
+  std::vector<Posting> postings = DatasetPostings(query);
+  if (!postings.empty()) {
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.names.size() < b.names.size();
+              });
+    std::vector<std::string> candidates = std::move(postings[0].names);
+    for (size_t i = 1; i < postings.size() && !candidates.empty(); ++i) {
+      candidates = IntersectSorted(candidates, postings[i].names);
+    }
     for (const std::string& name : candidates) {
       auto ds = datasets_.find(name);
       if (ds == datasets_.end()) continue;
@@ -649,20 +840,80 @@ std::vector<std::string> VirtualDataCatalog::FindDatasets(
     return out;
   }
 
-  for (const auto& [name, ds] : datasets_) {
-    if (!matches(name, ds)) continue;
-    out.push_back(name);
+  // Materialized-set path: enumerate only datasets with valid replicas.
+  if (query.require_materialized) {
+    for (const auto& [name, count] : valid_replicas_by_dataset_) {
+      (void)count;
+      auto ds = datasets_.find(name);
+      if (ds == datasets_.end()) continue;
+      if (!matches(name, ds->second)) continue;
+      out.push_back(name);
+      if (query.limit != 0 && out.size() >= query.limit) break;
+    }
+    return out;
+  }
+
+  // Name-prefix path: bounded range scan on the ordered map.
+  auto it = query.name_prefix.empty()
+                ? datasets_.begin()
+                : datasets_.lower_bound(query.name_prefix);
+  for (; it != datasets_.end(); ++it) {
+    if (!query.name_prefix.empty() &&
+        !StartsWith(it->first, query.name_prefix)) {
+      break;
+    }
+    if (!matches(it->first, it->second)) continue;
+    out.push_back(it->first);
     if (query.limit != 0 && out.size() >= query.limit) break;
   }
   return out;
 }
 
+QueryPlan VirtualDataCatalog::ExplainFindDatasets(
+    const DatasetQuery& query) const {
+  QueryPlan plan;
+  std::vector<Posting> postings = DatasetPostings(query);
+  if (!postings.empty()) {
+    const Posting* smallest = &postings[0];
+    for (const Posting& p : postings) {
+      if (p.names.size() < smallest->names.size()) smallest = &p;
+    }
+    plan.path = smallest->path;
+    plan.driver = smallest->driver;
+    plan.estimated_candidates = smallest->names.size();
+    plan.posting_lists = postings.size();
+    return plan;
+  }
+  if (query.require_materialized) {
+    plan.path = AccessPath::kMaterializedSet;
+    plan.driver = "materialized-set";
+    plan.estimated_candidates = valid_replicas_by_dataset_.size();
+    return plan;
+  }
+  if (!query.name_prefix.empty()) {
+    plan.path = AccessPath::kNamePrefixRange;
+    plan.driver = "prefix " + query.name_prefix;
+    plan.estimated_candidates = datasets_.size();  // upper bound
+    return plan;
+  }
+  plan.path = AccessPath::kFullScan;
+  plan.driver = "datasets";
+  plan.estimated_candidates = datasets_.size();
+  return plan;
+}
+
 std::vector<std::string> VirtualDataCatalog::FindTransformations(
     const TransformationQuery& query) const {
   std::vector<std::string> out;
-  for (const auto& [name, tr] : transformations_) {
+  // Prefix queries scan only the matching range of the ordered map.
+  auto begin = query.name_prefix.empty()
+                   ? transformations_.begin()
+                   : transformations_.lower_bound(query.name_prefix);
+  for (auto it = begin; it != transformations_.end(); ++it) {
+    const std::string& name = it->first;
+    const Transformation& tr = it->second;
     if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
-      continue;
+      break;
     }
     if (!MatchesAll(tr.annotations(), query.predicates)) continue;
     if (query.consumes) {
@@ -700,37 +951,118 @@ std::vector<std::string> VirtualDataCatalog::FindTransformations(
   return out;
 }
 
+std::vector<VirtualDataCatalog::Posting>
+VirtualDataCatalog::DerivationPostings(const DerivationQuery& query) const {
+  std::vector<Posting> postings;
+  if (!query.transformation.empty()) {
+    Posting p;
+    p.path = AccessPath::kTransformationIndex;
+    p.driver = "transformation " + query.transformation;
+    // A query name matches either the qualified or the bare form; the
+    // union of both maps' posting lists is exactly that predicate.
+    p.names = SortedPosting(derivations_by_transformation_,
+                            query.transformation);
+    std::vector<std::string> bare = SortedPosting(
+        derivations_by_bare_transformation_, query.transformation);
+    if (!bare.empty()) {
+      std::vector<std::string> merged;
+      std::set_union(p.names.begin(), p.names.end(), bare.begin(), bare.end(),
+                     std::back_inserter(merged));
+      p.names = std::move(merged);
+    }
+    postings.push_back(std::move(p));
+  }
+  if (!query.reads_dataset.empty()) {
+    Posting p;
+    p.path = AccessPath::kReadsIndex;
+    p.driver = "reads " + query.reads_dataset;
+    p.names = SortedPosting(consumers_by_dataset_, query.reads_dataset);
+    postings.push_back(std::move(p));
+  }
+  if (!query.writes_dataset.empty()) {
+    Posting p;
+    p.path = AccessPath::kWritesIndex;
+    p.driver = "writes " + query.writes_dataset;
+    p.names = SortedPosting(producers_by_dataset_, query.writes_dataset);
+    postings.push_back(std::move(p));
+  }
+  return postings;
+}
+
 std::vector<std::string> VirtualDataCatalog::FindDerivations(
     const DerivationQuery& query) const {
-  std::vector<std::string> out;
-  for (const auto& [name, dv] : derivations_) {
+  // The posting lists answer the transformation/reads/writes
+  // conditions exactly, so the residual covers only prefix and
+  // annotation predicates (and, on scan paths, everything indexed is
+  // empty anyway).
+  auto residual = [&query](const std::string& name, const Derivation& dv) {
     if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
-      continue;
+      return false;
     }
-    if (!query.transformation.empty() &&
-        dv.QualifiedTransformation() != query.transformation &&
-        dv.transformation() != query.transformation) {
-      continue;
+    return MatchesAll(dv.annotations(), query.predicates);
+  };
+
+  std::vector<std::string> out;
+  std::vector<Posting> postings = DerivationPostings(query);
+  if (!postings.empty()) {
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.names.size() < b.names.size();
+              });
+    std::vector<std::string> candidates = std::move(postings[0].names);
+    for (size_t i = 1; i < postings.size() && !candidates.empty(); ++i) {
+      candidates = IntersectSorted(candidates, postings[i].names);
     }
-    if (!query.reads_dataset.empty()) {
-      auto inputs = dv.InputDatasets();
-      if (std::find(inputs.begin(), inputs.end(), query.reads_dataset) ==
-          inputs.end()) {
-        continue;
-      }
+    for (const std::string& name : candidates) {
+      auto dv = derivations_.find(name);
+      if (dv == derivations_.end()) continue;
+      if (!residual(name, dv->second)) continue;
+      out.push_back(name);
+      if (query.limit != 0 && out.size() >= query.limit) break;
     }
-    if (!query.writes_dataset.empty()) {
-      auto outputs = dv.OutputDatasets();
-      if (std::find(outputs.begin(), outputs.end(), query.writes_dataset) ==
-          outputs.end()) {
-        continue;
-      }
+    return out;
+  }
+
+  auto begin = query.name_prefix.empty()
+                   ? derivations_.begin()
+                   : derivations_.lower_bound(query.name_prefix);
+  for (auto it = begin; it != derivations_.end(); ++it) {
+    if (!query.name_prefix.empty() &&
+        !StartsWith(it->first, query.name_prefix)) {
+      break;
     }
-    if (!MatchesAll(dv.annotations(), query.predicates)) continue;
-    out.push_back(name);
+    if (!residual(it->first, it->second)) continue;
+    out.push_back(it->first);
     if (query.limit != 0 && out.size() >= query.limit) break;
   }
   return out;
+}
+
+QueryPlan VirtualDataCatalog::ExplainFindDerivations(
+    const DerivationQuery& query) const {
+  QueryPlan plan;
+  std::vector<Posting> postings = DerivationPostings(query);
+  if (!postings.empty()) {
+    const Posting* smallest = &postings[0];
+    for (const Posting& p : postings) {
+      if (p.names.size() < smallest->names.size()) smallest = &p;
+    }
+    plan.path = smallest->path;
+    plan.driver = smallest->driver;
+    plan.estimated_candidates = smallest->names.size();
+    plan.posting_lists = postings.size();
+    return plan;
+  }
+  if (!query.name_prefix.empty()) {
+    plan.path = AccessPath::kNamePrefixRange;
+    plan.driver = "prefix " + query.name_prefix;
+    plan.estimated_candidates = derivations_.size();  // upper bound
+    return plan;
+  }
+  plan.path = AccessPath::kFullScan;
+  plan.driver = "derivations";
+  plan.estimated_candidates = derivations_.size();
+  return plan;
 }
 
 Result<std::string> VirtualDataCatalog::FindEquivalentDerivation(
@@ -896,9 +1228,14 @@ Status VirtualDataCatalog::ApplyRecord(const std::string& record) {
     if (tag == "DV" && program.derivations.size() == 1) {
       Derivation dv = std::move(program.derivations[0]);
       dv.annotations() = std::move(attrs);
-      // Rebuild indexes idempotently: drop any stale entries first.
-      if (derivations_.count(dv.name()) != 0) {
-        VDG_RETURN_IF_ERROR(RemoveDerivation(dv.name()));
+      auto existing = derivations_.find(dv.name());
+      if (existing != derivations_.end()) {
+        // A re-emitted define is an annotation upsert (the live path
+        // rejects duplicate names, so the signature is unchanged).
+        // Don't re-validate inputs: they were valid when the original
+        // define was journaled and may have been removed since.
+        existing->second.annotations() = dv.annotations();
+        return Status::OK();
       }
       return DefineDerivation(std::move(dv));
     }
@@ -908,7 +1245,9 @@ Status VirtualDataCatalog::ApplyRecord(const std::string& record) {
     VDG_ASSIGN_OR_RETURN(Replica r, codec::DecodeReplica(fields));
     // Upsert semantics: replica re-puts carry annotation/invalidation
     // updates.
-    if (replicas_.count(r.id) != 0) {
+    auto existing = replicas_.find(r.id);
+    if (existing != replicas_.end()) {
+      NoteReplicaState(&existing->second, &r);
       replicas_.insert_or_assign(r.id, std::move(r));
       return Status::OK();
     }

@@ -1,8 +1,10 @@
 #ifndef VDG_CATALOG_CATALOG_H_
 #define VDG_CATALOG_CATALOG_H_
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,20 @@
 #include "vdl/parser.h"
 
 namespace vdg {
+
+/// One entry of a catalog's bounded changelog: which object changed at
+/// which edit version. Federated indexes consume these to refresh
+/// incrementally instead of rescanning whole catalogs. Replica
+/// mutations are recorded as an upsert of their *dataset* (the
+/// index-visible effect is the dataset's materialized bit flipping);
+/// invocation and type changes are recorded under their own kinds so
+/// consumers can skip them.
+struct CatalogChange {
+  uint64_t version = 0;  // catalog version after the mutation
+  char op = 'U';         // 'U' upsert, 'D' delete
+  std::string kind;  // "dataset"|"transformation"|"derivation"|"invocation"|"type"
+  std::string name;  // object name (or id) within the catalog
+};
 
 /// A Virtual Data Catalog (VDC, Section 4): the service that maintains
 /// the five-object virtual data schema for one scope (a person, group,
@@ -140,10 +156,23 @@ class VirtualDataCatalog {
   // Discovery
   // ------------------------------------------------------------------
 
+  /// Discovery runs through a small predicate planner: each query's
+  /// indexable conditions (attribute equalities, type conformance,
+  /// materialization state, derivation edges) become posting lists,
+  /// the most selective one drives enumeration, the rest are
+  /// intersected, and only residual predicates are evaluated per
+  /// candidate. Queries with no indexable condition fall back to a
+  /// name-prefix range scan or a full scan.
   std::vector<std::string> FindDatasets(const DatasetQuery& query) const;
   std::vector<std::string> FindTransformations(
       const TransformationQuery& query) const;
   std::vector<std::string> FindDerivations(const DerivationQuery& query) const;
+
+  /// The access path FindDatasets/FindDerivations would choose for
+  /// `query`, without running it. Lets tests pin selectivity ordering
+  /// and operators inspect why a query is slow.
+  QueryPlan ExplainFindDatasets(const DatasetQuery& query) const;
+  QueryPlan ExplainFindDerivations(const DerivationQuery& query) const;
 
   /// The "has this computation been performed before?" query (Section
   /// 1). Returns the name of an existing derivation with the same
@@ -166,6 +195,25 @@ class VirtualDataCatalog {
   /// Monotonic edit counter; bumped by every successful mutation.
   /// Federated indexes use it to detect staleness cheaply.
   uint64_t version() const { return version_; }
+
+  /// Every change with version > `since_version`, oldest first.
+  /// Exactly one change is recorded per version bump, so the result is
+  /// complete over its range. Fails with ResourceExhausted when the bounded
+  /// changelog no longer reaches back to `since_version` (the caller
+  /// must fall back to a full rescan) and InvalidArgument when
+  /// `since_version` is from the future.
+  Result<std::vector<CatalogChange>> ChangesSince(
+      uint64_t since_version) const;
+
+  /// Oldest version ChangesSince can answer from (the window floor).
+  uint64_t changelog_floor() const {
+    return changelog_.empty() ? version_ : changelog_.front().version - 1;
+  }
+
+  /// Caps the in-memory changelog length (default 4096 changes).
+  /// Shrinking may immediately raise changelog_floor().
+  void set_changelog_capacity(size_t capacity);
+  size_t changelog_capacity() const { return changelog_capacity_; }
 
   Status SyncJournal() { return journal_->Sync(); }
 
@@ -194,6 +242,21 @@ class VirtualDataCatalog {
   Status Journal(const std::string& record);
   const DatasetType* LookupDatasetType(std::string_view name) const;
 
+  /// Bumps version_ and appends the matching changelog entry (the two
+  /// must move together so ChangesSince stays gap-free).
+  void BumpVersion(char op, std::string_view kind, std::string_view name);
+
+  /// One enumerable candidate source for the planner: a materialized,
+  /// sorted, deduplicated name list plus its provenance.
+  struct Posting {
+    AccessPath path;
+    std::string driver;
+    std::vector<std::string> names;
+  };
+  /// Indexable posting lists for `query`, unsorted by selectivity.
+  std::vector<Posting> DatasetPostings(const DatasetQuery& query) const;
+  std::vector<Posting> DerivationPostings(const DerivationQuery& query) const;
+
   std::string name_;
   std::unique_ptr<CatalogJournal> journal_;
   bool replaying_ = false;
@@ -216,13 +279,42 @@ class VirtualDataCatalog {
   void UnindexDatasetAttributes(const Dataset& dataset);
   std::multimap<std::string, std::string, std::less<>> datasets_by_attr_;
 
+  /// Type-conformance closure index: "<dim>\x1f<ancestor>" -> dataset
+  /// name, for every ancestor (excluding the dimension base) of every
+  /// non-empty component of the dataset's type. A `query.type` filter
+  /// then reads the posting list of each constrained component instead
+  /// of calling Conforms per row. Ancestry is immutable once a type is
+  /// defined (parents can never be reassigned), so entries only change
+  /// with the dataset itself.
+  void IndexDatasetType(const Dataset& dataset);
+  void UnindexDatasetType(const Dataset& dataset);
+  std::multimap<std::string, std::string, std::less<>> datasets_by_type_;
+
+  /// Datasets with >=1 valid replica, with the live count: the
+  /// incremental materialized set. Maintained by every replica
+  /// mutation path so IsMaterialized and the require_materialized /
+  /// only_virtual filters are O(log n) lookups, and
+  /// require_materialized queries can enumerate the set directly.
+  void NoteReplicaState(const Replica* before, const Replica* after);
+  std::map<std::string, size_t, std::less<>> valid_replicas_by_dataset_;
+
   std::multimap<uint64_t, std::string> derivations_by_signature_;
   std::multimap<std::string, std::string, std::less<>> replicas_by_dataset_;
   std::multimap<std::string, std::string, std::less<>>
       invocations_by_derivation_;
   std::multimap<std::string, std::string, std::less<>> consumers_by_dataset_;
+  /// dataset -> derivations writing it (the dual of consumers_by_*).
+  std::multimap<std::string, std::string, std::less<>> producers_by_dataset_;
   std::multimap<std::string, std::string, std::less<>>
       derivations_by_transformation_;
+  /// Bare transformation name -> derivation, only for derivations
+  /// whose qualified name differs (DerivationQuery matches either).
+  std::multimap<std::string, std::string, std::less<>>
+      derivations_by_bare_transformation_;
+
+  /// Bounded mutation changelog backing ChangesSince().
+  std::deque<CatalogChange> changelog_;
+  size_t changelog_capacity_ = 4096;
 
   uint64_t next_replica_id_ = 1;
   uint64_t next_invocation_id_ = 1;

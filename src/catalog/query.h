@@ -56,6 +56,39 @@ struct DerivationQuery {
   size_t limit = 0;
 };
 
+/// The access path a discovery query was (or would be) answered with.
+/// Produced by the catalog's predicate planner; exposed through the
+/// Explain* calls so tests and operators can verify that the most
+/// selective index drives a query instead of a full scan.
+enum class AccessPath {
+  kFullScan,         // iterate every object of the class
+  kNamePrefixRange,  // bounded range scan on the ordered name map
+  kAttributeIndex,   // posting list from the attribute-equality index
+  kTypeIndex,        // posting list from the type-conformance index
+  kMaterializedSet,  // iterate the incremental materialized-name set
+  kTransformationIndex,  // derivations-by-transformation posting list
+  kReadsIndex,           // derivations-by-input-dataset posting list
+  kWritesIndex,          // derivations-by-output-dataset posting list
+};
+
+std::string_view AccessPathName(AccessPath path);
+
+/// Result of planning one discovery query: which access path drives
+/// the candidate enumeration, how many candidates it yields, and how
+/// many posting lists were intersected before residual filtering.
+struct QueryPlan {
+  AccessPath path = AccessPath::kFullScan;
+  /// Human-readable description of the driving index key, e.g.
+  /// "attr quality=approved" or "type content:SDSS".
+  std::string driver;
+  /// Candidates the driver enumerates (exact for posting lists and the
+  /// materialized set; the full object count for scans; unknown — the
+  /// object count upper bound — for prefix ranges).
+  size_t estimated_candidates = 0;
+  /// Number of posting lists intersected (0 for non-indexed paths).
+  size_t posting_lists = 0;
+};
+
 /// Aggregate catalog counters (object counts per class).
 struct CatalogStats {
   size_t datasets = 0;

@@ -12,6 +12,17 @@ std::string NameKey(std::string_view kind, std::string_view name) {
 }
 }  // namespace
 
+std::string FederatedIndex::EntryKey(std::string_view kind,
+                                     std::string_view authority,
+                                     std::string_view name) {
+  std::string out(kind);
+  out.push_back('\x1f');
+  out += authority;
+  out.push_back('\x1f');
+  out += name;
+  return out;
+}
+
 Status FederatedIndex::AddSource(const VirtualDataCatalog* catalog) {
   if (catalog == nullptr) return Status::InvalidArgument("null catalog");
   for (const SourceState& source : sources_) {
@@ -20,50 +31,159 @@ Status FederatedIndex::AddSource(const VirtualDataCatalog* catalog) {
                                    catalog->name());
     }
   }
-  sources_.push_back(SourceState{catalog, 0});
+  sources_.push_back(SourceState{catalog, 0, {}});
+  source_by_authority_[catalog->name()] = catalog;
+  return Status::OK();
+}
+
+Result<IndexEntry> FederatedIndex::Snapshot(const VirtualDataCatalog& catalog,
+                                            std::string_view kind,
+                                            std::string_view name) {
+  IndexEntry entry;
+  entry.kind = std::string(kind);
+  entry.name = std::string(name);
+  entry.authority = catalog.name();
+  if (kind == "dataset") {
+    VDG_ASSIGN_OR_RETURN(Dataset ds, catalog.GetDataset(name));
+    entry.type = ds.type;
+    entry.materialized = catalog.IsMaterialized(name);
+    entry.annotations = ds.annotations;
+  } else if (kind == "transformation") {
+    VDG_ASSIGN_OR_RETURN(Transformation tr, catalog.GetTransformation(name));
+    entry.annotations = tr.annotations();
+  } else if (kind == "derivation") {
+    VDG_ASSIGN_OR_RETURN(Derivation dv, catalog.GetDerivation(name));
+    entry.annotations = dv.annotations();
+  } else {
+    return Status::InvalidArgument("unindexable kind: " + std::string(kind));
+  }
+  return entry;
+}
+
+void FederatedIndex::UpsertEntry(SourceState* source, IndexEntry entry) {
+  std::string key = EntryKey(entry.kind, entry.authority, entry.name);
+  auto [it, inserted] = entries_.insert_or_assign(key, std::move(entry));
+  if (inserted) {
+    by_name_.emplace(NameKey(it->second.kind, it->second.name), key);
+    source->entry_keys.insert(std::move(key));
+  }
+}
+
+void FederatedIndex::EraseEntry(SourceState* source, std::string_view kind,
+                                std::string_view name) {
+  std::string key = EntryKey(kind, source->catalog->name(), name);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  auto [lo, hi] = by_name_.equal_range(NameKey(kind, name));
+  for (auto n = lo; n != hi; ++n) {
+    if (n->second == key) {
+      by_name_.erase(n);
+      break;
+    }
+  }
+  source->entry_keys.erase(key);
+  entries_.erase(it);
+}
+
+Status FederatedIndex::RebuildSource(SourceState* source) {
+  const VirtualDataCatalog& catalog = *source->catalog;
+  // Drop everything this source contributed, then rescan it.
+  for (const std::string& key : source->entry_keys) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    auto [lo, hi] = by_name_.equal_range(
+        NameKey(it->second.kind, it->second.name));
+    for (auto n = lo; n != hi; ++n) {
+      if (n->second == key) {
+        by_name_.erase(n);
+        break;
+      }
+    }
+    entries_.erase(it);
+  }
+  source->entry_keys.clear();
+
+  const char* kinds[] = {"dataset", "transformation", "derivation"};
+  for (const char* kind : kinds) {
+    std::vector<std::string> names;
+    if (kind == std::string_view("dataset")) {
+      names = catalog.AllDatasetNames();
+    } else if (kind == std::string_view("transformation")) {
+      names = catalog.AllTransformationNames();
+    } else {
+      names = catalog.AllDerivationNames();
+    }
+    for (const std::string& name : names) {
+      VDG_ASSIGN_OR_RETURN(IndexEntry entry, Snapshot(catalog, kind, name));
+      UpsertEntry(source, std::move(entry));
+      ++refresh_stats_.entries_scanned;
+    }
+  }
+  ++refresh_stats_.full_rebuilds;
+  source->version_at_refresh = catalog.version();
+  return Status::OK();
+}
+
+Status FederatedIndex::ApplyDelta(SourceState* source,
+                                  const std::vector<CatalogChange>& changes) {
+  const VirtualDataCatalog& catalog = *source->catalog;
+  // Collapse to the final op per object: a burst of edits to one
+  // dataset costs one snapshot, and interleaved define/remove settles
+  // on whichever came last.
+  std::map<std::pair<std::string, std::string>, char> final_op;
+  for (const CatalogChange& change : changes) {
+    if (change.kind != "dataset" && change.kind != "transformation" &&
+        change.kind != "derivation") {
+      continue;  // invocations/types are not index-visible
+    }
+    final_op[{change.kind, change.name}] = change.op;
+  }
+  for (const auto& [object, op] : final_op) {
+    const auto& [kind, name] = object;
+    if (op == 'D') {
+      EraseEntry(source, kind, name);
+    } else {
+      Result<IndexEntry> entry = Snapshot(catalog, kind, name);
+      if (entry.ok()) {
+        UpsertEntry(source, std::move(*entry));
+      } else {
+        // Upserted then removed within the window with the removal
+        // recorded as an upsert collapse — treat as gone.
+        EraseEntry(source, kind, name);
+      }
+    }
+    ++refresh_stats_.entries_applied;
+  }
+  ++refresh_stats_.delta_refreshes;
+  source->version_at_refresh = catalog.version();
   return Status::OK();
 }
 
 Status FederatedIndex::Refresh() {
-  entries_.clear();
-  by_name_.clear();
   version_sum_ = 0;
   for (SourceState& source : sources_) {
-    const VirtualDataCatalog& catalog = *source.catalog;
-    for (const std::string& name : catalog.AllDatasetNames()) {
-      VDG_ASSIGN_OR_RETURN(Dataset ds, catalog.GetDataset(name));
-      IndexEntry entry;
-      entry.kind = "dataset";
-      entry.name = name;
-      entry.authority = catalog.name();
-      entry.type = ds.type;
-      entry.materialized = catalog.IsMaterialized(name);
-      entry.annotations = ds.annotations;
-      by_name_.emplace(NameKey(entry.kind, entry.name), entries_.size());
-      entries_.push_back(std::move(entry));
+    if (source.catalog->version() != source.version_at_refresh ||
+        refresh_count_ == 0) {
+      Result<std::vector<CatalogChange>> changes =
+          source.catalog->ChangesSince(source.version_at_refresh);
+      if (changes.ok()) {
+        VDG_RETURN_IF_ERROR(ApplyDelta(&source, *changes));
+      } else {
+        // Changelog window exceeded (or source predates it): rescan.
+        VDG_RETURN_IF_ERROR(RebuildSource(&source));
+      }
     }
-    for (const std::string& name : catalog.AllTransformationNames()) {
-      VDG_ASSIGN_OR_RETURN(Transformation tr, catalog.GetTransformation(name));
-      IndexEntry entry;
-      entry.kind = "transformation";
-      entry.name = name;
-      entry.authority = catalog.name();
-      entry.annotations = tr.annotations();
-      by_name_.emplace(NameKey(entry.kind, entry.name), entries_.size());
-      entries_.push_back(std::move(entry));
-    }
-    for (const std::string& name : catalog.AllDerivationNames()) {
-      VDG_ASSIGN_OR_RETURN(Derivation dv, catalog.GetDerivation(name));
-      IndexEntry entry;
-      entry.kind = "derivation";
-      entry.name = name;
-      entry.authority = catalog.name();
-      entry.annotations = dv.annotations();
-      by_name_.emplace(NameKey(entry.kind, entry.name), entries_.size());
-      entries_.push_back(std::move(entry));
-    }
-    source.version_at_refresh = catalog.version();
-    version_sum_ += static_cast<double>(catalog.version());
+    version_sum_ += source.version_at_refresh;
+  }
+  ++refresh_count_;
+  return Status::OK();
+}
+
+Status FederatedIndex::RebuildAll() {
+  version_sum_ = 0;
+  for (SourceState& source : sources_) {
+    VDG_RETURN_IF_ERROR(RebuildSource(&source));
+    version_sum_ += source.version_at_refresh;
   }
   ++refresh_count_;
   return Status::OK();
@@ -80,23 +200,19 @@ bool FederatedIndex::IsStale() const {
 std::vector<IndexEntry> FederatedIndex::FindDatasets(
     const DatasetQuery& query) const {
   std::vector<IndexEntry> out;
-  for (const IndexEntry& entry : entries_) {
-    if (entry.kind != "dataset") continue;
+  // Entry keys are kind-first, so this walks only the dataset range.
+  for (auto it = entries_.lower_bound("dataset\x1f");
+       it != entries_.end() && StartsWith(it->first, "dataset\x1f"); ++it) {
+    const IndexEntry& entry = it->second;
     if (!query.name_prefix.empty() &&
         !StartsWith(entry.name, query.name_prefix)) {
       continue;
     }
     if (query.type) {
       // Conformance is judged by the owning catalog's type universe.
-      const VirtualDataCatalog* owner = nullptr;
-      for (const SourceState& source : sources_) {
-        if (source.catalog->name() == entry.authority) {
-          owner = source.catalog;
-          break;
-        }
-      }
-      if (owner == nullptr ||
-          !owner->types().Conforms(entry.type, *query.type)) {
+      auto owner = source_by_authority_.find(entry.authority);
+      if (owner == source_by_authority_.end() ||
+          !owner->second->types().Conforms(entry.type, *query.type)) {
         continue;
       }
     }
@@ -112,8 +228,10 @@ std::vector<IndexEntry> FederatedIndex::FindDatasets(
 std::vector<IndexEntry> FederatedIndex::FindTransformations(
     const TransformationQuery& query) const {
   std::vector<IndexEntry> out;
-  for (const IndexEntry& entry : entries_) {
-    if (entry.kind != "transformation") continue;
+  for (auto it = entries_.lower_bound("transformation\x1f");
+       it != entries_.end() && StartsWith(it->first, "transformation\x1f");
+       ++it) {
+    const IndexEntry& entry = it->second;
     if (!query.name_prefix.empty() &&
         !StartsWith(entry.name, query.name_prefix)) {
       continue;
@@ -122,17 +240,11 @@ std::vector<IndexEntry> FederatedIndex::FindTransformations(
     // consumes/produces need full signatures; the index defers those
     // to the owning catalog (one remote call per candidate).
     if (query.consumes || query.produces) {
-      const VirtualDataCatalog* owner = nullptr;
-      for (const SourceState& source : sources_) {
-        if (source.catalog->name() == entry.authority) {
-          owner = source.catalog;
-          break;
-        }
-      }
-      if (owner == nullptr) continue;
+      auto owner = source_by_authority_.find(entry.authority);
+      if (owner == source_by_authority_.end()) continue;
       TransformationQuery narrowed = query;
       narrowed.name_prefix = entry.name;
-      if (owner->FindTransformations(narrowed).empty()) continue;
+      if (owner->second->FindTransformations(narrowed).empty()) continue;
     }
     out.push_back(entry);
     if (query.limit != 0 && out.size() >= query.limit) break;
@@ -143,8 +255,9 @@ std::vector<IndexEntry> FederatedIndex::FindTransformations(
 std::vector<IndexEntry> FederatedIndex::FindDerivations(
     const DerivationQuery& query) const {
   std::vector<IndexEntry> out;
-  for (const IndexEntry& entry : entries_) {
-    if (entry.kind != "derivation") continue;
+  for (auto it = entries_.lower_bound("derivation\x1f");
+       it != entries_.end() && StartsWith(it->first, "derivation\x1f"); ++it) {
+    const IndexEntry& entry = it->second;
     if (!query.name_prefix.empty() &&
         !StartsWith(entry.name, query.name_prefix)) {
       continue;
@@ -161,7 +274,8 @@ std::vector<IndexEntry> FederatedIndex::LookupName(
   std::vector<IndexEntry> out;
   auto [lo, hi] = by_name_.equal_range(NameKey(kind, name));
   for (auto it = lo; it != hi; ++it) {
-    out.push_back(entries_[it->second]);
+    auto entry = entries_.find(it->second);
+    if (entry != entries_.end()) out.push_back(entry->second);
   }
   return out;
 }

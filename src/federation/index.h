@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -23,12 +24,28 @@ struct IndexEntry {
   std::string VdpRef() const { return "vdp://" + authority + "/" + name; }
 };
 
+/// Counters describing how the index has been kept fresh; the
+/// refresh-cost side of the FIG4 tradeoff.
+struct IndexRefreshStats {
+  uint64_t delta_refreshes = 0;  // sources brought current via changelog
+  uint64_t full_rebuilds = 0;    // sources rescanned end-to-end
+  uint64_t entries_applied = 0;  // delta upserts/deletes applied
+  uint64_t entries_scanned = 0;  // objects visited by full rescans
+};
+
 /// A federating index over selected catalogs (Figure 4): personal,
 /// group, and collaboration indexes are all instances differing only
 /// in scope. The index answers discovery from its snapshot — one
 /// in-memory structure instead of a scan across N catalogs — at the
 /// price of staleness, which `IsStale()` detects via the catalogs'
 /// edit-version counters.
+///
+/// Refresh() is incremental: each source catalog exposes a bounded
+/// per-version changelog (VirtualDataCatalog::ChangesSince), and the
+/// index applies only the objects that changed since its recorded
+/// version for that source. When the changelog window no longer
+/// reaches back far enough, that source alone falls back to a full
+/// rescan. RebuildAll() forces the old full-rescan behavior.
 class FederatedIndex {
  public:
   explicit FederatedIndex(std::string name) : name_(std::move(name)) {}
@@ -39,15 +56,20 @@ class FederatedIndex {
   Status AddSource(const VirtualDataCatalog* catalog);
   size_t source_count() const { return sources_.size(); }
 
-  /// Rebuilds the snapshot from all sources and records their
-  /// versions. Refresh cost is what FIG4 benchmarks against query
-  /// savings.
+  /// Brings the snapshot current: per source, applies the catalog's
+  /// changelog delta when available, otherwise rescans that source.
+  /// Refresh cost is what FIG4 benchmarks against query savings.
   Status Refresh();
+
+  /// Forces a full rescan of every source (the pre-delta behavior;
+  /// kept as the benchmark baseline and repair hatch).
+  Status RebuildAll();
 
   /// True when any source changed since the last Refresh().
   bool IsStale() const;
   uint64_t refresh_count() const { return refresh_count_; }
-  SimTime last_refresh_version_sum() const { return version_sum_; }
+  uint64_t last_refresh_version_sum() const { return version_sum_; }
+  const IndexRefreshStats& refresh_stats() const { return refresh_stats_; }
 
   /// Discovery answered purely from the snapshot.
   std::vector<IndexEntry> FindDatasets(const DatasetQuery& query) const;
@@ -69,15 +91,41 @@ class FederatedIndex {
   struct SourceState {
     const VirtualDataCatalog* catalog;
     uint64_t version_at_refresh = 0;
+    /// Entry keys owned by this source, for targeted rescans.
+    std::set<std::string> entry_keys;
   };
+
+  /// Entry keys order kind first so each Find* iterates one contiguous
+  /// range of the map.
+  static std::string EntryKey(std::string_view kind,
+                              std::string_view authority,
+                              std::string_view name);
+
+  Status RebuildSource(SourceState* source);
+  Status ApplyDelta(SourceState* source,
+                    const std::vector<CatalogChange>& changes);
+  void UpsertEntry(SourceState* source, IndexEntry entry);
+  void EraseEntry(SourceState* source, std::string_view kind,
+                  std::string_view name);
+  /// Snapshots one catalog object into an IndexEntry (NotFound when it
+  /// no longer exists).
+  static Result<IndexEntry> Snapshot(const VirtualDataCatalog& catalog,
+                                     std::string_view kind,
+                                     std::string_view name);
 
   std::string name_;
   std::vector<SourceState> sources_;
-  std::vector<IndexEntry> entries_;
-  // (kind, name) -> indices into entries_
-  std::multimap<std::string, size_t, std::less<>> by_name_;
+  std::map<std::string, const VirtualDataCatalog*, std::less<>>
+      source_by_authority_;
+  std::map<std::string, IndexEntry, std::less<>> entries_;
+  // (kind, name) -> entry keys, for cross-authority exact lookup.
+  std::multimap<std::string, std::string, std::less<>> by_name_;
   uint64_t refresh_count_ = 0;
-  double version_sum_ = 0;
+  /// Sum of source versions at the last refresh. uint64_t, not double:
+  /// catalog versions are uint64_t counters and a floating accumulator
+  /// silently loses precision past 2^53.
+  uint64_t version_sum_ = 0;
+  IndexRefreshStats refresh_stats_;
 };
 
 }  // namespace vdg

@@ -346,6 +346,175 @@ TEST_F(CatalogTest, SetDatasetSize) {
   EXPECT_TRUE(catalog_.SetDatasetSize("ghost", 1).IsNotFound());
 }
 
+// ------------------------- Query planner -----------------------------
+
+// Regression for selectivity ordering: with several equality
+// predicates, the planner must drive from the *smallest* posting list,
+// not the first predicate written.
+TEST_F(CatalogTest, PlannerPicksMostSelectivePostingList) {
+  for (int i = 0; i < 50; ++i) {
+    Dataset ds;
+    ds.name = "bulk" + std::to_string(i);
+    ASSERT_TRUE(catalog_.DefineDataset(ds).ok());
+    ASSERT_TRUE(catalog_.Annotate("dataset", ds.name, "tier", "bronze").ok());
+  }
+  ASSERT_TRUE(catalog_.Annotate("dataset", "bulk7", "rare", "yes").ok());
+  ASSERT_TRUE(catalog_.Annotate("dataset", "bulk9", "rare", "yes").ok());
+
+  // The broad predicate is listed first; the plan must still pick the
+  // two-element "rare" posting list as driver.
+  DatasetQuery query;
+  query.predicates = {{"tier", PredicateOp::kEq, "bronze"},
+                      {"rare", PredicateOp::kEq, "yes"}};
+  QueryPlan plan = catalog_.ExplainFindDatasets(query);
+  EXPECT_EQ(plan.path, AccessPath::kAttributeIndex);
+  EXPECT_EQ(plan.driver, "attr rare=yes");
+  EXPECT_EQ(plan.estimated_candidates, 2u);
+  EXPECT_EQ(plan.posting_lists, 2u);
+  EXPECT_EQ(catalog_.FindDatasets(query),
+            (std::vector<std::string>{"bulk7", "bulk9"}));
+
+  // Same query with the predicates swapped plans identically.
+  std::swap(query.predicates[0], query.predicates[1]);
+  QueryPlan swapped = catalog_.ExplainFindDatasets(query);
+  EXPECT_EQ(swapped.driver, plan.driver);
+  EXPECT_EQ(swapped.estimated_candidates, plan.estimated_candidates);
+  EXPECT_EQ(catalog_.FindDatasets(query),
+            (std::vector<std::string>{"bulk7", "bulk9"}));
+}
+
+TEST_F(CatalogTest, PlannerTypeIndexDrivesTypeQueries) {
+  ASSERT_TRUE(catalog_
+                  .DefineType(TypeDimension::kContent, "Survey",
+                              TypeDimensionBaseName(TypeDimension::kContent))
+                  .ok());
+  ASSERT_TRUE(
+      catalog_.DefineType(TypeDimension::kContent, "SDSS", "Survey").ok());
+  Dataset ds;
+  ds.name = "sky";
+  ds.type.content = "SDSS";
+  ASSERT_TRUE(catalog_.DefineDataset(ds).ok());
+
+  // Querying the parent type finds the subtype dataset via the
+  // ancestry closure index.
+  DatasetQuery query;
+  query.type = DatasetType{};
+  query.type->content = "Survey";
+  QueryPlan plan = catalog_.ExplainFindDatasets(query);
+  EXPECT_EQ(plan.path, AccessPath::kTypeIndex);
+  EXPECT_EQ(plan.estimated_candidates, 1u);
+  EXPECT_EQ(catalog_.FindDatasets(query), std::vector<std::string>{"sky"});
+
+  // Removing the dataset drops its type postings.
+  ASSERT_TRUE(catalog_.RemoveDataset("sky").ok());
+  EXPECT_TRUE(catalog_.FindDatasets(query).empty());
+}
+
+TEST_F(CatalogTest, PlannerMaterializedSetAndScanPaths) {
+  Replica r;
+  r.dataset = "file2";
+  r.site = "s";
+  Result<std::string> id = catalog_.AddReplica(r);
+  ASSERT_TRUE(id.ok());
+
+  DatasetQuery materialized;
+  materialized.require_materialized = true;
+  QueryPlan plan = catalog_.ExplainFindDatasets(materialized);
+  EXPECT_EQ(plan.path, AccessPath::kMaterializedSet);
+  EXPECT_EQ(plan.estimated_candidates, 1u);
+
+  // Invalidation shrinks the materialized set incrementally.
+  ASSERT_TRUE(catalog_.InvalidateReplica(*id).ok());
+  EXPECT_EQ(catalog_.ExplainFindDatasets(materialized).estimated_candidates,
+            0u);
+  EXPECT_TRUE(catalog_.FindDatasets(materialized).empty());
+
+  DatasetQuery by_prefix;
+  by_prefix.name_prefix = "file";
+  EXPECT_EQ(catalog_.ExplainFindDatasets(by_prefix).path,
+            AccessPath::kNamePrefixRange);
+  EXPECT_EQ(catalog_.ExplainFindDatasets(DatasetQuery{}).path,
+            AccessPath::kFullScan);
+}
+
+TEST_F(CatalogTest, DerivationQueryUsesEdgeIndexes) {
+  DerivationQuery reads;
+  reads.reads_dataset = "file2";
+  QueryPlan plan = catalog_.ExplainFindDerivations(reads);
+  EXPECT_EQ(plan.path, AccessPath::kReadsIndex);
+  EXPECT_EQ(plan.estimated_candidates, 1u);
+  EXPECT_EQ(catalog_.FindDerivations(reads),
+            std::vector<std::string>{"usetrans2"});
+
+  DerivationQuery writes;
+  writes.writes_dataset = "file2";
+  EXPECT_EQ(catalog_.ExplainFindDerivations(writes).path,
+            AccessPath::kWritesIndex);
+  EXPECT_EQ(catalog_.FindDerivations(writes),
+            std::vector<std::string>{"usetrans1"});
+
+  // Intersection: writes file2 AND uses trans1.
+  DerivationQuery both;
+  both.writes_dataset = "file2";
+  both.transformation = "trans1";
+  EXPECT_EQ(catalog_.ExplainFindDerivations(both).posting_lists, 2u);
+  EXPECT_EQ(catalog_.FindDerivations(both),
+            std::vector<std::string>{"usetrans1"});
+
+  // Removal drops the edge postings.
+  ASSERT_TRUE(catalog_.RemoveDerivation("usetrans1").ok());
+  EXPECT_TRUE(catalog_.FindDerivations(writes).empty());
+  EXPECT_EQ(catalog_.ExplainFindDerivations(writes).estimated_candidates, 0u);
+}
+
+// --------------------------- Changelog -------------------------------
+
+TEST_F(CatalogTest, ChangelogCoversEveryVersionBump) {
+  uint64_t base = catalog_.version();
+  ASSERT_TRUE(catalog_.Annotate("dataset", "file1", "k", "v").ok());
+  Replica r;
+  r.dataset = "file2";
+  r.site = "s";
+  Result<std::string> id = catalog_.AddReplica(r);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(catalog_.InvalidateReplica(*id).ok());
+
+  Result<std::vector<CatalogChange>> changes = catalog_.ChangesSince(base);
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), catalog_.version() - base);
+  // Versions are consecutive — the delta protocol relies on that.
+  for (size_t i = 0; i < changes->size(); ++i) {
+    EXPECT_EQ((*changes)[i].version, base + i + 1);
+  }
+  // Replica mutations surface as upserts of their dataset.
+  EXPECT_EQ((*changes)[1].kind, "dataset");
+  EXPECT_EQ((*changes)[1].name, "file2");
+  EXPECT_EQ((*changes)[2].kind, "dataset");
+  EXPECT_EQ((*changes)[2].name, "file2");
+
+  // Asking from the current version yields the empty delta; asking
+  // from the future is an error.
+  EXPECT_TRUE(catalog_.ChangesSince(catalog_.version())->empty());
+  EXPECT_FALSE(catalog_.ChangesSince(catalog_.version() + 1).ok());
+}
+
+TEST_F(CatalogTest, ChangelogWindowBoundsAndFallbackSignal) {
+  catalog_.set_changelog_capacity(4);
+  uint64_t base = catalog_.version();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        catalog_.Annotate("dataset", "file1", "k" + std::to_string(i), i)
+            .ok());
+  }
+  // The window only reaches back 4 versions now.
+  EXPECT_EQ(catalog_.changelog_floor(), catalog_.version() - 4);
+  EXPECT_FALSE(catalog_.ChangesSince(base).ok());
+  Result<std::vector<CatalogChange>> tail =
+      catalog_.ChangesSince(catalog_.version() - 4);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->size(), 4u);
+}
+
 // --------------------------- Persistence -----------------------------
 
 class PersistenceTest : public ::testing::Test {

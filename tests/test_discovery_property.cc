@@ -1,0 +1,408 @@
+// Property-style test for the indexed discovery engine: the planner's
+// posting-list / type-index / materialized-set paths must return
+// exactly what a naive full scan over the public accessors returns,
+// for every seeded random catalog, query mix, and mutation history —
+// including removals, replica invalidations, and journal replay. A
+// second suite holds the FederatedIndex delta-refresh path to the
+// same standard against a forced full rebuild.
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "federation/index.h"
+
+namespace vdg {
+namespace {
+
+constexpr const char* kAttrKeys[] = {"tier", "owner", "run"};
+constexpr const char* kAttrValues[] = {"gold", "silver", "bronze"};
+constexpr const char* kContentTypes[] = {"evt", "evt.raw", "evt.sim"};
+
+// Deterministic random mutation driver covering every index-relevant
+// operation: typed dataset defines, derivations, replica churn
+// (add/invalidate/remove), annotations, and removals.
+class MutationDriver {
+ public:
+  MutationDriver(VirtualDataCatalog* catalog, uint64_t seed)
+      : catalog_(catalog), rng_(seed) {}
+
+  void Run(int steps) {
+    if (!catalog_->HasTransformation("base")) {
+      Must(catalog_->DefineType(
+          TypeDimension::kContent, "evt",
+          TypeDimensionBaseName(TypeDimension::kContent)));
+      Must(catalog_->DefineType(TypeDimension::kContent, "evt.raw", "evt"));
+      Must(catalog_->DefineType(TypeDimension::kContent, "evt.sim", "evt"));
+      Must(catalog_->ImportVdl(
+          "TR base( output out, input in ) {"
+          "  argument stdin = ${input:in};"
+          "  argument stdout = ${output:out};"
+          "  exec = \"/bin/base\"; }"
+          "DS seed0 : Dataset size=\"1\";"));
+    }
+    datasets_.push_back("seed0");
+    for (int i = 0; i < steps; ++i) Step(i);
+  }
+
+ private:
+  static void Must(const Status& status) { ASSERT_TRUE(status.ok()) << status; }
+
+  void Step(int i) {
+    switch (rng_.UniformInt(0, 9)) {
+      case 0: {  // new typed dataset
+        Dataset ds;
+        ds.name = "ds" + std::to_string(i);
+        ds.size_bytes = rng_.UniformInt(0, 1 << 20);
+        ds.type.content = kContentTypes[rng_.Index(3)];
+        ds.annotations.Set(kAttrKeys[rng_.Index(3)],
+                           kAttrValues[rng_.Index(3)]);
+        if (catalog_->DefineDataset(ds).ok()) datasets_.push_back(ds.name);
+        break;
+      }
+      case 1: {  // new derivation chained off a random dataset
+        Derivation dv("dv" + std::to_string(i), "base");
+        std::string out = "out" + std::to_string(i);
+        Must(dv.AddArg(ActualArg::DatasetRef("out", out, ArgDirection::kOut)));
+        Must(dv.AddArg(ActualArg::DatasetRef(
+            "in", datasets_[rng_.Index(datasets_.size())],
+            ArgDirection::kIn)));
+        if (catalog_->DefineDerivation(std::move(dv)).ok()) {
+          derivations_.push_back("dv" + std::to_string(i));
+          datasets_.push_back(out);
+        }
+        break;
+      }
+      case 2: {  // replica
+        Replica r;
+        r.dataset = datasets_[rng_.Index(datasets_.size())];
+        r.site = rng_.Chance(0.5) ? "east" : "west";
+        r.size_bytes = rng_.UniformInt(1, 1000);
+        Result<std::string> id = catalog_->AddReplica(r);
+        if (id.ok()) replicas_.push_back(*id);
+        break;
+      }
+      case 3: {  // annotate something indexable
+        const char* kind = rng_.Chance(0.7) ? "dataset" : "derivation";
+        std::string name =
+            kind == std::string_view("dataset")
+                ? datasets_[rng_.Index(datasets_.size())]
+                : (derivations_.empty()
+                       ? std::string("none")
+                       : derivations_[rng_.Index(derivations_.size())]);
+        Status s = catalog_->Annotate(kind, name, kAttrKeys[rng_.Index(3)],
+                                      kAttrValues[rng_.Index(3)]);
+        (void)s;
+        break;
+      }
+      case 4: {  // invalidate a replica
+        if (replicas_.empty()) break;
+        Status s = catalog_->InvalidateReplica(
+            replicas_[rng_.Index(replicas_.size())]);
+        (void)s;
+        break;
+      }
+      case 5: {  // remove a replica
+        if (replicas_.empty()) break;
+        size_t pick = rng_.Index(replicas_.size());
+        if (catalog_->RemoveReplica(replicas_[pick]).ok()) {
+          replicas_.erase(replicas_.begin() + static_cast<ptrdiff_t>(pick));
+        }
+        break;
+      }
+      case 6: {  // remove a derivation
+        if (derivations_.empty() || !rng_.Chance(0.4)) break;
+        size_t pick = rng_.Index(derivations_.size());
+        if (catalog_->RemoveDerivation(derivations_[pick]).ok()) {
+          derivations_.erase(derivations_.begin() +
+                             static_cast<ptrdiff_t>(pick));
+        }
+        break;
+      }
+      case 7: {  // remove a dataset (only works once it has no refs)
+        if (datasets_.size() < 2 || !rng_.Chance(0.3)) break;
+        size_t pick = rng_.Index(datasets_.size());
+        if (catalog_->RemoveDataset(datasets_[pick]).ok()) {
+          datasets_.erase(datasets_.begin() + static_cast<ptrdiff_t>(pick));
+        }
+        break;
+      }
+      case 8: {  // size update
+        Status s = catalog_->SetDatasetSize(
+            datasets_[rng_.Index(datasets_.size())],
+            rng_.UniformInt(0, 1 << 20));
+        (void)s;
+        break;
+      }
+      case 9: {  // re-annotate an existing dataset (index update path)
+        Status s = catalog_->Annotate(
+            "dataset", datasets_[rng_.Index(datasets_.size())],
+            kAttrKeys[rng_.Index(3)], kAttrValues[rng_.Index(3)]);
+        (void)s;
+        break;
+      }
+    }
+  }
+
+  VirtualDataCatalog* catalog_;
+  Rng rng_;
+  std::vector<std::string> datasets_;
+  std::vector<std::string> derivations_;
+  std::vector<std::string> replicas_;
+};
+
+// Materialization computed from first principles (the replica table),
+// independent of the catalog's incremental materialized set.
+std::set<std::string> NaiveMaterialized(const VirtualDataCatalog& catalog) {
+  std::set<std::string> out;
+  for (const std::string& id : catalog.AllReplicaIds()) {
+    Replica r = *catalog.GetReplica(id);
+    if (r.valid) out.insert(r.dataset);
+  }
+  return out;
+}
+
+// Reference implementation: full scan over the public accessors,
+// re-deriving every query condition without any index.
+std::vector<std::string> NaiveFindDatasets(const VirtualDataCatalog& catalog,
+                                           const DatasetQuery& query) {
+  std::set<std::string> materialized = NaiveMaterialized(catalog);
+  std::vector<std::string> out;
+  for (const std::string& name : catalog.AllDatasetNames()) {
+    Dataset ds = *catalog.GetDataset(name);
+    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
+      continue;
+    }
+    if (query.type && !catalog.types().Conforms(ds.type, *query.type)) {
+      continue;
+    }
+    if (!MatchesAll(ds.annotations, query.predicates)) continue;
+    bool mat = materialized.count(name) > 0;
+    if (query.require_materialized && !mat) continue;
+    if (query.only_virtual && mat) continue;
+    out.push_back(name);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+std::vector<std::string> NaiveFindDerivations(
+    const VirtualDataCatalog& catalog, const DerivationQuery& query) {
+  std::vector<std::string> out;
+  for (const std::string& name : catalog.AllDerivationNames()) {
+    Derivation dv = *catalog.GetDerivation(name);
+    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
+      continue;
+    }
+    if (!query.transformation.empty() &&
+        query.transformation != dv.QualifiedTransformation() &&
+        query.transformation != dv.transformation()) {
+      continue;
+    }
+    if (!query.reads_dataset.empty()) {
+      std::vector<std::string> ins = dv.InputDatasets();
+      if (std::find(ins.begin(), ins.end(), query.reads_dataset) ==
+          ins.end()) {
+        continue;
+      }
+    }
+    if (!query.writes_dataset.empty()) {
+      std::vector<std::string> outs = dv.OutputDatasets();
+      if (std::find(outs.begin(), outs.end(), query.writes_dataset) ==
+          outs.end()) {
+        continue;
+      }
+    }
+    if (!MatchesAll(dv.annotations(), query.predicates)) continue;
+    out.push_back(name);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+// Random query generator hitting every planner path: attribute
+// postings, type index, materialized set, prefix range, full scan.
+DatasetQuery RandomDatasetQuery(Rng* rng) {
+  DatasetQuery q;
+  if (rng->Chance(0.5)) {
+    AttributePredicate p;
+    p.key = kAttrKeys[rng->Index(3)];
+    p.op = PredicateOp::kEq;
+    p.operand = kAttrValues[rng->Index(3)];
+    q.predicates.push_back(p);
+    if (rng->Chance(0.3)) {
+      AttributePredicate p2;
+      p2.key = kAttrKeys[rng->Index(3)];
+      p2.op = PredicateOp::kEq;
+      p2.operand = kAttrValues[rng->Index(3)];
+      q.predicates.push_back(p2);
+    }
+  }
+  if (rng->Chance(0.4)) {
+    q.type = DatasetType{};
+    q.type->content = kContentTypes[rng->Index(3)];
+  }
+  if (rng->Chance(0.3)) q.name_prefix = rng->Chance(0.5) ? "ds" : "out";
+  if (rng->Chance(0.3)) {
+    if (rng->Chance(0.5)) {
+      q.require_materialized = true;
+    } else {
+      q.only_virtual = true;
+    }
+  }
+  return q;
+}
+
+DerivationQuery RandomDerivationQuery(Rng* rng, int steps) {
+  DerivationQuery q;
+  if (rng->Chance(0.5)) q.transformation = "base";
+  if (rng->Chance(0.4)) {
+    q.reads_dataset = "ds" + std::to_string(rng->UniformInt(0, steps - 1));
+  }
+  if (rng->Chance(0.4)) {
+    q.writes_dataset = "out" + std::to_string(rng->UniformInt(0, steps - 1));
+  }
+  if (rng->Chance(0.3)) {
+    AttributePredicate p;
+    p.key = kAttrKeys[rng->Index(3)];
+    p.op = PredicateOp::kEq;
+    p.operand = kAttrValues[rng->Index(3)];
+    q.predicates.push_back(p);
+  }
+  if (rng->Chance(0.2)) q.name_prefix = "dv";
+  return q;
+}
+
+void ExpectQueriesMatchNaive(const VirtualDataCatalog& catalog,
+                             uint64_t seed, int steps, int queries) {
+  Rng rng(seed * 7919 + 17);
+  for (int i = 0; i < queries; ++i) {
+    DatasetQuery dq = RandomDatasetQuery(&rng);
+    EXPECT_EQ(catalog.FindDatasets(dq), NaiveFindDatasets(catalog, dq))
+        << "seed=" << seed << " query#" << i << " plan="
+        << AccessPathName(catalog.ExplainFindDatasets(dq).path);
+    DerivationQuery vq = RandomDerivationQuery(&rng, steps);
+    EXPECT_EQ(catalog.FindDerivations(vq), NaiveFindDerivations(catalog, vq))
+        << "seed=" << seed << " query#" << i << " plan="
+        << AccessPathName(catalog.ExplainFindDerivations(vq).path);
+  }
+}
+
+class DiscoveryTortureTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The indexed Find* calls agree with the naive reference on a live
+// catalog after a long random mutation history.
+TEST_P(DiscoveryTortureTest, IndexedQueriesMatchNaiveScan) {
+  const uint64_t seed = GetParam();
+  const int steps = 300;
+  VirtualDataCatalog catalog("torture.org");
+  ASSERT_TRUE(catalog.Open().ok());
+  MutationDriver driver(&catalog, seed);
+  driver.Run(steps);
+  ExpectQueriesMatchNaive(catalog, seed, steps, 60);
+}
+
+// The same property holds for a catalog rebuilt from its journal: the
+// indexes recovered by replay answer queries identically too.
+TEST_P(DiscoveryTortureTest, ReplayedCatalogAnswersIdentically) {
+  const uint64_t seed = GetParam();
+  const int steps = 200;
+  std::string path = ::testing::TempDir() + "/vdg_discovery_" +
+                     std::to_string(seed) + ".log";
+  std::remove(path.c_str());
+  {
+    VirtualDataCatalog catalog("torture.org",
+                               std::make_unique<FileJournal>(path));
+    ASSERT_TRUE(catalog.Open().ok());
+    MutationDriver driver(&catalog, seed);
+    driver.Run(steps);
+  }
+  VirtualDataCatalog reopened("torture.org",
+                              std::make_unique<FileJournal>(path));
+  Status reopen = reopened.Open();
+  ASSERT_TRUE(reopen.ok()) << reopen;
+  ExpectQueriesMatchNaive(reopened, seed, steps, 60);
+  std::remove(path.c_str());
+}
+
+// Delta refresh must converge to the same index a forced full rebuild
+// produces, no matter how mutations interleave with refreshes.
+TEST_P(DiscoveryTortureTest, DeltaRefreshConvergesToFullRebuild) {
+  const uint64_t seed = GetParam();
+  VirtualDataCatalog a("a.org");
+  VirtualDataCatalog b("b.org");
+  ASSERT_TRUE(a.Open().ok());
+  ASSERT_TRUE(b.Open().ok());
+  // Keep one source's window tight so the fallback path gets exercised.
+  b.set_changelog_capacity(8);
+
+  FederatedIndex delta("delta");
+  FederatedIndex full("full");
+  for (VirtualDataCatalog* c : {&a, &b}) {
+    ASSERT_TRUE(delta.AddSource(c).ok());
+    ASSERT_TRUE(full.AddSource(c).ok());
+  }
+
+  MutationDriver da(&a, seed);
+  MutationDriver db(&b, seed + 1000);
+  da.Run(40);
+  db.Run(40);
+  Rng rng(seed);
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_TRUE(delta.Refresh().ok());
+    // Random-length mutation bursts: short ones fit b's window, long
+    // ones overflow it and force the per-source rescan.
+    MutationDriver ma(&a, seed + 10 + round);
+    MutationDriver mb(&b, seed + 20 + round);
+    ma.Run(static_cast<int>(rng.UniformInt(1, 6)));
+    mb.Run(static_cast<int>(rng.UniformInt(1, 20)));
+  }
+  ASSERT_TRUE(delta.Refresh().ok());
+  ASSERT_TRUE(full.RebuildAll().ok());
+
+  ASSERT_EQ(delta.size(), full.size());
+  // Element-wise equivalence over every entry both indexes hold.
+  for (const char* kind : {"dataset", "transformation", "derivation"}) {
+    for (VirtualDataCatalog* c : {&a, &b}) {
+      std::vector<std::string> names = kind == std::string_view("dataset")
+                                           ? c->AllDatasetNames()
+                                           : kind == std::string_view(
+                                                 "transformation")
+                                                 ? c->AllTransformationNames()
+                                                 : c->AllDerivationNames();
+      for (const std::string& name : names) {
+        std::vector<IndexEntry> lhs = delta.LookupName(kind, name);
+        std::vector<IndexEntry> rhs = full.LookupName(kind, name);
+        // Multi-authority hits carry no ordering contract.
+        auto by_authority = [](const IndexEntry& x, const IndexEntry& y) {
+          return x.authority < y.authority;
+        };
+        std::sort(lhs.begin(), lhs.end(), by_authority);
+        std::sort(rhs.begin(), rhs.end(), by_authority);
+        ASSERT_EQ(lhs.size(), rhs.size()) << kind << " " << name;
+        for (size_t i = 0; i < lhs.size(); ++i) {
+          EXPECT_EQ(lhs[i].authority, rhs[i].authority);
+          EXPECT_EQ(lhs[i].type.ToString(), rhs[i].type.ToString());
+          EXPECT_EQ(lhs[i].materialized, rhs[i].materialized)
+              << kind << " " << name;
+          EXPECT_TRUE(lhs[i].annotations == rhs[i].annotations)
+              << kind << " " << name;
+        }
+      }
+    }
+  }
+  // Both paths ran at least once across the six rounds.
+  EXPECT_GT(delta.refresh_stats().delta_refreshes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscoveryTortureTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace
+}  // namespace vdg

@@ -495,5 +495,110 @@ TEST_F(FederationTest, CrossServerLineageUnknownDataset) {
       prov.Lineage(&personal_, "vdp://collab.org/ghost").status().IsNotFound());
 }
 
+// ------------------------- Delta refresh -----------------------------
+
+TEST_F(FederationTest, DeltaRefreshTracksMutations) {
+  FederatedIndex index("idx");
+  ASSERT_TRUE(index.AddSource(&collab_).ok());
+  ASSERT_TRUE(index.AddSource(&group_).ok());
+  ASSERT_TRUE(index.Refresh().ok());
+  size_t baseline = index.size();
+  uint64_t applied_before = index.refresh_stats().entries_applied;
+
+  // One new dataset, one annotation, one removal across two sources.
+  ASSERT_TRUE(collab_.ImportVdl("DS extra : Dataset size=\"5\";").ok());
+  ASSERT_TRUE(
+      group_.Annotate("dataset", "selected", "science", "astro").ok());
+  ASSERT_TRUE(collab_.RemoveDerivation("official").ok());
+
+  ASSERT_TRUE(index.Refresh().ok());
+  EXPECT_EQ(index.size(), baseline);  // +dataset, -derivation
+  EXPECT_EQ(index.LookupName("dataset", "extra").size(), 1u);
+  EXPECT_TRUE(index.LookupName("derivation", "official").empty());
+  std::vector<IndexEntry> selected = index.LookupName("dataset", "selected");
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_TRUE(selected[0].annotations.Has("science"));
+  // The second refresh applied a handful of deltas, not a rescan.
+  EXPECT_GT(index.refresh_stats().entries_applied, applied_before);
+  EXPECT_LT(index.refresh_stats().entries_applied - applied_before,
+            static_cast<uint64_t>(baseline));
+}
+
+TEST_F(FederationTest, DeltaRefreshMatchesFullRebuild) {
+  FederatedIndex delta("delta");
+  FederatedIndex full("full");
+  ASSERT_TRUE(delta.AddSource(&collab_).ok());
+  ASSERT_TRUE(full.AddSource(&collab_).ok());
+  ASSERT_TRUE(delta.Refresh().ok());
+  ASSERT_TRUE(full.RebuildAll().ok());
+
+  Replica r;
+  r.dataset = "calibrated";
+  r.site = "east";
+  Result<std::string> id = collab_.AddReplica(r);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(collab_.Annotate("dataset", "survey", "epoch", 3).ok());
+
+  ASSERT_TRUE(delta.Refresh().ok());
+  ASSERT_TRUE(full.RebuildAll().ok());
+  EXPECT_EQ(delta.size(), full.size());
+  EXPECT_EQ(delta.last_refresh_version_sum(), full.last_refresh_version_sum());
+  DatasetQuery materialized;
+  materialized.require_materialized = true;
+  std::vector<IndexEntry> via_delta = delta.FindDatasets(materialized);
+  std::vector<IndexEntry> via_full = full.FindDatasets(materialized);
+  ASSERT_EQ(via_delta.size(), 1u);
+  ASSERT_EQ(via_full.size(), via_delta.size());
+  EXPECT_EQ(via_delta[0].name, "calibrated");
+
+  // Replica invalidation flips the materialized bit through the delta.
+  ASSERT_TRUE(collab_.InvalidateReplica(*id).ok());
+  ASSERT_TRUE(delta.Refresh().ok());
+  EXPECT_TRUE(delta.FindDatasets(materialized).empty());
+}
+
+TEST_F(FederationTest, DeltaRefreshFallsBackWhenWindowExceeded) {
+  collab_.set_changelog_capacity(4);
+  FederatedIndex index("idx");
+  ASSERT_TRUE(index.AddSource(&collab_).ok());
+  ASSERT_TRUE(index.Refresh().ok());
+  uint64_t rebuilds_before = index.refresh_stats().full_rebuilds;
+
+  // More mutations than the window holds forces the full-rescan path.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        collab_.Annotate("dataset", "survey", "k" + std::to_string(i), i)
+            .ok());
+  }
+  ASSERT_TRUE(index.Refresh().ok());
+  EXPECT_EQ(index.refresh_stats().full_rebuilds, rebuilds_before + 1);
+  std::vector<IndexEntry> survey = index.LookupName("dataset", "survey");
+  ASSERT_EQ(survey.size(), 1u);
+  EXPECT_TRUE(survey[0].annotations.Has("k9"));
+  EXPECT_FALSE(index.IsStale());
+
+  // Within-window changes go back to the delta path.
+  uint64_t deltas_before = index.refresh_stats().delta_refreshes;
+  ASSERT_TRUE(collab_.Annotate("dataset", "survey", "fresh", true).ok());
+  ASSERT_TRUE(index.Refresh().ok());
+  EXPECT_EQ(index.refresh_stats().delta_refreshes, deltas_before + 1);
+}
+
+TEST_F(FederationTest, RefreshSkipsUnchangedSources) {
+  FederatedIndex index("idx");
+  ASSERT_TRUE(index.AddSource(&collab_).ok());
+  ASSERT_TRUE(index.AddSource(&group_).ok());
+  ASSERT_TRUE(index.Refresh().ok());
+  IndexRefreshStats before = index.refresh_stats();
+  // Only group changes; collab must be neither rescanned nor delta'd.
+  ASSERT_TRUE(group_.Annotate("dataset", "selected", "touched", true).ok());
+  ASSERT_TRUE(index.Refresh().ok());
+  EXPECT_EQ(index.refresh_stats().full_rebuilds, before.full_rebuilds);
+  EXPECT_EQ(index.refresh_stats().delta_refreshes,
+            before.delta_refreshes + 1);
+  EXPECT_EQ(index.refresh_stats().entries_applied,
+            before.entries_applied + 1);
+}
+
 }  // namespace
 }  // namespace vdg

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release mode and runs the discovery-engine
+# benchmark suite (FIG1 discovery paths + FIG4 index refresh), merging
+# the results into BENCH_discovery.json at the repo root.
+#
+# Usage: tools/run_bench.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-bench}"
+OUT_JSON="$REPO_ROOT/BENCH_discovery.json"
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target bench_fig1_schema_ops bench_fig4_federated_index >/dev/null
+
+FIG1_FILTER='BM_AttributeDiscovery|BM_TypeDiscovery|BM_MaterializedDiscovery|BM_DerivationDiscoveryByInput'
+FIG4_FILTER='BM_IndexQuery|BM_DirectScan|BM_IndexRefresh|BM_DeltaRefresh|BM_FullRebuild'
+
+FIG1_OUT="$BUILD_DIR/bench_fig1_discovery.json"
+FIG4_OUT="$BUILD_DIR/bench_fig4_refresh.json"
+
+"$BUILD_DIR/bench/bench_fig1_schema_ops" \
+  --benchmark_filter="$FIG1_FILTER" \
+  --benchmark_out="$FIG1_OUT" --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+"$BUILD_DIR/bench/bench_fig4_federated_index" \
+  --benchmark_filter="$FIG4_FILTER" \
+  --benchmark_out="$FIG4_OUT" --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+# Merge the two result files and compute the headline delta-vs-full
+# refresh speedup. Python (stdlib only) ships with the toolchain.
+python3 - "$FIG1_OUT" "$FIG4_OUT" "$OUT_JSON" <<'PYEOF'
+import json
+import sys
+
+fig1_path, fig4_path, out_path = sys.argv[1:4]
+with open(fig1_path) as f:
+    fig1 = json.load(f)
+with open(fig4_path) as f:
+    fig4 = json.load(f)
+
+merged = {
+    "context": fig1.get("context", {}),
+    "benchmarks": fig1.get("benchmarks", []) + fig4.get("benchmarks", []),
+}
+
+# Headline number: delta refresh vs full rebuild at matching churn.
+times = {b["name"]: b["real_time"] for b in merged["benchmarks"]}
+speedups = {}
+for name, t in times.items():
+    if not name.startswith("BM_DeltaRefresh/"):
+        continue
+    churn = name.split("/")[1]
+    full = times.get("BM_FullRebuild/" + churn)
+    if full and t > 0:
+        speedups["changed_entries_" + churn] = round(full / t, 1)
+merged["delta_refresh_speedup"] = speedups
+
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+
+print("wrote", out_path)
+for k, v in sorted(speedups.items()):
+    print(f"  delta vs full rebuild, {k}: {v}x")
+PYEOF
