@@ -1,0 +1,118 @@
+// Concurrent-read throughput of the shared-mutex catalog protocol.
+// Sweeps reader thread count 1..16 over indexed discovery queries and
+// point lookups against a fixed catalog, plus a contended variant
+// where thread 0 writes while the rest read. With a shared_mutex,
+// read-only throughput should scale with threads (on multi-core
+// hosts) instead of serializing; tools/run_bench.sh records the
+// per-thread items/sec curve into BENCH_concurrency.json.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "catalog/query.h"
+#include "federation/index.h"
+
+namespace vdg {
+namespace {
+
+constexpr size_t kCatalogSize = 2000;
+
+DatasetQuery ShardQuery(int64_t shard) {
+  DatasetQuery q;
+  q.predicates.push_back(
+      AttributePredicate{"shard", PredicateOp::kEq, AttributeValue(shard)});
+  return q;
+}
+
+// A catalog whose datasets carry an indexed "shard" annotation so the
+// reader queries hit the attribute-index path.
+VirtualDataCatalog* ShardedCatalog() {
+  static VirtualDataCatalog* catalog = [] {
+    VirtualDataCatalog* c = bench::CachedCanonicalCatalog(kCatalogSize);
+    std::vector<std::string> names = c->AllDatasetNames();
+    for (size_t i = 0; i < names.size(); ++i) {
+      Status s = c->Annotate("dataset", names[i], "shard",
+                             AttributeValue(static_cast<int64_t>(i % 16)));
+      if (!s.ok()) std::abort();
+    }
+    return c;
+  }();
+  return catalog;
+}
+
+void BM_ConcIndexedFind(benchmark::State& state) {
+  const VirtualDataCatalog* catalog = ShardedCatalog();
+  int64_t shard = state.thread_index() % 16;
+  size_t found = 0;
+  for (auto _ : state) {
+    found += catalog->FindDatasets(ShardQuery(shard)).size();
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConcIndexedFind)->ThreadRange(1, 16)->UseRealTime();
+
+void BM_ConcPointLookup(benchmark::State& state) {
+  const VirtualDataCatalog* catalog = ShardedCatalog();
+  std::vector<std::string> names = catalog->AllDatasetNames();
+  size_t i = static_cast<size_t>(state.thread_index()) * 37;
+  size_t hits = 0;
+  for (auto _ : state) {
+    Result<Dataset> ds = catalog->GetDataset(names[i++ % names.size()]);
+    if (ds.ok()) ++hits;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConcPointLookup)->ThreadRange(1, 16)->UseRealTime();
+
+// Readers with one writer thread mutating annotations: measures how
+// much a serialized writer degrades shared-lock readers.
+void BM_ConcReadWithWriter(benchmark::State& state) {
+  VirtualDataCatalog* catalog = ShardedCatalog();
+  if (state.thread_index() == 0) {
+    std::vector<std::string> names = catalog->AllDatasetNames();
+    size_t i = 0;
+    for (auto _ : state) {
+      Status s = catalog->Annotate(
+          "dataset", names[i % names.size()], "shard",
+          AttributeValue(static_cast<int64_t>(i % 16)));
+      benchmark::DoNotOptimize(s.ok());
+      ++i;
+    }
+    state.SetItemsProcessed(0);  // count reader throughput only
+  } else {
+    int64_t shard = state.thread_index() % 16;
+    size_t found = 0;
+    for (auto _ : state) {
+      found += catalog->FindDatasets(ShardQuery(shard)).size();
+    }
+    benchmark::DoNotOptimize(found);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  }
+}
+BENCHMARK(BM_ConcReadWithWriter)->ThreadRange(2, 16)->UseRealTime();
+
+// Index lookups while a refresher keeps the snapshot current.
+void BM_ConcFederatedLookup(benchmark::State& state) {
+  static FederatedIndex* index = [] {
+    auto* idx = new FederatedIndex("conc-bench");
+    if (!idx->AddSource(ShardedCatalog()).ok()) std::abort();
+    if (!idx->Refresh().ok()) std::abort();
+    return idx;
+  }();
+  int64_t shard = state.thread_index() % 16;
+  size_t found = 0;
+  for (auto _ : state) {
+    found += index->FindDatasets(ShardQuery(shard)).size();
+    if (index->IsStale() && !index->Refresh().ok()) std::abort();
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConcFederatedLookup)->ThreadRange(1, 16)->UseRealTime();
+
+}  // namespace
+}  // namespace vdg

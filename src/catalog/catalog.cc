@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <mutex>
 
 #include "catalog/codec.h"
 #include "common/strings.h"
@@ -27,7 +28,9 @@ void EraseIndexEntry(Map* map, const K& key, const V& value) {
 
 // Normalized index key for one attribute (key, value) pair. Numbers
 // collapse to one text form so int 5 and double 5.0 index identically,
-// matching AttributePredicate's coercing comparison.
+// matching AttributePredicate's coercing comparison. The wire form is
+// used (not the %.6g display form) so doubles differing past the sixth
+// significant digit get distinct posting lists.
 std::string AttrIndexKey(std::string_view key, const AttributeValue& value) {
   std::string out(key);
   out.push_back('\x1f');
@@ -38,7 +41,7 @@ std::string AttrIndexKey(std::string_view key, const AttributeValue& value) {
   } else {
     out += "s:";
   }
-  out += value.ToString();
+  out += value.ToWireString();
   return out;
 }
 
@@ -154,31 +157,70 @@ void VirtualDataCatalog::NoteReplicaState(const Replica* before,
 
 void VirtualDataCatalog::BumpVersion(char op, std::string_view kind,
                                      std::string_view name) {
-  ++version_;
+  // Caller holds the exclusive lock; the atomic store only publishes
+  // the new version to lock-free version() polls.
+  uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+  version_.store(v, std::memory_order_release);
   changelog_.push_back(
-      CatalogChange{version_, op, std::string(kind), std::string(name)});
+      CatalogChange{v, op, std::string(kind), std::string(name)});
   while (changelog_.size() > changelog_capacity_) changelog_.pop_front();
 }
 
 void VirtualDataCatalog::set_changelog_capacity(size_t capacity) {
+  std::unique_lock lock(mu_);
   changelog_capacity_ = capacity;
   while (changelog_.size() > changelog_capacity_) changelog_.pop_front();
 }
 
+size_t VirtualDataCatalog::changelog_capacity() const {
+  std::shared_lock lock(mu_);
+  return changelog_capacity_;
+}
+
+uint64_t VirtualDataCatalog::ChangelogFloorLocked() const {
+  return changelog_.empty() ? version_.load(std::memory_order_relaxed)
+                            : changelog_.front().version - 1;
+}
+
+uint64_t VirtualDataCatalog::changelog_floor() const {
+  std::shared_lock lock(mu_);
+  return ChangelogFloorLocked();
+}
+
+Status VirtualDataCatalog::SyncJournal() {
+  // Exclusive: journal backends are unsynchronized and rely on the
+  // catalog lock for mutual exclusion with Append/Rewrite.
+  std::unique_lock lock(mu_);
+  return journal_->Sync();
+}
+
+Status VirtualDataCatalog::CompactJournal() {
+  std::unique_lock lock(mu_);
+  return journal_->Rewrite(CurrentStateRecordsLocked());
+}
+
+bool VirtualDataCatalog::TypeConforms(const DatasetType& type,
+                                      const DatasetType& against) const {
+  std::shared_lock lock(mu_);
+  return types_.Conforms(type, against);
+}
+
 Result<std::vector<CatalogChange>> VirtualDataCatalog::ChangesSince(
     uint64_t since_version) const {
-  if (since_version > version_) {
+  std::shared_lock lock(mu_);
+  uint64_t version = version_.load(std::memory_order_relaxed);
+  if (since_version > version) {
     return Status::InvalidArgument(
         "since_version " + std::to_string(since_version) +
-        " is ahead of catalog version " + std::to_string(version_));
+        " is ahead of catalog version " + std::to_string(version));
   }
-  if (since_version == version_) return std::vector<CatalogChange>{};
+  if (since_version == version) return std::vector<CatalogChange>{};
   // Exactly one change per version bump, so the window is gap-free iff
   // it reaches back to since_version + 1.
   if (changelog_.empty() || changelog_.front().version > since_version + 1) {
     return Status::ResourceExhausted(
         "changelog window starts at version " +
-        std::to_string(changelog_floor()) + ", cannot answer since " +
+        std::to_string(ChangelogFloorLocked()) + ", cannot answer since " +
         std::to_string(since_version));
   }
   auto it = std::lower_bound(
@@ -193,6 +235,7 @@ VirtualDataCatalog::VirtualDataCatalog(
       journal_(journal ? std::move(journal) : std::make_unique<NullJournal>()) {}
 
 Status VirtualDataCatalog::Open() {
+  std::unique_lock lock(mu_);
   if (opened_) return Status::OK();
   opened_ = true;
   VDG_ASSIGN_OR_RETURN(std::vector<std::string> records, journal_->ReadAll());
@@ -227,6 +270,13 @@ const DatasetType* VirtualDataCatalog::LookupDatasetType(
 Status VirtualDataCatalog::DefineType(TypeDimension dim,
                                       std::string_view type_name,
                                       std::string_view parent) {
+  std::unique_lock lock(mu_);
+  return DefineTypeLocked(dim, type_name, parent);
+}
+
+Status VirtualDataCatalog::DefineTypeLocked(TypeDimension dim,
+                                            std::string_view type_name,
+                                            std::string_view parent) {
   Status defined = types_.Define(dim, type_name, parent);
   if (defined.IsAlreadyExists() && replaying_) return Status::OK();
   VDG_RETURN_IF_ERROR(defined);
@@ -237,6 +287,7 @@ Status VirtualDataCatalog::DefineType(TypeDimension dim,
 }
 
 Status VirtualDataCatalog::LoadTypePreset() {
+  std::unique_lock lock(mu_);
   // Route through a scratch registry to obtain the preset's edges,
   // then journal each through DefineType.
   TypeRegistry preset;
@@ -255,13 +306,18 @@ Status VirtualDataCatalog::LoadTypePreset() {
       (void)depth;
       VDG_ASSIGN_OR_RETURN(std::string parent, h.ParentOf(name));
       if (types_.dimension(dim).Contains(name)) continue;  // idempotent
-      VDG_RETURN_IF_ERROR(DefineType(dim, name, parent));
+      VDG_RETURN_IF_ERROR(DefineTypeLocked(dim, name, parent));
     }
   }
   return Status::OK();
 }
 
 Status VirtualDataCatalog::DefineDataset(Dataset dataset) {
+  std::unique_lock lock(mu_);
+  return DefineDatasetLocked(std::move(dataset));
+}
+
+Status VirtualDataCatalog::DefineDatasetLocked(Dataset dataset) {
   VDG_RETURN_IF_ERROR(dataset.Validate());
   VDG_RETURN_IF_ERROR(types_.Validate(dataset.type));
   auto it = datasets_.find(dataset.name);
@@ -282,7 +338,12 @@ Status VirtualDataCatalog::DefineDataset(Dataset dataset) {
   return Status::OK();
 }
 
-Status VirtualDataCatalog::DefineTransformation(
+Status VirtualDataCatalog::DefineTransformation(Transformation transformation) {
+  std::unique_lock lock(mu_);
+  return DefineTransformationLocked(std::move(transformation));
+}
+
+Status VirtualDataCatalog::DefineTransformationLocked(
     Transformation transformation) {
   VDG_RETURN_IF_ERROR(transformation.Validate());
   for (const FormalArg& arg : transformation.args()) {
@@ -303,6 +364,11 @@ Status VirtualDataCatalog::DefineTransformation(
 }
 
 Status VirtualDataCatalog::DefineDerivation(Derivation derivation) {
+  std::unique_lock lock(mu_);
+  return DefineDerivationLocked(std::move(derivation));
+}
+
+Status VirtualDataCatalog::DefineDerivationLocked(Derivation derivation) {
   VDG_RETURN_IF_ERROR(derivation.Validate());
   if (derivations_.count(derivation.name()) != 0 && !replaying_) {
     return Status::AlreadyExists("derivation already defined: " +
@@ -342,7 +408,7 @@ Status VirtualDataCatalog::DefineDerivation(Derivation derivation) {
         }
       }
       out.descriptor = DatasetDescriptor::File(out.name);
-      VDG_RETURN_IF_ERROR(DefineDataset(std::move(out)));
+      VDG_RETURN_IF_ERROR(DefineDatasetLocked(std::move(out)));
     } else if (existing->second.producer.empty()) {
       existing->second.producer = derivation.name();
       VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(existing->second)));
@@ -387,6 +453,11 @@ Status VirtualDataCatalog::DefineDerivation(Derivation derivation) {
 }
 
 Result<std::string> VirtualDataCatalog::AddReplica(Replica replica) {
+  std::unique_lock lock(mu_);
+  return AddReplicaLocked(std::move(replica));
+}
+
+Result<std::string> VirtualDataCatalog::AddReplicaLocked(Replica replica) {
   if (replica.id.empty()) {
     replica.id = "rp-" + std::to_string(next_replica_id_++);
   } else {
@@ -422,6 +493,12 @@ Result<std::string> VirtualDataCatalog::AddReplica(Replica replica) {
 
 Result<std::string> VirtualDataCatalog::RecordInvocation(
     Invocation invocation) {
+  std::unique_lock lock(mu_);
+  return RecordInvocationLocked(std::move(invocation));
+}
+
+Result<std::string> VirtualDataCatalog::RecordInvocationLocked(
+    Invocation invocation) {
   if (invocation.id.empty()) {
     invocation.id = "iv-" + std::to_string(next_invocation_id_++);
   } else if (StartsWith(invocation.id, "iv-")) {
@@ -454,21 +531,28 @@ Result<std::string> VirtualDataCatalog::RecordInvocation(
 }
 
 Status VirtualDataCatalog::ImportProgram(const VdlProgram& program) {
+  std::unique_lock lock(mu_);
+  return ImportProgramLocked(program);
+}
+
+Status VirtualDataCatalog::ImportProgramLocked(const VdlProgram& program) {
   for (const Dataset& ds : program.datasets) {
-    VDG_RETURN_IF_ERROR(DefineDataset(ds));
+    VDG_RETURN_IF_ERROR(DefineDatasetLocked(ds));
   }
   for (const Transformation& tr : program.transformations) {
-    VDG_RETURN_IF_ERROR(DefineTransformation(tr));
+    VDG_RETURN_IF_ERROR(DefineTransformationLocked(tr));
   }
   for (const Derivation& dv : program.derivations) {
-    VDG_RETURN_IF_ERROR(DefineDerivation(dv));
+    VDG_RETURN_IF_ERROR(DefineDerivationLocked(dv));
   }
   return Status::OK();
 }
 
 Status VirtualDataCatalog::ImportVdl(std::string_view source) {
+  // Parsing touches no catalog state; keep it outside the lock.
   VDG_ASSIGN_OR_RETURN(VdlProgram program, ParseVdl(source));
-  return ImportProgram(program);
+  std::unique_lock lock(mu_);
+  return ImportProgramLocked(program);
 }
 
 // ---------------------------------------------------------------------
@@ -476,6 +560,7 @@ Status VirtualDataCatalog::ImportVdl(std::string_view source) {
 // ---------------------------------------------------------------------
 
 Result<Dataset> VirtualDataCatalog::GetDataset(std::string_view name) const {
+  std::shared_lock lock(mu_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("dataset not found: " + std::string(name));
@@ -485,6 +570,7 @@ Result<Dataset> VirtualDataCatalog::GetDataset(std::string_view name) const {
 
 Result<Transformation> VirtualDataCatalog::GetTransformation(
     std::string_view name) const {
+  std::shared_lock lock(mu_);
   auto it = transformations_.find(name);
   if (it == transformations_.end()) {
     return Status::NotFound("transformation not found: " + std::string(name));
@@ -494,6 +580,7 @@ Result<Transformation> VirtualDataCatalog::GetTransformation(
 
 Result<Derivation> VirtualDataCatalog::GetDerivation(
     std::string_view name) const {
+  std::shared_lock lock(mu_);
   auto it = derivations_.find(name);
   if (it == derivations_.end()) {
     return Status::NotFound("derivation not found: " + std::string(name));
@@ -502,6 +589,7 @@ Result<Derivation> VirtualDataCatalog::GetDerivation(
 }
 
 Result<Replica> VirtualDataCatalog::GetReplica(std::string_view id) const {
+  std::shared_lock lock(mu_);
   auto it = replicas_.find(id);
   if (it == replicas_.end()) {
     return Status::NotFound("replica not found: " + std::string(id));
@@ -511,6 +599,7 @@ Result<Replica> VirtualDataCatalog::GetReplica(std::string_view id) const {
 
 Result<Invocation> VirtualDataCatalog::GetInvocation(
     std::string_view id) const {
+  std::shared_lock lock(mu_);
   auto it = invocations_.find(id);
   if (it == invocations_.end()) {
     return Status::NotFound("invocation not found: " + std::string(id));
@@ -519,12 +608,15 @@ Result<Invocation> VirtualDataCatalog::GetInvocation(
 }
 
 bool VirtualDataCatalog::HasDataset(std::string_view name) const {
+  std::shared_lock lock(mu_);
   return datasets_.count(name) != 0;
 }
 bool VirtualDataCatalog::HasTransformation(std::string_view name) const {
+  std::shared_lock lock(mu_);
   return transformations_.count(name) != 0;
 }
 bool VirtualDataCatalog::HasDerivation(std::string_view name) const {
+  std::shared_lock lock(mu_);
   return derivations_.count(name) != 0;
 }
 
@@ -536,6 +628,7 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
                                     std::string_view name,
                                     std::string_view key,
                                     AttributeValue value) {
+  std::unique_lock lock(mu_);
   if (kind == "dataset") {
     auto it = datasets_.find(name);
     if (it == datasets_.end()) {
@@ -589,6 +682,7 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
 
 Status VirtualDataCatalog::SetDatasetSize(std::string_view name,
                                           int64_t size_bytes) {
+  std::unique_lock lock(mu_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("dataset not found: " + std::string(name));
@@ -602,6 +696,7 @@ Status VirtualDataCatalog::SetDatasetSize(std::string_view name,
 }
 
 Status VirtualDataCatalog::InvalidateReplica(std::string_view id) {
+  std::unique_lock lock(mu_);
   auto it = replicas_.find(id);
   if (it == replicas_.end()) {
     return Status::NotFound("replica not found: " + std::string(id));
@@ -615,6 +710,11 @@ Status VirtualDataCatalog::InvalidateReplica(std::string_view id) {
 }
 
 Status VirtualDataCatalog::RemoveDataset(std::string_view name) {
+  std::unique_lock lock(mu_);
+  return RemoveDatasetLocked(name);
+}
+
+Status VirtualDataCatalog::RemoveDatasetLocked(std::string_view name) {
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("dataset not found: " + std::string(name));
@@ -624,7 +724,7 @@ Status VirtualDataCatalog::RemoveDataset(std::string_view name) {
   auto [lo, hi] = replicas_by_dataset_.equal_range(name);
   for (auto r = lo; r != hi; ++r) replica_ids.push_back(r->second);
   for (const std::string& id : replica_ids) {
-    VDG_RETURN_IF_ERROR(RemoveReplica(id));
+    VDG_RETURN_IF_ERROR(RemoveReplicaLocked(id));
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('S', name)));
   UnindexDatasetAttributes(it->second);
@@ -636,6 +736,11 @@ Status VirtualDataCatalog::RemoveDataset(std::string_view name) {
 }
 
 Status VirtualDataCatalog::RemoveTransformation(std::string_view name) {
+  std::unique_lock lock(mu_);
+  return RemoveTransformationLocked(name);
+}
+
+Status VirtualDataCatalog::RemoveTransformationLocked(std::string_view name) {
   auto it = transformations_.find(name);
   if (it == transformations_.end()) {
     return Status::NotFound("transformation not found: " + std::string(name));
@@ -652,6 +757,11 @@ Status VirtualDataCatalog::RemoveTransformation(std::string_view name) {
 }
 
 Status VirtualDataCatalog::RemoveDerivation(std::string_view name) {
+  std::unique_lock lock(mu_);
+  return RemoveDerivationLocked(name);
+}
+
+Status VirtualDataCatalog::RemoveDerivationLocked(std::string_view name) {
   auto it = derivations_.find(name);
   if (it == derivations_.end()) {
     return Status::NotFound("derivation not found: " + std::string(name));
@@ -686,6 +796,11 @@ Status VirtualDataCatalog::RemoveDerivation(std::string_view name) {
 }
 
 Status VirtualDataCatalog::RemoveReplica(std::string_view id) {
+  std::unique_lock lock(mu_);
+  return RemoveReplicaLocked(id);
+}
+
+Status VirtualDataCatalog::RemoveReplicaLocked(std::string_view id) {
   auto it = replicas_.find(id);
   if (it == replicas_.end()) {
     return Status::NotFound("replica not found: " + std::string(id));
@@ -704,6 +819,7 @@ Status VirtualDataCatalog::RemoveReplica(std::string_view id) {
 
 std::vector<Replica> VirtualDataCatalog::ReplicasOf(std::string_view dataset,
                                                     bool valid_only) const {
+  std::shared_lock lock(mu_);
   std::vector<Replica> out;
   auto [lo, hi] = replicas_by_dataset_.equal_range(dataset);
   for (auto it = lo; it != hi; ++it) {
@@ -716,6 +832,11 @@ std::vector<Replica> VirtualDataCatalog::ReplicasOf(std::string_view dataset,
 }
 
 bool VirtualDataCatalog::IsMaterialized(std::string_view dataset) const {
+  std::shared_lock lock(mu_);
+  return IsMaterializedLocked(dataset);
+}
+
+bool VirtualDataCatalog::IsMaterializedLocked(std::string_view dataset) const {
   // The incremental materialized set only holds datasets with a
   // positive valid-replica count, so membership is the answer.
   return valid_replicas_by_dataset_.find(dataset) !=
@@ -724,6 +845,7 @@ bool VirtualDataCatalog::IsMaterialized(std::string_view dataset) const {
 
 Result<std::string> VirtualDataCatalog::ProducerOf(
     std::string_view dataset) const {
+  std::shared_lock lock(mu_);
   auto it = datasets_.find(dataset);
   if (it == datasets_.end()) {
     return Status::NotFound("dataset not found: " + std::string(dataset));
@@ -737,6 +859,7 @@ Result<std::string> VirtualDataCatalog::ProducerOf(
 
 std::vector<std::string> VirtualDataCatalog::ConsumersOf(
     std::string_view dataset) const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> out;
   auto [lo, hi] = consumers_by_dataset_.equal_range(dataset);
   for (auto it = lo; it != hi; ++it) out.push_back(it->second);
@@ -748,6 +871,7 @@ std::vector<std::string> VirtualDataCatalog::ConsumersOf(
 
 std::vector<Invocation> VirtualDataCatalog::InvocationsOf(
     std::string_view derivation) const {
+  std::shared_lock lock(mu_);
   std::vector<Invocation> out;
   auto [lo, hi] = invocations_by_derivation_.equal_range(derivation);
   for (auto it = lo; it != hi; ++it) {
@@ -759,6 +883,7 @@ std::vector<Invocation> VirtualDataCatalog::InvocationsOf(
 
 std::vector<std::string> VirtualDataCatalog::DerivationsUsing(
     std::string_view transformation) const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> out;
   auto [lo, hi] = derivations_by_transformation_.equal_range(transformation);
   for (auto it = lo; it != hi; ++it) out.push_back(it->second);
@@ -802,6 +927,7 @@ std::vector<VirtualDataCatalog::Posting> VirtualDataCatalog::DatasetPostings(
 
 std::vector<std::string> VirtualDataCatalog::FindDatasets(
     const DatasetQuery& query) const {
+  std::shared_lock lock(mu_);
   // Residual filter: re-checks every condition, so the driving index
   // only needs to be a superset of the answer.
   auto matches = [this, &query](const std::string& name,
@@ -811,8 +937,10 @@ std::vector<std::string> VirtualDataCatalog::FindDatasets(
     }
     if (query.type && !types_.Conforms(ds.type, *query.type)) return false;
     if (!MatchesAll(ds.annotations, query.predicates)) return false;
-    if (query.require_materialized && !IsMaterialized(name)) return false;
-    if (query.only_virtual && IsMaterialized(name)) return false;
+    if (query.require_materialized && !IsMaterializedLocked(name)) {
+      return false;
+    }
+    if (query.only_virtual && IsMaterializedLocked(name)) return false;
     return true;
   };
 
@@ -871,6 +999,7 @@ std::vector<std::string> VirtualDataCatalog::FindDatasets(
 
 QueryPlan VirtualDataCatalog::ExplainFindDatasets(
     const DatasetQuery& query) const {
+  std::shared_lock lock(mu_);
   QueryPlan plan;
   std::vector<Posting> postings = DatasetPostings(query);
   if (!postings.empty()) {
@@ -904,6 +1033,7 @@ QueryPlan VirtualDataCatalog::ExplainFindDatasets(
 
 std::vector<std::string> VirtualDataCatalog::FindTransformations(
     const TransformationQuery& query) const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> out;
   // Prefix queries scan only the matching range of the ordered map.
   auto begin = query.name_prefix.empty()
@@ -991,6 +1121,7 @@ VirtualDataCatalog::DerivationPostings(const DerivationQuery& query) const {
 
 std::vector<std::string> VirtualDataCatalog::FindDerivations(
     const DerivationQuery& query) const {
+  std::shared_lock lock(mu_);
   // The posting lists answer the transformation/reads/writes
   // conditions exactly, so the residual covers only prefix and
   // annotation predicates (and, on scan paths, everything indexed is
@@ -1040,6 +1171,7 @@ std::vector<std::string> VirtualDataCatalog::FindDerivations(
 
 QueryPlan VirtualDataCatalog::ExplainFindDerivations(
     const DerivationQuery& query) const {
+  std::shared_lock lock(mu_);
   QueryPlan plan;
   std::vector<Posting> postings = DerivationPostings(query);
   if (!postings.empty()) {
@@ -1067,6 +1199,12 @@ QueryPlan VirtualDataCatalog::ExplainFindDerivations(
 
 Result<std::string> VirtualDataCatalog::FindEquivalentDerivation(
     const Derivation& derivation) const {
+  std::shared_lock lock(mu_);
+  return FindEquivalentDerivationLocked(derivation);
+}
+
+Result<std::string> VirtualDataCatalog::FindEquivalentDerivationLocked(
+    const Derivation& derivation) const {
   std::string want = derivation.SignatureText();
   auto [lo, hi] = derivations_by_signature_.equal_range(derivation.Signature());
   for (auto it = lo; it != hi; ++it) {
@@ -1079,14 +1217,15 @@ Result<std::string> VirtualDataCatalog::FindEquivalentDerivation(
 }
 
 bool VirtualDataCatalog::HasBeenComputed(const Derivation& derivation) const {
-  Result<std::string> existing = FindEquivalentDerivation(derivation);
+  std::shared_lock lock(mu_);
+  Result<std::string> existing = FindEquivalentDerivationLocked(derivation);
   if (!existing.ok()) return false;
   auto dv = derivations_.find(*existing);
   if (dv == derivations_.end()) return false;
   std::vector<std::string> outputs = dv->second.OutputDatasets();
   if (outputs.empty()) return false;
   for (const std::string& output : outputs) {
-    if (!IsMaterialized(output)) return false;
+    if (!IsMaterializedLocked(output)) return false;
   }
   return true;
 }
@@ -1109,22 +1248,28 @@ std::vector<std::string> Keys(const Map& map) {
 }  // namespace
 
 std::vector<std::string> VirtualDataCatalog::AllDatasetNames() const {
+  std::shared_lock lock(mu_);
   return Keys(datasets_);
 }
 std::vector<std::string> VirtualDataCatalog::AllTransformationNames() const {
+  std::shared_lock lock(mu_);
   return Keys(transformations_);
 }
 std::vector<std::string> VirtualDataCatalog::AllDerivationNames() const {
+  std::shared_lock lock(mu_);
   return Keys(derivations_);
 }
 std::vector<std::string> VirtualDataCatalog::AllReplicaIds() const {
+  std::shared_lock lock(mu_);
   return Keys(replicas_);
 }
 std::vector<std::string> VirtualDataCatalog::AllInvocationIds() const {
+  std::shared_lock lock(mu_);
   return Keys(invocations_);
 }
 
 CatalogStats VirtualDataCatalog::Stats() const {
+  std::shared_lock lock(mu_);
   CatalogStats stats;
   stats.datasets = datasets_.size();
   stats.transformations = transformations_.size();
@@ -1135,6 +1280,12 @@ CatalogStats VirtualDataCatalog::Stats() const {
 }
 
 std::vector<std::string> VirtualDataCatalog::CurrentStateRecords() const {
+  std::shared_lock lock(mu_);
+  return CurrentStateRecordsLocked();
+}
+
+std::vector<std::string> VirtualDataCatalog::CurrentStateRecordsLocked()
+    const {
   std::vector<std::string> records;
   // Types, parents before children (sorted by depth per dimension).
   for (int d = 0; d < kNumTypeDimensions; ++d) {
@@ -1178,10 +1329,21 @@ std::vector<std::string> VirtualDataCatalog::CurrentStateRecords() const {
 }
 
 std::string VirtualDataCatalog::ExportVdl() const {
-  return PrintProgram(ExportProgram());
+  VdlProgram program;
+  {
+    std::shared_lock lock(mu_);
+    program = ExportProgramLocked();
+  }
+  // Printing works on the copied program; no need to hold the lock.
+  return PrintProgram(program);
 }
 
 VdlProgram VirtualDataCatalog::ExportProgram() const {
+  std::shared_lock lock(mu_);
+  return ExportProgramLocked();
+}
+
+VdlProgram VirtualDataCatalog::ExportProgramLocked() const {
   VdlProgram program;
   for (const auto& [name, ds] : datasets_) {
     (void)name;
@@ -1218,12 +1380,12 @@ Status VirtualDataCatalog::ApplyRecord(const std::string& record) {
     if (tag == "DS" && program.datasets.size() == 1) {
       Dataset ds = std::move(program.datasets[0]);
       ds.annotations = std::move(attrs);
-      return DefineDataset(std::move(ds));
+      return DefineDatasetLocked(std::move(ds));
     }
     if (tag == "TR" && program.transformations.size() == 1) {
       Transformation tr = std::move(program.transformations[0]);
       tr.annotations() = std::move(attrs);
-      return DefineTransformation(std::move(tr));
+      return DefineTransformationLocked(std::move(tr));
     }
     if (tag == "DV" && program.derivations.size() == 1) {
       Derivation dv = std::move(program.derivations[0]);
@@ -1237,7 +1399,7 @@ Status VirtualDataCatalog::ApplyRecord(const std::string& record) {
         existing->second.annotations() = dv.annotations();
         return Status::OK();
       }
-      return DefineDerivation(std::move(dv));
+      return DefineDerivationLocked(std::move(dv));
     }
     return Status::ParseError("record tag/content mismatch: " + tag);
   }
@@ -1251,7 +1413,7 @@ Status VirtualDataCatalog::ApplyRecord(const std::string& record) {
       replicas_.insert_or_assign(r.id, std::move(r));
       return Status::OK();
     }
-    Result<std::string> added = AddReplica(std::move(r));
+    Result<std::string> added = AddReplicaLocked(std::move(r));
     return added.ok() ? Status::OK() : added.status();
   }
   if (tag == "IV") {
@@ -1260,7 +1422,7 @@ Status VirtualDataCatalog::ApplyRecord(const std::string& record) {
       invocations_.insert_or_assign(iv.id, std::move(iv));
       return Status::OK();
     }
-    return RecordInvocation(std::move(iv)).status();
+    return RecordInvocationLocked(std::move(iv)).status();
   }
   if (tag == "TY") {
     if (fields.size() < 4) return Status::ParseError("short TY record");
@@ -1268,20 +1430,21 @@ Status VirtualDataCatalog::ApplyRecord(const std::string& record) {
     if (dim < 0 || dim >= kNumTypeDimensions) {
       return Status::ParseError("bad TY dimension");
     }
-    return DefineType(static_cast<TypeDimension>(dim), fields[2], fields[3]);
+    return DefineTypeLocked(static_cast<TypeDimension>(dim), fields[2],
+                            fields[3]);
   }
   if (tag.size() == 2 && tag[0] == 'X') {
     if (fields.size() < 2) return Status::ParseError("removal missing name");
     const std::string& name = fields[1];
     switch (tag[1]) {
       case 'S':
-        return RemoveDataset(name);
+        return RemoveDatasetLocked(name);
       case 'T':
-        return RemoveTransformation(name);
+        return RemoveTransformationLocked(name);
       case 'D':
-        return RemoveDerivation(name);
+        return RemoveDerivationLocked(name);
       case 'R':
-        return RemoveReplica(name);
+        return RemoveReplicaLocked(name);
       default:
         return Status::ParseError("unknown removal tag: " + tag);
     }

@@ -1,10 +1,12 @@
 #ifndef VDG_CATALOG_CATALOG_H_
 #define VDG_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,25 @@ struct CatalogChange {
 /// mutation streams through a CatalogJournal, so the same class serves
 /// as the memory-only backend (NullJournal) and the persistent
 /// log-file backend (FileJournal, recovered by replay in Open()).
+///
+/// Threading: safe for concurrent readers with serialized writers.
+/// One `std::shared_mutex` guards the whole object graph — every
+/// Find*/Get*/Has*/Explain*/All*Names/ChangesSince/navigation call
+/// takes it shared, every mutation (Define*/Annotate/Remove*/replica
+/// and invocation paths, Open, CompactJournal) takes it exclusive.
+/// The journal backend is only touched while holding the exclusive
+/// lock, so backends need no synchronization of their own. version()
+/// reads an atomic and never blocks, letting federated indexes poll
+/// staleness without contending with writers.
+///
+/// Lock ordering: the catalog acquires no other lock while holding
+/// its own (it never calls into FederatedIndex or another catalog),
+/// so catalog locks are always leaves — see FederatedIndex for the
+/// index→catalog ordering rule.
+///
+/// Exceptions: the mutable `types()` accessor bypasses the lock and
+/// is setup-time only; concurrent code must use DefineType (writes)
+/// and TypeConforms (reads).
 class VirtualDataCatalog {
  public:
   /// `name` identifies this catalog in vdp:// URIs (the authority).
@@ -59,9 +80,15 @@ class VirtualDataCatalog {
 
   /// The catalog's dataset-type universe. Communities define their own
   /// type names (Section 3.1); LoadAppendixCPreset() installs the
-  /// paper's example hierarchy.
+  /// paper's example hierarchy. NOT synchronized: direct TypeRegistry
+  /// access is a single-threaded setup API. Concurrent code defines
+  /// types via DefineType and checks conformance via TypeConforms.
   TypeRegistry& types() { return types_; }
   const TypeRegistry& types() const { return types_; }
+
+  /// Lock-protected types().Conforms(type, against), safe to call
+  /// while another thread runs DefineType.
+  bool TypeConforms(const DatasetType& type, const DatasetType& against) const;
 
   // ------------------------------------------------------------------
   // Definition (the "composition" facet of Figure 5)
@@ -193,8 +220,9 @@ class VirtualDataCatalog {
   CatalogStats Stats() const;
 
   /// Monotonic edit counter; bumped by every successful mutation.
-  /// Federated indexes use it to detect staleness cheaply.
-  uint64_t version() const { return version_; }
+  /// Federated indexes use it to detect staleness cheaply; the load is
+  /// atomic so staleness polls never contend with the catalog lock.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Every change with version > `since_version`, oldest first.
   /// Exactly one change is recorded per version bump, so the result is
@@ -206,16 +234,14 @@ class VirtualDataCatalog {
       uint64_t since_version) const;
 
   /// Oldest version ChangesSince can answer from (the window floor).
-  uint64_t changelog_floor() const {
-    return changelog_.empty() ? version_ : changelog_.front().version - 1;
-  }
+  uint64_t changelog_floor() const;
 
   /// Caps the in-memory changelog length (default 4096 changes).
   /// Shrinking may immediately raise changelog_floor().
   void set_changelog_capacity(size_t capacity);
-  size_t changelog_capacity() const { return changelog_capacity_; }
+  size_t changelog_capacity() const;
 
-  Status SyncJournal() { return journal_->Sync(); }
+  Status SyncJournal();
 
   /// The minimal journal records that reproduce the catalog's current
   /// state (types, then datasets, transformations, derivations,
@@ -227,7 +253,7 @@ class VirtualDataCatalog {
   /// re-puts, removed objects, invalidation flips). The in-memory
   /// state is untouched; reopening from the compacted journal yields
   /// an observationally identical catalog.
-  Status CompactJournal() { return journal_->Rewrite(CurrentStateRecords()); }
+  Status CompactJournal();
 
   /// Whole-catalog dump as VDL text (DS/TR/DV declarations; replicas,
   /// invocations, and annotations are not expressible in text VDL —
@@ -238,9 +264,34 @@ class VirtualDataCatalog {
   VdlProgram ExportProgram() const;
 
  private:
+  // The *Locked tier holds the real implementations; the public
+  // methods are thin shims that take mu_ (shared for reads, exclusive
+  // for mutations) and delegate. Internal reentrancy — replay applies
+  // records through the same code, DefineDerivation auto-defines
+  // datasets, RemoveDataset cascades to replicas — stays inside one
+  // lock acquisition because Locked methods only call Locked methods.
   Status ApplyRecord(const std::string& record);
   Status Journal(const std::string& record);
   const DatasetType* LookupDatasetType(std::string_view name) const;
+
+  Status DefineTypeLocked(TypeDimension dim, std::string_view type_name,
+                          std::string_view parent);
+  Status DefineDatasetLocked(Dataset dataset);
+  Status DefineTransformationLocked(Transformation transformation);
+  Status DefineDerivationLocked(Derivation derivation);
+  Result<std::string> AddReplicaLocked(Replica replica);
+  Result<std::string> RecordInvocationLocked(Invocation invocation);
+  Status ImportProgramLocked(const VdlProgram& program);
+  Status RemoveDatasetLocked(std::string_view name);
+  Status RemoveTransformationLocked(std::string_view name);
+  Status RemoveDerivationLocked(std::string_view name);
+  Status RemoveReplicaLocked(std::string_view id);
+  bool IsMaterializedLocked(std::string_view dataset) const;
+  Result<std::string> FindEquivalentDerivationLocked(
+      const Derivation& derivation) const;
+  VdlProgram ExportProgramLocked() const;
+  std::vector<std::string> CurrentStateRecordsLocked() const;
+  uint64_t ChangelogFloorLocked() const;
 
   /// Bumps version_ and appends the matching changelog entry (the two
   /// must move together so ChangesSince stays gap-free).
@@ -258,10 +309,15 @@ class VirtualDataCatalog {
   std::vector<Posting> DerivationPostings(const DerivationQuery& query) const;
 
   std::string name_;
+  /// Reader-writer lock over the whole object graph, the secondary
+  /// indexes, the changelog, and the journal backend.
+  mutable std::shared_mutex mu_;
   std::unique_ptr<CatalogJournal> journal_;
   bool replaying_ = false;
   bool opened_ = false;
-  uint64_t version_ = 0;
+  /// Written only under the exclusive lock; atomic so version() can
+  /// poll without locking.
+  std::atomic<uint64_t> version_{0};
 
   TypeRegistry types_;
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/strings.h"
 #include "vdl/printer.h"
 
 namespace vdg {
@@ -115,7 +116,7 @@ std::string EncodeReplica(const Replica& replica) {
       replica.storage_element,
       replica.physical_path,
       std::to_string(replica.size_bytes),
-      std::to_string(replica.created_at),
+      FormatDoubleRoundTrip(replica.created_at),
       replica.valid ? "1" : "0"};
   AppendAttributes(replica.annotations, &fields);
   return JoinRecord(fields);
@@ -147,9 +148,9 @@ std::string EncodeInvocation(const Invocation& iv) {
       iv.context.host,
       iv.context.os,
       iv.context.architecture,
-      std::to_string(iv.start_time),
-      std::to_string(iv.duration_s),
-      std::to_string(iv.cpu_seconds),
+      FormatDoubleRoundTrip(iv.start_time),
+      FormatDoubleRoundTrip(iv.duration_s),
+      FormatDoubleRoundTrip(iv.cpu_seconds),
       std::to_string(iv.peak_memory_bytes),
       std::to_string(iv.exit_code),
       iv.succeeded ? "1" : "0",
@@ -205,7 +206,9 @@ void AppendAttributes(const AttributeSet& attrs,
   for (const auto& [key, value] : attrs) {
     fields->push_back(key);
     fields->push_back(std::string(1, value.TypeTag()));
-    fields->push_back(value.ToString());
+    // Round-trip-exact form: %.6g display formatting here silently
+    // corrupted any double with >6 significant digits on replay.
+    fields->push_back(value.ToWireString());
   }
 }
 

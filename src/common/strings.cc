@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace vdg {
@@ -103,6 +104,16 @@ std::string FormatDouble(double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   return buf;
+}
+
+std::string FormatDoubleRoundTrip(double value) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) {  // cannot happen with a 64-byte buffer
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+  }
+  return std::string(buf, ptr);
 }
 
 }  // namespace vdg

@@ -37,7 +37,14 @@ std::string StrReplaceAll(std::string_view s, std::string_view from,
                           std::string_view to);
 
 /// Formats a double without trailing zero noise ("3.5", "2", "0.125").
+/// Truncates to 6 significant digits — display only, NOT round-trip
+/// safe. Persistence paths must use FormatDoubleRoundTrip.
 std::string FormatDouble(double value);
+
+/// Shortest decimal form that parses back (strtod) to the exact same
+/// bits. Used by every serialization path (journal codec, XML) so
+/// double-valued attributes survive write→replay unchanged.
+std::string FormatDoubleRoundTrip(double value);
 
 }  // namespace vdg
 

@@ -95,7 +95,10 @@ Result<uint64_t> WorkflowEngine::Submit(const ExecutionPlan& plan,
   wf->remaining = wf->nodes.size();
 
   WorkflowState* raw = wf.get();
-  workflows_.emplace(raw->id, std::move(wf));
+  // An already-local plan (no nodes, no fetches) completes synchronously
+  // inside RunFetches, which erases the state — capture the id first.
+  const uint64_t id = raw->id;
+  workflows_.emplace(id, std::move(wf));
 
   if (raw->nodes.empty()) {
     // Pure-fetch or already-local plan.
@@ -105,7 +108,7 @@ Result<uint64_t> WorkflowEngine::Submit(const ExecutionPlan& plan,
       if (raw->nodes[i].pending_deps == 0) StartNode(raw, i);
     }
   }
-  return raw->id;
+  return id;
 }
 
 void WorkflowEngine::StartNode(WorkflowState* wf, size_t index) {

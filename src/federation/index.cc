@@ -1,6 +1,7 @@
 #include "federation/index.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/strings.h"
 
@@ -25,6 +26,7 @@ std::string FederatedIndex::EntryKey(std::string_view kind,
 
 Status FederatedIndex::AddSource(const VirtualDataCatalog* catalog) {
   if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  std::unique_lock lock(mu_);
   for (const SourceState& source : sources_) {
     if (source.catalog == catalog) {
       return Status::AlreadyExists("catalog already indexed: " +
@@ -87,6 +89,11 @@ void FederatedIndex::EraseEntry(SourceState* source, std::string_view kind,
 
 Status FederatedIndex::RebuildSource(SourceState* source) {
   const VirtualDataCatalog& catalog = *source->catalog;
+  // Capture the version BEFORE enumerating: a writer racing the scan
+  // may land changes we partially miss, and recording the pre-scan
+  // version makes the next delta refresh re-apply them (idempotent
+  // upserts) instead of skipping them forever.
+  uint64_t version_before_scan = catalog.version();
   // Drop everything this source contributed, then rescan it.
   for (const std::string& key : source->entry_keys) {
     auto it = entries_.find(key);
@@ -120,7 +127,7 @@ Status FederatedIndex::RebuildSource(SourceState* source) {
     }
   }
   ++refresh_stats_.full_rebuilds;
-  source->version_at_refresh = catalog.version();
+  source->version_at_refresh = version_before_scan;
   return Status::OK();
 }
 
@@ -155,43 +162,73 @@ Status FederatedIndex::ApplyDelta(SourceState* source,
     ++refresh_stats_.entries_applied;
   }
   ++refresh_stats_.delta_refreshes;
-  source->version_at_refresh = catalog.version();
+  // Advance to the last change actually applied, not the catalog's
+  // live version: a writer may have bumped it after ChangesSince
+  // returned, and those changes must survive into the next delta.
+  if (!changes.empty()) {
+    source->version_at_refresh = changes.back().version;
+  }
   return Status::OK();
 }
 
 Status FederatedIndex::Refresh() {
-  version_sum_ = 0;
+  std::unique_lock lock(mu_);
+  // Accumulate into a local and commit only at the end: an early
+  // return on a failed source must not leave version_sum_ zeroed (or
+  // half-summed) while the per-source versions still hold real values.
+  uint64_t version_sum = 0;
   for (SourceState& source : sources_) {
     if (source.catalog->version() != source.version_at_refresh ||
         refresh_count_ == 0) {
       Result<std::vector<CatalogChange>> changes =
           source.catalog->ChangesSince(source.version_at_refresh);
-      if (changes.ok()) {
-        VDG_RETURN_IF_ERROR(ApplyDelta(&source, *changes));
-      } else {
-        // Changelog window exceeded (or source predates it): rescan.
-        VDG_RETURN_IF_ERROR(RebuildSource(&source));
+      Status applied = changes.ok() ? ApplyDelta(&source, *changes)
+                                    // Changelog window exceeded (or
+                                    // source predates it): rescan.
+                                    : RebuildSource(&source);
+      if (!applied.ok()) {
+        // Keep the stats invariant: the sum always mirrors the
+        // per-source versions, including sources updated before the
+        // failure.
+        version_sum_ = 0;
+        for (const SourceState& s : sources_) {
+          version_sum_ += s.version_at_refresh;
+        }
+        return applied;
       }
     }
-    version_sum_ += source.version_at_refresh;
+    version_sum += source.version_at_refresh;
   }
+  version_sum_ = version_sum;
   ++refresh_count_;
   return Status::OK();
 }
 
 Status FederatedIndex::RebuildAll() {
-  version_sum_ = 0;
+  std::unique_lock lock(mu_);
+  uint64_t version_sum = 0;
   for (SourceState& source : sources_) {
-    VDG_RETURN_IF_ERROR(RebuildSource(&source));
-    version_sum_ += source.version_at_refresh;
+    Status rebuilt = RebuildSource(&source);
+    if (!rebuilt.ok()) {
+      version_sum_ = 0;
+      for (const SourceState& s : sources_) {
+        version_sum_ += s.version_at_refresh;
+      }
+      return rebuilt;
+    }
+    version_sum += source.version_at_refresh;
   }
+  version_sum_ = version_sum;
   ++refresh_count_;
   return Status::OK();
 }
 
 bool FederatedIndex::IsStale() const {
+  std::shared_lock lock(mu_);
   if (refresh_count_ == 0) return true;
   for (const SourceState& source : sources_) {
+    // catalog->version() is an atomic load; polling it here contends
+    // only on this index's shared lock, never on the catalog's.
     if (source.catalog->version() != source.version_at_refresh) return true;
   }
   return false;
@@ -199,6 +236,7 @@ bool FederatedIndex::IsStale() const {
 
 std::vector<IndexEntry> FederatedIndex::FindDatasets(
     const DatasetQuery& query) const {
+  std::shared_lock lock(mu_);
   std::vector<IndexEntry> out;
   // Entry keys are kind-first, so this walks only the dataset range.
   for (auto it = entries_.lower_bound("dataset\x1f");
@@ -210,9 +248,12 @@ std::vector<IndexEntry> FederatedIndex::FindDatasets(
     }
     if (query.type) {
       // Conformance is judged by the owning catalog's type universe.
+      // TypeConforms (not types().Conforms) so the hierarchy is read
+      // under the catalog's lock — a concurrent DefineType would
+      // otherwise race this walk.
       auto owner = source_by_authority_.find(entry.authority);
       if (owner == source_by_authority_.end() ||
-          !owner->second->types().Conforms(entry.type, *query.type)) {
+          !owner->second->TypeConforms(entry.type, *query.type)) {
         continue;
       }
     }
@@ -227,6 +268,7 @@ std::vector<IndexEntry> FederatedIndex::FindDatasets(
 
 std::vector<IndexEntry> FederatedIndex::FindTransformations(
     const TransformationQuery& query) const {
+  std::shared_lock lock(mu_);
   std::vector<IndexEntry> out;
   for (auto it = entries_.lower_bound("transformation\x1f");
        it != entries_.end() && StartsWith(it->first, "transformation\x1f");
@@ -254,6 +296,7 @@ std::vector<IndexEntry> FederatedIndex::FindTransformations(
 
 std::vector<IndexEntry> FederatedIndex::FindDerivations(
     const DerivationQuery& query) const {
+  std::shared_lock lock(mu_);
   std::vector<IndexEntry> out;
   for (auto it = entries_.lower_bound("derivation\x1f");
        it != entries_.end() && StartsWith(it->first, "derivation\x1f"); ++it) {
@@ -271,6 +314,7 @@ std::vector<IndexEntry> FederatedIndex::FindDerivations(
 
 std::vector<IndexEntry> FederatedIndex::LookupName(
     std::string_view kind, std::string_view name) const {
+  std::shared_lock lock(mu_);
   std::vector<IndexEntry> out;
   auto [lo, hi] = by_name_.equal_range(NameKey(kind, name));
   for (auto it = lo; it != hi; ++it) {
@@ -282,6 +326,7 @@ std::vector<IndexEntry> FederatedIndex::LookupName(
 
 std::vector<IndexEntry> FederatedIndex::ScanDatasets(
     const DatasetQuery& query) const {
+  std::shared_lock lock(mu_);
   std::vector<IndexEntry> out;
   for (const SourceState& source : sources_) {
     const VirtualDataCatalog& catalog = *source.catalog;

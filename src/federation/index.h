@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,16 @@ struct IndexRefreshStats {
 /// version for that source. When the changelog window no longer
 /// reaches back far enough, that source alone falls back to a full
 /// rescan. RebuildAll() forces the old full-rescan behavior.
+///
+/// Threading: a shared_mutex guards the snapshot. Lookups
+/// (FindDatasets / FindTransformations / FindDerivations / LookupName /
+/// ScanDatasets / IsStale / the counters) take it shared and may run
+/// concurrently; AddSource / Refresh / RebuildAll take it exclusive.
+/// Lock ordering: the index lock is acquired BEFORE any source
+/// catalog's lock (Refresh holds the index lock while calling
+/// ChangesSince / Get* on sources). The catalog never calls back into
+/// the index, so its lock is a leaf and the order cannot invert —
+/// refreshing while readers query both layers cannot deadlock.
 class FederatedIndex {
  public:
   explicit FederatedIndex(std::string name) : name_(std::move(name)) {}
@@ -54,7 +65,10 @@ class FederatedIndex {
 
   /// Adds a source catalog (borrowed; must outlive the index).
   Status AddSource(const VirtualDataCatalog* catalog);
-  size_t source_count() const { return sources_.size(); }
+  size_t source_count() const {
+    std::shared_lock lock(mu_);
+    return sources_.size();
+  }
 
   /// Brings the snapshot current: per source, applies the catalog's
   /// changelog delta when available, otherwise rescans that source.
@@ -67,9 +81,19 @@ class FederatedIndex {
 
   /// True when any source changed since the last Refresh().
   bool IsStale() const;
-  uint64_t refresh_count() const { return refresh_count_; }
-  uint64_t last_refresh_version_sum() const { return version_sum_; }
-  const IndexRefreshStats& refresh_stats() const { return refresh_stats_; }
+  uint64_t refresh_count() const {
+    std::shared_lock lock(mu_);
+    return refresh_count_;
+  }
+  uint64_t last_refresh_version_sum() const {
+    std::shared_lock lock(mu_);
+    return version_sum_;
+  }
+  /// By value: a reference would dangle past the lock's release.
+  IndexRefreshStats refresh_stats() const {
+    std::shared_lock lock(mu_);
+    return refresh_stats_;
+  }
 
   /// Discovery answered purely from the snapshot.
   std::vector<IndexEntry> FindDatasets(const DatasetQuery& query) const;
@@ -81,7 +105,10 @@ class FederatedIndex {
   std::vector<IndexEntry> LookupName(std::string_view kind,
                                      std::string_view name) const;
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::shared_lock lock(mu_);
+    return entries_.size();
+  }
 
   /// The same dataset query evaluated by scanning every source catalog
   /// directly — the baseline the index is measured against.
@@ -114,6 +141,9 @@ class FederatedIndex {
                                      std::string_view name);
 
   std::string name_;
+  /// Guards every member below; see the class comment for the
+  /// reader/writer protocol and lock ordering versus the catalogs.
+  mutable std::shared_mutex mu_;
   std::vector<SourceState> sources_;
   std::map<std::string, const VirtualDataCatalog*, std::less<>>
       source_by_authority_;

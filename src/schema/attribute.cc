@@ -1,5 +1,7 @@
 #include "schema/attribute.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/strings.h"
@@ -19,6 +21,11 @@ std::string AttributeValue::ToString() const {
   return AsBool() ? "true" : "false";
 }
 
+std::string AttributeValue::ToWireString() const {
+  if (is_double()) return FormatDoubleRoundTrip(AsDouble());
+  return ToString();
+}
+
 char AttributeValue::TypeTag() const {
   if (is_string()) return 's';
   if (is_int()) return 'i';
@@ -34,9 +41,15 @@ Result<AttributeValue> AttributeValue::FromTagged(char tag,
     case 'i': {
       char* end = nullptr;
       std::string buf(text);
+      errno = 0;
       int64_t v = std::strtoll(buf.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0') {
+      if (end == nullptr || end == buf.c_str() || *end != '\0') {
         return Status::ParseError("bad int attribute: " + buf);
+      }
+      if (errno == ERANGE) {
+        // strtoll saturates to INT64_MAX/MIN instead of failing;
+        // surfacing the corruption beats silently keeping it.
+        return Status::ParseError("int attribute out of range: " + buf);
       }
       return AttributeValue(v);
     }
@@ -44,8 +57,13 @@ Result<AttributeValue> AttributeValue::FromTagged(char tag,
       char* end = nullptr;
       std::string buf(text);
       double v = std::strtod(buf.c_str(), &end);
-      if (end == nullptr || *end != '\0') {
+      if (end == nullptr || end == buf.c_str() || *end != '\0') {
         return Status::ParseError("bad double attribute: " + buf);
+      }
+      if (!std::isfinite(v)) {
+        // NaN breaks attribute-equality normalization (NaN != NaN),
+        // and inf also covers overflowing literals like 1e999.
+        return Status::ParseError("non-finite double attribute: " + buf);
       }
       return AttributeValue(v);
     }

@@ -41,11 +41,20 @@ class AttributeValue {
   std::optional<double> AsNumber() const;
 
   /// Canonical text rendering (used for signatures and display).
+  /// Doubles are truncated to 6 significant digits — human-facing
+  /// only; persistence must use ToWireString().
   std::string ToString() const;
+  /// Round-trip-exact rendering: identical to ToString() except that
+  /// doubles use shortest-exact formatting, so
+  /// FromTagged(TypeTag(), ToWireString()) reproduces the value
+  /// bit-for-bit. This is what the journal codec and XML export write.
+  std::string ToWireString() const;
   /// Type tag: "s", "i", "d", or "b" (used by the wire encoding).
   char TypeTag() const;
 
-  /// Inverse of ToString()+TypeTag().
+  /// Inverse of ToWireString()+TypeTag(). Rejects out-of-range
+  /// integers and non-finite doubles (nan/inf break the attribute
+  /// index's equality normalization) with ParseError.
   static Result<AttributeValue> FromTagged(char tag, std::string_view text);
 
   bool operator==(const AttributeValue& other) const {

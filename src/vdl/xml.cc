@@ -56,7 +56,7 @@ std::string AttrsToXml(const AttributeSet& attrs, int indent) {
   for (const auto& [key, value] : attrs) {
     out += Indent(indent) + "<attribute name=\"" + XmlEscape(key) +
            "\" kind=\"" + value.TypeTag() + "\">" +
-           XmlEscape(value.ToString()) + "</attribute>\n";
+           XmlEscape(value.ToWireString()) + "</attribute>\n";
   }
   return out;
 }

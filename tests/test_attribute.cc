@@ -52,6 +52,42 @@ TEST(AttributeValueTest, FromTaggedRejectsBadInput) {
   EXPECT_FALSE(AttributeValue::FromTagged('?', "x").ok());
 }
 
+TEST(AttributeValueTest, FromTaggedRejectsOutOfRangeInt) {
+  // strtoll saturates to INT64_MAX/MIN on overflow; that must surface
+  // as a parse error, not a silently clamped value.
+  EXPECT_FALSE(AttributeValue::FromTagged('i', "9223372036854775808").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('i', "-9223372036854775809").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('i', "99999999999999999999").ok());
+  // The exact extremes are fine.
+  Result<AttributeValue> max =
+      AttributeValue::FromTagged('i', "9223372036854775807");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->AsInt(), INT64_MAX);
+  Result<AttributeValue> min =
+      AttributeValue::FromTagged('i', "-9223372036854775808");
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min->AsInt(), INT64_MIN);
+}
+
+TEST(AttributeValueTest, FromTaggedRejectsNonFiniteDouble) {
+  // NaN breaks equality-based index normalization (NaN != NaN), and
+  // inf also covers overflowing literals like 1e999.
+  EXPECT_FALSE(AttributeValue::FromTagged('d', "nan").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('d', "NAN").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('d', "inf").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('d', "-inf").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('d', "infinity").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('d', "1e999").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('d', "-1e999").ok());
+}
+
+TEST(AttributeValueTest, FromTaggedRejectsEmptyNumerics) {
+  // strtoll/strtod report end == start for "", which previously
+  // slipped through as 0 / 0.0.
+  EXPECT_FALSE(AttributeValue::FromTagged('i', "").ok());
+  EXPECT_FALSE(AttributeValue::FromTagged('d', "").ok());
+}
+
 TEST(AttributeSetTest, SetGetEraseHas) {
   AttributeSet attrs;
   attrs.Set("owner", "alice");

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds the benchmarks in Release mode and runs the discovery-engine
 # benchmark suite (FIG1 discovery paths + FIG4 index refresh), merging
-# the results into BENCH_discovery.json at the repo root.
+# the results into BENCH_discovery.json at the repo root, plus the
+# concurrent-read scaling suite into BENCH_concurrency.json.
 #
 # Usage: tools/run_bench.sh [build-dir]
 set -euo pipefail
@@ -9,10 +10,12 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-bench}"
 OUT_JSON="$REPO_ROOT/BENCH_discovery.json"
+CONC_JSON="$REPO_ROOT/BENCH_concurrency.json"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_fig1_schema_ops bench_fig4_federated_index >/dev/null
+  --target bench_fig1_schema_ops bench_fig4_federated_index \
+           bench_conc_catalog >/dev/null
 
 FIG1_FILTER='BM_AttributeDiscovery|BM_TypeDiscovery|BM_MaterializedDiscovery|BM_DerivationDiscoveryByInput'
 FIG4_FILTER='BM_IndexQuery|BM_DirectScan|BM_IndexRefresh|BM_DeltaRefresh|BM_FullRebuild'
@@ -66,4 +69,45 @@ with open(out_path, "w") as f:
 print("wrote", out_path)
 for k, v in sorted(speedups.items()):
     print(f"  delta vs full rebuild, {k}: {v}x")
+PYEOF
+
+# Concurrent-read scaling: reader throughput vs thread count under the
+# shared-mutex protocol (1..16 threads, pure reads and read+writer).
+CONC_OUT="$BUILD_DIR/bench_conc_catalog.json"
+"$BUILD_DIR/bench/bench_conc_catalog" \
+  --benchmark_out="$CONC_OUT" --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+python3 - "$CONC_OUT" "$CONC_JSON" <<'PYEOF'
+import json
+import sys
+
+src_path, out_path = sys.argv[1:3]
+with open(src_path) as f:
+    raw = json.load(f)
+
+# Per-benchmark curve: thread count -> aggregate reader items/sec.
+curves = {}
+for b in raw.get("benchmarks", []):
+    name = b["name"]  # e.g. BM_ConcIndexedFind/real_time/threads:4
+    base = name.split("/")[0]
+    threads = int(name.rsplit("threads:", 1)[1])
+    curves.setdefault(base, {})[threads] = round(
+        b.get("items_per_second", 0.0))
+
+result = {
+    "context": raw.get("context", {}),
+    "read_throughput_items_per_sec_by_threads": curves,
+    "benchmarks": raw.get("benchmarks", []),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print("wrote", out_path)
+cores = raw.get("context", {}).get("num_cpus", "?")
+print(f"  host cores: {cores} (scaling with threads needs cores to scale on)")
+for base, curve in sorted(curves.items()):
+    pts = " ".join(f"{t}t={v}" for t, v in sorted(curve.items()))
+    print(f"  {base}: {pts}")
 PYEOF
