@@ -1,8 +1,52 @@
 #include "catalog/journal.h"
 
 #include <cstdio>
+#include <filesystem>
+
+#include "common/hash.h"
 
 namespace vdg {
+
+namespace {
+
+// A checksummed line is "~" + 8 lowercase hex digits + "|" + payload.
+// '~' never starts a codec record (records begin with an uppercase
+// tag), so legacy checksum-less journals parse unambiguously.
+constexpr char kCrcMarker = '~';
+constexpr size_t kCrcPrefixLen = 10;  // '~' + 8 hex + '|'
+
+std::string WithChecksum(const std::string& record) {
+  uint32_t crc = Crc32(record);
+  char prefix[kCrcPrefixLen + 1];
+  std::snprintf(prefix, sizeof(prefix), "%c%08x|", kCrcMarker, crc);
+  return std::string(prefix, kCrcPrefixLen) + record;
+}
+
+bool IsHex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+/// Validates one checksummed line and extracts its payload. Returns
+/// false when the prefix is malformed or the CRC does not match.
+bool CheckLine(std::string_view line, std::string_view* payload) {
+  if (line.size() < kCrcPrefixLen || line[0] != kCrcMarker ||
+      line[kCrcPrefixLen - 1] != '|') {
+    return false;
+  }
+  uint32_t stored = 0;
+  for (size_t i = 1; i < kCrcPrefixLen - 1; ++i) {
+    if (!IsHex(line[i])) return false;
+    char c = line[i];
+    stored = stored * 16 +
+             static_cast<uint32_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  std::string_view body = line.substr(kCrcPrefixLen);
+  if (Crc32(body) != stored) return false;
+  *payload = body;
+  return true;
+}
+
+}  // namespace
 
 FileJournal::~FileJournal() {
   if (file_ != nullptr) std::fclose(file_);
@@ -19,7 +63,8 @@ Status FileJournal::EnsureOpen() {
 
 Status FileJournal::Append(const std::string& record) {
   VDG_RETURN_IF_ERROR(EnsureOpen());
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
+  std::string line = WithChecksum(record);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fputc('\n', file_) == EOF) {
     return Status::IoError("short write to journal: " + path_);
   }
@@ -27,6 +72,7 @@ Status FileJournal::Append(const std::string& record) {
 }
 
 Result<std::vector<std::string>> FileJournal::ReadAll() {
+  last_recovery_ = JournalTailRecovery{};
   // Flush pending appends so we read our own writes.
   if (file_ != nullptr) std::fflush(file_);
   std::FILE* in = std::fopen(path_.c_str(), "rb");
@@ -34,19 +80,59 @@ Result<std::vector<std::string>> FileJournal::ReadAll() {
     // A missing file is an empty journal (fresh catalog).
     return std::vector<std::string>{};
   }
-  std::vector<std::string> records;
-  std::string line;
-  int c;
-  while ((c = std::fgetc(in)) != EOF) {
-    if (c == '\n') {
-      records.push_back(line);
-      line.clear();
-    } else {
-      line.push_back(static_cast<char>(c));
-    }
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    content.append(buf, n);
   }
   std::fclose(in);
-  if (!line.empty()) records.push_back(line);  // tolerate torn tail
+
+  std::vector<std::string> records;
+  size_t pos = 0;            // start of the current line
+  size_t valid_end = 0;      // byte offset just past the last good line
+  std::string bad_reason;
+  while (pos < content.size()) {
+    size_t nl = content.find('\n', pos);
+    bool complete = nl != std::string::npos;
+    std::string_view line(content.data() + pos,
+                          (complete ? nl : content.size()) - pos);
+    if (!line.empty() && line[0] == kCrcMarker) {
+      std::string_view payload;
+      if (!CheckLine(line, &payload)) {
+        bad_reason = complete ? "checksum mismatch in journal record"
+                              : "torn checksummed record at journal tail";
+        break;
+      }
+      records.emplace_back(payload);
+    } else if (!line.empty()) {
+      // Legacy checksum-less record (seed journals): accepted as-is,
+      // including a newline-less tail (indistinguishable from torn).
+      records.emplace_back(line);
+    }
+    pos = complete ? nl + 1 : content.size();
+    valid_end = pos;
+  }
+
+  last_recovery_.records_recovered = records.size();
+  last_recovery_.valid_bytes = valid_end;
+  if (!bad_reason.empty() && valid_end < content.size()) {
+    // Corrupt tail: keep the valid prefix, physically truncate the
+    // rest so future appends extend a clean log.
+    last_recovery_.truncated = true;
+    last_recovery_.truncated_bytes = content.size() - valid_end;
+    last_recovery_.reason = bad_reason;
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+    std::error_code ec;
+    std::filesystem::resize_file(path_, valid_end, ec);
+    if (ec) {
+      return Status::IoError("cannot truncate corrupt journal tail of " +
+                             path_ + ": " + ec.message());
+    }
+  }
   return records;
 }
 
@@ -65,8 +151,8 @@ Status FileJournal::Rewrite(const std::vector<std::string>& records) {
     return Status::IoError("cannot open " + temp_path + " for compaction");
   }
   for (const std::string& record : records) {
-    if (std::fwrite(record.data(), 1, record.size(), out) !=
-            record.size() ||
+    std::string line = WithChecksum(record);
+    if (std::fwrite(line.data(), 1, line.size(), out) != line.size() ||
         std::fputc('\n', out) == EOF) {
       std::fclose(out);
       std::remove(temp_path.c_str());

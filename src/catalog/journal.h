@@ -51,8 +51,27 @@ class NullJournal final : public CatalogJournal {
   Status Sync() override { return Status::OK(); }
 };
 
+/// What FileJournal::ReadAll did about a damaged log tail: how many
+/// records survived, and how many trailing bytes were cut away because
+/// a checksum no longer matched (a torn write or bit rot).
+struct JournalTailRecovery {
+  bool truncated = false;
+  size_t records_recovered = 0;
+  uint64_t valid_bytes = 0;      // file size kept after recovery
+  uint64_t truncated_bytes = 0;  // corrupt tail bytes discarded
+  std::string reason;            // human-readable cause, empty when clean
+};
+
 /// Append-only log file, one record per line. Reopening a catalog on
 /// the same path replays the log (crash recovery = replay).
+///
+/// Crash safety: every appended line carries a CRC-32 of its payload
+/// ("~xxxxxxxx|payload"). On replay, the first line whose checksum
+/// fails — a torn append or flipped bit — ends the valid prefix: the
+/// file is truncated back to the last good record and the damage is
+/// reported through last_recovery() instead of failing the whole
+/// catalog open. Checksum-less lines from older journals are accepted
+/// as-is (backward compatible with seed logs).
 class FileJournal final : public CatalogJournal {
  public:
   explicit FileJournal(std::string path) : path_(std::move(path)) {}
@@ -67,11 +86,15 @@ class FileJournal final : public CatalogJournal {
 
   const std::string& path() const { return path_; }
 
+  /// Outcome of the most recent ReadAll (tail truncation report).
+  const JournalTailRecovery& last_recovery() const { return last_recovery_; }
+
  private:
   Status EnsureOpen();
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  JournalTailRecovery last_recovery_;
 };
 
 /// In-memory journal retaining records; used by tests to verify replay

@@ -13,6 +13,11 @@ namespace vdg {
 /// signatures, index bucketing); not collision-resistant.
 uint64_t Fnv1a64(std::string_view data);
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). Used by the
+/// journal for per-record corruption detection; matches zlib's crc32
+/// ("123456789" -> 0xCBF43926).
+uint32_t Crc32(std::string_view data);
+
 /// Incremental SHA-256, implemented from scratch (no TLS library is
 /// available offline). Used by vdg::security for entry signatures.
 class Sha256 {

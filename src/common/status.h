@@ -83,6 +83,10 @@ class Status {
   bool IsPermissionDenied() const {
     return code_ == StatusCode::kPermissionDenied;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,8 +1,11 @@
 #include "executor/executor.h"
 
 #include <algorithm>
+#include <cmath>
+#include <set>
 
 #include "common/logging.h"
+#include "planner/planner.h"
 
 namespace vdg {
 
@@ -40,6 +43,18 @@ int64_t WorkflowEngine::InputBytes(const PlanNode& node) const {
   return total;
 }
 
+int64_t WorkflowEngine::StagedBytes(const std::string& dataset) const {
+  Result<Dataset> ds = catalog_->GetDataset(dataset);
+  if (ds.ok() && ds->size_bytes > 0) return ds->size_bytes;
+  for (const PhysicalLocation& loc : grid_->rls().Lookup(dataset)) {
+    if (loc.size_bytes > 0) return loc.size_bytes;
+  }
+  for (const Replica& replica : catalog_->ReplicasOf(dataset)) {
+    if (replica.size_bytes > 0) return replica.size_bytes;
+  }
+  return options_.default_output_bytes;
+}
+
 int64_t WorkflowEngine::OutputBytes(const PlanNode& node,
                                     std::string_view output,
                                     int64_t input_bytes) const {
@@ -63,6 +78,44 @@ int64_t WorkflowEngine::OutputBytes(const PlanNode& node,
   return options_.default_output_bytes;
 }
 
+WorkflowEngine::WorkflowState* WorkflowEngine::FindWorkflow(uint64_t id) {
+  auto it = workflows_.find(id);
+  return it == workflows_.end() ? nullptr : it->second.get();
+}
+
+double WorkflowEngine::BackoffDelay(int attempt) const {
+  const FaultPolicy& faults = options_.faults;
+  double delay = faults.backoff_base_s;
+  for (int i = 1; i < attempt; ++i) delay *= faults.backoff_multiplier;
+  return std::min(delay, faults.backoff_max_s);
+}
+
+bool WorkflowEngine::IsSiteUsable(std::string_view site) const {
+  if (grid_->IsSiteOffline(site)) return false;
+  auto it = site_health_.find(site);
+  return it == site_health_.end() ||
+         it->second.blacklisted_until <= grid_->now();
+}
+
+void WorkflowEngine::NoteSiteFailure(const std::string& site,
+                                     WorkflowState* wf) {
+  const FaultPolicy& faults = options_.faults;
+  if (faults.blacklist_threshold <= 0) return;
+  SiteHealth& health = site_health_[site];
+  if (++health.consecutive_failures >= faults.blacklist_threshold) {
+    health.blacklisted_until = grid_->now() + faults.blacklist_cooldown_s;
+    health.consecutive_failures = 0;
+    ++wf->result.recovery.sites_blacklisted;
+    VDG_LOG(Info) << "site " << site << " blacklisted until "
+                  << health.blacklisted_until;
+  }
+}
+
+void WorkflowEngine::NoteSiteSuccess(const std::string& site) {
+  auto it = site_health_.find(site);
+  if (it != site_health_.end()) it->second.consecutive_failures = 0;
+}
+
 Result<uint64_t> WorkflowEngine::Submit(const ExecutionPlan& plan,
                                         CompletionCallback on_done) {
   auto wf = std::make_unique<WorkflowState>();
@@ -79,6 +132,7 @@ Result<uint64_t> WorkflowEngine::Submit(const ExecutionPlan& plan,
     NodeState state;
     state.plan = node;
     state.pending_deps = node.deps.size();
+    state.current_site = node.site;
     state.execution.derivation = node.derivation.name();
     state.execution.site = node.site;
     wf->nodes.push_back(std::move(state));
@@ -93,6 +147,12 @@ Result<uint64_t> WorkflowEngine::Submit(const ExecutionPlan& plan,
     }
   }
   wf->remaining = wf->nodes.size();
+  wf->fetches.reserve(plan.fetches.size());
+  for (const TransferPlan& fetch : plan.fetches) {
+    FetchState fs;
+    fs.plan = fetch;
+    wf->fetches.push_back(std::move(fs));
+  }
 
   WorkflowState* raw = wf.get();
   // An already-local plan (no nodes, no fetches) completes synchronously
@@ -114,54 +174,166 @@ Result<uint64_t> WorkflowEngine::Submit(const ExecutionPlan& plan,
 void WorkflowEngine::StartNode(WorkflowState* wf, size_t index) {
   NodeState& node = wf->nodes[index];
   node.execution.attempts = 0;
-  node.pending_transfers = node.plan.staging.size();
+  BeginAttempt(wf, index);
+}
+
+void WorkflowEngine::BeginAttempt(WorkflowState* wf, size_t index) {
+  NodeState& node = wf->nodes[index];
+  ++node.execution.attempts;
+  node.execution.site = node.current_site;
+  BeginStaging(wf, index);
+}
+
+void WorkflowEngine::BeginStaging(WorkflowState* wf, size_t index) {
+  NodeState& node = wf->nodes[index];
+  const FaultPolicy& faults = options_.faults;
+  const std::string& dest = node.current_site;
+
+  // Staging needs are recomputed live on every attempt — a retry after
+  // a crash or failover must not trust the plan-time picture of where
+  // data lives.
+  std::vector<TransferPlan> transfers;
+  std::vector<std::string> to_rederive;
+  const ReplicaLocationService& rls = grid_->rls();
+  for (const std::string& input : node.plan.inputs) {
+    if (rls.ExistsAt(input, dest)) continue;  // already local
+    Result<PhysicalLocation> best = rls.BestSource(input, dest,
+                                                   grid_->topology());
+    if (best.ok()) {
+      if (best->site == dest) continue;
+      TransferPlan stage;
+      stage.dataset = input;
+      stage.from_site = best->site;
+      stage.to_site = dest;
+      stage.bytes = best->size_bytes > 0 ? best->size_bytes
+                                         : StagedBytes(input);
+      transfers.push_back(std::move(stage));
+      continue;
+    }
+    // No physically resident copy anywhere. The catalog may still
+    // carry valid replica records — either data lost to a crash, or a
+    // catalog-only registration that was never backed by bytes.
+    std::vector<Replica> claimed = catalog_->ReplicasOf(input);
+    bool derivable = catalog_->ProducerOf(input).ok();
+    bool can_rederive = faults.rederive_lost_inputs && derivable &&
+                        node.rederivations <
+                            faults.max_rederivations_per_node;
+    if (can_rederive) {
+      to_rederive.push_back(input);
+      continue;
+    }
+    if (!claimed.empty()) {
+      // Trust the catalog record (the seed behaviour): stage from the
+      // cheapest claimed site.
+      const Replica* chosen = nullptr;
+      double best_cost = 0;
+      for (const Replica& replica : claimed) {
+        double cost = grid_->topology().TransferSeconds(
+            replica.site, dest, replica.size_bytes);
+        if (chosen == nullptr || cost < best_cost) {
+          chosen = &replica;
+          best_cost = cost;
+        }
+      }
+      if (chosen->site == dest) continue;
+      TransferPlan stage;
+      stage.dataset = input;
+      stage.from_site = chosen->site;
+      stage.to_site = dest;
+      stage.bytes = chosen->size_bytes > 0 ? chosen->size_bytes
+                                           : StagedBytes(input);
+      transfers.push_back(std::move(stage));
+      continue;
+    }
+    VDG_LOG(Warning) << "input " << input << " of "
+                     << node.plan.derivation.name()
+                     << " has no source and cannot be re-derived";
+    HandleNodeFailure(wf, index, "missing input");
+    return;
+  }
+
+  if (!to_rederive.empty()) {
+    // Launch recovery sub-workflows; staging resumes (recomputed from
+    // scratch) once the last one completes.
+    node.pending_recoveries = to_rederive.size();
+    for (const std::string& input : to_rederive) {
+      RederiveInput(wf, index, input);
+    }
+    return;
+  }
+
+  node.pending_transfers = transfers.size();
   if (node.pending_transfers == 0) {
     LaunchJob(wf, index);
     return;
   }
-  for (const TransferPlan& stage : node.plan.staging) {
+  const uint64_t wf_id = wf->id;
+  const uint64_t gen = node.generation;
+  for (const TransferPlan& stage : transfers) {
     wf->result.transfers++;
     wf->result.bytes_staged += stage.bytes;
-    uint64_t wf_id = wf->id;
+    ++wf->result.recovery.transfer_attempts;
     Result<uint64_t> submitted = grid_->SubmitTransfer(
         stage.from_site, stage.to_site, stage.bytes,
-        [this, wf_id, index](const TransferResult& result) {
-          (void)result;
-          auto it = workflows_.find(wf_id);
-          if (it == workflows_.end()) return;
-          WorkflowState* state = it->second.get();
+        [this, wf_id, index, gen](const TransferResult& result) {
+          WorkflowState* state = FindWorkflow(wf_id);
+          if (state == nullptr) return;
           NodeState& n = state->nodes[index];
-          if (n.failed) return;  // a sibling stage already failed
+          if (n.generation != gen || n.done || n.failed) return;
+          if (!result.succeeded) {
+            ++state->result.recovery.transfer_failures;
+            HandleNodeFailure(state, index, "staging transfer failed");
+            return;
+          }
           if (--n.pending_transfers == 0) LaunchJob(state, index);
         });
     if (!submitted.ok()) {
-      VDG_LOG(Warning) << "staging transfer failed to submit: "
-                       << submitted.status().ToString();
-      node.failed = true;
-      ++wf->result.nodes_failed;
-      SkipUnreachable(wf, index);
-      return;
+      // Endpoint offline/crashed at submit time: a transient fault,
+      // not a dead node — back off and retry like any other failure.
+      ++wf->result.recovery.submit_rejections;
+      VDG_LOG(Info) << "staging transfer rejected: "
+                    << submitted.status().ToString();
+      HandleNodeFailure(wf, index, "staging submit rejected");
+      return;  // generation bump stales the transfers already in flight
     }
   }
 }
 
 void WorkflowEngine::LaunchJob(WorkflowState* wf, size_t index) {
   NodeState& node = wf->nodes[index];
-  ++node.execution.attempts;
   double runtime = NominalRuntime(node.plan);
-  uint64_t wf_id = wf->id;
+  const uint64_t wf_id = wf->id;
+  const uint64_t gen = node.generation;
+  ++wf->result.recovery.job_attempts;
   Result<uint64_t> submitted = grid_->SubmitJob(
-      node.plan.site, runtime, [this, wf_id, index](const JobResult& job) {
-        auto it = workflows_.find(wf_id);
-        if (it == workflows_.end()) return;
-        FinishNode(it->second.get(), index, job);
+      node.current_site, runtime,
+      [this, wf_id, index, gen](const JobResult& job) {
+        WorkflowState* state = FindWorkflow(wf_id);
+        if (state == nullptr) return;
+        NodeState& n = state->nodes[index];
+        // A stale generation is a completion from an abandoned attempt
+        // (timeout or failover already moved on): drop it.
+        if (n.generation != gen || n.done || n.failed) return;
+        FinishNode(state, index, job);
       });
   if (!submitted.ok()) {
-    VDG_LOG(Warning) << "job submission failed: "
-                     << submitted.status().ToString();
-    node.failed = true;
-    ++wf->result.nodes_failed;
-    SkipUnreachable(wf, index);
+    ++wf->result.recovery.submit_rejections;
+    VDG_LOG(Info) << "job submission rejected: "
+                  << submitted.status().ToString();
+    HandleNodeFailure(wf, index, "job submit rejected");
+    return;
+  }
+  if (options_.faults.node_timeout_s > 0) {
+    grid_->events().ScheduleAfter(
+        options_.faults.node_timeout_s, [this, wf_id, index, gen]() {
+          WorkflowState* state = FindWorkflow(wf_id);
+          if (state == nullptr) return;
+          NodeState& n = state->nodes[index];
+          if (n.generation != gen || n.done || n.failed) return;
+          ++state->result.recovery.node_timeouts;
+          NoteSiteFailure(n.current_site, state);
+          HandleNodeFailure(state, index, "node timeout");
+        });
   }
 }
 
@@ -169,25 +341,19 @@ void WorkflowEngine::FinishNode(WorkflowState* wf, size_t index,
                                 const JobResult& job) {
   NodeState& node = wf->nodes[index];
   if (!job.succeeded) {
-    if (node.execution.attempts <= options_.max_retries) {
-      LaunchJob(wf, index);  // retry in place
-      return;
-    }
-    node.failed = true;
-    node.execution.succeeded = false;
-    node.execution.start_time = job.start_time;
-    node.execution.end_time = job.end_time;
-    node.execution.host = job.host;
-    ++wf->result.nodes_failed;
-    SkipUnreachable(wf, index);
+    ++wf->result.recovery.job_failures;
+    NoteSiteFailure(node.current_site, wf);
+    HandleNodeFailure(wf, index, "job failed");
     return;
   }
 
+  NoteSiteSuccess(node.current_site);
   node.done = true;
   node.execution.succeeded = true;
   node.execution.start_time = job.start_time;
   node.execution.end_time = job.end_time;
   node.execution.host = job.host;
+  node.execution.site = job.site;
   ++wf->result.nodes_succeeded;
   --wf->remaining;
 
@@ -195,7 +361,7 @@ void WorkflowEngine::FinishNode(WorkflowState* wf, size_t index,
   int64_t input_bytes = InputBytes(node.plan);
   for (const std::string& output : node.plan.outputs) {
     int64_t bytes = OutputBytes(node.plan, output, input_bytes);
-    Status placed = grid_->PlaceFile(node.plan.site, output, bytes);
+    Status placed = grid_->PlaceFile(node.current_site, output, bytes);
     if (!placed.ok() && !placed.IsAlreadyExists()) {
       VDG_LOG(Warning) << "output placement failed: " << placed.ToString();
     }
@@ -208,6 +374,150 @@ void WorkflowEngine::FinishNode(WorkflowState* wf, size_t index,
     if (--next.pending_deps == 0) StartNode(wf, dependent);
   }
   MaybeFinishWorkflow(wf);
+}
+
+void WorkflowEngine::HandleNodeFailure(WorkflowState* wf, size_t index,
+                                       const char* reason) {
+  NodeState& node = wf->nodes[index];
+  if (node.done || node.failed) return;
+  // Abandon the current attempt: whatever is still in flight for it
+  // (late job completion, sibling transfers, the timeout) goes stale.
+  ++node.generation;
+
+  if (node.execution.attempts > options_.max_retries) {
+    VDG_LOG(Warning) << "node " << node.plan.derivation.name()
+                     << " failed permanently after "
+                     << node.execution.attempts
+                     << " attempts (last: " << reason << ")";
+    FailNodePermanently(wf, index);
+    return;
+  }
+
+  // Failover: when the current site is offline or benched, move to the
+  // best usable alternate before retrying.
+  if (options_.faults.enable_failover && !IsSiteUsable(node.current_site)) {
+    std::vector<std::string> fallback;
+    const std::vector<std::string>* candidates = &node.plan.candidate_sites;
+    if (candidates->empty()) {
+      fallback.push_back(node.plan.site);
+      candidates = &fallback;
+    }
+    for (const std::string& candidate : *candidates) {
+      if (candidate == node.current_site || !IsSiteUsable(candidate)) {
+        continue;
+      }
+      VDG_LOG(Info) << "node " << node.plan.derivation.name()
+                    << " failing over " << node.current_site << " -> "
+                    << candidate;
+      node.current_site = candidate;
+      ++wf->result.recovery.failovers;
+      break;
+    }
+  }
+  ScheduleRetry(wf, index);
+}
+
+void WorkflowEngine::ScheduleRetry(WorkflowState* wf, size_t index) {
+  NodeState& node = wf->nodes[index];
+  double delay = BackoffDelay(node.execution.attempts);
+  ++wf->result.recovery.backoff_waits;
+  wf->result.recovery.total_backoff_s += delay;
+  const uint64_t wf_id = wf->id;
+  const uint64_t gen = node.generation;
+  grid_->events().ScheduleAfter(delay, [this, wf_id, index, gen]() {
+    WorkflowState* state = FindWorkflow(wf_id);
+    if (state == nullptr) return;
+    NodeState& n = state->nodes[index];
+    if (n.generation != gen || n.done || n.failed) return;
+    BeginAttempt(state, index);
+  });
+}
+
+void WorkflowEngine::FailNodePermanently(WorkflowState* wf, size_t index) {
+  NodeState& node = wf->nodes[index];
+  node.failed = true;
+  node.execution.succeeded = false;
+  if (node.execution.end_time == 0) node.execution.end_time = grid_->now();
+  ++wf->result.nodes_failed;
+  SkipUnreachable(wf, index);
+}
+
+void WorkflowEngine::RederiveInput(WorkflowState* wf, size_t index,
+                                   const std::string& input) {
+  NodeState& node = wf->nodes[index];
+  ++node.rederivations;
+  ++wf->result.recovery.rederivations;
+
+  // The catalog's replica records for this input are fiction now —
+  // invalidate them so the recovery planner re-runs the derivation
+  // instead of "fetching" from a site that lost the bytes.
+  for (const Replica& replica : catalog_->ReplicasOf(input)) {
+    if (!grid_->rls().ExistsAt(input, replica.site)) {
+      ++wf->result.recovery.replicas_lost_detected;
+      Status invalidated = catalog_->InvalidateReplica(replica.id);
+      if (!invalidated.ok()) {
+        VDG_LOG(Warning) << "cannot invalidate lost replica "
+                         << replica.id << ": " << invalidated.ToString();
+      }
+    }
+  }
+
+  const uint64_t wf_id = wf->id;
+  const uint64_t gen = node.generation;
+  auto finish_recovery = [this, wf_id, index, gen](bool succeeded) {
+    WorkflowState* state = FindWorkflow(wf_id);
+    if (state == nullptr) return;
+    NodeState& n = state->nodes[index];
+    if (!succeeded) n.recovery_failed = true;
+    if (--n.pending_recoveries > 0) return;
+    if (n.generation != gen || n.done || n.failed) return;
+    bool failed = n.recovery_failed;
+    n.recovery_failed = false;
+    if (failed) {
+      HandleNodeFailure(state, index, "re-derivation failed");
+    } else {
+      BeginStaging(state, index);
+    }
+  };
+
+  RequestPlanner planner(*catalog_, grid_->topology(), &grid_->rls(),
+                         recovery_estimator_);
+  PlannerOptions popt;
+  popt.target_site = node.current_site;
+  popt.site_filter = [this](std::string_view site) {
+    return IsSiteUsable(site);
+  };
+  Result<ExecutionPlan> plan = planner.Plan(input, popt);
+  if (!plan.ok()) {
+    VDG_LOG(Warning) << "cannot plan re-derivation of " << input << ": "
+                     << plan.status().ToString();
+    finish_recovery(false);
+    return;
+  }
+
+  VDG_LOG(Info) << "re-deriving lost input " << input << " at "
+                << node.current_site;
+  Result<uint64_t> recovery_id = Submit(
+      *plan,
+      [this, wf_id, input, finish_recovery](const WorkflowResult& result) {
+        if (result.succeeded) {
+          // Record the recovery in provenance: the dataset was rebuilt
+          // from its derivation after its replicas were lost.
+          catalog_->Annotate("dataset", input, "recovery.rederived", true);
+          catalog_->Annotate("dataset", input, "recovery.by_workflow",
+                             static_cast<int64_t>(result.workflow_id));
+          WorkflowState* parent = FindWorkflow(wf_id);
+          if (parent != nullptr) {
+            ++parent->result.recovery.datasets_regenerated;
+          }
+        }
+        finish_recovery(result.succeeded);
+      });
+  if (!recovery_id.ok()) {
+    VDG_LOG(Warning) << "cannot submit re-derivation of " << input << ": "
+                     << recovery_id.status().ToString();
+    finish_recovery(false);
+  }
 }
 
 void WorkflowEngine::SkipUnreachable(WorkflowState* wf, size_t index) {
@@ -240,36 +550,98 @@ void WorkflowEngine::MaybeFinishWorkflow(WorkflowState* wf) {
 }
 
 void WorkflowEngine::RunFetches(WorkflowState* wf) {
-  if (wf->plan.fetches.empty()) {
+  if (wf->fetches.empty()) {
     CompleteWorkflow(wf);
     return;
   }
-  wf->pending_fetches = wf->plan.fetches.size();
-  for (const TransferPlan& fetch : wf->plan.fetches) {
-    wf->result.transfers++;
-    wf->result.bytes_staged += fetch.bytes;
-    uint64_t wf_id = wf->id;
-    std::string dataset = fetch.dataset;
-    std::string to_site = fetch.to_site;
-    int64_t bytes = fetch.bytes;
-    Result<uint64_t> submitted = grid_->SubmitTransfer(
-        fetch.from_site, fetch.to_site, fetch.bytes,
-        [this, wf_id, dataset, to_site, bytes](const TransferResult&) {
-          auto it = workflows_.find(wf_id);
-          if (it == workflows_.end()) return;
-          WorkflowState* state = it->second.get();
-          Status placed = grid_->PlaceFile(to_site, dataset, bytes);
-          if (!placed.ok() && !placed.IsAlreadyExists()) {
-            VDG_LOG(Warning) << "fetch placement failed: "
-                             << placed.ToString();
-          }
-          if (--state->pending_fetches == 0) CompleteWorkflow(state);
-        });
-    if (!submitted.ok()) {
-      wf->any_failure = true;
-      if (--wf->pending_fetches == 0) CompleteWorkflow(wf);
-    }
+  wf->pending_fetches = wf->fetches.size();
+  for (size_t i = 0; i < wf->fetches.size(); ++i) {
+    RunFetch(wf, i);
   }
+}
+
+void WorkflowEngine::RunFetch(WorkflowState* wf, size_t fetch_index) {
+  FetchState& fetch = wf->fetches[fetch_index];
+  ++fetch.attempts;
+  const std::string& dataset = fetch.plan.dataset;
+  const std::string& to_site = fetch.plan.to_site;
+
+  // Re-resolve the source each attempt: the planned source may have
+  // crashed, and a retry should pull from whoever still has the bytes.
+  std::string from_site = fetch.plan.from_site;
+  int64_t bytes = fetch.plan.bytes;
+  Result<PhysicalLocation> best =
+      grid_->rls().BestSource(dataset, to_site, grid_->topology());
+  if (best.ok()) {
+    if (best->site == to_site) {
+      // Already at the destination — nothing to move.
+      FinishFetch(wf, fetch_index, true);
+      return;
+    }
+    from_site = best->site;
+    if (best->size_bytes > 0) bytes = best->size_bytes;
+  }
+
+  wf->result.transfers++;
+  wf->result.bytes_staged += bytes;
+  ++wf->result.recovery.transfer_attempts;
+  const uint64_t wf_id = wf->id;
+  Result<uint64_t> submitted = grid_->SubmitTransfer(
+      from_site, to_site, bytes,
+      [this, wf_id, fetch_index, dataset, to_site,
+       bytes](const TransferResult& result) {
+        WorkflowState* state = FindWorkflow(wf_id);
+        if (state == nullptr) return;
+        FetchState& f = state->fetches[fetch_index];
+        if (f.done) return;
+        if (!result.succeeded) {
+          ++state->result.recovery.transfer_failures;
+          if (f.attempts > options_.max_retries) {
+            FinishFetch(state, fetch_index, false);
+            return;
+          }
+          double delay = BackoffDelay(f.attempts);
+          ++state->result.recovery.backoff_waits;
+          state->result.recovery.total_backoff_s += delay;
+          grid_->events().ScheduleAfter(delay, [this, wf_id,
+                                                fetch_index]() {
+            WorkflowState* s = FindWorkflow(wf_id);
+            if (s == nullptr || s->fetches[fetch_index].done) return;
+            RunFetch(s, fetch_index);
+          });
+          return;
+        }
+        Status placed = grid_->PlaceFile(to_site, dataset, bytes);
+        if (!placed.ok() && !placed.IsAlreadyExists()) {
+          VDG_LOG(Warning) << "fetch placement failed: "
+                           << placed.ToString();
+        }
+        FinishFetch(state, fetch_index, true);
+      });
+  if (!submitted.ok()) {
+    ++wf->result.recovery.submit_rejections;
+    if (fetch.attempts > options_.max_retries) {
+      FinishFetch(wf, fetch_index, false);
+      return;
+    }
+    double delay = BackoffDelay(fetch.attempts);
+    ++wf->result.recovery.backoff_waits;
+    wf->result.recovery.total_backoff_s += delay;
+    grid_->events().ScheduleAfter(delay, [this, wf_id, fetch_index]() {
+      WorkflowState* s = FindWorkflow(wf_id);
+      if (s == nullptr || s->fetches[fetch_index].done) return;
+      RunFetch(s, fetch_index);
+    });
+  }
+}
+
+void WorkflowEngine::FinishFetch(WorkflowState* wf, size_t fetch_index,
+                                 bool succeeded) {
+  FetchState& fetch = wf->fetches[fetch_index];
+  if (fetch.done) return;
+  fetch.done = true;
+  if (!succeeded) wf->any_failure = true;
+  if (--wf->pending_fetches == 0) CompleteWorkflow(wf);
 }
 
 void WorkflowEngine::CompleteWorkflow(WorkflowState* wf) {
@@ -283,6 +655,8 @@ void WorkflowEngine::CompleteWorkflow(WorkflowState* wf) {
     executions.push_back(node.execution);
   }
   finished_executions_.emplace(wf->id, std::move(executions));
+  finished_plans_.emplace(wf->id,
+                          std::make_pair(wf->plan, wf->result.succeeded));
 
   WorkflowResult result = wf->result;
   CompletionCallback on_done = std::move(wf->on_done);
@@ -345,10 +719,16 @@ void WorkflowEngine::RecordProvenance(WorkflowState* wf, NodeState* node,
       (void)sized;
     }
   }
+  const int attempts = node->execution.attempts;
   Result<std::string> recorded = catalog_->RecordInvocation(std::move(iv));
   if (!recorded.ok()) {
     VDG_LOG(Warning) << "invocation record failed: "
                      << recorded.status().ToString();
+  } else if (attempts > 1) {
+    // Recovery leaves its mark: an invocation that only succeeded
+    // after retries records how hard it was.
+    catalog_->Annotate("invocation", *recorded, "recovery.attempts",
+                       static_cast<int64_t>(attempts));
   }
 }
 
@@ -376,6 +756,50 @@ Result<std::vector<NodeExecution>> WorkflowEngine::ExecutionsOf(
                             std::to_string(workflow_id));
   }
   return it->second;
+}
+
+Result<ExecutionPlan> WorkflowEngine::RescueOf(uint64_t workflow_id) const {
+  auto plan_it = finished_plans_.find(workflow_id);
+  auto exec_it = finished_executions_.find(workflow_id);
+  if (plan_it == finished_plans_.end() ||
+      exec_it == finished_executions_.end()) {
+    return Status::NotFound("no finished workflow with id " +
+                            std::to_string(workflow_id));
+  }
+  const ExecutionPlan& original = plan_it->second.first;
+  const bool succeeded = plan_it->second.second;
+  const std::vector<NodeExecution>& executions = exec_it->second;
+
+  ExecutionPlan rescue;
+  rescue.target_dataset = original.target_dataset;
+  rescue.target_site = original.target_site;
+  rescue.mode = original.mode;
+  if (succeeded) return rescue;  // nothing to rescue
+
+  // Keep only the nodes that did not complete; dependencies on
+  // succeeded nodes are dropped (their outputs are materialized and
+  // stage like any other input), dependencies between surviving nodes
+  // are remapped to rescue indices.
+  std::map<size_t, size_t> remap;
+  for (size_t i = 0; i < original.nodes.size(); ++i) {
+    if (i < executions.size() && executions[i].succeeded) continue;
+    remap.emplace(i, remap.size());
+  }
+  for (const auto& [old_index, new_index] : remap) {
+    (void)new_index;
+    PlanNode node = original.nodes[old_index];
+    node.staging.clear();  // recomputed live at run time
+    std::vector<size_t> deps;
+    for (size_t dep : node.deps) {
+      auto it = remap.find(dep);
+      if (it != remap.end()) deps.push_back(it->second);
+    }
+    node.deps = std::move(deps);
+    rescue.est_compute_s += node.est_runtime_s;
+    rescue.nodes.push_back(std::move(node));
+  }
+  rescue.fetches = original.fetches;
+  return rescue;
 }
 
 }  // namespace vdg

@@ -37,6 +37,7 @@ Status GridSimulator::SetSiteOffline(std::string_view site, bool offline) {
   }
   bool was_offline = it->second.offline;
   it->second.offline = offline;
+  if (!offline) it->second.crashed = false;  // recovery clears a crash
   if (was_offline && !offline) {
     // Back in service: drain whatever queued while down.
     TryDispatch(std::string(site));
@@ -47,6 +48,11 @@ Status GridSimulator::SetSiteOffline(std::string_view site, bool offline) {
 bool GridSimulator::IsSiteOffline(std::string_view site) const {
   auto it = sites_.find(site);
   return it != sites_.end() && it->second.offline;
+}
+
+bool GridSimulator::IsSiteCrashed(std::string_view site) const {
+  auto it = sites_.find(site);
+  return it != sites_.end() && it->second.crashed;
 }
 
 Result<uint64_t> GridSimulator::SubmitJob(std::string_view site,
@@ -106,41 +112,166 @@ void GridSimulator::TryDispatch(const std::string& site) {
     if (runtime_jitter_ > 0) {
       runtime *= rng_.ClampedNormal(1.0, runtime_jitter_, 0.05);
     }
-    bool succeeded =
+
+    RunningJob running;
+    running.host_idx = best_idx;
+    running.host = best->config.name;
+    running.start = now();
+    running.runtime = runtime;
+    running.will_succeed =
         job_failure_rate_ <= 0 || !rng_.Chance(job_failure_rate_);
+    running.job = std::move(job);
 
     ++best->busy_slots;
-    SimTime start = now();
-    std::string host_name = best->config.name;
-    // best_idx survives into the closure; the HostState pointer may
-    // not (map rehash cannot happen for std::map, but vector growth
-    // is impossible here since hosts are fixed) — index is safest.
-    events_.ScheduleAfter(
-        runtime, [this, site, best_idx, job = std::move(job), start,
-                  runtime, succeeded, host_name]() {
-          SiteState& s = sites_.find(site)->second;
-          HostState& h = s.hosts[best_idx];
-          --h.busy_slots;
-          if (succeeded) {
-            ++s.stats.jobs_completed;
-          } else {
-            ++s.stats.jobs_failed;
-          }
-          s.stats.busy_slot_seconds += runtime;
-
-          JobResult result;
-          result.job_id = job.id;
-          result.site = site;
-          result.host = host_name;
-          result.submit_time = job.submit_time;
-          result.start_time = start;
-          result.end_time = start + runtime;
-          result.cpu_seconds = job.cpu_seconds;
-          result.succeeded = succeeded;
-          if (job.callback) job.callback(result);
-          TryDispatch(site);
-        });
+    uint64_t id = running.job.id;
+    running_jobs_.emplace(id, std::move(running));
+    // The completion event only carries the id: if a crash kills the
+    // job first, the registry entry is gone and the event is a no-op.
+    events_.ScheduleAfter(runtime, [this, id]() { CompleteJob(id); });
   }
+}
+
+void GridSimulator::CompleteJob(uint64_t job_id) {
+  auto it = running_jobs_.find(job_id);
+  if (it == running_jobs_.end()) return;  // killed by a crash
+  RunningJob running = std::move(it->second);
+  running_jobs_.erase(it);
+
+  const std::string& site = running.job.site;
+  SiteState& s = sites_.find(site)->second;
+  HostState& h = s.hosts[running.host_idx];
+  --h.busy_slots;
+  if (running.will_succeed) {
+    ++s.stats.jobs_completed;
+  } else {
+    ++s.stats.jobs_failed;
+  }
+  s.stats.busy_slot_seconds += running.runtime;
+
+  JobResult result;
+  result.job_id = running.job.id;
+  result.site = site;
+  result.host = running.host;
+  result.submit_time = running.job.submit_time;
+  result.start_time = running.start;
+  result.end_time = running.start + running.runtime;
+  result.cpu_seconds = running.job.cpu_seconds;
+  result.succeeded = running.will_succeed;
+  if (running.job.callback) running.job.callback(result);
+  TryDispatch(site);
+}
+
+Status GridSimulator::CrashSite(std::string_view site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return Status::NotFound("unknown site: " + std::string(site));
+  }
+  SiteState& state = it->second;
+  state.offline = true;
+  state.crashed = true;
+  ++state.stats.crashes;
+  std::string site_name(site);
+
+  // Kill running jobs (id order: deterministic callback sequence).
+  std::vector<uint64_t> killed;
+  for (const auto& [id, running] : running_jobs_) {
+    if (running.job.site == site_name) killed.push_back(id);
+  }
+  for (uint64_t id : killed) {
+    auto job_it = running_jobs_.find(id);
+    if (job_it == running_jobs_.end()) continue;
+    RunningJob running = std::move(job_it->second);
+    running_jobs_.erase(job_it);
+    HostState& h = state.hosts[running.host_idx];
+    --h.busy_slots;
+    ++state.stats.jobs_failed;
+    ++state.stats.jobs_killed;
+    state.stats.busy_slot_seconds += now() - running.start;
+
+    JobResult result;
+    result.job_id = running.job.id;
+    result.site = site_name;
+    result.host = running.host;
+    result.submit_time = running.job.submit_time;
+    result.start_time = running.start;
+    result.end_time = now();
+    result.cpu_seconds = running.job.cpu_seconds;
+    result.succeeded = false;
+    if (running.job.callback) running.job.callback(result);
+  }
+
+  // Queued jobs fail immediately (they would wait forever otherwise).
+  std::deque<uint64_t> queued;
+  queued.swap(state.queue);
+  for (uint64_t id : queued) {
+    auto job_it = pending_jobs_.find(id);
+    if (job_it == pending_jobs_.end()) continue;
+    PendingJob job = std::move(job_it->second);
+    pending_jobs_.erase(job_it);
+    ++state.stats.jobs_failed;
+    JobResult result;
+    result.job_id = job.id;
+    result.site = site_name;
+    result.submit_time = job.submit_time;
+    result.start_time = now();
+    result.end_time = now();
+    result.cpu_seconds = job.cpu_seconds;
+    result.succeeded = false;
+    if (job.callback) job.callback(result);
+  }
+
+  // Abort in-flight transfers touching the crashed site.
+  std::vector<uint64_t> dead_transfers;
+  for (const auto& [id, transfer] : inflight_transfers_) {
+    if (transfer.result.from_site == site_name ||
+        transfer.result.to_site == site_name) {
+      dead_transfers.push_back(id);
+    }
+  }
+  for (uint64_t id : dead_transfers) {
+    auto tr_it = inflight_transfers_.find(id);
+    if (tr_it == inflight_transfers_.end()) continue;
+    InFlightTransfer transfer = std::move(tr_it->second);
+    inflight_transfers_.erase(tr_it);
+    transfer.result.succeeded = false;
+    transfer.result.end_time = now();
+    FinishTransferBookkeeping(transfer);
+    if (transfer.callback) transfer.callback(transfer.result);
+  }
+
+  // Unpinned replicas on local storage are gone — deregister them so
+  // planners and executors see the loss (and can re-derive).
+  for (StorageElement* se : StorageAt(site_name)) {
+    for (const StoredFile& file : se->Files()) {
+      if (file.pinned) continue;
+      (void)se->Remove(file.logical_name);
+      (void)rls_.Unregister(file.logical_name, site_name, se->name());
+      ++state.stats.files_lost;
+    }
+  }
+  return Status::OK();
+}
+
+Status GridSimulator::ScheduleOutage(std::string_view site, double start_in_s,
+                                     double duration_s, bool crash) {
+  if (sites_.find(site) == sites_.end()) {
+    return Status::NotFound("unknown site: " + std::string(site));
+  }
+  if (start_in_s < 0 || duration_s < 0) {
+    return Status::InvalidArgument("outage window must be in the future");
+  }
+  std::string site_name(site);
+  events_.ScheduleAfter(start_in_s, [this, site_name, crash]() {
+    if (crash) {
+      (void)CrashSite(site_name);
+    } else {
+      (void)SetSiteOffline(site_name, true);
+    }
+  });
+  events_.ScheduleAfter(start_in_s + duration_s, [this, site_name]() {
+    (void)SetSiteOffline(site_name, false);
+  });
+  return Status::OK();
 }
 
 Result<uint64_t> GridSimulator::SubmitTransfer(std::string_view from_site,
@@ -151,6 +282,11 @@ Result<uint64_t> GridSimulator::SubmitTransfer(std::string_view from_site,
     return Status::NotFound("transfer endpoints must be defined sites: " +
                             std::string(from_site) + " -> " +
                             std::string(to_site));
+  }
+  if (IsSiteCrashed(from_site) || IsSiteCrashed(to_site)) {
+    return Status::Unavailable("transfer endpoint crashed: " +
+                               std::string(from_site) + " -> " +
+                               std::string(to_site));
   }
   if (bytes < 0) return Status::InvalidArgument("negative transfer size");
 
@@ -166,29 +302,44 @@ Result<uint64_t> GridSimulator::SubmitTransfer(std::string_view from_site,
   double duration = topology_.Latency(from_site, to_site) +
                     (bytes > 0 ? static_cast<double>(bytes) / bandwidth : 0);
 
-  TransferResult result;
-  result.transfer_id = id;
-  result.from_site = std::string(from_site);
-  result.to_site = std::string(to_site);
-  result.bytes = bytes;
-  result.start_time = now();
-  result.end_time = now() + duration;
-  result.succeeded = true;
-
-  events_.ScheduleAfter(
-      duration, [this, key, result, callback = std::move(callback)]() {
-        auto it = active_transfers_.find(key);
-        if (it != active_transfers_.end() && --it->second <= 0) {
-          active_transfers_.erase(it);
-        }
-        auto site_it = sites_.find(result.to_site);
-        if (site_it != sites_.end()) {
-          ++site_it->second.stats.transfers_in;
-          site_it->second.stats.bytes_in += result.bytes;
-        }
-        if (callback) callback(result);
-      });
+  InFlightTransfer transfer;
+  transfer.key = key;
+  transfer.callback = std::move(callback);
+  transfer.result.transfer_id = id;
+  transfer.result.from_site = std::string(from_site);
+  transfer.result.to_site = std::string(to_site);
+  transfer.result.bytes = bytes;
+  transfer.result.start_time = now();
+  transfer.result.end_time = now() + duration;
+  transfer.result.succeeded =
+      transfer_failure_rate_ <= 0 || !rng_.Chance(transfer_failure_rate_);
+  inflight_transfers_.emplace(id, std::move(transfer));
+  events_.ScheduleAfter(duration, [this, id]() { CompleteTransfer(id); });
   return id;
+}
+
+void GridSimulator::CompleteTransfer(uint64_t transfer_id) {
+  auto it = inflight_transfers_.find(transfer_id);
+  if (it == inflight_transfers_.end()) return;  // aborted by a crash
+  InFlightTransfer transfer = std::move(it->second);
+  inflight_transfers_.erase(it);
+  FinishTransferBookkeeping(transfer);
+  if (transfer.callback) transfer.callback(transfer.result);
+}
+
+void GridSimulator::FinishTransferBookkeeping(const InFlightTransfer& t) {
+  auto it = active_transfers_.find(t.key);
+  if (it != active_transfers_.end() && --it->second <= 0) {
+    active_transfers_.erase(it);
+  }
+  auto site_it = sites_.find(t.result.to_site);
+  if (site_it == sites_.end()) return;
+  if (t.result.succeeded) {
+    ++site_it->second.stats.transfers_in;
+    site_it->second.stats.bytes_in += t.result.bytes;
+  } else {
+    ++site_it->second.stats.transfers_failed;
+  }
 }
 
 StorageElement* GridSimulator::FindStorage(std::string_view site,

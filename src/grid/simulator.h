@@ -47,8 +47,13 @@ struct SiteStats {
   uint64_t jobs_failed = 0;
   double busy_slot_seconds = 0;  // sum of per-job wall occupancy
   uint64_t peak_queue_depth = 0;
-  uint64_t transfers_in = 0;
+  uint64_t transfers_in = 0;     // successful inbound transfers
   int64_t bytes_in = 0;
+  // --- fault-injection outcomes ---
+  uint64_t jobs_killed = 0;      // running jobs lost to a crash
+  uint64_t transfers_failed = 0; // inbound transfers that failed
+  uint64_t files_lost = 0;       // unpinned replicas wiped by a crash
+  uint64_t crashes = 0;          // CrashSite invocations
 };
 
 /// The simulated Grid substrate: GRAM-style job submission against
@@ -76,11 +81,33 @@ class GridSimulator {
   /// Fraction of jobs that fail (uniformly at random). Default 0.
   void set_job_failure_rate(double p) { job_failure_rate_ = p; }
 
+  /// Fraction of transfers that fail (uniformly at random). A failed
+  /// transfer still occupies the link for its full duration, then
+  /// completes with succeeded=false. Default 0.
+  void set_transfer_failure_rate(double p) { transfer_failure_rate_ = p; }
+
   /// Takes a site out of (or back into) service. Offline sites reject
   /// job submissions with Unavailable; queued jobs stay queued until
   /// the site returns (a maintenance window, not a crash).
   Status SetSiteOffline(std::string_view site, bool offline);
   bool IsSiteOffline(std::string_view site) const;
+
+  /// A site *crash* — harsher than maintenance offline: running jobs
+  /// are killed (callbacks fire now with succeeded=false), queued jobs
+  /// fail immediately, in-flight transfers touching the site abort,
+  /// and every unpinned replica on the site's storage is lost from the
+  /// RLS. The site stays offline until SetSiteOffline(site, false).
+  Status CrashSite(std::string_view site);
+  /// True between CrashSite and the SetSiteOffline(site, false) that
+  /// brings the site back.
+  bool IsSiteCrashed(std::string_view site) const;
+
+  /// Schedules a service interruption `start_in_s` from now lasting
+  /// `duration_s`: a maintenance window (queued work holds) or, with
+  /// `crash`, a full crash with data loss. The site returns to service
+  /// automatically at the end of the window.
+  Status ScheduleOutage(std::string_view site, double start_in_s,
+                        double duration_s, bool crash = false);
   /// Runtime noise: multiplies each job's runtime by a clamped normal
   /// with the given relative standard deviation. Default 0 (exact).
   void set_runtime_jitter(double relative_stddev) {
@@ -94,6 +121,8 @@ class GridSimulator {
 
   /// Submits a transfer of `bytes` between sites. Concurrent transfers
   /// on the same site pair share bandwidth (snapshot at start).
+  /// Unavailable when either endpoint is *crashed* — a maintenance
+  /// window (SetSiteOffline) stops compute but storage still serves.
   Result<uint64_t> SubmitTransfer(std::string_view from_site,
                                   std::string_view to_site, int64_t bytes,
                                   TransferCallback callback);
@@ -132,6 +161,7 @@ class GridSimulator {
     std::deque<uint64_t> queue;  // pending job ids
     SiteStats stats;
     bool offline = false;
+    bool crashed = false;  // offline AND storage/transfers down
   };
   struct PendingJob {
     uint64_t id;
@@ -140,8 +170,29 @@ class GridSimulator {
     SimTime submit_time;
     JobCallback callback;
   };
+  /// A dispatched job occupying a host slot. Kept in a registry (not
+  /// only in the completion closure) so CrashSite can kill it early;
+  /// the scheduled completion event becomes a no-op once the entry is
+  /// gone.
+  struct RunningJob {
+    PendingJob job;
+    size_t host_idx = 0;
+    std::string host;
+    SimTime start = 0;
+    double runtime = 0;
+    bool will_succeed = true;
+  };
+  /// An in-flight transfer, killable by a crash of either endpoint.
+  struct InFlightTransfer {
+    TransferResult result;
+    TransferCallback callback;
+    std::pair<std::string, std::string> key;
+  };
 
   void TryDispatch(const std::string& site);
+  void CompleteJob(uint64_t job_id);
+  void CompleteTransfer(uint64_t transfer_id);
+  void FinishTransferBookkeeping(const InFlightTransfer& t);
 
   GridTopology topology_;
   EventQueue events_;
@@ -154,9 +205,12 @@ class GridSimulator {
            std::unique_ptr<StorageElement>>
       storage_;
   std::map<uint64_t, PendingJob> pending_jobs_;
+  std::map<uint64_t, RunningJob> running_jobs_;
+  std::map<uint64_t, InFlightTransfer> inflight_transfers_;
   std::map<std::pair<std::string, std::string>, int> active_transfers_;
 
   double job_failure_rate_ = 0;
+  double transfer_failure_rate_ = 0;
   double runtime_jitter_ = 0;
   uint64_t next_job_id_ = 1;
   uint64_t next_transfer_id_ = 1;

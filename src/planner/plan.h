@@ -41,6 +41,10 @@ struct PlanNode {
   std::vector<TransferPlan> staging;  // materialized inputs to move in
   std::vector<size_t> deps;           // producer nodes within the plan
   ShippingPattern pattern = ShippingPattern::kCollocated;
+  /// All admissible execution sites ranked best-first by the site
+  /// policy (front() == site). A recovery engine fails over down this
+  /// list when the chosen site keeps faulting.
+  std::vector<std::string> candidate_sites;
 };
 
 /// How a requested dataset gets materialized at the target site.

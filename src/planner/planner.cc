@@ -206,10 +206,9 @@ void FilterSitesByRequirements(const Transformation& tr,
 
 }  // namespace
 
-std::string RequestPlanner::ChooseSite(const PlanNode& node,
-                                       size_t node_index,
-                                       const PlannerOptions& options,
-                                       const ExecutionPlan& plan) const {
+std::vector<std::string> RequestPlanner::RankSites(
+    const PlanNode& node, size_t node_index, const PlannerOptions& options,
+    const ExecutionPlan& plan) const {
   std::vector<std::string> sites = topology_.SiteNames();
   // Matchmaking: honour the transformation's resource requirements and
   // the caller's admission filter (except under kFixed, an explicit
@@ -227,16 +226,24 @@ std::string RequestPlanner::ChooseSite(const PlanNode& node,
     if (tr.ok()) FilterSitesByRequirements(*tr, topology_, &sites);
     if (sites.empty()) sites = topology_.SiteNames();  // unsatisfiable
   }
-  if (sites.empty()) return options.target_site;
+  if (sites.empty()) return {options.target_site};
 
   switch (options.site_policy) {
     case SiteSelectionPolicy::kFixed:
-      return options.fixed_site.empty() ? options.target_site
-                                        : options.fixed_site;
-    case SiteSelectionPolicy::kRoundRobin:
-      return sites[node_index % sites.size()];
+      // Explicit override: no alternates, failover is not meaningful.
+      return {options.fixed_site.empty() ? options.target_site
+                                         : options.fixed_site};
+    case SiteSelectionPolicy::kRoundRobin: {
+      // Rotate so the blindly assigned site leads and the rest follow
+      // in ring order.
+      std::rotate(sites.begin(),
+                  sites.begin() +
+                      static_cast<ptrdiff_t>(node_index % sites.size()),
+                  sites.end());
+      return sites;
+    }
     case SiteSelectionPolicy::kDataLocal: {
-      // Pick the site already holding the most input bytes.
+      // Rank by input bytes already resident, most first.
       std::map<std::string, int64_t> bytes_at;
       for (const std::string& input : node.inputs) {
         int64_t bytes = DatasetBytes(input, options);
@@ -269,22 +276,41 @@ std::string RequestPlanner::ChooseSite(const PlanNode& node,
           best_bytes = bytes;
         }
       }
-      return best;
+      std::vector<std::string> ranked{best};
+      std::stable_sort(sites.begin(), sites.end(),
+                       [&bytes_at](const std::string& a,
+                                   const std::string& b) {
+                         auto at = [&bytes_at](const std::string& s) {
+                           auto it = bytes_at.find(s);
+                           return it == bytes_at.end() ? int64_t{0}
+                                                       : it->second;
+                         };
+                         return at(a) > at(b);
+                       });
+      for (const std::string& site : sites) {
+        if (site != best) ranked.push_back(site);
+      }
+      return ranked;
     }
     case SiteSelectionPolicy::kMinCost:
       break;
   }
 
-  std::string best = sites.front();
-  double best_cost = kImpossible;
+  // kMinCost: cheapest first; stable sort keeps the topology order as
+  // the deterministic tie-break (front() matches the historical pick).
+  std::vector<std::pair<double, std::string>> costed;
+  costed.reserve(sites.size());
   for (const std::string& site : sites) {
-    double cost = NodeCostAt(node, site, options, plan);
-    if (cost < best_cost) {
-      best = site;
-      best_cost = cost;
-    }
+    costed.emplace_back(NodeCostAt(node, site, options, plan), site);
   }
-  return best;
+  std::stable_sort(costed.begin(), costed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<std::string> ranked;
+  ranked.reserve(costed.size());
+  for (auto& [cost, site] : costed) ranked.push_back(std::move(site));
+  return ranked;
 }
 
 Status RequestPlanner::AssignSitesAndCosts(const PlannerOptions& options,
@@ -308,7 +334,8 @@ Status RequestPlanner::AssignSitesAndCosts(const PlannerOptions& options,
   std::vector<double> finish(plan->nodes.size(), 0);
   for (size_t i = 0; i < plan->nodes.size(); ++i) {
     PlanNode& node = plan->nodes[i];
-    node.site = ChooseSite(node, i, options, *plan);
+    node.candidate_sites = RankSites(node, i, options, *plan);
+    node.site = node.candidate_sites.front();
     node.est_runtime_s =
         estimator_.EstimateRuntime(node.transformation, node.site);
 

@@ -118,9 +118,11 @@ class RequestPlanner {
                       std::vector<PlanNode>* nodes) const;
   Status AssignSitesAndCosts(const PlannerOptions& options,
                              ExecutionPlan* plan) const;
-  std::string ChooseSite(const PlanNode& node, size_t node_index,
-                         const PlannerOptions& options,
-                         const ExecutionPlan& plan) const;
+  /// Admissible execution sites for `node`, ranked best-first under the
+  /// selection policy; never empty (falls back to the target site).
+  std::vector<std::string> RankSites(const PlanNode& node, size_t node_index,
+                                     const PlannerOptions& options,
+                                     const ExecutionPlan& plan) const;
   double NodeCostAt(const PlanNode& node, std::string_view site,
                     const PlannerOptions& options,
                     const ExecutionPlan& plan) const;

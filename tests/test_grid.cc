@@ -382,5 +382,162 @@ TEST(SimulatorTest, GriphynTestbedShape) {
   EXPECT_EQ(t.total_hosts(), 800u);  // the paper's "almost 800 hosts"
 }
 
+TEST(SimulatorFaultTest, CrashKillsRunningAndQueuedJobs) {
+  // east has 4 single-slot hosts: 6 jobs -> 4 running + 2 queued.
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  std::vector<JobResult> results;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(grid.SubmitJob("east", 50.0, [&](const JobResult& r) {
+                      results.push_back(r);
+                    })
+                    .ok());
+  }
+  ASSERT_TRUE(grid.CrashSite("east").ok());
+  // All six callbacks fire immediately with succeeded=false.
+  ASSERT_EQ(results.size(), 6u);
+  for (const JobResult& r : results) {
+    EXPECT_FALSE(r.succeeded);
+    EXPECT_EQ(r.end_time, 0.0);  // killed at crash time
+  }
+  SiteStats stats = *grid.StatsFor("east");
+  EXPECT_EQ(stats.jobs_killed, 4u);
+  EXPECT_EQ(stats.jobs_failed, 6u);
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_TRUE(grid.IsSiteOffline("east"));
+  EXPECT_TRUE(grid.IsSiteCrashed("east"));
+  // The already-scheduled completion events are dead: nothing fires.
+  grid.RunUntilIdle();
+  EXPECT_EQ(results.size(), 6u);
+
+  // Recovery restores service for new submissions.
+  ASSERT_TRUE(grid.SetSiteOffline("east", false).ok());
+  EXPECT_FALSE(grid.IsSiteCrashed("east"));
+  ASSERT_TRUE(grid.SubmitJob("east", 1.0, [&](const JobResult& r) {
+                    results.push_back(r);
+                  })
+                  .ok());
+  grid.RunUntilIdle();
+  ASSERT_EQ(results.size(), 7u);
+  EXPECT_TRUE(results.back().succeeded);
+}
+
+TEST(SimulatorFaultTest, CrashLosesUnpinnedReplicasOnly) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  ASSERT_TRUE(grid.PlaceFile("east", "scratch", 100).ok());
+  ASSERT_TRUE(grid.PlaceFile("east", "precious", 100, true).ok());
+  ASSERT_TRUE(grid.PlaceFile("west", "elsewhere", 100).ok());
+  ASSERT_TRUE(grid.CrashSite("east").ok());
+  EXPECT_FALSE(grid.rls().Exists("scratch"));      // wiped
+  EXPECT_TRUE(grid.rls().ExistsAt("precious", "east"));  // pinned survives
+  EXPECT_TRUE(grid.rls().ExistsAt("elsewhere", "west"));
+  EXPECT_EQ(grid.StatsFor("east")->files_lost, 1u);
+}
+
+TEST(SimulatorFaultTest, CrashAbortsInFlightTransfers) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  std::vector<TransferResult> results;
+  ASSERT_TRUE(grid.SubmitTransfer("east", "west", 1 << 20,
+                                  [&](const TransferResult& r) {
+                                    results.push_back(r);
+                                  })
+                  .ok());
+  ASSERT_TRUE(grid.CrashSite("east").ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].succeeded);
+  EXPECT_EQ(grid.StatsFor("west")->transfers_failed, 1u);
+  grid.RunUntilIdle();
+  EXPECT_EQ(results.size(), 1u);  // completion event is a no-op
+}
+
+TEST(SimulatorFaultTest, MaintenanceOfflineStillServesTransfers) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  ASSERT_TRUE(grid.SetSiteOffline("east", true).ok());
+  // Maintenance stops compute, not storage.
+  EXPECT_TRUE(grid.SubmitJob("east", 1.0, nullptr).status().IsUnavailable());
+  bool moved = false;
+  ASSERT_TRUE(grid.SubmitTransfer("east", "west", 1024,
+                                  [&](const TransferResult& r) {
+                                    moved = r.succeeded;
+                                  })
+                  .ok());
+  grid.RunUntilIdle();
+  EXPECT_TRUE(moved);
+  // A crash takes storage down with it.
+  ASSERT_TRUE(grid.CrashSite("east").ok());
+  EXPECT_TRUE(grid.SubmitTransfer("east", "west", 1024, nullptr)
+                  .status()
+                  .IsUnavailable());
+  EXPECT_TRUE(grid.SubmitTransfer("west", "east", 1024, nullptr)
+                  .status()
+                  .IsUnavailable());
+}
+
+TEST(SimulatorFaultTest, TransferFailureRateIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    GridSimulator grid(workload::SmallTestbed(), seed);
+    grid.set_transfer_failure_rate(0.5);
+    int failures = 0;
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(grid.SubmitTransfer("east", "west", 1024,
+                                      [&](const TransferResult& r) {
+                                        if (!r.succeeded) ++failures;
+                                      })
+                      .ok());
+    }
+    grid.RunUntilIdle();
+    return failures;
+  };
+  int a = run(11);
+  EXPECT_EQ(a, run(11));
+  EXPECT_GT(a, 20);
+  EXPECT_LT(a, 80);
+  // A failed transfer still occupies the link but moves no usable
+  // bytes: failures are counted at the destination.
+  GridSimulator grid(workload::SmallTestbed(), 11);
+  grid.set_transfer_failure_rate(1.0);
+  ASSERT_TRUE(grid.SubmitTransfer("east", "west", 1024, nullptr).ok());
+  grid.RunUntilIdle();
+  EXPECT_EQ(grid.StatsFor("west")->transfers_in, 0u);
+  EXPECT_EQ(grid.StatsFor("west")->transfers_failed, 1u);
+}
+
+TEST(SimulatorFaultTest, ScheduledOutageWindowComesAndGoes) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  ASSERT_TRUE(grid.ScheduleOutage("east", 10.0, 20.0).ok());
+  std::vector<bool> observed;
+  grid.events().ScheduleAfter(5.0, [&]() {
+    observed.push_back(grid.IsSiteOffline("east"));
+  });
+  grid.events().ScheduleAfter(15.0, [&]() {
+    observed.push_back(grid.IsSiteOffline("east"));
+  });
+  grid.events().ScheduleAfter(35.0, [&]() {
+    observed.push_back(grid.IsSiteOffline("east"));
+  });
+  grid.RunUntilIdle();
+  ASSERT_EQ(observed.size(), 3u);
+  EXPECT_FALSE(observed[0]);  // before the window
+  EXPECT_TRUE(observed[1]);   // inside it
+  EXPECT_FALSE(observed[2]);  // service restored automatically
+}
+
+TEST(SimulatorFaultTest, ScheduledCrashOutageLosesData) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  ASSERT_TRUE(grid.PlaceFile("east", "victim", 100).ok());
+  ASSERT_TRUE(
+      grid.ScheduleOutage("east", 10.0, 20.0, /*crash=*/true).ok());
+  grid.RunUntilIdle();
+  EXPECT_FALSE(grid.rls().Exists("victim"));
+  EXPECT_EQ(grid.StatsFor("east")->crashes, 1u);
+  EXPECT_FALSE(grid.IsSiteOffline("east"));  // window ended
+}
+
+TEST(SimulatorFaultTest, UnknownSiteFaultOperationsRejected) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  EXPECT_TRUE(grid.CrashSite("nowhere").IsNotFound());
+  EXPECT_TRUE(grid.ScheduleOutage("nowhere", 1, 1).IsNotFound());
+  EXPECT_TRUE(grid.ScheduleOutage("east", -1, 1).IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace vdg

@@ -83,5 +83,31 @@ TEST(ToHexTest, EncodesBytes) {
   EXPECT_EQ(ToHex(bytes, 4), "00ff10ab");
 }
 
+TEST(Crc32Test, KnownVectors) {
+  // IEEE 802.3 reference values (zlib-compatible).
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string record = "RP|replica-7|dataset-a|east|se0|1048576";
+  uint32_t clean = Crc32(record);
+  for (size_t i = 0; i < record.size(); ++i) {
+    std::string flipped = record;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    EXPECT_NE(Crc32(flipped), clean) << "flip at byte " << i;
+  }
+}
+
+TEST(Crc32Test, DetectsTruncation) {
+  std::string record = "IV|inv-1|dv-1|east|host-3";
+  uint32_t clean = Crc32(record);
+  for (size_t len = 0; len < record.size(); ++len) {
+    EXPECT_NE(Crc32(std::string_view(record).substr(0, len)), clean);
+  }
+}
+
 }  // namespace
 }  // namespace vdg

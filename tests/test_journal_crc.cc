@@ -1,0 +1,188 @@
+// Crash-safety tests for the checksummed FileJournal: every appended
+// record carries a CRC-32, a torn or bit-rotted tail is detected on
+// replay, the valid prefix survives (and the file is physically
+// truncated back to it), and checksum-less journals written by older
+// builds still load.
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/journal.h"
+
+namespace vdg {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  std::string path = ::testing::TempDir() + "/vdg_crc_" + tag + "_" +
+                     std::to_string(::getpid());
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void Dump(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+}
+
+TEST(JournalCrcTest, AppendedRecordsCarryChecksums) {
+  std::string path = TempPath("append");
+  FileJournal journal(path);
+  ASSERT_TRUE(journal.Append("DS|alpha|1024").ok());
+  ASSERT_TRUE(journal.Append("DS|beta|2048").ok());
+  ASSERT_TRUE(journal.Sync().ok());
+
+  std::string raw = Slurp(path);
+  ASSERT_FALSE(raw.empty());
+  EXPECT_EQ(raw[0], '~');  // CRC prefix on disk
+  EXPECT_NE(raw.find("|DS|alpha|1024\n"), std::string::npos);
+
+  Result<std::vector<std::string>> records = journal.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0], "DS|alpha|1024");  // payload, prefix stripped
+  EXPECT_EQ((*records)[1], "DS|beta|2048");
+  EXPECT_FALSE(journal.last_recovery().truncated);
+  std::remove(path.c_str());
+}
+
+TEST(JournalCrcTest, TornTailIsTruncatedAndReported) {
+  std::string path = TempPath("torn");
+  {
+    FileJournal journal(path);
+    ASSERT_TRUE(journal.Append("DS|one|1").ok());
+    ASSERT_TRUE(journal.Append("DS|two|2").ok());
+    ASSERT_TRUE(journal.Append("DS|three|3").ok());
+    ASSERT_TRUE(journal.Sync().ok());
+  }
+  // Simulate a crash mid-append: cut the last record in half.
+  std::string raw = Slurp(path);
+  uint64_t cut = raw.size() - 6;
+  Dump(path, raw.substr(0, cut));
+
+  FileJournal reopened(path);
+  Result<std::vector<std::string>> records = reopened.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1], "DS|two|2");
+  const JournalTailRecovery& recovery = reopened.last_recovery();
+  EXPECT_TRUE(recovery.truncated);
+  EXPECT_EQ(recovery.records_recovered, 2u);
+  EXPECT_GT(recovery.truncated_bytes, 0u);
+  EXPECT_FALSE(recovery.reason.empty());
+  // The damage is physically gone: the file now ends at the last good
+  // record and future appends extend a clean log.
+  EXPECT_EQ(std::filesystem::file_size(path), recovery.valid_bytes);
+  ASSERT_TRUE(reopened.Append("DS|four|4").ok());
+  ASSERT_TRUE(reopened.Sync().ok());
+  Result<std::vector<std::string>> healed = reopened.ReadAll();
+  ASSERT_TRUE(healed.ok());
+  ASSERT_EQ(healed->size(), 3u);
+  EXPECT_EQ((*healed)[2], "DS|four|4");
+  EXPECT_FALSE(reopened.last_recovery().truncated);
+  std::remove(path.c_str());
+}
+
+TEST(JournalCrcTest, BitFlipEndsTheValidPrefix) {
+  std::string path = TempPath("bitflip");
+  {
+    FileJournal journal(path);
+    ASSERT_TRUE(journal.Append("DS|good|1").ok());
+    ASSERT_TRUE(journal.Append("DS|rotted|2").ok());
+    ASSERT_TRUE(journal.Sync().ok());
+  }
+  std::string raw = Slurp(path);
+  // Flip one payload bit inside the second record.
+  size_t victim = raw.find("rotted");
+  ASSERT_NE(victim, std::string::npos);
+  raw[victim] = static_cast<char>(raw[victim] ^ 0x04);
+  Dump(path, raw);
+
+  FileJournal reopened(path);
+  Result<std::vector<std::string>> records = reopened.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "DS|good|1");
+  EXPECT_TRUE(reopened.last_recovery().truncated);
+  EXPECT_NE(reopened.last_recovery().reason.find("checksum"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JournalCrcTest, LegacyChecksumlessJournalStillLoads) {
+  std::string path = TempPath("legacy");
+  // A journal written by a build that predates per-record checksums.
+  Dump(path, "DS|old-a|1\nDS|old-b|2\n");
+
+  FileJournal journal(path);
+  Result<std::vector<std::string>> records = journal.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0], "DS|old-a|1");
+  EXPECT_FALSE(journal.last_recovery().truncated);
+
+  // New appends are checksummed; mixed files read fine.
+  ASSERT_TRUE(journal.Append("DS|new-c|3").ok());
+  ASSERT_TRUE(journal.Sync().ok());
+  Result<std::vector<std::string>> mixed = journal.ReadAll();
+  ASSERT_TRUE(mixed.ok());
+  ASSERT_EQ(mixed->size(), 3u);
+  EXPECT_EQ((*mixed)[2], "DS|new-c|3");
+  std::remove(path.c_str());
+}
+
+TEST(JournalCrcTest, RewriteProducesChecksummedRecords) {
+  std::string path = TempPath("rewrite");
+  FileJournal journal(path);
+  ASSERT_TRUE(journal.Rewrite({"DS|a|1", "DS|b|2"}).ok());
+  std::string raw = Slurp(path);
+  EXPECT_EQ(raw[0], '~');
+  Result<std::vector<std::string>> records = journal.ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalCrcTest, CatalogSurvivesTornWriteOnReopen) {
+  std::string path = TempPath("catalog");
+  {
+    VirtualDataCatalog catalog("crash.org",
+                               std::make_unique<FileJournal>(path));
+    ASSERT_TRUE(catalog.Open().ok());
+    ASSERT_TRUE(catalog
+                    .ImportVdl("TR conv( output out, input in ) {"
+                               "  argument stdin = ${input:in};"
+                               "  argument stdout = ${output:out};"
+                               "  exec = \"/bin/conv\"; }"
+                               "DS raw : Dataset size=\"4096\";")
+                    .ok());
+    Replica replica;
+    replica.dataset = "raw";
+    replica.site = "east";
+    replica.size_bytes = 4096;
+    ASSERT_TRUE(catalog.AddReplica(std::move(replica)).ok());
+  }
+  // Tear the final record, as an interrupted write would.
+  std::string raw = Slurp(path);
+  Dump(path, raw.substr(0, raw.size() - 9));
+
+  VirtualDataCatalog reopened("crash.org",
+                              std::make_unique<FileJournal>(path));
+  ASSERT_TRUE(reopened.Open().ok());  // valid prefix replays cleanly
+  EXPECT_TRUE(reopened.HasDataset("raw"));
+  EXPECT_TRUE(reopened.HasTransformation("conv"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vdg

@@ -2,7 +2,8 @@
 # Builds the benchmarks in Release mode and runs the discovery-engine
 # benchmark suite (FIG1 discovery paths + FIG4 index refresh), merging
 # the results into BENCH_discovery.json at the repo root, plus the
-# concurrent-read scaling suite into BENCH_concurrency.json.
+# concurrent-read scaling suite into BENCH_concurrency.json and the
+# fault-tolerance suite into BENCH_fault.json.
 #
 # Usage: tools/run_bench.sh [build-dir]
 set -euo pipefail
@@ -11,11 +12,12 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-bench}"
 OUT_JSON="$REPO_ROOT/BENCH_discovery.json"
 CONC_JSON="$REPO_ROOT/BENCH_concurrency.json"
+FAULT_JSON="$REPO_ROOT/BENCH_fault.json"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_fig1_schema_ops bench_fig4_federated_index \
-           bench_conc_catalog >/dev/null
+           bench_conc_catalog bench_fault_recovery >/dev/null
 
 FIG1_FILTER='BM_AttributeDiscovery|BM_TypeDiscovery|BM_MaterializedDiscovery|BM_DerivationDiscoveryByInput'
 FIG4_FILTER='BM_IndexQuery|BM_DirectScan|BM_IndexRefresh|BM_DeltaRefresh|BM_FullRebuild'
@@ -110,4 +112,58 @@ print(f"  host cores: {cores} (scaling with threads needs cores to scale on)")
 for base, curve in sorted(curves.items()):
     pts = " ".join(f"{t}t={v}" for t, v in sorted(curve.items()))
     print(f"  {base}: {pts}")
+PYEOF
+
+# Fault tolerance: workflow success rates under injected job/transfer
+# failures and a mid-run site crash with data loss. The acceptance bar
+# (10%/10% faults + crash -> >= 99% success) is checked here so a
+# regression fails the script.
+FAULT_OUT="$BUILD_DIR/bench_fault_recovery.json"
+"$BUILD_DIR/bench/bench_fault_recovery" \
+  --benchmark_out="$FAULT_OUT" --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+python3 - "$FAULT_OUT" "$FAULT_JSON" <<'PYEOF'
+import json
+import sys
+
+src_path, out_path = sys.argv[1:3]
+with open(src_path) as f:
+    raw = json.load(f)
+
+scenarios = {}
+for b in raw.get("benchmarks", []):
+    name = b["name"]  # e.g. BM_FaultSweep/10/10
+    scenarios[name] = {
+        "success_rate": b.get("success_rate"),
+        "runs": b.get("runs"),
+        "job_failures_per_run": b.get("job_failures_per_run"),
+        "transfer_failures_per_run": b.get("transfer_failures_per_run"),
+        "failovers_per_run": b.get("failovers_per_run"),
+        "rederivations_per_run": b.get("rederivations_per_run"),
+        "backoff_s_per_run": b.get("backoff_s_per_run"),
+        "sim_makespan_s_avg": b.get("sim_makespan_s_avg"),
+    }
+
+result = {
+    "context": raw.get("context", {}),
+    "scenarios": scenarios,
+    "benchmarks": raw.get("benchmarks", []),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print("wrote", out_path)
+failed = []
+for name, s in sorted(scenarios.items()):
+    rate = s.get("success_rate")
+    if rate is None:
+        continue
+    print(f"  {name}: success_rate={rate:.4f} over {int(s['runs'] or 0)} runs")
+    if rate < 0.99:
+        failed.append(name)
+if failed:
+    print("FAULT-TOLERANCE REGRESSION: success_rate < 0.99 in:", failed)
+    sys.exit(1)
 PYEOF
