@@ -100,9 +100,23 @@ Result<std::vector<std::string>> FileJournal::ReadAll() {
     if (!line.empty() && line[0] == kCrcMarker) {
       std::string_view payload;
       if (!CheckLine(line, &payload)) {
-        bad_reason = complete ? "checksum mismatch in journal record"
-                              : "torn checksummed record at journal tail";
-        break;
+        if (!complete || nl + 1 >= content.size()) {
+          // Damage at the very tail (torn append, or rot in the final
+          // record): nothing committed lies beyond it, so truncating
+          // back to the last good record is lossless.
+          bad_reason = complete ? "checksum mismatch in final journal record"
+                                : "torn checksummed record at journal tail";
+          break;
+        }
+        // Mid-file corruption with committed records after it: losing
+        // those to a tail truncation would destroy good data. Skip
+        // just the bad record and keep replaying.
+        ++last_recovery_.records_skipped;
+        last_recovery_.reason =
+            "checksum mismatch in journal record (skipped)";
+        pos = nl + 1;
+        valid_end = pos;
+        continue;
       }
       records.emplace_back(payload);
     } else if (!line.empty()) {

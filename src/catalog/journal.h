@@ -51,12 +51,14 @@ class NullJournal final : public CatalogJournal {
   Status Sync() override { return Status::OK(); }
 };
 
-/// What FileJournal::ReadAll did about a damaged log tail: how many
-/// records survived, and how many trailing bytes were cut away because
-/// a checksum no longer matched (a torn write or bit rot).
+/// What FileJournal::ReadAll did about a damaged log: how many records
+/// survived, how many corrupt mid-file records were passed over, and
+/// how many trailing bytes were cut away because the tail no longer
+/// checksummed (a torn write or bit rot in the final record).
 struct JournalTailRecovery {
   bool truncated = false;
   size_t records_recovered = 0;
+  size_t records_skipped = 0;    // corrupt mid-file records passed over
   uint64_t valid_bytes = 0;      // file size kept after recovery
   uint64_t truncated_bytes = 0;  // corrupt tail bytes discarded
   std::string reason;            // human-readable cause, empty when clean
@@ -66,9 +68,11 @@ struct JournalTailRecovery {
 /// the same path replays the log (crash recovery = replay).
 ///
 /// Crash safety: every appended line carries a CRC-32 of its payload
-/// ("~xxxxxxxx|payload"). On replay, the first line whose checksum
-/// fails — a torn append or flipped bit — ends the valid prefix: the
-/// file is truncated back to the last good record and the damage is
+/// ("~xxxxxxxx|payload"). On replay, checksum damage at the tail — a
+/// torn append, or rot in the final record — truncates the file back
+/// to the last good record so future appends extend a clean log; a
+/// corrupt record in the middle of the file is skipped so the
+/// committed records after it survive. Either way the damage is
 /// reported through last_recovery() instead of failing the whole
 /// catalog open. Checksum-less lines from older journals are accepted
 /// as-is (backward compatible with seed logs).

@@ -215,8 +215,12 @@ void WorkflowEngine::BeginStaging(WorkflowState* wf, size_t index) {
     // catalog-only registration that was never backed by bytes.
     std::vector<Replica> claimed = catalog_->ReplicasOf(input);
     bool derivable = catalog_->ProducerOf(input).ok();
+    // The recoveries queued earlier in this same pass count against
+    // the ceiling too; RederiveInput only bumps node.rederivations
+    // once each launches.
     bool can_rederive = faults.rederive_lost_inputs && derivable &&
-                        node.rederivations <
+                        node.rederivations +
+                                static_cast<int>(to_rederive.size()) <
                             faults.max_rederivations_per_node;
     if (can_rederive) {
       to_rederive.push_back(input);
@@ -554,9 +558,17 @@ void WorkflowEngine::RunFetches(WorkflowState* wf) {
     CompleteWorkflow(wf);
     return;
   }
-  wf->pending_fetches = wf->fetches.size();
-  for (size_t i = 0; i < wf->fetches.size(); ++i) {
-    RunFetch(wf, i);
+  const uint64_t wf_id = wf->id;
+  const size_t fetch_count = wf->fetches.size();
+  wf->pending_fetches = fetch_count;
+  for (size_t i = 0; i < fetch_count; ++i) {
+    // A fetch can finish synchronously (dataset already at the
+    // destination, or a rejected submit past the retry budget). If the
+    // last one completes the workflow, the state is erased out from
+    // under this loop — re-resolve it by id every iteration.
+    WorkflowState* state = FindWorkflow(wf_id);
+    if (state == nullptr) return;
+    RunFetch(state, i);
   }
 }
 

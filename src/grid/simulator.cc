@@ -37,6 +37,7 @@ Status GridSimulator::SetSiteOffline(std::string_view site, bool offline) {
   }
   bool was_offline = it->second.offline;
   it->second.offline = offline;
+  ++it->second.service_epoch;
   if (!offline) it->second.crashed = false;  // recovery clears a crash
   if (was_offline && !offline) {
     // Back in service: drain whatever queued while down.
@@ -169,6 +170,7 @@ Status GridSimulator::CrashSite(std::string_view site) {
   SiteState& state = it->second;
   state.offline = true;
   state.crashed = true;
+  ++state.service_epoch;
   ++state.stats.crashes;
   std::string site_name(site);
 
@@ -261,14 +263,25 @@ Status GridSimulator::ScheduleOutage(std::string_view site, double start_in_s,
     return Status::InvalidArgument("outage window must be in the future");
   }
   std::string site_name(site);
-  events_.ScheduleAfter(start_in_s, [this, site_name, crash]() {
+  // The start event records the epoch its state change produced; the
+  // end event restores service only when the site is still in that
+  // epoch. An overlapping window, a crash, or a manual offline bumps
+  // the epoch and thereby owns the site — this window's end becomes a
+  // stale no-op instead of yanking the site back online early.
+  auto epoch = std::make_shared<uint64_t>(0);
+  events_.ScheduleAfter(start_in_s, [this, site_name, crash, epoch]() {
     if (crash) {
       (void)CrashSite(site_name);
     } else {
       (void)SetSiteOffline(site_name, true);
     }
+    auto it = sites_.find(site_name);
+    if (it != sites_.end()) *epoch = it->second.service_epoch;
   });
-  events_.ScheduleAfter(start_in_s + duration_s, [this, site_name]() {
+  events_.ScheduleAfter(start_in_s + duration_s, [this, site_name,
+                                                  epoch]() {
+    auto it = sites_.find(site_name);
+    if (it == sites_.end() || it->second.service_epoch != *epoch) return;
     (void)SetSiteOffline(site_name, false);
   });
   return Status::OK();

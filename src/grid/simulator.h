@@ -105,7 +105,10 @@ class GridSimulator {
   /// Schedules a service interruption `start_in_s` from now lasting
   /// `duration_s`: a maintenance window (queued work holds) or, with
   /// `crash`, a full crash with data loss. The site returns to service
-  /// automatically at the end of the window.
+  /// automatically at the end of the window — unless a later window,
+  /// a crash, or a manual SetSiteOffline/CrashSite changed the site's
+  /// state in the meantime, in which case that change wins and the
+  /// stale window end is a no-op.
   Status ScheduleOutage(std::string_view site, double start_in_s,
                         double duration_s, bool crash = false);
   /// Runtime noise: multiplies each job's runtime by a clamped normal
@@ -162,6 +165,11 @@ class GridSimulator {
     SiteStats stats;
     bool offline = false;
     bool crashed = false;  // offline AND storage/transfers down
+    /// Bumped on every service-state change (offline, restore, crash).
+    /// A scheduled outage's end event only restores the site when the
+    /// epoch still matches what its start event produced, so a later
+    /// window, crash, or manual change supersedes the auto-restore.
+    uint64_t service_epoch = 0;
   };
   struct PendingJob {
     uint64_t id;

@@ -403,6 +403,74 @@ TEST_F(ChainWorldTest, DefaultPolicyTrustsCatalogReplicaRecords) {
   EXPECT_EQ(result->recovery.datasets_regenerated, 0u);
 }
 
+TEST_F(ChainWorldTest, AlreadyLocalFetchCompletesSynchronously) {
+  // A pure-fetch plan whose dataset already sits at the destination
+  // (the RescueOf-resubmission shape: rescue plans copy the original
+  // fetches wholesale) completes inside Submit — the engine must not
+  // touch the erased workflow state afterwards (use-after-free
+  // regression, caught under ASan).
+  ExecutionPlan plan;
+  plan.target_dataset = "raw";
+  plan.target_site = "east";
+  plan.mode = MaterializationMode::kFetch;
+  TransferPlan fetch;
+  fetch.dataset = "raw";
+  fetch.from_site = "west";
+  fetch.to_site = "east";
+  fetch.bytes = 1 << 20;
+  plan.fetches.push_back(fetch);
+
+  WorkflowEngine engine(&grid_, &catalog_, {});
+  Result<WorkflowResult> result = engine.Execute(plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_EQ(result->transfers, 0u);  // nothing moved: already local
+}
+
+TEST_F(ChainWorldTest, RederivationCapHoldsAcrossOneStagingPass) {
+  // Three derived inputs of one node all lose their bytes at once;
+  // with a ceiling of two recovery sub-workflows the single staging
+  // pass may launch at most two — the third input falls back to the
+  // trusted-catalog staging path instead.
+  ASSERT_TRUE(catalog_.ImportVdl(R"(
+DV mkIA->conv( out=@{output:"ia"}, in=@{input:"raw"} );
+DV mkIB->conv( out=@{output:"ib"}, in=@{input:"raw"} );
+DV mkIC->conv( out=@{output:"ic"}, in=@{input:"raw"} );
+)")
+                  .ok());
+  options_.target_site = "east";
+  for (const char* input : {"ia", "ib", "ic"}) {
+    WorkflowEngine warm(&grid_, &catalog_, {});
+    Result<ExecutionPlan> plan = PlanFor(input);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    ASSERT_TRUE(warm.Execute(*plan)->succeeded);
+    LoseReplicas(input);
+  }
+
+  ExecutionPlan plan;
+  plan.target_dataset = "z";
+  plan.target_site = "east";
+  PlanNode node;
+  node.derivation = Derivation("mergeLost", "conv");
+  node.transformation = "conv";
+  node.site = "east";
+  node.inputs = {"ia", "ib", "ic"};
+  node.outputs = {"z"};
+  node.candidate_sites = {"east", "west"};
+  plan.nodes.push_back(std::move(node));
+
+  ExecutorOptions opts;
+  opts.record_provenance = false;  // synthetic derivation, catalog-less
+  opts.faults.rederive_lost_inputs = true;
+  opts.faults.max_rederivations_per_node = 2;
+  WorkflowEngine engine(&grid_, &catalog_, opts);
+  Result<WorkflowResult> result = engine.Execute(plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_EQ(result->recovery.rederivations, 2u);  // ceiling respected
+  EXPECT_EQ(result->recovery.datasets_regenerated, 2u);
+}
+
 TEST_F(ChainWorldTest, RescuePlanResumesAFailedWorkflow) {
   options_.target_site = "east";
   grid_.set_job_failure_rate(1.0);

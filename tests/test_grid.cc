@@ -532,6 +532,46 @@ TEST(SimulatorFaultTest, ScheduledCrashOutageLosesData) {
   EXPECT_FALSE(grid.IsSiteOffline("east"));  // window ended
 }
 
+TEST(SimulatorFaultTest, OverlappingOutageWindowsRestoreAtTheLatestEnd) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  ASSERT_TRUE(grid.ScheduleOutage("east", 10.0, 20.0).ok());  // [10, 30)
+  ASSERT_TRUE(grid.ScheduleOutage("east", 20.0, 30.0).ok());  // [20, 50)
+  std::vector<bool> observed;
+  for (double t : {15.0, 35.0, 55.0}) {
+    grid.events().ScheduleAfter(t, [&]() {
+      observed.push_back(grid.IsSiteOffline("east"));
+    });
+  }
+  grid.RunUntilIdle();
+  ASSERT_EQ(observed.size(), 3u);
+  EXPECT_TRUE(observed[0]);   // inside the first window
+  EXPECT_TRUE(observed[1]);   // first end must not cut the second short
+  EXPECT_FALSE(observed[2]);  // restored when the later window ends
+}
+
+TEST(SimulatorFaultTest, OutageEndDoesNotRevertAManualOffline) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  ASSERT_TRUE(grid.ScheduleOutage("east", 10.0, 20.0).ok());  // [10, 30)
+  // Mid-window, the operator takes the site down for another reason;
+  // the window's scheduled end must not bring it back.
+  grid.events().ScheduleAfter(20.0, [&]() {
+    EXPECT_TRUE(grid.SetSiteOffline("east", true).ok());
+  });
+  grid.RunUntilIdle();
+  EXPECT_TRUE(grid.IsSiteOffline("east"));
+}
+
+TEST(SimulatorFaultTest, OutageEndDoesNotClearALaterCrash) {
+  GridSimulator grid(workload::SmallTestbed(), 1);
+  ASSERT_TRUE(grid.ScheduleOutage("east", 10.0, 20.0).ok());  // maintenance
+  grid.events().ScheduleAfter(20.0, [&]() {
+    EXPECT_TRUE(grid.CrashSite("east").ok());
+  });
+  grid.RunUntilIdle();
+  EXPECT_TRUE(grid.IsSiteCrashed("east"));
+  EXPECT_TRUE(grid.IsSiteOffline("east"));
+}
+
 TEST(SimulatorFaultTest, UnknownSiteFaultOperationsRejected) {
   GridSimulator grid(workload::SmallTestbed(), 1);
   EXPECT_TRUE(grid.CrashSite("nowhere").IsNotFound());

@@ -1,8 +1,8 @@
 // Crash-safety tests for the checksummed FileJournal: every appended
 // record carries a CRC-32, a torn or bit-rotted tail is detected on
 // replay, the valid prefix survives (and the file is physically
-// truncated back to it), and checksum-less journals written by older
-// builds still load.
+// truncated back to it), mid-file rot loses only the damaged record,
+// and checksum-less journals written by older builds still load.
 #include <unistd.h>
 
 #include <cstdio>
@@ -116,6 +116,37 @@ TEST(JournalCrcTest, BitFlipEndsTheValidPrefix) {
   EXPECT_TRUE(reopened.last_recovery().truncated);
   EXPECT_NE(reopened.last_recovery().reason.find("checksum"),
             std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JournalCrcTest, MidFileBitFlipSkipsOnlyThatRecord) {
+  std::string path = TempPath("midflip");
+  {
+    FileJournal journal(path);
+    ASSERT_TRUE(journal.Append("DS|first|1").ok());
+    ASSERT_TRUE(journal.Append("DS|rotted|2").ok());
+    ASSERT_TRUE(journal.Append("DS|third|3").ok());
+    ASSERT_TRUE(journal.Sync().ok());
+  }
+  std::string raw = Slurp(path);
+  size_t victim = raw.find("rotted");
+  ASSERT_NE(victim, std::string::npos);
+  raw[victim] = static_cast<char>(raw[victim] ^ 0x04);
+  Dump(path, raw);
+
+  // Committed records beyond the rot must survive: only the damaged
+  // record is skipped, and the read does not rewrite the file.
+  FileJournal reopened(path);
+  Result<std::vector<std::string>> records = reopened.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0], "DS|first|1");
+  EXPECT_EQ((*records)[1], "DS|third|3");
+  const JournalTailRecovery& recovery = reopened.last_recovery();
+  EXPECT_FALSE(recovery.truncated);
+  EXPECT_EQ(recovery.records_skipped, 1u);
+  EXPECT_NE(recovery.reason.find("skipped"), std::string::npos);
+  EXPECT_EQ(std::filesystem::file_size(path), raw.size());
   std::remove(path.c_str());
 }
 
