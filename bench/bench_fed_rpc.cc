@@ -1,0 +1,222 @@
+// FED-RPC — the cost of federation when every cross-catalog access
+// pays a (simulated) round trip, and what the batching + caching
+// layers buy back. Reprises the Figure 3 provenance-chain walk and the
+// Figure 4 index refresh over SimulatedRpcCatalogClient in three
+// transport modes:
+//   naive   — every point lookup is its own round trip (batching off)
+//   batched — compound GetProvenanceStep / BatchGet, one trip each
+//   cached  — batched + the version-invalidated remote object cache
+// plus a fault sweep (loss + scheduled outages) showing the retry
+// path absorbs transport faults without hard failures.
+//
+// The `round_trips` counter on each benchmark is trips per walk /
+// refresh; tools/run_bench.sh gates on naive/batched+cache >= 5x.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "federation/fed_provenance.h"
+#include "federation/index.h"
+#include "federation/registry.h"
+#include "federation/remote_cache.h"
+#include "federation/rpc_client.h"
+#include "grid/simulator.h"
+#include "workload/testbed.h"
+
+namespace vdg {
+namespace {
+
+constexpr int kChainDepth = 24;  // FIG3 chain: d0 (raw) .. d24
+constexpr int kChurn = 20;       // FIG4 distinct objects per refresh
+
+/// A single-authority catalog holding a linear derivation chain — the
+/// Figure 3 shape with every link behind one (remote) server.
+VirtualDataCatalog* ChainCatalog() {
+  static std::unique_ptr<VirtualDataCatalog>* cached =
+      new std::unique_ptr<VirtualDataCatalog>();
+  if (*cached) return cached->get();
+  Logger::set_threshold(LogLevel::kError);
+  auto catalog = std::make_unique<VirtualDataCatalog>("chain.org");
+  if (!catalog->Open().ok()) std::abort();
+  if (!catalog
+           ->ImportVdl("TR refine( output out, input in ) {"
+                       "  argument stdin = ${input:in};"
+                       "  argument stdout = ${output:out};"
+                       "  exec = \"/bin/refine\"; }")
+           .ok()) {
+    std::abort();
+  }
+  if (!catalog->ImportVdl("DS d0 : Dataset size=\"1024\";").ok()) {
+    std::abort();
+  }
+  for (int k = 1; k <= kChainDepth; ++k) {
+    std::string vdl = "DV l" + std::to_string(k) +
+                      "->refine( out=@{output:\"d" + std::to_string(k) +
+                      "\"}, in=@{input:\"d" + std::to_string(k - 1) +
+                      "\"} );";
+    if (!catalog->ImportVdl(vdl).ok()) std::abort();
+  }
+  *cached = std::move(catalog);
+  return cached->get();
+}
+
+struct RpcWorld {
+  std::unique_ptr<GridSimulator> grid;
+  std::shared_ptr<SimulatedRpcCatalogClient> rpc;
+  CatalogRegistry registry;
+
+  explicit RpcWorld(bool batching, std::shared_ptr<CatalogClient> cache_over =
+                                       nullptr) {
+    grid = std::make_unique<GridSimulator>(workload::SmallTestbed(), 11);
+    RpcConfig config;
+    config.enable_batching = batching;
+    rpc = std::make_shared<SimulatedRpcCatalogClient>(
+        std::make_shared<InProcessCatalogClient>(ChainCatalog()),
+        grid.get(), config);
+    std::shared_ptr<CatalogClient> endpoint = rpc;
+    if (cache_over != nullptr) endpoint = cache_over;
+    if (!registry.RegisterClient(endpoint).ok()) std::abort();
+  }
+};
+
+void WalkChain(const CatalogRegistry& registry) {
+  FederatedProvenance prov(registry);
+  Result<LineageNode> lineage =
+      prov.Lineage(nullptr, "vdp://chain.org/d" + std::to_string(kChainDepth));
+  if (!lineage.ok()) std::abort();
+  benchmark::DoNotOptimize(lineage);
+}
+
+// FIG3 over naive RPC: each of the chain's links costs four point
+// round trips (exists / producer / derivation / invocations).
+void BM_Fig3ChainWalk_NaiveRpc(benchmark::State& state) {
+  RpcWorld world(/*batching=*/false);
+  for (auto _ : state) {
+    WalkChain(world.registry);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["round_trips"] =
+      static_cast<double>(world.rpc->stats().round_trips) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Fig3ChainWalk_NaiveRpc);
+
+// FIG3 batched: one compound GetProvenanceStep trip per link.
+void BM_Fig3ChainWalk_BatchedRpc(benchmark::State& state) {
+  RpcWorld world(/*batching=*/true);
+  for (auto _ : state) {
+    WalkChain(world.registry);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["round_trips"] =
+      static_cast<double>(world.rpc->stats().round_trips) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Fig3ChainWalk_BatchedRpc);
+
+// FIG3 batched + cache: the first walk fills the step cache; repeat
+// walks are round-trip-free until the server's version moves.
+void BM_Fig3ChainWalk_CachedRpc(benchmark::State& state) {
+  auto grid = std::make_unique<GridSimulator>(workload::SmallTestbed(), 11);
+  auto rpc = std::make_shared<SimulatedRpcCatalogClient>(
+      std::make_shared<InProcessCatalogClient>(ChainCatalog()), grid.get());
+  auto cache = std::make_shared<CachingCatalogClient>(rpc);
+  CatalogRegistry registry;
+  if (!registry.RegisterClient(cache).ok()) std::abort();
+  for (auto _ : state) {
+    WalkChain(registry);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["round_trips"] =
+      static_cast<double>(rpc->stats().round_trips) /
+      static_cast<double>(state.iterations());
+  state.counters["cache_hits"] = static_cast<double>(cache->stats().hits);
+}
+BENCHMARK(BM_Fig3ChainWalk_CachedRpc);
+
+// FIG4 refresh at churn K over one remote source. Naive: version poll
+// + changelog + K point gets. Batched: version poll + changelog + ONE
+// BatchGet, independent of K.
+void RunRefresh(benchmark::State& state, bool batching) {
+  auto grid = std::make_unique<GridSimulator>(workload::SmallTestbed(), 13);
+  RpcConfig config;
+  config.enable_batching = batching;
+  VirtualDataCatalog* catalog = ChainCatalog();
+  auto rpc = std::make_shared<SimulatedRpcCatalogClient>(
+      std::make_shared<InProcessCatalogClient>(catalog), grid.get(), config);
+  FederatedIndex index("fig4-rpc");
+  if (!index.AddSource(rpc).ok()) std::abort();
+  if (!index.Refresh().ok()) std::abort();
+
+  uint64_t refresh_trips = 0;
+  int round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Touch K distinct datasets so the delta carries K upserts.
+    for (int i = 0; i < kChurn; ++i) {
+      Status touched =
+          catalog->Annotate("dataset", "d" + std::to_string(i % kChainDepth),
+                            "round", round);
+      if (!touched.ok()) std::abort();
+    }
+    ++round;
+    uint64_t before = rpc->stats().round_trips;
+    state.ResumeTiming();
+    if (!index.Refresh().ok()) std::abort();
+    refresh_trips += rpc->stats().round_trips - before;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["round_trips"] = static_cast<double>(refresh_trips) /
+                                  static_cast<double>(state.iterations());
+  state.counters["churn"] = kChurn;
+}
+
+void BM_Fig4Refresh_NaiveRpc(benchmark::State& state) {
+  RunRefresh(state, /*batching=*/false);
+}
+BENCHMARK(BM_Fig4Refresh_NaiveRpc);
+
+void BM_Fig4Refresh_BatchedRpc(benchmark::State& state) {
+  RunRefresh(state, /*batching=*/true);
+}
+BENCHMARK(BM_Fig4Refresh_BatchedRpc);
+
+// Fault sweep: 15% loss plus a crash/restore outage cycle on the
+// server's site. Every walk must still complete — retries and
+// backoff absorb the faults — with zero hard failures.
+void BM_FaultSweep(benchmark::State& state) {
+  auto grid = std::make_unique<GridSimulator>(workload::SmallTestbed(), 17);
+  RpcConfig config;
+  config.loss_rate = 0.15;
+  config.site = "east";
+  config.max_attempts = 10;
+  config.backoff_base_s = 0.2;
+  auto rpc = std::make_shared<SimulatedRpcCatalogClient>(
+      std::make_shared<InProcessCatalogClient>(ChainCatalog()), grid.get(),
+      config);
+  CatalogRegistry registry;
+  if (!registry.RegisterClient(rpc).ok()) std::abort();
+  int walk = 0;
+  for (auto _ : state) {
+    // Every 4th walk starts under a 2-simulated-second crash window.
+    if (walk++ % 4 == 0) {
+      if (!grid->ScheduleOutage("east", 0.0, 2.0, true).ok()) std::abort();
+    }
+    WalkChain(registry);
+  }
+  if (rpc->stats().failures != 0) std::abort();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["retries"] = static_cast<double>(rpc->stats().retries);
+  state.counters["lost_calls"] =
+      static_cast<double>(rpc->stats().lost_calls);
+  state.counters["outage_rejections"] =
+      static_cast<double>(rpc->stats().outage_rejections);
+  state.counters["failures"] = static_cast<double>(rpc->stats().failures);
+}
+BENCHMARK(BM_FaultSweep);
+
+}  // namespace
+}  // namespace vdg

@@ -205,6 +205,17 @@ bool VirtualDataCatalog::TypeConforms(const DatasetType& type,
   return types_.Conforms(type, against);
 }
 
+bool VirtualDataCatalog::HasType(TypeDimension dim,
+                                 std::string_view type_name) const {
+  std::shared_lock lock(mu_);
+  return types_.dimension(dim).Contains(type_name);
+}
+
+TypeRegistry VirtualDataCatalog::TypesSnapshot() const {
+  std::shared_lock lock(mu_);
+  return types_;
+}
+
 Result<std::vector<CatalogChange>> VirtualDataCatalog::ChangesSince(
     uint64_t since_version) const {
   std::shared_lock lock(mu_);

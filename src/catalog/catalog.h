@@ -57,11 +57,9 @@ struct CatalogChange {
 /// Lock ordering: the catalog acquires no other lock while holding
 /// its own (it never calls into FederatedIndex or another catalog),
 /// so catalog locks are always leaves — see FederatedIndex for the
-/// index→catalog ordering rule.
-///
-/// Exceptions: the mutable `types()` accessor bypasses the lock and
-/// is setup-time only; concurrent code must use DefineType (writes)
-/// and TypeConforms (reads).
+/// index→catalog ordering rule. There are no lock-bypassing
+/// accessors: the type universe is written via DefineType and read
+/// via TypeConforms/HasType/TypesSnapshot, all under the lock.
 class VirtualDataCatalog {
  public:
   /// `name` identifies this catalog in vdp:// URIs (the authority).
@@ -78,17 +76,19 @@ class VirtualDataCatalog {
 
   const std::string& name() const { return name_; }
 
-  /// The catalog's dataset-type universe. Communities define their own
-  /// type names (Section 3.1); LoadAppendixCPreset() installs the
-  /// paper's example hierarchy. NOT synchronized: direct TypeRegistry
-  /// access is a single-threaded setup API. Concurrent code defines
-  /// types via DefineType and checks conformance via TypeConforms.
-  TypeRegistry& types() { return types_; }
-  const TypeRegistry& types() const { return types_; }
-
-  /// Lock-protected types().Conforms(type, against), safe to call
-  /// while another thread runs DefineType.
+  /// Lock-protected conformance check against the catalog's type
+  /// universe, safe to call while another thread runs DefineType.
   bool TypeConforms(const DatasetType& type, const DatasetType& against) const;
+
+  /// True when `type_name` is defined in dimension `dim`.
+  bool HasType(TypeDimension dim, std::string_view type_name) const;
+
+  /// A point-in-time copy of the whole type universe, for enumeration
+  /// and inspection. Communities define their own type names (Section
+  /// 3.1); LoadTypePreset() installs the paper's Appendix-C hierarchy.
+  /// The snapshot is detached: later DefineType calls do not appear in
+  /// it, and mutating the copy never touches the catalog.
+  TypeRegistry TypesSnapshot() const;
 
   // ------------------------------------------------------------------
   // Definition (the "composition" facet of Figure 5)

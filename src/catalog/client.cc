@@ -1,0 +1,204 @@
+#include "catalog/client.h"
+
+#include <utility>
+
+namespace vdg {
+
+InProcessCatalogClient::InProcessCatalogClient(VirtualDataCatalog* catalog,
+                                               bool read_only)
+    : catalog_(catalog), authority_(catalog->name()), read_only_(read_only) {}
+
+InProcessCatalogClient::InProcessCatalogClient(
+    const VirtualDataCatalog* catalog)
+    : catalog_(const_cast<VirtualDataCatalog*>(catalog)),
+      authority_(catalog->name()),
+      read_only_(true) {}
+
+Status InProcessCatalogClient::CheckWritable() const {
+  if (read_only_) {
+    return Status(StatusCode::kPermissionDenied,
+                  "catalog client for '" + authority_ + "' is read-only");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> InProcessCatalogClient::Version() {
+  return catalog_->version();
+}
+
+Result<std::vector<CatalogChange>> InProcessCatalogClient::ChangesSince(
+    uint64_t since_version) {
+  return catalog_->ChangesSince(since_version);
+}
+
+Result<Dataset> InProcessCatalogClient::GetDataset(std::string_view name) {
+  return catalog_->GetDataset(name);
+}
+
+Result<Transformation> InProcessCatalogClient::GetTransformation(
+    std::string_view name) {
+  return catalog_->GetTransformation(name);
+}
+
+Result<Derivation> InProcessCatalogClient::GetDerivation(
+    std::string_view name) {
+  return catalog_->GetDerivation(name);
+}
+
+Result<bool> InProcessCatalogClient::HasDataset(std::string_view name) {
+  return catalog_->HasDataset(name);
+}
+
+Result<bool> InProcessCatalogClient::IsMaterialized(
+    std::string_view dataset) {
+  return catalog_->IsMaterialized(dataset);
+}
+
+Result<std::string> InProcessCatalogClient::ProducerOf(
+    std::string_view dataset) {
+  return catalog_->ProducerOf(dataset);
+}
+
+Result<std::vector<Invocation>> InProcessCatalogClient::InvocationsOf(
+    std::string_view derivation) {
+  return catalog_->InvocationsOf(derivation);
+}
+
+Result<std::vector<std::string>> InProcessCatalogClient::FindDatasets(
+    const DatasetQuery& query) {
+  return catalog_->FindDatasets(query);
+}
+
+Result<std::vector<std::string>> InProcessCatalogClient::FindTransformations(
+    const TransformationQuery& query) {
+  return catalog_->FindTransformations(query);
+}
+
+Result<std::vector<std::string>> InProcessCatalogClient::FindDerivations(
+    const DerivationQuery& query) {
+  return catalog_->FindDerivations(query);
+}
+
+Result<std::vector<std::string>> InProcessCatalogClient::AllNames(
+    std::string_view kind) {
+  if (kind == "dataset") return catalog_->AllDatasetNames();
+  if (kind == "transformation") return catalog_->AllTransformationNames();
+  if (kind == "derivation") return catalog_->AllDerivationNames();
+  return Status(StatusCode::kInvalidArgument,
+                "unknown object kind '" + std::string(kind) + "'");
+}
+
+Result<bool> InProcessCatalogClient::TypeConforms(const DatasetType& type,
+                                                  const DatasetType& against) {
+  return catalog_->TypeConforms(type, against);
+}
+
+ObjectRecord InProcessCatalogClient::SnapshotObject(
+    const VirtualDataCatalog& catalog, std::string_view kind,
+    std::string_view name) {
+  ObjectRecord record;
+  record.kind = std::string(kind);
+  record.name = std::string(name);
+  if (kind == "dataset") {
+    auto ds = catalog.GetDataset(name);
+    if (ds.ok()) {
+      record.dataset = *std::move(ds);
+      record.materialized = catalog.IsMaterialized(name);
+    } else {
+      record.status = ds.status();
+    }
+  } else if (kind == "transformation") {
+    auto tr = catalog.GetTransformation(name);
+    if (tr.ok()) {
+      record.transformation = *std::move(tr);
+    } else {
+      record.status = tr.status();
+    }
+  } else if (kind == "derivation") {
+    auto dv = catalog.GetDerivation(name);
+    if (dv.ok()) {
+      record.derivation = *std::move(dv);
+    } else {
+      record.status = dv.status();
+    }
+  } else {
+    record.status = Status(StatusCode::kInvalidArgument,
+                           "unknown object kind '" + std::string(kind) + "'");
+  }
+  return record;
+}
+
+Result<std::vector<ObjectRecord>> InProcessCatalogClient::BatchGet(
+    const std::vector<ObjectKey>& keys) {
+  std::vector<ObjectRecord> records;
+  records.reserve(keys.size());
+  for (const ObjectKey& key : keys) {
+    records.push_back(SnapshotObject(*catalog_, key.kind, key.name));
+  }
+  return records;
+}
+
+Result<ProvenanceStep> InProcessCatalogClient::GetProvenanceStep(
+    std::string_view dataset) {
+  ProvenanceStep step;
+  step.dataset = std::string(dataset);
+  step.exists = catalog_->HasDataset(dataset);
+  if (!step.exists) return step;
+  auto producer = catalog_->ProducerOf(dataset);
+  if (!producer.ok()) return step;  // raw input: no derivation behind it
+  step.producer = *producer;
+  auto derivation = catalog_->GetDerivation(step.producer);
+  if (derivation.ok()) {
+    step.derivation = *std::move(derivation);
+    step.invocations = catalog_->InvocationsOf(step.producer);
+  }
+  return step;
+}
+
+Status InProcessCatalogClient::DefineDataset(Dataset dataset) {
+  VDG_RETURN_IF_ERROR(CheckWritable());
+  return catalog_->DefineDataset(std::move(dataset));
+}
+
+Status InProcessCatalogClient::DefineTransformation(
+    Transformation transformation) {
+  VDG_RETURN_IF_ERROR(CheckWritable());
+  return catalog_->DefineTransformation(std::move(transformation));
+}
+
+Status InProcessCatalogClient::DefineDerivation(Derivation derivation) {
+  VDG_RETURN_IF_ERROR(CheckWritable());
+  return catalog_->DefineDerivation(std::move(derivation));
+}
+
+Status InProcessCatalogClient::Annotate(std::string_view kind,
+                                        std::string_view name,
+                                        std::string_view key,
+                                        AttributeValue value) {
+  VDG_RETURN_IF_ERROR(CheckWritable());
+  return catalog_->Annotate(kind, name, key, std::move(value));
+}
+
+Result<std::string> InProcessCatalogClient::AddReplica(Replica replica) {
+  VDG_RETURN_IF_ERROR(CheckWritable());
+  return catalog_->AddReplica(std::move(replica));
+}
+
+Result<std::string> InProcessCatalogClient::RecordInvocation(
+    Invocation invocation) {
+  VDG_RETURN_IF_ERROR(CheckWritable());
+  return catalog_->RecordInvocation(std::move(invocation));
+}
+
+Status InProcessCatalogClient::SetDatasetSize(std::string_view name,
+                                              int64_t size_bytes) {
+  VDG_RETURN_IF_ERROR(CheckWritable());
+  return catalog_->SetDatasetSize(name, size_bytes);
+}
+
+Status InProcessCatalogClient::InvalidateReplica(std::string_view id) {
+  VDG_RETURN_IF_ERROR(CheckWritable());
+  return catalog_->InvalidateReplica(id);
+}
+
+}  // namespace vdg

@@ -1,0 +1,224 @@
+#ifndef VDG_CATALOG_CLIENT_H_
+#define VDG_CATALOG_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace vdg {
+
+/// Names one catalog object for batched lookup: `kind` is "dataset",
+/// "transformation", or "derivation".
+struct ObjectKey {
+  std::string kind;
+  std::string name;
+};
+
+/// One batched-lookup result. Exactly one of the optionals is engaged
+/// when `status` is OK; a NotFound status is a real answer (the object
+/// is gone), not a transport failure.
+struct ObjectRecord {
+  std::string kind;
+  std::string name;
+  Status status = Status::OK();
+  std::optional<Dataset> dataset;
+  std::optional<Transformation> transformation;
+  std::optional<Derivation> derivation;
+  /// Datasets only: whether it had a valid replica at snapshot time.
+  bool materialized = false;
+};
+
+/// Everything one hop of a provenance walk needs, fetched as a single
+/// server-side compound call: the paper's lineage chains make one
+/// round trip per link instead of four (exists / producer / derivation
+/// / invocations).
+struct ProvenanceStep {
+  std::string dataset;
+  bool exists = false;
+  std::string producer;  // "" for raw inputs
+  std::optional<Derivation> derivation;
+  std::vector<Invocation> invocations;
+};
+
+/// The service boundary in front of a Virtual Data Catalog (Section 4:
+/// every VDC is a *server* reached through vdp:// hyperlinks). All
+/// cross-catalog consumers — the registry, federated indexes,
+/// provenance walks, promotion, the executor's provenance writes —
+/// speak this interface instead of dereferencing VirtualDataCatalog
+/// directly, so the same code runs over an in-process adapter
+/// (zero-cost, today's behavior) or a simulated/real RPC transport
+/// where round trips can be counted, batched, cached, and made to
+/// fail.
+///
+/// Conventions:
+///  - Every read returns Result<> even where the catalog API returns a
+///    plain value: a remote call can always fail in transport.
+///  - Mutations on a read-only handle fail with PermissionDenied
+///    before touching the catalog.
+///  - Batched calls (BatchGet, GetProvenanceStep) are semantically
+///    equivalent to the matching sequence of point calls; transports
+///    may coalesce each into one round trip.
+///
+/// Lock ordering: clients may hold internal locks (e.g. a cache
+/// mutex) while calling into the catalog, and FederatedIndex holds its
+/// own lock while calling clients — the global order is
+/// index -> client -> catalog, and the catalog lock stays a leaf.
+class CatalogClient {
+ public:
+  virtual ~CatalogClient() = default;
+
+  /// The vdp:// authority this client reaches. Configuration, not a
+  /// remote call — never costs a round trip.
+  virtual const std::string& authority() const = 0;
+
+  /// True when this handle rejects every mutation.
+  virtual bool read_only() const = 0;
+
+  /// The local catalog when this client is a zero-cost in-process
+  /// adapter, nullptr for any remote transport. Escape hatch for
+  /// callers that provably share an address space (tests, the CLI);
+  /// federation code must not use it.
+  virtual VirtualDataCatalog* local_catalog() const { return nullptr; }
+
+  // ------------------------------------------------------------------
+  // Reads
+  // ------------------------------------------------------------------
+
+  /// The catalog's monotonic edit version (staleness poll).
+  virtual Result<uint64_t> Version() = 0;
+  /// The catalog changelog since `since_version` (see
+  /// VirtualDataCatalog::ChangesSince for the window contract).
+  virtual Result<std::vector<CatalogChange>> ChangesSince(
+      uint64_t since_version) = 0;
+
+  virtual Result<Dataset> GetDataset(std::string_view name) = 0;
+  virtual Result<Transformation> GetTransformation(std::string_view name) = 0;
+  virtual Result<Derivation> GetDerivation(std::string_view name) = 0;
+  virtual Result<bool> HasDataset(std::string_view name) = 0;
+  virtual Result<bool> IsMaterialized(std::string_view dataset) = 0;
+  virtual Result<std::string> ProducerOf(std::string_view dataset) = 0;
+  virtual Result<std::vector<Invocation>> InvocationsOf(
+      std::string_view derivation) = 0;
+
+  virtual Result<std::vector<std::string>> FindDatasets(
+      const DatasetQuery& query) = 0;
+  virtual Result<std::vector<std::string>> FindTransformations(
+      const TransformationQuery& query) = 0;
+  virtual Result<std::vector<std::string>> FindDerivations(
+      const DerivationQuery& query) = 0;
+  /// All object names of `kind` ("dataset"|"transformation"|
+  /// "derivation").
+  virtual Result<std::vector<std::string>> AllNames(
+      std::string_view kind) = 0;
+
+  /// Type conformance judged by the owning catalog's type universe.
+  virtual Result<bool> TypeConforms(const DatasetType& type,
+                                    const DatasetType& against) = 0;
+
+  // ------------------------------------------------------------------
+  // Batched reads — one round trip regardless of count
+  // ------------------------------------------------------------------
+
+  /// Snapshots of many objects in one call; the result is positionally
+  /// aligned with `keys` and per-entry NotFound is reported in the
+  /// record, not as a call failure.
+  virtual Result<std::vector<ObjectRecord>> BatchGet(
+      const std::vector<ObjectKey>& keys) = 0;
+
+  /// One provenance hop (exists + producer + derivation + invocations)
+  /// as a single compound call. A missing dataset is reported via
+  /// `exists = false`, not an error.
+  virtual Result<ProvenanceStep> GetProvenanceStep(
+      std::string_view dataset) = 0;
+
+  // ------------------------------------------------------------------
+  // Mutations (PermissionDenied on read-only handles)
+  // ------------------------------------------------------------------
+
+  virtual Status DefineDataset(Dataset dataset) = 0;
+  virtual Status DefineTransformation(Transformation transformation) = 0;
+  virtual Status DefineDerivation(Derivation derivation) = 0;
+  virtual Status Annotate(std::string_view kind, std::string_view name,
+                          std::string_view key, AttributeValue value) = 0;
+  virtual Result<std::string> AddReplica(Replica replica) = 0;
+  virtual Result<std::string> RecordInvocation(Invocation invocation) = 0;
+  virtual Status SetDatasetSize(std::string_view name,
+                                int64_t size_bytes) = 0;
+  virtual Status InvalidateReplica(std::string_view id) = 0;
+};
+
+/// The zero-cost adapter: forwards every call straight into an
+/// in-process VirtualDataCatalog, preserving the pre-boundary behavior
+/// bit-for-bit. Thread-safe to exactly the extent the catalog is (the
+/// adapter itself keeps no mutable state).
+class InProcessCatalogClient : public CatalogClient {
+ public:
+  /// Read-write (or explicitly read-only) handle on a local catalog.
+  explicit InProcessCatalogClient(VirtualDataCatalog* catalog,
+                                  bool read_only = false);
+  /// A const catalog yields a read-only handle: every mutation is
+  /// rejected before the underlying object is ever touched, so the
+  /// internal const_cast can never be observed.
+  explicit InProcessCatalogClient(const VirtualDataCatalog* catalog);
+
+  const std::string& authority() const override { return authority_; }
+  bool read_only() const override { return read_only_; }
+  VirtualDataCatalog* local_catalog() const override {
+    return read_only_ ? nullptr : catalog_;
+  }
+
+  Result<uint64_t> Version() override;
+  Result<std::vector<CatalogChange>> ChangesSince(
+      uint64_t since_version) override;
+  Result<Dataset> GetDataset(std::string_view name) override;
+  Result<Transformation> GetTransformation(std::string_view name) override;
+  Result<Derivation> GetDerivation(std::string_view name) override;
+  Result<bool> HasDataset(std::string_view name) override;
+  Result<bool> IsMaterialized(std::string_view dataset) override;
+  Result<std::string> ProducerOf(std::string_view dataset) override;
+  Result<std::vector<Invocation>> InvocationsOf(
+      std::string_view derivation) override;
+  Result<std::vector<std::string>> FindDatasets(
+      const DatasetQuery& query) override;
+  Result<std::vector<std::string>> FindTransformations(
+      const TransformationQuery& query) override;
+  Result<std::vector<std::string>> FindDerivations(
+      const DerivationQuery& query) override;
+  Result<std::vector<std::string>> AllNames(std::string_view kind) override;
+  Result<bool> TypeConforms(const DatasetType& type,
+                            const DatasetType& against) override;
+  Result<std::vector<ObjectRecord>> BatchGet(
+      const std::vector<ObjectKey>& keys) override;
+  Result<ProvenanceStep> GetProvenanceStep(std::string_view dataset) override;
+
+  Status DefineDataset(Dataset dataset) override;
+  Status DefineTransformation(Transformation transformation) override;
+  Status DefineDerivation(Derivation derivation) override;
+  Status Annotate(std::string_view kind, std::string_view name,
+                  std::string_view key, AttributeValue value) override;
+  Result<std::string> AddReplica(Replica replica) override;
+  Result<std::string> RecordInvocation(Invocation invocation) override;
+  Status SetDatasetSize(std::string_view name, int64_t size_bytes) override;
+  Status InvalidateReplica(std::string_view id) override;
+
+  /// Snapshots one catalog object into an ObjectRecord (shared with
+  /// remote transports, which execute the same logic server-side).
+  static ObjectRecord SnapshotObject(const VirtualDataCatalog& catalog,
+                                     std::string_view kind,
+                                     std::string_view name);
+
+ private:
+  Status CheckWritable() const;
+
+  VirtualDataCatalog* catalog_;
+  std::string authority_;
+  bool read_only_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_CATALOG_CLIENT_H_

@@ -12,6 +12,13 @@ bool IsVdpUri(std::string_view name) {
   return StartsWith(name, kScheme);
 }
 
+std::string MakeVdpRef(std::string_view authority, std::string_view name) {
+  std::string ref;
+  ref.reserve(kScheme.size() + authority.size() + 1 + name.size());
+  ref.append(kScheme).append(authority).append("/").append(name);
+  return ref;
+}
+
 Result<VdpUri> ParseVdpUri(std::string_view uri) {
   if (!IsVdpUri(uri)) {
     return Status::ParseError("not a vdp:// URI: " + std::string(uri));

@@ -34,6 +34,10 @@ Result<VdpUri> ParseVdpUri(std::string_view uri);
 /// True when `name` is a vdp:// reference rather than a local name.
 bool IsVdpUri(std::string_view name);
 
+/// Renders the canonical vdp:// hyperlink for `name` in the catalog
+/// named `authority` — the one spelling every layer agrees on.
+std::string MakeVdpRef(std::string_view authority, std::string_view name);
+
 }  // namespace vdg
 
 #endif  // VDG_COMMON_URI_H_

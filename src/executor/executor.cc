@@ -458,7 +458,7 @@ void WorkflowEngine::RederiveInput(WorkflowState* wf, size_t index,
   for (const Replica& replica : catalog_->ReplicasOf(input)) {
     if (!grid_->rls().ExistsAt(input, replica.site)) {
       ++wf->result.recovery.replicas_lost_detected;
-      Status invalidated = catalog_->InvalidateReplica(replica.id);
+      Status invalidated = writer_->InvalidateReplica(replica.id);
       if (!invalidated.ok()) {
         VDG_LOG(Warning) << "cannot invalidate lost replica "
                          << replica.id << ": " << invalidated.ToString();
@@ -507,8 +507,8 @@ void WorkflowEngine::RederiveInput(WorkflowState* wf, size_t index,
         if (result.succeeded) {
           // Record the recovery in provenance: the dataset was rebuilt
           // from its derivation after its replicas were lost.
-          catalog_->Annotate("dataset", input, "recovery.rederived", true);
-          catalog_->Annotate("dataset", input, "recovery.by_workflow",
+          writer_->Annotate("dataset", input, "recovery.rederived", true);
+          writer_->Annotate("dataset", input, "recovery.by_workflow",
                              static_cast<int64_t>(result.workflow_id));
           WorkflowState* parent = FindWorkflow(wf_id);
           if (parent != nullptr) {
@@ -683,7 +683,7 @@ void WorkflowEngine::RecordProvenance(WorkflowState* wf, NodeState* node,
   // Synthesized sub-derivations (compound expansion) may not exist in
   // the catalog yet; define them so invocations have an anchor.
   if (!catalog_->HasDerivation(plan.derivation.name())) {
-    Status defined = catalog_->DefineDerivation(plan.derivation);
+    Status defined = writer_->DefineDerivation(plan.derivation);
     if (!defined.ok()) {
       VDG_LOG(Warning) << "cannot define synthesized derivation "
                        << plan.derivation.name() << ": "
@@ -718,7 +718,7 @@ void WorkflowEngine::RecordProvenance(WorkflowState* wf, NodeState* node,
     replica.physical_path = "/" + job.site + "/" + output;
     replica.size_bytes = bytes;
     replica.created_at = job.end_time;
-    Result<std::string> added = catalog_->AddReplica(std::move(replica));
+    Result<std::string> added = writer_->AddReplica(std::move(replica));
     if (added.ok()) {
       iv.produced_replicas.push_back(*added);
     } else {
@@ -727,19 +727,19 @@ void WorkflowEngine::RecordProvenance(WorkflowState* wf, NodeState* node,
     }
     Result<Dataset> ds = catalog_->GetDataset(output);
     if (ds.ok() && ds->size_bytes == 0) {
-      Status sized = catalog_->SetDatasetSize(output, bytes);
+      Status sized = writer_->SetDatasetSize(output, bytes);
       (void)sized;
     }
   }
   const int attempts = node->execution.attempts;
-  Result<std::string> recorded = catalog_->RecordInvocation(std::move(iv));
+  Result<std::string> recorded = writer_->RecordInvocation(std::move(iv));
   if (!recorded.ok()) {
     VDG_LOG(Warning) << "invocation record failed: "
                      << recorded.status().ToString();
   } else if (attempts > 1) {
     // Recovery leaves its mark: an invocation that only succeeded
     // after retries records how hard it was.
-    catalog_->Annotate("invocation", *recorded, "recovery.attempts",
+    writer_->Annotate("invocation", *recorded, "recovery.attempts",
                        static_cast<int64_t>(attempts));
   }
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/client.h"
 #include "estimator/estimator.h"
 #include "grid/simulator.h"
 #include "planner/plan.h"
@@ -131,7 +132,21 @@ class WorkflowEngine {
 
   WorkflowEngine(GridSimulator* grid, VirtualDataCatalog* catalog,
                  ExecutorOptions options = {})
-      : grid_(grid), catalog_(catalog), options_(options) {}
+      : grid_(grid),
+        catalog_(catalog),
+        writer_(std::make_shared<InProcessCatalogClient>(catalog)),
+        options_(options) {}
+
+  /// Routes all catalog *writes* (derivations, replicas, invocations,
+  /// annotations) through `writer` instead of the default in-process
+  /// client, so provenance recording can be observed, cached, or sent
+  /// over a (simulated) wire. Reads stay on the local catalog: the
+  /// hot scheduling path must not pay transport costs. `writer` must
+  /// target the same catalog and must not be read-only. Call before
+  /// submitting work.
+  void set_catalog_writer(std::shared_ptr<CatalogClient> writer) {
+    writer_ = std::move(writer);
+  }
 
   /// Enqueues a workflow; `on_done` fires in simulated time when it
   /// finishes. Multiple workflows may be in flight concurrently.
@@ -236,6 +251,8 @@ class WorkflowEngine {
 
   GridSimulator* grid_;
   VirtualDataCatalog* catalog_;
+  /// Write-side catalog access (see the writer constructor).
+  std::shared_ptr<CatalogClient> writer_;
   ExecutorOptions options_;
   /// Estimator backing recovery re-planning (re-derivation of lost
   /// inputs builds a fresh RequestPlanner around it).

@@ -1,43 +1,51 @@
 #include "federation/fed_provenance.h"
 
+#include "common/uri.h"
+
 namespace vdg {
 
-Status FederatedProvenance::Build(VirtualDataCatalog* home,
-                                  std::string_view dataset_ref, int depth,
+Status FederatedProvenance::Build(const ResolvedRef& ref, int depth,
                                   int max_depth,
                                   std::set<std::string>* on_path,
                                   LineageNode* out) const {
-  VDG_ASSIGN_OR_RETURN(ResolvedRef ref, registry_.Resolve(home, dataset_ref));
   if (ref.remote) ++last_hops_;
-  VirtualDataCatalog* catalog = ref.catalog;
-  if (!catalog->HasDataset(ref.local_name)) {
+  CatalogClient* client = ref.client;
+  // One compound call per link: existence, producer, derivation, and
+  // invocations all arrive together.
+  VDG_ASSIGN_OR_RETURN(ProvenanceStep step,
+                       client->GetProvenanceStep(ref.local_name));
+  if (!step.exists) {
     return Status::NotFound("dataset not found: " + ref.local_name + " at " +
-                            catalog->name());
+                            client->authority());
   }
-  std::string qualified = "vdp://" + catalog->name() + "/" + ref.local_name;
+  std::string qualified = MakeVdpRef(client->authority(), ref.local_name);
   if (on_path->count(qualified) != 0) {
     return Status::FailedPrecondition("provenance cycle through " +
                                       qualified);
   }
   out->dataset = qualified;
 
-  Result<std::string> producer = catalog->ProducerOf(ref.local_name);
-  if (!producer.ok()) return Status::OK();  // raw input
+  if (step.producer.empty()) return Status::OK();  // raw input
 
-  out->derivation = "vdp://" + catalog->name() + "/" + *producer;
-  VDG_ASSIGN_OR_RETURN(Derivation dv, catalog->GetDerivation(*producer));
-  out->transformation = dv.QualifiedTransformation();
-  out->invocations = catalog->InvocationsOf(*producer);
+  out->derivation = MakeVdpRef(client->authority(), step.producer);
+  if (!step.derivation) {
+    return Status::NotFound("derivation not found: " + step.producer +
+                            " at " + client->authority());
+  }
+  out->transformation = step.derivation->QualifiedTransformation();
+  out->invocations = std::move(step.invocations);
 
   if (max_depth != 0 && depth >= max_depth) return Status::OK();
 
   on_path->insert(qualified);
-  for (const std::string& input : dv.InputDatasets()) {
+  for (const std::string& input : step.derivation->InputDatasets()) {
     LineageNode child;
     // Inputs resolve relative to the catalog holding the derivation —
     // a bare name means "this server", a hyperlink crosses servers.
+    VDG_ASSIGN_OR_RETURN(ResolvedRef input_ref,
+                         registry_.ResolveFrom(client, input));
     VDG_RETURN_IF_ERROR(
-        Build(catalog, input, depth + 1, max_depth, on_path, &child));
+        Build(input_ref, depth + 1, max_depth, on_path, &child));
     out->inputs.push_back(std::move(child));
   }
   on_path->erase(qualified);
@@ -50,8 +58,8 @@ Result<LineageNode> FederatedProvenance::Lineage(VirtualDataCatalog* home,
   last_hops_ = 0;
   LineageNode root;
   std::set<std::string> on_path;
-  VDG_RETURN_IF_ERROR(
-      Build(home, dataset_ref, 0, max_depth, &on_path, &root));
+  VDG_ASSIGN_OR_RETURN(ResolvedRef ref, registry_.Resolve(home, dataset_ref));
+  VDG_RETURN_IF_ERROR(Build(ref, 0, max_depth, &on_path, &root));
   return root;
 }
 

@@ -14,6 +14,12 @@ namespace vdg {
 /// turn depends on collaboration data. Dataset and transformation
 /// references may be `vdp://` hyperlinks or `authority::name` forms;
 /// traversal hops between catalogs through the registry.
+///
+/// Each link of the chain costs ONE round trip on the owning server:
+/// the walk fetches a compound ProvenanceStep (exists + producer +
+/// derivation + invocations) through the CatalogClient boundary
+/// instead of four point lookups, which is what keeps deep chains
+/// usable over real transports.
 class FederatedProvenance {
  public:
   explicit FederatedProvenance(const CatalogRegistry& registry)
@@ -30,9 +36,11 @@ class FederatedProvenance {
   uint64_t last_hop_count() const { return last_hops_; }
 
  private:
-  Status Build(VirtualDataCatalog* home, std::string_view dataset_ref,
-               int depth, int max_depth, std::set<std::string>* on_path,
-               LineageNode* out) const;
+  /// Expands one already-resolved link, recursing through the
+  /// registry for its inputs (resolved relative to the server holding
+  /// the derivation).
+  Status Build(const ResolvedRef& ref, int depth, int max_depth,
+               std::set<std::string>* on_path, LineageNode* out) const;
 
   const CatalogRegistry& registry_;
   mutable uint64_t last_hops_ = 0;

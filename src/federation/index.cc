@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <utility>
 
 #include "common/strings.h"
 
@@ -26,38 +27,38 @@ std::string FederatedIndex::EntryKey(std::string_view kind,
 
 Status FederatedIndex::AddSource(const VirtualDataCatalog* catalog) {
   if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  return AddSource(std::make_shared<InProcessCatalogClient>(catalog));
+}
+
+Status FederatedIndex::AddSource(std::shared_ptr<CatalogClient> client) {
+  if (client == nullptr) return Status::InvalidArgument("null catalog client");
   std::unique_lock lock(mu_);
-  for (const SourceState& source : sources_) {
-    if (source.catalog == catalog) {
-      return Status::AlreadyExists("catalog already indexed: " +
-                                   catalog->name());
-    }
+  if (source_by_authority_.count(client->authority()) != 0) {
+    return Status::AlreadyExists("catalog already indexed: " +
+                                 client->authority());
   }
-  sources_.push_back(SourceState{catalog, 0, {}});
-  source_by_authority_[catalog->name()] = catalog;
+  source_by_authority_[client->authority()] = client.get();
+  sources_.push_back(SourceState{std::move(client), 0, {}});
   return Status::OK();
 }
 
-Result<IndexEntry> FederatedIndex::Snapshot(const VirtualDataCatalog& catalog,
-                                            std::string_view kind,
-                                            std::string_view name) {
+Result<IndexEntry> FederatedIndex::EntryFromRecord(
+    ObjectRecord record, std::string_view authority) {
+  if (!record.status.ok()) return record.status;
   IndexEntry entry;
-  entry.kind = std::string(kind);
-  entry.name = std::string(name);
-  entry.authority = catalog.name();
-  if (kind == "dataset") {
-    VDG_ASSIGN_OR_RETURN(Dataset ds, catalog.GetDataset(name));
-    entry.type = ds.type;
-    entry.materialized = catalog.IsMaterialized(name);
-    entry.annotations = ds.annotations;
-  } else if (kind == "transformation") {
-    VDG_ASSIGN_OR_RETURN(Transformation tr, catalog.GetTransformation(name));
-    entry.annotations = tr.annotations();
-  } else if (kind == "derivation") {
-    VDG_ASSIGN_OR_RETURN(Derivation dv, catalog.GetDerivation(name));
-    entry.annotations = dv.annotations();
+  entry.kind = std::move(record.kind);
+  entry.name = std::move(record.name);
+  entry.authority = std::string(authority);
+  if (record.dataset) {
+    entry.type = record.dataset->type;
+    entry.materialized = record.materialized;
+    entry.annotations = std::move(record.dataset->annotations);
+  } else if (record.transformation) {
+    entry.annotations = std::move(record.transformation->annotations());
+  } else if (record.derivation) {
+    entry.annotations = std::move(record.derivation->annotations());
   } else {
-    return Status::InvalidArgument("unindexable kind: " + std::string(kind));
+    return Status::InvalidArgument("unindexable kind: " + entry.kind);
   }
   return entry;
 }
@@ -73,7 +74,7 @@ void FederatedIndex::UpsertEntry(SourceState* source, IndexEntry entry) {
 
 void FederatedIndex::EraseEntry(SourceState* source, std::string_view kind,
                                 std::string_view name) {
-  std::string key = EntryKey(kind, source->catalog->name(), name);
+  std::string key = EntryKey(kind, source->client->authority(), name);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   auto [lo, hi] = by_name_.equal_range(NameKey(kind, name));
@@ -88,12 +89,12 @@ void FederatedIndex::EraseEntry(SourceState* source, std::string_view kind,
 }
 
 Status FederatedIndex::RebuildSource(SourceState* source) {
-  const VirtualDataCatalog& catalog = *source->catalog;
+  CatalogClient& client = *source->client;
   // Capture the version BEFORE enumerating: a writer racing the scan
   // may land changes we partially miss, and recording the pre-scan
   // version makes the next delta refresh re-apply them (idempotent
   // upserts) instead of skipping them forever.
-  uint64_t version_before_scan = catalog.version();
+  VDG_ASSIGN_OR_RETURN(uint64_t version_before_scan, client.Version());
   // Drop everything this source contributed, then rescan it.
   for (const std::string& key : source->entry_keys) {
     auto it = entries_.find(key);
@@ -110,21 +111,30 @@ Status FederatedIndex::RebuildSource(SourceState* source) {
   }
   source->entry_keys.clear();
 
+  // Enumerate all three kinds, then fetch every object in one batched
+  // round trip rather than a point lookup per name.
+  std::vector<ObjectKey> keys;
   const char* kinds[] = {"dataset", "transformation", "derivation"};
   for (const char* kind : kinds) {
-    std::vector<std::string> names;
-    if (kind == std::string_view("dataset")) {
-      names = catalog.AllDatasetNames();
-    } else if (kind == std::string_view("transformation")) {
-      names = catalog.AllTransformationNames();
-    } else {
-      names = catalog.AllDerivationNames();
+    VDG_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                         client.AllNames(kind));
+    for (std::string& name : names) {
+      keys.push_back(ObjectKey{kind, std::move(name)});
     }
-    for (const std::string& name : names) {
-      VDG_ASSIGN_OR_RETURN(IndexEntry entry, Snapshot(catalog, kind, name));
-      UpsertEntry(source, std::move(entry));
-      ++refresh_stats_.entries_scanned;
+  }
+  VDG_ASSIGN_OR_RETURN(std::vector<ObjectRecord> records,
+                       client.BatchGet(keys));
+  for (ObjectRecord& record : records) {
+    Result<IndexEntry> entry =
+        EntryFromRecord(std::move(record), client.authority());
+    if (!entry.ok()) {
+      // A name enumerated a moment ago can be gone by snapshot time
+      // (racing remove); the next delta will reconcile it.
+      if (entry.status().IsNotFound()) continue;
+      return entry.status();
     }
+    UpsertEntry(source, std::move(*entry));
+    ++refresh_stats_.entries_scanned;
   }
   ++refresh_stats_.full_rebuilds;
   source->version_at_refresh = version_before_scan;
@@ -133,7 +143,7 @@ Status FederatedIndex::RebuildSource(SourceState* source) {
 
 Status FederatedIndex::ApplyDelta(SourceState* source,
                                   const std::vector<CatalogChange>& changes) {
-  const VirtualDataCatalog& catalog = *source->catalog;
+  CatalogClient& client = *source->client;
   // Collapse to the final op per object: a burst of edits to one
   // dataset costs one snapshot, and interleaved define/remove settles
   // on whichever came last.
@@ -145,12 +155,29 @@ Status FederatedIndex::ApplyDelta(SourceState* source,
     }
     final_op[{change.kind, change.name}] = change.op;
   }
+  // One batched fetch for every upserted object; deletes need no I/O.
+  std::vector<ObjectKey> keys;
+  for (const auto& [object, op] : final_op) {
+    if (op != 'D') keys.push_back(ObjectKey{object.first, object.second});
+  }
+  std::map<std::pair<std::string, std::string>, ObjectRecord> fetched;
+  if (!keys.empty()) {
+    VDG_ASSIGN_OR_RETURN(std::vector<ObjectRecord> records,
+                         client.BatchGet(keys));
+    for (ObjectRecord& record : records) {
+      fetched[{record.kind, record.name}] = std::move(record);
+    }
+  }
   for (const auto& [object, op] : final_op) {
     const auto& [kind, name] = object;
     if (op == 'D') {
       EraseEntry(source, kind, name);
     } else {
-      Result<IndexEntry> entry = Snapshot(catalog, kind, name);
+      auto it = fetched.find(object);
+      Result<IndexEntry> entry =
+          it == fetched.end()
+              ? Result<IndexEntry>(Status::NotFound("missing record"))
+              : EntryFromRecord(std::move(it->second), client.authority());
       if (entry.ok()) {
         UpsertEntry(source, std::move(*entry));
       } else {
@@ -178,14 +205,31 @@ Status FederatedIndex::Refresh() {
   // half-summed) while the per-source versions still hold real values.
   uint64_t version_sum = 0;
   for (SourceState& source : sources_) {
-    if (source.catalog->version() != source.version_at_refresh ||
-        refresh_count_ == 0) {
+    Result<uint64_t> live_version = source.client->Version();
+    if (!live_version.ok()) {
+      version_sum_ = 0;
+      for (const SourceState& s : sources_) {
+        version_sum_ += s.version_at_refresh;
+      }
+      return live_version.status();
+    }
+    if (*live_version != source.version_at_refresh || refresh_count_ == 0) {
       Result<std::vector<CatalogChange>> changes =
-          source.catalog->ChangesSince(source.version_at_refresh);
-      Status applied = changes.ok() ? ApplyDelta(&source, *changes)
-                                    // Changelog window exceeded (or
-                                    // source predates it): rescan.
-                                    : RebuildSource(&source);
+          source.client->ChangesSince(source.version_at_refresh);
+      Status applied;
+      if (changes.ok()) {
+        applied = ApplyDelta(&source, *changes);
+      } else if (changes.status().code() == StatusCode::kResourceExhausted ||
+                 changes.status().IsInvalidArgument()) {
+        // Changelog window exceeded, or our recorded version predates
+        // (or postdates, after a source reset) the window: rescan.
+        // Transport failures do NOT take this branch — an unreachable
+        // source must surface as an error, not as a silent full
+        // rebuild over the same broken link.
+        applied = RebuildSource(&source);
+      } else {
+        applied = changes.status();
+      }
       if (!applied.ok()) {
         // Keep the stats invariant: the sum always mirrors the
         // per-source versions, including sources updated before the
@@ -227,9 +271,10 @@ bool FederatedIndex::IsStale() const {
   std::shared_lock lock(mu_);
   if (refresh_count_ == 0) return true;
   for (const SourceState& source : sources_) {
-    // catalog->version() is an atomic load; polling it here contends
-    // only on this index's shared lock, never on the catalog's.
-    if (source.catalog->version() != source.version_at_refresh) return true;
+    // In-process clients answer from an atomic load; polling here
+    // contends only on this index's shared lock, never the catalog's.
+    Result<uint64_t> version = source.client->Version();
+    if (!version.ok() || *version != source.version_at_refresh) return true;
   }
   return false;
 }
@@ -247,15 +292,15 @@ std::vector<IndexEntry> FederatedIndex::FindDatasets(
       continue;
     }
     if (query.type) {
-      // Conformance is judged by the owning catalog's type universe.
-      // TypeConforms (not types().Conforms) so the hierarchy is read
-      // under the catalog's lock — a concurrent DefineType would
-      // otherwise race this walk.
+      // Conformance is judged by the owning catalog's type universe,
+      // read under that catalog's lock through the client boundary —
+      // a concurrent DefineType would otherwise race this walk. An
+      // unreachable owner conservatively excludes its entries.
       auto owner = source_by_authority_.find(entry.authority);
-      if (owner == source_by_authority_.end() ||
-          !owner->second->TypeConforms(entry.type, *query.type)) {
-        continue;
-      }
+      if (owner == source_by_authority_.end()) continue;
+      Result<bool> conforms =
+          owner->second->TypeConforms(entry.type, *query.type);
+      if (!conforms.ok() || !*conforms) continue;
     }
     if (!MatchesAll(entry.annotations, query.predicates)) continue;
     if (query.require_materialized && !entry.materialized) continue;
@@ -286,7 +331,9 @@ std::vector<IndexEntry> FederatedIndex::FindTransformations(
       if (owner == source_by_authority_.end()) continue;
       TransformationQuery narrowed = query;
       narrowed.name_prefix = entry.name;
-      if (owner->second->FindTransformations(narrowed).empty()) continue;
+      Result<std::vector<std::string>> matches =
+          owner->second->FindTransformations(narrowed);
+      if (!matches.ok() || matches->empty()) continue;
     }
     out.push_back(entry);
     if (query.limit != 0 && out.size() >= query.limit) break;
@@ -329,18 +376,22 @@ std::vector<IndexEntry> FederatedIndex::ScanDatasets(
   std::shared_lock lock(mu_);
   std::vector<IndexEntry> out;
   for (const SourceState& source : sources_) {
-    const VirtualDataCatalog& catalog = *source.catalog;
-    for (const std::string& name : catalog.FindDatasets(query)) {
-      Result<Dataset> ds = catalog.GetDataset(name);
-      if (!ds.ok()) continue;
-      IndexEntry entry;
-      entry.kind = "dataset";
-      entry.name = name;
-      entry.authority = catalog.name();
-      entry.type = ds->type;
-      entry.materialized = catalog.IsMaterialized(name);
-      entry.annotations = ds->annotations;
-      out.push_back(std::move(entry));
+    CatalogClient& client = *source.client;
+    Result<std::vector<std::string>> names = client.FindDatasets(query);
+    if (!names.ok()) continue;  // unreachable source contributes nothing
+    // One batched fetch for the matches instead of a get per name.
+    std::vector<ObjectKey> keys;
+    keys.reserve(names->size());
+    for (const std::string& name : *names) {
+      keys.push_back(ObjectKey{"dataset", name});
+    }
+    Result<std::vector<ObjectRecord>> records = client.BatchGet(keys);
+    if (!records.ok()) continue;
+    for (ObjectRecord& record : *records) {
+      Result<IndexEntry> entry =
+          EntryFromRecord(std::move(record), client.authority());
+      if (!entry.ok()) continue;
+      out.push_back(std::move(*entry));
       if (query.limit != 0 && out.size() >= query.limit) return out;
     }
   }

@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/client.h"
+#include "common/uri.h"
 
 namespace vdg {
 
@@ -22,7 +25,7 @@ struct IndexEntry {
   bool materialized = false;
   AttributeSet annotations;
 
-  std::string VdpRef() const { return "vdp://" + authority + "/" + name; }
+  std::string VdpRef() const { return MakeVdpRef(authority, name); }
 };
 
 /// Counters describing how the index has been kept fresh; the
@@ -41,30 +44,39 @@ struct IndexRefreshStats {
 /// price of staleness, which `IsStale()` detects via the catalogs'
 /// edit-version counters.
 ///
-/// Refresh() is incremental: each source catalog exposes a bounded
-/// per-version changelog (VirtualDataCatalog::ChangesSince), and the
-/// index applies only the objects that changed since its recorded
-/// version for that source. When the changelog window no longer
-/// reaches back far enough, that source alone falls back to a full
-/// rescan. RebuildAll() forces the old full-rescan behavior.
+/// Sources are CatalogClient handles (read-only by construction when
+/// added as raw catalogs), so the same index federates in-process
+/// catalogs and remote endpoints. Refresh() is incremental: each
+/// source exposes a bounded per-version changelog (ChangesSince), and
+/// the index applies only the objects that changed since its recorded
+/// version for that source, fetching the changed objects in ONE
+/// batched round trip. When the changelog window no longer reaches
+/// back far enough, that source alone falls back to a full rescan
+/// (also batched); transport errors (e.g. Unavailable) propagate
+/// instead of silently triggering an expensive rebuild. RebuildAll()
+/// forces the old full-rescan behavior.
 ///
 /// Threading: a shared_mutex guards the snapshot. Lookups
 /// (FindDatasets / FindTransformations / FindDerivations / LookupName /
 /// ScanDatasets / IsStale / the counters) take it shared and may run
 /// concurrently; AddSource / Refresh / RebuildAll take it exclusive.
 /// Lock ordering: the index lock is acquired BEFORE any source
-/// catalog's lock (Refresh holds the index lock while calling
-/// ChangesSince / Get* on sources). The catalog never calls back into
-/// the index, so its lock is a leaf and the order cannot invert —
-/// refreshing while readers query both layers cannot deadlock.
+/// client's (and hence catalog's) lock — Refresh holds the index lock
+/// while calling ChangesSince / BatchGet on sources. The catalog never
+/// calls back into the index, so its lock is a leaf and the order
+/// index -> client -> catalog cannot invert — refreshing while readers
+/// query both layers cannot deadlock.
 class FederatedIndex {
  public:
   explicit FederatedIndex(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
 
-  /// Adds a source catalog (borrowed; must outlive the index).
+  /// Adds a source catalog (borrowed; must outlive the index) behind a
+  /// read-only in-process handle: the index never mutates its sources.
   Status AddSource(const VirtualDataCatalog* catalog);
+  /// Adds a source behind an arbitrary transport handle.
+  Status AddSource(std::shared_ptr<CatalogClient> client);
   size_t source_count() const {
     std::shared_lock lock(mu_);
     return sources_.size();
@@ -79,7 +91,8 @@ class FederatedIndex {
   /// kept as the benchmark baseline and repair hatch).
   Status RebuildAll();
 
-  /// True when any source changed since the last Refresh().
+  /// True when any source changed since the last Refresh(). A source
+  /// whose version cannot be read (transport failure) counts as stale.
   bool IsStale() const;
   uint64_t refresh_count() const {
     std::shared_lock lock(mu_);
@@ -110,13 +123,13 @@ class FederatedIndex {
     return entries_.size();
   }
 
-  /// The same dataset query evaluated by scanning every source catalog
+  /// The same dataset query evaluated by querying every source catalog
   /// directly — the baseline the index is measured against.
   std::vector<IndexEntry> ScanDatasets(const DatasetQuery& query) const;
 
  private:
   struct SourceState {
-    const VirtualDataCatalog* catalog;
+    std::shared_ptr<CatalogClient> client;
     uint64_t version_at_refresh = 0;
     /// Entry keys owned by this source, for targeted rescans.
     std::set<std::string> entry_keys;
@@ -134,19 +147,17 @@ class FederatedIndex {
   void UpsertEntry(SourceState* source, IndexEntry entry);
   void EraseEntry(SourceState* source, std::string_view kind,
                   std::string_view name);
-  /// Snapshots one catalog object into an IndexEntry (NotFound when it
-  /// no longer exists).
-  static Result<IndexEntry> Snapshot(const VirtualDataCatalog& catalog,
-                                     std::string_view kind,
-                                     std::string_view name);
+  /// Converts one batched ObjectRecord into an IndexEntry (the
+  /// record's own error status when the object no longer exists).
+  static Result<IndexEntry> EntryFromRecord(ObjectRecord record,
+                                            std::string_view authority);
 
   std::string name_;
   /// Guards every member below; see the class comment for the
   /// reader/writer protocol and lock ordering versus the catalogs.
   mutable std::shared_mutex mu_;
   std::vector<SourceState> sources_;
-  std::map<std::string, const VirtualDataCatalog*, std::less<>>
-      source_by_authority_;
+  std::map<std::string, CatalogClient*, std::less<>> source_by_authority_;
   std::map<std::string, IndexEntry, std::less<>> entries_;
   // (kind, name) -> entry keys, for cross-authority exact lookup.
   std::multimap<std::string, std::string, std::less<>> by_name_;

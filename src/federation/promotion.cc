@@ -1,8 +1,19 @@
 #include "federation/promotion.h"
 
+#include "common/uri.h"
 #include "vdl/xml.h"
 
 namespace vdg {
+
+PromotionPipeline::PromotionPipeline(std::vector<VirtualDataCatalog*> tiers,
+                                     const TrustStore* trust,
+                                     SignatureRegistry* signatures)
+    : trust_(trust), signatures_(signatures) {
+  tiers_.reserve(tiers.size());
+  for (VirtualDataCatalog* catalog : tiers) {
+    tiers_.push_back(std::make_shared<InProcessCatalogClient>(catalog));
+  }
+}
 
 Result<std::string> PromotionPipeline::CanonicalContent(
     size_t tier, std::string_view transformation) const {
@@ -64,13 +75,12 @@ Status PromotionPipeline::PromoteTransformation(
       Transformation tr,
       tiers_[from]->GetTransformation(transformation));
   tr.annotations().Set("vdg.origin",
-                       "vdp://" + tiers_[from]->name() + "/" +
-                           std::string(transformation));
+                       MakeVdpRef(tiers_[from]->authority(), transformation));
   tr.annotations().Set("vdg.approved_by", approved_by);
   Status defined = tiers_[from + 1]->DefineTransformation(std::move(tr));
   if (defined.IsAlreadyExists()) {
     return Status::AlreadyExists(
-        "tier " + tiers_[from + 1]->name() + " already holds " +
+        "tier " + tiers_[from + 1]->authority() + " already holds " +
         std::string(transformation));
   }
   return defined;

@@ -1,6 +1,7 @@
 #ifndef VDG_FEDERATION_PROMOTION_H_
 #define VDG_FEDERATION_PROMOTION_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,8 +29,14 @@ namespace vdg {
 class PromotionPipeline {
  public:
   /// `tiers` orders the catalogs from least to most authoritative
-  /// (e.g. {personal, group, collaboration}); all borrowed.
+  /// (e.g. {personal, group, collaboration}); all borrowed. Each is
+  /// wrapped in a read-write in-process handle.
   PromotionPipeline(std::vector<VirtualDataCatalog*> tiers,
+                    const TrustStore* trust, SignatureRegistry* signatures);
+
+  /// Tiers behind arbitrary transport handles — promotion across
+  /// remote servers.
+  PromotionPipeline(std::vector<std::shared_ptr<CatalogClient>> tiers,
                     const TrustStore* trust, SignatureRegistry* signatures)
       : tiers_(std::move(tiers)), trust_(trust), signatures_(signatures) {}
 
@@ -67,7 +74,7 @@ class PromotionPipeline {
   Result<std::string> CanonicalContent(size_t tier,
                                        std::string_view transformation) const;
 
-  std::vector<VirtualDataCatalog*> tiers_;
+  std::vector<std::shared_ptr<CatalogClient>> tiers_;
   const TrustStore* trust_;
   SignatureRegistry* signatures_;
   std::string required_assertion_ = "approved";

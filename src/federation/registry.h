@@ -3,16 +3,19 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "catalog/catalog.h"
+#include "catalog/client.h"
 #include "common/uri.h"
 
 namespace vdg {
 
-/// A resolved object reference: which catalog, which local name.
+/// A resolved object reference: which catalog server (as a transport
+/// handle), which local name within it.
 struct ResolvedRef {
-  VirtualDataCatalog* catalog = nullptr;
+  CatalogClient* client = nullptr;
   std::string local_name;
   bool remote = false;  // true when resolution left the home catalog
 };
@@ -24,18 +27,35 @@ struct ResolvedRef {
 ///   "vdp://authority/name"  — fully qualified hyperlink
 /// Remote resolutions are counted (`remote_lookups`) so experiments
 /// can report cross-server traffic.
+///
+/// Catalogs are held behind CatalogClient handles, so a registry can
+/// federate a mix of in-process catalogs and (simulated or real)
+/// remote endpoints without the resolution code knowing which is
+/// which. Register(VirtualDataCatalog*) wraps the catalog in a
+/// zero-cost in-process client; RegisterClient installs any transport.
 class CatalogRegistry {
  public:
-  /// Registers a catalog under its own name (the vdp authority).
+  /// Registers an in-process catalog under its own name (the vdp
+  /// authority), with read-write access.
   Status Register(VirtualDataCatalog* catalog);
+  /// Registers a transport handle under its authority() name.
+  Status RegisterClient(std::shared_ptr<CatalogClient> client);
 
-  Result<VirtualDataCatalog*> Find(std::string_view authority) const;
+  Result<CatalogClient*> Find(std::string_view authority) const;
   bool Has(std::string_view authority) const;
   size_t size() const { return catalogs_.size(); }
 
   /// Resolves a reference relative to `home` (see class comment).
+  /// `home` need not be registered; bare references bind to it through
+  /// a lazily created in-process handle.
   Result<ResolvedRef> Resolve(VirtualDataCatalog* home,
                               std::string_view ref) const;
+
+  /// Resolves a reference relative to an already-resolved client —
+  /// the recursion step of cross-server walks, where "home" is
+  /// whatever server the previous hop landed on.
+  Result<ResolvedRef> ResolveFrom(CatalogClient* home,
+                                  std::string_view ref) const;
 
   /// Typed fetch-through helpers (resolve + lookup), the federation
   /// read path used by planners and provenance.
@@ -49,15 +69,34 @@ class CatalogRegistry {
   /// Copies a transformation definition from wherever `ref` points
   /// into `destination` (the "knowledge propagates across the web of
   /// servers" flow of Section 4.1). The copy is annotated with its
-  /// origin (`vdg.origin` = vdp URI).
+  /// origin (`vdg.origin` = vdp URI). Importing a definition into the
+  /// catalog it already lives in is rejected as InvalidArgument.
   Status ImportTransformation(VirtualDataCatalog* home, std::string_view ref,
                               VirtualDataCatalog* destination) const;
+  /// Same flow over an arbitrary destination transport.
+  Status ImportTransformation(VirtualDataCatalog* home, std::string_view ref,
+                              CatalogClient* destination) const;
 
   uint64_t remote_lookups() const { return remote_lookups_; }
   void reset_remote_lookups() { remote_lookups_ = 0; }
 
  private:
-  std::map<std::string, VirtualDataCatalog*, std::less<>> catalogs_;
+  /// Shared resolution core: `home` may be null (qualified refs only);
+  /// `home_authority` is home->authority() or empty when null.
+  Result<ResolvedRef> ResolveImpl(CatalogClient* home,
+                                  std::string_view ref) const;
+
+  /// The client to use for `home` itself: the registered handle when
+  /// `home` is a registered in-process catalog, otherwise a lazily
+  /// created (and cached) in-process wrapper. Identified by pointer,
+  /// so an unregistered home is never dereferenced here.
+  Result<CatalogClient*> ClientFor(VirtualDataCatalog* home) const;
+
+  std::map<std::string, std::shared_ptr<CatalogClient>, std::less<>>
+      catalogs_;
+  /// Wrappers for unregistered home catalogs passed to Resolve().
+  mutable std::map<const VirtualDataCatalog*, std::shared_ptr<CatalogClient>>
+      home_wrappers_;
   mutable uint64_t remote_lookups_ = 0;
 };
 

@@ -1,0 +1,349 @@
+#include "federation/remote_cache.h"
+
+#include <utility>
+
+namespace vdg {
+
+CachingCatalogClient::CachingCatalogClient(
+    std::shared_ptr<CatalogClient> upstream, size_t capacity)
+    : upstream_(std::move(upstream)),
+      authority_(upstream_->authority()),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string CachingCatalogClient::Key(std::string_view kind,
+                                      std::string_view name) {
+  std::string key(kind);
+  key.push_back('\x1f');
+  key += name;
+  return key;
+}
+
+void CachingCatalogClient::InsertLocked(ObjectRecord record) {
+  std::string key = Key(record.kind, record.name);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    lru_.erase(it->second.lru_pos);
+    objects_.erase(it);
+  }
+  while (objects_.size() >= capacity_) {
+    const std::string& victim = lru_.back();
+    objects_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  objects_.emplace(std::move(key),
+                   CachedObject{std::move(record), lru_.begin()});
+}
+
+void CachingCatalogClient::EvictLocked(std::string_view kind,
+                                       std::string_view name) {
+  auto it = objects_.find(Key(kind, name));
+  if (it == objects_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  objects_.erase(it);
+  ++stats_.evictions;
+}
+
+void CachingCatalogClient::FlushLocked() {
+  stats_.evictions += objects_.size();
+  objects_.clear();
+  lru_.clear();
+  steps_.clear();
+  ++stats_.flushes;
+}
+
+void CachingCatalogClient::ApplyChangeLocked(const CatalogChange& change) {
+  if (change.kind == "dataset") {
+    EvictLocked("dataset", change.name);
+    steps_.erase(change.name);
+  } else if (change.kind == "transformation") {
+    EvictLocked("transformation", change.name);
+  } else if (change.kind == "derivation" || change.kind == "invocation") {
+    if (change.kind == "derivation") EvictLocked("derivation", change.name);
+    // A provenance step aggregates a dataset with its producing
+    // derivation and that derivation's invocations; the changelog
+    // cannot pin those to one dataset key, so drop all steps.
+    steps_.clear();
+  }
+  // "type" changes touch nothing cached here: conformance checks pass
+  // through to the server.
+}
+
+Result<ObjectRecord> CachingCatalogClient::GetOrFillLocked(
+    std::string_view kind, std::string_view name) {
+  auto it = objects_.find(Key(kind, name));
+  if (it != objects_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.record;
+  }
+  ++stats_.misses;
+  VDG_ASSIGN_OR_RETURN(
+      std::vector<ObjectRecord> records,
+      upstream_->BatchGet({ObjectKey{std::string(kind), std::string(name)}}));
+  if (records.size() != 1) {
+    return Status::Internal("single-key BatchGet returned " +
+                            std::to_string(records.size()) + " records");
+  }
+  ObjectRecord record = records.front();
+  InsertLocked(records.front());
+  return record;
+}
+
+Status CachingCatalogClient::Revalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.revalidations;
+  Result<std::vector<CatalogChange>> changes =
+      upstream_->ChangesSince(synced_version_);
+  if (changes.ok()) {
+    for (const CatalogChange& change : *changes) ApplyChangeLocked(change);
+    if (!changes->empty()) synced_version_ = changes->back().version;
+    return Status::OK();
+  }
+  if (changes.status().code() == StatusCode::kResourceExhausted ||
+      changes.status().IsInvalidArgument()) {
+    // The server's bounded changelog no longer reaches our sync point
+    // (or our version predates/postdates its window after a reset):
+    // nothing cached can be trusted individually.
+    FlushLocked();
+    VDG_ASSIGN_OR_RETURN(synced_version_, upstream_->Version());
+    return Status::OK();
+  }
+  return changes.status();
+}
+
+Result<uint64_t> CachingCatalogClient::Version() {
+  return upstream_->Version();
+}
+
+Result<std::vector<CatalogChange>> CachingCatalogClient::ChangesSince(
+    uint64_t since_version) {
+  return upstream_->ChangesSince(since_version);
+}
+
+Result<Dataset> CachingCatalogClient::GetDataset(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_ASSIGN_OR_RETURN(ObjectRecord record, GetOrFillLocked("dataset", name));
+  if (!record.status.ok()) return record.status;
+  return *std::move(record.dataset);
+}
+
+Result<Transformation> CachingCatalogClient::GetTransformation(
+    std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_ASSIGN_OR_RETURN(ObjectRecord record,
+                       GetOrFillLocked("transformation", name));
+  if (!record.status.ok()) return record.status;
+  return *std::move(record.transformation);
+}
+
+Result<Derivation> CachingCatalogClient::GetDerivation(
+    std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_ASSIGN_OR_RETURN(ObjectRecord record,
+                       GetOrFillLocked("derivation", name));
+  if (!record.status.ok()) return record.status;
+  return *std::move(record.derivation);
+}
+
+Result<bool> CachingCatalogClient::HasDataset(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_ASSIGN_OR_RETURN(ObjectRecord record, GetOrFillLocked("dataset", name));
+  if (record.status.ok()) return true;
+  if (record.status.IsNotFound()) return false;
+  return record.status;
+}
+
+Result<bool> CachingCatalogClient::IsMaterialized(std::string_view dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_ASSIGN_OR_RETURN(ObjectRecord record,
+                       GetOrFillLocked("dataset", dataset));
+  if (record.status.IsNotFound()) return false;
+  if (!record.status.ok()) return record.status;
+  return record.materialized;
+}
+
+Result<std::string> CachingCatalogClient::ProducerOf(
+    std::string_view dataset) {
+  return upstream_->ProducerOf(dataset);
+}
+
+Result<std::vector<Invocation>> CachingCatalogClient::InvocationsOf(
+    std::string_view derivation) {
+  return upstream_->InvocationsOf(derivation);
+}
+
+Result<std::vector<std::string>> CachingCatalogClient::FindDatasets(
+    const DatasetQuery& query) {
+  return upstream_->FindDatasets(query);
+}
+
+Result<std::vector<std::string>> CachingCatalogClient::FindTransformations(
+    const TransformationQuery& query) {
+  return upstream_->FindTransformations(query);
+}
+
+Result<std::vector<std::string>> CachingCatalogClient::FindDerivations(
+    const DerivationQuery& query) {
+  return upstream_->FindDerivations(query);
+}
+
+Result<std::vector<std::string>> CachingCatalogClient::AllNames(
+    std::string_view kind) {
+  return upstream_->AllNames(kind);
+}
+
+Result<bool> CachingCatalogClient::TypeConforms(const DatasetType& type,
+                                                const DatasetType& against) {
+  return upstream_->TypeConforms(type, against);
+}
+
+Result<std::vector<ObjectRecord>> CachingCatalogClient::BatchGet(
+    const std::vector<ObjectKey>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectRecord> out(keys.size());
+  std::vector<ObjectKey> miss_keys;
+  std::vector<size_t> miss_positions;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto it = objects_.find(Key(keys[i].kind, keys[i].name));
+    if (it != objects_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      out[i] = it->second.record;
+    } else {
+      ++stats_.misses;
+      miss_keys.push_back(keys[i]);
+      miss_positions.push_back(i);
+    }
+  }
+  if (!miss_keys.empty()) {
+    VDG_ASSIGN_OR_RETURN(std::vector<ObjectRecord> fetched,
+                         upstream_->BatchGet(miss_keys));
+    if (fetched.size() != miss_keys.size()) {
+      return Status::Internal("BatchGet returned " +
+                              std::to_string(fetched.size()) + " records for " +
+                              std::to_string(miss_keys.size()) + " keys");
+    }
+    for (size_t i = 0; i < fetched.size(); ++i) {
+      out[miss_positions[i]] = fetched[i];
+      InsertLocked(std::move(fetched[i]));
+    }
+  }
+  return out;
+}
+
+Result<ProvenanceStep> CachingCatalogClient::GetProvenanceStep(
+    std::string_view dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = steps_.find(dataset);
+  if (it != steps_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  VDG_ASSIGN_OR_RETURN(ProvenanceStep step,
+                       upstream_->GetProvenanceStep(dataset));
+  if (steps_.size() >= capacity_) {
+    stats_.evictions += steps_.size();
+    steps_.clear();
+  }
+  steps_.emplace(step.dataset, step);
+  return step;
+}
+
+Status CachingCatalogClient::DefineDataset(Dataset dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name = dataset.name;
+  VDG_RETURN_IF_ERROR(upstream_->DefineDataset(std::move(dataset)));
+  EvictLocked("dataset", name);
+  steps_.erase(name);
+  return Status::OK();
+}
+
+Status CachingCatalogClient::DefineTransformation(
+    Transformation transformation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name = transformation.name();
+  VDG_RETURN_IF_ERROR(
+      upstream_->DefineTransformation(std::move(transformation)));
+  EvictLocked("transformation", name);
+  return Status::OK();
+}
+
+Status CachingCatalogClient::DefineDerivation(Derivation derivation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name = derivation.name();
+  std::vector<std::string> outputs = derivation.OutputDatasets();
+  VDG_RETURN_IF_ERROR(upstream_->DefineDerivation(std::move(derivation)));
+  EvictLocked("derivation", name);
+  // Output datasets may have been auto-defined (and their producer
+  // changed), and every step touching them is now stale.
+  for (const std::string& output : outputs) {
+    EvictLocked("dataset", output);
+  }
+  steps_.clear();
+  return Status::OK();
+}
+
+Status CachingCatalogClient::Annotate(std::string_view kind,
+                                      std::string_view name,
+                                      std::string_view key,
+                                      AttributeValue value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_RETURN_IF_ERROR(
+      upstream_->Annotate(kind, name, key, std::move(value)));
+  EvictLocked(kind, name);
+  if (kind == "dataset") {
+    steps_.erase(std::string(name));
+  } else if (kind == "derivation" || kind == "invocation") {
+    steps_.clear();
+  }
+  return Status::OK();
+}
+
+Result<std::string> CachingCatalogClient::AddReplica(Replica replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string dataset = replica.dataset;
+  VDG_ASSIGN_OR_RETURN(std::string id,
+                       upstream_->AddReplica(std::move(replica)));
+  // The dataset's materialized bit may have flipped.
+  EvictLocked("dataset", dataset);
+  return id;
+}
+
+Result<std::string> CachingCatalogClient::RecordInvocation(
+    Invocation invocation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_ASSIGN_OR_RETURN(std::string id,
+                       upstream_->RecordInvocation(std::move(invocation)));
+  steps_.clear();  // steps embed invocation lists
+  return id;
+}
+
+Status CachingCatalogClient::SetDatasetSize(std::string_view name,
+                                            int64_t size_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_RETURN_IF_ERROR(upstream_->SetDatasetSize(name, size_bytes));
+  EvictLocked("dataset", name);
+  return Status::OK();
+}
+
+Status CachingCatalogClient::InvalidateReplica(std::string_view id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_RETURN_IF_ERROR(upstream_->InvalidateReplica(id));
+  // The replica's dataset is unknown from the id alone; every cached
+  // dataset's materialized bit is suspect.
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (it->second.record.kind == "dataset") {
+      lru_.erase(it->second.lru_pos);
+      it = objects_.erase(it);
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vdg

@@ -1,0 +1,142 @@
+#ifndef VDG_FEDERATION_REMOTE_CACHE_H_
+#define VDG_FEDERATION_REMOTE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "catalog/client.h"
+
+namespace vdg {
+
+/// Cache effectiveness counters.
+struct CacheStats {
+  uint64_t hits = 0;           // lookups answered locally
+  uint64_t misses = 0;         // lookups that went upstream
+  uint64_t revalidations = 0;  // Revalidate() calls that reached upstream
+  uint64_t evictions = 0;      // entries dropped by invalidation or LRU
+  uint64_t flushes = 0;        // whole-cache drops (changelog overflow)
+};
+
+/// Read-through object cache in front of a (typically remote)
+/// CatalogClient. Point lookups (Get*/Has*/IsMaterialized) and
+/// provenance steps are served from local snapshots after the first
+/// fetch; negative answers (NotFound) are cached too, so repeated
+/// probes for a missing object cost one round trip total.
+///
+/// Coherence contract: the cache is *explicitly* revalidated. Between
+/// Revalidate() calls reads may be stale by design (the paper's
+/// federated indexes accept the same staleness). Revalidate() makes
+/// ONE ChangesSince(synced_version) round trip against the server's
+/// changelog and evicts exactly the objects that changed; when the
+/// bounded changelog no longer reaches back (ResourceExhausted) the
+/// whole cache is flushed and the version re-synced. Mutations issued
+/// THROUGH this client write through and invalidate immediately, so a
+/// caller always reads its own writes.
+///
+/// Find*/AllNames/ChangesSince/Version/ProducerOf/TypeConforms pass
+/// straight through: result sets are not cacheable under the
+/// changelog's per-object granularity.
+///
+/// Thread-safe behind one mutex, held across upstream fills (the
+/// client -> catalog lock order; the catalog lock stays a leaf). Note
+/// that a SimulatedRpcCatalogClient upstream is single-threaded
+/// regardless — see its header.
+class CachingCatalogClient : public CatalogClient {
+ public:
+  explicit CachingCatalogClient(std::shared_ptr<CatalogClient> upstream,
+                                size_t capacity = 4096);
+
+  const std::string& authority() const override { return authority_; }
+  bool read_only() const override { return upstream_->read_only(); }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// One ChangesSince round trip: evicts precisely the changed
+  /// objects, or flushes everything when the changelog window no
+  /// longer covers our sync point. No-op round-trip-wise only when
+  /// the server reports an error other than window overflow.
+  Status Revalidate();
+
+  /// The server version this cache last synchronized against.
+  uint64_t synced_version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return synced_version_;
+  }
+
+  Result<uint64_t> Version() override;
+  Result<std::vector<CatalogChange>> ChangesSince(
+      uint64_t since_version) override;
+  Result<Dataset> GetDataset(std::string_view name) override;
+  Result<Transformation> GetTransformation(std::string_view name) override;
+  Result<Derivation> GetDerivation(std::string_view name) override;
+  Result<bool> HasDataset(std::string_view name) override;
+  Result<bool> IsMaterialized(std::string_view dataset) override;
+  Result<std::string> ProducerOf(std::string_view dataset) override;
+  Result<std::vector<Invocation>> InvocationsOf(
+      std::string_view derivation) override;
+  Result<std::vector<std::string>> FindDatasets(
+      const DatasetQuery& query) override;
+  Result<std::vector<std::string>> FindTransformations(
+      const TransformationQuery& query) override;
+  Result<std::vector<std::string>> FindDerivations(
+      const DerivationQuery& query) override;
+  Result<std::vector<std::string>> AllNames(std::string_view kind) override;
+  Result<bool> TypeConforms(const DatasetType& type,
+                            const DatasetType& against) override;
+  Result<std::vector<ObjectRecord>> BatchGet(
+      const std::vector<ObjectKey>& keys) override;
+  Result<ProvenanceStep> GetProvenanceStep(std::string_view dataset) override;
+
+  Status DefineDataset(Dataset dataset) override;
+  Status DefineTransformation(Transformation transformation) override;
+  Status DefineDerivation(Derivation derivation) override;
+  Status Annotate(std::string_view kind, std::string_view name,
+                  std::string_view key, AttributeValue value) override;
+  Result<std::string> AddReplica(Replica replica) override;
+  Result<std::string> RecordInvocation(Invocation invocation) override;
+  Status SetDatasetSize(std::string_view name, int64_t size_bytes) override;
+  Status InvalidateReplica(std::string_view id) override;
+
+ private:
+  /// "kind\x1fname" cache key.
+  static std::string Key(std::string_view kind, std::string_view name);
+
+  struct CachedObject {
+    ObjectRecord record;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Cached record for (kind, name), filling from upstream on a miss.
+  /// mu_ must be held.
+  Result<ObjectRecord> GetOrFillLocked(std::string_view kind,
+                                       std::string_view name);
+  void InsertLocked(ObjectRecord record);
+  void EvictLocked(std::string_view kind, std::string_view name);
+  void FlushLocked();
+  /// Applies one changelog entry's invalidation. mu_ must be held.
+  void ApplyChangeLocked(const CatalogChange& change);
+
+  std::shared_ptr<CatalogClient> upstream_;
+  std::string authority_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, CachedObject, std::less<>> objects_;
+  std::list<std::string> lru_;  // front = most recent
+  /// Provenance steps by dataset name. Conservatively flushed whenever
+  /// a derivation or invocation changes anywhere: a step aggregates
+  /// objects the per-object changelog cannot pin to one dataset.
+  std::map<std::string, ProvenanceStep, std::less<>> steps_;
+  uint64_t synced_version_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_FEDERATION_REMOTE_CACHE_H_

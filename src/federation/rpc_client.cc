@@ -1,0 +1,204 @@
+#include "federation/rpc_client.h"
+
+#include <utility>
+
+namespace vdg {
+
+SimulatedRpcCatalogClient::SimulatedRpcCatalogClient(
+    std::shared_ptr<CatalogClient> backend, GridSimulator* grid,
+    RpcConfig config)
+    : backend_(std::move(backend)),
+      grid_(grid),
+      config_(std::move(config)),
+      authority_(backend_->authority()),
+      rng_(config_.seed) {}
+
+Status SimulatedRpcCatalogClient::Transport() {
+  for (int attempt = 1;; ++attempt) {
+    // The request occupies the wire for the full latency either way —
+    // lost responses and rejections are only discovered at timeout.
+    // RunUntil (not a bare clock bump) lets scheduled events fire:
+    // an outage window ending mid-backoff restores the site and the
+    // next attempt goes through.
+    grid_->events().RunUntil(grid_->now() + config_.latency_s);
+    if (!config_.site.empty() && !grid_->IsSiteServing(config_.site)) {
+      ++stats_.outage_rejections;
+    } else if (config_.loss_rate > 0 && rng_.Chance(config_.loss_rate)) {
+      ++stats_.lost_calls;
+    } else {
+      ++stats_.round_trips;
+      return Status::OK();
+    }
+    if (attempt >= config_.max_attempts) {
+      ++stats_.failures;
+      return Status::Unavailable(
+          "catalog endpoint " + authority_ + " unreachable after " +
+          std::to_string(attempt) + " attempts");
+    }
+    ++stats_.retries;
+    double backoff = config_.backoff_base_s;
+    for (int i = 1; i < attempt; ++i) backoff *= config_.backoff_multiplier;
+    grid_->events().RunUntil(grid_->now() + backoff);
+  }
+}
+
+Result<uint64_t> SimulatedRpcCatalogClient::Version() {
+  return Call([&] { return backend_->Version(); });
+}
+
+Result<std::vector<CatalogChange>> SimulatedRpcCatalogClient::ChangesSince(
+    uint64_t since_version) {
+  return Call([&] { return backend_->ChangesSince(since_version); });
+}
+
+Result<Dataset> SimulatedRpcCatalogClient::GetDataset(std::string_view name) {
+  return Call([&] { return backend_->GetDataset(name); });
+}
+
+Result<Transformation> SimulatedRpcCatalogClient::GetTransformation(
+    std::string_view name) {
+  return Call([&] { return backend_->GetTransformation(name); });
+}
+
+Result<Derivation> SimulatedRpcCatalogClient::GetDerivation(
+    std::string_view name) {
+  return Call([&] { return backend_->GetDerivation(name); });
+}
+
+Result<bool> SimulatedRpcCatalogClient::HasDataset(std::string_view name) {
+  return Call([&] { return backend_->HasDataset(name); });
+}
+
+Result<bool> SimulatedRpcCatalogClient::IsMaterialized(
+    std::string_view dataset) {
+  return Call([&] { return backend_->IsMaterialized(dataset); });
+}
+
+Result<std::string> SimulatedRpcCatalogClient::ProducerOf(
+    std::string_view dataset) {
+  return Call([&] { return backend_->ProducerOf(dataset); });
+}
+
+Result<std::vector<Invocation>> SimulatedRpcCatalogClient::InvocationsOf(
+    std::string_view derivation) {
+  return Call([&] { return backend_->InvocationsOf(derivation); });
+}
+
+Result<std::vector<std::string>> SimulatedRpcCatalogClient::FindDatasets(
+    const DatasetQuery& query) {
+  return Call([&] { return backend_->FindDatasets(query); });
+}
+
+Result<std::vector<std::string>>
+SimulatedRpcCatalogClient::FindTransformations(
+    const TransformationQuery& query) {
+  return Call([&] { return backend_->FindTransformations(query); });
+}
+
+Result<std::vector<std::string>> SimulatedRpcCatalogClient::FindDerivations(
+    const DerivationQuery& query) {
+  return Call([&] { return backend_->FindDerivations(query); });
+}
+
+Result<std::vector<std::string>> SimulatedRpcCatalogClient::AllNames(
+    std::string_view kind) {
+  return Call([&] { return backend_->AllNames(kind); });
+}
+
+Result<bool> SimulatedRpcCatalogClient::TypeConforms(
+    const DatasetType& type, const DatasetType& against) {
+  return Call([&] { return backend_->TypeConforms(type, against); });
+}
+
+Result<std::vector<ObjectRecord>> SimulatedRpcCatalogClient::BatchGet(
+    const std::vector<ObjectKey>& keys) {
+  if (config_.enable_batching) {
+    stats_.batched_lookups += keys.size();
+    return Call([&] { return backend_->BatchGet(keys); });
+  }
+  // Naive mode: every point lookup is its own round trip.
+  std::vector<ObjectRecord> records;
+  records.reserve(keys.size());
+  for (const ObjectKey& key : keys) {
+    VDG_ASSIGN_OR_RETURN(std::vector<ObjectRecord> one,
+                         Call([&] { return backend_->BatchGet({key}); }));
+    records.push_back(std::move(one.front()));
+  }
+  return records;
+}
+
+Result<ProvenanceStep> SimulatedRpcCatalogClient::GetProvenanceStep(
+    std::string_view dataset) {
+  if (config_.enable_batching) {
+    return Call([&] { return backend_->GetProvenanceStep(dataset); });
+  }
+  // Naive mode: the four point lookups a provenance hop is made of,
+  // each paying its own round trip.
+  ProvenanceStep step;
+  step.dataset = std::string(dataset);
+  VDG_ASSIGN_OR_RETURN(step.exists,
+                       Call([&] { return backend_->HasDataset(dataset); }));
+  if (!step.exists) return step;
+  Result<std::string> producer =
+      Call([&] { return backend_->ProducerOf(dataset); });
+  if (!producer.ok()) {
+    if (producer.status().IsNotFound()) return step;  // raw input
+    return producer.status();
+  }
+  step.producer = *producer;
+  Result<Derivation> derivation =
+      Call([&] { return backend_->GetDerivation(step.producer); });
+  if (derivation.ok()) {
+    step.derivation = *std::move(derivation);
+    VDG_ASSIGN_OR_RETURN(
+        step.invocations,
+        Call([&] { return backend_->InvocationsOf(step.producer); }));
+  } else if (!derivation.status().IsNotFound()) {
+    return derivation.status();
+  }
+  return step;
+}
+
+Status SimulatedRpcCatalogClient::DefineDataset(Dataset dataset) {
+  return Call([&] { return backend_->DefineDataset(std::move(dataset)); });
+}
+
+Status SimulatedRpcCatalogClient::DefineTransformation(
+    Transformation transformation) {
+  return Call(
+      [&] { return backend_->DefineTransformation(std::move(transformation)); });
+}
+
+Status SimulatedRpcCatalogClient::DefineDerivation(Derivation derivation) {
+  return Call(
+      [&] { return backend_->DefineDerivation(std::move(derivation)); });
+}
+
+Status SimulatedRpcCatalogClient::Annotate(std::string_view kind,
+                                           std::string_view name,
+                                           std::string_view key,
+                                           AttributeValue value) {
+  return Call(
+      [&] { return backend_->Annotate(kind, name, key, std::move(value)); });
+}
+
+Result<std::string> SimulatedRpcCatalogClient::AddReplica(Replica replica) {
+  return Call([&] { return backend_->AddReplica(std::move(replica)); });
+}
+
+Result<std::string> SimulatedRpcCatalogClient::RecordInvocation(
+    Invocation invocation) {
+  return Call(
+      [&] { return backend_->RecordInvocation(std::move(invocation)); });
+}
+
+Status SimulatedRpcCatalogClient::SetDatasetSize(std::string_view name,
+                                                 int64_t size_bytes) {
+  return Call([&] { return backend_->SetDatasetSize(name, size_bytes); });
+}
+
+Status SimulatedRpcCatalogClient::InvalidateReplica(std::string_view id) {
+  return Call([&] { return backend_->InvalidateReplica(id); });
+}
+
+}  // namespace vdg

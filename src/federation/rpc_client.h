@@ -1,0 +1,135 @@
+#ifndef VDG_FEDERATION_RPC_CLIENT_H_
+#define VDG_FEDERATION_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "catalog/client.h"
+#include "common/rng.h"
+#include "grid/simulator.h"
+
+namespace vdg {
+
+/// Transport parameters for one simulated catalog endpoint.
+struct RpcConfig {
+  /// Simulated wall time one round trip occupies (request + response).
+  double latency_s = 0.05;
+  /// Probability that one attempt is lost in transit (response never
+  /// arrives; the client times out and retries).
+  double loss_rate = 0.0;
+  /// Attempts per logical call before giving up with Unavailable.
+  int max_attempts = 4;
+  /// Exponential backoff between attempts, in simulated seconds.
+  double backoff_base_s = 0.5;
+  double backoff_multiplier = 2.0;
+  /// Grid site hosting the catalog server. When set, the endpoint is
+  /// coupled to the simulator's fault model: a crashed site rejects
+  /// calls until restored (maintenance offline keeps serving, matching
+  /// storage semantics). Empty = never down.
+  std::string site;
+  /// When false, compound calls (BatchGet, GetProvenanceStep) are
+  /// decomposed into one round trip per underlying point lookup — the
+  /// naive-RPC baseline the batching layer is measured against.
+  bool enable_batching = true;
+  /// Seed for the loss draw (independent of the grid's own Rng so
+  /// transport noise never perturbs job/transfer outcomes).
+  uint64_t seed = 0x5eed;
+};
+
+/// Transport-level counters, the measurable cost of federation.
+struct RpcStats {
+  uint64_t round_trips = 0;        // completed request/response pairs
+  uint64_t lost_calls = 0;         // attempts lost in transit
+  uint64_t outage_rejections = 0;  // attempts against a crashed site
+  uint64_t retries = 0;            // re-attempts after loss/outage
+  uint64_t batched_lookups = 0;    // point lookups coalesced into batches
+  uint64_t failures = 0;           // logical calls that exhausted retries
+};
+
+/// CatalogClient over the grid simulator's event queue: every call
+/// advances simulated time by the configured latency, can be lost,
+/// and can find the server's site crashed — in which case the client
+/// backs off (in simulated time, letting scheduled outage windows end
+/// and restore the site) and retries up to max_attempts before
+/// surfacing Unavailable. At zero fault rates the results are
+/// bit-for-bit those of the wrapped backend; only time passes.
+///
+/// NOT thread-safe, and must never be invoked from inside an event
+/// callback: each call drives the event queue (RunUntil), and the
+/// queue is single-threaded and non-reentrant. Use it from the
+/// simulation's driving thread only.
+class SimulatedRpcCatalogClient : public CatalogClient {
+ public:
+  /// `backend` is the server-side implementation (normally an
+  /// InProcessCatalogClient for the target catalog); `grid` supplies
+  /// the clock, event queue, and fault model. Both must outlive this.
+  SimulatedRpcCatalogClient(std::shared_ptr<CatalogClient> backend,
+                            GridSimulator* grid, RpcConfig config = {});
+
+  const std::string& authority() const override { return authority_; }
+  bool read_only() const override { return backend_->read_only(); }
+
+  const RpcStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = RpcStats{}; }
+  const RpcConfig& config() const { return config_; }
+
+  Result<uint64_t> Version() override;
+  Result<std::vector<CatalogChange>> ChangesSince(
+      uint64_t since_version) override;
+  Result<Dataset> GetDataset(std::string_view name) override;
+  Result<Transformation> GetTransformation(std::string_view name) override;
+  Result<Derivation> GetDerivation(std::string_view name) override;
+  Result<bool> HasDataset(std::string_view name) override;
+  Result<bool> IsMaterialized(std::string_view dataset) override;
+  Result<std::string> ProducerOf(std::string_view dataset) override;
+  Result<std::vector<Invocation>> InvocationsOf(
+      std::string_view derivation) override;
+  Result<std::vector<std::string>> FindDatasets(
+      const DatasetQuery& query) override;
+  Result<std::vector<std::string>> FindTransformations(
+      const TransformationQuery& query) override;
+  Result<std::vector<std::string>> FindDerivations(
+      const DerivationQuery& query) override;
+  Result<std::vector<std::string>> AllNames(std::string_view kind) override;
+  Result<bool> TypeConforms(const DatasetType& type,
+                            const DatasetType& against) override;
+  Result<std::vector<ObjectRecord>> BatchGet(
+      const std::vector<ObjectKey>& keys) override;
+  Result<ProvenanceStep> GetProvenanceStep(std::string_view dataset) override;
+
+  Status DefineDataset(Dataset dataset) override;
+  Status DefineTransformation(Transformation transformation) override;
+  Status DefineDerivation(Derivation derivation) override;
+  Status Annotate(std::string_view kind, std::string_view name,
+                  std::string_view key, AttributeValue value) override;
+  Result<std::string> AddReplica(Replica replica) override;
+  Result<std::string> RecordInvocation(Invocation invocation) override;
+  Status SetDatasetSize(std::string_view name, int64_t size_bytes) override;
+  Status InvalidateReplica(std::string_view id) override;
+
+ private:
+  /// One logical RPC: repeats {advance the clock by the latency, check
+  /// the site, roll for loss} with exponential backoff until an
+  /// attempt completes or the budget runs out.
+  Status Transport();
+
+  /// Transport + server-side execution of `fn` on success.
+  template <typename Fn>
+  auto Call(Fn&& fn) -> decltype(fn()) {
+    Status wire = Transport();
+    if (!wire.ok()) return wire;
+    return fn();
+  }
+
+  std::shared_ptr<CatalogClient> backend_;
+  GridSimulator* grid_;
+  RpcConfig config_;
+  std::string authority_;
+  Rng rng_;
+  RpcStats stats_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_FEDERATION_RPC_CLIENT_H_

@@ -56,6 +56,11 @@ bool GridSimulator::IsSiteCrashed(std::string_view site) const {
   return it != sites_.end() && it->second.crashed;
 }
 
+bool GridSimulator::IsSiteServing(std::string_view site) const {
+  auto it = sites_.find(site);
+  return it != sites_.end() && !it->second.crashed;
+}
+
 Result<uint64_t> GridSimulator::SubmitJob(std::string_view site,
                                           double cpu_seconds,
                                           JobCallback callback) {

@@ -102,6 +102,12 @@ class GridSimulator {
   /// brings the site back.
   bool IsSiteCrashed(std::string_view site) const;
 
+  /// True when a *service* hosted at `site` (storage, a catalog
+  /// endpoint) answers requests: the site exists and is not crashed.
+  /// Maintenance offline stops compute but keeps services up, matching
+  /// SubmitTransfer's storage semantics.
+  bool IsSiteServing(std::string_view site) const;
+
   /// Schedules a service interruption `start_in_s` from now lasting
   /// `duration_s`: a maintenance window (queued work holds) or, with
   /// `crash`, a full crash with data loss. The site returns to service

@@ -9,10 +9,8 @@ constexpr double kMiB = 1024.0 * 1024.0;
 Status EnsureContentType(VirtualDataCatalog* catalog,
                          const std::string& name,
                          const std::string& parent) {
-  const TypeHierarchy& content =
-      catalog->types().dimension(TypeDimension::kContent);
-  if (content.Contains(name)) return Status::OK();
-  if (!content.Contains(parent) &&
+  if (catalog->HasType(TypeDimension::kContent, name)) return Status::OK();
+  if (!catalog->HasType(TypeDimension::kContent, parent) &&
       parent != TypeDimensionBaseName(TypeDimension::kContent)) {
     VDG_RETURN_IF_ERROR(catalog->DefineType(
         TypeDimension::kContent, parent,

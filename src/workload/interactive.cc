@@ -11,9 +11,7 @@ Result<InteractiveWorkload> GenerateInteractive(
   }
 
   auto ensure_content = [catalog](const std::string& name) -> Status {
-    if (catalog->types()
-            .dimension(TypeDimension::kContent)
-            .Contains(name)) {
+    if (catalog->HasType(TypeDimension::kContent, name)) {
       return Status::OK();
     }
     return catalog->DefineType(

@@ -11,14 +11,10 @@ constexpr double kMiB = 1024.0 * 1024.0;
 Status EnsureContentType(VirtualDataCatalog* catalog,
                          const std::string& name,
                          const std::string& parent) {
-  if (catalog->types()
-          .dimension(TypeDimension::kContent)
-          .Contains(name)) {
+  if (catalog->HasType(TypeDimension::kContent, name)) {
     return Status::OK();
   }
-  if (!catalog->types()
-           .dimension(TypeDimension::kContent)
-           .Contains(parent) &&
+  if (!catalog->HasType(TypeDimension::kContent, parent) &&
       parent != TypeDimensionBaseName(TypeDimension::kContent)) {
     VDG_RETURN_IF_ERROR(catalog->DefineType(
         TypeDimension::kContent, parent,

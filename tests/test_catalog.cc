@@ -562,9 +562,7 @@ TEST_F(PersistenceTest, ReopenReplaysEverything) {
             "curated");
   EXPECT_EQ(*reopened.ProducerOf("file2"), "usetrans1");
   EXPECT_TRUE(reopened.IsMaterialized("file2"));
-  EXPECT_TRUE(reopened.types()
-                  .dimension(TypeDimension::kFormat)
-                  .Contains("Tar-archive"));
+  EXPECT_TRUE(reopened.HasType(TypeDimension::kFormat, "Tar-archive"));
   // Id counters continue past replayed ids.
   Replica r2;
   r2.dataset = "file3";

@@ -179,7 +179,7 @@ std::vector<std::string> NaiveFindDatasets(const VirtualDataCatalog& catalog,
     if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
       continue;
     }
-    if (query.type && !catalog.types().Conforms(ds.type, *query.type)) {
+    if (query.type && !catalog.TypeConforms(ds.type, *query.type)) {
       continue;
     }
     if (!MatchesAll(ds.annotations, query.predicates)) continue;

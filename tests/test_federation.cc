@@ -72,14 +72,14 @@ TEST_F(FederationTest, ResolveAllReferenceForms) {
   // Bare name: home catalog.
   Result<ResolvedRef> bare = registry_.Resolve(&personal_, "myplot");
   ASSERT_TRUE(bare.ok());
-  EXPECT_EQ(bare->catalog, &personal_);
+  EXPECT_EQ(bare->client->local_catalog(), &personal_);
   EXPECT_FALSE(bare->remote);
 
   // authority::name.
   Result<ResolvedRef> scoped =
       registry_.Resolve(&personal_, "collab.org::survey");
   ASSERT_TRUE(scoped.ok());
-  EXPECT_EQ(scoped->catalog, &collab_);
+  EXPECT_EQ(scoped->client->local_catalog(), &collab_);
   EXPECT_EQ(scoped->local_name, "survey");
   EXPECT_TRUE(scoped->remote);
 
@@ -87,7 +87,7 @@ TEST_F(FederationTest, ResolveAllReferenceForms) {
   Result<ResolvedRef> vdp =
       registry_.Resolve(&personal_, "vdp://group.org/selected");
   ASSERT_TRUE(vdp.ok());
-  EXPECT_EQ(vdp->catalog, &group_);
+  EXPECT_EQ(vdp->client->local_catalog(), &group_);
   EXPECT_EQ(vdp->local_name, "selected");
 
   // Bare names need a home catalog.
@@ -97,12 +97,60 @@ TEST_F(FederationTest, ResolveAllReferenceForms) {
       registry_.Resolve(&personal_, "vdp://x.org/y").status().IsNotFound());
 }
 
+TEST_F(FederationTest, ResolveRejectsMalformedReferences) {
+  // Malformed vdp:// forms: missing authority, missing object name.
+  EXPECT_TRUE(registry_.Resolve(&personal_, "vdp:///survey")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(registry_.Resolve(&personal_, "vdp://collab.org")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(registry_.Resolve(&personal_, "vdp://collab.org/")
+                  .status()
+                  .IsParseError());
+  // Scoped form with an empty side.
+  Status empty_name =
+      registry_.Resolve(&personal_, "collab.org::").status();
+  EXPECT_TRUE(empty_name.IsInvalidArgument());
+  EXPECT_NE(empty_name.message().find("empty object name"),
+            std::string::npos);
+  Status empty_authority = registry_.Resolve(&personal_, "::survey").status();
+  EXPECT_TRUE(empty_authority.IsInvalidArgument());
+  EXPECT_NE(empty_authority.message().find("empty authority"),
+            std::string::npos);
+  // Unknown authority in scoped form is NotFound, not InvalidArgument.
+  EXPECT_TRUE(registry_.Resolve(&personal_, "nowhere.org::survey")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(FederationTest, ImportTransformationRejectsSelfImport) {
+  // Importing collab's step back into collab is a no-op masquerading
+  // as a copy; the registry refuses it outright.
+  Status self = registry_.ImportTransformation(
+      &personal_, "vdp://collab.org/step", &collab_);
+  EXPECT_TRUE(self.IsInvalidArgument());
+  EXPECT_NE(self.message().find("self-import"), std::string::npos);
+  // The refused import leaves no origin annotation behind.
+  EXPECT_FALSE(
+      collab_.GetTransformation("step")->annotations().Has("vdg.origin"));
+}
+
 TEST_F(FederationTest, RemoteLookupCounting) {
   registry_.reset_remote_lookups();
   ASSERT_TRUE(registry_.Resolve(&personal_, "myplot").ok());
   EXPECT_EQ(registry_.remote_lookups(), 0u);
   ASSERT_TRUE(registry_.Resolve(&personal_, "vdp://collab.org/survey").ok());
   ASSERT_TRUE(registry_.Resolve(&personal_, "group.org::selected").ok());
+  EXPECT_EQ(registry_.remote_lookups(), 2u);
+  // A vdp:// link that points back at the home catalog is local.
+  Result<ResolvedRef> self =
+      registry_.Resolve(&personal_, "vdp://personal.org/myplot");
+  ASSERT_TRUE(self.ok());
+  EXPECT_FALSE(self->remote);
+  EXPECT_EQ(registry_.remote_lookups(), 2u);
+  // Failed resolutions never count as remote lookups.
+  EXPECT_FALSE(registry_.Resolve(&personal_, "vdp://x.org/y").ok());
   EXPECT_EQ(registry_.remote_lookups(), 2u);
 }
 

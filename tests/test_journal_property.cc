@@ -289,7 +289,8 @@ TEST(CompactionTest2, ExportVdlReimports) {
   // never fires; types must be carried over separately.
   for (int d = 0; d < kNumTypeDimensions; ++d) {
     auto dim = static_cast<TypeDimension>(d);
-    const TypeHierarchy& h = catalog.types().dimension(dim);
+    const TypeRegistry snapshot = catalog.TypesSnapshot();
+    const TypeHierarchy& h = snapshot.dimension(dim);
     std::vector<std::pair<int, std::string>> by_depth;
     for (const std::string& name : h.AllTypes()) {
       by_depth.emplace_back(*h.DepthOf(name), name);

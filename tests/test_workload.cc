@@ -125,7 +125,7 @@ TEST(SdssTest, WorkloadShapeMatchesOptions) {
   Result<Dataset> field = catalog.GetDataset(workload->field_datasets[0]);
   ASSERT_TRUE(field.ok());
   EXPECT_EQ(field->type.content, "FITS-file");
-  EXPECT_TRUE(catalog.types()
+  EXPECT_TRUE(catalog.TypesSnapshot()
                   .dimension(TypeDimension::kContent)
                   .IsSubtypeOf("FITS-file", "SDSS"));
 }

@@ -2,8 +2,10 @@
 # Builds the benchmarks in Release mode and runs the discovery-engine
 # benchmark suite (FIG1 discovery paths + FIG4 index refresh), merging
 # the results into BENCH_discovery.json at the repo root, plus the
-# concurrent-read scaling suite into BENCH_concurrency.json and the
-# fault-tolerance suite into BENCH_fault.json.
+# concurrent-read scaling suite into BENCH_concurrency.json, the
+# fault-tolerance suite into BENCH_fault.json, and the federation
+# transport suite (simulated RPC round-trip accounting) into
+# BENCH_federation.json.
 #
 # Usage: tools/run_bench.sh [build-dir]
 set -euo pipefail
@@ -13,11 +15,12 @@ BUILD_DIR="${1:-$REPO_ROOT/build-bench}"
 OUT_JSON="$REPO_ROOT/BENCH_discovery.json"
 CONC_JSON="$REPO_ROOT/BENCH_concurrency.json"
 FAULT_JSON="$REPO_ROOT/BENCH_fault.json"
+FED_JSON="$REPO_ROOT/BENCH_federation.json"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_fig1_schema_ops bench_fig4_federated_index \
-           bench_conc_catalog bench_fault_recovery >/dev/null
+           bench_conc_catalog bench_fault_recovery bench_fed_rpc >/dev/null
 
 FIG1_FILTER='BM_AttributeDiscovery|BM_TypeDiscovery|BM_MaterializedDiscovery|BM_DerivationDiscoveryByInput'
 FIG4_FILTER='BM_IndexQuery|BM_DirectScan|BM_IndexRefresh|BM_DeltaRefresh|BM_FullRebuild'
@@ -165,5 +168,86 @@ for name, s in sorted(scenarios.items()):
         failed.append(name)
 if failed:
     print("FAULT-TOLERANCE REGRESSION: success_rate < 0.99 in:", failed)
+    sys.exit(1)
+PYEOF
+
+# Federation transport: round trips per FIG3 chain walk and per FIG4
+# index refresh over simulated RPC, in naive / batched / cached modes,
+# plus the loss+outage fault sweep. Gates: batching+cache must cut
+# round trips >= 5x vs naive per-call RPC on both figures, and the
+# fault sweep must complete with retries, not hard failures.
+FED_OUT="$BUILD_DIR/bench_fed_rpc.json"
+"$BUILD_DIR/bench/bench_fed_rpc" \
+  --benchmark_out="$FED_OUT" --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+python3 - "$FED_OUT" "$FED_JSON" <<'PYEOF'
+import json
+import sys
+
+src_path, out_path = sys.argv[1:3]
+with open(src_path) as f:
+    raw = json.load(f)
+
+trips = {}
+sweep = {}
+for b in raw.get("benchmarks", []):
+    name = b["name"]
+    if "round_trips" in b:
+        trips[name] = b["round_trips"]
+    if name.startswith("BM_FaultSweep"):
+        sweep = {
+            "retries": b.get("retries"),
+            "lost_calls": b.get("lost_calls"),
+            "outage_rejections": b.get("outage_rejections"),
+            "failures": b.get("failures"),
+        }
+
+def ratio(naive, optimized):
+    n, o = trips.get(naive), trips.get(optimized)
+    if n is None or o is None:
+        return None
+    return round(n / max(o, 1e-9), 1)
+
+savings = {
+    # FIG3 steady state: batching collapses each chain link to one
+    # compound trip, the cache amortizes repeat walks to ~zero.
+    "fig3_chain_walk_naive_vs_cached":
+        ratio("BM_Fig3ChainWalk_NaiveRpc", "BM_Fig3ChainWalk_CachedRpc"),
+    "fig3_chain_walk_naive_vs_batched":
+        ratio("BM_Fig3ChainWalk_NaiveRpc", "BM_Fig3ChainWalk_BatchedRpc"),
+    # FIG4: a delta refresh at churn K costs K+2 trips naive, 3 batched.
+    "fig4_refresh_naive_vs_batched":
+        ratio("BM_Fig4Refresh_NaiveRpc", "BM_Fig4Refresh_BatchedRpc"),
+}
+
+result = {
+    "context": raw.get("context", {}),
+    "round_trips_per_op": trips,
+    "round_trips_saved": savings,
+    "fault_sweep": sweep,
+    "benchmarks": raw.get("benchmarks", []),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print("wrote", out_path)
+for name, t in sorted(trips.items()):
+    print(f"  {name}: {t:.3f} round trips/op")
+for k, v in sorted(savings.items()):
+    print(f"  {k}: {v}x")
+
+failed = []
+if (savings["fig3_chain_walk_naive_vs_cached"] or 0) < 5:
+    failed.append("fig3 chain walk: batching+cache < 5x vs naive RPC")
+if (savings["fig4_refresh_naive_vs_batched"] or 0) < 5:
+    failed.append("fig4 refresh: batching < 5x vs naive RPC")
+if sweep.get("failures", 1) != 0:
+    failed.append("fault sweep finished with hard failures")
+if not sweep.get("retries"):
+    failed.append("fault sweep exercised no retries")
+if failed:
+    print("FEDERATION-TRANSPORT REGRESSION:", failed)
     sys.exit(1)
 PYEOF

@@ -10,7 +10,7 @@
 //                           replicas|invocations]
 //   vdg show <catalog.vdc> <object-name>
 //   vdg search <catalog.vdc> <name-prefix> [--materialized|--virtual]
-//   vdg lineage <catalog.vdc> <dataset>
+//   vdg lineage <catalog.vdc> <dataset> [--fed]
 //   vdg audit <catalog.vdc> <dataset>
 //   vdg invalidate <catalog.vdc> <dataset>
 //   vdg plan <catalog.vdc> <dataset> [--site <site>] [--dax]
@@ -30,6 +30,8 @@
 #include "catalog/catalog.h"
 #include "estimator/estimator.h"
 #include "executor/executor.h"
+#include "federation/fed_provenance.h"
+#include "federation/registry.h"
 #include "planner/dax.h"
 #include "planner/planner.h"
 #include "provenance/provenance.h"
@@ -74,7 +76,7 @@ int CmdInit(const std::string& path) {
   Status synced = (*catalog)->SyncJournal();
   if (!synced.ok()) return Fail(synced);
   std::printf("initialized catalog %s (%zu preset type names)\n",
-              path.c_str(), (*catalog)->types().size());
+              path.c_str(), (*catalog)->TypesSnapshot().size());
   return 0;
 }
 
@@ -191,9 +193,21 @@ int CmdSearch(const VirtualDataCatalog& catalog, const std::string& prefix,
   return 0;
 }
 
-int CmdLineage(const VirtualDataCatalog& catalog,
-               const std::string& dataset) {
-  ProvenanceTracker tracker(catalog);
+int CmdLineage(VirtualDataCatalog* catalog, const std::string& dataset,
+               bool federated) {
+  if (federated) {
+    // Walk through the service boundary instead of the in-process
+    // tracker: same chain, but each link is one compound
+    // GetProvenanceStep call and node names are vdp:// qualified.
+    CatalogRegistry registry;
+    registry.Register(catalog);
+    FederatedProvenance fed(registry);
+    Result<LineageNode> lineage = fed.Lineage(catalog, dataset);
+    if (!lineage.ok()) return Fail(lineage.status());
+    std::printf("%s", RenderLineage(*lineage).c_str());
+    return 0;
+  }
+  ProvenanceTracker tracker(*catalog);
   Result<LineageNode> lineage = tracker.Lineage(dataset);
   if (!lineage.ok()) return Fail(lineage.status());
   std::printf("%s", RenderLineage(*lineage).c_str());
@@ -389,7 +403,7 @@ int Main(int argc, char** argv) {
   }
   if (command == "lineage") {
     if (args.empty()) return Usage();
-    return CmdLineage(cat, args[0]);
+    return CmdLineage(&cat, args[0], has_flag("--fed"));
   }
   if (command == "audit") {
     if (args.empty()) return Usage();
