@@ -67,6 +67,70 @@ inline const workload::CanonicalGraph& CachedCanonicalGraph(
   return cache->emplace(num_derivations, std::move(*graph)).first->second;
 }
 
+/// VDL for a one-input/one-output pass-through transformation — the
+/// minimal TR several benches need before defining derivation chains.
+inline std::string SingleStepTransformationVdl(const std::string& name,
+                                               const std::string& exec) {
+  return "TR " + name +
+         "( output out, input in ) {"
+         "  argument stdin = ${input:in};"
+         "  argument stdout = ${output:out};"
+         "  exec = \"" +
+         exec + "\"; }";
+}
+
+/// Builds a catalog holding a linear derivation chain d0 -> d1 -> ...
+/// -> d<depth> through a single `refine` transformation — the Figure 3
+/// provenance shape.
+inline std::unique_ptr<VirtualDataCatalog> BuildChainCatalog(
+    const std::string& authority, int depth) {
+  Logger::set_threshold(LogLevel::kError);
+  auto catalog = std::make_unique<VirtualDataCatalog>(authority);
+  if (!catalog->Open().ok()) std::abort();
+  if (!catalog->ImportVdl(SingleStepTransformationVdl("refine", "/bin/refine"))
+           .ok()) {
+    std::abort();
+  }
+  if (!catalog->ImportVdl("DS d0 : Dataset size=\"1024\";").ok()) {
+    std::abort();
+  }
+  for (int k = 1; k <= depth; ++k) {
+    std::string vdl = "DV l" + std::to_string(k) +
+                      "->refine( out=@{output:\"d" + std::to_string(k) +
+                      "\"}, in=@{input:\"d" + std::to_string(k - 1) +
+                      "\"} );";
+    if (!catalog->ImportVdl(vdl).ok()) std::abort();
+  }
+  return catalog;
+}
+
+/// The equality query the sharded-catalog benches issue: datasets
+/// annotated shard == `shard`, served by the attribute index.
+inline DatasetQuery ShardQuery(int64_t shard) {
+  DatasetQuery q;
+  q.predicates.push_back(
+      AttributePredicate{"shard", PredicateOp::kEq, AttributeValue(shard)});
+  return q;
+}
+
+/// A cached canonical catalog whose datasets carry an indexed "shard"
+/// annotation (i % 16) so ShardQuery hits the attribute-index path.
+inline VirtualDataCatalog* ShardedCatalog(size_t num_derivations) {
+  static std::map<size_t, VirtualDataCatalog*>* cache =
+      new std::map<size_t, VirtualDataCatalog*>();
+  auto it = cache->find(num_derivations);
+  if (it != cache->end()) return it->second;
+  VirtualDataCatalog* c = CachedCanonicalCatalog(num_derivations);
+  std::vector<std::string> names = c->AllDatasetNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    Status s = c->Annotate("dataset", names[i], "shard",
+                           AttributeValue(static_cast<int64_t>(i % 16)));
+    if (!s.ok()) std::abort();
+  }
+  cache->emplace(num_derivations, c);
+  return c;
+}
+
 }  // namespace bench
 }  // namespace vdg
 

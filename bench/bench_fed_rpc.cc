@@ -37,29 +37,7 @@ constexpr int kChurn = 20;       // FIG4 distinct objects per refresh
 VirtualDataCatalog* ChainCatalog() {
   static std::unique_ptr<VirtualDataCatalog>* cached =
       new std::unique_ptr<VirtualDataCatalog>();
-  if (*cached) return cached->get();
-  Logger::set_threshold(LogLevel::kError);
-  auto catalog = std::make_unique<VirtualDataCatalog>("chain.org");
-  if (!catalog->Open().ok()) std::abort();
-  if (!catalog
-           ->ImportVdl("TR refine( output out, input in ) {"
-                       "  argument stdin = ${input:in};"
-                       "  argument stdout = ${output:out};"
-                       "  exec = \"/bin/refine\"; }")
-           .ok()) {
-    std::abort();
-  }
-  if (!catalog->ImportVdl("DS d0 : Dataset size=\"1024\";").ok()) {
-    std::abort();
-  }
-  for (int k = 1; k <= kChainDepth; ++k) {
-    std::string vdl = "DV l" + std::to_string(k) +
-                      "->refine( out=@{output:\"d" + std::to_string(k) +
-                      "\"}, in=@{input:\"d" + std::to_string(k - 1) +
-                      "\"} );";
-    if (!catalog->ImportVdl(vdl).ok()) std::abort();
-  }
-  *cached = std::move(catalog);
+  if (!*cached) *cached = bench::BuildChainCatalog("chain.org", kChainDepth);
   return cached->get();
 }
 
@@ -217,6 +195,80 @@ void BM_FaultSweep(benchmark::State& state) {
   state.counters["failures"] = static_cast<double>(rpc->stats().failures);
 }
 BENCHMARK(BM_FaultSweep);
+
+// Executor provenance write-back over RPC: the batch an executor
+// ships after running a derivation — replicas for each output, the
+// dataset size updates, the invocation consuming those replica ids,
+// and a retry-count annotation on the invocation. Naive transport
+// decomposes the batch into per-op round trips (plus a version poll);
+// batched ships the whole thing in ONE trip.
+void RunWriteBack(benchmark::State& state, bool batching) {
+  // Fresh chain catalog per run: write-back mutates it, and sharing
+  // the cached ChainCatalog would leak state into the walk benches.
+  std::unique_ptr<VirtualDataCatalog> catalog =
+      bench::BuildChainCatalog("writeback.org", kChainDepth);
+  auto grid = std::make_unique<GridSimulator>(workload::SmallTestbed(), 19);
+  RpcConfig config;
+  config.enable_batching = batching;
+  auto rpc = std::make_shared<SimulatedRpcCatalogClient>(
+      std::make_shared<InProcessCatalogClient>(catalog.get()), grid.get(),
+      config);
+
+  constexpr int kOutputs = 3;
+  uint64_t trips = 0;
+  int run = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<CatalogMutation> batch;
+    std::vector<size_t> replica_ops;
+    for (int o = 0; o < kOutputs; ++o) {
+      std::string ds = "d" + std::to_string(1 + (run * kOutputs + o) %
+                                                    kChainDepth);
+      Replica replica;
+      replica.dataset = ds;
+      replica.site = "east";
+      replica.storage_element = "se0";
+      replica.physical_path = "/scratch/" + ds;
+      replica.size_bytes = 1 << 20;
+      replica_ops.push_back(batch.size());
+      batch.push_back(CatalogMutation::AddReplica(std::move(replica)));
+      batch.push_back(CatalogMutation::SetDatasetSize(ds, 1 << 20));
+    }
+    Invocation iv;
+    iv.derivation = "l" + std::to_string(1 + run % kChainDepth);
+    iv.context.site = "east";
+    iv.context.host = "n0";
+    iv.start_time = static_cast<double>(run);
+    iv.duration_s = 5;
+    batch.push_back(CatalogMutation::RecordInvocation(std::move(iv),
+                                                      replica_ops));
+    batch.push_back(CatalogMutation::AnnotateAssigned(
+        "invocation", batch.size() - 1, "recovery.attempts",
+        static_cast<int64_t>(2)));
+    BatchOptions options;
+    options.stop_on_error = true;
+    uint64_t before = rpc->stats().round_trips;
+    state.ResumeTiming();
+    Result<BatchResult> applied = rpc->ApplyBatch(batch, options);
+    if (!applied.ok() || !applied->first_error.ok()) std::abort();
+    trips += rpc->stats().round_trips - before;
+    ++run;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["round_trips"] =
+      static_cast<double>(trips) / static_cast<double>(state.iterations());
+  state.counters["batch_ops"] = 2 * kOutputs + 2;
+}
+
+void BM_ExecutorWriteBack_NaiveRpc(benchmark::State& state) {
+  RunWriteBack(state, /*batching=*/false);
+}
+BENCHMARK(BM_ExecutorWriteBack_NaiveRpc);
+
+void BM_ExecutorWriteBack_BatchedRpc(benchmark::State& state) {
+  RunWriteBack(state, /*batching=*/true);
+}
+BENCHMARK(BM_ExecutorWriteBack_BatchedRpc);
 
 }  // namespace
 }  // namespace vdg

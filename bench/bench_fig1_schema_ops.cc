@@ -18,10 +18,7 @@ void BM_DefineDerivation(benchmark::State& state) {
   VirtualDataCatalog catalog("define-bench");
   if (!catalog.Open().ok()) std::abort();
   if (!catalog
-           .ImportVdl("TR step( output out, input in ) {"
-                      "  argument stdin = ${input:in};"
-                      "  argument stdout = ${output:out};"
-                      "  exec = \"/bin/step\"; }"
+           .ImportVdl(bench::SingleStepTransformationVdl("step", "/bin/step") +
                       "DS seed0 : Dataset size=\"1\";")
            .ok()) {
     std::abort();

@@ -1,0 +1,19 @@
+// Shared benchmark entry point. Replaces benchmark::benchmark_main so
+// every bench binary reports how THIS code was compiled: the library's
+// built-in "library_build_type" context key describes how the Debian
+// libbenchmark package itself was built (debug), not our flags, so
+// tools/run_bench.sh gates on vdg_build_type instead.
+#include <benchmark/benchmark.h>
+
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("vdg_build_type", "release");
+#else
+  benchmark::AddCustomContext("vdg_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 #include <mutex>
+#include <variant>
 
 #include "catalog/codec.h"
 #include "common/strings.h"
@@ -24,54 +25,6 @@ void EraseIndexEntry(Map* map, const K& key, const V& value) {
       return;
     }
   }
-}
-
-// Normalized index key for one attribute (key, value) pair. Numbers
-// collapse to one text form so int 5 and double 5.0 index identically,
-// matching AttributePredicate's coercing comparison. The wire form is
-// used (not the %.6g display form) so doubles differing past the sixth
-// significant digit get distinct posting lists.
-std::string AttrIndexKey(std::string_view key, const AttributeValue& value) {
-  std::string out(key);
-  out.push_back('\x1f');
-  if (value.AsNumber().has_value()) {
-    out += "n:";
-  } else if (value.is_bool()) {
-    out += "b:";
-  } else {
-    out += "s:";
-  }
-  out += value.ToWireString();
-  return out;
-}
-
-// Index key for one (dimension, type-name) pair of the type index.
-std::string TypeIndexKey(TypeDimension dim, std::string_view type_name) {
-  std::string out(1, static_cast<char>('0' + static_cast<int>(dim)));
-  out.push_back('\x1f');
-  out += type_name;
-  return out;
-}
-
-// Collects a multimap's posting list for `key`, sorted and deduplicated
-// so it can drive set intersection.
-template <typename Map, typename K>
-std::vector<std::string> SortedPosting(const Map& map, const K& key) {
-  std::vector<std::string> out;
-  auto [lo, hi] = map.equal_range(key);
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
-}
-
-// Intersection of two sorted unique name lists.
-std::vector<std::string> IntersectSorted(const std::vector<std::string>& a,
-                                         const std::vector<std::string>& b) {
-  std::vector<std::string> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
 }
 
 }  // namespace
@@ -98,20 +51,75 @@ std::string_view AccessPathName(AccessPath path) {
   return "unknown";
 }
 
-void VirtualDataCatalog::IndexDatasetAttributes(const Dataset& dataset) {
+// ---------------------------------------------------------------------
+// COW posting-list maintenance
+// ---------------------------------------------------------------------
+
+void VirtualDataCatalog::PostingInsert(PostingList* list, Id id) {
+  snapshot_internal::IdNameLess<SymbolTable> less{&symbols_};
+  auto next = std::make_shared<std::vector<Id>>();
+  if (*list != nullptr) {
+    next->reserve((*list)->size() + 1);
+    *next = **list;
+  }
+  next->insert(std::upper_bound(next->begin(), next->end(), id, less), id);
+  *list = std::move(next);
+}
+
+void VirtualDataCatalog::PostingErase(PostingList* list, Id id) {
+  if (*list == nullptr) return;
+  snapshot_internal::IdNameLess<SymbolTable> less{&symbols_};
+  auto next = std::make_shared<std::vector<Id>>(**list);
+  auto [lo, hi] = std::equal_range(next->begin(), next->end(), id, less);
+  for (auto it = lo; it != hi; ++it) {
+    if (*it == id) {
+      next->erase(it);
+      break;
+    }
+  }
+  *list = std::move(next);
+}
+
+template <typename Map, typename Key>
+void VirtualDataCatalog::IndexPostingInsert(Map* map, const Key& key, Id id,
+                                            bool* dirty) {
+  PostingInsert(&(*map)[key], id);
+  *dirty = true;
+}
+
+template <typename Map, typename Key>
+void VirtualDataCatalog::IndexPostingErase(Map* map, const Key& key, Id id,
+                                           bool* dirty) {
+  auto it = map->find(key);
+  if (it == map->end()) return;
+  PostingErase(&it->second, id);
+  if (it->second->empty()) map->erase(it);
+  *dirty = true;
+}
+
+void VirtualDataCatalog::IndexDatasetAttributes(const Dataset& dataset,
+                                                Id id) {
   for (const auto& [key, value] : dataset.annotations) {
-    datasets_by_attr_.emplace(AttrIndexKey(key, value), dataset.name);
+    IndexPostingInsert(
+        &attr_index_,
+        CatalogSnapshot::AttrKey(symbols_.Intern(key),
+                                 snapshot_internal::TaggedAttrValue(value)),
+        id, &dirty_.attr);
   }
 }
 
-void VirtualDataCatalog::UnindexDatasetAttributes(const Dataset& dataset) {
+void VirtualDataCatalog::UnindexDatasetAttributes(const Dataset& dataset,
+                                                  Id id) {
   for (const auto& [key, value] : dataset.annotations) {
-    EraseIndexEntry(&datasets_by_attr_, AttrIndexKey(key, value),
-                    dataset.name);
+    IndexPostingErase(
+        &attr_index_,
+        CatalogSnapshot::AttrKey(symbols_.Intern(key),
+                                 snapshot_internal::TaggedAttrValue(value)),
+        id, &dirty_.attr);
   }
 }
 
-void VirtualDataCatalog::IndexDatasetType(const Dataset& dataset) {
+void VirtualDataCatalog::IndexDatasetType(const Dataset& dataset, Id id) {
   for (int d = 0; d < kNumTypeDimensions; ++d) {
     auto dim = static_cast<TypeDimension>(d);
     const std::string& component = dataset.type.component(dim);
@@ -121,12 +129,15 @@ void VirtualDataCatalog::IndexDatasetType(const Dataset& dataset) {
     if (!ancestry.ok()) continue;  // unvalidated type: not indexable
     for (const std::string& ancestor : *ancestry) {
       if (ancestor == h.base_name()) continue;  // base matches any type
-      datasets_by_type_.emplace(TypeIndexKey(dim, ancestor), dataset.name);
+      IndexPostingInsert(
+          &type_index_,
+          snapshot_internal::PackTypeKey(dim, symbols_.Intern(ancestor)), id,
+          &dirty_.type);
     }
   }
 }
 
-void VirtualDataCatalog::UnindexDatasetType(const Dataset& dataset) {
+void VirtualDataCatalog::UnindexDatasetType(const Dataset& dataset, Id id) {
   for (int d = 0; d < kNumTypeDimensions; ++d) {
     auto dim = static_cast<TypeDimension>(d);
     const std::string& component = dataset.type.component(dim);
@@ -136,8 +147,10 @@ void VirtualDataCatalog::UnindexDatasetType(const Dataset& dataset) {
     if (!ancestry.ok()) continue;
     for (const std::string& ancestor : *ancestry) {
       if (ancestor == h.base_name()) continue;
-      EraseIndexEntry(&datasets_by_type_, TypeIndexKey(dim, ancestor),
-                      dataset.name);
+      IndexPostingErase(
+          &type_index_,
+          snapshot_internal::PackTypeKey(dim, symbols_.Intern(ancestor)), id,
+          &dirty_.type);
     }
   }
 }
@@ -148,28 +161,57 @@ void VirtualDataCatalog::NoteReplicaState(const Replica* before,
     auto it = valid_replicas_by_dataset_.find(before->dataset);
     if (it != valid_replicas_by_dataset_.end() && --it->second == 0) {
       valid_replicas_by_dataset_.erase(it);
+      PostingErase(&materialized_, symbols_.Intern(before->dataset));
+      dirty_.materialized = true;
     }
   }
   if (after != nullptr && after->valid) {
-    ++valid_replicas_by_dataset_[after->dataset];
+    if (++valid_replicas_by_dataset_[after->dataset] == 1) {
+      PostingInsert(&materialized_, symbols_.Intern(after->dataset));
+      dirty_.materialized = true;
+    }
   }
 }
 
+// ---------------------------------------------------------------------
+// Versioning, changelog, publication
+// ---------------------------------------------------------------------
+
 void VirtualDataCatalog::BumpVersion(char op, std::string_view kind,
                                      std::string_view name) {
-  // Caller holds the exclusive lock; the atomic store only publishes
-  // the new version to lock-free version() polls.
-  uint64_t v = version_.load(std::memory_order_relaxed) + 1;
-  version_.store(v, std::memory_order_release);
-  changelog_.push_back(
-      CatalogChange{v, op, std::string(kind), std::string(name)});
-  while (changelog_.size() > changelog_capacity_) changelog_.pop_front();
+  // One version per mutation — except inside a batch, where every
+  // mutation shares the single bumped version so a ChangesSince delta
+  // carries the batch whole or not at all.
+  if (!in_batch_) {
+    ++version_seq_;
+  } else if (!batch_bumped_) {
+    ++version_seq_;
+    batch_bumped_ = true;
+  }
+  changelog_.push_back(std::make_shared<const CatalogChange>(CatalogChange{
+      version_seq_, op, std::string(kind), std::string(name)}));
+  dirty_.changelog = true;
+  if (!in_batch_) TrimChangelogLocked();
+}
+
+void VirtualDataCatalog::TrimChangelogLocked() {
+  // Evict whole version groups so a batch's entries never split; an
+  // oversized batch empties the window entirely, which ChangesSince
+  // reports as ResourceExhausted (the rescan fallback).
+  while (changelog_.size() > changelog_capacity_) {
+    uint64_t v = changelog_.front()->version;
+    do {
+      changelog_.pop_front();
+    } while (!changelog_.empty() && changelog_.front()->version == v);
+    dirty_.changelog = true;
+  }
 }
 
 void VirtualDataCatalog::set_changelog_capacity(size_t capacity) {
   std::unique_lock lock(mu_);
   changelog_capacity_ = capacity;
-  while (changelog_.size() > changelog_capacity_) changelog_.pop_front();
+  TrimChangelogLocked();
+  PublishSnapshotLocked();
 }
 
 size_t VirtualDataCatalog::changelog_capacity() const {
@@ -177,14 +219,110 @@ size_t VirtualDataCatalog::changelog_capacity() const {
   return changelog_capacity_;
 }
 
-uint64_t VirtualDataCatalog::ChangelogFloorLocked() const {
-  return changelog_.empty() ? version_.load(std::memory_order_relaxed)
-                            : changelog_.front().version - 1;
+uint64_t VirtualDataCatalog::changelog_floor() const {
+  return View().changelog_floor();
 }
 
-uint64_t VirtualDataCatalog::changelog_floor() const {
-  std::shared_lock lock(mu_);
-  return ChangelogFloorLocked();
+template <typename T>
+std::shared_ptr<const CatalogSnapshot::Rows<T>> VirtualDataCatalog::BuildRows(
+    const ObjMap<T>& map) const {
+  auto rows = std::make_shared<CatalogSnapshot::Rows<T>>();
+  rows->reserve(map.size());
+  // Map iteration is name order, which is exactly Rows' sort order.
+  for (const auto& [name, entry] : map) {
+    (void)name;
+    rows->push_back(CatalogSnapshot::Row<T>{symbols_.NameOf(entry.id),
+                                            entry.id, entry.object});
+  }
+  return rows;
+}
+
+void VirtualDataCatalog::PublishSnapshotLocked() {
+  std::shared_ptr<const CatalogSnapshot> prev;
+  {
+    std::lock_guard<std::mutex> slot(snapshot_mu_);
+    prev = snapshot_;
+  }
+  if (prev != nullptr && prev->version == version_seq_ && !dirty_.any() &&
+      !symbols_.dirty()) {
+    return;  // nothing to publish
+  }
+  auto next = std::make_shared<CatalogSnapshot>();
+  next->version = version_seq_;
+  next->symbols = symbols_.Publish();
+  bool fresh = prev == nullptr;
+  next->types = (fresh || dirty_.types_registry)
+                    ? std::make_shared<const TypeRegistry>(types_)
+                    : prev->types;
+  next->datasets =
+      (fresh || dirty_.datasets) ? BuildRows(datasets_) : prev->datasets;
+  next->transformations = (fresh || dirty_.transformations)
+                              ? BuildRows(transformations_)
+                              : prev->transformations;
+  next->derivations = (fresh || dirty_.derivations) ? BuildRows(derivations_)
+                                                    : prev->derivations;
+  next->attr_index =
+      (fresh || dirty_.attr)
+          ? std::make_shared<
+                const std::map<CatalogSnapshot::AttrKey, PostingList>>(
+                attr_index_)
+          : prev->attr_index;
+  next->type_index =
+      (fresh || dirty_.type)
+          ? std::make_shared<const std::map<uint64_t, PostingList>>(
+                type_index_)
+          : prev->type_index;
+  next->consumers =
+      (fresh || dirty_.consumers)
+          ? std::make_shared<const std::map<Id, PostingList>>(consumers_)
+          : prev->consumers;
+  next->producers =
+      (fresh || dirty_.producers)
+          ? std::make_shared<const std::map<Id, PostingList>>(producers_)
+          : prev->producers;
+  next->by_transformation =
+      (fresh || dirty_.by_transformation)
+          ? std::make_shared<const std::map<Id, PostingList>>(
+                by_transformation_)
+          : prev->by_transformation;
+  next->by_bare_transformation =
+      (fresh || dirty_.by_bare)
+          ? std::make_shared<const std::map<Id, PostingList>>(
+                by_bare_transformation_)
+          : prev->by_bare_transformation;
+  next->materialized = materialized_;
+  if (fresh || dirty_.changelog) {
+    auto log = std::make_shared<
+        std::vector<std::shared_ptr<const CatalogChange>>>();
+    log->assign(changelog_.begin(), changelog_.end());
+    next->changelog = std::move(log);
+  } else {
+    next->changelog = prev->changelog;
+  }
+  dirty_ = Dirty{};
+  // The snapshot pointer first, the polled version last: a version()
+  // observation always has its snapshot visible.
+  {
+    std::lock_guard<std::mutex> slot(snapshot_mu_);
+    snapshot_ = std::move(next);
+  }
+  version_.store(version_seq_, std::memory_order_release);
+}
+
+Status VirtualDataCatalog::CommitLocked(Status op_status) {
+  Status flushed = journal_->Flush();
+  PublishSnapshotLocked();
+  if (!op_status.ok()) return op_status;
+  return flushed;
+}
+
+Result<std::string> VirtualDataCatalog::CommitLocked(
+    Result<std::string> op_result) {
+  Status flushed = journal_->Flush();
+  PublishSnapshotLocked();
+  if (!op_result.ok()) return op_result;
+  if (!flushed.ok()) return flushed;
+  return op_result;
 }
 
 Status VirtualDataCatalog::SyncJournal() {
@@ -201,49 +339,31 @@ Status VirtualDataCatalog::CompactJournal() {
 
 bool VirtualDataCatalog::TypeConforms(const DatasetType& type,
                                       const DatasetType& against) const {
-  std::shared_lock lock(mu_);
-  return types_.Conforms(type, against);
+  return View().types().Conforms(type, against);
 }
 
 bool VirtualDataCatalog::HasType(TypeDimension dim,
                                  std::string_view type_name) const {
-  std::shared_lock lock(mu_);
-  return types_.dimension(dim).Contains(type_name);
+  return View().types().dimension(dim).Contains(type_name);
 }
 
 TypeRegistry VirtualDataCatalog::TypesSnapshot() const {
-  std::shared_lock lock(mu_);
-  return types_;
+  return View().types();
 }
 
 Result<std::vector<CatalogChange>> VirtualDataCatalog::ChangesSince(
     uint64_t since_version) const {
-  std::shared_lock lock(mu_);
-  uint64_t version = version_.load(std::memory_order_relaxed);
-  if (since_version > version) {
-    return Status::InvalidArgument(
-        "since_version " + std::to_string(since_version) +
-        " is ahead of catalog version " + std::to_string(version));
-  }
-  if (since_version == version) return std::vector<CatalogChange>{};
-  // Exactly one change per version bump, so the window is gap-free iff
-  // it reaches back to since_version + 1.
-  if (changelog_.empty() || changelog_.front().version > since_version + 1) {
-    return Status::ResourceExhausted(
-        "changelog window starts at version " +
-        std::to_string(ChangelogFloorLocked()) + ", cannot answer since " +
-        std::to_string(since_version));
-  }
-  auto it = std::lower_bound(
-      changelog_.begin(), changelog_.end(), since_version + 1,
-      [](const CatalogChange& c, uint64_t v) { return c.version < v; });
-  return std::vector<CatalogChange>(it, changelog_.end());
+  return View().ChangesSince(since_version);
 }
 
 VirtualDataCatalog::VirtualDataCatalog(
     std::string name, std::unique_ptr<CatalogJournal> journal)
     : name_(std::move(name)),
-      journal_(journal ? std::move(journal) : std::make_unique<NullJournal>()) {}
+      journal_(journal ? std::move(journal) : std::make_unique<NullJournal>()),
+      materialized_(std::make_shared<const std::vector<Id>>()) {
+  // Publish the empty version-0 snapshot so View() never sees null.
+  PublishSnapshotLocked();
+}
 
 Status VirtualDataCatalog::Open() {
   std::unique_lock lock(mu_);
@@ -255,11 +375,13 @@ Status VirtualDataCatalog::Open() {
     Status s = ApplyRecord(record);
     if (!s.ok()) {
       replaying_ = false;
+      PublishSnapshotLocked();
       return Status::IoError("journal replay failed on record '" + record +
                              "': " + s.ToString());
     }
   }
   replaying_ = false;
+  PublishSnapshotLocked();
   return Status::OK();
 }
 
@@ -271,7 +393,7 @@ Status VirtualDataCatalog::Journal(const std::string& record) {
 const DatasetType* VirtualDataCatalog::LookupDatasetType(
     std::string_view name) const {
   auto it = datasets_.find(name);
-  return it == datasets_.end() ? nullptr : &it->second.type;
+  return it == datasets_.end() ? nullptr : &it->second.object->type;
 }
 
 // ---------------------------------------------------------------------
@@ -282,7 +404,7 @@ Status VirtualDataCatalog::DefineType(TypeDimension dim,
                                       std::string_view type_name,
                                       std::string_view parent) {
   std::unique_lock lock(mu_);
-  return DefineTypeLocked(dim, type_name, parent);
+  return CommitLocked(DefineTypeLocked(dim, type_name, parent));
 }
 
 Status VirtualDataCatalog::DefineTypeLocked(TypeDimension dim,
@@ -291,6 +413,8 @@ Status VirtualDataCatalog::DefineTypeLocked(TypeDimension dim,
   Status defined = types_.Define(dim, type_name, parent);
   if (defined.IsAlreadyExists() && replaying_) return Status::OK();
   VDG_RETURN_IF_ERROR(defined);
+  symbols_.Intern(type_name);
+  dirty_.types_registry = true;
   BumpVersion('U', "type", type_name);
   return Journal(codec::JoinRecord(
       {"TY", std::to_string(static_cast<int>(dim)), std::string(type_name),
@@ -300,10 +424,14 @@ Status VirtualDataCatalog::DefineTypeLocked(TypeDimension dim,
 Status VirtualDataCatalog::LoadTypePreset() {
   std::unique_lock lock(mu_);
   // Route through a scratch registry to obtain the preset's edges,
-  // then journal each through DefineType.
+  // then journal each through DefineType. The whole preset commits as
+  // one batch: one version bump, one journal flush.
   TypeRegistry preset;
   VDG_RETURN_IF_ERROR(preset.LoadAppendixCPreset());
-  for (int d = 0; d < kNumTypeDimensions; ++d) {
+  in_batch_ = true;
+  batch_bumped_ = false;
+  Status result = Status::OK();
+  for (int d = 0; d < kNumTypeDimensions && result.ok(); ++d) {
     auto dim = static_cast<TypeDimension>(d);
     const TypeHierarchy& h = preset.dimension(dim);
     // Parents must be defined before children: insert by depth.
@@ -315,17 +443,25 @@ Status VirtualDataCatalog::LoadTypePreset() {
     std::sort(by_depth.begin(), by_depth.end());
     for (const auto& [depth, name] : by_depth) {
       (void)depth;
-      VDG_ASSIGN_OR_RETURN(std::string parent, h.ParentOf(name));
+      Result<std::string> parent = h.ParentOf(name);
+      if (!parent.ok()) {
+        result = parent.status();
+        break;
+      }
       if (types_.dimension(dim).Contains(name)) continue;  // idempotent
-      VDG_RETURN_IF_ERROR(DefineTypeLocked(dim, name, parent));
+      result = DefineTypeLocked(dim, name, *parent);
+      if (!result.ok()) break;
     }
   }
-  return Status::OK();
+  in_batch_ = false;
+  batch_bumped_ = false;
+  TrimChangelogLocked();
+  return CommitLocked(std::move(result));
 }
 
 Status VirtualDataCatalog::DefineDataset(Dataset dataset) {
   std::unique_lock lock(mu_);
-  return DefineDatasetLocked(std::move(dataset));
+  return CommitLocked(DefineDatasetLocked(std::move(dataset)));
 }
 
 Status VirtualDataCatalog::DefineDatasetLocked(Dataset dataset) {
@@ -338,20 +474,26 @@ Status VirtualDataCatalog::DefineDatasetLocked(Dataset dataset) {
                                    dataset.name);
     }
     // Replay upsert: drop the superseded object's index entries.
-    UnindexDatasetAttributes(it->second);
-    UnindexDatasetType(it->second);
+    UnindexDatasetAttributes(*it->second.object, it->second.id);
+    UnindexDatasetType(*it->second.object, it->second.id);
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(dataset)));
-  IndexDatasetAttributes(dataset);
-  IndexDatasetType(dataset);
+  Id id = symbols_.Intern(dataset.name);
+  IndexDatasetAttributes(dataset, id);
+  IndexDatasetType(dataset, id);
   BumpVersion('U', "dataset", dataset.name);
-  datasets_.insert_or_assign(dataset.name, std::move(dataset));
+  dirty_.datasets = true;
+  std::string name = dataset.name;
+  datasets_.insert_or_assign(
+      std::move(name),
+      ObjEntry<Dataset>{id, std::make_shared<const Dataset>(
+                                std::move(dataset))});
   return Status::OK();
 }
 
 Status VirtualDataCatalog::DefineTransformation(Transformation transformation) {
   std::unique_lock lock(mu_);
-  return DefineTransformationLocked(std::move(transformation));
+  return CommitLocked(DefineTransformationLocked(std::move(transformation)));
 }
 
 Status VirtualDataCatalog::DefineTransformationLocked(
@@ -368,15 +510,20 @@ Status VirtualDataCatalog::DefineTransformationLocked(
                                  transformation.name());
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeTransformation(transformation)));
+  Id id = symbols_.Intern(transformation.name());
   BumpVersion('U', "transformation", transformation.name());
-  transformations_.insert_or_assign(transformation.name(),
-                                    std::move(transformation));
+  dirty_.transformations = true;
+  std::string name = transformation.name();
+  transformations_.insert_or_assign(
+      std::move(name),
+      ObjEntry<Transformation>{id, std::make_shared<const Transformation>(
+                                       std::move(transformation))});
   return Status::OK();
 }
 
 Status VirtualDataCatalog::DefineDerivation(Derivation derivation) {
   std::unique_lock lock(mu_);
-  return DefineDerivationLocked(std::move(derivation));
+  return CommitLocked(DefineDerivationLocked(std::move(derivation)));
 }
 
 Status VirtualDataCatalog::DefineDerivationLocked(Derivation derivation) {
@@ -396,7 +543,7 @@ Status VirtualDataCatalog::DefineDerivationLocked(Derivation derivation) {
                               " references unknown transformation " +
                               tr_name);
     }
-    tr = &it->second;
+    tr = it->second.object.get();
     VDG_RETURN_IF_ERROR(ValidateDerivationAgainst(
         derivation, *tr, types_,
         [this](std::string_view ds) { return LookupDatasetType(ds); }));
@@ -420,21 +567,25 @@ Status VirtualDataCatalog::DefineDerivationLocked(Derivation derivation) {
       }
       out.descriptor = DatasetDescriptor::File(out.name);
       VDG_RETURN_IF_ERROR(DefineDatasetLocked(std::move(out)));
-    } else if (existing->second.producer.empty()) {
-      existing->second.producer = derivation.name();
-      VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(existing->second)));
-    } else if (existing->second.producer != derivation.name() &&
+    } else if (existing->second.object->producer.empty()) {
+      Dataset updated = *existing->second.object;
+      updated.producer = derivation.name();
+      VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(updated)));
+      existing->second.object =
+          std::make_shared<const Dataset>(std::move(updated));
+      dirty_.datasets = true;
+    } else if (existing->second.object->producer != derivation.name() &&
                !replaying_) {
       // A compound derivation's expansion children (named
       // "<parent>.cK" by the planner) legitimately re-produce the
       // parent's outputs; the parent remains the recorded producer.
       bool expansion_child = StartsWith(
-          derivation.name(), existing->second.producer + ".");
+          derivation.name(), existing->second.object->producer + ".");
       if (!expansion_child) {
         return Status::AlreadyExists(
             "dataset " + *arg.dataset +
             " is already produced by derivation " +
-            existing->second.producer +
+            existing->second.object->producer +
             " (a dataset has exactly one producing recipe)");
       }
     }
@@ -443,29 +594,38 @@ Status VirtualDataCatalog::DefineDerivationLocked(Derivation derivation) {
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeDerivation(derivation)));
 
   // Index maintenance.
+  Id dv_id = symbols_.Intern(derivation.name());
   derivations_by_signature_.emplace(derivation.Signature(),
                                     derivation.name());
-  derivations_by_transformation_.emplace(derivation.QualifiedTransformation(),
-                                         derivation.name());
+  IndexPostingInsert(&by_transformation_,
+                     symbols_.Intern(derivation.QualifiedTransformation()),
+                     dv_id, &dirty_.by_transformation);
   if (derivation.QualifiedTransformation() != derivation.transformation()) {
-    derivations_by_bare_transformation_.emplace(derivation.transformation(),
-                                                derivation.name());
+    IndexPostingInsert(&by_bare_transformation_,
+                       symbols_.Intern(derivation.transformation()), dv_id,
+                       &dirty_.by_bare);
   }
   for (const std::string& input : derivation.InputDatasets()) {
-    consumers_by_dataset_.emplace(input, derivation.name());
+    IndexPostingInsert(&consumers_, symbols_.Intern(input), dv_id,
+                       &dirty_.consumers);
   }
   for (const std::string& output : derivation.OutputDatasets()) {
-    producers_by_dataset_.emplace(output, derivation.name());
+    IndexPostingInsert(&producers_, symbols_.Intern(output), dv_id,
+                       &dirty_.producers);
   }
   BumpVersion('U', "derivation", derivation.name());
+  dirty_.derivations = true;
   std::string name = derivation.name();
-  derivations_.insert_or_assign(std::move(name), std::move(derivation));
+  derivations_.insert_or_assign(
+      std::move(name),
+      ObjEntry<Derivation>{dv_id, std::make_shared<const Derivation>(
+                                      std::move(derivation))});
   return Status::OK();
 }
 
 Result<std::string> VirtualDataCatalog::AddReplica(Replica replica) {
   std::unique_lock lock(mu_);
-  return AddReplicaLocked(std::move(replica));
+  return CommitLocked(AddReplicaLocked(std::move(replica)));
 }
 
 Result<std::string> VirtualDataCatalog::AddReplicaLocked(Replica replica) {
@@ -505,7 +665,7 @@ Result<std::string> VirtualDataCatalog::AddReplicaLocked(Replica replica) {
 Result<std::string> VirtualDataCatalog::RecordInvocation(
     Invocation invocation) {
   std::unique_lock lock(mu_);
-  return RecordInvocationLocked(std::move(invocation));
+  return CommitLocked(RecordInvocationLocked(std::move(invocation)));
 }
 
 Result<std::string> VirtualDataCatalog::RecordInvocationLocked(
@@ -541,9 +701,113 @@ Result<std::string> VirtualDataCatalog::RecordInvocationLocked(
   return id;
 }
 
+// ---------------------------------------------------------------------
+// Batched mutation (group commit)
+// ---------------------------------------------------------------------
+
+Status VirtualDataCatalog::ApplyMutationLocked(const CatalogMutation& mutation,
+                                               size_t index,
+                                               BatchResult* result) {
+  return std::visit(
+      [&](const auto& op) -> Status {
+        using Op = std::decay_t<decltype(op)>;
+        if constexpr (std::is_same_v<Op, CatalogMutation::DefineDatasetOp>) {
+          return DefineDatasetLocked(op.dataset);
+        } else if constexpr (std::is_same_v<
+                                 Op, CatalogMutation::DefineTransformationOp>) {
+          return DefineTransformationLocked(op.transformation);
+        } else if constexpr (std::is_same_v<
+                                 Op, CatalogMutation::DefineDerivationOp>) {
+          return DefineDerivationLocked(op.derivation);
+        } else if constexpr (std::is_same_v<Op, CatalogMutation::AnnotateOp>) {
+          std::string target = op.name;
+          if (op.name_from_op.has_value()) {
+            if (*op.name_from_op >= index ||
+                result->assigned_ids[*op.name_from_op].empty()) {
+              return Status::InvalidArgument(
+                  "annotate references batch op " +
+                  std::to_string(*op.name_from_op) +
+                  " which assigned no id");
+            }
+            target = result->assigned_ids[*op.name_from_op];
+          }
+          return AnnotateLocked(op.kind, target, op.key, op.value);
+        } else if constexpr (std::is_same_v<Op,
+                                            CatalogMutation::AddReplicaOp>) {
+          VDG_ASSIGN_OR_RETURN(std::string id, AddReplicaLocked(op.replica));
+          result->assigned_ids[index] = std::move(id);
+          return Status::OK();
+        } else if constexpr (std::is_same_v<
+                                 Op, CatalogMutation::RecordInvocationOp>) {
+          Invocation iv = op.invocation;
+          for (size_t pos : op.produced_from_ops) {
+            if (pos >= index || result->assigned_ids[pos].empty()) {
+              return Status::InvalidArgument(
+                  "invocation references batch op " + std::to_string(pos) +
+                  " which assigned no id");
+            }
+            iv.produced_replicas.push_back(result->assigned_ids[pos]);
+          }
+          VDG_ASSIGN_OR_RETURN(std::string id,
+                               RecordInvocationLocked(std::move(iv)));
+          result->assigned_ids[index] = std::move(id);
+          return Status::OK();
+        } else if constexpr (std::is_same_v<
+                                 Op, CatalogMutation::SetDatasetSizeOp>) {
+          return SetDatasetSizeLocked(op.name, op.size_bytes);
+        } else {
+          static_assert(
+              std::is_same_v<Op, CatalogMutation::InvalidateReplicaOp>);
+          return InvalidateReplicaLocked(op.id);
+        }
+      },
+      mutation.op);
+}
+
+BatchResult VirtualDataCatalog::ApplyBatch(
+    const std::vector<CatalogMutation>& mutations,
+    const BatchOptions& options) {
+  std::unique_lock lock(mu_);
+  BatchResult result;
+  result.statuses.reserve(mutations.size());
+  result.assigned_ids.resize(mutations.size());
+  in_batch_ = true;
+  batch_bumped_ = false;
+  bool aborted = false;
+  for (size_t i = 0; i < mutations.size(); ++i) {
+    if (aborted) {
+      result.statuses.push_back(
+          Status::FailedPrecondition("batch aborted by earlier failure"));
+      continue;
+    }
+    Status s = ApplyMutationLocked(mutations[i], i, &result);
+    if (s.ok()) {
+      ++result.applied;
+    } else {
+      if (result.first_error.ok()) result.first_error = s;
+      if (options.stop_on_error) aborted = true;
+    }
+    result.statuses.push_back(std::move(s));
+  }
+  in_batch_ = false;
+  batch_bumped_ = false;
+  TrimChangelogLocked();
+  Status flushed = journal_->Flush();
+  if (!flushed.ok() && result.first_error.ok()) result.first_error = flushed;
+  PublishSnapshotLocked();
+  result.version = version_seq_;
+  return result;
+}
+
 Status VirtualDataCatalog::ImportProgram(const VdlProgram& program) {
   std::unique_lock lock(mu_);
-  return ImportProgramLocked(program);
+  in_batch_ = true;
+  batch_bumped_ = false;
+  Status s = ImportProgramLocked(program);
+  in_batch_ = false;
+  batch_bumped_ = false;
+  TrimChangelogLocked();
+  return CommitLocked(std::move(s));
 }
 
 Status VirtualDataCatalog::ImportProgramLocked(const VdlProgram& program) {
@@ -562,8 +826,7 @@ Status VirtualDataCatalog::ImportProgramLocked(const VdlProgram& program) {
 Status VirtualDataCatalog::ImportVdl(std::string_view source) {
   // Parsing touches no catalog state; keep it outside the lock.
   VDG_ASSIGN_OR_RETURN(VdlProgram program, ParseVdl(source));
-  std::unique_lock lock(mu_);
-  return ImportProgramLocked(program);
+  return ImportProgram(program);
 }
 
 // ---------------------------------------------------------------------
@@ -571,32 +834,17 @@ Status VirtualDataCatalog::ImportVdl(std::string_view source) {
 // ---------------------------------------------------------------------
 
 Result<Dataset> VirtualDataCatalog::GetDataset(std::string_view name) const {
-  std::shared_lock lock(mu_);
-  auto it = datasets_.find(name);
-  if (it == datasets_.end()) {
-    return Status::NotFound("dataset not found: " + std::string(name));
-  }
-  return it->second;
+  return View().GetDataset(name);
 }
 
 Result<Transformation> VirtualDataCatalog::GetTransformation(
     std::string_view name) const {
-  std::shared_lock lock(mu_);
-  auto it = transformations_.find(name);
-  if (it == transformations_.end()) {
-    return Status::NotFound("transformation not found: " + std::string(name));
-  }
-  return it->second;
+  return View().GetTransformation(name);
 }
 
 Result<Derivation> VirtualDataCatalog::GetDerivation(
     std::string_view name) const {
-  std::shared_lock lock(mu_);
-  auto it = derivations_.find(name);
-  if (it == derivations_.end()) {
-    return Status::NotFound("derivation not found: " + std::string(name));
-  }
-  return it->second;
+  return View().GetDerivation(name);
 }
 
 Result<Replica> VirtualDataCatalog::GetReplica(std::string_view id) const {
@@ -619,16 +867,13 @@ Result<Invocation> VirtualDataCatalog::GetInvocation(
 }
 
 bool VirtualDataCatalog::HasDataset(std::string_view name) const {
-  std::shared_lock lock(mu_);
-  return datasets_.count(name) != 0;
+  return View().HasDataset(name);
 }
 bool VirtualDataCatalog::HasTransformation(std::string_view name) const {
-  std::shared_lock lock(mu_);
-  return transformations_.count(name) != 0;
+  return View().HasTransformation(name);
 }
 bool VirtualDataCatalog::HasDerivation(std::string_view name) const {
-  std::shared_lock lock(mu_);
-  return derivations_.count(name) != 0;
+  return View().HasDerivation(name);
 }
 
 // ---------------------------------------------------------------------
@@ -640,16 +885,27 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
                                     std::string_view key,
                                     AttributeValue value) {
   std::unique_lock lock(mu_);
+  return CommitLocked(AnnotateLocked(kind, name, key, std::move(value)));
+}
+
+Status VirtualDataCatalog::AnnotateLocked(std::string_view kind,
+                                          std::string_view name,
+                                          std::string_view key,
+                                          AttributeValue value) {
   if (kind == "dataset") {
     auto it = datasets_.find(name);
     if (it == datasets_.end()) {
       return Status::NotFound("dataset not found: " + std::string(name));
     }
-    UnindexDatasetAttributes(it->second);
-    it->second.annotations.Set(key, std::move(value));
-    IndexDatasetAttributes(it->second);
+    UnindexDatasetAttributes(*it->second.object, it->second.id);
+    Dataset updated = *it->second.object;
+    updated.annotations.Set(key, std::move(value));
+    IndexDatasetAttributes(updated, it->second.id);
     BumpVersion('U', "dataset", name);
-    return Journal(codec::EncodeDataset(it->second));
+    dirty_.datasets = true;
+    Status journaled = Journal(codec::EncodeDataset(updated));
+    it->second.object = std::make_shared<const Dataset>(std::move(updated));
+    return journaled;
   }
   if (kind == "transformation") {
     auto it = transformations_.find(name);
@@ -657,18 +913,27 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
       return Status::NotFound("transformation not found: " +
                               std::string(name));
     }
-    it->second.annotations().Set(key, std::move(value));
+    Transformation updated = *it->second.object;
+    updated.annotations().Set(key, std::move(value));
     BumpVersion('U', "transformation", name);
-    return Journal(codec::EncodeTransformation(it->second));
+    dirty_.transformations = true;
+    Status journaled = Journal(codec::EncodeTransformation(updated));
+    it->second.object =
+        std::make_shared<const Transformation>(std::move(updated));
+    return journaled;
   }
   if (kind == "derivation") {
     auto it = derivations_.find(name);
     if (it == derivations_.end()) {
       return Status::NotFound("derivation not found: " + std::string(name));
     }
-    it->second.annotations().Set(key, std::move(value));
+    Derivation updated = *it->second.object;
+    updated.annotations().Set(key, std::move(value));
     BumpVersion('U', "derivation", name);
-    return Journal(codec::EncodeDerivation(it->second));
+    dirty_.derivations = true;
+    Status journaled = Journal(codec::EncodeDerivation(updated));
+    it->second.object = std::make_shared<const Derivation>(std::move(updated));
+    return journaled;
   }
   if (kind == "replica") {
     auto it = replicas_.find(name);
@@ -694,6 +959,11 @@ Status VirtualDataCatalog::Annotate(std::string_view kind,
 Status VirtualDataCatalog::SetDatasetSize(std::string_view name,
                                           int64_t size_bytes) {
   std::unique_lock lock(mu_);
+  return CommitLocked(SetDatasetSizeLocked(name, size_bytes));
+}
+
+Status VirtualDataCatalog::SetDatasetSizeLocked(std::string_view name,
+                                                int64_t size_bytes) {
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("dataset not found: " + std::string(name));
@@ -701,13 +971,21 @@ Status VirtualDataCatalog::SetDatasetSize(std::string_view name,
   if (size_bytes < 0) {
     return Status::InvalidArgument("negative dataset size");
   }
-  it->second.size_bytes = size_bytes;
+  Dataset updated = *it->second.object;
+  updated.size_bytes = size_bytes;
   BumpVersion('U', "dataset", name);
-  return Journal(codec::EncodeDataset(it->second));
+  dirty_.datasets = true;
+  Status journaled = Journal(codec::EncodeDataset(updated));
+  it->second.object = std::make_shared<const Dataset>(std::move(updated));
+  return journaled;
 }
 
 Status VirtualDataCatalog::InvalidateReplica(std::string_view id) {
   std::unique_lock lock(mu_);
+  return CommitLocked(InvalidateReplicaLocked(id));
+}
+
+Status VirtualDataCatalog::InvalidateReplicaLocked(std::string_view id) {
   auto it = replicas_.find(id);
   if (it == replicas_.end()) {
     return Status::NotFound("replica not found: " + std::string(id));
@@ -722,7 +1000,7 @@ Status VirtualDataCatalog::InvalidateReplica(std::string_view id) {
 
 Status VirtualDataCatalog::RemoveDataset(std::string_view name) {
   std::unique_lock lock(mu_);
-  return RemoveDatasetLocked(name);
+  return CommitLocked(RemoveDatasetLocked(name));
 }
 
 Status VirtualDataCatalog::RemoveDatasetLocked(std::string_view name) {
@@ -738,17 +1016,23 @@ Status VirtualDataCatalog::RemoveDatasetLocked(std::string_view name) {
     VDG_RETURN_IF_ERROR(RemoveReplicaLocked(id));
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('S', name)));
-  UnindexDatasetAttributes(it->second);
-  UnindexDatasetType(it->second);
-  valid_replicas_by_dataset_.erase(std::string(name));
+  UnindexDatasetAttributes(*it->second.object, it->second.id);
+  UnindexDatasetType(*it->second.object, it->second.id);
+  auto vit = valid_replicas_by_dataset_.find(name);
+  if (vit != valid_replicas_by_dataset_.end()) {
+    valid_replicas_by_dataset_.erase(vit);
+    PostingErase(&materialized_, it->second.id);
+    dirty_.materialized = true;
+  }
   BumpVersion('D', "dataset", name);
+  dirty_.datasets = true;
   datasets_.erase(it);
   return Status::OK();
 }
 
 Status VirtualDataCatalog::RemoveTransformation(std::string_view name) {
   std::unique_lock lock(mu_);
-  return RemoveTransformationLocked(name);
+  return CommitLocked(RemoveTransformationLocked(name));
 }
 
 Status VirtualDataCatalog::RemoveTransformationLocked(std::string_view name) {
@@ -756,20 +1040,23 @@ Status VirtualDataCatalog::RemoveTransformationLocked(std::string_view name) {
   if (it == transformations_.end()) {
     return Status::NotFound("transformation not found: " + std::string(name));
   }
-  if (derivations_by_transformation_.count(std::string(name)) != 0) {
+  Id tr_id = symbols_.Find(name);
+  if (tr_id != SymbolTable::kNoSymbol &&
+      by_transformation_.count(tr_id) != 0) {
     return Status::FailedPrecondition(
         "transformation " + std::string(name) +
         " is referenced by derivations and cannot be removed");
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('T', name)));
   BumpVersion('D', "transformation", name);
+  dirty_.transformations = true;
   transformations_.erase(it);
   return Status::OK();
 }
 
 Status VirtualDataCatalog::RemoveDerivation(std::string_view name) {
   std::unique_lock lock(mu_);
-  return RemoveDerivationLocked(name);
+  return CommitLocked(RemoveDerivationLocked(name));
 }
 
 Status VirtualDataCatalog::RemoveDerivationLocked(std::string_view name) {
@@ -777,38 +1064,47 @@ Status VirtualDataCatalog::RemoveDerivationLocked(std::string_view name) {
   if (it == derivations_.end()) {
     return Status::NotFound("derivation not found: " + std::string(name));
   }
-  const Derivation& dv = it->second;
+  const Derivation& dv = *it->second.object;
+  Id dv_id = it->second.id;
   EraseIndexEntry(&derivations_by_signature_, dv.Signature(),
                   std::string(name));
-  EraseIndexEntry(&derivations_by_transformation_,
-                  dv.QualifiedTransformation(), std::string(name));
+  IndexPostingErase(&by_transformation_,
+                    symbols_.Intern(dv.QualifiedTransformation()), dv_id,
+                    &dirty_.by_transformation);
   if (dv.QualifiedTransformation() != dv.transformation()) {
-    EraseIndexEntry(&derivations_by_bare_transformation_, dv.transformation(),
-                    std::string(name));
+    IndexPostingErase(&by_bare_transformation_,
+                      symbols_.Intern(dv.transformation()), dv_id,
+                      &dirty_.by_bare);
   }
   for (const std::string& input : dv.InputDatasets()) {
-    EraseIndexEntry(&consumers_by_dataset_, input, std::string(name));
+    IndexPostingErase(&consumers_, symbols_.Intern(input), dv_id,
+                      &dirty_.consumers);
   }
   for (const std::string& output : dv.OutputDatasets()) {
-    EraseIndexEntry(&producers_by_dataset_, output, std::string(name));
+    IndexPostingErase(&producers_, symbols_.Intern(output), dv_id,
+                      &dirty_.producers);
   }
   // Outputs lose their producer but remain defined.
   for (const std::string& output : dv.OutputDatasets()) {
     auto ds = datasets_.find(output);
-    if (ds != datasets_.end() && ds->second.producer == name) {
-      ds->second.producer.clear();
-      VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(ds->second)));
+    if (ds != datasets_.end() && ds->second.object->producer == name) {
+      Dataset updated = *ds->second.object;
+      updated.producer.clear();
+      VDG_RETURN_IF_ERROR(Journal(codec::EncodeDataset(updated)));
+      ds->second.object = std::make_shared<const Dataset>(std::move(updated));
+      dirty_.datasets = true;
     }
   }
   VDG_RETURN_IF_ERROR(Journal(codec::EncodeRemoval('D', name)));
   BumpVersion('D', "derivation", name);
+  dirty_.derivations = true;
   derivations_.erase(it);
   return Status::OK();
 }
 
 Status VirtualDataCatalog::RemoveReplica(std::string_view id) {
   std::unique_lock lock(mu_);
-  return RemoveReplicaLocked(id);
+  return CommitLocked(RemoveReplicaLocked(id));
 }
 
 Status VirtualDataCatalog::RemoveReplicaLocked(std::string_view id) {
@@ -843,8 +1139,7 @@ std::vector<Replica> VirtualDataCatalog::ReplicasOf(std::string_view dataset,
 }
 
 bool VirtualDataCatalog::IsMaterialized(std::string_view dataset) const {
-  std::shared_lock lock(mu_);
-  return IsMaterializedLocked(dataset);
+  return View().IsMaterialized(dataset);
 }
 
 bool VirtualDataCatalog::IsMaterializedLocked(std::string_view dataset) const {
@@ -856,28 +1151,12 @@ bool VirtualDataCatalog::IsMaterializedLocked(std::string_view dataset) const {
 
 Result<std::string> VirtualDataCatalog::ProducerOf(
     std::string_view dataset) const {
-  std::shared_lock lock(mu_);
-  auto it = datasets_.find(dataset);
-  if (it == datasets_.end()) {
-    return Status::NotFound("dataset not found: " + std::string(dataset));
-  }
-  if (it->second.producer.empty()) {
-    return Status::NotFound("dataset " + std::string(dataset) +
-                            " has no producing derivation (raw input)");
-  }
-  return it->second.producer;
+  return View().ProducerOf(dataset);
 }
 
 std::vector<std::string> VirtualDataCatalog::ConsumersOf(
     std::string_view dataset) const {
-  std::shared_lock lock(mu_);
-  std::vector<std::string> out;
-  auto [lo, hi] = consumers_by_dataset_.equal_range(dataset);
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
-  // Canonical order: multimap insertion order depends on mutation
-  // history (e.g. annotate re-puts), which must not leak into results.
-  std::sort(out.begin(), out.end());
-  return out;
+  return View().ConsumersOf(dataset);
 }
 
 std::vector<Invocation> VirtualDataCatalog::InvocationsOf(
@@ -894,318 +1173,36 @@ std::vector<Invocation> VirtualDataCatalog::InvocationsOf(
 
 std::vector<std::string> VirtualDataCatalog::DerivationsUsing(
     std::string_view transformation) const {
-  std::shared_lock lock(mu_);
-  std::vector<std::string> out;
-  auto [lo, hi] = derivations_by_transformation_.equal_range(transformation);
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
-  std::sort(out.begin(), out.end());
-  return out;
+  return View().DerivationsUsing(transformation);
 }
 
 // ---------------------------------------------------------------------
-// Discovery
+// Discovery (delegated to the pinned snapshot)
 // ---------------------------------------------------------------------
-
-std::vector<VirtualDataCatalog::Posting> VirtualDataCatalog::DatasetPostings(
-    const DatasetQuery& query) const {
-  std::vector<Posting> postings;
-  for (const AttributePredicate& predicate : query.predicates) {
-    if (predicate.op != PredicateOp::kEq) continue;
-    Posting p;
-    p.path = AccessPath::kAttributeIndex;
-    p.driver = "attr " + predicate.key + "=" + predicate.operand.ToString();
-    p.names = SortedPosting(datasets_by_attr_,
-                            AttrIndexKey(predicate.key, predicate.operand));
-    postings.push_back(std::move(p));
-  }
-  if (query.type && !query.type->IsAny()) {
-    for (int d = 0; d < kNumTypeDimensions; ++d) {
-      auto dim = static_cast<TypeDimension>(d);
-      const std::string& component = query.type->component(dim);
-      const TypeHierarchy& h = types_.dimension(dim);
-      // An empty or base-typed component accepts anything — no list.
-      if (component.empty() || component == h.base_name()) continue;
-      Posting p;
-      p.path = AccessPath::kTypeIndex;
-      p.driver =
-          "type " + std::string(TypeDimensionName(dim)) + ":" + component;
-      p.names = SortedPosting(datasets_by_type_, TypeIndexKey(dim, component));
-      postings.push_back(std::move(p));
-    }
-  }
-  return postings;
-}
 
 std::vector<std::string> VirtualDataCatalog::FindDatasets(
     const DatasetQuery& query) const {
-  std::shared_lock lock(mu_);
-  // Residual filter: re-checks every condition, so the driving index
-  // only needs to be a superset of the answer.
-  auto matches = [this, &query](const std::string& name,
-                                const Dataset& ds) {
-    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
-      return false;
-    }
-    if (query.type && !types_.Conforms(ds.type, *query.type)) return false;
-    if (!MatchesAll(ds.annotations, query.predicates)) return false;
-    if (query.require_materialized && !IsMaterializedLocked(name)) {
-      return false;
-    }
-    if (query.only_virtual && IsMaterializedLocked(name)) return false;
-    return true;
-  };
-
-  std::vector<std::string> out;
-
-  // Indexed path: intersect the posting lists, smallest first, then
-  // apply the residual filter to the survivors.
-  std::vector<Posting> postings = DatasetPostings(query);
-  if (!postings.empty()) {
-    std::sort(postings.begin(), postings.end(),
-              [](const Posting& a, const Posting& b) {
-                return a.names.size() < b.names.size();
-              });
-    std::vector<std::string> candidates = std::move(postings[0].names);
-    for (size_t i = 1; i < postings.size() && !candidates.empty(); ++i) {
-      candidates = IntersectSorted(candidates, postings[i].names);
-    }
-    for (const std::string& name : candidates) {
-      auto ds = datasets_.find(name);
-      if (ds == datasets_.end()) continue;
-      if (!matches(name, ds->second)) continue;
-      out.push_back(name);
-      if (query.limit != 0 && out.size() >= query.limit) break;
-    }
-    return out;
-  }
-
-  // Materialized-set path: enumerate only datasets with valid replicas.
-  if (query.require_materialized) {
-    for (const auto& [name, count] : valid_replicas_by_dataset_) {
-      (void)count;
-      auto ds = datasets_.find(name);
-      if (ds == datasets_.end()) continue;
-      if (!matches(name, ds->second)) continue;
-      out.push_back(name);
-      if (query.limit != 0 && out.size() >= query.limit) break;
-    }
-    return out;
-  }
-
-  // Name-prefix path: bounded range scan on the ordered map.
-  auto it = query.name_prefix.empty()
-                ? datasets_.begin()
-                : datasets_.lower_bound(query.name_prefix);
-  for (; it != datasets_.end(); ++it) {
-    if (!query.name_prefix.empty() &&
-        !StartsWith(it->first, query.name_prefix)) {
-      break;
-    }
-    if (!matches(it->first, it->second)) continue;
-    out.push_back(it->first);
-    if (query.limit != 0 && out.size() >= query.limit) break;
-  }
-  return out;
+  return View().FindDatasets(query);
 }
 
 QueryPlan VirtualDataCatalog::ExplainFindDatasets(
     const DatasetQuery& query) const {
-  std::shared_lock lock(mu_);
-  QueryPlan plan;
-  std::vector<Posting> postings = DatasetPostings(query);
-  if (!postings.empty()) {
-    const Posting* smallest = &postings[0];
-    for (const Posting& p : postings) {
-      if (p.names.size() < smallest->names.size()) smallest = &p;
-    }
-    plan.path = smallest->path;
-    plan.driver = smallest->driver;
-    plan.estimated_candidates = smallest->names.size();
-    plan.posting_lists = postings.size();
-    return plan;
-  }
-  if (query.require_materialized) {
-    plan.path = AccessPath::kMaterializedSet;
-    plan.driver = "materialized-set";
-    plan.estimated_candidates = valid_replicas_by_dataset_.size();
-    return plan;
-  }
-  if (!query.name_prefix.empty()) {
-    plan.path = AccessPath::kNamePrefixRange;
-    plan.driver = "prefix " + query.name_prefix;
-    plan.estimated_candidates = datasets_.size();  // upper bound
-    return plan;
-  }
-  plan.path = AccessPath::kFullScan;
-  plan.driver = "datasets";
-  plan.estimated_candidates = datasets_.size();
-  return plan;
+  return View().ExplainFindDatasets(query);
 }
 
 std::vector<std::string> VirtualDataCatalog::FindTransformations(
     const TransformationQuery& query) const {
-  std::shared_lock lock(mu_);
-  std::vector<std::string> out;
-  // Prefix queries scan only the matching range of the ordered map.
-  auto begin = query.name_prefix.empty()
-                   ? transformations_.begin()
-                   : transformations_.lower_bound(query.name_prefix);
-  for (auto it = begin; it != transformations_.end(); ++it) {
-    const std::string& name = it->first;
-    const Transformation& tr = it->second;
-    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
-      break;
-    }
-    if (!MatchesAll(tr.annotations(), query.predicates)) continue;
-    if (query.consumes) {
-      bool accepts = false;
-      for (const FormalArg& arg : tr.args()) {
-        if (arg.is_string() || !DirectionReads(arg.direction)) continue;
-        if (types_.ConformsToAny(*query.consumes, arg.types)) {
-          accepts = true;
-          break;
-        }
-      }
-      if (!accepts) continue;
-    }
-    if (query.produces) {
-      bool yields = false;
-      for (const FormalArg& arg : tr.args()) {
-        if (arg.is_string() || !DirectionWrites(arg.direction)) continue;
-        if (arg.types.empty()) {
-          yields = query.produces->IsAny();
-        } else {
-          for (const DatasetType& t : arg.types) {
-            if (types_.Conforms(t, *query.produces)) {
-              yields = true;
-              break;
-            }
-          }
-        }
-        if (yields) break;
-      }
-      if (!yields) continue;
-    }
-    out.push_back(name);
-    if (query.limit != 0 && out.size() >= query.limit) break;
-  }
-  return out;
-}
-
-std::vector<VirtualDataCatalog::Posting>
-VirtualDataCatalog::DerivationPostings(const DerivationQuery& query) const {
-  std::vector<Posting> postings;
-  if (!query.transformation.empty()) {
-    Posting p;
-    p.path = AccessPath::kTransformationIndex;
-    p.driver = "transformation " + query.transformation;
-    // A query name matches either the qualified or the bare form; the
-    // union of both maps' posting lists is exactly that predicate.
-    p.names = SortedPosting(derivations_by_transformation_,
-                            query.transformation);
-    std::vector<std::string> bare = SortedPosting(
-        derivations_by_bare_transformation_, query.transformation);
-    if (!bare.empty()) {
-      std::vector<std::string> merged;
-      std::set_union(p.names.begin(), p.names.end(), bare.begin(), bare.end(),
-                     std::back_inserter(merged));
-      p.names = std::move(merged);
-    }
-    postings.push_back(std::move(p));
-  }
-  if (!query.reads_dataset.empty()) {
-    Posting p;
-    p.path = AccessPath::kReadsIndex;
-    p.driver = "reads " + query.reads_dataset;
-    p.names = SortedPosting(consumers_by_dataset_, query.reads_dataset);
-    postings.push_back(std::move(p));
-  }
-  if (!query.writes_dataset.empty()) {
-    Posting p;
-    p.path = AccessPath::kWritesIndex;
-    p.driver = "writes " + query.writes_dataset;
-    p.names = SortedPosting(producers_by_dataset_, query.writes_dataset);
-    postings.push_back(std::move(p));
-  }
-  return postings;
+  return View().FindTransformations(query);
 }
 
 std::vector<std::string> VirtualDataCatalog::FindDerivations(
     const DerivationQuery& query) const {
-  std::shared_lock lock(mu_);
-  // The posting lists answer the transformation/reads/writes
-  // conditions exactly, so the residual covers only prefix and
-  // annotation predicates (and, on scan paths, everything indexed is
-  // empty anyway).
-  auto residual = [&query](const std::string& name, const Derivation& dv) {
-    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
-      return false;
-    }
-    return MatchesAll(dv.annotations(), query.predicates);
-  };
-
-  std::vector<std::string> out;
-  std::vector<Posting> postings = DerivationPostings(query);
-  if (!postings.empty()) {
-    std::sort(postings.begin(), postings.end(),
-              [](const Posting& a, const Posting& b) {
-                return a.names.size() < b.names.size();
-              });
-    std::vector<std::string> candidates = std::move(postings[0].names);
-    for (size_t i = 1; i < postings.size() && !candidates.empty(); ++i) {
-      candidates = IntersectSorted(candidates, postings[i].names);
-    }
-    for (const std::string& name : candidates) {
-      auto dv = derivations_.find(name);
-      if (dv == derivations_.end()) continue;
-      if (!residual(name, dv->second)) continue;
-      out.push_back(name);
-      if (query.limit != 0 && out.size() >= query.limit) break;
-    }
-    return out;
-  }
-
-  auto begin = query.name_prefix.empty()
-                   ? derivations_.begin()
-                   : derivations_.lower_bound(query.name_prefix);
-  for (auto it = begin; it != derivations_.end(); ++it) {
-    if (!query.name_prefix.empty() &&
-        !StartsWith(it->first, query.name_prefix)) {
-      break;
-    }
-    if (!residual(it->first, it->second)) continue;
-    out.push_back(it->first);
-    if (query.limit != 0 && out.size() >= query.limit) break;
-  }
-  return out;
+  return View().FindDerivations(query);
 }
 
 QueryPlan VirtualDataCatalog::ExplainFindDerivations(
     const DerivationQuery& query) const {
-  std::shared_lock lock(mu_);
-  QueryPlan plan;
-  std::vector<Posting> postings = DerivationPostings(query);
-  if (!postings.empty()) {
-    const Posting* smallest = &postings[0];
-    for (const Posting& p : postings) {
-      if (p.names.size() < smallest->names.size()) smallest = &p;
-    }
-    plan.path = smallest->path;
-    plan.driver = smallest->driver;
-    plan.estimated_candidates = smallest->names.size();
-    plan.posting_lists = postings.size();
-    return plan;
-  }
-  if (!query.name_prefix.empty()) {
-    plan.path = AccessPath::kNamePrefixRange;
-    plan.driver = "prefix " + query.name_prefix;
-    plan.estimated_candidates = derivations_.size();  // upper bound
-    return plan;
-  }
-  plan.path = AccessPath::kFullScan;
-  plan.driver = "derivations";
-  plan.estimated_candidates = derivations_.size();
-  return plan;
+  return View().ExplainFindDerivations(query);
 }
 
 Result<std::string> VirtualDataCatalog::FindEquivalentDerivation(
@@ -1220,7 +1217,8 @@ Result<std::string> VirtualDataCatalog::FindEquivalentDerivationLocked(
   auto [lo, hi] = derivations_by_signature_.equal_range(derivation.Signature());
   for (auto it = lo; it != hi; ++it) {
     auto dv = derivations_.find(it->second);
-    if (dv != derivations_.end() && dv->second.SignatureText() == want) {
+    if (dv != derivations_.end() &&
+        dv->second.object->SignatureText() == want) {
       return it->second;
     }
   }
@@ -1233,7 +1231,7 @@ bool VirtualDataCatalog::HasBeenComputed(const Derivation& derivation) const {
   if (!existing.ok()) return false;
   auto dv = derivations_.find(*existing);
   if (dv == derivations_.end()) return false;
-  std::vector<std::string> outputs = dv->second.OutputDatasets();
+  std::vector<std::string> outputs = dv->second.object->OutputDatasets();
   if (outputs.empty()) return false;
   for (const std::string& output : outputs) {
     if (!IsMaterializedLocked(output)) return false;
@@ -1259,16 +1257,13 @@ std::vector<std::string> Keys(const Map& map) {
 }  // namespace
 
 std::vector<std::string> VirtualDataCatalog::AllDatasetNames() const {
-  std::shared_lock lock(mu_);
-  return Keys(datasets_);
+  return View().AllDatasetNames();
 }
 std::vector<std::string> VirtualDataCatalog::AllTransformationNames() const {
-  std::shared_lock lock(mu_);
-  return Keys(transformations_);
+  return View().AllTransformationNames();
 }
 std::vector<std::string> VirtualDataCatalog::AllDerivationNames() const {
-  std::shared_lock lock(mu_);
-  return Keys(derivations_);
+  return View().AllDerivationNames();
 }
 std::vector<std::string> VirtualDataCatalog::AllReplicaIds() const {
   std::shared_lock lock(mu_);
@@ -1318,15 +1313,15 @@ std::vector<std::string> VirtualDataCatalog::CurrentStateRecordsLocked()
   }
   for (const auto& [name, ds] : datasets_) {
     (void)name;
-    records.push_back(codec::EncodeDataset(ds));
+    records.push_back(codec::EncodeDataset(*ds.object));
   }
   for (const auto& [name, tr] : transformations_) {
     (void)name;
-    records.push_back(codec::EncodeTransformation(tr));
+    records.push_back(codec::EncodeTransformation(*tr.object));
   }
   for (const auto& [name, dv] : derivations_) {
     (void)name;
-    records.push_back(codec::EncodeDerivation(dv));
+    records.push_back(codec::EncodeDerivation(*dv.object));
   }
   for (const auto& [id, replica] : replicas_) {
     (void)id;
@@ -1358,15 +1353,15 @@ VdlProgram VirtualDataCatalog::ExportProgramLocked() const {
   VdlProgram program;
   for (const auto& [name, ds] : datasets_) {
     (void)name;
-    program.datasets.push_back(ds);
+    program.datasets.push_back(*ds.object);
   }
   for (const auto& [name, tr] : transformations_) {
     (void)name;
-    program.transformations.push_back(tr);
+    program.transformations.push_back(*tr.object);
   }
   for (const auto& [name, dv] : derivations_) {
     (void)name;
-    program.derivations.push_back(dv);
+    program.derivations.push_back(*dv.object);
   }
   return program;
 }
@@ -1407,7 +1402,11 @@ Status VirtualDataCatalog::ApplyRecord(const std::string& record) {
         // rejects duplicate names, so the signature is unchanged).
         // Don't re-validate inputs: they were valid when the original
         // define was journaled and may have been removed since.
-        existing->second.annotations() = dv.annotations();
+        Derivation updated = *existing->second.object;
+        updated.annotations() = dv.annotations();
+        existing->second.object =
+            std::make_shared<const Derivation>(std::move(updated));
+        dirty_.derivations = true;
         return Status::OK();
       }
       return DefineDerivationLocked(std::move(dv));

@@ -5,13 +5,17 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "catalog/batch.h"
 #include "catalog/journal.h"
 #include "catalog/query.h"
+#include "catalog/snapshot.h"
+#include "common/strings.h"
 #include "schema/dataset.h"
 #include "schema/derivation.h"
 #include "schema/transformation.h"
@@ -19,20 +23,6 @@
 #include "vdl/parser.h"
 
 namespace vdg {
-
-/// One entry of a catalog's bounded changelog: which object changed at
-/// which edit version. Federated indexes consume these to refresh
-/// incrementally instead of rescanning whole catalogs. Replica
-/// mutations are recorded as an upsert of their *dataset* (the
-/// index-visible effect is the dataset's materialized bit flipping);
-/// invocation and type changes are recorded under their own kinds so
-/// consumers can skip them.
-struct CatalogChange {
-  uint64_t version = 0;  // catalog version after the mutation
-  char op = 'U';         // 'U' upsert, 'D' delete
-  std::string kind;  // "dataset"|"transformation"|"derivation"|"invocation"|"type"
-  std::string name;  // object name (or id) within the catalog
-};
 
 /// A Virtual Data Catalog (VDC, Section 4): the service that maintains
 /// the five-object virtual data schema for one scope (a person, group,
@@ -44,22 +34,42 @@ struct CatalogChange {
 /// as the memory-only backend (NullJournal) and the persistent
 /// log-file backend (FileJournal, recovered by replay in Open()).
 ///
-/// Threading: safe for concurrent readers with serialized writers.
-/// One `std::shared_mutex` guards the whole object graph — every
-/// Find*/Get*/Has*/Explain*/All*Names/ChangesSince/navigation call
-/// takes it shared, every mutation (Define*/Annotate/Remove*/replica
-/// and invocation paths, Open, CompactJournal) takes it exclusive.
-/// The journal backend is only touched while holding the exclusive
-/// lock, so backends need no synchronization of their own. version()
-/// reads an atomic and never blocks, letting federated indexes poll
-/// staleness without contending with writers.
+/// Threading: snapshot-isolated readers with serialized writers.
+/// Writers take one `std::shared_mutex` exclusively, mutate the object
+/// graph and the copy-on-write index structures, append to the journal
+/// buffer, and on the way out flush the journal and publish a fresh
+/// immutable CatalogSnapshot by swapping a shared_ptr slot guarded by
+/// its own tiny mutex (components that did not change are shared with
+/// the previous snapshot). Queries — Find*/Get*/Has*/Explain*/
+/// All*Names/ChangesSince/navigation — pin one snapshot with a single
+/// pointer copy under that slot mutex (held only for the copy, never
+/// across a query) and run entirely against it: they never take the
+/// catalog lock and never block on writers, journal compaction, or
+/// each other.
+/// Replica/invocation lookups and exports still read the writer-side
+/// graph under the shared lock. The journal backend is only touched
+/// while holding the exclusive lock, so backends need no
+/// synchronization of their own.
+///
+/// Publication order (the snapshot protocol): mutate graph and COW
+/// indexes -> buffer journal records -> bump the version sequence and
+/// changelog -> flush the journal (the group-commit point) -> swap
+/// the snapshot pointer under its slot mutex -> store the atomic
+/// version counter last. A version() poll therefore never reports a
+/// version whose snapshot is not yet visible.
+///
+/// Interning: object names, attribute keys, and type names are
+/// interned into 32-bit symbol ids; index posting lists hold ids
+/// ordered by the names they resolve to, so queries keep their
+/// lexicographic result order while comparisons and storage shrink to
+/// id width.
 ///
 /// Lock ordering: the catalog acquires no other lock while holding
 /// its own (it never calls into FederatedIndex or another catalog),
 /// so catalog locks are always leaves — see FederatedIndex for the
-/// index→catalog ordering rule. There are no lock-bypassing
+/// index→client→catalog ordering rule. There are no lock-bypassing
 /// accessors: the type universe is written via DefineType and read
-/// via TypeConforms/HasType/TypesSnapshot, all under the lock.
+/// via TypeConforms/HasType/TypesSnapshot.
 class VirtualDataCatalog {
  public:
   /// `name` identifies this catalog in vdp:// URIs (the authority).
@@ -76,8 +86,18 @@ class VirtualDataCatalog {
 
   const std::string& name() const { return name_; }
 
-  /// Lock-protected conformance check against the catalog's type
-  /// universe, safe to call while another thread runs DefineType.
+  /// Pins the current published snapshot: one shared_ptr copy under
+  /// the snapshot slot mutex — held only for the copy, never while a
+  /// query runs, and never contended by the catalog's writer lock.
+  /// Every query on the returned view observes exactly one catalog
+  /// version, regardless of concurrent writers.
+  CatalogView View() const {
+    std::lock_guard<std::mutex> slot(snapshot_mu_);
+    return CatalogView(snapshot_);
+  }
+
+  /// Conformance check against the published type universe, safe to
+  /// call while another thread runs DefineType.
   bool TypeConforms(const DatasetType& type, const DatasetType& against) const;
 
   /// True when `type_name` is defined in dimension `dim`.
@@ -100,7 +120,8 @@ class VirtualDataCatalog {
   /// matters.
   Status DefineType(TypeDimension dim, std::string_view type_name,
                     std::string_view parent);
-  /// Installs the Appendix-C preset hierarchy, journaled.
+  /// Installs the Appendix-C preset hierarchy, journaled. Commits as
+  /// one batch: one version bump, one journal flush.
   Status LoadTypePreset();
 
   /// Defines a dataset. Its type components must be registered.
@@ -118,7 +139,18 @@ class VirtualDataCatalog {
   /// Records an invocation; assigns and returns its id.
   Result<std::string> RecordInvocation(Invocation invocation);
 
-  /// Imports every definition in a parsed VDL program, in order.
+  /// Applies N mutations under ONE lock acquisition, ONE version bump,
+  /// and ONE journal flush (group commit). Per-op outcomes land in the
+  /// result; by default every op runs regardless of earlier failures
+  /// (exactly what N single-op calls would do), `options.stop_on_error`
+  /// aborts the remainder after the first failure. All changelog
+  /// entries of the batch share the single bumped version, so
+  /// ChangesSince delivers a batch atomically.
+  BatchResult ApplyBatch(const std::vector<CatalogMutation>& mutations,
+                         const BatchOptions& options = {});
+
+  /// Imports every definition in a parsed VDL program, in order, as
+  /// one batch (one version bump, one journal flush).
   Status ImportProgram(const VdlProgram& program);
   /// Parses and imports VDL source text.
   Status ImportVdl(std::string_view source);
@@ -189,7 +221,8 @@ class VirtualDataCatalog {
   /// the most selective one drives enumeration, the rest are
   /// intersected, and only residual predicates are evaluated per
   /// candidate. Queries with no indexable condition fall back to a
-  /// name-prefix range scan or a full scan.
+  /// name-prefix range scan or a full scan. All of it runs against a
+  /// pinned snapshot (see View()).
   std::vector<std::string> FindDatasets(const DatasetQuery& query) const;
   std::vector<std::string> FindTransformations(
       const TransformationQuery& query) const;
@@ -219,14 +252,18 @@ class VirtualDataCatalog {
 
   CatalogStats Stats() const;
 
-  /// Monotonic edit counter; bumped by every successful mutation.
-  /// Federated indexes use it to detect staleness cheaply; the load is
-  /// atomic so staleness polls never contend with the catalog lock.
+  /// Monotonic edit counter; bumped by every successful mutation
+  /// commit (a whole batch bumps it once). Federated indexes use it to
+  /// detect staleness cheaply; the load is atomic so staleness polls
+  /// never contend with the catalog lock. Stored after the snapshot
+  /// pointer, so a version seen here is always queryable via View().
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
-  /// Every change with version > `since_version`, oldest first.
-  /// Exactly one change is recorded per version bump, so the result is
-  /// complete over its range. Fails with ResourceExhausted when the bounded
+  /// Every change with version > `since_version`, oldest first,
+  /// answered from the published snapshot's changelog window. Versions
+  /// in the window are consecutive and a batch's entries all share one
+  /// version, so the result is complete over its range and batches
+  /// arrive whole. Fails with ResourceExhausted when the bounded
   /// changelog no longer reaches back to `since_version` (the caller
   /// must fall back to a full rescan) and InvalidArgument when
   /// `since_version` is from the future.
@@ -237,7 +274,8 @@ class VirtualDataCatalog {
   uint64_t changelog_floor() const;
 
   /// Caps the in-memory changelog length (default 4096 changes).
-  /// Shrinking may immediately raise changelog_floor().
+  /// Shrinking may immediately raise changelog_floor(). Trimming never
+  /// splits a batch's entries: whole version groups are evicted.
   void set_changelog_capacity(size_t capacity);
   size_t changelog_capacity() const;
 
@@ -264,12 +302,50 @@ class VirtualDataCatalog {
   VdlProgram ExportProgram() const;
 
  private:
+  using Id = SymbolTable::Id;
+  using PostingList = CatalogSnapshot::PostingList;
+
+  /// Writer-side row: the interned id plus an immutable object.
+  /// Mutation = clone, modify the clone, swap the pointer — published
+  /// snapshots keep the old object alive.
+  template <typename T>
+  struct ObjEntry {
+    Id id = 0;
+    std::shared_ptr<const T> object;
+  };
+  template <typename T>
+  using ObjMap = std::map<std::string, ObjEntry<T>, std::less<>>;
+
+  /// Which snapshot components the pending commit invalidated. Clean
+  /// components are shared with the previous snapshot at publish (the
+  /// small-delta path).
+  struct Dirty {
+    bool datasets = false;
+    bool transformations = false;
+    bool derivations = false;
+    bool attr = false;
+    bool type = false;
+    bool consumers = false;
+    bool producers = false;
+    bool by_transformation = false;
+    bool by_bare = false;
+    bool materialized = false;
+    bool types_registry = false;
+    bool changelog = false;
+    bool any() const {
+      return datasets || transformations || derivations || attr || type ||
+             consumers || producers || by_transformation || by_bare ||
+             materialized || types_registry || changelog;
+    }
+  };
+
   // The *Locked tier holds the real implementations; the public
-  // methods are thin shims that take mu_ (shared for reads, exclusive
-  // for mutations) and delegate. Internal reentrancy — replay applies
-  // records through the same code, DefineDerivation auto-defines
-  // datasets, RemoveDataset cascades to replicas — stays inside one
-  // lock acquisition because Locked methods only call Locked methods.
+  // methods are thin shims that take mu_ exclusively, delegate, and
+  // commit (flush the journal buffer, publish the snapshot). Internal
+  // reentrancy — replay applies records through the same code,
+  // DefineDerivation auto-defines datasets, RemoveDataset cascades to
+  // replicas — stays inside one lock acquisition because Locked
+  // methods only call Locked methods.
   Status ApplyRecord(const std::string& record);
   Status Journal(const std::string& record);
   const DatasetType* LookupDatasetType(std::string_view name) const;
@@ -281,6 +357,10 @@ class VirtualDataCatalog {
   Status DefineDerivationLocked(Derivation derivation);
   Result<std::string> AddReplicaLocked(Replica replica);
   Result<std::string> RecordInvocationLocked(Invocation invocation);
+  Status AnnotateLocked(std::string_view kind, std::string_view name,
+                        std::string_view key, AttributeValue value);
+  Status SetDatasetSizeLocked(std::string_view name, int64_t size_bytes);
+  Status InvalidateReplicaLocked(std::string_view id);
   Status ImportProgramLocked(const VdlProgram& program);
   Status RemoveDatasetLocked(std::string_view name);
   Status RemoveTransformationLocked(std::string_view name);
@@ -291,86 +371,116 @@ class VirtualDataCatalog {
       const Derivation& derivation) const;
   VdlProgram ExportProgramLocked() const;
   std::vector<std::string> CurrentStateRecordsLocked() const;
-  uint64_t ChangelogFloorLocked() const;
 
-  /// Bumps version_ and appends the matching changelog entry (the two
-  /// must move together so ChangesSince stays gap-free).
+  /// Dispatches one batch op; `result` carries ids assigned by earlier
+  /// ops for intra-batch references.
+  Status ApplyMutationLocked(const CatalogMutation& mutation, size_t index,
+                             BatchResult* result);
+
+  /// Commit tail of every public mutation: flush the journal buffer
+  /// (the group-commit point) and publish the snapshot. The op status
+  /// wins over a flush error.
+  Status CommitLocked(Status op_status);
+  Result<std::string> CommitLocked(Result<std::string> op_result);
+
+  /// Builds and atomically publishes a CatalogSnapshot from the writer
+  /// state, copying only dirty components; a no-op when nothing
+  /// changed since the last publish.
+  void PublishSnapshotLocked();
+
+  /// Assigns the next version (or the batch's single shared version)
+  /// and appends the matching changelog entry.
   void BumpVersion(char op, std::string_view kind, std::string_view name);
+  /// Evicts whole version groups from the changelog front until within
+  /// capacity (never splits a batch).
+  void TrimChangelogLocked();
 
-  /// One enumerable candidate source for the planner: a materialized,
-  /// sorted, deduplicated name list plus its provenance.
-  struct Posting {
-    AccessPath path;
-    std::string driver;
-    std::vector<std::string> names;
-  };
-  /// Indexable posting lists for `query`, unsorted by selectivity.
-  std::vector<Posting> DatasetPostings(const DatasetQuery& query) const;
-  std::vector<Posting> DerivationPostings(const DerivationQuery& query) const;
+  template <typename T>
+  std::shared_ptr<const CatalogSnapshot::Rows<T>> BuildRows(
+      const ObjMap<T>& map) const;
+
+  /// COW posting-list edits: always clone (published snapshots share
+  /// the old vector), keep name order, allow duplicates.
+  void PostingInsert(PostingList* list, Id id);
+  void PostingErase(PostingList* list, Id id);
+  template <typename Map, typename Key>
+  void IndexPostingInsert(Map* map, const Key& key, Id id, bool* dirty);
+  template <typename Map, typename Key>
+  void IndexPostingErase(Map* map, const Key& key, Id id, bool* dirty);
+
+  void IndexDatasetAttributes(const Dataset& dataset, Id id);
+  void UnindexDatasetAttributes(const Dataset& dataset, Id id);
+  void IndexDatasetType(const Dataset& dataset, Id id);
+  void UnindexDatasetType(const Dataset& dataset, Id id);
+  void NoteReplicaState(const Replica* before, const Replica* after);
 
   std::string name_;
-  /// Reader-writer lock over the whole object graph, the secondary
-  /// indexes, the changelog, and the journal backend.
+  /// Writer lock over the object graph, the COW indexes, the
+  /// changelog, and the journal backend. Readers of replicas/
+  /// invocations/exports take it shared; snapshot queries never
+  /// take it.
   mutable std::shared_mutex mu_;
   std::unique_ptr<CatalogJournal> journal_;
   bool replaying_ = false;
   bool opened_ = false;
-  /// Written only under the exclusive lock; atomic so version() can
-  /// poll without locking.
+  /// Published version, stored last in the commit protocol; atomic so
+  /// version() can poll without locking.
   std::atomic<uint64_t> version_{0};
+  /// Writer-side version sequence (guarded by mu_).
+  uint64_t version_seq_ = 0;
+  /// Batch mode: all BumpVersion calls share one version.
+  bool in_batch_ = false;
+  bool batch_bumped_ = false;
+  Dirty dirty_;
+
+  /// Interns object names, attribute keys, and type names (guarded by
+  /// mu_ for writes; readers use the snapshot's published View).
+  SymbolTable symbols_;
 
   TypeRegistry types_;
 
-  std::map<std::string, Dataset, std::less<>> datasets_;
-  std::map<std::string, Transformation, std::less<>> transformations_;
-  std::map<std::string, Derivation, std::less<>> derivations_;
+  ObjMap<Dataset> datasets_;
+  ObjMap<Transformation> transformations_;
+  ObjMap<Derivation> derivations_;
   std::map<std::string, Replica, std::less<>> replicas_;
   std::map<std::string, Invocation, std::less<>> invocations_;
 
-  // Secondary indexes.
-  /// Attribute equality index over dataset annotations:
-  /// "key\x1f<normalized value>" -> dataset name. Lets FindDatasets
-  /// answer kEq predicates without a full scan.
-  void IndexDatasetAttributes(const Dataset& dataset);
-  void UnindexDatasetAttributes(const Dataset& dataset);
-  std::multimap<std::string, std::string, std::less<>> datasets_by_attr_;
-
-  /// Type-conformance closure index: "<dim>\x1f<ancestor>" -> dataset
-  /// name, for every ancestor (excluding the dimension base) of every
-  /// non-empty component of the dataset's type. A `query.type` filter
-  /// then reads the posting list of each constrained component instead
-  /// of calling Conforms per row. Ancestry is immutable once a type is
-  /// defined (parents can never be reassigned), so entries only change
-  /// with the dataset itself.
-  void IndexDatasetType(const Dataset& dataset);
-  void UnindexDatasetType(const Dataset& dataset);
-  std::multimap<std::string, std::string, std::less<>> datasets_by_type_;
-
-  /// Datasets with >=1 valid replica, with the live count: the
-  /// incremental materialized set. Maintained by every replica
-  /// mutation path so IsMaterialized and the require_materialized /
-  /// only_virtual filters are O(log n) lookups, and
-  /// require_materialized queries can enumerate the set directly.
-  void NoteReplicaState(const Replica* before, const Replica* after);
+  // Secondary indexes, all COW posting lists over interned ids.
+  /// (interned attribute key, tagged wire value) -> datasets. Lets
+  /// FindDatasets answer kEq predicates without a full scan.
+  std::map<CatalogSnapshot::AttrKey, PostingList> attr_index_;
+  /// Packed (dimension, interned ancestor) -> datasets, for every
+  /// ancestor (excluding the dimension base) of every non-empty
+  /// component of the dataset's type: the type-conformance closure.
+  std::map<uint64_t, PostingList> type_index_;
+  std::map<Id, PostingList> consumers_;   // dataset -> derivations reading it
+  std::map<Id, PostingList> producers_;   // dataset -> derivations writing it
+  std::map<Id, PostingList> by_transformation_;  // qualified TR -> derivations
+  /// Bare transformation name -> derivation, only for derivations
+  /// whose qualified name differs (DerivationQuery matches either).
+  std::map<Id, PostingList> by_bare_transformation_;
+  /// Dataset ids with >= 1 valid replica, name-ordered (the snapshot's
+  /// materialized set; the count map below is the writer's bookkeeping).
+  PostingList materialized_;
   std::map<std::string, size_t, std::less<>> valid_replicas_by_dataset_;
 
   std::multimap<uint64_t, std::string> derivations_by_signature_;
   std::multimap<std::string, std::string, std::less<>> replicas_by_dataset_;
   std::multimap<std::string, std::string, std::less<>>
       invocations_by_derivation_;
-  std::multimap<std::string, std::string, std::less<>> consumers_by_dataset_;
-  /// dataset -> derivations writing it (the dual of consumers_by_*).
-  std::multimap<std::string, std::string, std::less<>> producers_by_dataset_;
-  std::multimap<std::string, std::string, std::less<>>
-      derivations_by_transformation_;
-  /// Bare transformation name -> derivation, only for derivations
-  /// whose qualified name differs (DerivationQuery matches either).
-  std::multimap<std::string, std::string, std::less<>>
-      derivations_by_bare_transformation_;
 
-  /// Bounded mutation changelog backing ChangesSince().
-  std::deque<CatalogChange> changelog_;
+  /// Bounded mutation changelog backing ChangesSince(); entries are
+  /// shared with published snapshots.
+  std::deque<std::shared_ptr<const CatalogChange>> changelog_;
   size_t changelog_capacity_ = 4096;
+
+  /// The published snapshot (see class comment for the protocol).
+  /// Guarded by snapshot_mu_, a dedicated slot mutex held only long
+  /// enough to copy or swap the pointer: libstdc++'s
+  /// atomic<shared_ptr> hides its synchronization from
+  /// ThreadSanitizer, and a plain mutex costs the same here.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const CatalogSnapshot> snapshot_;
 
   uint64_t next_replica_id_ = 1;
   uint64_t next_invocation_id_ = 1;

@@ -149,6 +149,18 @@ class CatalogClient {
   virtual Status SetDatasetSize(std::string_view name,
                                 int64_t size_bytes) = 0;
   virtual Status InvalidateReplica(std::string_view id) = 0;
+
+  /// Applies a group of mutations. Semantically equivalent to issuing
+  /// the ops one by one (with cross-op id references resolved — see
+  /// CatalogMutation); transports may coalesce the whole batch into
+  /// one round trip and the catalog commits it under one lock
+  /// acquisition, one version bump, and one journal flush. The base
+  /// implementation decomposes into the single-op virtuals above — the
+  /// naive N-round-trip baseline — so every transport supports
+  /// batching even before it optimizes for it.
+  virtual Result<BatchResult> ApplyBatch(
+      const std::vector<CatalogMutation>& mutations,
+      const BatchOptions& options = {});
 };
 
 /// The zero-cost adapter: forwards every call straight into an
@@ -204,6 +216,10 @@ class InProcessCatalogClient : public CatalogClient {
   Result<std::string> RecordInvocation(Invocation invocation) override;
   Status SetDatasetSize(std::string_view name, int64_t size_bytes) override;
   Status InvalidateReplica(std::string_view id) override;
+  /// Forwards to VirtualDataCatalog::ApplyBatch: one lock, one version
+  /// bump, one journal flush for the whole group.
+  Result<BatchResult> ApplyBatch(const std::vector<CatalogMutation>& mutations,
+                                 const BatchOptions& options = {}) override;
 
   /// Snapshots one catalog object into an ObjectRecord (shared with
   /// remote transports, which execute the same logic server-side).

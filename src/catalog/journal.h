@@ -19,10 +19,18 @@ class CatalogJournal {
   virtual ~CatalogJournal() = default;
 
   /// Appends one record (a single logical mutation; must not contain
-  /// raw newlines — the codec escapes them).
+  /// raw newlines — the codec escapes them). Backends may buffer the
+  /// record in memory until the next Flush/Sync — the group-commit
+  /// protocol: a batch of N mutations appends N records and pays one
+  /// Flush at commit.
   virtual Status Append(const std::string& record) = 0;
 
-  /// Reads every record previously appended, in order.
+  /// Hands every buffered record to the backing store. The commit
+  /// point for group commit; a no-op for unbuffered backends.
+  virtual Status Flush() { return Status::OK(); }
+
+  /// Reads every record previously appended, in order (flushing any
+  /// buffered ones first).
   virtual Result<std::vector<std::string>> ReadAll() = 0;
 
   /// Flushes buffered records to stable storage.
@@ -81,7 +89,10 @@ class FileJournal final : public CatalogJournal {
   explicit FileJournal(std::string path) : path_(std::move(path)) {}
   ~FileJournal() override;
 
+  /// Buffers the checksummed line in memory; Flush/Sync writes it out.
   Status Append(const std::string& record) override;
+  /// One fwrite + fflush for everything appended since the last Flush.
+  Status Flush() override;
   Result<std::vector<std::string>> ReadAll() override;
   Status Sync() override;
   /// Writes `records` to `<path>.compact` then renames over the live
@@ -98,6 +109,7 @@ class FileJournal final : public CatalogJournal {
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  std::string pending_;  // appended-but-unflushed lines (group commit)
   JournalTailRecovery last_recovery_;
 };
 

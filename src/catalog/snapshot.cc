@@ -1,0 +1,576 @@
+#include "catalog/snapshot.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/strings.h"
+
+namespace vdg {
+
+namespace {
+
+using Id = CatalogSnapshot::Id;
+using PostingList = CatalogSnapshot::PostingList;
+using snapshot_internal::IdNameLess;
+
+/// Shared empty posting list for missing index keys.
+const PostingList& EmptyPosting() {
+  static const PostingList empty =
+      std::make_shared<const std::vector<Id>>();
+  return empty;
+}
+
+template <typename Map, typename K>
+const PostingList& LookupPosting(const Map& map, const K& key) {
+  auto it = map.find(key);
+  return it == map.end() ? EmptyPosting() : it->second;
+}
+
+/// Intersection of two name-ordered id lists (multiset semantics).
+std::vector<Id> IntersectByName(const std::vector<Id>& a,
+                                const std::vector<Id>& b,
+                                const IdNameLess<SymbolTable::View>& less) {
+  std::vector<Id> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out), less);
+  return out;
+}
+
+/// Binary search for a row by name; rows are sorted by name.
+template <typename T>
+const CatalogSnapshot::Row<T>* FindRow(const CatalogSnapshot::Rows<T>& rows,
+                                       std::string_view name) {
+  auto it = std::lower_bound(
+      rows.begin(), rows.end(), name,
+      [](const CatalogSnapshot::Row<T>& row, std::string_view target) {
+        return row.name < target;
+      });
+  if (it == rows.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+template <typename T>
+std::vector<std::string> RowNames(const CatalogSnapshot::Rows<T>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.emplace_back(row.name);
+  return out;
+}
+
+/// True when `id` occurs in the name-ordered list (used for the
+/// materialized set; the caller already knows the id's name).
+bool ContainsByName(const std::vector<Id>& list, Id id, std::string_view name,
+                    const SymbolTable::View& symbols) {
+  auto it = std::lower_bound(list.begin(), list.end(), name,
+                             [&symbols](Id entry, std::string_view target) {
+                               return symbols.NameOf(entry) < target;
+                             });
+  for (; it != list.end() && symbols.NameOf(*it) == name; ++it) {
+    if (*it == id) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Point lookups
+// ---------------------------------------------------------------------
+
+const CatalogSnapshot::Row<Dataset>* CatalogView::FindDatasetRow(
+    std::string_view name) const {
+  return FindRow(*snap_->datasets, name);
+}
+const CatalogSnapshot::Row<Transformation>* CatalogView::FindTransformationRow(
+    std::string_view name) const {
+  return FindRow(*snap_->transformations, name);
+}
+const CatalogSnapshot::Row<Derivation>* CatalogView::FindDerivationRow(
+    std::string_view name) const {
+  return FindRow(*snap_->derivations, name);
+}
+
+Result<Dataset> CatalogView::GetDataset(std::string_view name) const {
+  const auto* row = FindDatasetRow(name);
+  if (row == nullptr) {
+    return Status::NotFound("dataset not found: " + std::string(name));
+  }
+  return *row->object;
+}
+
+Result<Transformation> CatalogView::GetTransformation(
+    std::string_view name) const {
+  const auto* row = FindTransformationRow(name);
+  if (row == nullptr) {
+    return Status::NotFound("transformation not found: " + std::string(name));
+  }
+  return *row->object;
+}
+
+Result<Derivation> CatalogView::GetDerivation(std::string_view name) const {
+  const auto* row = FindDerivationRow(name);
+  if (row == nullptr) {
+    return Status::NotFound("derivation not found: " + std::string(name));
+  }
+  return *row->object;
+}
+
+bool CatalogView::HasDataset(std::string_view name) const {
+  return FindDatasetRow(name) != nullptr;
+}
+bool CatalogView::HasTransformation(std::string_view name) const {
+  return FindTransformationRow(name) != nullptr;
+}
+bool CatalogView::HasDerivation(std::string_view name) const {
+  return FindDerivationRow(name) != nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Navigation
+// ---------------------------------------------------------------------
+
+bool CatalogView::IsMaterialized(std::string_view dataset) const {
+  Id id = snap_->symbols.FindId(dataset);
+  if (id == SymbolTable::kNoSymbol) return false;
+  return ContainsByName(*snap_->materialized, id, dataset, snap_->symbols);
+}
+
+Result<std::string> CatalogView::ProducerOf(std::string_view dataset) const {
+  const auto* row = FindDatasetRow(dataset);
+  if (row == nullptr) {
+    return Status::NotFound("dataset not found: " + std::string(dataset));
+  }
+  if (row->object->producer.empty()) {
+    return Status::NotFound("dataset " + std::string(dataset) +
+                            " has no producing derivation (raw input)");
+  }
+  return row->object->producer;
+}
+
+std::vector<std::string> CatalogView::ConsumersOf(
+    std::string_view dataset) const {
+  std::vector<std::string> out;
+  Id id = snap_->symbols.FindId(dataset);
+  if (id == SymbolTable::kNoSymbol) return out;
+  // The posting list is already in canonical (name) order; duplicates
+  // are kept, matching the historical multimap enumeration (one entry
+  // per consuming argument).
+  for (Id dv : *LookupPosting(*snap_->consumers, id)) {
+    out.emplace_back(snap_->symbols.NameOf(dv));
+  }
+  return out;
+}
+
+std::vector<std::string> CatalogView::DerivationsUsing(
+    std::string_view transformation) const {
+  std::vector<std::string> out;
+  Id id = snap_->symbols.FindId(transformation);
+  if (id == SymbolTable::kNoSymbol) return out;
+  for (Id dv : *LookupPosting(*snap_->by_transformation, id)) {
+    out.emplace_back(snap_->symbols.NameOf(dv));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Discovery
+// ---------------------------------------------------------------------
+
+std::vector<CatalogView::Posting> CatalogView::DatasetPostings(
+    const DatasetQuery& query) const {
+  std::vector<Posting> postings;
+  for (const AttributePredicate& predicate : query.predicates) {
+    if (predicate.op != PredicateOp::kEq) continue;
+    Posting p;
+    p.path = AccessPath::kAttributeIndex;
+    p.driver = "attr " + predicate.key + "=" + predicate.operand.ToString();
+    Id key_id = snap_->symbols.FindId(predicate.key);
+    p.ids = key_id == SymbolTable::kNoSymbol
+                ? EmptyPosting()
+                : LookupPosting(
+                      *snap_->attr_index,
+                      CatalogSnapshot::AttrKey(
+                          key_id,
+                          snapshot_internal::TaggedAttrValue(
+                              predicate.operand)));
+    postings.push_back(std::move(p));
+  }
+  if (query.type && !query.type->IsAny()) {
+    for (int d = 0; d < kNumTypeDimensions; ++d) {
+      auto dim = static_cast<TypeDimension>(d);
+      const std::string& component = query.type->component(dim);
+      const TypeHierarchy& h = snap_->types->dimension(dim);
+      // An empty or base-typed component accepts anything — no list.
+      if (component.empty() || component == h.base_name()) continue;
+      Posting p;
+      p.path = AccessPath::kTypeIndex;
+      p.driver =
+          "type " + std::string(TypeDimensionName(dim)) + ":" + component;
+      Id type_id = snap_->symbols.FindId(component);
+      p.ids = type_id == SymbolTable::kNoSymbol
+                  ? EmptyPosting()
+                  : LookupPosting(*snap_->type_index,
+                                  snapshot_internal::PackTypeKey(dim, type_id));
+      postings.push_back(std::move(p));
+    }
+  }
+  return postings;
+}
+
+std::vector<std::string> CatalogView::FindDatasets(
+    const DatasetQuery& query) const {
+  // Residual filter: re-checks every condition, so the driving index
+  // only needs to be a superset of the answer.
+  auto matches = [this, &query](std::string_view name, const Dataset& ds) {
+    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
+      return false;
+    }
+    if (query.type && !snap_->types->Conforms(ds.type, *query.type)) {
+      return false;
+    }
+    if (!MatchesAll(ds.annotations, query.predicates)) return false;
+    if (query.require_materialized && !IsMaterialized(name)) return false;
+    if (query.only_virtual && IsMaterialized(name)) return false;
+    return true;
+  };
+
+  std::vector<std::string> out;
+  IdNameLess<SymbolTable::View> less{&snap_->symbols};
+
+  // Indexed path: intersect the posting lists, smallest first, then
+  // apply the residual filter to the survivors.
+  std::vector<Posting> postings = DatasetPostings(query);
+  if (!postings.empty()) {
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.ids->size() < b.ids->size();
+              });
+    std::vector<Id> candidates = *postings[0].ids;
+    for (size_t i = 1; i < postings.size() && !candidates.empty(); ++i) {
+      candidates = IntersectByName(candidates, *postings[i].ids, less);
+    }
+    Id previous = SymbolTable::kNoSymbol;
+    for (Id id : candidates) {
+      if (id == previous) continue;  // adjacent duplicate (same name)
+      previous = id;
+      std::string_view name = snap_->symbols.NameOf(id);
+      const auto* row = FindDatasetRow(name);
+      if (row == nullptr) continue;
+      if (!matches(name, *row->object)) continue;
+      out.emplace_back(name);
+      if (query.limit != 0 && out.size() >= query.limit) break;
+    }
+    return out;
+  }
+
+  // Materialized-set path: enumerate only datasets with valid replicas
+  // (already in name order).
+  if (query.require_materialized) {
+    for (Id id : *snap_->materialized) {
+      std::string_view name = snap_->symbols.NameOf(id);
+      const auto* row = FindDatasetRow(name);
+      if (row == nullptr) continue;
+      if (!matches(name, *row->object)) continue;
+      out.emplace_back(name);
+      if (query.limit != 0 && out.size() >= query.limit) break;
+    }
+    return out;
+  }
+
+  // Name-prefix path: bounded range scan over the name-sorted rows.
+  const auto& rows = *snap_->datasets;
+  auto it = query.name_prefix.empty()
+                ? rows.begin()
+                : std::lower_bound(
+                      rows.begin(), rows.end(),
+                      std::string_view(query.name_prefix),
+                      [](const CatalogSnapshot::Row<Dataset>& row,
+                         std::string_view target) { return row.name < target; });
+  for (; it != rows.end(); ++it) {
+    if (!query.name_prefix.empty() &&
+        !StartsWith(it->name, query.name_prefix)) {
+      break;
+    }
+    if (!matches(it->name, *it->object)) continue;
+    out.emplace_back(it->name);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+QueryPlan CatalogView::ExplainFindDatasets(const DatasetQuery& query) const {
+  QueryPlan plan;
+  std::vector<Posting> postings = DatasetPostings(query);
+  if (!postings.empty()) {
+    const Posting* smallest = &postings[0];
+    for (const Posting& p : postings) {
+      if (p.ids->size() < smallest->ids->size()) smallest = &p;
+    }
+    plan.path = smallest->path;
+    plan.driver = smallest->driver;
+    plan.estimated_candidates = smallest->ids->size();
+    plan.posting_lists = postings.size();
+    return plan;
+  }
+  if (query.require_materialized) {
+    plan.path = AccessPath::kMaterializedSet;
+    plan.driver = "materialized-set";
+    plan.estimated_candidates = snap_->materialized->size();
+    return plan;
+  }
+  if (!query.name_prefix.empty()) {
+    plan.path = AccessPath::kNamePrefixRange;
+    plan.driver = "prefix " + query.name_prefix;
+    plan.estimated_candidates = snap_->datasets->size();  // upper bound
+    return plan;
+  }
+  plan.path = AccessPath::kFullScan;
+  plan.driver = "datasets";
+  plan.estimated_candidates = snap_->datasets->size();
+  return plan;
+}
+
+std::vector<std::string> CatalogView::FindTransformations(
+    const TransformationQuery& query) const {
+  std::vector<std::string> out;
+  const auto& rows = *snap_->transformations;
+  const TypeRegistry& types = *snap_->types;
+  // Prefix queries scan only the matching range of the sorted rows.
+  auto it = query.name_prefix.empty()
+                ? rows.begin()
+                : std::lower_bound(
+                      rows.begin(), rows.end(),
+                      std::string_view(query.name_prefix),
+                      [](const CatalogSnapshot::Row<Transformation>& row,
+                         std::string_view target) { return row.name < target; });
+  for (; it != rows.end(); ++it) {
+    std::string_view name = it->name;
+    const Transformation& tr = *it->object;
+    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
+      break;
+    }
+    if (!MatchesAll(tr.annotations(), query.predicates)) continue;
+    if (query.consumes) {
+      bool accepts = false;
+      for (const FormalArg& arg : tr.args()) {
+        if (arg.is_string() || !DirectionReads(arg.direction)) continue;
+        if (types.ConformsToAny(*query.consumes, arg.types)) {
+          accepts = true;
+          break;
+        }
+      }
+      if (!accepts) continue;
+    }
+    if (query.produces) {
+      bool yields = false;
+      for (const FormalArg& arg : tr.args()) {
+        if (arg.is_string() || !DirectionWrites(arg.direction)) continue;
+        if (arg.types.empty()) {
+          yields = query.produces->IsAny();
+        } else {
+          for (const DatasetType& t : arg.types) {
+            if (types.Conforms(t, *query.produces)) {
+              yields = true;
+              break;
+            }
+          }
+        }
+        if (yields) break;
+      }
+      if (!yields) continue;
+    }
+    out.emplace_back(name);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+std::vector<CatalogView::Posting> CatalogView::DerivationPostings(
+    const DerivationQuery& query) const {
+  std::vector<Posting> postings;
+  IdNameLess<SymbolTable::View> less{&snap_->symbols};
+  if (!query.transformation.empty()) {
+    Posting p;
+    p.path = AccessPath::kTransformationIndex;
+    p.driver = "transformation " + query.transformation;
+    // A query name matches either the qualified or the bare form; the
+    // union of both maps' posting lists is exactly that predicate.
+    Id tr_id = snap_->symbols.FindId(query.transformation);
+    if (tr_id == SymbolTable::kNoSymbol) {
+      p.ids = EmptyPosting();
+    } else {
+      const PostingList& qualified =
+          LookupPosting(*snap_->by_transformation, tr_id);
+      const PostingList& bare =
+          LookupPosting(*snap_->by_bare_transformation, tr_id);
+      if (bare->empty()) {
+        p.ids = qualified;
+      } else if (qualified->empty()) {
+        p.ids = bare;
+      } else {
+        auto merged = std::make_shared<std::vector<Id>>();
+        std::set_union(qualified->begin(), qualified->end(), bare->begin(),
+                       bare->end(), std::back_inserter(*merged), less);
+        p.ids = std::move(merged);
+      }
+    }
+    postings.push_back(std::move(p));
+  }
+  if (!query.reads_dataset.empty()) {
+    Posting p;
+    p.path = AccessPath::kReadsIndex;
+    p.driver = "reads " + query.reads_dataset;
+    Id ds_id = snap_->symbols.FindId(query.reads_dataset);
+    p.ids = ds_id == SymbolTable::kNoSymbol
+                ? EmptyPosting()
+                : LookupPosting(*snap_->consumers, ds_id);
+    postings.push_back(std::move(p));
+  }
+  if (!query.writes_dataset.empty()) {
+    Posting p;
+    p.path = AccessPath::kWritesIndex;
+    p.driver = "writes " + query.writes_dataset;
+    Id ds_id = snap_->symbols.FindId(query.writes_dataset);
+    p.ids = ds_id == SymbolTable::kNoSymbol
+                ? EmptyPosting()
+                : LookupPosting(*snap_->producers, ds_id);
+    postings.push_back(std::move(p));
+  }
+  return postings;
+}
+
+std::vector<std::string> CatalogView::FindDerivations(
+    const DerivationQuery& query) const {
+  // The posting lists answer the transformation/reads/writes
+  // conditions exactly, so the residual covers only prefix and
+  // annotation predicates.
+  auto residual = [&query](std::string_view name, const Derivation& dv) {
+    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
+      return false;
+    }
+    return MatchesAll(dv.annotations(), query.predicates);
+  };
+
+  std::vector<std::string> out;
+  IdNameLess<SymbolTable::View> less{&snap_->symbols};
+  std::vector<Posting> postings = DerivationPostings(query);
+  if (!postings.empty()) {
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.ids->size() < b.ids->size();
+              });
+    std::vector<Id> candidates = *postings[0].ids;
+    for (size_t i = 1; i < postings.size() && !candidates.empty(); ++i) {
+      candidates = IntersectByName(candidates, *postings[i].ids, less);
+    }
+    Id previous = SymbolTable::kNoSymbol;
+    for (Id id : candidates) {
+      if (id == previous) continue;  // adjacent duplicate (same name)
+      previous = id;
+      std::string_view name = snap_->symbols.NameOf(id);
+      const auto* row = FindDerivationRow(name);
+      if (row == nullptr) continue;
+      if (!residual(name, *row->object)) continue;
+      out.emplace_back(name);
+      if (query.limit != 0 && out.size() >= query.limit) break;
+    }
+    return out;
+  }
+
+  const auto& rows = *snap_->derivations;
+  auto it = query.name_prefix.empty()
+                ? rows.begin()
+                : std::lower_bound(
+                      rows.begin(), rows.end(),
+                      std::string_view(query.name_prefix),
+                      [](const CatalogSnapshot::Row<Derivation>& row,
+                         std::string_view target) { return row.name < target; });
+  for (; it != rows.end(); ++it) {
+    if (!query.name_prefix.empty() &&
+        !StartsWith(it->name, query.name_prefix)) {
+      break;
+    }
+    if (!residual(it->name, *it->object)) continue;
+    out.emplace_back(it->name);
+    if (query.limit != 0 && out.size() >= query.limit) break;
+  }
+  return out;
+}
+
+QueryPlan CatalogView::ExplainFindDerivations(
+    const DerivationQuery& query) const {
+  QueryPlan plan;
+  std::vector<Posting> postings = DerivationPostings(query);
+  if (!postings.empty()) {
+    const Posting* smallest = &postings[0];
+    for (const Posting& p : postings) {
+      if (p.ids->size() < smallest->ids->size()) smallest = &p;
+    }
+    plan.path = smallest->path;
+    plan.driver = smallest->driver;
+    plan.estimated_candidates = smallest->ids->size();
+    plan.posting_lists = postings.size();
+    return plan;
+  }
+  if (!query.name_prefix.empty()) {
+    plan.path = AccessPath::kNamePrefixRange;
+    plan.driver = "prefix " + query.name_prefix;
+    plan.estimated_candidates = snap_->derivations->size();  // upper bound
+    return plan;
+  }
+  plan.path = AccessPath::kFullScan;
+  plan.driver = "derivations";
+  plan.estimated_candidates = snap_->derivations->size();
+  return plan;
+}
+
+// ---------------------------------------------------------------------
+// Enumeration & changelog
+// ---------------------------------------------------------------------
+
+std::vector<std::string> CatalogView::AllDatasetNames() const {
+  return RowNames(*snap_->datasets);
+}
+std::vector<std::string> CatalogView::AllTransformationNames() const {
+  return RowNames(*snap_->transformations);
+}
+std::vector<std::string> CatalogView::AllDerivationNames() const {
+  return RowNames(*snap_->derivations);
+}
+
+uint64_t CatalogView::changelog_floor() const {
+  const auto& log = *snap_->changelog;
+  return log.empty() ? snap_->version : log.front()->version - 1;
+}
+
+Result<std::vector<CatalogChange>> CatalogView::ChangesSince(
+    uint64_t since_version) const {
+  const uint64_t version = snap_->version;
+  if (since_version > version) {
+    return Status::InvalidArgument(
+        "since_version " + std::to_string(since_version) +
+        " is ahead of catalog version " + std::to_string(version));
+  }
+  if (since_version == version) return std::vector<CatalogChange>{};
+  const auto& log = *snap_->changelog;
+  // Versions in the window are consecutive (batches share one version
+  // and are trimmed as whole groups), so the delta is gap-free iff the
+  // window reaches back to since_version + 1.
+  if (log.empty() || log.front()->version > since_version + 1) {
+    return Status::ResourceExhausted(
+        "changelog window starts at version " +
+        std::to_string(changelog_floor()) + ", cannot answer since " +
+        std::to_string(since_version));
+  }
+  auto it = std::lower_bound(
+      log.begin(), log.end(), since_version + 1,
+      [](const std::shared_ptr<const CatalogChange>& c, uint64_t v) {
+        return c->version < v;
+      });
+  std::vector<CatalogChange> out;
+  out.reserve(static_cast<size_t>(log.end() - it));
+  for (; it != log.end(); ++it) out.push_back(**it);
+  return out;
+}
+
+}  // namespace vdg

@@ -1,0 +1,201 @@
+#ifndef VDG_CATALOG_SNAPSHOT_H_
+#define VDG_CATALOG_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "catalog/query.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "schema/dataset.h"
+#include "schema/derivation.h"
+#include "schema/transformation.h"
+#include "types/type_system.h"
+
+namespace vdg {
+
+/// One entry of a catalog's bounded changelog: which object changed at
+/// which edit version. Federated indexes consume these to refresh
+/// incrementally instead of rescanning whole catalogs. Replica
+/// mutations are recorded as an upsert of their *dataset* (the
+/// index-visible effect is the dataset's materialized bit flipping);
+/// invocation and type changes are recorded under their own kinds so
+/// consumers can skip them. All mutations of one ApplyBatch share a
+/// single version, so a delta either contains a whole batch or none of
+/// it.
+struct CatalogChange {
+  uint64_t version = 0;  // catalog version after the mutation
+  char op = 'U';         // 'U' upsert, 'D' delete
+  std::string kind;  // "dataset"|"transformation"|"derivation"|"invocation"|"type"
+  std::string name;  // object name (or id) within the catalog
+};
+
+namespace snapshot_internal {
+
+/// Tagged wire form of an attribute value, the value half of the
+/// attribute-index key. Numbers collapse to one text form so int 5 and
+/// double 5.0 index identically, matching AttributePredicate's
+/// coercing comparison; the wire form (not the %.6g display form) is
+/// used so doubles differing past the sixth significant digit get
+/// distinct posting lists.
+inline std::string TaggedAttrValue(const AttributeValue& value) {
+  std::string out;
+  if (value.AsNumber().has_value()) {
+    out = "n:";
+  } else if (value.is_bool()) {
+    out = "b:";
+  } else {
+    out = "s:";
+  }
+  out += value.ToWireString();
+  return out;
+}
+
+/// Packs one (dimension, interned type-name) pair into the type-index
+/// key.
+inline uint64_t PackTypeKey(TypeDimension dim, SymbolTable::Id type_id) {
+  return (static_cast<uint64_t>(dim) << 32) | static_cast<uint64_t>(type_id);
+}
+
+/// Orders interned ids by the NAME they resolve to (not by id value).
+/// Posting lists are kept in this order so set intersection across
+/// lists agrees and candidate enumeration comes out in lexicographic
+/// name order — the order the string-keyed indexes used to produce.
+/// `Resolver` is SymbolTable (writer side, under the exclusive lock)
+/// or SymbolTable::View (reader side, lock-free).
+template <typename Resolver>
+struct IdNameLess {
+  const Resolver* resolver;
+  bool operator()(SymbolTable::Id a, SymbolTable::Id b) const {
+    return resolver->NameOf(a) < resolver->NameOf(b);
+  }
+};
+
+}  // namespace snapshot_internal
+
+/// An immutable, internally consistent picture of one catalog version:
+/// the object rows, every posting-list index, the materialized set,
+/// the type universe, and the changelog window, all as shared
+/// structures that are never mutated after publication. The writer
+/// publishes a fresh CatalogSnapshot after every commit (copying only
+/// the components that changed — the small-delta path; untouched
+/// components are shared with the previous snapshot), and readers pin
+/// one by copying the shared_ptr under the catalog's snapshot-slot
+/// mutex (held only for the copy).
+///
+/// Interning: object names, attribute keys, and type names are interned
+/// into 32-bit symbol ids (`symbols`); posting lists are id vectors
+/// ordered by the names the ids resolve to, and index keys compare ids
+/// instead of strings.
+struct CatalogSnapshot {
+  using Id = SymbolTable::Id;
+  /// Sorted by name (see IdNameLess); may contain duplicate ids when
+  /// one derivation names the same dataset twice. Shared so a per-key
+  /// copy-on-write update leaves prior snapshots untouched.
+  using PostingList = std::shared_ptr<const std::vector<Id>>;
+  /// (interned attribute key, tagged wire value).
+  using AttrKey = std::pair<Id, std::string>;
+
+  template <typename T>
+  struct Row {
+    std::string_view name;  // into symbol storage, kept alive by `symbols`
+    Id id = 0;
+    std::shared_ptr<const T> object;
+  };
+  template <typename T>
+  using Rows = std::vector<Row<T>>;  // sorted by name
+
+  uint64_t version = 0;
+  SymbolTable::View symbols;
+  std::shared_ptr<const TypeRegistry> types;
+
+  std::shared_ptr<const Rows<Dataset>> datasets;
+  std::shared_ptr<const Rows<Transformation>> transformations;
+  std::shared_ptr<const Rows<Derivation>> derivations;
+
+  std::shared_ptr<const std::map<AttrKey, PostingList>> attr_index;
+  std::shared_ptr<const std::map<uint64_t, PostingList>> type_index;
+  std::shared_ptr<const std::map<Id, PostingList>> consumers;   // ds -> DVs
+  std::shared_ptr<const std::map<Id, PostingList>> producers;   // ds -> DVs
+  std::shared_ptr<const std::map<Id, PostingList>> by_transformation;
+  std::shared_ptr<const std::map<Id, PostingList>> by_bare_transformation;
+  /// Dataset ids with >= 1 valid replica, in name order.
+  PostingList materialized;
+
+  std::shared_ptr<const std::vector<std::shared_ptr<const CatalogChange>>>
+      changelog;
+};
+
+/// A pinned read view over one CatalogSnapshot: every query below runs
+/// entirely against the snapshot — no catalog lock, no interaction with
+/// concurrent writers or journal compaction — and observes exactly one
+/// version. Obtained from VirtualDataCatalog::View(); cheap to copy.
+class CatalogView {
+ public:
+  explicit CatalogView(std::shared_ptr<const CatalogSnapshot> snap)
+      : snap_(std::move(snap)) {}
+
+  uint64_t version() const { return snap_->version; }
+  const TypeRegistry& types() const { return *snap_->types; }
+  const CatalogSnapshot& snapshot() const { return *snap_; }
+
+  Result<Dataset> GetDataset(std::string_view name) const;
+  Result<Transformation> GetTransformation(std::string_view name) const;
+  Result<Derivation> GetDerivation(std::string_view name) const;
+  bool HasDataset(std::string_view name) const;
+  bool HasTransformation(std::string_view name) const;
+  bool HasDerivation(std::string_view name) const;
+
+  bool IsMaterialized(std::string_view dataset) const;
+  Result<std::string> ProducerOf(std::string_view dataset) const;
+  std::vector<std::string> ConsumersOf(std::string_view dataset) const;
+  std::vector<std::string> DerivationsUsing(
+      std::string_view transformation) const;
+
+  std::vector<std::string> FindDatasets(const DatasetQuery& query) const;
+  std::vector<std::string> FindTransformations(
+      const TransformationQuery& query) const;
+  std::vector<std::string> FindDerivations(const DerivationQuery& query) const;
+  QueryPlan ExplainFindDatasets(const DatasetQuery& query) const;
+  QueryPlan ExplainFindDerivations(const DerivationQuery& query) const;
+
+  std::vector<std::string> AllDatasetNames() const;
+  std::vector<std::string> AllTransformationNames() const;
+  std::vector<std::string> AllDerivationNames() const;
+
+  /// Every change with version > `since_version`, oldest first,
+  /// answered from the snapshot's changelog window (anchored to the
+  /// snapshot's version, so a reader interleaving ChangesSince with
+  /// Find* calls on the same view gets one coherent story).
+  Result<std::vector<CatalogChange>> ChangesSince(
+      uint64_t since_version) const;
+  uint64_t changelog_floor() const;
+
+ private:
+  /// One enumerable candidate source for the planner.
+  struct Posting {
+    AccessPath path;
+    std::string driver;
+    CatalogSnapshot::PostingList ids;
+  };
+  std::vector<Posting> DatasetPostings(const DatasetQuery& query) const;
+  std::vector<Posting> DerivationPostings(const DerivationQuery& query) const;
+
+  const CatalogSnapshot::Row<Dataset>* FindDatasetRow(
+      std::string_view name) const;
+  const CatalogSnapshot::Row<Transformation>* FindTransformationRow(
+      std::string_view name) const;
+  const CatalogSnapshot::Row<Derivation>* FindDerivationRow(
+      std::string_view name) const;
+
+  std::shared_ptr<const CatalogSnapshot> snap_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_CATALOG_SNAPSHOT_H_

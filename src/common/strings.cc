@@ -1,5 +1,6 @@
 #include "common/strings.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdio>
@@ -114,6 +115,67 @@ std::string FormatDoubleRoundTrip(double value) {
     return buf;
   }
   return std::string(buf, ptr);
+}
+
+std::string_view SymbolTable::View::NameOf(Id id) const {
+  if (id >= count_ || spine_ == nullptr) return {};
+  return (*(*spine_)[id / kChunkCapacity])[id % kChunkCapacity];
+}
+
+SymbolTable::Id SymbolTable::View::FindId(std::string_view name) const {
+  if (by_name_ == nullptr) return kNoSymbol;
+  auto it = std::lower_bound(
+      by_name_->begin(), by_name_->end(), name,
+      [this](Id id, std::string_view target) { return NameOf(id) < target; });
+  if (it == by_name_->end() || NameOf(*it) != name) return kNoSymbol;
+  return *it;
+}
+
+SymbolTable::Id SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const Id id = static_cast<Id>(count_);
+  const size_t slot = count_ % kChunkCapacity;
+  if (slot == 0) {
+    // Pre-size the chunk so the vector's metadata and element array
+    // never change after creation: the writer assigns into slots the
+    // published count has not reached, readers index below it.
+    auto chunk = std::make_shared<Chunk>(kChunkCapacity);
+    spine_.push_back(std::move(chunk));
+  }
+  Chunk& chunk = *spine_.back();
+  chunk[slot] = std::string(name);
+  ++count_;
+  index_.emplace(std::string_view(chunk[slot]), id);
+  return id;
+}
+
+SymbolTable::Id SymbolTable::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+std::string_view SymbolTable::NameOf(Id id) const {
+  if (id >= count_) return {};
+  return (*spine_[id / kChunkCapacity])[id % kChunkCapacity];
+}
+
+SymbolTable::View SymbolTable::Publish() {
+  if (dirty() || published_spine_ == nullptr) {
+    published_spine_ =
+        std::make_shared<const std::vector<std::shared_ptr<Chunk>>>(spine_);
+    auto by_name = std::make_shared<std::vector<Id>>();
+    by_name->reserve(count_);
+    // index_ is ordered by name, so one pass yields the sorted ids.
+    for (const auto& [name, id] : index_) by_name->push_back(id);
+    published_by_name_ = std::move(by_name);
+    published_count_ = count_;
+  }
+  View view;
+  view.spine_ = published_spine_;
+  view.by_name_ = published_by_name_;
+  view.count_ = published_count_;
+  return view;
 }
 
 }  // namespace vdg

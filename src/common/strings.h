@@ -1,6 +1,9 @@
 #ifndef VDG_COMMON_STRINGS_H_
 #define VDG_COMMON_STRINGS_H_
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,6 +48,87 @@ std::string FormatDouble(double value);
 /// bits. Used by every serialization path (journal codec, XML) so
 /// double-valued attributes survive write→replay unchanged.
 std::string FormatDoubleRoundTrip(double value);
+
+/// Append-only string interner mapping names to dense 32-bit ids.
+///
+/// Built for a single-writer / many-reader regime: all mutation
+/// (Intern) happens under the owner's exclusive lock, while readers
+/// work off an immutable View captured at a publication point. Interned
+/// strings live in fixed-capacity chunks whose slots are never moved or
+/// freed, so a string_view handed out for an id stays valid for the
+/// table's lifetime; a View only resolves ids below its published
+/// count, so the writer may keep filling later slots concurrently.
+///
+/// Ids are assigned in interning order, NOT name order. A View carries
+/// a by-name index (rebuilt on Publish only when symbols were added)
+/// for reverse lookups.
+class SymbolTable {
+ public:
+  using Id = uint32_t;
+  static constexpr Id kNoSymbol = 0xffffffffu;
+
+  /// Immutable reader-side handle: resolves ids and names against the
+  /// table as of the Publish() that produced it. Copyable, cheap, and
+  /// safe to use concurrently with writer-side Intern calls.
+  class View {
+   public:
+    View() = default;
+
+    /// Name for `id`, or empty view when `id` was not yet published.
+    std::string_view NameOf(Id id) const;
+
+    /// Id for `name`, or kNoSymbol when it was not yet published.
+    Id FindId(std::string_view name) const;
+
+    size_t size() const { return count_; }
+
+   private:
+    friend class SymbolTable;
+    std::shared_ptr<const std::vector<std::shared_ptr<std::vector<std::string>>>>
+        spine_;
+    std::shared_ptr<const std::vector<Id>> by_name_;  // ids sorted by name
+    size_t count_ = 0;
+  };
+
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `name`, interning it if new. Writer-only; the
+  /// caller must hold its exclusive lock.
+  Id Intern(std::string_view name);
+
+  /// Writer-side lookup without interning; kNoSymbol when absent.
+  Id Find(std::string_view name) const;
+
+  /// Writer-side resolve. `id` must be < size().
+  std::string_view NameOf(Id id) const;
+
+  size_t size() const { return count_; }
+
+  /// True when symbols were interned since the last Publish().
+  bool dirty() const { return count_ != published_count_; }
+
+  /// Captures an immutable View of the table. Cheap when nothing was
+  /// interned since the previous Publish (reuses the prior View's
+  /// storage); otherwise copies the chunk spine (pointers only) and
+  /// rebuilds the by-name index.
+  View Publish();
+
+ private:
+  using Chunk = std::vector<std::string>;
+  static constexpr size_t kChunkCapacity = 1024;
+
+  std::vector<std::shared_ptr<Chunk>> spine_;
+  // Keys view into chunk storage (stable for the table's lifetime).
+  std::map<std::string_view, Id> index_;
+  size_t count_ = 0;
+
+  // Cached most-recent publication.
+  std::shared_ptr<const std::vector<std::shared_ptr<Chunk>>> published_spine_;
+  std::shared_ptr<const std::vector<Id>> published_by_name_;
+  size_t published_count_ = 0;
+};
 
 }  // namespace vdg
 

@@ -680,16 +680,17 @@ void WorkflowEngine::RecordProvenance(WorkflowState* wf, NodeState* node,
                                       const JobResult& job) {
   (void)wf;
   const PlanNode& plan = node->plan;
+  // All reads up front (they hit the local catalog snapshot), then the
+  // whole write-back ships as ONE batch: over an RPC transport that is
+  // one round trip instead of one per replica/size/invocation/
+  // annotation, and the catalog commits it under a single version bump
+  // and journal flush.
+  std::vector<CatalogMutation> batch;
+
   // Synthesized sub-derivations (compound expansion) may not exist in
   // the catalog yet; define them so invocations have an anchor.
   if (!catalog_->HasDerivation(plan.derivation.name())) {
-    Status defined = writer_->DefineDerivation(plan.derivation);
-    if (!defined.ok()) {
-      VDG_LOG(Warning) << "cannot define synthesized derivation "
-                       << plan.derivation.name() << ": "
-                       << defined.ToString();
-      return;
-    }
+    batch.push_back(CatalogMutation::DefineDerivation(plan.derivation));
   }
 
   Invocation iv;
@@ -709,6 +710,7 @@ void WorkflowEngine::RecordProvenance(WorkflowState* wf, NodeState* node,
   }
 
   int64_t input_bytes = InputBytes(plan);
+  std::vector<size_t> replica_ops;
   for (const std::string& output : plan.outputs) {
     int64_t bytes = OutputBytes(plan, output, input_bytes);
     Replica replica;
@@ -718,29 +720,36 @@ void WorkflowEngine::RecordProvenance(WorkflowState* wf, NodeState* node,
     replica.physical_path = "/" + job.site + "/" + output;
     replica.size_bytes = bytes;
     replica.created_at = job.end_time;
-    Result<std::string> added = writer_->AddReplica(std::move(replica));
-    if (added.ok()) {
-      iv.produced_replicas.push_back(*added);
-    } else {
-      VDG_LOG(Warning) << "replica record failed: "
-                       << added.status().ToString();
-    }
+    replica_ops.push_back(batch.size());
+    batch.push_back(CatalogMutation::AddReplica(std::move(replica)));
     Result<Dataset> ds = catalog_->GetDataset(output);
     if (ds.ok() && ds->size_bytes == 0) {
-      Status sized = writer_->SetDatasetSize(output, bytes);
-      (void)sized;
+      batch.push_back(CatalogMutation::SetDatasetSize(output, bytes));
     }
   }
+  // The invocation's produced_replicas are the ids the AddReplica ops
+  // above will be assigned when the batch runs.
+  batch.push_back(
+      CatalogMutation::RecordInvocation(std::move(iv), replica_ops));
   const int attempts = node->execution.attempts;
-  Result<std::string> recorded = writer_->RecordInvocation(std::move(iv));
-  if (!recorded.ok()) {
-    VDG_LOG(Warning) << "invocation record failed: "
-                     << recorded.status().ToString();
-  } else if (attempts > 1) {
+  if (attempts > 1) {
     // Recovery leaves its mark: an invocation that only succeeded
     // after retries records how hard it was.
-    writer_->Annotate("invocation", *recorded, "recovery.attempts",
-                       static_cast<int64_t>(attempts));
+    batch.push_back(CatalogMutation::AnnotateAssigned(
+        "invocation", batch.size() - 1, "recovery.attempts",
+        static_cast<int64_t>(attempts)));
+  }
+
+  BatchOptions options;
+  options.stop_on_error = true;  // a half-written step is worse than none
+  Result<BatchResult> applied = writer_->ApplyBatch(batch, options);
+  if (!applied.ok()) {
+    VDG_LOG(Warning) << "provenance write-back failed: "
+                     << applied.status().ToString();
+  } else if (!applied->first_error.ok()) {
+    VDG_LOG(Warning) << "provenance write-back incomplete ("
+                     << applied->applied << "/" << batch.size()
+                     << " ops): " << applied->first_error.ToString();
   }
 }
 

@@ -1,6 +1,7 @@
 #include "federation/remote_cache.h"
 
 #include <utility>
+#include <variant>
 
 namespace vdg {
 
@@ -344,6 +345,76 @@ Status CachingCatalogClient::InvalidateReplica(std::string_view id) {
     }
   }
   return Status::OK();
+}
+
+Result<BatchResult> CachingCatalogClient::ApplyBatch(
+    const std::vector<CatalogMutation>& mutations,
+    const BatchOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_ASSIGN_OR_RETURN(BatchResult result,
+                       upstream_->ApplyBatch(mutations, options));
+  // One invalidation pass for the whole batch, mirroring per-op what
+  // each single-op mutation method evicts. Ops that did not apply are
+  // skipped: they changed nothing upstream.
+  for (size_t i = 0; i < mutations.size(); ++i) {
+    if (i < result.statuses.size() && !result.statuses[i].ok()) continue;
+    std::visit(
+        [&](const auto& op) {
+          using Op = std::decay_t<decltype(op)>;
+          if constexpr (std::is_same_v<Op, CatalogMutation::DefineDatasetOp>) {
+            EvictLocked("dataset", op.dataset.name);
+            steps_.erase(op.dataset.name);
+          } else if constexpr (std::is_same_v<
+                                   Op,
+                                   CatalogMutation::DefineTransformationOp>) {
+            EvictLocked("transformation", op.transformation.name());
+          } else if constexpr (std::is_same_v<
+                                   Op, CatalogMutation::DefineDerivationOp>) {
+            EvictLocked("derivation", op.derivation.name());
+            for (const std::string& output : op.derivation.OutputDatasets()) {
+              EvictLocked("dataset", output);
+            }
+            steps_.clear();
+          } else if constexpr (std::is_same_v<Op,
+                                              CatalogMutation::AnnotateOp>) {
+            std::string target = op.name;
+            if (op.name_from_op.has_value() &&
+                *op.name_from_op < result.assigned_ids.size()) {
+              target = result.assigned_ids[*op.name_from_op];
+            }
+            EvictLocked(op.kind, target);
+            if (op.kind == "dataset") {
+              steps_.erase(target);
+            } else if (op.kind == "derivation" || op.kind == "invocation") {
+              steps_.clear();
+            }
+          } else if constexpr (std::is_same_v<Op,
+                                              CatalogMutation::AddReplicaOp>) {
+            EvictLocked("dataset", op.replica.dataset);
+          } else if constexpr (std::is_same_v<
+                                   Op, CatalogMutation::RecordInvocationOp>) {
+            steps_.clear();  // steps embed invocation lists
+          } else if constexpr (std::is_same_v<
+                                   Op, CatalogMutation::SetDatasetSizeOp>) {
+            EvictLocked("dataset", op.name);
+          } else {
+            static_assert(
+                std::is_same_v<Op, CatalogMutation::InvalidateReplicaOp>);
+            // The replica's dataset is unknown from the id alone.
+            for (auto it = objects_.begin(); it != objects_.end();) {
+              if (it->second.record.kind == "dataset") {
+                lru_.erase(it->second.lru_pos);
+                it = objects_.erase(it);
+                ++stats_.evictions;
+              } else {
+                ++it;
+              }
+            }
+          }
+        },
+        mutations[i].op);
+  }
+  return result;
 }
 
 }  // namespace vdg

@@ -103,6 +103,11 @@ class CachingCatalogClient : public CatalogClient {
   Result<std::string> RecordInvocation(Invocation invocation) override;
   Status SetDatasetSize(std::string_view name, int64_t size_bytes) override;
   Status InvalidateReplica(std::string_view id) override;
+  /// Forwards the whole batch upstream in one call, then runs ONE
+  /// locked invalidation pass applying each applied op's eviction
+  /// rule — instead of locking and evicting once per mutation.
+  Result<BatchResult> ApplyBatch(const std::vector<CatalogMutation>& mutations,
+                                 const BatchOptions& options = {}) override;
 
  private:
   /// "kind\x1fname" cache key.

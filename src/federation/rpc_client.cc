@@ -201,4 +201,16 @@ Status SimulatedRpcCatalogClient::InvalidateReplica(std::string_view id) {
   return Call([&] { return backend_->InvalidateReplica(id); });
 }
 
+Result<BatchResult> SimulatedRpcCatalogClient::ApplyBatch(
+    const std::vector<CatalogMutation>& mutations,
+    const BatchOptions& options) {
+  if (config_.enable_batching) {
+    stats_.batched_lookups += mutations.size();
+    return Call([&] { return backend_->ApplyBatch(mutations, options); });
+  }
+  // Naive mode: the base-class decomposition issues each op through
+  // this client's single-op methods, one round trip apiece.
+  return CatalogClient::ApplyBatch(mutations, options);
+}
+
 }  // namespace vdg

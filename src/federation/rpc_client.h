@@ -107,6 +107,13 @@ class SimulatedRpcCatalogClient : public CatalogClient {
   Result<std::string> RecordInvocation(Invocation invocation) override;
   Status SetDatasetSize(std::string_view name, int64_t size_bytes) override;
   Status InvalidateReplica(std::string_view id) override;
+  /// With batching enabled, the whole group ships as ONE round trip
+  /// and the server commits it as one group commit. In naive mode the
+  /// base-class decomposition runs, paying one round trip per op (plus
+  /// one for the final version read) — the baseline the batched path
+  /// is measured against.
+  Result<BatchResult> ApplyBatch(const std::vector<CatalogMutation>& mutations,
+                                 const BatchOptions& options = {}) override;
 
  private:
   /// One logical RPC: repeats {advance the clock by the latency, check

@@ -62,6 +62,10 @@ Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
   const char* input_content[4] = {"CMS-config", "Simulation", "Zebra-file",
                                   "Reco-objects"};
 
+  // Every dataset/transformation/derivation definition accumulates
+  // into one batch, committed at the end under a single catalog lock
+  // acquisition, version bump, and journal flush.
+  std::vector<CatalogMutation> defs;
   HepWorkload workload;
   for (int s = 0; s < 4; ++s) {
     const StageSpec& spec = stages[s];
@@ -103,7 +107,7 @@ Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
     tr.annotations().Set("sim.runtime_s", options.stage_runtime_s[s]);
     tr.annotations().Set("sim.output_mb", options.stage_output_mb[s]);
     tr.annotations().Set("science", "physics");
-    VDG_RETURN_IF_ERROR(catalog->DefineTransformation(std::move(tr)));
+    defs.push_back(CatalogMutation::DefineTransformation(std::move(tr)));
     ++workload.transformation_count;
   }
 
@@ -158,7 +162,7 @@ Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
         {"ntuple", TemplatePiece::Ref("ntuple", ArgDirection::kOut)}};
     pipeline.AddCall(std::move(ana));
     pipeline.annotations().Set("science", "physics");
-    VDG_RETURN_IF_ERROR(catalog->DefineTransformation(std::move(pipeline)));
+    defs.push_back(CatalogMutation::DefineTransformation(std::move(pipeline)));
     ++workload.transformation_count;
   }
 
@@ -171,7 +175,7 @@ Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
     config.type.content = "CMS-config";
     config.size_bytes = 64 * 1024;
     config.descriptor = DatasetDescriptor::File("/cms/cfg/" + batch);
-    VDG_RETURN_IF_ERROR(catalog->DefineDataset(std::move(config)));
+    defs.push_back(CatalogMutation::DefineDataset(std::move(config)));
     workload.config_datasets.push_back(batch + ".config");
 
     std::string ntuple = batch + ".ntuple";
@@ -184,7 +188,7 @@ Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
           ActualArg::DatasetRef("ntuple", ntuple, ArgDirection::kOut)));
       VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::String(
           "nevents", std::to_string(options.events_per_batch))));
-      VDG_RETURN_IF_ERROR(catalog->DefineDerivation(std::move(dv)));
+      defs.push_back(CatalogMutation::DefineDerivation(std::move(dv)));
       workload.derivations.push_back(options.prefix + "-batch" +
                                      std::to_string(b));
       std::string dv_name =
@@ -204,13 +208,13 @@ Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
       hits.type.content = "Zebra-file";
       hits.descriptor = DatasetDescriptor::FileSet(
           {"/cms/zebra/" + batch + ".1", "/cms/zebra/" + batch + ".2"});
-      VDG_RETURN_IF_ERROR(catalog->DefineDataset(std::move(hits)));
+      defs.push_back(CatalogMutation::DefineDataset(std::move(hits)));
       Dataset reco;
       reco.name = batch + ".reco";
       reco.type.content = "Reco-objects";
       reco.descriptor =
           DatasetDescriptor::ObjectClosure("objy://cms-db", batch);
-      VDG_RETURN_IF_ERROR(catalog->DefineDataset(std::move(reco)));
+      defs.push_back(CatalogMutation::DefineDataset(std::move(reco)));
 
       std::string prev = batch + ".config";
       const char* in_formal[4] = {"config", "events", "hits", "reco"};
@@ -227,7 +231,7 @@ Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
           VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::String(
               "nevents", std::to_string(options.events_per_batch))));
         }
-        VDG_RETURN_IF_ERROR(catalog->DefineDerivation(std::move(dv)));
+        defs.push_back(CatalogMutation::DefineDerivation(std::move(dv)));
         prev = stage_outputs[s];
       }
       workload.derivations.push_back(options.prefix + "-b" +
@@ -237,6 +241,9 @@ Result<HepWorkload> GenerateHep(VirtualDataCatalog* catalog,
     }
     workload.ntuples.push_back(ntuple);
   }
+  BatchOptions commit;
+  commit.stop_on_error = true;  // later defs reference earlier ones
+  VDG_RETURN_IF_ERROR(catalog->ApplyBatch(defs, commit).first_error);
   return workload;
 }
 

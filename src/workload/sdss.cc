@@ -37,6 +37,11 @@ Result<SdssWorkload> GenerateSdss(VirtualDataCatalog* catalog,
   VDG_RETURN_IF_ERROR(
       EnsureContentType(catalog, "Cluster-catalog", "SDSS"));
 
+  // All object definitions accumulate into one batch, committed at the
+  // end under a single catalog lock acquisition, version bump, and
+  // journal flush.
+  std::vector<CatalogMutation> defs;
+
   DatasetType field_type;
   field_type.content = "FITS-file";
   DatasetType bcg_type;
@@ -77,7 +82,7 @@ Result<SdssWorkload> GenerateSdss(VirtualDataCatalog* catalog,
     tr.annotations().Set("sim.runtime_s", options.search_runtime_s);
     tr.annotations().Set("sim.output_mb", options.bcg_mb);
     tr.annotations().Set("science", "astronomy");
-    VDG_RETURN_IF_ERROR(catalog->DefineTransformation(std::move(tr)));
+    defs.push_back(CatalogMutation::DefineTransformation(std::move(tr)));
   }
 
   // brightestCluster: coalesces a stripe's BCG lists into a cluster
@@ -111,7 +116,7 @@ Result<SdssWorkload> GenerateSdss(VirtualDataCatalog* catalog,
     tr.annotations().Set("sim.runtime_s", options.merge_runtime_s);
     tr.annotations().Set("sim.output_mb", options.cluster_mb);
     tr.annotations().Set("science", "astronomy");
-    VDG_RETURN_IF_ERROR(catalog->DefineTransformation(std::move(tr)));
+    defs.push_back(CatalogMutation::DefineTransformation(std::move(tr)));
   }
 
   SdssWorkload workload;
@@ -127,7 +132,7 @@ Result<SdssWorkload> GenerateSdss(VirtualDataCatalog* catalog,
       ds.size_bytes = static_cast<int64_t>(options.field_mb * kMiB);
       ds.descriptor = DatasetDescriptor::File("/sdss/dr1/" + field);
       ds.annotations.Set("stripe", static_cast<int64_t>(s));
-      VDG_RETURN_IF_ERROR(catalog->DefineDataset(std::move(ds)));
+      defs.push_back(CatalogMutation::DefineDataset(std::move(ds)));
       workload.field_datasets.push_back(field);
       stripe_fields.push_back(field);
 
@@ -139,7 +144,7 @@ Result<SdssWorkload> GenerateSdss(VirtualDataCatalog* catalog,
           dv.AddArg(ActualArg::DatasetRef("field", field, ArgDirection::kIn)));
       VDG_RETURN_IF_ERROR(
           dv.AddArg(ActualArg::DatasetRef("bcg", bcg, ArgDirection::kOut)));
-      VDG_RETURN_IF_ERROR(catalog->DefineDerivation(std::move(dv)));
+      defs.push_back(CatalogMutation::DefineDerivation(std::move(dv)));
       workload.bcg_datasets.push_back(bcg);
       stripe_bcgs.push_back(bcg);
       ++workload.derivation_count;
@@ -155,11 +160,14 @@ Result<SdssWorkload> GenerateSdss(VirtualDataCatalog* catalog,
     }
     VDG_RETURN_IF_ERROR(merge.AddArg(
         ActualArg::DatasetRef("clusters", clusters, ArgDirection::kOut)));
-    VDG_RETURN_IF_ERROR(catalog->DefineDerivation(std::move(merge)));
+    defs.push_back(CatalogMutation::DefineDerivation(std::move(merge)));
     workload.cluster_catalogs.push_back(clusters);
     workload.stripe_fields.push_back(std::move(stripe_fields));
     ++workload.derivation_count;
   }
+  BatchOptions commit;
+  commit.stop_on_error = true;  // later defs reference earlier ones
+  VDG_RETURN_IF_ERROR(catalog->ApplyBatch(defs, commit).first_error);
   return workload;
 }
 
@@ -170,6 +178,7 @@ Status StageSdssInputs(const SdssWorkload& workload,
   std::vector<std::string> sites = grid->topology().SiteNames();
   if (sites.empty()) return Status::FailedPrecondition("grid has no sites");
   int64_t bytes = static_cast<int64_t>(options.field_mb * kMiB);
+  std::vector<CatalogMutation> staged;
   for (size_t i = 0; i < workload.field_datasets.size(); ++i) {
     const std::string& field = workload.field_datasets[i];
     const std::string& site = sites[i % sites.size()];
@@ -181,8 +190,13 @@ Status StageSdssInputs(const SdssWorkload& workload,
       replica.storage_element = "se0";
       replica.physical_path = "/archive/" + field;
       replica.size_bytes = bytes;
-      VDG_RETURN_IF_ERROR(catalog->AddReplica(std::move(replica)).status());
+      staged.push_back(CatalogMutation::AddReplica(std::move(replica)));
     }
+  }
+  if (catalog != nullptr) {
+    BatchOptions commit;
+    commit.stop_on_error = true;
+    VDG_RETURN_IF_ERROR(catalog->ApplyBatch(staged, commit).first_error);
   }
   return Status::OK();
 }

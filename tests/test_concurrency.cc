@@ -98,7 +98,9 @@ void RunRefresher(FederatedIndex* index, const std::atomic<bool>* done) {
   int extra = 0;
   while (!done->load(std::memory_order_acquire) || extra < 3) {
     if (done->load(std::memory_order_acquire)) ++extra;
-    if (index->IsStale()) ASSERT_TRUE(index->Refresh().ok());
+    if (index->IsStale()) {
+      ASSERT_TRUE(index->Refresh().ok());
+    }
     std::this_thread::yield();
   }
 }
@@ -156,6 +158,101 @@ TEST(ConcurrencyStress, ReadersWriterAndRefresherAgreeAfterQuiesce) {
   ASSERT_TRUE(index.RebuildAll().ok());
   EXPECT_EQ(index.size(), delta_size);
   EXPECT_EQ(index.last_refresh_version_sum(), delta_version_sum);
+}
+
+// Snapshot-isolation oracle: a reader that pins a view must see ONE
+// frozen version of the catalog no matter what commits, compactions,
+// or snapshot publications happen after the pin. Re-running the same
+// queries against the same view while a writer streams ApplyBatch
+// commits and journal compactions must return byte-identical answers
+// and a constant version() — any wobble means a reader is touching
+// live writer state.
+TEST(ConcurrencyStress, PinnedViewIsVersionConsistentUnderApplyBatch) {
+  std::string path = ::testing::TempDir() + "/vdg_conc_snapshot.log";
+  std::remove(path.c_str());
+  VirtualDataCatalog catalog("snapshot.org",
+                             std::make_unique<FileJournal>(path));
+  ASSERT_TRUE(catalog.Open().ok());
+  constexpr int kDatasets = 64;
+  for (int i = 0; i < kDatasets; ++i) {
+    Dataset ds;
+    ds.name = "ds" + std::to_string(i);
+    ds.annotations.Set("shard", AttributeValue(int64_t{i % 5}));
+    ASSERT_TRUE(catalog.DefineDataset(ds).ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int round = 0; round < 60; ++round) {
+      std::vector<CatalogMutation> batch;
+      for (int k = 0; k < 16; ++k) {
+        int target = (round * 16 + k) % kDatasets;
+        batch.push_back(CatalogMutation::Annotate(
+            "dataset", "ds" + std::to_string(target), "shard",
+            AttributeValue(int64_t{(target + round) % 5})));
+        if (k % 8 == 0) {
+          Dataset ds;
+          ds.name = "extra" + std::to_string(round) + "_" + std::to_string(k);
+          ds.annotations.Set("shard", AttributeValue(int64_t{round % 5}));
+          batch.push_back(CatalogMutation::DefineDataset(std::move(ds)));
+        }
+      }
+      BatchResult applied = catalog.ApplyBatch(batch);
+      ASSERT_TRUE(applied.first_error.ok());
+      if (round % 10 == 0) {
+        ASSERT_TRUE(catalog.CompactJournal().ok());
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&catalog, &done] {
+      while (!done.load(std::memory_order_acquire)) {
+        CatalogView view = catalog.View();
+        uint64_t pinned = view.version();
+        // First pass records the view's answers; later passes against
+        // the SAME view must reproduce them exactly even though the
+        // writer keeps publishing fresh snapshots underneath.
+        std::vector<std::vector<std::string>> first;
+        for (int shard = 0; shard < 5; ++shard) {
+          DatasetQuery q;
+          q.predicates.push_back(AttributePredicate{
+              "shard", PredicateOp::kEq, AttributeValue(int64_t{shard})});
+          first.push_back(view.FindDatasets(q));
+        }
+        std::vector<std::string> names = view.AllDatasetNames();
+        for (int pass = 0; pass < 3; ++pass) {
+          ASSERT_EQ(view.version(), pinned);
+          for (int shard = 0; shard < 5; ++shard) {
+            DatasetQuery q;
+            q.predicates.push_back(AttributePredicate{
+                "shard", PredicateOp::kEq, AttributeValue(int64_t{shard})});
+            ASSERT_EQ(view.FindDatasets(q), first[static_cast<size_t>(shard)])
+                << "pinned view changed answers at version " << pinned;
+          }
+          ASSERT_EQ(view.AllDatasetNames(), names);
+          // Every dataset the view lists must be readable from the
+          // view even if the writer has since removed or rewritten it.
+          for (size_t i = 0; i < names.size(); i += 7) {
+            ASSERT_TRUE(view.GetDataset(names[i]).ok()) << names[i];
+          }
+        }
+        // A fresh view must never observe a version older than one
+        // already handed out (publication order: snapshot, version).
+        ASSERT_GE(catalog.View().version(), pinned);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& r : readers) r.join();
+
+  // Quiesced: the live view and the lock-path reads agree.
+  CatalogView final_view = catalog.View();
+  EXPECT_EQ(final_view.version(), catalog.version());
+  EXPECT_EQ(final_view.AllDatasetNames(), catalog.AllDatasetNames());
+  std::remove(path.c_str());
 }
 
 TEST(ConcurrencyStress, ConcurrentReadsDuringJournalCompaction) {

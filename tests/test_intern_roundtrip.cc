@@ -1,0 +1,229 @@
+// Interning durability: attribute keys, type names, and object names
+// are interned into the catalog's symbol table, and that mapping is an
+// in-memory acceleration only — every name must survive the journal
+// (write -> replay -> CompactJournal -> replay) and the XML
+// export/re-import path byte-for-byte. Keys are chosen to stress the
+// escaping layers: multi-byte UTF-8, embedded '=' (the codec's
+// key=value separator), characters the record codec escapes (pipe,
+// backslash, newline), XML-special characters, and maximum-length
+// keys.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "vdl/xml.h"
+#include "vdl/xml_parse.h"
+
+namespace vdg {
+namespace {
+
+// Attribute keys that have historically broken serialization layers.
+std::vector<std::string> NastyKeys() {
+  std::vector<std::string> keys = {
+      "π.σ→τ",                  // multi-byte UTF-8
+      "ключ.данных",            // Cyrillic
+      "数据.键",                 // CJK
+      "a=b=c",                  // embedded key=value separator
+      "line1\nline2",           // embedded newline (codec-escaped)
+      "tab\there",              // embedded tab
+      "pipe|and\\backslash",    // the record codec's own specials
+      "xml<&>\"'chars",         // XML-special characters
+      " leading and trailing ", // significant whitespace
+      std::string(255, 'k'),    // maximum-length key
+  };
+  // A long key that is multi-byte right up to the length cap.
+  std::string long_utf8;
+  while (long_utf8.size() + 2 <= 255) long_utf8 += "é";
+  keys.push_back(long_utf8);
+  return keys;
+}
+
+AttributeSet NastyAttrs() {
+  AttributeSet attrs;
+  std::vector<std::string> keys = NastyKeys();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    switch (i % 4) {
+      case 0:
+        attrs.Set(keys[i], AttributeValue("value=" + keys[i]));
+        break;
+      case 1:
+        attrs.Set(keys[i], AttributeValue(static_cast<int64_t>(i) - 5));
+        break;
+      case 2:
+        attrs.Set(keys[i], AttributeValue(0.1 + 0.2));
+        break;
+      default:
+        attrs.Set(keys[i], AttributeValue(i % 2 == 0));
+        break;
+    }
+  }
+  return attrs;
+}
+
+void ExpectSameAttrs(const AttributeSet& expected,
+                     const AttributeSet& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (const auto& [key, value] : expected) {
+    const AttributeValue* got = actual.Find(key);
+    ASSERT_NE(got, nullptr) << "missing key [" << key << "]";
+    EXPECT_TRUE(value == *got) << "value changed for [" << key << "]";
+  }
+}
+
+// Structural equality of two type registries: same names in every
+// dimension, each with the same parent edge.
+void ExpectSameTypes(const TypeRegistry& expected,
+                     const TypeRegistry& actual) {
+  for (int d = 0; d < kNumTypeDimensions; ++d) {
+    TypeDimension dim = static_cast<TypeDimension>(d);
+    std::vector<std::string> names = expected.dimension(dim).AllTypes();
+    ASSERT_EQ(names, actual.dimension(dim).AllTypes())
+        << "type set diverged in dimension " << TypeDimensionName(dim);
+    for (const std::string& name : names) {
+      Result<std::string> want = expected.dimension(dim).ParentOf(name);
+      Result<std::string> got = actual.dimension(dim).ParentOf(name);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*want, *got) << "parent of " << name << " diverged";
+    }
+  }
+}
+
+// Populates `catalog` with a small typed schema whose every object
+// carries the nasty annotation set, committing part of it through
+// ApplyBatch so batched journal records are on the replay path too.
+void Populate(VirtualDataCatalog* catalog) {
+  ASSERT_TRUE(catalog->DefineType(TypeDimension::kContent, "Raw-band",
+                                  std::string(TypeDimensionBaseName(TypeDimension::kContent))).ok());
+  ASSERT_TRUE(catalog->DefineType(TypeDimension::kContent, "Refined-band",
+                                  "Raw-band").ok());
+  ASSERT_TRUE(catalog
+                  ->ImportVdl("TR etape( output out, input in ) {"
+                              "  argument stdin = ${input:in};"
+                              "  argument stdout = ${output:out};"
+                              "  exec = \"/bin/etape\"; }")
+                  .ok());
+  AttributeSet attrs = NastyAttrs();
+
+  std::vector<CatalogMutation> batch;
+  Dataset in;
+  in.name = "data.in";
+  in.type.content = "Raw-band";
+  in.size_bytes = 1;
+  in.annotations = attrs;
+  batch.push_back(CatalogMutation::DefineDataset(std::move(in)));
+  Dataset out;
+  out.name = "data.out";
+  out.type.content = "Refined-band";
+  out.annotations = attrs;
+  batch.push_back(CatalogMutation::DefineDataset(std::move(out)));
+  Derivation dv("refine.step0", "etape");
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("in", "data.in",
+                                              ArgDirection::kIn))
+                  .ok());
+  ASSERT_TRUE(dv.AddArg(ActualArg::DatasetRef("out", "data.out",
+                                              ArgDirection::kOut))
+                  .ok());
+  batch.push_back(CatalogMutation::DefineDerivation(std::move(dv)));
+  for (const auto& [key, value] : attrs) {
+    batch.push_back(
+        CatalogMutation::Annotate("transformation", "etape", key, value));
+  }
+  BatchOptions options;
+  options.stop_on_error = true;
+  BatchResult applied = catalog->ApplyBatch(batch, options);
+  ASSERT_TRUE(applied.first_error.ok()) << applied.first_error;
+  ASSERT_EQ(applied.applied, batch.size());
+}
+
+void Check(const VirtualDataCatalog& catalog, const TypeRegistry& types) {
+  AttributeSet attrs = NastyAttrs();
+  Result<Dataset> in = catalog.GetDataset("data.in");
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in->type.content, "Raw-band");
+  ExpectSameAttrs(attrs, in->annotations);
+  Result<Dataset> out = catalog.GetDataset("data.out");
+  ASSERT_TRUE(out.ok());
+  ExpectSameAttrs(attrs, out->annotations);
+  Result<Transformation> tr = catalog.GetTransformation("etape");
+  ASSERT_TRUE(tr.ok());
+  ExpectSameAttrs(attrs, tr->annotations());
+  ASSERT_TRUE(catalog.HasDerivation("refine.step0"));
+  ExpectSameTypes(types, catalog.TypesSnapshot());
+}
+
+TEST(InternRoundTrip, JournalReplayAndCompactionPreserveNames) {
+  std::string path = ::testing::TempDir() + "/vdg_intern_rt.log";
+  std::remove(path.c_str());
+  TypeRegistry reference;
+  {
+    VirtualDataCatalog catalog("intern.org",
+                               std::make_unique<FileJournal>(path));
+    ASSERT_TRUE(catalog.Open().ok());
+    Populate(&catalog);
+    reference = catalog.TypesSnapshot();
+    Check(catalog, reference);
+    ASSERT_TRUE(catalog.SyncJournal().ok());
+  }
+  {
+    // Replay the raw journal, then compact and replay the rewrite.
+    // Each reopen builds a fresh symbol table, so matching names prove
+    // the wire format, not shared interner state.
+    VirtualDataCatalog replayed("intern.org",
+                                std::make_unique<FileJournal>(path));
+    ASSERT_TRUE(replayed.Open().ok());
+    Check(replayed, reference);
+    ASSERT_TRUE(replayed.CompactJournal().ok());
+  }
+  VirtualDataCatalog compacted("intern.org",
+                               std::make_unique<FileJournal>(path));
+  ASSERT_TRUE(compacted.Open().ok());
+  Check(compacted, reference);
+  std::remove(path.c_str());
+}
+
+TEST(InternRoundTrip, XmlExportReimportPreservesNames) {
+  VirtualDataCatalog source("intern.org");
+  ASSERT_TRUE(source.Open().ok());
+  Populate(&source);
+
+  std::string xml = ProgramToXml(source.ExportProgram());
+  Result<VdlProgram> parsed = ParseVdlXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  // The XML document carries objects, not type definitions, so the
+  // importing catalog needs the hierarchy first.
+  VirtualDataCatalog imported("intern.org");
+  ASSERT_TRUE(imported.Open().ok());
+  ASSERT_TRUE(imported.DefineType(TypeDimension::kContent, "Raw-band",
+                                  std::string(TypeDimensionBaseName(TypeDimension::kContent))).ok());
+  ASSERT_TRUE(imported.DefineType(TypeDimension::kContent, "Refined-band",
+                                  "Raw-band").ok());
+  ASSERT_TRUE(imported.ImportProgram(*parsed).ok());
+  Check(imported, source.TypesSnapshot());
+}
+
+// Re-exporting an imported catalog must produce the same document:
+// a fixed point proves no name was silently altered by interning.
+TEST(InternRoundTrip, XmlExportIsAFixedPoint) {
+  VirtualDataCatalog source("intern.org");
+  ASSERT_TRUE(source.Open().ok());
+  Populate(&source);
+  std::string xml = ProgramToXml(source.ExportProgram());
+  Result<VdlProgram> parsed = ParseVdlXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  VirtualDataCatalog imported("intern.org");
+  ASSERT_TRUE(imported.Open().ok());
+  ASSERT_TRUE(imported.DefineType(TypeDimension::kContent, "Raw-band",
+                                  std::string(TypeDimensionBaseName(TypeDimension::kContent))).ok());
+  ASSERT_TRUE(imported.DefineType(TypeDimension::kContent, "Refined-band",
+                                  "Raw-band").ok());
+  ASSERT_TRUE(imported.ImportProgram(*parsed).ok());
+  EXPECT_EQ(xml, ProgramToXml(imported.ExportProgram()));
+}
+
+}  // namespace
+}  // namespace vdg

@@ -100,5 +100,70 @@ TEST(FormatDoubleTest, CompactRendering) {
   EXPECT_EQ(FormatDouble(0.125), "0.125");
 }
 
+TEST(SymbolTableTest, InternIsIdempotentAndDense) {
+  SymbolTable table;
+  SymbolTable::Id a = table.Intern("alpha");
+  SymbolTable::Id b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("alpha"), a);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.NameOf(a), "alpha");
+  EXPECT_EQ(table.NameOf(b), "beta");
+  EXPECT_EQ(table.Find("alpha"), a);
+  EXPECT_EQ(table.Find("missing"), SymbolTable::kNoSymbol);
+}
+
+TEST(SymbolTableTest, ViewIsFrozenAtPublish) {
+  SymbolTable table;
+  SymbolTable::Id a = table.Intern("alpha");
+  SymbolTable::View view = table.Publish();
+  EXPECT_FALSE(table.dirty());
+  SymbolTable::Id b = table.Intern("beta");
+  EXPECT_TRUE(table.dirty());
+  // The published view resolves only what existed at Publish() time.
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.NameOf(a), "alpha");
+  EXPECT_EQ(view.FindId("alpha"), a);
+  EXPECT_EQ(view.FindId("beta"), SymbolTable::kNoSymbol);
+  EXPECT_TRUE(view.NameOf(b).empty());
+  SymbolTable::View fresh = table.Publish();
+  EXPECT_EQ(fresh.FindId("beta"), b);
+  // The stale view keeps working after the table moves on.
+  EXPECT_EQ(view.NameOf(a), "alpha");
+}
+
+TEST(SymbolTableTest, SurvivesChunkBoundaries) {
+  // Push well past one chunk so the spine grows, then verify every
+  // symbol still resolves both ways from the table and a view.
+  SymbolTable table;
+  constexpr size_t kCount = 3000;
+  std::vector<SymbolTable::Id> ids;
+  for (size_t i = 0; i < kCount; ++i) {
+    ids.push_back(table.Intern("sym" + std::to_string(i)));
+  }
+  SymbolTable::View view = table.Publish();
+  EXPECT_EQ(view.size(), kCount);
+  for (size_t i = 0; i < kCount; i += 97) {
+    std::string name = "sym" + std::to_string(i);
+    EXPECT_EQ(table.NameOf(ids[i]), name);
+    EXPECT_EQ(view.NameOf(ids[i]), name);
+    EXPECT_EQ(view.FindId(name), ids[i]);
+  }
+}
+
+TEST(SymbolTableTest, HandlesArbitraryBytes) {
+  SymbolTable table;
+  std::vector<std::string> names = {"", "a=b", "line\nbreak", "π→σ",
+                                    std::string(255, 'x'),
+                                    std::string("nul\0byte", 8)};
+  std::vector<SymbolTable::Id> ids;
+  for (const std::string& name : names) ids.push_back(table.Intern(name));
+  SymbolTable::View view = table.Publish();
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(view.NameOf(ids[i]), names[i]);
+    EXPECT_EQ(view.FindId(names[i]), ids[i]);
+  }
+}
+
 }  // namespace
 }  // namespace vdg

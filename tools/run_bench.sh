@@ -22,6 +22,17 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_fig1_schema_ops bench_fig4_federated_index \
            bench_conc_catalog bench_fault_recovery bench_fed_rpc >/dev/null
 
+# Every bench result must come from a Release-compiled binary. The
+# binaries stamp vdg_build_type into their context (bench/bench_main.cc)
+# because the system libbenchmark's own library_build_type describes
+# the Debian package, not our flags.
+assert_release() {
+  if ! grep -q '"vdg_build_type": "release"' "$1"; then
+    echo "BENCH BUILD-TYPE ERROR: $1 was not produced by a Release build" >&2
+    exit 1
+  fi
+}
+
 FIG1_FILTER='BM_AttributeDiscovery|BM_TypeDiscovery|BM_MaterializedDiscovery|BM_DerivationDiscoveryByInput'
 FIG4_FILTER='BM_IndexQuery|BM_DirectScan|BM_IndexRefresh|BM_DeltaRefresh|BM_FullRebuild'
 
@@ -37,6 +48,9 @@ FIG4_OUT="$BUILD_DIR/bench_fig4_refresh.json"
   --benchmark_filter="$FIG4_FILTER" \
   --benchmark_out="$FIG4_OUT" --benchmark_out_format=json \
   --benchmark_min_time=0.2
+
+assert_release "$FIG1_OUT"
+assert_release "$FIG4_OUT"
 
 # Merge the two result files and compute the headline delta-vs-full
 # refresh speedup. Python (stdlib only) ships with the toolchain.
@@ -76,12 +90,17 @@ for k, v in sorted(speedups.items()):
     print(f"  delta vs full rebuild, {k}: {v}x")
 PYEOF
 
-# Concurrent-read scaling: reader throughput vs thread count under the
-# shared-mutex protocol (1..16 threads, pure reads and read+writer).
+# Concurrent-read scaling: reader throughput vs thread count against
+# the snapshot-isolated catalog (1..16 threads, pure reads and
+# read+writer), plus the group-commit and snapshot-isolation gates:
+#   - ApplyBatch group commit >= 5x per-record-commit throughput
+#   - reads while a writer streams batches within 20% of no-writer
 CONC_OUT="$BUILD_DIR/bench_conc_catalog.json"
 "$BUILD_DIR/bench/bench_conc_catalog" \
   --benchmark_out="$CONC_OUT" --benchmark_out_format=json \
   --benchmark_min_time=0.2
+
+assert_release "$CONC_OUT"
 
 python3 - "$CONC_OUT" "$CONC_JSON" <<'PYEOF'
 import json
@@ -92,17 +111,36 @@ with open(src_path) as f:
     raw = json.load(f)
 
 # Per-benchmark curve: thread count -> aggregate reader items/sec.
+# Single-threaded benches (group commit, snapshot isolation) have no
+# threads: suffix and are gated below instead.
 curves = {}
+items = {}
 for b in raw.get("benchmarks", []):
     name = b["name"]  # e.g. BM_ConcIndexedFind/real_time/threads:4
     base = name.split("/")[0]
-    threads = int(name.rsplit("threads:", 1)[1])
-    curves.setdefault(base, {})[threads] = round(
-        b.get("items_per_second", 0.0))
+    items[base] = b.get("items_per_second", 0.0)
+    if "threads:" in name:
+        threads = int(name.rsplit("threads:", 1)[1])
+        curves.setdefault(base, {})[threads] = round(
+            b.get("items_per_second", 0.0))
+
+group_speedup = None
+per_record = items.get("BM_ApplyBatch_PerRecordCommit")
+group = items.get("BM_ApplyBatch_GroupCommit")
+if per_record and group:
+    group_speedup = round(group / per_record, 1)
+
+isolation_ratio = None
+baseline = items.get("BM_SnapshotFindNoWriter")
+under_writes = items.get("BM_SnapshotFindDuringWrites")
+if baseline and under_writes:
+    isolation_ratio = round(under_writes / baseline, 3)
 
 result = {
     "context": raw.get("context", {}),
     "read_throughput_items_per_sec_by_threads": curves,
+    "group_commit_speedup": group_speedup,
+    "snapshot_read_under_writes_ratio": isolation_ratio,
     "benchmarks": raw.get("benchmarks", []),
 }
 with open(out_path, "w") as f:
@@ -115,6 +153,17 @@ print(f"  host cores: {cores} (scaling with threads needs cores to scale on)")
 for base, curve in sorted(curves.items()):
     pts = " ".join(f"{t}t={v}" for t, v in sorted(curve.items()))
     print(f"  {base}: {pts}")
+print(f"  group commit vs per-record commit: {group_speedup}x")
+print(f"  reads under writes vs no writer: {isolation_ratio}")
+
+failed = []
+if (group_speedup or 0) < 5:
+    failed.append("group commit < 5x per-record commit")
+if (isolation_ratio or 0) < 0.8:
+    failed.append("reads under writes dropped > 20% vs no-writer baseline")
+if failed:
+    print("CATALOG-COMMIT REGRESSION:", failed)
+    sys.exit(1)
 PYEOF
 
 # Fault tolerance: workflow success rates under injected job/transfer
@@ -125,6 +174,8 @@ FAULT_OUT="$BUILD_DIR/bench_fault_recovery.json"
 "$BUILD_DIR/bench/bench_fault_recovery" \
   --benchmark_out="$FAULT_OUT" --benchmark_out_format=json \
   --benchmark_min_time=0.2
+
+assert_release "$FAULT_OUT"
 
 python3 - "$FAULT_OUT" "$FAULT_JSON" <<'PYEOF'
 import json
@@ -181,6 +232,8 @@ FED_OUT="$BUILD_DIR/bench_fed_rpc.json"
   --benchmark_out="$FED_OUT" --benchmark_out_format=json \
   --benchmark_min_time=0.2
 
+assert_release "$FED_OUT"
+
 python3 - "$FED_OUT" "$FED_JSON" <<'PYEOF'
 import json
 import sys
@@ -219,6 +272,11 @@ savings = {
     # FIG4: a delta refresh at churn K costs K+2 trips naive, 3 batched.
     "fig4_refresh_naive_vs_batched":
         ratio("BM_Fig4Refresh_NaiveRpc", "BM_Fig4Refresh_BatchedRpc"),
+    # Executor provenance write-back: the whole replica/invocation/
+    # annotation batch ships as one compound trip instead of one per op.
+    "executor_writeback_naive_vs_batched":
+        ratio("BM_ExecutorWriteBack_NaiveRpc",
+              "BM_ExecutorWriteBack_BatchedRpc"),
 }
 
 result = {
@@ -243,6 +301,12 @@ if (savings["fig3_chain_walk_naive_vs_cached"] or 0) < 5:
     failed.append("fig3 chain walk: batching+cache < 5x vs naive RPC")
 if (savings["fig4_refresh_naive_vs_batched"] or 0) < 5:
     failed.append("fig4 refresh: batching < 5x vs naive RPC")
+wb_naive = trips.get("BM_ExecutorWriteBack_NaiveRpc")
+wb_batched = trips.get("BM_ExecutorWriteBack_BatchedRpc")
+if wb_naive is None or wb_naive < 5:
+    failed.append("executor write-back: naive RPC should cost >= 5 trips")
+if wb_batched is None or wb_batched > 1.01:
+    failed.append("executor write-back: batched RPC should be ONE trip")
 if sweep.get("failures", 1) != 0:
     failed.append("fault sweep finished with hard failures")
 if not sweep.get("retries"):
