@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "catalog/codec.h"
+#include "common/hash.h"
 #include "common/strings.h"
 #include "common/uri.h"
 #include "schema/validation.h"
@@ -56,27 +57,16 @@ std::string_view AccessPathName(AccessPath path) {
 // ---------------------------------------------------------------------
 
 void VirtualDataCatalog::PostingInsert(PostingList* list, Id id) {
-  snapshot_internal::IdNameLess<SymbolTable> less{&symbols_};
-  auto next = std::make_shared<std::vector<Id>>();
-  if (*list != nullptr) {
-    next->reserve((*list)->size() + 1);
-    *next = **list;
-  }
-  next->insert(std::upper_bound(next->begin(), next->end(), id, less), id);
+  auto next = *list == nullptr ? std::make_shared<PostingBlocks>()
+                               : std::make_shared<PostingBlocks>(**list);
+  next->Add(id);
   *list = std::move(next);
 }
 
 void VirtualDataCatalog::PostingErase(PostingList* list, Id id) {
   if (*list == nullptr) return;
-  snapshot_internal::IdNameLess<SymbolTable> less{&symbols_};
-  auto next = std::make_shared<std::vector<Id>>(**list);
-  auto [lo, hi] = std::equal_range(next->begin(), next->end(), id, less);
-  for (auto it = lo; it != hi; ++it) {
-    if (*it == id) {
-      next->erase(it);
-      break;
-    }
-  }
+  auto next = std::make_shared<PostingBlocks>(**list);
+  next->Remove(id);
   *list = std::move(next);
 }
 
@@ -225,7 +215,8 @@ uint64_t VirtualDataCatalog::changelog_floor() const {
 
 template <typename T>
 std::shared_ptr<const CatalogSnapshot::Rows<T>> VirtualDataCatalog::BuildRows(
-    const ObjMap<T>& map) const {
+    const ObjMap<T>& map,
+    std::shared_ptr<const std::vector<uint32_t>>* row_of_id) const {
   auto rows = std::make_shared<CatalogSnapshot::Rows<T>>();
   rows->reserve(map.size());
   // Map iteration is name order, which is exactly Rows' sort order.
@@ -233,6 +224,17 @@ std::shared_ptr<const CatalogSnapshot::Rows<T>> VirtualDataCatalog::BuildRows(
     (void)name;
     rows->push_back(CatalogSnapshot::Row<T>{symbols_.NameOf(entry.id),
                                             entry.id, entry.object});
+  }
+  if (row_of_id != nullptr) {
+    // Inverse map: id -> row index, sized to the symbol universe. Built
+    // together with the rows so the pair is always mutually consistent.
+    auto inverse =
+        std::make_shared<std::vector<uint32_t>>(symbols_.size(),
+                                                CatalogSnapshot::kNoRow);
+    for (size_t i = 0; i < rows->size(); ++i) {
+      (*inverse)[(*rows)[i].id] = static_cast<uint32_t>(i);
+    }
+    *row_of_id = std::move(inverse);
   }
   return rows;
 }
@@ -254,13 +256,21 @@ void VirtualDataCatalog::PublishSnapshotLocked() {
   next->types = (fresh || dirty_.types_registry)
                     ? std::make_shared<const TypeRegistry>(types_)
                     : prev->types;
-  next->datasets =
-      (fresh || dirty_.datasets) ? BuildRows(datasets_) : prev->datasets;
+  if (fresh || dirty_.datasets) {
+    next->datasets = BuildRows(datasets_, &next->dataset_row_of_id);
+  } else {
+    next->datasets = prev->datasets;
+    next->dataset_row_of_id = prev->dataset_row_of_id;
+  }
   next->transformations = (fresh || dirty_.transformations)
-                              ? BuildRows(transformations_)
+                              ? BuildRows(transformations_, nullptr)
                               : prev->transformations;
-  next->derivations = (fresh || dirty_.derivations) ? BuildRows(derivations_)
-                                                    : prev->derivations;
+  if (fresh || dirty_.derivations) {
+    next->derivations = BuildRows(derivations_, &next->derivation_row_of_id);
+  } else {
+    next->derivations = prev->derivations;
+    next->derivation_row_of_id = prev->derivation_row_of_id;
+  }
   next->attr_index =
       (fresh || dirty_.attr)
           ? std::make_shared<
@@ -334,7 +344,19 @@ Status VirtualDataCatalog::SyncJournal() {
 
 Status VirtualDataCatalog::CompactJournal() {
   std::unique_lock lock(mu_);
-  return journal_->Rewrite(CurrentStateRecordsLocked());
+  std::vector<std::string> records = CurrentStateRecordsLocked();
+  Status rewritten = journal_->Rewrite(records);
+  if (rewritten.ok() && journal_->persistent()) {
+    // The journal now starts over with the compacted state; re-anchor
+    // the tail-replay counters. Flat snapshots saved before compaction
+    // no longer match the chain and fall back to full replay.
+    journal_records_ = records.size();
+    journal_chain_crc_ = 0;
+    for (const std::string& r : records) {
+      journal_chain_crc_ = Crc32Extend(journal_chain_crc_, r);
+    }
+  }
+  return rewritten;
 }
 
 bool VirtualDataCatalog::TypeConforms(const DatasetType& type,
@@ -360,7 +382,7 @@ VirtualDataCatalog::VirtualDataCatalog(
     std::string name, std::unique_ptr<CatalogJournal> journal)
     : name_(std::move(name)),
       journal_(journal ? std::move(journal) : std::make_unique<NullJournal>()),
-      materialized_(std::make_shared<const std::vector<Id>>()) {
+      materialized_(std::make_shared<const PostingBlocks>()) {
   // Publish the empty version-0 snapshot so View() never sees null.
   PublishSnapshotLocked();
 }
@@ -379,6 +401,8 @@ Status VirtualDataCatalog::Open() {
       return Status::IoError("journal replay failed on record '" + record +
                              "': " + s.ToString());
     }
+    ++journal_records_;
+    journal_chain_crc_ = Crc32Extend(journal_chain_crc_, record);
   }
   replaying_ = false;
   PublishSnapshotLocked();
@@ -387,7 +411,15 @@ Status VirtualDataCatalog::Open() {
 
 Status VirtualDataCatalog::Journal(const std::string& record) {
   if (replaying_) return Status::OK();
-  return journal_->Append(record);
+  Status appended = journal_->Append(record);
+  if (appended.ok() && journal_->persistent()) {
+    // Tracks how far into the durable journal the in-memory state has
+    // advanced: flat snapshots anchor their journal-tail replay here
+    // (count + running CRC over the record chain).
+    ++journal_records_;
+    journal_chain_crc_ = Crc32Extend(journal_chain_crc_, record);
+  }
+  return appended;
 }
 
 const DatasetType* VirtualDataCatalog::LookupDatasetType(

@@ -59,10 +59,10 @@ namespace vdg {
 /// version whose snapshot is not yet visible.
 ///
 /// Interning: object names, attribute keys, and type names are
-/// interned into 32-bit symbol ids; index posting lists hold ids
-/// ordered by the names they resolve to, so queries keep their
-/// lexicographic result order while comparisons and storage shrink to
-/// id width.
+/// interned into 32-bit symbol ids; index posting lists are compressed
+/// id-ordered block structures (PostingBlocks). Queries keep their
+/// lexicographic result order by mapping surviving ids through the
+/// snapshot's id->row maps (rows are name-sorted).
 ///
 /// Lock ordering: the catalog acquires no other lock while holding
 /// its own (it never calls into FederatedIndex or another catalog),
@@ -301,6 +301,43 @@ class VirtualDataCatalog {
   /// Whole-catalog dump as schema objects (annotations included).
   VdlProgram ExportProgram() const;
 
+  // ------------------------------------------------------------------
+  // Flat-snapshot persistence (the mmap cold-start path)
+  // ------------------------------------------------------------------
+
+  /// How the last Open()/OpenFromSnapshot() call restored state.
+  struct SnapshotLoadReport {
+    bool attempted = false;  // a flat-snapshot load was tried
+    bool used = false;       // state was installed from the snapshot
+    /// Why the snapshot was rejected (empty when used or not attempted).
+    std::string fallback_reason;
+    uint64_t snapshot_version = 0;   // version_seq captured in the file
+    size_t tail_records_replayed = 0;   // journal records after the anchor
+    size_t total_records_replayed = 0;  // all records applied this open
+  };
+
+  /// Serializes the current catalog state (symbol table, type
+  /// universe, all five object classes, every posting index, the
+  /// materialized set) into one relocatable flat buffer with a
+  /// checksummed header and writes it to `path` (atomically, via a
+  /// temp file + rename). The file anchors to the durable journal
+  /// (record count + chain CRC) so a later load knows which journal
+  /// tail is newer than the image.
+  Status SaveSnapshotFile(const std::string& path) const;
+
+  /// Open() variant that first tries to mmap the flat snapshot at
+  /// `path`: on success, state is installed directly from the image
+  /// (posting payloads borrowed zero-copy from the mapping) and only
+  /// the journal records past the snapshot's anchor are replayed. Any
+  /// mismatch — missing file, bad magic/version/checksum, truncation,
+  /// or a journal that no longer extends the anchored chain — falls
+  /// back to a full journal replay and reports why. Returns an error
+  /// only when the fallback replay itself fails.
+  Status OpenFromSnapshot(const std::string& path);
+
+  /// Diagnostics for the last open (cold-start observability).
+  SnapshotLoadReport last_snapshot_load() const;
+
  private:
   using Id = SymbolTable::Id;
   using PostingList = CatalogSnapshot::PostingList;
@@ -395,12 +432,16 @@ class VirtualDataCatalog {
   /// capacity (never splits a batch).
   void TrimChangelogLocked();
 
+  /// Builds the name-sorted row vector; when `row_of_id` is non-null,
+  /// also builds the inverse id -> row-index map (sized to the symbol
+  /// universe, CatalogSnapshot::kNoRow for non-members).
   template <typename T>
   std::shared_ptr<const CatalogSnapshot::Rows<T>> BuildRows(
-      const ObjMap<T>& map) const;
+      const ObjMap<T>& map,
+      std::shared_ptr<const std::vector<uint32_t>>* row_of_id) const;
 
   /// COW posting-list edits: always clone (published snapshots share
-  /// the old vector), keep name order, allow duplicates.
+  /// the old blocks), multiset semantics.
   void PostingInsert(PostingList* list, Id id);
   void PostingErase(PostingList* list, Id id);
   template <typename Map, typename Key>
@@ -423,6 +464,12 @@ class VirtualDataCatalog {
   std::unique_ptr<CatalogJournal> journal_;
   bool replaying_ = false;
   bool opened_ = false;
+  /// Durable-journal anchor for flat snapshots: how many records the
+  /// in-memory state reflects and the running CRC of that record chain
+  /// (guarded by mu_). Non-persistent journals are not counted.
+  uint64_t journal_records_ = 0;
+  uint32_t journal_chain_crc_ = 0;
+  SnapshotLoadReport last_snapshot_load_;
   /// Published version, stored last in the commit protocol; atomic so
   /// version() can poll without locking.
   std::atomic<uint64_t> version_{0};
@@ -459,8 +506,8 @@ class VirtualDataCatalog {
   /// Bare transformation name -> derivation, only for derivations
   /// whose qualified name differs (DerivationQuery matches either).
   std::map<Id, PostingList> by_bare_transformation_;
-  /// Dataset ids with >= 1 valid replica, name-ordered (the snapshot's
-  /// materialized set; the count map below is the writer's bookkeeping).
+  /// Dataset ids with >= 1 valid replica (the snapshot's materialized
+  /// set; the count map below is the writer's bookkeeping).
   PostingList materialized_;
   std::map<std::string, size_t, std::less<>> valid_replicas_by_dataset_;
 

@@ -43,6 +43,11 @@ class CatalogJournal {
     (void)records;
     return Status::FailedPrecondition("journal does not support rewrite");
   }
+
+  /// True when appended records survive to a later ReadAll. The
+  /// catalog only anchors flat-snapshot tail replay (record counting,
+  /// chain CRC) on persistent journals.
+  virtual bool persistent() const { return true; }
 };
 
 /// No durability: Append discards, ReadAll is empty. The memory-only
@@ -57,6 +62,7 @@ class NullJournal final : public CatalogJournal {
     return std::vector<std::string>{};
   }
   Status Sync() override { return Status::OK(); }
+  bool persistent() const override { return false; }
 };
 
 /// What FileJournal::ReadAll did about a damaged log: how many records

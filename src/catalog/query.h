@@ -73,6 +73,16 @@ enum class AccessPath {
 
 std::string_view AccessPathName(AccessPath path);
 
+/// One posting list in the planner's chosen intersection order.
+struct PlanStep {
+  AccessPath path = AccessPath::kFullScan;
+  /// Human-readable description of this step's index key.
+  std::string driver;
+  /// Exact posting-list length (the selectivity estimate that ordered
+  /// this step).
+  size_t estimated = 0;
+};
+
 /// Result of planning one discovery query: which access path drives
 /// the candidate enumeration, how many candidates it yields, and how
 /// many posting lists were intersected before residual filtering.
@@ -87,6 +97,20 @@ struct QueryPlan {
   size_t estimated_candidates = 0;
   /// Number of posting lists intersected (0 for non-indexed paths).
   size_t posting_lists = 0;
+  /// The selectivity order the planner chose: every posting list the
+  /// query can use, rarest first (the intersection order). Empty for
+  /// non-indexed paths. `order.front()` repeats `driver`.
+  std::vector<PlanStep> order;
+  /// Survivors after intersecting every list in `order` (before any
+  /// residual filter and before `limit`). For non-indexed paths this
+  /// equals estimated_candidates.
+  size_t actual_candidates = 0;
+  /// True when the indexes alone answer the query exactly — no
+  /// residual predicate re-check is needed on the candidates.
+  bool exact = false;
+  /// True when an empty list (or empty running intersection) ended
+  /// evaluation before touching the remaining lists.
+  bool short_circuited = false;
 };
 
 /// Aggregate catalog counters (object counts per class).

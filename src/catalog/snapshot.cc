@@ -1,7 +1,6 @@
 #include "catalog/snapshot.h"
 
 #include <algorithm>
-#include <iterator>
 
 #include "common/strings.h"
 
@@ -11,12 +10,10 @@ namespace {
 
 using Id = CatalogSnapshot::Id;
 using PostingList = CatalogSnapshot::PostingList;
-using snapshot_internal::IdNameLess;
 
 /// Shared empty posting list for missing index keys.
 const PostingList& EmptyPosting() {
-  static const PostingList empty =
-      std::make_shared<const std::vector<Id>>();
+  static const PostingList empty = std::make_shared<const PostingBlocks>();
   return empty;
 }
 
@@ -24,16 +21,6 @@ template <typename Map, typename K>
 const PostingList& LookupPosting(const Map& map, const K& key) {
   auto it = map.find(key);
   return it == map.end() ? EmptyPosting() : it->second;
-}
-
-/// Intersection of two name-ordered id lists (multiset semantics).
-std::vector<Id> IntersectByName(const std::vector<Id>& a,
-                                const std::vector<Id>& b,
-                                const IdNameLess<SymbolTable::View>& less) {
-  std::vector<Id> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out), less);
-  return out;
 }
 
 /// Binary search for a row by name; rows are sorted by name.
@@ -57,18 +44,90 @@ std::vector<std::string> RowNames(const CatalogSnapshot::Rows<T>& rows) {
   return out;
 }
 
-/// True when `id` occurs in the name-ordered list (used for the
-/// materialized set; the caller already knows the id's name).
-bool ContainsByName(const std::vector<Id>& list, Id id, std::string_view name,
-                    const SymbolTable::View& symbols) {
-  auto it = std::lower_bound(list.begin(), list.end(), name,
-                             [&symbols](Id entry, std::string_view target) {
-                               return symbols.NameOf(entry) < target;
-                             });
-  for (; it != list.end() && symbols.NameOf(*it) == name; ++it) {
-    if (*it == id) return true;
+/// O(1) id -> row-index resolution (kNoRow when absent).
+inline uint32_t RowOf(const std::vector<uint32_t>& row_of_id, Id id) {
+  return id < row_of_id.size() ? row_of_id[id] : CatalogSnapshot::kNoRow;
+}
+
+/// Intersects selectivity-sorted posting lists: seed from the rarest,
+/// then progressively AND in the rest, stopping the moment the running
+/// set is empty. Returns distinct ids ascending by id value.
+template <typename P>
+std::vector<Id> IntersectSorted(const std::vector<P>& postings,
+                                bool* short_circuited) {
+  *short_circuited = false;
+  std::vector<Id> candidates;
+  if (postings.empty()) return candidates;
+  if (postings[0].ids->empty()) {
+    *short_circuited = postings.size() > 1;
+    return candidates;
   }
-  return false;
+  if (postings.size() == 1) {
+    candidates.reserve(postings[0].ids->distinct());
+    postings[0].ids->ForEach([&candidates](Id id) { candidates.push_back(id); });
+    return candidates;
+  }
+  candidates = PostingBlocks::Intersect(*postings[0].ids, *postings[1].ids);
+  for (size_t i = 2; i < postings.size(); ++i) {
+    if (candidates.empty()) {
+      *short_circuited = true;
+      return candidates;
+    }
+    PostingBlocks::IntersectWith(&candidates, *postings[i].ids);
+  }
+  return candidates;
+}
+
+/// Maps surviving ids to row indexes in ascending row order: rows are
+/// name-sorted, so ascending row order IS name order. `for_each_id`
+/// invokes its callback once per candidate id; `count_hint` is the
+/// candidate count (used only to reserve). When the row space is small
+/// relative to the candidate set, ordering goes through a dense row
+/// bitmap (scatter then in-order scan) instead of a comparison sort —
+/// the common shape for selective queries over mid-sized catalogs;
+/// huge-catalog/tiny-result queries fall back to the sort.
+template <typename ForEachId>
+std::vector<uint32_t> CollectRowsInNameOrder(
+    size_t count_hint, const std::vector<uint32_t>& row_of_id, size_t num_rows,
+    ForEachId&& for_each_id) {
+  std::vector<uint32_t> rows;
+  rows.reserve(count_hint);
+  const size_t words = (num_rows + 63) / 64;
+  if (count_hint != 0 && words <= 16 * count_hint + 64) {
+    thread_local std::vector<uint64_t> bits;
+    if (bits.size() < words) bits.resize(words);
+    std::fill_n(bits.begin(), words, uint64_t{0});
+    for_each_id([&](Id id) {
+      const uint32_t row = RowOf(row_of_id, id);
+      if (row != CatalogSnapshot::kNoRow) {
+        bits[row >> 6] |= uint64_t{1} << (row & 63);
+      }
+    });
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t word = bits[w];
+      while (word != 0) {
+        rows.push_back(static_cast<uint32_t>(
+            (w << 6) + static_cast<uint32_t>(__builtin_ctzll(word))));
+        word &= word - 1;
+      }
+    }
+    return rows;
+  }
+  for_each_id([&](Id id) {
+    const uint32_t row = RowOf(row_of_id, id);
+    if (row != CatalogSnapshot::kNoRow) rows.push_back(row);
+  });
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<uint32_t> RowsInNameOrder(const std::vector<Id>& ids,
+                                      const std::vector<uint32_t>& row_of_id,
+                                      size_t num_rows) {
+  return CollectRowsInNameOrder(ids.size(), row_of_id, num_rows,
+                                [&ids](auto&& emit) {
+                                  for (Id id : ids) emit(id);
+                                });
 }
 
 }  // namespace
@@ -132,7 +191,7 @@ bool CatalogView::HasDerivation(std::string_view name) const {
 bool CatalogView::IsMaterialized(std::string_view dataset) const {
   Id id = snap_->symbols.FindId(dataset);
   if (id == SymbolTable::kNoSymbol) return false;
-  return ContainsByName(*snap_->materialized, id, dataset, snap_->symbols);
+  return snap_->materialized->Contains(id);
 }
 
 Result<std::string> CatalogView::ProducerOf(std::string_view dataset) const {
@@ -152,12 +211,19 @@ std::vector<std::string> CatalogView::ConsumersOf(
   std::vector<std::string> out;
   Id id = snap_->symbols.FindId(dataset);
   if (id == SymbolTable::kNoSymbol) return out;
-  // The posting list is already in canonical (name) order; duplicates
-  // are kept, matching the historical multimap enumeration (one entry
-  // per consuming argument).
-  for (Id dv : *LookupPosting(*snap_->consumers, id)) {
-    out.emplace_back(snap_->symbols.NameOf(dv));
-  }
+  // Enumerate with duplicates (one entry per consuming argument, the
+  // historical multimap behavior), restored to name order through the
+  // row map.
+  const auto& row_of_id = *snap_->derivation_row_of_id;
+  const auto& rows = *snap_->derivations;
+  std::vector<uint32_t> hits;
+  LookupPosting(*snap_->consumers, id)->ForEachOccurrence([&](Id dv) {
+    const uint32_t row = RowOf(row_of_id, dv);
+    if (row != CatalogSnapshot::kNoRow) hits.push_back(row);
+  });
+  std::sort(hits.begin(), hits.end());
+  out.reserve(hits.size());
+  for (uint32_t row : hits) out.emplace_back(rows[row].name);
   return out;
 }
 
@@ -166,9 +232,16 @@ std::vector<std::string> CatalogView::DerivationsUsing(
   std::vector<std::string> out;
   Id id = snap_->symbols.FindId(transformation);
   if (id == SymbolTable::kNoSymbol) return out;
-  for (Id dv : *LookupPosting(*snap_->by_transformation, id)) {
-    out.emplace_back(snap_->symbols.NameOf(dv));
-  }
+  const auto& row_of_id = *snap_->derivation_row_of_id;
+  const auto& rows = *snap_->derivations;
+  std::vector<uint32_t> hits;
+  LookupPosting(*snap_->by_transformation, id)->ForEachOccurrence([&](Id dv) {
+    const uint32_t row = RowOf(row_of_id, dv);
+    if (row != CatalogSnapshot::kNoRow) hits.push_back(row);
+  });
+  std::sort(hits.begin(), hits.end());
+  out.reserve(hits.size());
+  for (uint32_t row : hits) out.emplace_back(rows[row].name);
   return out;
 }
 
@@ -177,13 +250,15 @@ std::vector<std::string> CatalogView::DerivationsUsing(
 // ---------------------------------------------------------------------
 
 std::vector<CatalogView::Posting> CatalogView::DatasetPostings(
-    const DatasetQuery& query) const {
+    const DatasetQuery& query, bool with_drivers) const {
   std::vector<Posting> postings;
   for (const AttributePredicate& predicate : query.predicates) {
     if (predicate.op != PredicateOp::kEq) continue;
     Posting p;
     p.path = AccessPath::kAttributeIndex;
-    p.driver = "attr " + predicate.key + "=" + predicate.operand.ToString();
+    if (with_drivers) {
+      p.driver = "attr " + predicate.key + "=" + predicate.operand.ToString();
+    }
     Id key_id = snap_->symbols.FindId(predicate.key);
     p.ids = key_id == SymbolTable::kNoSymbol
                 ? EmptyPosting()
@@ -204,8 +279,10 @@ std::vector<CatalogView::Posting> CatalogView::DatasetPostings(
       if (component.empty() || component == h.base_name()) continue;
       Posting p;
       p.path = AccessPath::kTypeIndex;
-      p.driver =
-          "type " + std::string(TypeDimensionName(dim)) + ":" + component;
+      if (with_drivers) {
+        p.driver =
+            "type " + std::string(TypeDimensionName(dim)) + ":" + component;
+      }
       Id type_id = snap_->symbols.FindId(component);
       p.ids = type_id == SymbolTable::kNoSymbol
                   ? EmptyPosting()
@@ -219,8 +296,77 @@ std::vector<CatalogView::Posting> CatalogView::DatasetPostings(
 
 std::vector<std::string> CatalogView::FindDatasets(
     const DatasetQuery& query) const {
-  // Residual filter: re-checks every condition, so the driving index
-  // only needs to be a superset of the answer.
+  std::vector<std::string> out;
+
+  // Indexed path: intersect the posting lists rarest-first, then remap
+  // the survivors to name order through the row map.
+  std::vector<Posting> postings = DatasetPostings(query, /*with_drivers=*/false);
+  if (!postings.empty()) {
+    // The attribute lists answer kEq predicates exactly and the type
+    // lists are per-dimension conformance closures, so when every
+    // predicate is an indexed kEq, the type is fully covered, and the
+    // materialized set rides along as one more list, the intersection
+    // IS the answer — no residual re-check per candidate.
+    size_t eq_predicates = 0;
+    for (const AttributePredicate& p : query.predicates) {
+      if (p.op == PredicateOp::kEq) ++eq_predicates;
+    }
+    const bool exact = eq_predicates == query.predicates.size() &&
+                       query.name_prefix.empty() && !query.only_virtual;
+    if (query.require_materialized) {
+      Posting p;
+      p.path = AccessPath::kMaterializedSet;
+      p.driver = "materialized-set";
+      p.ids = snap_->materialized;
+      postings.push_back(std::move(p));
+    }
+    std::stable_sort(postings.begin(), postings.end(),
+                     [](const Posting& a, const Posting& b) {
+                       return a.ids->size() < b.ids->size();
+                     });
+    const auto& ds_rows = *snap_->datasets;
+    std::vector<uint32_t> rows;
+    if (postings.size() == 1) {
+      // Single-list plan: the posting already holds the candidate set,
+      // so feed it straight into the row collector without an
+      // intermediate id vector.
+      const PostingBlocks& only = *postings[0].ids;
+      rows = CollectRowsInNameOrder(
+          only.distinct(), *snap_->dataset_row_of_id, ds_rows.size(),
+          [&only](auto&& emit) { only.ForEach(emit); });
+    } else {
+      bool short_circuited = false;
+      const std::vector<Id> candidates =
+          IntersectSorted(postings, &short_circuited);
+      rows = RowsInNameOrder(candidates, *snap_->dataset_row_of_id,
+                             ds_rows.size());
+    }
+    out.reserve(query.limit != 0 ? std::min(query.limit, rows.size())
+                                 : rows.size());
+    for (uint32_t row : rows) {
+      if (!exact) {
+        std::string_view name = ds_rows[row].name;
+        const Dataset& ds = *ds_rows[row].object;
+        if (!query.name_prefix.empty() &&
+            !StartsWith(name, query.name_prefix)) {
+          continue;
+        }
+        if (query.type && !snap_->types->Conforms(ds.type, *query.type)) {
+          continue;
+        }
+        if (!MatchesAll(ds.annotations, query.predicates)) continue;
+        if (query.only_virtual &&
+            snap_->materialized->Contains(ds_rows[row].id)) {
+          continue;
+        }
+      }
+      out.emplace_back(ds_rows[row].name);
+      if (query.limit != 0 && out.size() >= query.limit) break;
+    }
+    return out;
+  }
+
+  // Residual filter for the non-indexed paths: checks every condition.
   auto matches = [this, &query](std::string_view name, const Dataset& ds) {
     if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
       return false;
@@ -234,44 +380,16 @@ std::vector<std::string> CatalogView::FindDatasets(
     return true;
   };
 
-  std::vector<std::string> out;
-  IdNameLess<SymbolTable::View> less{&snap_->symbols};
-
-  // Indexed path: intersect the posting lists, smallest first, then
-  // apply the residual filter to the survivors.
-  std::vector<Posting> postings = DatasetPostings(query);
-  if (!postings.empty()) {
-    std::sort(postings.begin(), postings.end(),
-              [](const Posting& a, const Posting& b) {
-                return a.ids->size() < b.ids->size();
-              });
-    std::vector<Id> candidates = *postings[0].ids;
-    for (size_t i = 1; i < postings.size() && !candidates.empty(); ++i) {
-      candidates = IntersectByName(candidates, *postings[i].ids, less);
-    }
-    Id previous = SymbolTable::kNoSymbol;
-    for (Id id : candidates) {
-      if (id == previous) continue;  // adjacent duplicate (same name)
-      previous = id;
-      std::string_view name = snap_->symbols.NameOf(id);
-      const auto* row = FindDatasetRow(name);
-      if (row == nullptr) continue;
-      if (!matches(name, *row->object)) continue;
-      out.emplace_back(name);
-      if (query.limit != 0 && out.size() >= query.limit) break;
-    }
-    return out;
-  }
-
-  // Materialized-set path: enumerate only datasets with valid replicas
-  // (already in name order).
+  // Materialized-set path: enumerate only datasets with valid replicas.
   if (query.require_materialized) {
-    for (Id id : *snap_->materialized) {
-      std::string_view name = snap_->symbols.NameOf(id);
-      const auto* row = FindDatasetRow(name);
-      if (row == nullptr) continue;
-      if (!matches(name, *row->object)) continue;
-      out.emplace_back(name);
+    const auto& ds_rows = *snap_->datasets;
+    const PostingBlocks& mat = *snap_->materialized;
+    const std::vector<uint32_t> rows = CollectRowsInNameOrder(
+        mat.distinct(), *snap_->dataset_row_of_id, ds_rows.size(),
+        [&mat](auto&& emit) { mat.ForEach(emit); });
+    for (uint32_t row : rows) {
+      if (!matches(ds_rows[row].name, *ds_rows[row].object)) continue;
+      out.emplace_back(ds_rows[row].name);
       if (query.limit != 0 && out.size() >= query.limit) break;
     }
     return out;
@@ -300,33 +418,56 @@ std::vector<std::string> CatalogView::FindDatasets(
 
 QueryPlan CatalogView::ExplainFindDatasets(const DatasetQuery& query) const {
   QueryPlan plan;
-  std::vector<Posting> postings = DatasetPostings(query);
+  std::vector<Posting> postings = DatasetPostings(query, /*with_drivers=*/true);
   if (!postings.empty()) {
-    const Posting* smallest = &postings[0];
-    for (const Posting& p : postings) {
-      if (p.ids->size() < smallest->ids->size()) smallest = &p;
-    }
-    plan.path = smallest->path;
-    plan.driver = smallest->driver;
-    plan.estimated_candidates = smallest->ids->size();
     plan.posting_lists = postings.size();
+    size_t eq_predicates = 0;
+    for (const AttributePredicate& p : query.predicates) {
+      if (p.op == PredicateOp::kEq) ++eq_predicates;
+    }
+    plan.exact = eq_predicates == query.predicates.size() &&
+                 query.name_prefix.empty() && !query.only_virtual;
+    if (query.require_materialized) {
+      Posting p;
+      p.path = AccessPath::kMaterializedSet;
+      p.driver = "materialized-set";
+      p.ids = snap_->materialized;
+      postings.push_back(std::move(p));
+    }
+    std::stable_sort(postings.begin(), postings.end(),
+                     [](const Posting& a, const Posting& b) {
+                       return a.ids->size() < b.ids->size();
+                     });
+    plan.path = postings[0].path;
+    plan.driver = postings[0].driver;
+    plan.estimated_candidates = postings[0].ids->size();
+    plan.order.reserve(postings.size());
+    for (const Posting& p : postings) {
+      plan.order.push_back({p.path, p.driver, p.ids->size()});
+    }
+    bool short_circuited = false;
+    plan.actual_candidates = IntersectSorted(postings, &short_circuited).size();
+    plan.short_circuited = short_circuited;
     return plan;
   }
   if (query.require_materialized) {
     plan.path = AccessPath::kMaterializedSet;
     plan.driver = "materialized-set";
     plan.estimated_candidates = snap_->materialized->size();
+    plan.actual_candidates = plan.estimated_candidates;
     return plan;
   }
   if (!query.name_prefix.empty()) {
     plan.path = AccessPath::kNamePrefixRange;
     plan.driver = "prefix " + query.name_prefix;
     plan.estimated_candidates = snap_->datasets->size();  // upper bound
+    plan.actual_candidates = plan.estimated_candidates;
     return plan;
   }
   plan.path = AccessPath::kFullScan;
   plan.driver = "datasets";
   plan.estimated_candidates = snap_->datasets->size();
+  plan.actual_candidates = plan.estimated_candidates;
   return plan;
 }
 
@@ -386,13 +527,12 @@ std::vector<std::string> CatalogView::FindTransformations(
 }
 
 std::vector<CatalogView::Posting> CatalogView::DerivationPostings(
-    const DerivationQuery& query) const {
+    const DerivationQuery& query, bool with_drivers) const {
   std::vector<Posting> postings;
-  IdNameLess<SymbolTable::View> less{&snap_->symbols};
   if (!query.transformation.empty()) {
     Posting p;
     p.path = AccessPath::kTransformationIndex;
-    p.driver = "transformation " + query.transformation;
+    if (with_drivers) p.driver = "transformation " + query.transformation;
     // A query name matches either the qualified or the bare form; the
     // union of both maps' posting lists is exactly that predicate.
     Id tr_id = snap_->symbols.FindId(query.transformation);
@@ -408,10 +548,8 @@ std::vector<CatalogView::Posting> CatalogView::DerivationPostings(
       } else if (qualified->empty()) {
         p.ids = bare;
       } else {
-        auto merged = std::make_shared<std::vector<Id>>();
-        std::set_union(qualified->begin(), qualified->end(), bare->begin(),
-                       bare->end(), std::back_inserter(*merged), less);
-        p.ids = std::move(merged);
+        p.ids = std::make_shared<const PostingBlocks>(
+            PostingBlocks::Union(*qualified, *bare));
       }
     }
     postings.push_back(std::move(p));
@@ -419,7 +557,7 @@ std::vector<CatalogView::Posting> CatalogView::DerivationPostings(
   if (!query.reads_dataset.empty()) {
     Posting p;
     p.path = AccessPath::kReadsIndex;
-    p.driver = "reads " + query.reads_dataset;
+    if (with_drivers) p.driver = "reads " + query.reads_dataset;
     Id ds_id = snap_->symbols.FindId(query.reads_dataset);
     p.ids = ds_id == SymbolTable::kNoSymbol
                 ? EmptyPosting()
@@ -429,7 +567,7 @@ std::vector<CatalogView::Posting> CatalogView::DerivationPostings(
   if (!query.writes_dataset.empty()) {
     Posting p;
     p.path = AccessPath::kWritesIndex;
-    p.driver = "writes " + query.writes_dataset;
+    if (with_drivers) p.driver = "writes " + query.writes_dataset;
     Id ds_id = snap_->symbols.FindId(query.writes_dataset);
     p.ids = ds_id == SymbolTable::kNoSymbol
                 ? EmptyPosting()
@@ -441,42 +579,55 @@ std::vector<CatalogView::Posting> CatalogView::DerivationPostings(
 
 std::vector<std::string> CatalogView::FindDerivations(
     const DerivationQuery& query) const {
-  // The posting lists answer the transformation/reads/writes
-  // conditions exactly, so the residual covers only prefix and
-  // annotation predicates.
-  auto residual = [&query](std::string_view name, const Derivation& dv) {
-    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
-      return false;
-    }
-    return MatchesAll(dv.annotations(), query.predicates);
-  };
-
   std::vector<std::string> out;
-  IdNameLess<SymbolTable::View> less{&snap_->symbols};
-  std::vector<Posting> postings = DerivationPostings(query);
+  std::vector<Posting> postings = DerivationPostings(query, /*with_drivers=*/false);
   if (!postings.empty()) {
-    std::sort(postings.begin(), postings.end(),
-              [](const Posting& a, const Posting& b) {
-                return a.ids->size() < b.ids->size();
-              });
-    std::vector<Id> candidates = *postings[0].ids;
-    for (size_t i = 1; i < postings.size() && !candidates.empty(); ++i) {
-      candidates = IntersectByName(candidates, *postings[i].ids, less);
+    // The posting lists answer the transformation/reads/writes
+    // conditions exactly, so the residual covers only prefix and
+    // annotation predicates — and vanishes when neither is present.
+    const bool exact = query.name_prefix.empty() && query.predicates.empty();
+    std::stable_sort(postings.begin(), postings.end(),
+                     [](const Posting& a, const Posting& b) {
+                       return a.ids->size() < b.ids->size();
+                     });
+    const auto& dv_rows = *snap_->derivations;
+    std::vector<uint32_t> rows;
+    if (postings.size() == 1) {
+      const PostingBlocks& only = *postings[0].ids;
+      rows = CollectRowsInNameOrder(
+          only.distinct(), *snap_->derivation_row_of_id, dv_rows.size(),
+          [&only](auto&& emit) { only.ForEach(emit); });
+    } else {
+      bool short_circuited = false;
+      const std::vector<Id> candidates =
+          IntersectSorted(postings, &short_circuited);
+      rows = RowsInNameOrder(candidates, *snap_->derivation_row_of_id,
+                             dv_rows.size());
     }
-    Id previous = SymbolTable::kNoSymbol;
-    for (Id id : candidates) {
-      if (id == previous) continue;  // adjacent duplicate (same name)
-      previous = id;
-      std::string_view name = snap_->symbols.NameOf(id);
-      const auto* row = FindDerivationRow(name);
-      if (row == nullptr) continue;
-      if (!residual(name, *row->object)) continue;
+    for (uint32_t row : rows) {
+      std::string_view name = dv_rows[row].name;
+      if (!exact) {
+        if (!query.name_prefix.empty() &&
+            !StartsWith(name, query.name_prefix)) {
+          continue;
+        }
+        if (!MatchesAll(dv_rows[row].object->annotations(),
+                        query.predicates)) {
+          continue;
+        }
+      }
       out.emplace_back(name);
       if (query.limit != 0 && out.size() >= query.limit) break;
     }
     return out;
   }
 
+  auto residual = [&query](std::string_view name, const Derivation& dv) {
+    if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
+      return false;
+    }
+    return MatchesAll(dv.annotations(), query.predicates);
+  };
   const auto& rows = *snap_->derivations;
   auto it = query.name_prefix.empty()
                 ? rows.begin()
@@ -500,27 +651,37 @@ std::vector<std::string> CatalogView::FindDerivations(
 QueryPlan CatalogView::ExplainFindDerivations(
     const DerivationQuery& query) const {
   QueryPlan plan;
-  std::vector<Posting> postings = DerivationPostings(query);
+  std::vector<Posting> postings = DerivationPostings(query, /*with_drivers=*/true);
   if (!postings.empty()) {
-    const Posting* smallest = &postings[0];
-    for (const Posting& p : postings) {
-      if (p.ids->size() < smallest->ids->size()) smallest = &p;
-    }
-    plan.path = smallest->path;
-    plan.driver = smallest->driver;
-    plan.estimated_candidates = smallest->ids->size();
     plan.posting_lists = postings.size();
+    plan.exact = query.name_prefix.empty() && query.predicates.empty();
+    std::stable_sort(postings.begin(), postings.end(),
+                     [](const Posting& a, const Posting& b) {
+                       return a.ids->size() < b.ids->size();
+                     });
+    plan.path = postings[0].path;
+    plan.driver = postings[0].driver;
+    plan.estimated_candidates = postings[0].ids->size();
+    plan.order.reserve(postings.size());
+    for (const Posting& p : postings) {
+      plan.order.push_back({p.path, p.driver, p.ids->size()});
+    }
+    bool short_circuited = false;
+    plan.actual_candidates = IntersectSorted(postings, &short_circuited).size();
+    plan.short_circuited = short_circuited;
     return plan;
   }
   if (!query.name_prefix.empty()) {
     plan.path = AccessPath::kNamePrefixRange;
     plan.driver = "prefix " + query.name_prefix;
     plan.estimated_candidates = snap_->derivations->size();  // upper bound
+    plan.actual_candidates = plan.estimated_candidates;
     return plan;
   }
   plan.path = AccessPath::kFullScan;
   plan.driver = "derivations";
   plan.estimated_candidates = snap_->derivations->size();
+  plan.actual_candidates = plan.estimated_candidates;
   return plan;
 }
 

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/posting.h"
 #include "catalog/query.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -62,20 +63,6 @@ inline uint64_t PackTypeKey(TypeDimension dim, SymbolTable::Id type_id) {
   return (static_cast<uint64_t>(dim) << 32) | static_cast<uint64_t>(type_id);
 }
 
-/// Orders interned ids by the NAME they resolve to (not by id value).
-/// Posting lists are kept in this order so set intersection across
-/// lists agrees and candidate enumeration comes out in lexicographic
-/// name order — the order the string-keyed indexes used to produce.
-/// `Resolver` is SymbolTable (writer side, under the exclusive lock)
-/// or SymbolTable::View (reader side, lock-free).
-template <typename Resolver>
-struct IdNameLess {
-  const Resolver* resolver;
-  bool operator()(SymbolTable::Id a, SymbolTable::Id b) const {
-    return resolver->NameOf(a) < resolver->NameOf(b);
-  }
-};
-
 }  // namespace snapshot_internal
 
 /// An immutable, internally consistent picture of one catalog version:
@@ -89,15 +76,17 @@ struct IdNameLess {
 /// mutex (held only for the copy).
 ///
 /// Interning: object names, attribute keys, and type names are interned
-/// into 32-bit symbol ids (`symbols`); posting lists are id vectors
-/// ordered by the names the ids resolve to, and index keys compare ids
-/// instead of strings.
+/// into 32-bit symbol ids (`symbols`); posting lists are compressed
+/// id-ordered block structures (PostingBlocks), and index keys compare
+/// ids instead of strings.
 struct CatalogSnapshot {
   using Id = SymbolTable::Id;
-  /// Sorted by name (see IdNameLess); may contain duplicate ids when
-  /// one derivation names the same dataset twice. Shared so a per-key
-  /// copy-on-write update leaves prior snapshots untouched.
-  using PostingList = std::shared_ptr<const std::vector<Id>>;
+  /// Compressed block-format posting list in id-value order (multiset:
+  /// one derivation naming the same dataset twice counts twice). Shared
+  /// so a per-key copy-on-write update leaves prior snapshots
+  /// untouched. Name-ordered output is reconstructed by mapping
+  /// surviving ids through `*_row_of_id` into the name-sorted rows.
+  using PostingList = std::shared_ptr<const PostingBlocks>;
   /// (interned attribute key, tagged wire value).
   using AttrKey = std::pair<Id, std::string>;
 
@@ -118,13 +107,23 @@ struct CatalogSnapshot {
   std::shared_ptr<const Rows<Transformation>> transformations;
   std::shared_ptr<const Rows<Derivation>> derivations;
 
+  /// Inverse row maps: symbol id -> index into the name-sorted Rows
+  /// above (kNoRow when the id is not an object of that class). O(1)
+  /// id->row resolution on the query hot path, and the bridge from
+  /// id-ordered posting lists back to name-ordered results (rows are
+  /// name-sorted, so sorting surviving row indexes IS a name sort).
+  /// Rebuilt together with the rows they mirror.
+  static constexpr uint32_t kNoRow = 0xffffffffu;
+  std::shared_ptr<const std::vector<uint32_t>> dataset_row_of_id;
+  std::shared_ptr<const std::vector<uint32_t>> derivation_row_of_id;
+
   std::shared_ptr<const std::map<AttrKey, PostingList>> attr_index;
   std::shared_ptr<const std::map<uint64_t, PostingList>> type_index;
   std::shared_ptr<const std::map<Id, PostingList>> consumers;   // ds -> DVs
   std::shared_ptr<const std::map<Id, PostingList>> producers;   // ds -> DVs
   std::shared_ptr<const std::map<Id, PostingList>> by_transformation;
   std::shared_ptr<const std::map<Id, PostingList>> by_bare_transformation;
-  /// Dataset ids with >= 1 valid replica, in name order.
+  /// Dataset ids with >= 1 valid replica.
   PostingList materialized;
 
   std::shared_ptr<const std::vector<std::shared_ptr<const CatalogChange>>>
@@ -183,8 +182,13 @@ class CatalogView {
     std::string driver;
     CatalogSnapshot::PostingList ids;
   };
-  std::vector<Posting> DatasetPostings(const DatasetQuery& query) const;
-  std::vector<Posting> DerivationPostings(const DerivationQuery& query) const;
+  /// `with_drivers` controls whether the human-readable driver strings
+  /// are materialized: Explain* wants them for the plan, but Find* skips
+  /// them — they cost per-query heap allocations on the hot path.
+  std::vector<Posting> DatasetPostings(const DatasetQuery& query,
+                                       bool with_drivers) const;
+  std::vector<Posting> DerivationPostings(const DerivationQuery& query,
+                                          bool with_drivers) const;
 
   const CatalogSnapshot::Row<Dataset>* FindDatasetRow(
       std::string_view name) const;

@@ -39,6 +39,16 @@ uint32_t Crc32(std::string_view data) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+uint32_t Crc32Extend(uint32_t crc, std::string_view data) {
+  // Un-finalize the incoming value, absorb, re-finalize: the running
+  // form composes (extending A's CRC with B equals Crc32(A + B)).
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kCrc32Table[(c ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
 namespace {
 
 constexpr uint32_t kSha256K[64] = {

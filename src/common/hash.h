@@ -18,6 +18,12 @@ uint64_t Fnv1a64(std::string_view data);
 /// ("123456789" -> 0xCBF43926).
 uint32_t Crc32(std::string_view data);
 
+/// Running CRC-32 over a chain of byte strings: feeding pieces one at
+/// a time equals one Crc32 over their concatenation —
+/// Crc32Extend(Crc32Extend(0, a), b) == Crc32(a + b), and
+/// Crc32Extend(0, x) == Crc32(x). Used for journal chain anchors.
+uint32_t Crc32Extend(uint32_t crc, std::string_view data);
+
 /// Incremental SHA-256, implemented from scratch (no TLS library is
 /// available offline). Used by vdg::security for entry signatures.
 class Sha256 {

@@ -1,9 +1,53 @@
 #include "federation/remote_cache.h"
 
+#include <algorithm>
 #include <utility>
 #include <variant>
 
 namespace vdg {
+
+namespace {
+
+constexpr char kFieldSep = '\x1f';  // between query fields
+constexpr char kTokenSep = '\x1d';  // between predicate tokens
+constexpr char kPartSep = '\x1e';   // within one predicate token
+
+/// One predicate as "key <sep> op <sep> tag+wire-value". The wire form
+/// (not the display form) keeps doubles distinct past 6 digits, same
+/// as the catalog's attribute-index key.
+std::string PredicateToken(const AttributePredicate& predicate) {
+  std::string token = predicate.key;
+  token.push_back(kPartSep);
+  token += std::to_string(static_cast<int>(predicate.op));
+  token.push_back(kPartSep);
+  token.push_back(predicate.operand.TypeTag());
+  token += predicate.operand.ToWireString();
+  return token;
+}
+
+/// Sorted predicate tokens: a conjunction is order-insensitive, so
+/// sorting makes reordered-but-equal queries collide on one key.
+void AppendPredicates(std::string* key,
+                      const std::vector<AttributePredicate>& predicates) {
+  std::vector<std::string> tokens;
+  tokens.reserve(predicates.size());
+  for (const AttributePredicate& predicate : predicates) {
+    tokens.push_back(PredicateToken(predicate));
+  }
+  std::sort(tokens.begin(), tokens.end());
+  for (const std::string& token : tokens) {
+    *key += token;
+    key->push_back(kTokenSep);
+  }
+}
+
+void AppendOptType(std::string* key, const std::optional<DatasetType>& type) {
+  key->push_back(type.has_value() ? '1' : '0');
+  if (type.has_value()) *key += type->ToString();
+  key->push_back(kFieldSep);
+}
+
+}  // namespace
 
 CachingCatalogClient::CachingCatalogClient(
     std::shared_ptr<CatalogClient> upstream, size_t capacity)
@@ -17,6 +61,79 @@ std::string CachingCatalogClient::Key(std::string_view kind,
   key.push_back('\x1f');
   key += name;
   return key;
+}
+
+std::string CachingCatalogClient::QueryKey(const DatasetQuery& query) {
+  std::string key("D");
+  key.push_back(kFieldSep);
+  AppendOptType(&key, query.type);
+  key += query.name_prefix;
+  key.push_back(kFieldSep);
+  key.push_back(query.require_materialized ? '1' : '0');
+  key.push_back(query.only_virtual ? '1' : '0');
+  key += std::to_string(query.limit);
+  key.push_back(kFieldSep);
+  AppendPredicates(&key, query.predicates);
+  return key;
+}
+
+std::string CachingCatalogClient::QueryKey(const TransformationQuery& query) {
+  std::string key("T");
+  key.push_back(kFieldSep);
+  AppendOptType(&key, query.consumes);
+  AppendOptType(&key, query.produces);
+  key += query.name_prefix;
+  key.push_back(kFieldSep);
+  key += std::to_string(query.limit);
+  key.push_back(kFieldSep);
+  AppendPredicates(&key, query.predicates);
+  return key;
+}
+
+std::string CachingCatalogClient::QueryKey(const DerivationQuery& query) {
+  std::string key("V");
+  key.push_back(kFieldSep);
+  key += query.transformation;
+  key.push_back(kFieldSep);
+  key += query.reads_dataset;
+  key.push_back(kFieldSep);
+  key += query.writes_dataset;
+  key.push_back(kFieldSep);
+  key += query.name_prefix;
+  key.push_back(kFieldSep);
+  key += std::to_string(query.limit);
+  key.push_back(kFieldSep);
+  AppendPredicates(&key, query.predicates);
+  return key;
+}
+
+template <typename Fetch>
+Result<std::vector<std::string>> CachingCatalogClient::CachedFindLocked(
+    std::string key, Fetch&& fetch) {
+  auto it = queries_.find(key);
+  if (it != queries_.end()) {
+    ++stats_.query_hits;
+    return it->second;
+  }
+  ++stats_.query_misses;
+  VDG_ASSIGN_OR_RETURN(std::vector<std::string> names, fetch());
+  if (queries_.size() >= capacity_) {
+    stats_.evictions += queries_.size();
+    queries_.clear();
+  }
+  queries_.emplace(std::move(key), names);
+  return names;
+}
+
+void CachingCatalogClient::FlushQueriesLocked(char kind_tag) {
+  std::string lo(1, kind_tag);
+  lo.push_back(kFieldSep);
+  std::string hi(1, kind_tag);
+  hi.push_back(kFieldSep + 1);
+  auto begin = queries_.lower_bound(lo);
+  auto end = queries_.lower_bound(hi);
+  stats_.evictions += static_cast<uint64_t>(std::distance(begin, end));
+  queries_.erase(begin, end);
 }
 
 void CachingCatalogClient::InsertLocked(ObjectRecord record) {
@@ -47,10 +164,11 @@ void CachingCatalogClient::EvictLocked(std::string_view kind,
 }
 
 void CachingCatalogClient::FlushLocked() {
-  stats_.evictions += objects_.size();
+  stats_.evictions += objects_.size() + queries_.size();
   objects_.clear();
   lru_.clear();
   steps_.clear();
+  queries_.clear();
   ++stats_.flushes;
 }
 
@@ -58,17 +176,25 @@ void CachingCatalogClient::ApplyChangeLocked(const CatalogChange& change) {
   if (change.kind == "dataset") {
     EvictLocked("dataset", change.name);
     steps_.erase(change.name);
+    FlushQueriesLocked('D');
   } else if (change.kind == "transformation") {
     EvictLocked("transformation", change.name);
+    FlushQueriesLocked('T');
   } else if (change.kind == "derivation" || change.kind == "invocation") {
-    if (change.kind == "derivation") EvictLocked("derivation", change.name);
+    if (change.kind == "derivation") {
+      EvictLocked("derivation", change.name);
+      FlushQueriesLocked('V');
+    }
     // A provenance step aggregates a dataset with its producing
     // derivation and that derivation's invocations; the changelog
     // cannot pin those to one dataset key, so drop all steps.
     steps_.clear();
+  } else if (change.kind == "type") {
+    // A type definition moves the conformance closure, which can grow
+    // any type-constrained dataset query's result set.
+    FlushQueriesLocked('D');
   }
-  // "type" changes touch nothing cached here: conformance checks pass
-  // through to the server.
+  // Conformance checks themselves still pass through to the server.
 }
 
 Result<ObjectRecord> CachingCatalogClient::GetOrFillLocked(
@@ -177,17 +303,23 @@ Result<std::vector<Invocation>> CachingCatalogClient::InvocationsOf(
 
 Result<std::vector<std::string>> CachingCatalogClient::FindDatasets(
     const DatasetQuery& query) {
-  return upstream_->FindDatasets(query);
+  std::lock_guard<std::mutex> lock(mu_);
+  return CachedFindLocked(QueryKey(query),
+                          [&] { return upstream_->FindDatasets(query); });
 }
 
 Result<std::vector<std::string>> CachingCatalogClient::FindTransformations(
     const TransformationQuery& query) {
-  return upstream_->FindTransformations(query);
+  std::lock_guard<std::mutex> lock(mu_);
+  return CachedFindLocked(
+      QueryKey(query), [&] { return upstream_->FindTransformations(query); });
 }
 
 Result<std::vector<std::string>> CachingCatalogClient::FindDerivations(
     const DerivationQuery& query) {
-  return upstream_->FindDerivations(query);
+  std::lock_guard<std::mutex> lock(mu_);
+  return CachedFindLocked(QueryKey(query),
+                          [&] { return upstream_->FindDerivations(query); });
 }
 
 Result<std::vector<std::string>> CachingCatalogClient::AllNames(
@@ -259,6 +391,7 @@ Status CachingCatalogClient::DefineDataset(Dataset dataset) {
   VDG_RETURN_IF_ERROR(upstream_->DefineDataset(std::move(dataset)));
   EvictLocked("dataset", name);
   steps_.erase(name);
+  FlushQueriesLocked('D');
   return Status::OK();
 }
 
@@ -269,6 +402,7 @@ Status CachingCatalogClient::DefineTransformation(
   VDG_RETURN_IF_ERROR(
       upstream_->DefineTransformation(std::move(transformation)));
   EvictLocked("transformation", name);
+  FlushQueriesLocked('T');
   return Status::OK();
 }
 
@@ -284,6 +418,9 @@ Status CachingCatalogClient::DefineDerivation(Derivation derivation) {
     EvictLocked("dataset", output);
   }
   steps_.clear();
+  // Outputs may have been auto-defined as datasets.
+  FlushQueriesLocked('V');
+  FlushQueriesLocked('D');
   return Status::OK();
 }
 
@@ -297,7 +434,11 @@ Status CachingCatalogClient::Annotate(std::string_view kind,
   EvictLocked(kind, name);
   if (kind == "dataset") {
     steps_.erase(std::string(name));
+    FlushQueriesLocked('D');
+  } else if (kind == "transformation") {
+    FlushQueriesLocked('T');
   } else if (kind == "derivation" || kind == "invocation") {
+    if (kind == "derivation") FlushQueriesLocked('V');
     steps_.clear();
   }
   return Status::OK();
@@ -310,6 +451,7 @@ Result<std::string> CachingCatalogClient::AddReplica(Replica replica) {
                        upstream_->AddReplica(std::move(replica)));
   // The dataset's materialized bit may have flipped.
   EvictLocked("dataset", dataset);
+  FlushQueriesLocked('D');
   return id;
 }
 
@@ -327,6 +469,7 @@ Status CachingCatalogClient::SetDatasetSize(std::string_view name,
   std::lock_guard<std::mutex> lock(mu_);
   VDG_RETURN_IF_ERROR(upstream_->SetDatasetSize(name, size_bytes));
   EvictLocked("dataset", name);
+  FlushQueriesLocked('D');
   return Status::OK();
 }
 
@@ -335,6 +478,7 @@ Status CachingCatalogClient::InvalidateReplica(std::string_view id) {
   VDG_RETURN_IF_ERROR(upstream_->InvalidateReplica(id));
   // The replica's dataset is unknown from the id alone; every cached
   // dataset's materialized bit is suspect.
+  FlushQueriesLocked('D');
   for (auto it = objects_.begin(); it != objects_.end();) {
     if (it->second.record.kind == "dataset") {
       lru_.erase(it->second.lru_pos);
@@ -364,10 +508,12 @@ Result<BatchResult> CachingCatalogClient::ApplyBatch(
           if constexpr (std::is_same_v<Op, CatalogMutation::DefineDatasetOp>) {
             EvictLocked("dataset", op.dataset.name);
             steps_.erase(op.dataset.name);
+            FlushQueriesLocked('D');
           } else if constexpr (std::is_same_v<
                                    Op,
                                    CatalogMutation::DefineTransformationOp>) {
             EvictLocked("transformation", op.transformation.name());
+            FlushQueriesLocked('T');
           } else if constexpr (std::is_same_v<
                                    Op, CatalogMutation::DefineDerivationOp>) {
             EvictLocked("derivation", op.derivation.name());
@@ -375,6 +521,8 @@ Result<BatchResult> CachingCatalogClient::ApplyBatch(
               EvictLocked("dataset", output);
             }
             steps_.clear();
+            FlushQueriesLocked('V');
+            FlushQueriesLocked('D');  // auto-defined output datasets
           } else if constexpr (std::is_same_v<Op,
                                               CatalogMutation::AnnotateOp>) {
             std::string target = op.name;
@@ -385,18 +533,24 @@ Result<BatchResult> CachingCatalogClient::ApplyBatch(
             EvictLocked(op.kind, target);
             if (op.kind == "dataset") {
               steps_.erase(target);
+              FlushQueriesLocked('D');
+            } else if (op.kind == "transformation") {
+              FlushQueriesLocked('T');
             } else if (op.kind == "derivation" || op.kind == "invocation") {
+              if (op.kind == "derivation") FlushQueriesLocked('V');
               steps_.clear();
             }
           } else if constexpr (std::is_same_v<Op,
                                               CatalogMutation::AddReplicaOp>) {
             EvictLocked("dataset", op.replica.dataset);
+            FlushQueriesLocked('D');  // materialized-set queries move
           } else if constexpr (std::is_same_v<
                                    Op, CatalogMutation::RecordInvocationOp>) {
             steps_.clear();  // steps embed invocation lists
           } else if constexpr (std::is_same_v<
                                    Op, CatalogMutation::SetDatasetSizeOp>) {
             EvictLocked("dataset", op.name);
+            FlushQueriesLocked('D');
           } else {
             static_assert(
                 std::is_same_v<Op, CatalogMutation::InvalidateReplicaOp>);
@@ -410,6 +564,7 @@ Result<BatchResult> CachingCatalogClient::ApplyBatch(
                 ++it;
               }
             }
+            FlushQueriesLocked('D');
           }
         },
         mutations[i].op);

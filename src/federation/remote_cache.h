@@ -19,6 +19,8 @@ struct CacheStats {
   uint64_t revalidations = 0;  // Revalidate() calls that reached upstream
   uint64_t evictions = 0;      // entries dropped by invalidation or LRU
   uint64_t flushes = 0;        // whole-cache drops (changelog overflow)
+  uint64_t query_hits = 0;     // Find* result sets answered locally
+  uint64_t query_misses = 0;   // Find* calls that went upstream
 };
 
 /// Read-through object cache in front of a (typically remote)
@@ -37,9 +39,15 @@ struct CacheStats {
 /// THROUGH this client write through and invalidate immediately, so a
 /// caller always reads its own writes.
 ///
-/// Find*/AllNames/ChangesSince/Version/ProducerOf/TypeConforms pass
-/// straight through: result sets are not cacheable under the
-/// changelog's per-object granularity.
+/// Find* result sets are cached whole under a *normalized* query key:
+/// the predicate conjunction is order-insensitive, so two queries that
+/// differ only in predicate order share one cache entry. Because the
+/// per-object changelog cannot tell which result sets a change
+/// perturbs, invalidation is per query *kind*: any dataset change (or
+/// type change — the conformance closure moves) drops every cached
+/// dataset query, and likewise for transformations and derivations.
+/// AllNames/ChangesSince/Version/ProducerOf/TypeConforms still pass
+/// straight through.
 ///
 /// Thread-safe behind one mutex, held across upstream fills (the
 /// client -> catalog lock order; the catalog lock stays a leaf). Note
@@ -113,6 +121,14 @@ class CachingCatalogClient : public CatalogClient {
   /// "kind\x1fname" cache key.
   static std::string Key(std::string_view kind, std::string_view name);
 
+  /// Normalized Find* cache keys: a kind tag, every scalar query field,
+  /// and the predicate conjunction rendered to sorted tokens — a
+  /// conjunction is order-insensitive, so reordered predicates hash to
+  /// the same entry.
+  static std::string QueryKey(const DatasetQuery& query);
+  static std::string QueryKey(const TransformationQuery& query);
+  static std::string QueryKey(const DerivationQuery& query);
+
   struct CachedObject {
     ObjectRecord record;
     std::list<std::string>::iterator lru_pos;
@@ -128,6 +144,15 @@ class CachingCatalogClient : public CatalogClient {
   /// Applies one changelog entry's invalidation. mu_ must be held.
   void ApplyChangeLocked(const CatalogChange& change);
 
+  /// Serves a Find* query from `queries_`, filling from `fetch` on a
+  /// miss. mu_ must be held (and stays held across the fill, like
+  /// every other upstream path here).
+  template <typename Fetch>
+  Result<std::vector<std::string>> CachedFindLocked(std::string key,
+                                                    Fetch&& fetch);
+  /// Drops every cached query of one kind tag ('D'/'T'/'V').
+  void FlushQueriesLocked(char kind_tag);
+
   std::shared_ptr<CatalogClient> upstream_;
   std::string authority_;
   size_t capacity_;
@@ -138,6 +163,10 @@ class CachingCatalogClient : public CatalogClient {
   /// a derivation or invocation changes anywhere: a step aggregates
   /// objects the per-object changelog cannot pin to one dataset.
   std::map<std::string, ProvenanceStep, std::less<>> steps_;
+  /// Whole Find* result sets by normalized query key (see QueryKey).
+  /// Flushed per kind on any change of that kind; cleared wholesale
+  /// when full (same policy as steps_).
+  std::map<std::string, std::vector<std::string>, std::less<>> queries_;
   uint64_t synced_version_ = 0;
   CacheStats stats_;
 };

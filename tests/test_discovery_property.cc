@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/posting.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "federation/index.h"
@@ -403,6 +405,241 @@ TEST_P(DiscoveryTortureTest, DeltaRefreshConvergesToFullRebuild) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiscoveryTortureTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+// ---------------------------------------------------------------------
+// PostingBlocks property suite: the compressed block format with its
+// per-pair kernel selection (word-AND, probe, galloping, linear merge)
+// must agree exactly with naive std::set_intersection over plain sorted
+// vectors, for sparse, dense, skewed, and adversarial inputs — empty,
+// singleton, a fully dense block, and runs straddling block boundaries.
+// The serialized form must round-trip in both copy and borrow modes.
+
+using Id = PostingBlocks::Id;
+
+std::vector<Id> SortedUnique(std::vector<Id> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+PostingBlocks FromIds(const std::vector<Id>& ids) {
+  PostingBlocks pb;
+  for (Id id : ids) pb.Add(id);
+  return pb;
+}
+
+std::vector<Id> DistinctIds(const PostingBlocks& pb) {
+  std::vector<Id> out;
+  pb.ForEach([&](Id id) { out.push_back(id); });
+  return out;
+}
+
+std::vector<Id> NaiveIntersect(const std::vector<Id>& a,
+                               const std::vector<Id>& b) {
+  std::vector<Id> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// One randomized id list per shape. Shapes deliberately cross the
+// array->bitmap conversion threshold and the 65536-id block span.
+std::vector<Id> MakeList(Rng& rng, int shape) {
+  std::vector<Id> ids;
+  switch (shape) {
+    case 0:  // empty
+      break;
+    case 1:  // singleton, anywhere
+      ids.push_back(static_cast<Id>(rng.UniformInt(0, 1 << 20)));
+      break;
+    case 2: {  // sparse across many blocks (array blocks)
+      const int n = static_cast<int>(rng.UniformInt(1, 300));
+      for (int i = 0; i < n; ++i) {
+        ids.push_back(static_cast<Id>(rng.UniformInt(0, 1 << 21)));
+      }
+      break;
+    }
+    case 3: {  // dense inside one block: forces bitmap conversion
+      const Id base = static_cast<Id>(rng.UniformInt(0, 8)) *
+                      PostingBlocks::kSpan;
+      const int n = static_cast<int>(
+          rng.UniformInt(PostingBlocks::kBitmapThreshold + 1, 20000));
+      for (int i = 0; i < n; ++i) {
+        ids.push_back(base +
+                      static_cast<Id>(rng.Index(PostingBlocks::kSpan)));
+      }
+      break;
+    }
+    case 4: {  // contiguous run straddling a block boundary
+      const Id boundary = static_cast<Id>(rng.UniformInt(1, 8)) *
+                          PostingBlocks::kSpan;
+      const int before = static_cast<int>(rng.UniformInt(0, 5000));
+      const int after = static_cast<int>(rng.UniformInt(0, 5000));
+      for (int i = -before; i < after; ++i) {
+        ids.push_back(boundary + static_cast<Id>(i));
+      }
+      break;
+    }
+    case 5: {  // one fully dense block (every bit set)
+      const Id base = static_cast<Id>(rng.UniformInt(0, 4)) *
+                      PostingBlocks::kSpan;
+      ids.resize(PostingBlocks::kSpan);
+      for (Id i = 0; i < PostingBlocks::kSpan; ++i) ids[i] = base + i;
+      break;
+    }
+    default: {  // tiny list clustered where a huge list lives (skew:
+                // exercises the galloping and probe kernels)
+      const Id base = static_cast<Id>(rng.UniformInt(0, 4)) *
+                      PostingBlocks::kSpan;
+      const int n = static_cast<int>(rng.UniformInt(1, 12));
+      for (int i = 0; i < n; ++i) {
+        ids.push_back(base +
+                      static_cast<Id>(rng.Index(PostingBlocks::kSpan)));
+      }
+      break;
+    }
+  }
+  return ids;
+}
+
+class PostingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PostingPropertyTest, IntersectMatchesNaiveAcrossShapes) {
+  Rng rng(GetParam() * 7919 + 1);
+  constexpr int kShapes = 7;
+  for (int sa = 0; sa < kShapes; ++sa) {
+    for (int sb = 0; sb < kShapes; ++sb) {
+      const std::vector<Id> a = SortedUnique(MakeList(rng, sa));
+      const std::vector<Id> b = SortedUnique(MakeList(rng, sb));
+      const PostingBlocks pa = FromIds(a);
+      const PostingBlocks pb = FromIds(b);
+      const std::vector<Id> expected = NaiveIntersect(a, b);
+
+      EXPECT_EQ(PostingBlocks::Intersect(pa, pb), expected)
+          << "shapes " << sa << "x" << sb;
+      // Intersection is symmetric.
+      EXPECT_EQ(PostingBlocks::Intersect(pb, pa), expected)
+          << "shapes " << sa << "x" << sb;
+
+      // The progressive step (vector &= blocks) must agree too.
+      std::vector<Id> progressive = a;
+      PostingBlocks::IntersectWith(&progressive, pb);
+      EXPECT_EQ(progressive, expected) << "shapes " << sa << "x" << sb;
+
+      // Membership spot checks along both inputs.
+      for (int probe = 0; probe < 32 && !a.empty(); ++probe) {
+        const Id id = a[rng.Index(a.size())];
+        EXPECT_TRUE(pa.Contains(id));
+        EXPECT_EQ(pb.Contains(id),
+                  std::binary_search(b.begin(), b.end(), id));
+      }
+    }
+  }
+}
+
+TEST_P(PostingPropertyTest, UnionMergesDistinctAndAddsCounts) {
+  Rng rng(GetParam() * 104729 + 3);
+  for (int round = 0; round < 12; ++round) {
+    // Duplicates included: Union must add multiplicities.
+    std::vector<Id> a = MakeList(rng, static_cast<int>(rng.Index(7)));
+    std::vector<Id> b = MakeList(rng, static_cast<int>(rng.Index(7)));
+    const PostingBlocks pa = FromIds(a);
+    const PostingBlocks pb = FromIds(b);
+    const PostingBlocks u = PostingBlocks::Union(pa, pb);
+
+    std::vector<Id> merged = a;
+    merged.insert(merged.end(), b.begin(), b.end());
+    std::sort(merged.begin(), merged.end());
+    EXPECT_EQ(u.ToVector(), merged);
+    EXPECT_EQ(u.size(), merged.size());
+    EXPECT_EQ(u.distinct(), SortedUnique(merged).size());
+    for (int probe = 0; probe < 16 && !merged.empty(); ++probe) {
+      const Id id = merged[rng.Index(merged.size())];
+      EXPECT_EQ(u.CountOf(id), pa.CountOf(id) + pb.CountOf(id));
+    }
+  }
+}
+
+TEST_P(PostingPropertyTest, MultisetAddRemoveMatchesReferenceModel) {
+  Rng rng(GetParam() * 31 + 17);
+  PostingBlocks pb;
+  std::multiset<Id> model;
+  // Narrow id domain so removals actually hit and blocks churn
+  // through the array<->bitmap conversion both ways.
+  const Id domain = static_cast<Id>(rng.UniformInt(64, 3 * 65536));
+  for (int step = 0; step < 20000; ++step) {
+    const Id id = static_cast<Id>(rng.Index(domain));
+    if (rng.Index(3) != 0) {
+      pb.Add(id);
+      model.insert(id);
+    } else {
+      pb.Remove(id);
+      auto it = model.find(id);
+      if (it != model.end()) model.erase(it);
+    }
+  }
+  EXPECT_EQ(pb.ToVector(), std::vector<Id>(model.begin(), model.end()));
+  EXPECT_EQ(pb.size(), model.size());
+  for (int probe = 0; probe < 64; ++probe) {
+    const Id id = static_cast<Id>(rng.Index(domain));
+    EXPECT_EQ(pb.CountOf(id), model.count(id));
+    EXPECT_EQ(pb.Contains(id), model.count(id) > 0);
+  }
+}
+
+TEST_P(PostingPropertyTest, SerializedRoundTripCopyAndBorrow) {
+  Rng rng(GetParam() * 6151 + 9);
+  for (int shape = 0; shape < 7; ++shape) {
+    std::vector<Id> ids = MakeList(rng, shape);
+    // A few duplicates so the extra_ side table serializes too.
+    for (int i = 0; i < 8 && !ids.empty(); ++i) {
+      ids.push_back(ids[rng.Index(ids.size())]);
+    }
+    const PostingBlocks original = FromIds(ids);
+
+    std::string blob;
+    original.AppendSerialized(&blob);
+
+    // Copy mode: no keepalive, parser owns its payloads.
+    size_t consumed = 0;
+    Result<PostingBlocks> copied = PostingBlocks::Parse(
+        reinterpret_cast<const uint8_t*>(blob.data()), blob.size(),
+        &consumed, nullptr);
+    ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+    EXPECT_EQ(consumed, blob.size());
+    EXPECT_EQ(copied->ToVector(), original.ToVector());
+    EXPECT_EQ(copied->size(), original.size());
+    EXPECT_EQ(copied->distinct(), original.distinct());
+
+    // Borrow mode: a keepalive buffer (heap allocations are at least
+    // 8-aligned in practice; Parse falls back to copying otherwise,
+    // so correctness holds either way).
+    auto owned = std::make_shared<std::vector<uint8_t>>(
+        blob.begin(), blob.end());
+    consumed = 0;
+    Result<PostingBlocks> borrowed = PostingBlocks::Parse(
+        owned->data(), owned->size(), &consumed, owned);
+    ASSERT_TRUE(borrowed.ok()) << borrowed.status().ToString();
+    EXPECT_EQ(consumed, owned->size());
+    EXPECT_EQ(borrowed->ToVector(), original.ToVector());
+    // The borrowed view must stay valid through keepalive even after
+    // our local handle goes away.
+    owned.reset();
+    EXPECT_EQ(borrowed->ToVector(), original.ToVector());
+
+    // Truncation at any point must fail cleanly, never crash.
+    for (size_t cut : {blob.size() / 2, blob.size() - 1, size_t{3}}) {
+      if (cut >= blob.size()) continue;
+      size_t c = 0;
+      Result<PostingBlocks> bad = PostingBlocks::Parse(
+          reinterpret_cast<const uint8_t*>(blob.data()), cut, &c, nullptr);
+      EXPECT_FALSE(bad.ok()) << "cut=" << cut;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostingPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
 
 }  // namespace
 }  // namespace vdg

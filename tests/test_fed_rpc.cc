@@ -364,6 +364,70 @@ TEST_F(FedRpcTest, CacheWritesThroughAndReadsItsOwnWrites) {
   EXPECT_TRUE(cache.GetDataset("d3")->annotations.Has("mine"));
 }
 
+TEST_F(FedRpcTest, QueryCacheNormalizesPredicateOrder) {
+  ASSERT_TRUE(catalog_->Annotate("dataset", "d1", "tier", "gold").ok());
+  ASSERT_TRUE(catalog_->Annotate("dataset", "d1", "owner", "alice").ok());
+  ASSERT_TRUE(catalog_->Annotate("dataset", "d2", "tier", "gold").ok());
+  auto rpc = Rpc();
+  CachingCatalogClient cache(rpc);
+
+  DatasetQuery q1;
+  q1.predicates = {{"tier", PredicateOp::kEq, "gold"},
+                   {"owner", PredicateOp::kEq, "alice"}};
+  DatasetQuery q2;  // the same conjunction, reordered
+  q2.predicates = {{"owner", PredicateOp::kEq, "alice"},
+                   {"tier", PredicateOp::kEq, "gold"}};
+
+  Result<std::vector<std::string>> first = cache.FindDatasets(q1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, std::vector<std::string>{"d1"});
+  EXPECT_EQ(cache.stats().query_misses, 1u);
+
+  // Reordered predicates normalize to the SAME cache entry: answered
+  // locally, zero round trips.
+  rpc->reset_stats();
+  Result<std::vector<std::string>> second = cache.FindDatasets(q2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, *first);
+  EXPECT_EQ(cache.stats().query_hits, 1u);
+  EXPECT_EQ(cache.stats().query_misses, 1u);
+  EXPECT_EQ(rpc->stats().round_trips, 0u);
+
+  // Changing an operand is a genuinely different query.
+  DatasetQuery q3 = q1;
+  q3.predicates[1].operand = "bob";
+  ASSERT_TRUE(cache.FindDatasets(q3).ok());
+  EXPECT_EQ(cache.stats().query_misses, 2u);
+}
+
+TEST_F(FedRpcTest, QueryCacheInvalidatesPerKind) {
+  ASSERT_TRUE(catalog_->Annotate("dataset", "d1", "tier", "gold").ok());
+  auto rpc = Rpc();
+  CachingCatalogClient cache(rpc);
+
+  DatasetQuery dq;
+  dq.predicates = {{"tier", PredicateOp::kEq, "gold"}};
+  TransformationQuery tq;
+  tq.name_prefix = "step";
+  ASSERT_TRUE(cache.FindDatasets(dq).ok());
+  ASSERT_TRUE(cache.FindTransformations(tq).ok());
+  EXPECT_EQ(cache.stats().query_misses, 2u);
+
+  // A dataset mutation through the client drops only dataset queries;
+  // the transformation result set stays warm.
+  ASSERT_TRUE(cache.Annotate("dataset", "d2", "tier", "gold").ok());
+  rpc->reset_stats();
+  ASSERT_TRUE(cache.FindTransformations(tq).ok());
+  EXPECT_EQ(cache.stats().query_hits, 1u);
+  EXPECT_EQ(rpc->stats().round_trips, 0u);
+
+  Result<std::vector<std::string>> refetched = cache.FindDatasets(dq);
+  ASSERT_TRUE(refetched.ok());
+  EXPECT_EQ(cache.stats().query_misses, 3u);  // went upstream again
+  // Read-your-writes: the refetched set includes the new member.
+  EXPECT_EQ(refetched->size(), 2u);
+}
+
 TEST_F(FedRpcTest, CacheCapacityEvictsLeastRecentlyUsed) {
   auto rpc = Rpc();
   CachingCatalogClient cache(rpc, 2);

@@ -1,0 +1,341 @@
+// Flat-snapshot persistence tests: a catalog saved with
+// SaveSnapshotFile and reopened through OpenFromSnapshot (the mmap
+// cold-start path) must be observationally identical to one rebuilt by
+// full journal replay — including when the journal has grown past the
+// snapshot's anchor (tail replay). Every corruption mode — flipped
+// header byte, flipped payload byte, truncation, a future format
+// version, a compacted-away journal prefix, a missing file — must be
+// rejected before any state is installed and fall back to full replay
+// with a diagnostic, never an error or a crash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/flatsnap.h"
+#include "catalog/journal.h"
+#include "common/hash.h"
+
+namespace vdg {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "/vdg_snap_" + tag + "_" +
+         std::to_string(++counter);
+}
+
+void Populate(VirtualDataCatalog* catalog, int datasets) {
+  ASSERT_TRUE(catalog
+                  ->DefineType(TypeDimension::kContent, "evt",
+                               TypeDimensionBaseName(TypeDimension::kContent))
+                  .ok());
+  ASSERT_TRUE(
+      catalog->DefineType(TypeDimension::kContent, "evt.raw", "evt").ok());
+  ASSERT_TRUE(catalog
+                  ->ImportVdl(
+                      "TR base( output out, input in ) {"
+                      "  argument stdin = ${input:in};"
+                      "  argument stdout = ${output:out};"
+                      "  exec = \"/bin/base\"; }"
+                      "DS seed0 : Dataset size=\"1\";")
+                  .ok());
+  std::string first_replica;
+  for (int i = 0; i < datasets; ++i) {
+    Dataset ds;
+    ds.name = "ds" + std::to_string(i);
+    ds.size_bytes = 100 + i;
+    ds.type.content = (i % 2 == 0) ? "evt" : "evt.raw";
+    ds.annotations.Set("tier", (i % 3 == 0) ? "gold" : "silver");
+    ds.annotations.Set("events", static_cast<int64_t>(i * 10));
+    ASSERT_TRUE(catalog->DefineDataset(ds).ok());
+    if (i % 2 == 0) {
+      Replica r;
+      r.dataset = ds.name;
+      r.site = (i % 4 == 0) ? "east" : "west";
+      r.size_bytes = 10 + i;
+      Result<std::string> id = catalog->AddReplica(r);
+      ASSERT_TRUE(id.ok());
+      if (first_replica.empty()) first_replica = *id;
+    }
+    if (i % 3 == 0) {
+      Derivation dv("dv" + std::to_string(i), "base");
+      ASSERT_TRUE(
+          dv.AddArg(ActualArg::DatasetRef("out", "out" + std::to_string(i),
+                                          ArgDirection::kOut))
+              .ok());
+      ASSERT_TRUE(
+          dv.AddArg(ActualArg::DatasetRef("in", ds.name, ArgDirection::kIn))
+              .ok());
+      ASSERT_TRUE(catalog->DefineDerivation(std::move(dv)).ok());
+    }
+  }
+  ASSERT_TRUE(catalog->Annotate("dataset", "ds1", "owner", "alice").ok());
+  // One invalidated replica so the valid-replica counts serialize a
+  // non-trivial materialized set.
+  ASSERT_FALSE(first_replica.empty());
+  ASSERT_TRUE(catalog->InvalidateReplica(first_replica).ok());
+}
+
+// Observational equality over *state*: replay-safe state records and
+// indexed query answers. Version counters and changelog streams are
+// deliberately excluded — journal replay legitimately renders history
+// differently from the live catalog (a live ImportVdl batch shares one
+// version across its entries; a replica-invalidate re-put record
+// upserts without a bump), so only loaded-vs-SOURCE comparisons may
+// demand identical history (ExpectSameHistory below).
+void ExpectSameState(VirtualDataCatalog& lhs, VirtualDataCatalog& rhs) {
+  EXPECT_EQ(lhs.CurrentStateRecords(), rhs.CurrentStateRecords());
+
+  DatasetQuery by_attr;
+  by_attr.predicates = {{"tier", PredicateOp::kEq, "gold"}};
+  EXPECT_EQ(lhs.FindDatasets(by_attr), rhs.FindDatasets(by_attr));
+  DatasetQuery conj;
+  conj.predicates = {{"tier", PredicateOp::kEq, "silver"},
+                     {"events", PredicateOp::kGe, int64_t{100}}};
+  EXPECT_EQ(lhs.FindDatasets(conj), rhs.FindDatasets(conj));
+  DatasetQuery typed;
+  typed.type = DatasetType{};
+  typed.type->content = "evt";
+  EXPECT_EQ(lhs.FindDatasets(typed), rhs.FindDatasets(typed));
+  DatasetQuery materialized;
+  materialized.require_materialized = true;
+  EXPECT_EQ(lhs.FindDatasets(materialized), rhs.FindDatasets(materialized));
+  DerivationQuery dq;
+  dq.transformation = "base";
+  EXPECT_EQ(lhs.FindDerivations(dq), rhs.FindDerivations(dq));
+  EXPECT_EQ(lhs.AllDatasetNames(), rhs.AllDatasetNames());
+  EXPECT_EQ(lhs.AllDerivationNames(), rhs.AllDerivationNames());
+}
+
+// Exact history equality: the flat snapshot serializes the live
+// changelog verbatim, so a snapshot-loaded catalog must agree with its
+// SOURCE on version counter, window floor, and every windowed change.
+void ExpectSameHistory(VirtualDataCatalog& lhs, VirtualDataCatalog& rhs) {
+  EXPECT_EQ(lhs.version(), rhs.version());
+  EXPECT_EQ(lhs.changelog_floor(), rhs.changelog_floor());
+  Result<std::vector<CatalogChange>> lc =
+      lhs.ChangesSince(lhs.changelog_floor());
+  Result<std::vector<CatalogChange>> rc =
+      rhs.ChangesSince(rhs.changelog_floor());
+  ASSERT_EQ(lc.ok(), rc.ok());
+  if (!lc.ok()) return;
+  ASSERT_EQ(lc->size(), rc->size());
+  for (size_t i = 0; i < lc->size(); ++i) {
+    EXPECT_EQ((*lc)[i].version, (*rc)[i].version) << i;
+    EXPECT_EQ((*lc)[i].op, (*rc)[i].op) << i;
+    EXPECT_EQ((*lc)[i].kind, (*rc)[i].kind) << i;
+    EXPECT_EQ((*lc)[i].name, (*rc)[i].name) << i;
+  }
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Recomputes the header CRC after a test patches a header field, so
+// the patched file fails on the *target* check, not the CRC.
+void FixHeaderCrc(std::string* file) {
+  std::string header = file->substr(0, flatsnap::kHeaderSize);
+  header.replace(flatsnap::kOffHeaderCrc, 4, 4, '\0');
+  const uint32_t crc = Crc32(header);
+  char bytes[4] = {static_cast<char>(crc & 0xff),
+                   static_cast<char>((crc >> 8) & 0xff),
+                   static_cast<char>((crc >> 16) & 0xff),
+                   static_cast<char>((crc >> 24) & 0xff)};
+  file->replace(flatsnap::kOffHeaderCrc, 4, bytes, 4);
+}
+
+class SnapshotPersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    journal_path_ = TempPath("journal");
+    snap_path_ = TempPath("image");
+    source_ = std::make_unique<VirtualDataCatalog>(
+        "site-a", std::make_unique<FileJournal>(journal_path_));
+    ASSERT_TRUE(source_->Open().ok());
+    Populate(source_.get(), 40);
+  }
+
+  void TearDown() override {
+    std::remove(journal_path_.c_str());
+    std::remove(snap_path_.c_str());
+  }
+
+  // A catalog rebuilt by plain journal replay — the ground truth every
+  // snapshot load (or fallback) is compared against.
+  std::unique_ptr<VirtualDataCatalog> ReplayOpened() {
+    auto catalog = std::make_unique<VirtualDataCatalog>(
+        "site-a", std::make_unique<FileJournal>(journal_path_));
+    EXPECT_TRUE(catalog->Open().ok());
+    return catalog;
+  }
+
+  std::unique_ptr<VirtualDataCatalog> SnapshotOpened() {
+    auto catalog = std::make_unique<VirtualDataCatalog>(
+        "site-a", std::make_unique<FileJournal>(journal_path_));
+    EXPECT_TRUE(catalog->OpenFromSnapshot(snap_path_).ok());
+    return catalog;
+  }
+
+  // Asserts the snapshot was REJECTED (never installed), the fallback
+  // replay ran, and the resulting state still matches ground truth.
+  void ExpectCleanFallback(const std::string& reason_substr) {
+    std::unique_ptr<VirtualDataCatalog> loaded = SnapshotOpened();
+    const auto report = loaded->last_snapshot_load();
+    EXPECT_TRUE(report.attempted);
+    EXPECT_FALSE(report.used);
+    EXPECT_FALSE(report.fallback_reason.empty());
+    if (!reason_substr.empty()) {
+      EXPECT_NE(report.fallback_reason.find(reason_substr),
+                std::string::npos)
+          << "fallback_reason: " << report.fallback_reason;
+    }
+    std::unique_ptr<VirtualDataCatalog> truth = ReplayOpened();
+    ExpectSameState(*loaded, *truth);
+    // Both sides replayed the same journal: history matches exactly.
+    ExpectSameHistory(*loaded, *truth);
+  }
+
+  std::string journal_path_;
+  std::string snap_path_;
+  std::unique_ptr<VirtualDataCatalog> source_;
+};
+
+TEST_F(SnapshotPersistTest, SaveThenLoadMatchesFullReplay) {
+  ASSERT_TRUE(source_->SaveSnapshotFile(snap_path_).ok());
+
+  std::unique_ptr<VirtualDataCatalog> loaded = SnapshotOpened();
+  const auto report = loaded->last_snapshot_load();
+  EXPECT_TRUE(report.attempted);
+  EXPECT_TRUE(report.used) << report.fallback_reason;
+  EXPECT_TRUE(report.fallback_reason.empty());
+  EXPECT_EQ(report.tail_records_replayed, 0u);
+  EXPECT_EQ(report.snapshot_version, source_->version());
+
+  std::unique_ptr<VirtualDataCatalog> truth = ReplayOpened();
+  ExpectSameState(*loaded, *truth);
+  ExpectSameState(*loaded, *source_);
+  ExpectSameHistory(*loaded, *source_);
+}
+
+TEST_F(SnapshotPersistTest, JournalTailPastAnchorIsReplayed) {
+  ASSERT_TRUE(source_->SaveSnapshotFile(snap_path_).ok());
+
+  // Keep mutating AFTER the save: these records live past the anchor.
+  Dataset late;
+  late.name = "late0";
+  late.type.content = "evt.raw";
+  late.annotations.Set("tier", "gold");
+  ASSERT_TRUE(source_->DefineDataset(late).ok());
+  ASSERT_TRUE(source_->Annotate("dataset", "ds2", "tier", "gold").ok());
+  ASSERT_TRUE(source_->SetDatasetSize("ds3", 999).ok());
+  ASSERT_TRUE(source_->SyncJournal().ok());
+
+  std::unique_ptr<VirtualDataCatalog> loaded = SnapshotOpened();
+  const auto report = loaded->last_snapshot_load();
+  EXPECT_TRUE(report.used) << report.fallback_reason;
+  EXPECT_EQ(report.tail_records_replayed, 3u);
+  EXPECT_LT(report.snapshot_version, loaded->version());
+
+  std::unique_ptr<VirtualDataCatalog> truth = ReplayOpened();
+  ExpectSameState(*loaded, *truth);
+  ExpectSameState(*loaded, *source_);
+  // The serialized changelog plus the tail-replayed entries must
+  // reproduce the live history (the tail ops are all single-record
+  // mutations, which replay 1:1).
+  ExpectSameHistory(*loaded, *source_);
+
+  // The post-anchor dataset is queryable through the indexes.
+  DatasetQuery gold;
+  gold.predicates = {{"tier", PredicateOp::kEq, "gold"}};
+  std::vector<std::string> names = loaded->FindDatasets(gold);
+  EXPECT_NE(std::find(names.begin(), names.end(), "late0"), names.end());
+}
+
+TEST_F(SnapshotPersistTest, MemoryOnlyCatalogRoundTripsWithoutJournal) {
+  VirtualDataCatalog memory("site-m");
+  ASSERT_TRUE(memory.Open().ok());
+  Populate(&memory, 12);
+  ASSERT_TRUE(memory.SaveSnapshotFile(snap_path_).ok());
+
+  VirtualDataCatalog loaded("site-m");
+  ASSERT_TRUE(loaded.OpenFromSnapshot(snap_path_).ok());
+  EXPECT_TRUE(loaded.last_snapshot_load().used)
+      << loaded.last_snapshot_load().fallback_reason;
+  ExpectSameState(loaded, memory);
+  ExpectSameHistory(loaded, memory);
+}
+
+TEST_F(SnapshotPersistTest, CorruptedHeaderFallsBackToReplay) {
+  ASSERT_TRUE(source_->SaveSnapshotFile(snap_path_).ok());
+  std::string bytes = ReadFile(snap_path_);
+  bytes[flatsnap::kOffMagic + 2] ^= 0x40;  // damage the magic
+  WriteFile(snap_path_, bytes);
+  ExpectCleanFallback("");
+}
+
+TEST_F(SnapshotPersistTest, HeaderCrcMismatchFallsBackToReplay) {
+  ASSERT_TRUE(source_->SaveSnapshotFile(snap_path_).ok());
+  std::string bytes = ReadFile(snap_path_);
+  bytes[flatsnap::kOffVersionSeq] ^= 0x01;  // field flip, CRC left stale
+  WriteFile(snap_path_, bytes);
+  ExpectCleanFallback("");
+}
+
+TEST_F(SnapshotPersistTest, CorruptedPayloadByteFallsBackToReplay) {
+  ASSERT_TRUE(source_->SaveSnapshotFile(snap_path_).ok());
+  std::string bytes = ReadFile(snap_path_);
+  ASSERT_GT(bytes.size(), flatsnap::kHeaderSize + 100);
+  bytes[flatsnap::kHeaderSize + 97] ^= 0x80;
+  WriteFile(snap_path_, bytes);
+  ExpectCleanFallback("");
+}
+
+TEST_F(SnapshotPersistTest, TruncatedFileFallsBackToReplay) {
+  ASSERT_TRUE(source_->SaveSnapshotFile(snap_path_).ok());
+  std::string bytes = ReadFile(snap_path_);
+  WriteFile(snap_path_, bytes.substr(0, bytes.size() / 2));
+  ExpectCleanFallback("");
+  // Shorter than the header itself.
+  WriteFile(snap_path_, bytes.substr(0, 10));
+  ExpectCleanFallback("");
+}
+
+TEST_F(SnapshotPersistTest, FutureFormatVersionFallsBackToReplay) {
+  ASSERT_TRUE(source_->SaveSnapshotFile(snap_path_).ok());
+  std::string bytes = ReadFile(snap_path_);
+  bytes[flatsnap::kOffFormatVersion] = 99;  // low byte of the u32
+  FixHeaderCrc(&bytes);  // keep the CRC valid: version check must fire
+  WriteFile(snap_path_, bytes);
+  ExpectCleanFallback("format version");
+}
+
+TEST_F(SnapshotPersistTest, CompactedJournalNoLongerExtendsAnchor) {
+  ASSERT_TRUE(source_->SaveSnapshotFile(snap_path_).ok());
+  // Compaction rewrites history: the journal no longer begins with the
+  // record chain the snapshot anchored to.
+  ASSERT_TRUE(source_->CompactJournal().ok());
+  ExpectCleanFallback("");
+}
+
+TEST_F(SnapshotPersistTest, MissingFileFallsBackToReplay) {
+  // No SaveSnapshotFile call: the path simply does not exist.
+  ExpectCleanFallback("");
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Asserts a benchmark's aggregate items/s rate meets a floor.
+
+Usage: check_bench_floor.py <bench.json> <benchmark-name> <floor-items-per-sec>
+
+Reads Google Benchmark JSON output and checks the named benchmark's
+`agg_items_per_sec` counter (falling back to `items_per_second`)
+against the floor. Exits nonzero, printing every rate it saw, when the
+benchmark is missing or below the floor. CI uses this to keep the
+compressed discovery-index path honest: the floor is a multiple of the
+pre-compression seed rate, loose enough for shared runners yet tight
+enough to catch the index degrading to a scan.
+"""
+
+import json
+import sys
+
+
+def rate_of(bench):
+    counter = bench.get("agg_items_per_sec")
+    if counter is not None:
+        return counter
+    return bench.get("items_per_second", 0.0)
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__.strip())
+    path, name, floor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rates[bench.get("name", "?")] = rate_of(bench)
+    for bench_name, rate in sorted(rates.items()):
+        print(f"  {bench_name}: {rate:,.0f} items/s")
+    rate = rates.get(name)
+    if rate is None:
+        sys.exit(f"benchmark {name} not found in {path}")
+    if rate < floor:
+        sys.exit(f"{name} rate {rate:,.0f} items/s is below floor {floor:,.0f}")
+    print(f"{name} meets floor {floor:,.0f} items/s")
+
+
+if __name__ == "__main__":
+    main()
