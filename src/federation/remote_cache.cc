@@ -53,7 +53,10 @@ CachingCatalogClient::CachingCatalogClient(
     std::shared_ptr<CatalogClient> upstream, size_t capacity)
     : upstream_(std::move(upstream)),
       authority_(upstream_->authority()),
-      capacity_(capacity == 0 ? 1 : capacity) {}
+      capacity_(capacity == 0 ? 1 : capacity),
+      objects_(capacity_),
+      steps_(capacity_),
+      queries_(capacity_) {}
 
 std::string CachingCatalogClient::Key(std::string_view kind,
                                       std::string_view name) {
@@ -110,18 +113,13 @@ std::string CachingCatalogClient::QueryKey(const DerivationQuery& query) {
 template <typename Fetch>
 Result<std::vector<std::string>> CachingCatalogClient::CachedFindLocked(
     std::string key, Fetch&& fetch) {
-  auto it = queries_.find(key);
-  if (it != queries_.end()) {
+  if (const std::vector<std::string>* cached = queries_.Get(key)) {
     ++stats_.query_hits;
-    return it->second;
+    return *cached;
   }
   ++stats_.query_misses;
   VDG_ASSIGN_OR_RETURN(std::vector<std::string> names, fetch());
-  if (queries_.size() >= capacity_) {
-    stats_.evictions += queries_.size();
-    queries_.clear();
-  }
-  queries_.emplace(std::move(key), names);
+  stats_.evictions += queries_.Put(std::move(key), names);
   return names;
 }
 
@@ -130,52 +128,29 @@ void CachingCatalogClient::FlushQueriesLocked(char kind_tag) {
   lo.push_back(kFieldSep);
   std::string hi(1, kind_tag);
   hi.push_back(kFieldSep + 1);
-  auto begin = queries_.lower_bound(lo);
-  auto end = queries_.lower_bound(hi);
-  stats_.evictions += static_cast<uint64_t>(std::distance(begin, end));
-  queries_.erase(begin, end);
+  stats_.evictions += queries_.EraseRange(lo, hi);
 }
 
 void CachingCatalogClient::InsertLocked(ObjectRecord record) {
   std::string key = Key(record.kind, record.name);
-  auto it = objects_.find(key);
-  if (it != objects_.end()) {
-    lru_.erase(it->second.lru_pos);
-    objects_.erase(it);
-  }
-  while (objects_.size() >= capacity_) {
-    const std::string& victim = lru_.back();
-    objects_.erase(victim);
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
-  lru_.push_front(key);
-  objects_.emplace(std::move(key),
-                   CachedObject{std::move(record), lru_.begin()});
+  stats_.evictions += objects_.Put(std::move(key), std::move(record));
 }
 
 void CachingCatalogClient::EvictLocked(std::string_view kind,
                                        std::string_view name) {
-  auto it = objects_.find(Key(kind, name));
-  if (it == objects_.end()) return;
-  lru_.erase(it->second.lru_pos);
-  objects_.erase(it);
-  ++stats_.evictions;
+  if (objects_.Erase(Key(kind, name))) ++stats_.evictions;
 }
 
 void CachingCatalogClient::FlushLocked() {
-  stats_.evictions += objects_.size() + queries_.size();
-  objects_.clear();
-  lru_.clear();
-  steps_.clear();
-  queries_.clear();
+  stats_.evictions += objects_.Clear() + queries_.Clear();
+  steps_.Clear();
   ++stats_.flushes;
 }
 
 void CachingCatalogClient::ApplyChangeLocked(const CatalogChange& change) {
   if (change.kind == "dataset") {
     EvictLocked("dataset", change.name);
-    steps_.erase(change.name);
+    steps_.Erase(change.name);
     FlushQueriesLocked('D');
   } else if (change.kind == "transformation") {
     EvictLocked("transformation", change.name);
@@ -188,7 +163,7 @@ void CachingCatalogClient::ApplyChangeLocked(const CatalogChange& change) {
     // A provenance step aggregates a dataset with its producing
     // derivation and that derivation's invocations; the changelog
     // cannot pin those to one dataset key, so drop all steps.
-    steps_.clear();
+    steps_.Clear();
   } else if (change.kind == "type") {
     // A type definition moves the conformance closure, which can grow
     // any type-constrained dataset query's result set.
@@ -199,11 +174,9 @@ void CachingCatalogClient::ApplyChangeLocked(const CatalogChange& change) {
 
 Result<ObjectRecord> CachingCatalogClient::GetOrFillLocked(
     std::string_view kind, std::string_view name) {
-  auto it = objects_.find(Key(kind, name));
-  if (it != objects_.end()) {
+  if (const ObjectRecord* cached = objects_.Get(Key(kind, name))) {
     ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return it->second.record;
+    return *cached;
   }
   ++stats_.misses;
   VDG_ASSIGN_OR_RETURN(
@@ -246,7 +219,23 @@ Result<uint64_t> CachingCatalogClient::Version() {
 
 Result<std::vector<CatalogChange>> CachingCatalogClient::ChangesSince(
     uint64_t since_version) {
-  return upstream_->ChangesSince(since_version);
+  std::lock_guard<std::mutex> lock(mu_);
+  VDG_ASSIGN_OR_RETURN(std::vector<CatalogChange> changes,
+                       upstream_->ChangesSince(since_version));
+  // Piggyback: the caller just paid for a change window, so apply it
+  // to the cache too. Invalidating a change we already processed is
+  // harmless (conservative), so every entry newer than our sync point
+  // gets applied; the sync point itself only advances when the window
+  // actually starts at or before it — otherwise the skipped gap
+  // [synced_version_, since_version] could hide invalidations.
+  for (const CatalogChange& change : changes) {
+    if (change.version > synced_version_) ApplyChangeLocked(change);
+  }
+  if (!changes.empty() && since_version <= synced_version_ &&
+      changes.back().version > synced_version_) {
+    synced_version_ = changes.back().version;
+  }
+  return changes;
 }
 
 Result<Dataset> CachingCatalogClient::GetDataset(std::string_view name) {
@@ -339,11 +328,10 @@ Result<std::vector<ObjectRecord>> CachingCatalogClient::BatchGet(
   std::vector<ObjectKey> miss_keys;
   std::vector<size_t> miss_positions;
   for (size_t i = 0; i < keys.size(); ++i) {
-    auto it = objects_.find(Key(keys[i].kind, keys[i].name));
-    if (it != objects_.end()) {
+    if (const ObjectRecord* cached =
+            objects_.Get(Key(keys[i].kind, keys[i].name))) {
       ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      out[i] = it->second.record;
+      out[i] = *cached;
     } else {
       ++stats_.misses;
       miss_keys.push_back(keys[i]);
@@ -369,19 +357,14 @@ Result<std::vector<ObjectRecord>> CachingCatalogClient::BatchGet(
 Result<ProvenanceStep> CachingCatalogClient::GetProvenanceStep(
     std::string_view dataset) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = steps_.find(dataset);
-  if (it != steps_.end()) {
+  if (const ProvenanceStep* cached = steps_.Get(dataset)) {
     ++stats_.hits;
-    return it->second;
+    return *cached;
   }
   ++stats_.misses;
   VDG_ASSIGN_OR_RETURN(ProvenanceStep step,
                        upstream_->GetProvenanceStep(dataset));
-  if (steps_.size() >= capacity_) {
-    stats_.evictions += steps_.size();
-    steps_.clear();
-  }
-  steps_.emplace(step.dataset, step);
+  stats_.evictions += steps_.Put(step.dataset, step);
   return step;
 }
 
@@ -390,7 +373,7 @@ Status CachingCatalogClient::DefineDataset(Dataset dataset) {
   std::string name = dataset.name;
   VDG_RETURN_IF_ERROR(upstream_->DefineDataset(std::move(dataset)));
   EvictLocked("dataset", name);
-  steps_.erase(name);
+  steps_.Erase(name);
   FlushQueriesLocked('D');
   return Status::OK();
 }
@@ -417,7 +400,7 @@ Status CachingCatalogClient::DefineDerivation(Derivation derivation) {
   for (const std::string& output : outputs) {
     EvictLocked("dataset", output);
   }
-  steps_.clear();
+  steps_.Clear();
   // Outputs may have been auto-defined as datasets.
   FlushQueriesLocked('V');
   FlushQueriesLocked('D');
@@ -433,13 +416,13 @@ Status CachingCatalogClient::Annotate(std::string_view kind,
       upstream_->Annotate(kind, name, key, std::move(value)));
   EvictLocked(kind, name);
   if (kind == "dataset") {
-    steps_.erase(std::string(name));
+    steps_.Erase(name);
     FlushQueriesLocked('D');
   } else if (kind == "transformation") {
     FlushQueriesLocked('T');
   } else if (kind == "derivation" || kind == "invocation") {
     if (kind == "derivation") FlushQueriesLocked('V');
-    steps_.clear();
+    steps_.Clear();
   }
   return Status::OK();
 }
@@ -460,7 +443,7 @@ Result<std::string> CachingCatalogClient::RecordInvocation(
   std::lock_guard<std::mutex> lock(mu_);
   VDG_ASSIGN_OR_RETURN(std::string id,
                        upstream_->RecordInvocation(std::move(invocation)));
-  steps_.clear();  // steps embed invocation lists
+  steps_.Clear();  // steps embed invocation lists
   return id;
 }
 
@@ -479,15 +462,10 @@ Status CachingCatalogClient::InvalidateReplica(std::string_view id) {
   // The replica's dataset is unknown from the id alone; every cached
   // dataset's materialized bit is suspect.
   FlushQueriesLocked('D');
-  for (auto it = objects_.begin(); it != objects_.end();) {
-    if (it->second.record.kind == "dataset") {
-      lru_.erase(it->second.lru_pos);
-      it = objects_.erase(it);
-      ++stats_.evictions;
-    } else {
-      ++it;
-    }
-  }
+  stats_.evictions += objects_.EraseIf(
+      [](const std::string&, const ObjectRecord& record) {
+        return record.kind == "dataset";
+      });
   return Status::OK();
 }
 
@@ -507,7 +485,7 @@ Result<BatchResult> CachingCatalogClient::ApplyBatch(
           using Op = std::decay_t<decltype(op)>;
           if constexpr (std::is_same_v<Op, CatalogMutation::DefineDatasetOp>) {
             EvictLocked("dataset", op.dataset.name);
-            steps_.erase(op.dataset.name);
+            steps_.Erase(op.dataset.name);
             FlushQueriesLocked('D');
           } else if constexpr (std::is_same_v<
                                    Op,
@@ -520,7 +498,7 @@ Result<BatchResult> CachingCatalogClient::ApplyBatch(
             for (const std::string& output : op.derivation.OutputDatasets()) {
               EvictLocked("dataset", output);
             }
-            steps_.clear();
+            steps_.Clear();
             FlushQueriesLocked('V');
             FlushQueriesLocked('D');  // auto-defined output datasets
           } else if constexpr (std::is_same_v<Op,
@@ -532,13 +510,13 @@ Result<BatchResult> CachingCatalogClient::ApplyBatch(
             }
             EvictLocked(op.kind, target);
             if (op.kind == "dataset") {
-              steps_.erase(target);
+              steps_.Erase(target);
               FlushQueriesLocked('D');
             } else if (op.kind == "transformation") {
               FlushQueriesLocked('T');
             } else if (op.kind == "derivation" || op.kind == "invocation") {
               if (op.kind == "derivation") FlushQueriesLocked('V');
-              steps_.clear();
+              steps_.Clear();
             }
           } else if constexpr (std::is_same_v<Op,
                                               CatalogMutation::AddReplicaOp>) {
@@ -546,7 +524,7 @@ Result<BatchResult> CachingCatalogClient::ApplyBatch(
             FlushQueriesLocked('D');  // materialized-set queries move
           } else if constexpr (std::is_same_v<
                                    Op, CatalogMutation::RecordInvocationOp>) {
-            steps_.clear();  // steps embed invocation lists
+            steps_.Clear();  // steps embed invocation lists
           } else if constexpr (std::is_same_v<
                                    Op, CatalogMutation::SetDatasetSizeOp>) {
             EvictLocked("dataset", op.name);
@@ -555,15 +533,10 @@ Result<BatchResult> CachingCatalogClient::ApplyBatch(
             static_assert(
                 std::is_same_v<Op, CatalogMutation::InvalidateReplicaOp>);
             // The replica's dataset is unknown from the id alone.
-            for (auto it = objects_.begin(); it != objects_.end();) {
-              if (it->second.record.kind == "dataset") {
-                lru_.erase(it->second.lru_pos);
-                it = objects_.erase(it);
-                ++stats_.evictions;
-              } else {
-                ++it;
-              }
-            }
+            stats_.evictions += objects_.EraseIf(
+                [](const std::string&, const ObjectRecord& record) {
+                  return record.kind == "dataset";
+                });
             FlushQueriesLocked('D');
           }
         },

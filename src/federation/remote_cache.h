@@ -7,10 +7,113 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "catalog/client.h"
 
 namespace vdg {
+
+/// A bounded string-keyed map with least-recently-used displacement:
+/// the shared cache discipline for every per-entry cache inside
+/// CachingCatalogClient (object records, provenance steps, query
+/// result sets). Inserting past capacity displaces exactly as many
+/// cold entries as needed — never the whole map — and reports how many
+/// were displaced so callers can count evictions truthfully.
+/// Not thread-safe; callers hold their own lock.
+template <typename V>
+class LruCacheMap {
+ public:
+  explicit LruCacheMap(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Value for `key`, touched to most-recently-used; nullptr on miss.
+  /// The pointer is invalidated by the next mutating call.
+  const V* Get(std::string_view key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return &it->second.value;
+  }
+
+  /// Inserts (or replaces) `key`, displacing LRU entries while over
+  /// capacity. Returns how many entries were displaced (replacement of
+  /// an existing key counts zero).
+  size_t Put(std::string key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return 0;
+    }
+    size_t displaced = 0;
+    while (map_.size() >= capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      ++displaced;
+    }
+    lru_.push_front(key);
+    map_.emplace(std::move(key), Entry{std::move(value), lru_.begin()});
+    return displaced;
+  }
+
+  /// Removes `key`; true if it was present.
+  bool Erase(std::string_view key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+    return true;
+  }
+
+  /// Removes every key in [lo, hi); returns how many were removed.
+  size_t EraseRange(const std::string& lo, const std::string& hi) {
+    auto begin = map_.lower_bound(lo);
+    auto end = map_.lower_bound(hi);
+    size_t n = 0;
+    for (auto it = begin; it != end;) {
+      lru_.erase(it->second.lru_pos);
+      it = map_.erase(it);
+      ++n;
+    }
+    return n;
+  }
+
+  /// Removes every entry matching `pred(key, value)`; returns count.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t n = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (pred(it->first, it->second.value)) {
+        lru_.erase(it->second.lru_pos);
+        it = map_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
+  }
+
+  /// Removes everything; returns how many entries were dropped.
+  size_t Clear() {
+    size_t n = map_.size();
+    map_.clear();
+    lru_.clear();
+    return n;
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    V value;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  size_t capacity_;
+  std::map<std::string, Entry, std::less<>> map_;
+  std::list<std::string> lru_;  // front = most recent
+};
 
 /// Cache effectiveness counters.
 struct CacheStats {
@@ -79,6 +182,11 @@ class CachingCatalogClient : public CatalogClient {
   }
 
   Result<uint64_t> Version() override;
+  /// Forwards upstream, then piggybacks the observed change window
+  /// into the cache: every returned change newer than our sync point
+  /// is applied as an invalidation, and when the window covers the gap
+  /// (since_version <= synced_version_) the sync point advances — so a
+  /// caller that walks the changelog also freshens the cache for free.
   Result<std::vector<CatalogChange>> ChangesSince(
       uint64_t since_version) override;
   Result<Dataset> GetDataset(std::string_view name) override;
@@ -129,11 +237,6 @@ class CachingCatalogClient : public CatalogClient {
   static std::string QueryKey(const TransformationQuery& query);
   static std::string QueryKey(const DerivationQuery& query);
 
-  struct CachedObject {
-    ObjectRecord record;
-    std::list<std::string>::iterator lru_pos;
-  };
-
   /// Cached record for (kind, name), filling from upstream on a miss.
   /// mu_ must be held.
   Result<ObjectRecord> GetOrFillLocked(std::string_view kind,
@@ -157,16 +260,15 @@ class CachingCatalogClient : public CatalogClient {
   std::string authority_;
   size_t capacity_;
   mutable std::mutex mu_;
-  std::map<std::string, CachedObject, std::less<>> objects_;
-  std::list<std::string> lru_;  // front = most recent
+  LruCacheMap<ObjectRecord> objects_;
   /// Provenance steps by dataset name. Conservatively flushed whenever
   /// a derivation or invocation changes anywhere: a step aggregates
   /// objects the per-object changelog cannot pin to one dataset.
-  std::map<std::string, ProvenanceStep, std::less<>> steps_;
+  LruCacheMap<ProvenanceStep> steps_;
   /// Whole Find* result sets by normalized query key (see QueryKey).
-  /// Flushed per kind on any change of that kind; cleared wholesale
-  /// when full (same policy as steps_).
-  std::map<std::string, std::vector<std::string>, std::less<>> queries_;
+  /// Flushed per kind on any change of that kind; entries past capacity
+  /// displace the least-recently-used set, same policy as objects_.
+  LruCacheMap<std::vector<std::string>> queries_;
   uint64_t synced_version_ = 0;
   CacheStats stats_;
 };

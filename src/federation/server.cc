@@ -1,0 +1,985 @@
+#include "federation/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace vdg {
+
+namespace {
+
+/// Whole-buffer send loop; false on a broken socket.
+bool SendAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// -----------------------------------------------------------------------
+// ServerConnection
+// -----------------------------------------------------------------------
+
+ServerConnection::ServerConnection(CatalogServer* server, int client_fd,
+                                   int server_fd)
+    : server_(server), client_fd_(client_fd), server_fd_(server_fd) {}
+
+ServerConnection::~ServerConnection() {
+  Close();
+  if (pump_.joinable()) pump_.join();
+  if (client_fd_ >= 0) ::close(client_fd_);
+  if (server_fd_ >= 0) ::close(server_fd_);
+}
+
+bool ServerConnection::ClientSend(std::string_view bytes) {
+  if (client_fd_ >= 0) {
+    std::lock_guard<std::mutex> lock(write_fd_mu_);
+    if (closed()) return false;
+    return SendAll(client_fd_, bytes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    inbound_.append(bytes);
+  }
+  server_->NotifyReadable(this);
+  return true;
+}
+
+bool ServerConnection::ClientReceive(std::string* out) {
+  if (client_fd_ >= 0) {
+    char buf[16384];
+    for (;;) {
+      ssize_t n = ::recv(client_fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      out->append(buf, static_cast<size_t>(n));
+      return true;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  outbound_cv_.wait(lock, [this] { return !outbound_.empty() || closed_; });
+  if (outbound_.empty()) return false;  // closed with nothing pending
+  out->append(outbound_);
+  outbound_.clear();
+  return true;
+}
+
+void ServerConnection::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  // Unblock any recv() in the pump thread / client receiver.
+  if (client_fd_ >= 0) ::shutdown(client_fd_, SHUT_RDWR);
+  if (server_fd_ >= 0) ::shutdown(server_fd_, SHUT_RDWR);
+  outbound_cv_.notify_all();
+  // Let the dispatcher notice and prune this connection.
+  if (server_ != nullptr) server_->NotifyReadable(this);
+}
+
+bool ServerConnection::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+void ServerConnection::ServerWrite(std::string_view frame) {
+  if (server_fd_ >= 0) {
+    std::lock_guard<std::mutex> lock(write_fd_mu_);
+    SendAll(server_fd_, frame);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    outbound_.append(frame);
+  }
+  outbound_cv_.notify_all();
+}
+
+// -----------------------------------------------------------------------
+// CatalogServer
+// -----------------------------------------------------------------------
+
+CatalogServer::CatalogServer(std::shared_ptr<CatalogClient> backend,
+                             ServerOptions options)
+    : backend_(std::move(backend)), options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  handler_delay_us_.store(options_.handler_delay.count(),
+                          std::memory_order_relaxed);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CatalogServer::~CatalogServer() { Shutdown(); }
+
+std::shared_ptr<ServerConnection> CatalogServer::Connect(bool use_socket) {
+  int client_fd = -1;
+  int server_fd = -1;
+  if (use_socket) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0) {
+      client_fd = fds[0];
+      server_fd = fds[1];
+    }
+    // On failure fall back to the in-memory pipe: same protocol, no fds.
+  }
+  std::shared_ptr<ServerConnection> conn(
+      new ServerConnection(this, client_fd, server_fd));
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejected = true;
+    } else {
+      connections_.push_back(conn);
+    }
+  }
+  if (rejected) {
+    // Close outside mu_: Close() notifies the dispatcher via
+    // NotifyReadable, which takes mu_ itself.
+    conn->Close();
+    return conn;
+  }
+  if (server_fd >= 0) {
+    // Socket mode: a pump thread moves kernel bytes into the same
+    // inbound path the in-memory pipe uses, so the dispatcher is
+    // transport-agnostic.
+    ServerConnection* raw = conn.get();
+    raw->pump_ = std::thread([this, raw] {
+      char buf[16384];
+      for (;;) {
+        ssize_t n = ::recv(raw->server_fd_, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        {
+          std::lock_guard<std::mutex> lock(raw->mu_);
+          if (raw->closed_) break;
+          raw->inbound_.append(buf, static_cast<size_t>(n));
+        }
+        NotifyReadable(raw);
+      }
+      raw->Close();
+    });
+  }
+  return conn;
+}
+
+void CatalogServer::Shutdown() {
+  std::vector<std::shared_ptr<ServerConnection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+    conns = connections_;
+  }
+  dispatcher_cv_.notify_all();
+  worker_cv_.notify_all();
+  // Close connections before joining: a worker blocked writing to a
+  // full socket unblocks once the peer is shut down.
+  for (auto& conn : conns) conn->Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.clear();
+  queue_.clear();
+}
+
+void CatalogServer::NotifyReadable(ServerConnection* conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    readable_.push_back(conn);
+  }
+  dispatcher_cv_.notify_all();
+}
+
+void CatalogServer::DispatcherLoop() {
+  for (;;) {
+    std::shared_ptr<ServerConnection> conn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      dispatcher_cv_.wait(
+          lock, [this] { return stopping_ || !readable_.empty(); });
+      if (stopping_) return;
+      ServerConnection* raw = readable_.front();
+      readable_.erase(readable_.begin());
+      for (const auto& c : connections_) {
+        if (c.get() == raw) {
+          conn = c;
+          break;
+        }
+      }
+      // Prune connections both sides are done with.
+      connections_.erase(
+          std::remove_if(connections_.begin(), connections_.end(),
+                         [&](const std::shared_ptr<ServerConnection>& c) {
+                           return c != conn && c->closed();
+                         }),
+          connections_.end());
+    }
+    if (conn != nullptr && !conn->closed()) DrainConnection(conn);
+  }
+}
+
+void CatalogServer::DrainConnection(
+    const std::shared_ptr<ServerConnection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu_);
+    conn->parse_buffer_.append(conn->inbound_);
+    conn->inbound_.clear();
+  }
+  std::string& buffer = conn->parse_buffer_;
+  while (!buffer.empty()) {
+    Result<size_t> size = wire::FrameSize(buffer);
+    if (!size.ok()) {
+      if (size.status().IsNotFound()) break;  // need more bytes
+      // Corrupt framing: the stream cannot be resynchronized.
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      buffer.clear();
+      conn->Close();
+      return;
+    }
+    if (buffer.size() < *size) break;  // incomplete frame
+    std::string_view frame_bytes(buffer.data(), *size);
+    Result<wire::Frame> frame = wire::DecodeFrame(frame_bytes);
+    if (!frame.ok() || frame->is_response) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      buffer.clear();
+      conn->Close();
+      return;
+    }
+    stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_in.fetch_add(*size, std::memory_order_relaxed);
+    WorkItem item;
+    item.conn = conn;
+    item.request_id = frame->request_id;
+    item.kind = frame->kind;
+    item.payload.assign(frame->payload);
+    buffer.erase(0, *size);
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!stopping_ && queue_.size() < options_.queue_capacity) {
+        queue_.push_back(std::move(item));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      worker_cv_.notify_one();
+    } else {
+      // Admission control: reject at the door, before any worker is
+      // occupied, so overload degrades to fast-failing calls instead
+      // of unbounded queueing.
+      stats_.queue_rejections.fetch_add(1, std::memory_order_relaxed);
+      wire::Response rejected;
+      rejected.kind = item.kind;
+      rejected.status =
+          Status::ResourceExhausted("catalog server work queue is full");
+      Reply(conn, item.request_id, rejected);
+    }
+  }
+}
+
+void CatalogServer::WorkerLoop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      worker_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    int64_t delay_us = handler_delay_us_.load(std::memory_order_relaxed);
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+    wire::Response response;
+    Result<wire::Request> request =
+        wire::DecodeRequest(item.kind, item.payload);
+    if (!request.ok()) {
+      response.kind = item.kind;
+      response.status = request.status();
+    } else {
+      response = Execute(*request);
+    }
+    stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+    Reply(item.conn, item.request_id, response);
+  }
+}
+
+wire::Response CatalogServer::Execute(const wire::Request& request) {
+  wire::Response resp;
+  resp.kind = request.kind;
+  // Every arm forwards to the backend and either records the error
+  // status or wraps the value in the kind's response body.
+  switch (request.kind) {
+    case wire::MsgKind::kHandshake:
+      resp.body =
+          wire::HandshakeResp{backend_->authority(), backend_->read_only()};
+      break;
+    case wire::MsgKind::kVersion: {
+      Result<uint64_t> r = backend_->Version();
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::VersionResp{*r};
+      break;
+    }
+    case wire::MsgKind::kChangesSince: {
+      const auto& body = std::get<wire::ChangesSinceReq>(request.body);
+      Result<std::vector<CatalogChange>> r =
+          backend_->ChangesSince(body.since_version);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::ChangesResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kGetDataset: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      Result<Dataset> r = backend_->GetDataset(body.name);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::DatasetResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kGetTransformation: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      Result<Transformation> r = backend_->GetTransformation(body.name);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::TransformationResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kGetDerivation: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      Result<Derivation> r = backend_->GetDerivation(body.name);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::DerivationResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kHasDataset: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      Result<bool> r = backend_->HasDataset(body.name);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::BoolResp{*r};
+      break;
+    }
+    case wire::MsgKind::kIsMaterialized: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      Result<bool> r = backend_->IsMaterialized(body.name);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::BoolResp{*r};
+      break;
+    }
+    case wire::MsgKind::kProducerOf: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      Result<std::string> r = backend_->ProducerOf(body.name);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::StringResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kInvocationsOf: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      Result<std::vector<Invocation>> r = backend_->InvocationsOf(body.name);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::InvocationsResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kFindDatasets: {
+      const auto& body = std::get<wire::FindDatasetsReq>(request.body);
+      Result<std::vector<std::string>> r = backend_->FindDatasets(body.query);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::NamesResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kFindTransformations: {
+      const auto& body = std::get<wire::FindTransformationsReq>(request.body);
+      Result<std::vector<std::string>> r =
+          backend_->FindTransformations(body.query);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::NamesResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kFindDerivations: {
+      const auto& body = std::get<wire::FindDerivationsReq>(request.body);
+      Result<std::vector<std::string>> r =
+          backend_->FindDerivations(body.query);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::NamesResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kAllNames: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      Result<std::vector<std::string>> r = backend_->AllNames(body.name);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::NamesResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kTypeConforms: {
+      const auto& body = std::get<wire::TypeConformsReq>(request.body);
+      Result<bool> r = backend_->TypeConforms(body.type, body.against);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::BoolResp{*r};
+      break;
+    }
+    case wire::MsgKind::kBatchGet: {
+      const auto& body = std::get<wire::BatchGetReq>(request.body);
+      Result<std::vector<ObjectRecord>> r = backend_->BatchGet(body.keys);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::RecordsResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kGetProvenanceStep: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      Result<ProvenanceStep> r = backend_->GetProvenanceStep(body.name);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::StepResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kDefineDataset: {
+      const auto& body = std::get<wire::DefineDatasetReq>(request.body);
+      resp.status = backend_->DefineDataset(body.dataset);
+      break;
+    }
+    case wire::MsgKind::kDefineTransformation: {
+      const auto& body = std::get<wire::DefineTransformationReq>(request.body);
+      resp.status = backend_->DefineTransformation(body.transformation);
+      break;
+    }
+    case wire::MsgKind::kDefineDerivation: {
+      const auto& body = std::get<wire::DefineDerivationReq>(request.body);
+      resp.status = backend_->DefineDerivation(body.derivation);
+      break;
+    }
+    case wire::MsgKind::kAnnotate: {
+      const auto& body = std::get<wire::AnnotateReq>(request.body);
+      resp.status =
+          backend_->Annotate(body.kind, body.name, body.key, body.value);
+      break;
+    }
+    case wire::MsgKind::kAddReplica: {
+      const auto& body = std::get<wire::AddReplicaReq>(request.body);
+      Result<std::string> r = backend_->AddReplica(body.replica);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::StringResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kRecordInvocation: {
+      const auto& body = std::get<wire::RecordInvocationReq>(request.body);
+      Result<std::string> r = backend_->RecordInvocation(body.invocation);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::StringResp{std::move(*r)};
+      break;
+    }
+    case wire::MsgKind::kSetDatasetSize: {
+      const auto& body = std::get<wire::SetDatasetSizeReq>(request.body);
+      resp.status = backend_->SetDatasetSize(body.name, body.size_bytes);
+      break;
+    }
+    case wire::MsgKind::kInvalidateReplica: {
+      const auto& body = std::get<wire::NameReq>(request.body);
+      resp.status = backend_->InvalidateReplica(body.name);
+      break;
+    }
+    case wire::MsgKind::kApplyBatch: {
+      const auto& body = std::get<wire::ApplyBatchReq>(request.body);
+      Result<BatchResult> r =
+          backend_->ApplyBatch(body.mutations, body.options);
+      if (!r.ok()) resp.status = r.status();
+      else resp.body = wire::BatchResultResp{std::move(*r)};
+      break;
+    }
+  }
+  return resp;
+}
+
+void CatalogServer::Reply(const std::shared_ptr<ServerConnection>& conn,
+                          uint64_t request_id,
+                          const wire::Response& response) {
+  std::string frame = wire::EncodeResponseFrame(request_id, response);
+  stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+  conn->ServerWrite(frame);
+}
+
+// -----------------------------------------------------------------------
+// WireCatalogClient
+// -----------------------------------------------------------------------
+
+Result<std::shared_ptr<WireCatalogClient>> WireCatalogClient::Connect(
+    CatalogServer* server, WireClientOptions options, bool use_socket) {
+  std::shared_ptr<ServerConnection> conn = server->Connect(use_socket);
+  if (conn->closed()) {
+    return Status::Unavailable("catalog server is shut down");
+  }
+  std::shared_ptr<WireCatalogClient> client(
+      new WireCatalogClient(std::move(conn), options));
+  wire::Request handshake;
+  handshake.kind = wire::MsgKind::kHandshake;
+  handshake.body = wire::EmptyReq{};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, client->Call(handshake));
+  if (!resp.status.ok()) return resp.status;
+  const auto* body = std::get_if<wire::HandshakeResp>(&resp.body);
+  if (body == nullptr) {
+    return Status::Internal("wire: handshake response carried no body");
+  }
+  client->authority_ = body->authority;
+  client->read_only_ = body->read_only;
+  return client;
+}
+
+WireCatalogClient::WireCatalogClient(std::shared_ptr<ServerConnection> conn,
+                                     WireClientOptions options)
+    : conn_(std::move(conn)), options_(options) {
+  receiver_ = std::thread([this] { ReceiverLoop(); });
+}
+
+WireCatalogClient::~WireCatalogClient() {
+  Disconnect();
+  if (receiver_.joinable()) receiver_.join();
+}
+
+WireClientStats WireCatalogClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WireCatalogClient::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = WireClientStats{};
+}
+
+void WireCatalogClient::CancelPending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, slot] : pending_) {
+    if (slot->done) continue;
+    slot->done = true;
+    slot->abandoned = true;
+    slot->error = Status::Cancelled("call cancelled by CancelPending");
+    stats_.cancellations++;
+    slot->cv.notify_all();
+  }
+}
+
+void WireCatalogClient::Disconnect() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_) return;
+    broken_ = true;
+  }
+  conn_->Close();
+  FailAllPending(Status::Unavailable("wire client disconnected"));
+}
+
+void WireCatalogClient::FailAllPending(const Status& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, slot] : pending_) {
+    if (slot->done) continue;
+    slot->done = true;
+    slot->error = error;
+    slot->cv.notify_all();
+  }
+}
+
+void WireCatalogClient::ReceiverLoop() {
+  std::string buffer;
+  for (;;) {
+    if (!conn_->ClientReceive(&buffer)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        broken_ = true;
+      }
+      FailAllPending(Status::Unavailable("wire connection closed by server"));
+      return;
+    }
+    while (!buffer.empty()) {
+      Result<size_t> size = wire::FrameSize(buffer);
+      if (!size.ok()) {
+        if (size.status().IsNotFound()) break;  // need more bytes
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          broken_ = true;
+        }
+        conn_->Close();
+        FailAllPending(Status::Unavailable(
+            "wire response stream is corrupt: " + size.status().message()));
+        return;
+      }
+      if (buffer.size() < *size) break;
+      Result<wire::Frame> frame =
+          wire::DecodeFrame(std::string_view(buffer.data(), *size));
+      if (!frame.ok() || !frame->is_response) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          broken_ = true;
+        }
+        conn_->Close();
+        FailAllPending(
+            Status::Unavailable("wire response stream is corrupt"));
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.bytes_received += *size;
+        auto it = pending_.find(frame->request_id);
+        if (it != pending_.end() && !it->second->done) {
+          // Deposit raw payload bytes; the caller decodes on its own
+          // thread so the receiver never stalls on a large response.
+          it->second->payload.assign(frame->payload);
+          it->second->done = true;
+          it->second->cv.notify_all();
+        }
+        // else: response to an abandoned (deadline-expired/cancelled)
+        // or unknown request — discarded by design.
+      }
+      buffer.erase(0, *size);
+    }
+  }
+}
+
+Result<wire::Response> WireCatalogClient::Call(const wire::Request& request) {
+  std::shared_ptr<PendingSlot> slot;
+  uint64_t request_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_) {
+      stats_.failures++;
+      return Status::Unavailable("wire client is disconnected");
+    }
+    if (pending_.size() >= options_.max_in_flight) {
+      stats_.admission_rejections++;
+      return Status::ResourceExhausted(
+          "wire client in-flight limit reached");
+    }
+    request_id = next_request_id_++;
+    slot = std::make_shared<PendingSlot>();
+    pending_.emplace(request_id, slot);
+  }
+  std::string frame = wire::EncodeRequestFrame(request_id, request);
+  if (!conn_->ClientSend(frame)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(request_id);
+    stats_.failures++;
+    return Status::Unavailable("wire connection closed");
+  }
+  const bool has_deadline = options_.default_deadline.count() > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.default_deadline;
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.bytes_sent += frame.size();
+  while (!slot->done) {
+    if (has_deadline) {
+      if (slot->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !slot->done) {
+        // Abandon the slot: the request may still execute server-side,
+        // but its response is discarded on arrival.
+        slot->abandoned = true;
+        pending_.erase(request_id);
+        stats_.deadline_expiries++;
+        return Status::DeadlineExceeded(
+            "wire call deadline expired: " +
+            std::string(wire::MsgKindName(request.kind)));
+      }
+    } else {
+      slot->cv.wait(lock);
+    }
+  }
+  pending_.erase(request_id);
+  if (!slot->error.ok()) {
+    if (!slot->error.IsCancelled()) stats_.failures++;
+    return slot->error;
+  }
+  stats_.round_trips++;
+  std::string payload = std::move(slot->payload);
+  lock.unlock();
+  // Decode on the calling thread, outside the client lock.
+  return wire::DecodeResponse(request.kind, payload);
+}
+
+namespace {
+
+/// Extracts the typed body of an OK response; a missing body of the
+/// expected alternative is a protocol violation.
+template <typename BodyT>
+Result<BodyT> TakeBody(wire::Response&& resp) {
+  if (!resp.status.ok()) return resp.status;
+  auto* body = std::get_if<BodyT>(&resp.body);
+  if (body == nullptr) {
+    return Status::Internal("wire: response body missing for " +
+                            std::string(wire::MsgKindName(resp.kind)));
+  }
+  return std::move(*body);
+}
+
+wire::Request MakeNameRequest(wire::MsgKind kind, std::string_view name) {
+  wire::Request req;
+  req.kind = kind;
+  req.body = wire::NameReq{std::string(name)};
+  return req;
+}
+
+}  // namespace
+
+Result<uint64_t> WireCatalogClient::Version() {
+  wire::Request req;
+  req.kind = wire::MsgKind::kVersion;
+  req.body = wire::EmptyReq{};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::VersionResp body,
+                       TakeBody<wire::VersionResp>(std::move(resp)));
+  return body.version;
+}
+
+Result<std::vector<CatalogChange>> WireCatalogClient::ChangesSince(
+    uint64_t since_version) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kChangesSince;
+  req.body = wire::ChangesSinceReq{since_version};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::ChangesResp body,
+                       TakeBody<wire::ChangesResp>(std::move(resp)));
+  return std::move(body.changes);
+}
+
+Result<Dataset> WireCatalogClient::GetDataset(std::string_view name) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kGetDataset, name)));
+  VDG_ASSIGN_OR_RETURN(wire::DatasetResp body,
+                       TakeBody<wire::DatasetResp>(std::move(resp)));
+  return std::move(body.dataset);
+}
+
+Result<Transformation> WireCatalogClient::GetTransformation(
+    std::string_view name) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kGetTransformation, name)));
+  VDG_ASSIGN_OR_RETURN(wire::TransformationResp body,
+                       TakeBody<wire::TransformationResp>(std::move(resp)));
+  return std::move(body.transformation);
+}
+
+Result<Derivation> WireCatalogClient::GetDerivation(std::string_view name) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kGetDerivation, name)));
+  VDG_ASSIGN_OR_RETURN(wire::DerivationResp body,
+                       TakeBody<wire::DerivationResp>(std::move(resp)));
+  return std::move(body.derivation);
+}
+
+Result<bool> WireCatalogClient::HasDataset(std::string_view name) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kHasDataset, name)));
+  VDG_ASSIGN_OR_RETURN(wire::BoolResp body,
+                       TakeBody<wire::BoolResp>(std::move(resp)));
+  return body.value;
+}
+
+Result<bool> WireCatalogClient::IsMaterialized(std::string_view dataset) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kIsMaterialized, dataset)));
+  VDG_ASSIGN_OR_RETURN(wire::BoolResp body,
+                       TakeBody<wire::BoolResp>(std::move(resp)));
+  return body.value;
+}
+
+Result<std::string> WireCatalogClient::ProducerOf(std::string_view dataset) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kProducerOf, dataset)));
+  VDG_ASSIGN_OR_RETURN(wire::StringResp body,
+                       TakeBody<wire::StringResp>(std::move(resp)));
+  return std::move(body.value);
+}
+
+Result<std::vector<Invocation>> WireCatalogClient::InvocationsOf(
+    std::string_view derivation) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kInvocationsOf, derivation)));
+  VDG_ASSIGN_OR_RETURN(wire::InvocationsResp body,
+                       TakeBody<wire::InvocationsResp>(std::move(resp)));
+  return std::move(body.invocations);
+}
+
+Result<std::vector<std::string>> WireCatalogClient::FindDatasets(
+    const DatasetQuery& query) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kFindDatasets;
+  req.body = wire::FindDatasetsReq{query};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::NamesResp body,
+                       TakeBody<wire::NamesResp>(std::move(resp)));
+  return std::move(body.names);
+}
+
+Result<std::vector<std::string>> WireCatalogClient::FindTransformations(
+    const TransformationQuery& query) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kFindTransformations;
+  req.body = wire::FindTransformationsReq{query};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::NamesResp body,
+                       TakeBody<wire::NamesResp>(std::move(resp)));
+  return std::move(body.names);
+}
+
+Result<std::vector<std::string>> WireCatalogClient::FindDerivations(
+    const DerivationQuery& query) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kFindDerivations;
+  req.body = wire::FindDerivationsReq{query};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::NamesResp body,
+                       TakeBody<wire::NamesResp>(std::move(resp)));
+  return std::move(body.names);
+}
+
+Result<std::vector<std::string>> WireCatalogClient::AllNames(
+    std::string_view kind) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kAllNames, kind)));
+  VDG_ASSIGN_OR_RETURN(wire::NamesResp body,
+                       TakeBody<wire::NamesResp>(std::move(resp)));
+  return std::move(body.names);
+}
+
+Result<bool> WireCatalogClient::TypeConforms(const DatasetType& type,
+                                             const DatasetType& against) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kTypeConforms;
+  req.body = wire::TypeConformsReq{type, against};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::BoolResp body,
+                       TakeBody<wire::BoolResp>(std::move(resp)));
+  return body.value;
+}
+
+Result<std::vector<ObjectRecord>> WireCatalogClient::BatchGet(
+    const std::vector<ObjectKey>& keys) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kBatchGet;
+  req.body = wire::BatchGetReq{keys};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::RecordsResp body,
+                       TakeBody<wire::RecordsResp>(std::move(resp)));
+  return std::move(body.records);
+}
+
+Result<ProvenanceStep> WireCatalogClient::GetProvenanceStep(
+    std::string_view dataset) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kGetProvenanceStep, dataset)));
+  VDG_ASSIGN_OR_RETURN(wire::StepResp body,
+                       TakeBody<wire::StepResp>(std::move(resp)));
+  return std::move(body.step);
+}
+
+Status WireCatalogClient::DefineDataset(Dataset dataset) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kDefineDataset;
+  req.body = wire::DefineDatasetReq{std::move(dataset)};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  return resp.status;
+}
+
+Status WireCatalogClient::DefineTransformation(Transformation transformation) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kDefineTransformation;
+  req.body = wire::DefineTransformationReq{std::move(transformation)};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  return resp.status;
+}
+
+Status WireCatalogClient::DefineDerivation(Derivation derivation) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kDefineDerivation;
+  req.body = wire::DefineDerivationReq{std::move(derivation)};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  return resp.status;
+}
+
+Status WireCatalogClient::Annotate(std::string_view kind,
+                                   std::string_view name,
+                                   std::string_view key,
+                                   AttributeValue value) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kAnnotate;
+  req.body = wire::AnnotateReq{std::string(kind), std::string(name),
+                               std::string(key), std::move(value)};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  return resp.status;
+}
+
+Result<std::string> WireCatalogClient::AddReplica(Replica replica) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kAddReplica;
+  req.body = wire::AddReplicaReq{std::move(replica)};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::StringResp body,
+                       TakeBody<wire::StringResp>(std::move(resp)));
+  return std::move(body.value);
+}
+
+Result<std::string> WireCatalogClient::RecordInvocation(
+    Invocation invocation) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kRecordInvocation;
+  req.body = wire::RecordInvocationReq{std::move(invocation)};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::StringResp body,
+                       TakeBody<wire::StringResp>(std::move(resp)));
+  return std::move(body.value);
+}
+
+Status WireCatalogClient::SetDatasetSize(std::string_view name,
+                                         int64_t size_bytes) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kSetDatasetSize;
+  req.body = wire::SetDatasetSizeReq{std::string(name), size_bytes};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  return resp.status;
+}
+
+Status WireCatalogClient::InvalidateReplica(std::string_view id) {
+  VDG_ASSIGN_OR_RETURN(
+      wire::Response resp,
+      Call(MakeNameRequest(wire::MsgKind::kInvalidateReplica, id)));
+  return resp.status;
+}
+
+Result<BatchResult> WireCatalogClient::ApplyBatch(
+    const std::vector<CatalogMutation>& mutations,
+    const BatchOptions& options) {
+  wire::Request req;
+  req.kind = wire::MsgKind::kApplyBatch;
+  req.body = wire::ApplyBatchReq{mutations, options};
+  VDG_ASSIGN_OR_RETURN(wire::Response resp, Call(req));
+  VDG_ASSIGN_OR_RETURN(wire::BatchResultResp body,
+                       TakeBody<wire::BatchResultResp>(std::move(resp)));
+  return std::move(body.result);
+}
+
+}  // namespace vdg

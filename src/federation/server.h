@@ -1,0 +1,334 @@
+#ifndef VDG_FEDERATION_SERVER_H_
+#define VDG_FEDERATION_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/client.h"
+#include "catalog/wire.h"
+
+namespace vdg {
+
+// -----------------------------------------------------------------------
+// CatalogServer — a real service runtime in front of a CatalogClient
+// backend: requests arrive as wire-codec frames on duplex byte
+// channels, an event-loop dispatcher thread validates and admits them,
+// and a stateless worker pool decodes, executes, and replies. Unlike
+// SimulatedRpcCatalogClient (which hands objects across a simulated
+// clock), every byte here is genuinely serialized, checksummed, and
+// dispatched across real threads — RPC cost is measured, not modeled.
+//
+// Threading model:
+//  - One dispatcher thread owns frame extraction: it wakes when any
+//    connection has inbound bytes, splits them into frames, validates
+//    header + CRC, and pushes complete frames onto a bounded work
+//    queue. A malformed frame closes its connection (stream framing
+//    cannot be resynchronized after corruption). A full work queue
+//    makes the dispatcher answer immediately with ResourceExhausted —
+//    admission control happens before a worker is ever occupied.
+//  - N stateless workers pop frames, decode the request, execute it
+//    against the backend, and write the response frame atomically to
+//    the connection. Workers keep no per-connection state, so any
+//    worker can serve any request and a slow call never wedges the
+//    pool. The backend must be thread-safe (InProcessCatalogClient
+//    over VirtualDataCatalog is).
+//  - Connections are in-memory duplex pipes by default (hermetic, no
+//    fds); loopback-socket mode runs the same byte protocol over an
+//    AF_UNIX socketpair with a per-connection pump thread, proving the
+//    codec against a real kernel byte stream.
+// -----------------------------------------------------------------------
+
+struct ServerOptions {
+  /// Worker threads executing requests against the backend.
+  size_t workers = 4;
+  /// Bounded work-queue depth; frames beyond this are rejected with
+  /// ResourceExhausted at admission (backpressure, not buffering).
+  size_t queue_capacity = 128;
+  /// Test/bench hook: every worker sleeps this long before executing a
+  /// request, simulating slow handlers for deadline/backpressure tests.
+  std::chrono::microseconds handler_delay{0};
+};
+
+/// Aggregate server counters (atomics: touched by dispatcher, workers,
+/// and pump threads concurrently).
+struct ServerStats {
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> frames_out{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> requests_served{0};   // executed by a worker
+  std::atomic<uint64_t> queue_rejections{0};  // admission-control bounces
+  std::atomic<uint64_t> protocol_errors{0};   // malformed frames (closes conn)
+};
+
+class CatalogServer;
+
+/// One duplex byte channel between a client and the server. The client
+/// half writes request bytes and blocks reading response bytes; the
+/// server half is driven by the dispatcher/workers. Created only by
+/// CatalogServer::Connect().
+class ServerConnection {
+ public:
+  ~ServerConnection();
+
+  /// Client-side: appends request bytes and wakes the dispatcher.
+  /// Returns false once the connection is closed.
+  bool ClientSend(std::string_view bytes);
+
+  /// Client-side: blocks until response bytes arrive (appended to
+  /// `*out`) or the connection closes with nothing pending (returns
+  /// false — EOF).
+  bool ClientReceive(std::string* out);
+
+  /// Closes both directions; blocked receivers wake with EOF. Safe to
+  /// call from either side, multiple times.
+  void Close();
+
+  bool closed() const;
+
+ private:
+  friend class CatalogServer;
+  explicit ServerConnection(CatalogServer* server, int client_fd,
+                            int server_fd);
+
+  /// Server-side: appends response bytes (one whole frame per call,
+  /// under the write lock, so concurrent workers never interleave
+  /// frames) and wakes the client reader.
+  void ServerWrite(std::string_view frame);
+
+  CatalogServer* server_;
+
+  mutable std::mutex mu_;
+  std::condition_variable outbound_cv_;
+  std::string inbound_;       // client -> server, drained by dispatcher
+  std::string outbound_;      // server -> client, drained by ClientReceive
+  bool closed_ = false;
+
+  /// Socket mode: the AF_UNIX socketpair ends (-1 in pipe mode). The
+  /// client writes/reads client_fd_ directly; a server pump thread
+  /// feeds recv()'d bytes into the same inbound_ path.
+  int client_fd_ = -1;
+  int server_fd_ = -1;
+  std::mutex write_fd_mu_;    // serializes whole-frame send()s
+  std::thread pump_;
+
+  /// Dispatcher-owned reassembly buffer for partially received frames.
+  /// Only the dispatcher thread touches it — no lock.
+  std::string parse_buffer_;
+};
+
+class CatalogServer {
+ public:
+  /// `backend` executes decoded requests; it must be thread-safe and
+  /// outlive the server. Workers and the dispatcher start immediately.
+  CatalogServer(std::shared_ptr<CatalogClient> backend,
+                ServerOptions options = {});
+  ~CatalogServer();
+
+  CatalogServer(const CatalogServer&) = delete;
+  CatalogServer& operator=(const CatalogServer&) = delete;
+
+  /// Opens a new duplex channel. `use_socket` selects the AF_UNIX
+  /// socketpair transport (falls back to the in-memory pipe if the
+  /// socketpair cannot be created).
+  std::shared_ptr<ServerConnection> Connect(bool use_socket = false);
+
+  /// Stops dispatcher and workers and closes every connection. Queued
+  /// but unexecuted requests are dropped; their clients see EOF and
+  /// fail pending calls with Unavailable. Idempotent; the destructor
+  /// calls it.
+  void Shutdown();
+
+  const ServerStats& stats() const { return stats_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Adjusts the handler-delay test hook at runtime (e.g. connect
+  /// fast, then slow the handlers to force a deadline expiry).
+  void set_handler_delay(std::chrono::microseconds delay) {
+    handler_delay_us_.store(delay.count(), std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ServerConnection;
+
+  struct WorkItem {
+    std::shared_ptr<ServerConnection> conn;
+    uint64_t request_id = 0;
+    wire::MsgKind kind = wire::MsgKind::kVersion;
+    std::string payload;  // request payload bytes (already CRC-checked)
+  };
+
+  /// Wakes the dispatcher: `conn` has new inbound bytes.
+  void NotifyReadable(ServerConnection* conn);
+
+  void DispatcherLoop();
+  void WorkerLoop();
+
+  /// Splits every complete frame out of `conn`'s inbound stream,
+  /// admitting each to the work queue or rejecting/closing per policy.
+  void DrainConnection(const std::shared_ptr<ServerConnection>& conn);
+
+  /// Executes one decoded request against the backend.
+  wire::Response Execute(const wire::Request& request);
+
+  void Reply(const std::shared_ptr<ServerConnection>& conn,
+             uint64_t request_id, const wire::Response& response);
+
+  std::shared_ptr<CatalogClient> backend_;
+  ServerOptions options_;
+  std::atomic<int64_t> handler_delay_us_{0};
+  ServerStats stats_;
+
+  std::mutex mu_;  // guards connections_, readable_, queue_, stopping_
+  std::condition_variable dispatcher_cv_;
+  std::condition_variable worker_cv_;
+  std::vector<std::shared_ptr<ServerConnection>> connections_;
+  std::vector<ServerConnection*> readable_;
+  std::deque<WorkItem> queue_;
+  bool stopping_ = false;
+
+  std::thread dispatcher_;
+  std::vector<std::thread> workers_;
+};
+
+// -----------------------------------------------------------------------
+// WireCatalogClient — the CatalogClient that actually speaks the wire
+// protocol: every call encodes a frame, ships it through a
+// ServerConnection, and blocks until the matching response frame
+// returns or the per-request deadline expires. Thread-safe: any number
+// of threads may issue calls concurrently; a receiver thread
+// demultiplexes response frames to per-request slots by request id.
+// -----------------------------------------------------------------------
+
+struct WireClientOptions {
+  /// Per-request deadline. A request still unanswered when it expires
+  /// fails with DeadlineExceeded; the late response (if any) is
+  /// discarded on arrival. zero() disables the deadline.
+  std::chrono::milliseconds default_deadline{5000};
+  /// Admission bound: calls beyond this many in flight fail immediately
+  /// with ResourceExhausted instead of queueing client-side.
+  size_t max_in_flight = 64;
+};
+
+/// Client-side transport counters.
+struct WireClientStats {
+  uint64_t round_trips = 0;           // completed request/response pairs
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t deadline_expiries = 0;
+  uint64_t admission_rejections = 0;  // max_in_flight bounces
+  uint64_t cancellations = 0;         // calls failed by CancelPending
+  uint64_t failures = 0;              // transport-level failures (EOF etc.)
+};
+
+class WireCatalogClient : public CatalogClient {
+ public:
+  /// Connects to `server` and performs the handshake (one round trip)
+  /// to learn the authority and read-only bit. Fails if the server is
+  /// already shut down.
+  static Result<std::shared_ptr<WireCatalogClient>> Connect(
+      CatalogServer* server, WireClientOptions options = {},
+      bool use_socket = false);
+
+  ~WireCatalogClient() override;
+
+  const std::string& authority() const override { return authority_; }
+  bool read_only() const override { return read_only_; }
+
+  WireClientStats stats() const;
+  void reset_stats();
+
+  /// Fails every in-flight call with Cancelled. The connection stays
+  /// usable for new calls; late responses to cancelled requests are
+  /// discarded.
+  void CancelPending();
+
+  /// Closes the connection; all pending and future calls fail with
+  /// Unavailable.
+  void Disconnect();
+
+  Result<uint64_t> Version() override;
+  Result<std::vector<CatalogChange>> ChangesSince(
+      uint64_t since_version) override;
+  Result<Dataset> GetDataset(std::string_view name) override;
+  Result<Transformation> GetTransformation(std::string_view name) override;
+  Result<Derivation> GetDerivation(std::string_view name) override;
+  Result<bool> HasDataset(std::string_view name) override;
+  Result<bool> IsMaterialized(std::string_view dataset) override;
+  Result<std::string> ProducerOf(std::string_view dataset) override;
+  Result<std::vector<Invocation>> InvocationsOf(
+      std::string_view derivation) override;
+  Result<std::vector<std::string>> FindDatasets(
+      const DatasetQuery& query) override;
+  Result<std::vector<std::string>> FindTransformations(
+      const TransformationQuery& query) override;
+  Result<std::vector<std::string>> FindDerivations(
+      const DerivationQuery& query) override;
+  Result<std::vector<std::string>> AllNames(std::string_view kind) override;
+  Result<bool> TypeConforms(const DatasetType& type,
+                            const DatasetType& against) override;
+  Result<std::vector<ObjectRecord>> BatchGet(
+      const std::vector<ObjectKey>& keys) override;
+  Result<ProvenanceStep> GetProvenanceStep(std::string_view dataset) override;
+
+  Status DefineDataset(Dataset dataset) override;
+  Status DefineTransformation(Transformation transformation) override;
+  Status DefineDerivation(Derivation derivation) override;
+  Status Annotate(std::string_view kind, std::string_view name,
+                  std::string_view key, AttributeValue value) override;
+  Result<std::string> AddReplica(Replica replica) override;
+  Result<std::string> RecordInvocation(Invocation invocation) override;
+  Status SetDatasetSize(std::string_view name, int64_t size_bytes) override;
+  Status InvalidateReplica(std::string_view id) override;
+  /// Ships the whole batch as one frame / one round trip.
+  Result<BatchResult> ApplyBatch(const std::vector<CatalogMutation>& mutations,
+                                 const BatchOptions& options = {}) override;
+
+ private:
+  /// Why a pending slot finished (or stopped mattering).
+  struct PendingSlot {
+    bool done = false;
+    bool abandoned = false;  // deadline expired / cancelled; drop reply
+    Status error = Status::OK();  // transport-level failure (EOF, ...)
+    std::string payload;          // raw response payload bytes
+    std::condition_variable cv;
+  };
+
+  WireCatalogClient(std::shared_ptr<ServerConnection> conn,
+                    WireClientOptions options);
+
+  /// One round trip: admission check, encode+send, wait for the
+  /// response (or deadline), decode on the calling thread.
+  Result<wire::Response> Call(const wire::Request& request);
+
+  /// Fails every pending slot with `error` (EOF / disconnect path).
+  void FailAllPending(const Status& error);
+
+  void ReceiverLoop();
+
+  std::shared_ptr<ServerConnection> conn_;
+  WireClientOptions options_;
+  std::string authority_;
+  bool read_only_ = false;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingSlot>> pending_;
+  uint64_t next_request_id_ = 1;
+  bool broken_ = false;  // connection failed; all calls -> Unavailable
+  WireClientStats stats_;
+
+  std::thread receiver_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_FEDERATION_SERVER_H_

@@ -440,6 +440,104 @@ TEST_F(FedRpcTest, CacheCapacityEvictsLeastRecentlyUsed) {
   EXPECT_EQ(rpc->stats().round_trips, 1u);
 }
 
+TEST_F(FedRpcTest, ChangesSincePiggybacksObservedChangesIntoTheCache) {
+  // Regression: ChangesSince used to pass straight through without
+  // applying the returned window to the cache, so a federation caller
+  // that had just *observed* an object's change could still read the
+  // stale cached copy.
+  auto rpc = Rpc();
+  CachingCatalogClient cache(rpc);
+  ASSERT_TRUE(cache.Revalidate().ok());
+  ASSERT_TRUE(cache.GetDataset("d1").ok());
+  uint64_t synced = cache.synced_version();
+
+  // Server-side change the cache hasn't seen.
+  ASSERT_TRUE(catalog_->Annotate("dataset", "d1", "touched", true).ok());
+
+  // The caller pays for the change window anyway; the cache must
+  // piggyback those invalidations (read-your-observations).
+  Result<std::vector<CatalogChange>> changes = cache.ChangesSince(synced);
+  ASSERT_TRUE(changes.ok());
+  ASSERT_FALSE(changes->empty());
+  EXPECT_TRUE(cache.GetDataset("d1")->annotations.Has("touched"));
+  // The window started at our sync point, so the sync point advanced:
+  // the next Revalidate has nothing left to fetch.
+  EXPECT_EQ(cache.synced_version(), catalog_->version());
+}
+
+TEST_F(FedRpcTest, ChangesSinceNeverSkipsTheSyncGapForward) {
+  // A window that starts *past* our sync point must not advance
+  // synced_version_: the unobserved gap could hide invalidations.
+  auto rpc = Rpc();
+  CachingCatalogClient cache(rpc);
+  ASSERT_TRUE(cache.Revalidate().ok());
+  ASSERT_TRUE(cache.GetDataset("d1").ok());
+  uint64_t synced = cache.synced_version();
+
+  ASSERT_TRUE(catalog_->Annotate("dataset", "d1", "touched", true).ok());
+  uint64_t after_d1 = catalog_->version();
+  ASSERT_TRUE(catalog_->Annotate("dataset", "d2", "touched", true).ok());
+
+  // Ask for changes after the d1 edit only: the returned window does
+  // not cover [synced, after_d1], so the sync point must hold.
+  Result<std::vector<CatalogChange>> changes = cache.ChangesSince(after_d1);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_EQ(cache.synced_version(), synced);
+
+  // Revalidate still walks from the old sync point and evicts the
+  // stale d1 — the gap was not silently skipped.
+  ASSERT_TRUE(cache.Revalidate().ok());
+  EXPECT_TRUE(cache.GetDataset("d1")->annotations.Has("touched"));
+  EXPECT_EQ(cache.synced_version(), catalog_->version());
+}
+
+TEST_F(FedRpcTest, StepCacheEvictsPerEntryNotWholesale) {
+  // Regression: the provenance-step cache used clear-on-overflow —
+  // one insert past capacity dumped every cached step. It must
+  // displace only the least recently used entry, like the object
+  // cache.
+  auto rpc = Rpc();
+  CachingCatalogClient cache(rpc, 3);
+  ASSERT_TRUE(cache.GetProvenanceStep("d1").ok());
+  ASSERT_TRUE(cache.GetProvenanceStep("d2").ok());
+  ASSERT_TRUE(cache.GetProvenanceStep("d3").ok());
+  // Touch d1 so d2 becomes least recently used.
+  ASSERT_TRUE(cache.GetProvenanceStep("d1").ok());
+  rpc->reset_stats();
+  ASSERT_TRUE(cache.GetProvenanceStep("d4").ok());  // displaces ONLY d2
+  EXPECT_EQ(rpc->stats().round_trips, 1u);
+  ASSERT_TRUE(cache.GetProvenanceStep("d1").ok());
+  ASSERT_TRUE(cache.GetProvenanceStep("d3").ok());
+  ASSERT_TRUE(cache.GetProvenanceStep("d4").ok());
+  EXPECT_EQ(rpc->stats().round_trips, 1u);  // all three still cached
+  ASSERT_TRUE(cache.GetProvenanceStep("d2").ok());  // the displaced one
+  EXPECT_EQ(rpc->stats().round_trips, 2u);
+}
+
+TEST_F(FedRpcTest, QueryCacheEvictsPerEntryNotWholesale) {
+  // Regression: same clear-on-overflow bug in the Find* result-set
+  // cache.
+  auto rpc = Rpc();
+  CachingCatalogClient cache(rpc, 2);
+  DatasetQuery q1;
+  q1.name_prefix = "d1";
+  DatasetQuery q2;
+  q2.name_prefix = "d2";
+  DatasetQuery q3;
+  q3.name_prefix = "d3";
+  ASSERT_TRUE(cache.FindDatasets(q1).ok());
+  ASSERT_TRUE(cache.FindDatasets(q2).ok());
+  // Touch q1 so q2 becomes least recently used.
+  ASSERT_TRUE(cache.FindDatasets(q1).ok());
+  ASSERT_TRUE(cache.FindDatasets(q3).ok());  // displaces ONLY q2
+  rpc->reset_stats();
+  ASSERT_TRUE(cache.FindDatasets(q1).ok());
+  ASSERT_TRUE(cache.FindDatasets(q3).ok());
+  EXPECT_EQ(rpc->stats().round_trips, 0u);  // both still cached
+  ASSERT_TRUE(cache.FindDatasets(q2).ok());  // the displaced one
+  EXPECT_EQ(rpc->stats().round_trips, 1u);
+}
+
 // -------------------- Executor writes over the boundary --------------
 
 TEST_F(FedRpcTest, ExecutorProvenanceWritesGoThroughTheClient) {

@@ -20,7 +20,8 @@ FED_JSON="$REPO_ROOT/BENCH_federation.json"
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_fig1_schema_ops bench_fig4_federated_index \
-           bench_conc_catalog bench_fault_recovery bench_fed_rpc >/dev/null
+           bench_conc_catalog bench_fault_recovery bench_fed_rpc \
+           bench_wire_server >/dev/null
 
 # Every bench result must come from a Release-compiled binary. The
 # binaries stamp vdg_build_type into their context (bench/bench_main.cc)
@@ -390,4 +391,77 @@ if not sweep.get("retries"):
 if failed:
     print("FEDERATION-TRANSPORT REGRESSION:", failed)
     sys.exit(1)
+PYEOF
+
+# Real wire path: binary-codec encode/decode throughput and full
+# client -> pipe -> worker-pool server round trips (workers 1..8),
+# merged into BENCH_federation.json next to the simulated-RPC numbers.
+# Floors (tools/check_bench_floor.py) are ~1/4 of the rates measured
+# on the 1-CPU reference host — loose enough for shared runners, tight
+# enough to catch the codec or dispatcher degrading by integer factors.
+WIRE_OUT="$BUILD_DIR/bench_wire_server.json"
+"$BUILD_DIR/bench/bench_wire_server" \
+  --benchmark_out="$WIRE_OUT" --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+assert_release "$WIRE_OUT"
+
+# Reference-host rates (1-CPU dev box): request encode+decode ~3.6M/s,
+# dataset-response encode+decode ~254K/s, single-worker round trip
+# ~220K calls/s of CPU time.
+python3 "$REPO_ROOT/tools/check_bench_floor.py" "$WIRE_OUT" \
+  BM_WireEncodeDecodeRequest 900000
+python3 "$REPO_ROOT/tools/check_bench_floor.py" "$WIRE_OUT" \
+  BM_WireEncodeDecodeResponse 60000
+python3 "$REPO_ROOT/tools/check_bench_floor.py" "$WIRE_OUT" \
+  "BM_WireServerRoundTrip/1" 55000
+
+python3 - "$WIRE_OUT" "$FED_JSON" <<'PYEOF'
+import json
+import sys
+
+wire_path, fed_path = sys.argv[1:3]
+with open(wire_path) as f:
+    wire = json.load(f)
+with open(fed_path) as f:
+    fed = json.load(f)
+
+items = {}
+rtt_by_workers = {}
+frame_bytes = None
+for b in wire.get("benchmarks", []):
+    name = b["name"]
+    base = name.split("/")[0]
+    rate = b.get("items_per_second", 0.0)
+    if base == "BM_WireServerRoundTrip":
+        rtt_by_workers[int(b.get("workers", name.rsplit("/", 1)[1]))] = {
+            "calls_per_sec": round(rate),
+            "round_trip_us": round(b.get("real_time", 0.0) / 1e3, 2),
+        }
+    else:
+        items[base] = round(rate)
+    if base == "BM_WireEncodeDecodeResponse":
+        frame_bytes = b.get("frame_bytes")
+
+fed["wire"] = {
+    "encode_decode_request_frames_per_sec":
+        items.get("BM_WireEncodeDecodeRequest"),
+    "encode_decode_response_frames_per_sec":
+        items.get("BM_WireEncodeDecodeResponse"),
+    "response_frame_bytes": frame_bytes,
+    "round_trip_by_workers": rtt_by_workers,
+    "apply_batch_calls_per_sec": items.get("BM_WireServerApplyBatch"),
+}
+fed["benchmarks"] = fed.get("benchmarks", []) + wire.get("benchmarks", [])
+
+with open(fed_path, "w") as f:
+    json.dump(fed, f, indent=2)
+    f.write("\n")
+
+print("merged wire results into", fed_path)
+for k, v in sorted(items.items()):
+    print(f"  {k}: {v:,} frames/s")
+for workers, point in sorted(rtt_by_workers.items()):
+    print(f"  round trip, {workers} worker(s): {point['round_trip_us']}us "
+          f"({point['calls_per_sec']:,} calls/s)")
 PYEOF
