@@ -1,0 +1,143 @@
+// WIRE-FAULTS — availability of the fault-hardened wire path under a
+// hostile transport: ResilientCatalogClient over two replica catalog
+// servers, every byte routed through a seeded FaultyChannel injecting
+// 5% connection resets and 5% frame corruption. Each iteration is one
+// client-visible call (a FIG3 provenance hop, with a tokened executor
+// write-back every 64th call); `availability` is the fraction that
+// succeeded after the resilient layer's reconnects, failovers, and
+// idempotent retries.
+//
+// tools/run_bench.sh merges this into BENCH_fault.json ("wire"
+// section) and gates availability >= 0.999 via
+// tools/check_bench_floor.py — the acceptance bar from DESIGN.md §14.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "catalog/client.h"
+#include "federation/faulty_transport.h"
+#include "federation/resilient_client.h"
+#include "federation/server.h"
+
+namespace vdg {
+namespace {
+
+constexpr int kChainDepth = 8;
+
+/// Two wire servers over one backend catalog (shared batch-dedup
+/// window), dialed through one seeded fault injector — the same
+/// replicated deployment tests/test_wire_faults.cc exercises.
+struct Replicated {
+  std::unique_ptr<VirtualDataCatalog> catalog;
+  std::shared_ptr<BatchDedupRegistry> dedup;
+  std::unique_ptr<CatalogServer> a;
+  std::unique_ptr<CatalogServer> b;
+  std::shared_ptr<FaultInjector> injector;
+  std::unique_ptr<ResilientCatalogClient> client;
+};
+
+Replicated MakeReplicated(const FaultProfile& profile, uint64_t seed) {
+  Replicated r;
+  r.catalog = bench::BuildChainCatalog("chaos.org", kChainDepth);
+  r.dedup = std::make_shared<BatchDedupRegistry>();
+  ServerOptions sopts;
+  sopts.batch_dedup = r.dedup;
+  auto backend =
+      std::make_shared<InProcessCatalogClient>(r.catalog.get(), false);
+  r.a = std::make_unique<CatalogServer>(backend, sopts);
+  r.b = std::make_unique<CatalogServer>(backend, sopts);
+  r.injector = std::make_shared<FaultInjector>(profile, seed);
+  std::vector<ResilientEndpoint> endpoints;
+  for (CatalogServer* server : {r.a.get(), r.b.get()}) {
+    ResilientEndpoint ep;
+    ep.name = server == r.a.get() ? "replica-a" : "replica-b";
+    ep.connect = [server, injector = r.injector]()
+        -> Result<std::shared_ptr<CatalogClient>> {
+      // Wire deadline well under the retry budget: a corrupted length
+      // prefix hangs the stream until the deadline, and the resilient
+      // layer needs budget left to reconnect and retry.
+      WireClientOptions copts;
+      copts.default_deadline = std::chrono::milliseconds(250);
+      auto c = ConnectFaulty(server, injector, copts);
+      if (!c.ok()) return c.status();
+      return std::static_pointer_cast<CatalogClient>(*c);
+    };
+    endpoints.push_back(std::move(ep));
+  }
+  ResilientOptions ropts;
+  ropts.seed = seed;
+  ropts.max_attempts = 12;
+  ropts.retry_budget = std::chrono::seconds(10);
+  ropts.backoff_base = std::chrono::milliseconds(1);
+  r.client =
+      std::make_unique<ResilientCatalogClient>(std::move(endpoints), ropts);
+  return r;
+}
+
+// The acceptance scenario: 5% resets + 5% corruption, two replicas.
+// Arg pair is (reset%, corrupt%) so the sweep can grow later.
+void BM_WireFaultAvailability(benchmark::State& state) {
+  FaultProfile profile;
+  profile.reset_rate = static_cast<double>(state.range(0)) / 100.0;
+  profile.corrupt_rate = static_cast<double>(state.range(1)) / 100.0;
+  Replicated r = MakeReplicated(profile, /*seed=*/42);
+
+  uint64_t calls = 0;
+  uint64_t successes = 0;
+  int serial = 0;
+  std::string cursor = "d" + std::to_string(kChainDepth);
+  for (auto _ : state) {
+    ++calls;
+    if (calls % 64 == 0) {
+      // Tokened executor write-back: the resilient client stamps an
+      // idempotency token, so retries dedup instead of double-apply.
+      Replica rep;
+      rep.dataset = "d1";
+      rep.site = "chaos.org";
+      rep.physical_path = "/store/d1." + std::to_string(serial++);
+      std::vector<CatalogMutation> batch;
+      batch.push_back(CatalogMutation::AddReplica(rep));
+      batch.push_back(CatalogMutation::Annotate(
+          "dataset", "d1", "bench_pass", AttributeValue(int64_t{serial})));
+      Result<BatchResult> applied = r.client->ApplyBatch(batch);
+      if (applied.ok() && applied->applied) ++successes;
+      continue;
+    }
+    // One FIG3 lineage hop; wrap at the raw input.
+    Result<ProvenanceStep> step = r.client->GetProvenanceStep(cursor);
+    if (step.ok()) {
+      ++successes;
+      if (step->derivation.has_value() &&
+          !step->derivation->InputDatasets().empty()) {
+        cursor = step->derivation->InputDatasets().front();
+      } else {
+        cursor = "d" + std::to_string(kChainDepth);
+      }
+    } else {
+      cursor = "d" + std::to_string(kChainDepth);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(calls));
+  state.counters["availability"] =
+      calls ? static_cast<double>(successes) / static_cast<double>(calls)
+            : 0.0;
+  const FaultStats& faults = r.injector->stats();
+  state.counters["faults_injected"] = static_cast<double>(faults.total());
+  state.counters["resets"] = static_cast<double>(faults.resets.load());
+  state.counters["corruptions"] =
+      static_cast<double>(faults.corruptions.load());
+  const ResilientStats& rs = r.client->stats();
+  state.counters["retries"] = static_cast<double>(rs.retries);
+  state.counters["reconnects"] = static_cast<double>(rs.reconnects);
+  state.counters["failovers"] = static_cast<double>(rs.failovers);
+  state.counters["exhausted_calls"] = static_cast<double>(rs.exhausted_calls);
+}
+BENCHMARK(BM_WireFaultAvailability)->Args({5, 5})->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vdg

@@ -112,6 +112,18 @@ struct BatchOptions {
   /// what N independent single-op calls would do — each op runs
   /// regardless of earlier failures.
   bool stop_on_error = false;
+
+  /// Client-supplied idempotency key. Empty (the default) means the
+  /// batch has at-most-once semantics only as far as the transport
+  /// guarantees them. When non-empty, a `CatalogServer` records the
+  /// batch's outcome in a bounded dedup window keyed by this token:
+  /// a retried batch with the same token returns the recorded
+  /// `BatchResult` (including assigned ids) instead of re-applying the
+  /// mutations, making ApplyBatch safe to retry across lost replies
+  /// and replica failover. Tokens must be unique per logical batch;
+  /// `ResilientCatalogClient` generates one automatically when the
+  /// caller left it empty. The in-process catalog ignores the field.
+  std::string idempotency_token;
 };
 
 /// Per-op outcome of an ApplyBatch call. The batch commits whatever

@@ -949,6 +949,7 @@ void EncodeRequestPayload(const Request& request, std::string* out) {
           w.PutCount(body.mutations.size());
           for (const auto& m : body.mutations) PutMutation(w, m);
           w.PutBool(body.options.stop_on_error);
+          w.PutString(body.options.idempotency_token);
         }
       },
       request.body);
@@ -1275,6 +1276,12 @@ Result<Request> DecodeRequest(MsgKind kind, std::string_view payload) {
         body.mutations.push_back(std::move(m));
       }
       VDG_ASSIGN_OR_RETURN(body.options.stop_on_error, r.ReadBool());
+      // The idempotency token is a trailing optional field: frames
+      // produced by pre-token encoders end right after stop_on_error,
+      // and must keep decoding (version-tolerant within codec v1).
+      if (!r.AtEnd()) {
+        VDG_ASSIGN_OR_RETURN(body.options.idempotency_token, r.ReadString());
+      }
       req.body = std::move(body);
       break;
     }

@@ -36,6 +36,25 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+namespace {
+// Suffix marker carried in the message of retry-unsafe errors; a
+// textual marker (rather than a new frame field) keeps the wire codec
+// and its version-1 decoders unchanged.
+constexpr const char kRetryUnsafeMarker[] = " [retry-unsafe]";
+constexpr size_t kRetryUnsafeMarkerLen = sizeof(kRetryUnsafeMarker) - 1;
+}  // namespace
+
+Status Status::MarkRetryUnsafe(Status s) {
+  if (s.ok() || !s.retry_safe()) return s;
+  return Status(s.code(), s.message() + kRetryUnsafeMarker);
+}
+
+bool Status::retry_safe() const {
+  if (message_.size() < kRetryUnsafeMarkerLen) return true;
+  return message_.compare(message_.size() - kRetryUnsafeMarkerLen,
+                          kRetryUnsafeMarkerLen, kRetryUnsafeMarker) != 0;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

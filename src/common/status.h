@@ -80,6 +80,25 @@ class Status {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
 
+  /// An Unavailable error whose request may already have reached the
+  /// server (e.g. a lost reply after a mutation was sent): blindly
+  /// re-issuing it could apply the work twice. See MarkRetryUnsafe.
+  static Status UnavailableRetryUnsafe(std::string msg) {
+    return MarkRetryUnsafe(Unavailable(std::move(msg)));
+  }
+
+  /// Stamps `s` with the retry-unsafe hint. The hint rides in the
+  /// message (not a separate field) so it survives the wire codec and
+  /// old decoders without a frame-format change. Ok statuses are
+  /// returned untouched.
+  static Status MarkRetryUnsafe(Status s);
+
+  /// True unless the status carries the retry-unsafe marker. A
+  /// retry-safe failure means the operation provably never executed
+  /// server-side (connect refused, rejected at admission, read-only
+  /// call), so a carrier may re-issue it without double-applying work.
+  bool retry_safe() const;
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

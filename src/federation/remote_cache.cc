@@ -50,13 +50,42 @@ void AppendOptType(std::string* key, const std::optional<DatasetType>& type) {
 }  // namespace
 
 CachingCatalogClient::CachingCatalogClient(
-    std::shared_ptr<CatalogClient> upstream, size_t capacity)
+    std::shared_ptr<CatalogClient> upstream, size_t capacity,
+    DegradedReadOptions degraded)
     : upstream_(std::move(upstream)),
       authority_(upstream_->authority()),
       capacity_(capacity == 0 ? 1 : capacity),
       objects_(capacity_),
       steps_(capacity_),
-      queries_(capacity_) {}
+      queries_(capacity_),
+      degraded_(degraded) {}
+
+void CachingCatalogClient::NoteUpstreamLocked(const Status& status) {
+  if (!degraded_.enabled) return;
+  if (status.ok() || !(status.IsUnavailable() || status.IsDeadlineExceeded())) {
+    // Any definitive answer (including NotFound etc.) proves the
+    // upstream is reachable.
+    upstream_down_ = false;
+    return;
+  }
+  if (!upstream_down_) {
+    upstream_down_ = true;
+    down_since_ = std::chrono::steady_clock::now();
+  }
+}
+
+Status CachingCatalogClient::DegradedGateLocked() {
+  if (!degraded_.enabled || !upstream_down_) return Status::OK();
+  const auto age = std::chrono::steady_clock::now() - down_since_;
+  if (age <= degraded_.staleness_bound) {
+    ++stats_.degraded_hits;
+    return Status::OK();
+  }
+  ++stats_.stale_rejections;
+  return Status::Unavailable(
+      "upstream catalog unreachable and cache exceeded the degraded-read "
+      "staleness bound");
+}
 
 std::string CachingCatalogClient::Key(std::string_view kind,
                                       std::string_view name) {
@@ -114,11 +143,14 @@ template <typename Fetch>
 Result<std::vector<std::string>> CachingCatalogClient::CachedFindLocked(
     std::string key, Fetch&& fetch) {
   if (const std::vector<std::string>* cached = queries_.Get(key)) {
+    VDG_RETURN_IF_ERROR(DegradedGateLocked());
     ++stats_.query_hits;
     return *cached;
   }
   ++stats_.query_misses;
-  VDG_ASSIGN_OR_RETURN(std::vector<std::string> names, fetch());
+  Result<std::vector<std::string>> fetched = fetch();
+  NoteUpstreamLocked(fetched.ok() ? Status::OK() : fetched.status());
+  VDG_ASSIGN_OR_RETURN(std::vector<std::string> names, std::move(fetched));
   stats_.evictions += queries_.Put(std::move(key), names);
   return names;
 }
@@ -175,13 +207,15 @@ void CachingCatalogClient::ApplyChangeLocked(const CatalogChange& change) {
 Result<ObjectRecord> CachingCatalogClient::GetOrFillLocked(
     std::string_view kind, std::string_view name) {
   if (const ObjectRecord* cached = objects_.Get(Key(kind, name))) {
+    VDG_RETURN_IF_ERROR(DegradedGateLocked());
     ++stats_.hits;
     return *cached;
   }
   ++stats_.misses;
-  VDG_ASSIGN_OR_RETURN(
-      std::vector<ObjectRecord> records,
-      upstream_->BatchGet({ObjectKey{std::string(kind), std::string(name)}}));
+  Result<std::vector<ObjectRecord>> fetched =
+      upstream_->BatchGet({ObjectKey{std::string(kind), std::string(name)}});
+  NoteUpstreamLocked(fetched.ok() ? Status::OK() : fetched.status());
+  VDG_ASSIGN_OR_RETURN(std::vector<ObjectRecord> records, std::move(fetched));
   if (records.size() != 1) {
     return Status::Internal("single-key BatchGet returned " +
                             std::to_string(records.size()) + " records");
@@ -196,6 +230,7 @@ Status CachingCatalogClient::Revalidate() {
   ++stats_.revalidations;
   Result<std::vector<CatalogChange>> changes =
       upstream_->ChangesSince(synced_version_);
+  NoteUpstreamLocked(changes.ok() ? Status::OK() : changes.status());
   if (changes.ok()) {
     for (const CatalogChange& change : *changes) ApplyChangeLocked(change);
     if (!changes->empty()) synced_version_ = changes->back().version;
@@ -214,7 +249,14 @@ Status CachingCatalogClient::Revalidate() {
 }
 
 Result<uint64_t> CachingCatalogClient::Version() {
-  return upstream_->Version();
+  Result<uint64_t> version = upstream_->Version();
+  if (degraded_.enabled) {
+    // Version() doubles as the cheap reachability probe in degraded
+    // mode: a success ends the outage window.
+    std::lock_guard<std::mutex> lock(mu_);
+    NoteUpstreamLocked(version.ok() ? Status::OK() : version.status());
+  }
+  return version;
 }
 
 Result<std::vector<CatalogChange>> CachingCatalogClient::ChangesSince(
@@ -338,9 +380,16 @@ Result<std::vector<ObjectRecord>> CachingCatalogClient::BatchGet(
       miss_positions.push_back(i);
     }
   }
+  if (miss_keys.empty()) {
+    VDG_RETURN_IF_ERROR(DegradedGateLocked());
+  }
   if (!miss_keys.empty()) {
+    Result<std::vector<ObjectRecord>> upstream_records =
+        upstream_->BatchGet(miss_keys);
+    NoteUpstreamLocked(upstream_records.ok() ? Status::OK()
+                                             : upstream_records.status());
     VDG_ASSIGN_OR_RETURN(std::vector<ObjectRecord> fetched,
-                         upstream_->BatchGet(miss_keys));
+                         std::move(upstream_records));
     if (fetched.size() != miss_keys.size()) {
       return Status::Internal("BatchGet returned " +
                               std::to_string(fetched.size()) + " records for " +
@@ -358,12 +407,14 @@ Result<ProvenanceStep> CachingCatalogClient::GetProvenanceStep(
     std::string_view dataset) {
   std::lock_guard<std::mutex> lock(mu_);
   if (const ProvenanceStep* cached = steps_.Get(dataset)) {
+    VDG_RETURN_IF_ERROR(DegradedGateLocked());
     ++stats_.hits;
     return *cached;
   }
   ++stats_.misses;
-  VDG_ASSIGN_OR_RETURN(ProvenanceStep step,
-                       upstream_->GetProvenanceStep(dataset));
+  Result<ProvenanceStep> fetched = upstream_->GetProvenanceStep(dataset);
+  NoteUpstreamLocked(fetched.ok() ? Status::OK() : fetched.status());
+  VDG_ASSIGN_OR_RETURN(ProvenanceStep step, std::move(fetched));
   stats_.evictions += steps_.Put(step.dataset, step);
   return step;
 }

@@ -1,6 +1,7 @@
 #ifndef VDG_FEDERATION_REMOTE_CACHE_H_
 #define VDG_FEDERATION_REMOTE_CACHE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -124,6 +125,24 @@ struct CacheStats {
   uint64_t flushes = 0;        // whole-cache drops (changelog overflow)
   uint64_t query_hits = 0;     // Find* result sets answered locally
   uint64_t query_misses = 0;   // Find* calls that went upstream
+  uint64_t degraded_hits = 0;  // hits served while upstream was down
+  uint64_t stale_rejections = 0;  // hits refused past the staleness bound
+};
+
+/// Degraded-read policy for when the upstream is unreachable. Off by
+/// default: a plain cache keeps serving hits forever regardless of
+/// upstream health (the explicit-revalidation contract). With
+/// degradation ENABLED the cache becomes staleness-BOUNDED instead:
+/// once an upstream call fails with a transport error, cached reads
+/// keep serving — counted as degraded_hits — only until
+/// `staleness_bound` has elapsed since the outage began; after that
+/// hits are refused with Unavailable (stale_rejections) until any
+/// upstream call succeeds again. This is the "grace window" a
+/// federated tier gets to ride out a catalog restart without either
+/// erroring immediately or serving unboundedly old answers.
+struct DegradedReadOptions {
+  bool enabled = false;
+  std::chrono::milliseconds staleness_bound{5000};
 };
 
 /// Read-through object cache in front of a (typically remote)
@@ -159,7 +178,15 @@ struct CacheStats {
 class CachingCatalogClient : public CatalogClient {
  public:
   explicit CachingCatalogClient(std::shared_ptr<CatalogClient> upstream,
-                                size_t capacity = 4096);
+                                size_t capacity = 4096,
+                                DegradedReadOptions degraded = {});
+
+  /// True while the last upstream contact failed with a transport
+  /// error (degraded mode's outage flag; always false when disabled).
+  bool upstream_down() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return upstream_down_;
+  }
 
   const std::string& authority() const override { return authority_; }
   bool read_only() const override { return upstream_->read_only(); }
@@ -256,6 +283,15 @@ class CachingCatalogClient : public CatalogClient {
   /// Drops every cached query of one kind tag ('D'/'T'/'V').
   void FlushQueriesLocked(char kind_tag);
 
+  /// Updates the outage flag from an upstream call's outcome: success
+  /// clears it, a transport error (Unavailable / DeadlineExceeded)
+  /// starts the staleness clock. mu_ must be held.
+  void NoteUpstreamLocked(const Status& status);
+  /// Degraded-mode gate for serving a cache hit. OK when degradation
+  /// is off, upstream is believed up, or the outage is younger than
+  /// the staleness bound; Unavailable otherwise. mu_ must be held.
+  Status DegradedGateLocked();
+
   std::shared_ptr<CatalogClient> upstream_;
   std::string authority_;
   size_t capacity_;
@@ -271,6 +307,9 @@ class CachingCatalogClient : public CatalogClient {
   LruCacheMap<std::vector<std::string>> queries_;
   uint64_t synced_version_ = 0;
   CacheStats stats_;
+  DegradedReadOptions degraded_;
+  bool upstream_down_ = false;
+  std::chrono::steady_clock::time_point down_since_{};
 };
 
 }  // namespace vdg

@@ -1,0 +1,420 @@
+#include "federation/resilient_client.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace vdg {
+
+namespace {
+
+/// Formats a 64-bit value as fixed-width hex for token uniqueness.
+std::string Hex64(uint64_t v) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+ResilientCatalogClient::ResilientCatalogClient(
+    std::vector<ResilientEndpoint> endpoints, ResilientOptions options)
+    : options_(options), rng_(options.seed) {
+  endpoints_.reserve(endpoints.size());
+  for (auto& e : endpoints) endpoints_.push_back(Endpoint{std::move(e)});
+  token_prefix_ = rng_.engine()();
+  // Best-effort eager dial so authority()/read_only() are stable
+  // before concurrent calls start; a fully-down fleet just leaves the
+  // identity to be learned on the first successful call.
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    if (EnsureConnected(i).ok()) break;
+  }
+}
+
+const std::string& ResilientCatalogClient::authority() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return authority_;
+}
+
+bool ResilientCatalogClient::read_only() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_only_;
+}
+
+ResilientStats ResilientCatalogClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+BreakerState ResilientCatalogClient::breaker_state(
+    size_t endpoint_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_.at(endpoint_index).breaker;
+}
+
+bool ResilientCatalogClient::IsTransportError(const Status& s) {
+  // Unavailable: connection refused/broken or server draining.
+  // DeadlineExceeded: the per-request deadline expired.
+  // ResourceExhausted: bounced at admission (client or server) —
+  // never executed, so always safe to try elsewhere.
+  return s.IsUnavailable() || s.IsDeadlineExceeded() ||
+         s.IsResourceExhausted();
+}
+
+int ResilientCatalogClient::PickEndpointLocked(int avoid) {
+  const auto now = std::chrono::steady_clock::now();
+  const int n = static_cast<int>(endpoints_.size());
+  if (n == 0) return -1;
+  // Stick to the endpoint we last used (connection affinity); rotate
+  // away from `avoid` — the endpoint that just failed this call.
+  const int start = last_endpoint_ >= 0 ? last_endpoint_ : 0;
+  int fallback = -1;
+  for (int k = 0; k < n; ++k) {
+    const int i = (start + k) % n;
+    Endpoint& e = endpoints_[static_cast<size_t>(i)];
+    if (e.breaker == BreakerState::kOpen) {
+      if (now >= e.open_until) {
+        e.breaker = BreakerState::kHalfOpen;  // one probe allowed
+      } else {
+        stats_.breaker_short_circuits++;
+        continue;
+      }
+    }
+    if (i == avoid && n > 1) {
+      if (fallback < 0) fallback = i;  // usable, but prefer a peer
+      continue;
+    }
+    return i;
+  }
+  return fallback;
+}
+
+Result<std::shared_ptr<CatalogClient>> ResilientCatalogClient::EnsureConnected(
+    size_t i) {
+  std::function<Result<std::shared_ptr<CatalogClient>>()> dial;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Endpoint& e = endpoints_[i];
+    if (e.client != nullptr) return e.client;
+    dial = e.config.connect;
+  }
+  // Dial outside the lock: connects block (handshake round trip) and
+  // other threads may be mid-call on healthy endpoints.
+  Result<std::shared_ptr<CatalogClient>> client = dial();
+  std::lock_guard<std::mutex> lock(mu_);
+  Endpoint& e = endpoints_[i];
+  if (!client.ok()) return client.status();
+  if (e.client != nullptr) return e.client;  // raced; keep the first
+  e.client = *client;
+  if (e.ever_connected) stats_.reconnects++;
+  e.ever_connected = true;
+  if (authority_.empty()) {
+    authority_ = e.client->authority();
+    read_only_ = e.client->read_only();
+  }
+  return e.client;
+}
+
+void ResilientCatalogClient::RecordSuccess(size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Endpoint& e = endpoints_[i];
+  e.consecutive_failures = 0;
+  e.breaker = BreakerState::kClosed;
+}
+
+void ResilientCatalogClient::RecordFailure(size_t i, bool drop_connection) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Endpoint& e = endpoints_[i];
+  e.consecutive_failures++;
+  if (drop_connection) e.client.reset();
+  // A failed half-open probe re-opens immediately; a closed breaker
+  // opens after `breaker_threshold` consecutive failures.
+  if (e.breaker == BreakerState::kHalfOpen ||
+      e.consecutive_failures >= options_.breaker_threshold) {
+    if (e.breaker != BreakerState::kOpen) stats_.breaker_opens++;
+    e.breaker = BreakerState::kOpen;
+    e.open_until =
+        std::chrono::steady_clock::now() + options_.breaker_cooldown;
+  }
+}
+
+template <typename T>
+Result<T> ResilientCatalogClient::CallImpl(
+    bool idempotent, const std::function<Result<T>(CatalogClient&)>& fn) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.retry_budget;
+  Status last_error = Status::Unavailable("no catalog endpoints configured");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with seeded jitter, capped by the budget.
+      double scale = 1.0;
+      for (int k = 1; k < attempt; ++k) scale *= options_.backoff_multiplier;
+      auto delay = std::chrono::duration_cast<std::chrono::microseconds>(
+          options_.backoff_base * scale);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.retries++;
+        delay += std::chrono::duration_cast<std::chrono::microseconds>(
+            delay * options_.jitter_fraction * rng_.Uniform(0.0, 1.0));
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                now);
+      std::this_thread::sleep_for(std::min(delay, remaining));
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
+    int idx;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const int avoid = attempt > 0 ? last_endpoint_ : -1;
+      idx = PickEndpointLocked(avoid);
+      if (idx >= 0) {
+        if (last_endpoint_ >= 0 && idx != last_endpoint_) stats_.failovers++;
+        last_endpoint_ = idx;
+      }
+    }
+    if (idx < 0) {
+      // Every breaker is open and in cooldown: wait for the earliest
+      // half-open probe window instead of burning attempts.
+      last_error = Status::Unavailable("all catalog endpoints circuit-open");
+      std::this_thread::sleep_for(std::min(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              options_.breaker_cooldown),
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              options_.backoff_base)));
+      continue;
+    }
+    Result<std::shared_ptr<CatalogClient>> client =
+        EnsureConnected(static_cast<size_t>(idx));
+    if (!client.ok()) {
+      last_error = client.status();
+      RecordFailure(static_cast<size_t>(idx), /*drop_connection=*/true);
+      continue;  // a failed dial never executed anything: always retry
+    }
+    Result<T> r = fn(**client);
+    if (r.ok() || !IsTransportError(r.status())) {
+      // Either success or a real catalog answer (NotFound, TypeError,
+      // ...): the endpoint is healthy.
+      RecordSuccess(static_cast<size_t>(idx));
+      return r;
+    }
+    last_error = r.status();
+    // Unavailable means the connection is gone. DeadlineExceeded drops
+    // it too: a request that timed out leaves the byte stream in an
+    // unknown state (e.g. a corrupted length prefix has the server
+    // waiting on a phantom frame forever) — reconnecting is the only
+    // way back to a stream both sides agree on. Only ResourceExhausted
+    // (bounced at admission, stream untouched) keeps the connection.
+    RecordFailure(static_cast<size_t>(idx),
+                  /*drop_connection=*/!last_error.IsResourceExhausted());
+    if (!idempotent && !last_error.retry_safe()) {
+      // The request reached an established connection and may have
+      // executed even though the reply is lost: surface it rather
+      // than risk double-applying a mutation.
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.mutation_fail_fast++;
+      return last_error;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.exhausted_calls++;
+  return last_error;
+}
+
+std::string ResilientCatalogClient::GenerateToken() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return "rcc-" + Hex64(token_prefix_) + "-" + std::to_string(next_token_++);
+}
+
+// ---------------------------------------------------------------------
+// Read vocabulary: retried freely inside the budget.
+// ---------------------------------------------------------------------
+
+Result<uint64_t> ResilientCatalogClient::Version() {
+  return ReadCall<uint64_t>([](CatalogClient& c) { return c.Version(); });
+}
+
+Result<std::vector<CatalogChange>> ResilientCatalogClient::ChangesSince(
+    uint64_t since_version) {
+  return ReadCall<std::vector<CatalogChange>>(
+      [&](CatalogClient& c) { return c.ChangesSince(since_version); });
+}
+
+Result<Dataset> ResilientCatalogClient::GetDataset(std::string_view name) {
+  return ReadCall<Dataset>(
+      [&](CatalogClient& c) { return c.GetDataset(name); });
+}
+
+Result<Transformation> ResilientCatalogClient::GetTransformation(
+    std::string_view name) {
+  return ReadCall<Transformation>(
+      [&](CatalogClient& c) { return c.GetTransformation(name); });
+}
+
+Result<Derivation> ResilientCatalogClient::GetDerivation(
+    std::string_view name) {
+  return ReadCall<Derivation>(
+      [&](CatalogClient& c) { return c.GetDerivation(name); });
+}
+
+Result<bool> ResilientCatalogClient::HasDataset(std::string_view name) {
+  return ReadCall<bool>([&](CatalogClient& c) { return c.HasDataset(name); });
+}
+
+Result<bool> ResilientCatalogClient::IsMaterialized(
+    std::string_view dataset) {
+  return ReadCall<bool>(
+      [&](CatalogClient& c) { return c.IsMaterialized(dataset); });
+}
+
+Result<std::string> ResilientCatalogClient::ProducerOf(
+    std::string_view dataset) {
+  return ReadCall<std::string>(
+      [&](CatalogClient& c) { return c.ProducerOf(dataset); });
+}
+
+Result<std::vector<Invocation>> ResilientCatalogClient::InvocationsOf(
+    std::string_view derivation) {
+  return ReadCall<std::vector<Invocation>>(
+      [&](CatalogClient& c) { return c.InvocationsOf(derivation); });
+}
+
+Result<std::vector<std::string>> ResilientCatalogClient::FindDatasets(
+    const DatasetQuery& query) {
+  return ReadCall<std::vector<std::string>>(
+      [&](CatalogClient& c) { return c.FindDatasets(query); });
+}
+
+Result<std::vector<std::string>> ResilientCatalogClient::FindTransformations(
+    const TransformationQuery& query) {
+  return ReadCall<std::vector<std::string>>(
+      [&](CatalogClient& c) { return c.FindTransformations(query); });
+}
+
+Result<std::vector<std::string>> ResilientCatalogClient::FindDerivations(
+    const DerivationQuery& query) {
+  return ReadCall<std::vector<std::string>>(
+      [&](CatalogClient& c) { return c.FindDerivations(query); });
+}
+
+Result<std::vector<std::string>> ResilientCatalogClient::AllNames(
+    std::string_view kind) {
+  return ReadCall<std::vector<std::string>>(
+      [&](CatalogClient& c) { return c.AllNames(kind); });
+}
+
+Result<bool> ResilientCatalogClient::TypeConforms(const DatasetType& type,
+                                                  const DatasetType& against) {
+  return ReadCall<bool>(
+      [&](CatalogClient& c) { return c.TypeConforms(type, against); });
+}
+
+Result<std::vector<ObjectRecord>> ResilientCatalogClient::BatchGet(
+    const std::vector<ObjectKey>& keys) {
+  return ReadCall<std::vector<ObjectRecord>>(
+      [&](CatalogClient& c) { return c.BatchGet(keys); });
+}
+
+Result<ProvenanceStep> ResilientCatalogClient::GetProvenanceStep(
+    std::string_view dataset) {
+  return ReadCall<ProvenanceStep>(
+      [&](CatalogClient& c) { return c.GetProvenanceStep(dataset); });
+}
+
+// ---------------------------------------------------------------------
+// Mutation vocabulary: issued at most once past an established
+// connection; a retry-unsafe transport failure surfaces to the caller
+// (who can re-issue via ApplyBatch + token for exactly-once).
+// ---------------------------------------------------------------------
+
+Status ResilientCatalogClient::DefineDataset(Dataset dataset) {
+  Result<bool> r = MutationCall<bool>([&](CatalogClient& c) -> Result<bool> {
+    Status s = c.DefineDataset(dataset);
+    if (!s.ok()) return s;
+    return true;
+  });
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status ResilientCatalogClient::DefineTransformation(
+    Transformation transformation) {
+  Result<bool> r = MutationCall<bool>([&](CatalogClient& c) -> Result<bool> {
+    Status s = c.DefineTransformation(transformation);
+    if (!s.ok()) return s;
+    return true;
+  });
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status ResilientCatalogClient::DefineDerivation(Derivation derivation) {
+  Result<bool> r = MutationCall<bool>([&](CatalogClient& c) -> Result<bool> {
+    Status s = c.DefineDerivation(derivation);
+    if (!s.ok()) return s;
+    return true;
+  });
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status ResilientCatalogClient::Annotate(std::string_view kind,
+                                        std::string_view name,
+                                        std::string_view key,
+                                        AttributeValue value) {
+  Result<bool> r = MutationCall<bool>([&](CatalogClient& c) -> Result<bool> {
+    Status s = c.Annotate(kind, name, key, value);
+    if (!s.ok()) return s;
+    return true;
+  });
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<std::string> ResilientCatalogClient::AddReplica(Replica replica) {
+  return MutationCall<std::string>(
+      [&](CatalogClient& c) { return c.AddReplica(replica); });
+}
+
+Result<std::string> ResilientCatalogClient::RecordInvocation(
+    Invocation invocation) {
+  return MutationCall<std::string>(
+      [&](CatalogClient& c) { return c.RecordInvocation(invocation); });
+}
+
+Status ResilientCatalogClient::SetDatasetSize(std::string_view name,
+                                              int64_t size_bytes) {
+  Result<bool> r = MutationCall<bool>([&](CatalogClient& c) -> Result<bool> {
+    Status s = c.SetDatasetSize(name, size_bytes);
+    if (!s.ok()) return s;
+    return true;
+  });
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status ResilientCatalogClient::InvalidateReplica(std::string_view id) {
+  Result<bool> r = MutationCall<bool>([&](CatalogClient& c) -> Result<bool> {
+    Status s = c.InvalidateReplica(id);
+    if (!s.ok()) return s;
+    return true;
+  });
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<BatchResult> ResilientCatalogClient::ApplyBatch(
+    const std::vector<CatalogMutation>& mutations,
+    const BatchOptions& options) {
+  BatchOptions tokenized = options;
+  if (tokenized.idempotency_token.empty()) {
+    tokenized.idempotency_token = GenerateToken();
+  }
+  // With a token the server's dedup window makes retries exactly-once,
+  // so the batch rides the idempotent retry path.
+  return ReadCall<BatchResult>(
+      [&](CatalogClient& c) { return c.ApplyBatch(mutations, tokenized); });
+}
+
+}  // namespace vdg

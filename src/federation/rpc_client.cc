@@ -13,7 +13,7 @@ SimulatedRpcCatalogClient::SimulatedRpcCatalogClient(
       authority_(backend_->authority()),
       rng_(config_.seed) {}
 
-Status SimulatedRpcCatalogClient::Transport() {
+Status SimulatedRpcCatalogClient::Transport(bool idempotent) {
   for (int attempt = 1;; ++attempt) {
     // The request occupies the wire for the full latency either way —
     // lost responses and rejections are only discovered at timeout.
@@ -22,9 +22,21 @@ Status SimulatedRpcCatalogClient::Transport() {
     // next attempt goes through.
     grid_->events().RunUntil(grid_->now() + config_.latency_s);
     if (!config_.site.empty() && !grid_->IsSiteServing(config_.site)) {
+      // A crashed site rejects before accepting the request, so even a
+      // mutation is safe to re-send.
       ++stats_.outage_rejections;
     } else if (config_.loss_rate > 0 && rng_.Chance(config_.loss_rate)) {
       ++stats_.lost_calls;
+      if (!idempotent) {
+        // Lost in transit is ambiguous: the request — or only its
+        // response — may have vanished. Re-sending could double-apply,
+        // so surface the ambiguity instead of retrying.
+        ++stats_.mutation_fail_fast;
+        ++stats_.failures;
+        return Status::UnavailableRetryUnsafe(
+            "catalog endpoint " + authority_ +
+            " lost a mutation in transit (may have been applied)");
+      }
     } else {
       ++stats_.round_trips;
       return Status::OK();
@@ -160,17 +172,18 @@ Result<ProvenanceStep> SimulatedRpcCatalogClient::GetProvenanceStep(
 }
 
 Status SimulatedRpcCatalogClient::DefineDataset(Dataset dataset) {
-  return Call([&] { return backend_->DefineDataset(std::move(dataset)); });
+  return CallMutation(
+      [&] { return backend_->DefineDataset(std::move(dataset)); });
 }
 
 Status SimulatedRpcCatalogClient::DefineTransformation(
     Transformation transformation) {
-  return Call(
+  return CallMutation(
       [&] { return backend_->DefineTransformation(std::move(transformation)); });
 }
 
 Status SimulatedRpcCatalogClient::DefineDerivation(Derivation derivation) {
-  return Call(
+  return CallMutation(
       [&] { return backend_->DefineDerivation(std::move(derivation)); });
 }
 
@@ -178,27 +191,28 @@ Status SimulatedRpcCatalogClient::Annotate(std::string_view kind,
                                            std::string_view name,
                                            std::string_view key,
                                            AttributeValue value) {
-  return Call(
+  return CallMutation(
       [&] { return backend_->Annotate(kind, name, key, std::move(value)); });
 }
 
 Result<std::string> SimulatedRpcCatalogClient::AddReplica(Replica replica) {
-  return Call([&] { return backend_->AddReplica(std::move(replica)); });
+  return CallMutation([&] { return backend_->AddReplica(std::move(replica)); });
 }
 
 Result<std::string> SimulatedRpcCatalogClient::RecordInvocation(
     Invocation invocation) {
-  return Call(
+  return CallMutation(
       [&] { return backend_->RecordInvocation(std::move(invocation)); });
 }
 
 Status SimulatedRpcCatalogClient::SetDatasetSize(std::string_view name,
                                                  int64_t size_bytes) {
-  return Call([&] { return backend_->SetDatasetSize(name, size_bytes); });
+  return CallMutation(
+      [&] { return backend_->SetDatasetSize(name, size_bytes); });
 }
 
 Status SimulatedRpcCatalogClient::InvalidateReplica(std::string_view id) {
-  return Call([&] { return backend_->InvalidateReplica(id); });
+  return CallMutation([&] { return backend_->InvalidateReplica(id); });
 }
 
 Result<BatchResult> SimulatedRpcCatalogClient::ApplyBatch(
@@ -206,7 +220,13 @@ Result<BatchResult> SimulatedRpcCatalogClient::ApplyBatch(
     const BatchOptions& options) {
   if (config_.enable_batching) {
     stats_.batched_lookups += mutations.size();
-    return Call([&] { return backend_->ApplyBatch(mutations, options); });
+    // A token-bearing batch is deduplicated server-side, making the
+    // whole group idempotent and therefore safe to auto-retry on loss.
+    if (!options.idempotency_token.empty()) {
+      return Call([&] { return backend_->ApplyBatch(mutations, options); });
+    }
+    return CallMutation(
+        [&] { return backend_->ApplyBatch(mutations, options); });
   }
   // Naive mode: the base-class decomposition issues each op through
   // this client's single-op methods, one round trip apiece.

@@ -45,6 +45,7 @@ struct RpcStats {
   uint64_t retries = 0;            // re-attempts after loss/outage
   uint64_t batched_lookups = 0;    // point lookups coalesced into batches
   uint64_t failures = 0;           // logical calls that exhausted retries
+  uint64_t mutation_fail_fast = 0;  // mutations surfaced retry-unsafe on loss
 };
 
 /// CatalogClient over the grid simulator's event queue: every call
@@ -118,13 +119,28 @@ class SimulatedRpcCatalogClient : public CatalogClient {
  private:
   /// One logical RPC: repeats {advance the clock by the latency, check
   /// the site, roll for loss} with exponential backoff until an
-  /// attempt completes or the budget runs out.
-  Status Transport();
+  /// attempt completes or the budget runs out. Outage rejections are
+  /// retried for every call — the crashed site never accepted the
+  /// request. A *lost* call is ambiguous (the server may have executed
+  /// it and only the response vanished), so for non-idempotent calls
+  /// loss fails fast with a retry-unsafe Unavailable instead of
+  /// blindly re-sending.
+  Status Transport(bool idempotent);
 
-  /// Transport + server-side execution of `fn` on success.
+  /// Transport + server-side execution of `fn` on success, for
+  /// idempotent reads (auto-retried on loss and outage alike).
   template <typename Fn>
   auto Call(Fn&& fn) -> decltype(fn()) {
-    Status wire = Transport();
+    Status wire = Transport(/*idempotent=*/true);
+    if (!wire.ok()) return wire;
+    return fn();
+  }
+
+  /// Transport + execution for mutations: retries only outages, and
+  /// surfaces loss as retry-unsafe (Status::retry_safe() == false).
+  template <typename Fn>
+  auto CallMutation(Fn&& fn) -> decltype(fn()) {
+    Status wire = Transport(/*idempotent=*/false);
     if (!wire.ok()) return wire;
     return fn();
   }

@@ -29,6 +29,63 @@ bool SendAll(int fd, std::string_view bytes) {
 }  // namespace
 
 // -----------------------------------------------------------------------
+// BatchDedupRegistry
+// -----------------------------------------------------------------------
+
+BatchDedupRegistry::BatchDedupRegistry(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<wire::Response> BatchDedupRegistry::BeginOrAwait(
+    const std::string& token) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(token);
+  if (it == entries_.end()) {
+    entries_.emplace(token, Entry{});  // claim: caller executes
+    return std::nullopt;
+  }
+  // Another claimant exists. Wait for its outcome; the claimant always
+  // reaches Complete() because workers finish the item they are
+  // executing before honouring a stop.
+  cv_.wait(lock, [&] {
+    auto e = entries_.find(token);
+    return e == entries_.end() || e->second.done;
+  });
+  auto e = entries_.find(token);
+  if (e == entries_.end()) {
+    // Evicted between completion and wake-up: the window is too small
+    // for the retry horizon. Re-claim and execute again — the caller
+    // accepts at-least-once in this (configurable) corner.
+    entries_.emplace(token, Entry{});
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return e->second.response;
+}
+
+void BatchDedupRegistry::Complete(const std::string& token,
+                                  wire::Response response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(token);
+    if (it == entries_.end()) return;
+    it->second.done = true;
+    it->second.response = std::move(response);
+    completed_order_.push_back(token);
+    while (completed_order_.size() > capacity_) {
+      auto old = entries_.find(completed_order_.front());
+      if (old != entries_.end() && old->second.done) entries_.erase(old);
+      completed_order_.pop_front();
+    }
+  }
+  cv_.notify_all();
+}
+
+size_t BatchDedupRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+// -----------------------------------------------------------------------
 // ServerConnection
 // -----------------------------------------------------------------------
 
@@ -119,6 +176,9 @@ CatalogServer::CatalogServer(std::shared_ptr<CatalogClient> backend,
     : backend_(std::move(backend)), options_(options) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  dedup_ = options_.batch_dedup != nullptr
+               ? options_.batch_dedup
+               : std::make_shared<BatchDedupRegistry>();
   handler_delay_us_.store(options_.handler_delay.count(),
                           std::memory_order_relaxed);
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
@@ -146,10 +206,11 @@ std::shared_ptr<ServerConnection> CatalogServer::Connect(bool use_socket) {
   bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
+    if (stopping_ || draining_) {
       rejected = true;
     } else {
       connections_.push_back(conn);
+      stats_.connections_opened.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (rejected) {
@@ -182,7 +243,24 @@ std::shared_ptr<ServerConnection> CatalogServer::Connect(bool use_socket) {
   return conn;
 }
 
-void CatalogServer::Shutdown() {
+bool CatalogServer::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void CatalogServer::Shutdown(std::chrono::milliseconds drain_timeout) {
+  if (drain_timeout.count() > 0) {
+    // Drain phase: refuse new connections and bounce fresh frames
+    // (DrainConnection answers them Unavailable) while the dispatcher
+    // and workers keep running, then wait for admitted work to finish.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stopping_) {
+      draining_ = true;
+      drain_cv_.wait_for(lock, drain_timeout, [this] {
+        return queue_.empty() && active_workers_ == 0;
+      });
+    }
+  }
   std::vector<std::shared_ptr<ServerConnection>> conns;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -255,6 +333,7 @@ void CatalogServer::DrainConnection(
       if (size.status().IsNotFound()) break;  // need more bytes
       // Corrupt framing: the stream cannot be resynchronized.
       stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.connection_resets.fetch_add(1, std::memory_order_relaxed);
       buffer.clear();
       conn->Close();
       return;
@@ -264,6 +343,7 @@ void CatalogServer::DrainConnection(
     Result<wire::Frame> frame = wire::DecodeFrame(frame_bytes);
     if (!frame.ok() || frame->is_response) {
       stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.connection_resets.fetch_add(1, std::memory_order_relaxed);
       buffer.clear();
       conn->Close();
       return;
@@ -277,12 +357,27 @@ void CatalogServer::DrainConnection(
     item.payload.assign(frame->payload);
     buffer.erase(0, *size);
     bool admitted = false;
+    bool draining = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!stopping_ && queue_.size() < options_.queue_capacity) {
+      draining = draining_;
+      if (!stopping_ && !draining_ &&
+          queue_.size() < options_.queue_capacity) {
         queue_.push_back(std::move(item));
         admitted = true;
       }
+    }
+    if (draining) {
+      // Drain phase: already-admitted work keeps executing, but every
+      // fresh frame is answered with a retryable Unavailable so a
+      // resilient client fails over instead of hanging on a dying
+      // server.
+      stats_.drain_rejections.fetch_add(1, std::memory_order_relaxed);
+      wire::Response bounced;
+      bounced.kind = item.kind;
+      bounced.status = Status::Unavailable("catalog server is draining");
+      Reply(conn, item.request_id, bounced);
+      continue;
     }
     if (admitted) {
       worker_cv_.notify_one();
@@ -309,6 +404,7 @@ void CatalogServer::WorkerLoop() {
       if (stopping_) return;
       item = std::move(queue_.front());
       queue_.pop_front();
+      ++active_workers_;
     }
     int64_t delay_us = handler_delay_us_.load(std::memory_order_relaxed);
     if (delay_us > 0) {
@@ -325,6 +421,13 @@ void CatalogServer::WorkerLoop() {
     }
     stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
     Reply(item.conn, item.request_id, response);
+    bool drained = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+      drained = queue_.empty() && active_workers_ == 0;
+    }
+    if (drained) drain_cv_.notify_all();
   }
 }
 
@@ -499,10 +602,23 @@ wire::Response CatalogServer::Execute(const wire::Request& request) {
     }
     case wire::MsgKind::kApplyBatch: {
       const auto& body = std::get<wire::ApplyBatchReq>(request.body);
+      const std::string& token = body.options.idempotency_token;
+      if (!token.empty()) {
+        // Tokenized batch: consult the idempotency window first so a
+        // retry (lost reply / replica failover) replays the recorded
+        // outcome — assigned ids included — instead of applying twice.
+        if (std::optional<wire::Response> recorded =
+                dedup_->BeginOrAwait(token)) {
+          stats_.batch_dedup_hits.fetch_add(1, std::memory_order_relaxed);
+          resp = std::move(*recorded);
+          break;
+        }
+      }
       Result<BatchResult> r =
           backend_->ApplyBatch(body.mutations, body.options);
       if (!r.ok()) resp.status = r.status();
       else resp.body = wire::BatchResultResp{std::move(*r)};
+      if (!token.empty()) dedup_->Complete(token, resp);
       break;
     }
   }
@@ -524,12 +640,16 @@ void CatalogServer::Reply(const std::shared_ptr<ServerConnection>& conn,
 
 Result<std::shared_ptr<WireCatalogClient>> WireCatalogClient::Connect(
     CatalogServer* server, WireClientOptions options, bool use_socket) {
-  std::shared_ptr<ServerConnection> conn = server->Connect(use_socket);
-  if (conn->closed()) {
-    return Status::Unavailable("catalog server is shut down");
+  return ConnectChannel(server->Connect(use_socket), options);
+}
+
+Result<std::shared_ptr<WireCatalogClient>> WireCatalogClient::ConnectChannel(
+    std::shared_ptr<ClientChannel> channel, WireClientOptions options) {
+  if (channel == nullptr || channel->closed()) {
+    return Status::Unavailable("catalog server refused the connection");
   }
   std::shared_ptr<WireCatalogClient> client(
-      new WireCatalogClient(std::move(conn), options));
+      new WireCatalogClient(std::move(channel), options));
   wire::Request handshake;
   handshake.kind = wire::MsgKind::kHandshake;
   handshake.body = wire::EmptyReq{};
@@ -544,7 +664,7 @@ Result<std::shared_ptr<WireCatalogClient>> WireCatalogClient::Connect(
   return client;
 }
 
-WireCatalogClient::WireCatalogClient(std::shared_ptr<ServerConnection> conn,
+WireCatalogClient::WireCatalogClient(std::shared_ptr<ClientChannel> conn,
                                      WireClientOptions options)
     : conn_(std::move(conn)), options_(options) {
   receiver_ = std::thread([this] { ReceiverLoop(); });
@@ -584,7 +704,11 @@ void WireCatalogClient::Disconnect() {
     broken_ = true;
   }
   conn_->Close();
-  FailAllPending(Status::Unavailable("wire client disconnected"));
+  // Pending requests were already sent: they may execute server-side
+  // even though their replies are lost, so carriers must not blindly
+  // re-issue mutations among them.
+  FailAllPending(
+      Status::UnavailableRetryUnsafe("wire client disconnected"));
 }
 
 void WireCatalogClient::FailAllPending(const Status& error) {
@@ -597,15 +721,31 @@ void WireCatalogClient::FailAllPending(const Status& error) {
   }
 }
 
+bool WireCatalogClient::SendFrame(std::string_view frame) {
+  // One frame = one logical send, serialized so concurrent callers
+  // can't interleave partial frames, looping because a channel (or a
+  // fault shim under it) may accept fewer bytes than offered.
+  std::lock_guard<std::mutex> lock(send_mu_);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ptrdiff_t n = conn_->Send(frame.substr(off));
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 void WireCatalogClient::ReceiverLoop() {
   std::string buffer;
   for (;;) {
-    if (!conn_->ClientReceive(&buffer)) {
+    if (!conn_->Receive(&buffer)) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         broken_ = true;
       }
-      FailAllPending(Status::Unavailable("wire connection closed by server"));
+      // Lost replies: the in-flight requests may have executed.
+      FailAllPending(Status::UnavailableRetryUnsafe(
+          "wire connection closed by server"));
       return;
     }
     while (!buffer.empty()) {
@@ -617,7 +757,7 @@ void WireCatalogClient::ReceiverLoop() {
           broken_ = true;
         }
         conn_->Close();
-        FailAllPending(Status::Unavailable(
+        FailAllPending(Status::UnavailableRetryUnsafe(
             "wire response stream is corrupt: " + size.status().message()));
         return;
       }
@@ -631,7 +771,7 @@ void WireCatalogClient::ReceiverLoop() {
         }
         conn_->Close();
         FailAllPending(
-            Status::Unavailable("wire response stream is corrupt"));
+            Status::UnavailableRetryUnsafe("wire response stream is corrupt"));
         return;
       }
       {
@@ -672,10 +812,12 @@ Result<wire::Response> WireCatalogClient::Call(const wire::Request& request) {
     pending_.emplace(request_id, slot);
   }
   std::string frame = wire::EncodeRequestFrame(request_id, request);
-  if (!conn_->ClientSend(frame)) {
+  if (!SendFrame(frame)) {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.erase(request_id);
     stats_.failures++;
+    // A partial frame can never be executed (the server drops
+    // incomplete framing), so a send failure is retry-safe.
     return Status::Unavailable("wire connection closed");
   }
   const bool has_deadline = options_.default_deadline.count() > 0;
@@ -692,9 +834,11 @@ Result<wire::Response> WireCatalogClient::Call(const wire::Request& request) {
         slot->abandoned = true;
         pending_.erase(request_id);
         stats_.deadline_expiries++;
-        return Status::DeadlineExceeded(
+        // The request is still queued or executing server-side:
+        // re-issuing a mutation after an expiry can double-apply it.
+        return Status::MarkRetryUnsafe(Status::DeadlineExceeded(
             "wire call deadline expired: " +
-            std::string(wire::MsgKindName(request.kind)));
+            std::string(wire::MsgKindName(request.kind))));
       }
     } else {
       slot->cv.wait(lock);

@@ -8,7 +8,9 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +49,8 @@ namespace vdg {
 //    codec against a real kernel byte stream.
 // -----------------------------------------------------------------------
 
+class BatchDedupRegistry;
+
 struct ServerOptions {
   /// Worker threads executing requests against the backend.
   size_t workers = 4;
@@ -56,6 +60,12 @@ struct ServerOptions {
   /// Test/bench hook: every worker sleeps this long before executing a
   /// request, simulating slow handlers for deadline/backpressure tests.
   std::chrono::microseconds handler_delay{0};
+  /// ApplyBatch idempotency window. When null the server creates a
+  /// private registry; replica servers fronting the SAME backend
+  /// catalog must share one registry so a batch retried across
+  /// failover still dedups (the window models storage-level dedup in a
+  /// replicated service, so it lives with the storage, not the node).
+  std::shared_ptr<BatchDedupRegistry> batch_dedup;
 };
 
 /// Aggregate server counters (atomics: touched by dispatcher, workers,
@@ -68,17 +78,95 @@ struct ServerStats {
   std::atomic<uint64_t> requests_served{0};   // executed by a worker
   std::atomic<uint64_t> queue_rejections{0};  // admission-control bounces
   std::atomic<uint64_t> protocol_errors{0};   // malformed frames (closes conn)
+  std::atomic<uint64_t> connections_opened{0};
+  std::atomic<uint64_t> connection_resets{0};  // conns closed on a
+                                               // malformed/corrupt stream
+  std::atomic<uint64_t> drain_rejections{0};   // frames bounced with
+                                               // Unavailable during drain
+  std::atomic<uint64_t> batch_dedup_hits{0};   // ApplyBatch retries answered
+                                               // from the idempotency window
+};
+
+/// Bounded idempotency window for ApplyBatch. Keyed by the client's
+/// `BatchOptions::idempotency_token`, it records each tokenized
+/// batch's wire response so a retry (lost reply, failover to a replica
+/// server sharing the registry) returns the original outcome —
+/// assigned ids included — instead of applying the mutations twice.
+/// Thread-safe; a concurrent duplicate blocks until the first
+/// execution completes rather than racing it.
+class BatchDedupRegistry {
+ public:
+  explicit BatchDedupRegistry(size_t capacity = 1024);
+
+  /// Claims `token` for execution. Returns nullopt when the caller is
+  /// the first claimant and must execute the batch, then call
+  /// Complete(). Returns the recorded response when the token already
+  /// completed (a dedup hit); blocks when another thread is mid-
+  /// execution and then returns its result.
+  std::optional<wire::Response> BeginOrAwait(const std::string& token);
+
+  /// Records the outcome of a claimed token and wakes any waiters.
+  /// Evicts the oldest completed entries beyond `capacity`.
+  void Complete(const std::string& token, wire::Response response);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t size() const;
+
+ private:
+  struct Entry {
+    bool done = false;
+    wire::Response response;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t capacity_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::deque<std::string> completed_order_;  // FIFO eviction of done entries
+  std::atomic<uint64_t> hits_{0};
 };
 
 class CatalogServer;
+
+/// Client-side view of a duplex byte channel. WireCatalogClient talks
+/// to this interface rather than to ServerConnection directly so a
+/// fault-injection shim (FaultyChannel in faulty_transport.h) can wrap
+/// the real transport and corrupt/short/drop the byte stream under it.
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  /// Attempts to write `bytes` toward the server. Returns the number
+  /// of bytes accepted — possibly FEWER than requested (a short
+  /// write): the caller must loop until the whole frame is flushed.
+  /// Returns -1 once the channel is broken.
+  virtual ptrdiff_t Send(std::string_view bytes) = 0;
+
+  /// Blocks until response bytes arrive (appended to `*out`) or the
+  /// channel closes with nothing pending (returns false — EOF).
+  virtual bool Receive(std::string* out) = 0;
+
+  /// Closes both directions; blocked receivers wake with EOF.
+  virtual void Close() = 0;
+
+  virtual bool closed() const = 0;
+};
 
 /// One duplex byte channel between a client and the server. The client
 /// half writes request bytes and blocks reading response bytes; the
 /// server half is driven by the dispatcher/workers. Created only by
 /// CatalogServer::Connect().
-class ServerConnection {
+class ServerConnection : public ClientChannel {
  public:
-  ~ServerConnection();
+  ~ServerConnection() override;
+
+  /// ClientChannel: the real transport never short-writes (the socket
+  /// path loops internally), so Send accepts the whole buffer or
+  /// reports the channel broken.
+  ptrdiff_t Send(std::string_view bytes) override {
+    return ClientSend(bytes) ? static_cast<ptrdiff_t>(bytes.size()) : -1;
+  }
+  bool Receive(std::string* out) override { return ClientReceive(out); }
 
   /// Client-side: appends request bytes and wakes the dispatcher.
   /// Returns false once the connection is closed.
@@ -91,9 +179,9 @@ class ServerConnection {
 
   /// Closes both directions; blocked receivers wake with EOF. Safe to
   /// call from either side, multiple times.
-  void Close();
+  void Close() override;
 
-  bool closed() const;
+  bool closed() const override;
 
  private:
   friend class CatalogServer;
@@ -142,11 +230,28 @@ class CatalogServer {
   /// socketpair cannot be created).
   std::shared_ptr<ServerConnection> Connect(bool use_socket = false);
 
-  /// Stops dispatcher and workers and closes every connection. Queued
-  /// but unexecuted requests are dropped; their clients see EOF and
-  /// fail pending calls with Unavailable. Idempotent; the destructor
-  /// calls it.
-  void Shutdown();
+  /// Stops the server. With `drain_timeout == 0` (the default and what
+  /// the destructor uses) the stop is abrupt: queued but unexecuted
+  /// requests are dropped; their clients see EOF and fail pending
+  /// calls with Unavailable. With a positive `drain_timeout` the
+  /// server drains first: new connections are refused, freshly
+  /// arriving frames are answered with a retryable Unavailable
+  /// (counted in stats().drain_rejections), and already-admitted
+  /// requests keep executing until the queue and workers are idle or
+  /// the timeout elapses — only then does the hard stop run.
+  /// Idempotent.
+  void Shutdown(std::chrono::milliseconds drain_timeout =
+                    std::chrono::milliseconds(0));
+
+  /// True from the moment a draining Shutdown begins; Connect refuses
+  /// and new frames bounce while set.
+  bool draining() const;
+
+  /// The ApplyBatch idempotency window this server consults (shared
+  /// across replicas when ServerOptions::batch_dedup was supplied).
+  const std::shared_ptr<BatchDedupRegistry>& batch_dedup() const {
+    return dedup_;
+  }
 
   const ServerStats& stats() const { return stats_; }
   const ServerOptions& options() const { return options_; }
@@ -188,13 +293,20 @@ class CatalogServer {
   std::atomic<int64_t> handler_delay_us_{0};
   ServerStats stats_;
 
-  std::mutex mu_;  // guards connections_, readable_, queue_, stopping_
+  std::shared_ptr<BatchDedupRegistry> dedup_;
+
+  // guards connections_, readable_, queue_, stopping_, draining_,
+  // active_workers_
+  mutable std::mutex mu_;
   std::condition_variable dispatcher_cv_;
   std::condition_variable worker_cv_;
+  std::condition_variable drain_cv_;  // queue empty && no active workers
   std::vector<std::shared_ptr<ServerConnection>> connections_;
   std::vector<ServerConnection*> readable_;
   std::deque<WorkItem> queue_;
   bool stopping_ = false;
+  bool draining_ = false;
+  size_t active_workers_ = 0;  // items popped but not yet replied
 
   std::thread dispatcher_;
   std::vector<std::thread> workers_;
@@ -238,6 +350,11 @@ class WireCatalogClient : public CatalogClient {
   static Result<std::shared_ptr<WireCatalogClient>> Connect(
       CatalogServer* server, WireClientOptions options = {},
       bool use_socket = false);
+
+  /// Same handshake over a caller-supplied channel — the hook
+  /// FaultyChannel and future transports (TCP) plug into.
+  static Result<std::shared_ptr<WireCatalogClient>> ConnectChannel(
+      std::shared_ptr<ClientChannel> channel, WireClientOptions options = {});
 
   ~WireCatalogClient() override;
 
@@ -303,23 +420,29 @@ class WireCatalogClient : public CatalogClient {
     std::condition_variable cv;
   };
 
-  WireCatalogClient(std::shared_ptr<ServerConnection> conn,
+  WireCatalogClient(std::shared_ptr<ClientChannel> conn,
                     WireClientOptions options);
 
   /// One round trip: admission check, encode+send, wait for the
   /// response (or deadline), decode on the calling thread.
   Result<wire::Response> Call(const wire::Request& request);
 
+  /// Flushes the whole frame through the channel, looping on short
+  /// writes, under send_mu_ so concurrent callers never interleave
+  /// partial frames. Returns false once the channel is broken.
+  bool SendFrame(std::string_view frame);
+
   /// Fails every pending slot with `error` (EOF / disconnect path).
   void FailAllPending(const Status& error);
 
   void ReceiverLoop();
 
-  std::shared_ptr<ServerConnection> conn_;
+  std::shared_ptr<ClientChannel> conn_;
   WireClientOptions options_;
   std::string authority_;
   bool read_only_ = false;
 
+  std::mutex send_mu_;  // serializes whole-frame sends (short-write loop)
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<PendingSlot>> pending_;
   uint64_t next_request_id_ = 1;

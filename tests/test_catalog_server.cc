@@ -578,6 +578,123 @@ TEST(CatalogServerRuntime, ExecutorWriteBackOverTheWireMatchesInProcess) {
   }
 }
 
+// ----------------------- graceful drain ------------------------------
+
+TEST(CatalogServerRuntime, DrainingShutdownLetsInFlightRequestsFinish) {
+  auto catalog = ChainCatalog(2);
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.handler_delay = std::chrono::microseconds(100'000);
+  auto server = std::make_unique<CatalogServer>(
+      std::make_shared<InProcessCatalogClient>(catalog.get()), opts);
+
+  WireClientOptions copts;
+  copts.default_deadline = std::chrono::milliseconds(10'000);
+  auto client = WireCatalogClient::Connect(server.get(), copts);
+  ASSERT_TRUE(client.ok());
+  (*client)->reset_stats();  // drop the handshake's counters
+
+  std::atomic<bool> in_flight_ok{false};
+  std::thread caller([&] {
+    Result<uint64_t> r = (*client)->Version();
+    in_flight_ok = r.ok();
+  });
+  for (int i = 0; i < 500; ++i) {
+    if ((*client)->stats().bytes_sent > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Unlike the abrupt Shutdown() above, a draining shutdown finishes
+  // the admitted slow request before tearing anything down.
+  server->Shutdown(std::chrono::milliseconds(5'000));
+  caller.join();
+  EXPECT_TRUE(in_flight_ok.load());
+}
+
+TEST(CatalogServerRuntime, FramesDuringDrainBounceWithRetryableUnavailable) {
+  auto catalog = ChainCatalog(2);
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.handler_delay = std::chrono::microseconds(200'000);
+  auto server = std::make_unique<CatalogServer>(
+      std::make_shared<InProcessCatalogClient>(catalog.get()), opts);
+
+  WireClientOptions copts;
+  copts.default_deadline = std::chrono::milliseconds(10'000);
+  auto client = WireCatalogClient::Connect(server.get(), copts);
+  ASSERT_TRUE(client.ok());
+  (*client)->reset_stats();
+
+  // Occupy the single worker so the drain has something to wait for.
+  std::thread slow([&] { (void)(*client)->Version(); });
+  for (int i = 0; i < 500; ++i) {
+    if ((*client)->stats().bytes_sent > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  std::thread drainer([&] { server->Shutdown(std::chrono::milliseconds(5'000)); });
+  for (int i = 0; i < 500; ++i) {
+    if (server->draining()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(server->draining());
+
+  // A fresh frame during the drain is answered — not dropped — with a
+  // retryable Unavailable, the signal a resilient client fails over on.
+  Result<uint64_t> bounced = (*client)->Version();
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_TRUE(bounced.status().IsUnavailable()) << bounced.status();
+  EXPECT_TRUE(bounced.status().retry_safe());
+  EXPECT_GE(server->stats().drain_rejections.load(), 1u);
+
+  slow.join();
+  drainer.join();
+}
+
+TEST(CatalogServerRuntime, ConnectDuringDrainRefusesWithoutDeadlock) {
+  auto catalog = ChainCatalog(2);
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.handler_delay = std::chrono::microseconds(150'000);
+  auto server = std::make_unique<CatalogServer>(
+      std::make_shared<InProcessCatalogClient>(catalog.get()), opts);
+
+  WireClientOptions copts;
+  copts.default_deadline = std::chrono::milliseconds(10'000);
+  auto client = WireCatalogClient::Connect(server.get(), copts);
+  ASSERT_TRUE(client.ok());
+  (*client)->reset_stats();
+
+  std::thread slow([&] { (void)(*client)->Version(); });
+  for (int i = 0; i < 500; ++i) {
+    if ((*client)->stats().bytes_sent > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::thread drainer([&] { server->Shutdown(std::chrono::milliseconds(5'000)); });
+  for (int i = 0; i < 500; ++i) {
+    if (server->draining()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Concurrent dials while the drain is in progress must fail fast —
+  // not block on server teardown, not crash it.
+  std::vector<std::thread> dialers;
+  std::atomic<int> accepted{0};
+  for (int i = 0; i < 4; ++i) {
+    dialers.emplace_back([&] {
+      auto late = WireCatalogClient::Connect(server.get());
+      if (late.ok()) ++accepted;
+    });
+  }
+  for (std::thread& t : dialers) t.join();
+  EXPECT_EQ(accepted.load(), 0);
+
+  slow.join();
+  drainer.join();
+}
+
 // A caching client stacked on the wire transport: the full ladder.
 TEST(CatalogServerRuntime, CachingClientOverWireServesRepeatsLocally) {
   auto catalog = ChainCatalog(4);

@@ -209,6 +209,82 @@ TEST_F(FedRpcTest, OutageLongerThanRetryBudgetSurfacesUnavailable) {
   EXPECT_EQ(rpc->stats().outage_rejections, 2u);
 }
 
+TEST_F(FedRpcTest, LostMutationFailsFastAndRetryUnsafe) {
+  RpcConfig config;
+  config.loss_rate = 1.0;  // every attempt is lost in transit
+  config.max_attempts = 8;
+  auto rpc = Rpc(config);
+
+  // A lost mutation is ambiguous (the server may have applied it and
+  // only the response vanished), so it must NOT be blindly re-sent:
+  // one attempt, then a retry-unsafe Unavailable.
+  Status st = rpc->SetDatasetSize("d1", 4096);
+  EXPECT_TRUE(st.IsUnavailable()) << st;
+  EXPECT_FALSE(st.retry_safe());
+  EXPECT_EQ(rpc->stats().lost_calls, 1u);
+  EXPECT_EQ(rpc->stats().retries, 0u);
+  EXPECT_EQ(rpc->stats().mutation_fail_fast, 1u);
+
+  // Reads under the same loss keep auto-retrying (and here exhaust the
+  // budget with a retry-SAFE Unavailable).
+  Status read = rpc->HasDataset("d1").status();
+  EXPECT_TRUE(read.IsUnavailable());
+  EXPECT_TRUE(read.retry_safe());
+  EXPECT_EQ(rpc->stats().retries, 7u);
+}
+
+TEST_F(FedRpcTest, MutationRetriesThroughOutagesButNotLoss) {
+  RpcConfig config;
+  config.site = "east";
+  config.max_attempts = 6;
+  auto rpc = Rpc(config);
+
+  // An outage rejection happens before the server accepts the request,
+  // so even a mutation is safe to re-send: the backoff outlives the
+  // 3-second crash window and the write lands exactly once.
+  ASSERT_TRUE(grid_.ScheduleOutage("east", 0.0, 3.0, true).ok());
+  Status st = rpc->SetDatasetSize("d1", 2048);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(catalog_->GetDataset("d1")->size_bytes, 2048);
+  EXPECT_GT(rpc->stats().outage_rejections, 0u);
+  EXPECT_GT(rpc->stats().retries, 0u);
+  EXPECT_EQ(rpc->stats().mutation_fail_fast, 0u);
+}
+
+TEST_F(FedRpcTest, TokenedBatchRetriesLikeARead) {
+  RpcConfig config;
+  config.loss_rate = 0.5;
+  config.max_attempts = 32;
+  config.seed = 11;
+  auto rpc = Rpc(config);
+
+  Replica rep;
+  rep.dataset = "d1";
+  rep.site = "east";
+  rep.size_bytes = 1024;
+  std::vector<CatalogMutation> batch;
+  batch.push_back(CatalogMutation::AddReplica(rep));
+
+  // Untokened: ambiguous on first loss. With loss_rate 0.5 and this
+  // seed the first draws eventually lose; keep issuing until one is
+  // actually lost to observe the fail-fast.
+  Status lost = Status::OK();
+  for (int i = 0; i < 64 && lost.ok(); ++i) {
+    lost = rpc->ApplyBatch(batch).status();
+  }
+  ASSERT_FALSE(lost.ok());
+  EXPECT_FALSE(lost.retry_safe());
+
+  // Tokened: the server-side dedup window makes the batch idempotent,
+  // so the transport may retry it through losses like any read.
+  uint64_t fail_fast_before = rpc->stats().mutation_fail_fast;
+  BatchOptions opts;
+  opts.idempotency_token = "sim-tok-1";
+  Result<BatchResult> tokened = rpc->ApplyBatch(batch, opts);
+  ASSERT_TRUE(tokened.ok()) << tokened.status();
+  EXPECT_EQ(rpc->stats().mutation_fail_fast, fail_fast_before);
+}
+
 TEST_F(FedRpcTest, NaiveModeDecomposesCompoundCalls) {
   RpcConfig batched_config;
   auto batched = Rpc(batched_config);

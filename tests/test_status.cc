@@ -116,6 +116,31 @@ Result<int> Quarter(int x) {
 
 }  // namespace helpers
 
+TEST(StatusTest, RetrySafetyMarkerSurvivesTheMessage) {
+  // Default: every status is retry-safe.
+  EXPECT_TRUE(Status::OK().retry_safe());
+  EXPECT_TRUE(Status::Unavailable("conn reset").retry_safe());
+  EXPECT_TRUE(Status::NotFound("x").retry_safe());
+
+  Status unsafe = Status::UnavailableRetryUnsafe("reply lost");
+  EXPECT_TRUE(unsafe.IsUnavailable());
+  EXPECT_FALSE(unsafe.retry_safe());
+
+  Status marked =
+      Status::MarkRetryUnsafe(Status::DeadlineExceeded("expired"));
+  EXPECT_TRUE(marked.IsDeadlineExceeded());
+  EXPECT_FALSE(marked.retry_safe());
+
+  // Idempotent: marking twice does not stack markers.
+  Status twice = Status::MarkRetryUnsafe(marked);
+  EXPECT_FALSE(twice.retry_safe());
+  EXPECT_EQ(twice.message(), marked.message());
+
+  // OK statuses never carry the marker.
+  EXPECT_TRUE(Status::MarkRetryUnsafe(Status::OK()).ok());
+  EXPECT_TRUE(Status::MarkRetryUnsafe(Status::OK()).retry_safe());
+}
+
 TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
   EXPECT_TRUE(helpers::Chain(1).ok());
   EXPECT_EQ(helpers::Chain(-1).code(), StatusCode::kInvalidArgument);

@@ -562,6 +562,46 @@ TEST(WireCodecRequests, ApplyBatchCarriesEveryMutationKind) {
   }
 }
 
+TEST(WireCodecRequests, ApplyBatchIdempotencyTokenRoundTrips) {
+  Rng rng(707);
+  ApplyBatchReq req;
+  req.mutations.push_back(RandomMutation(rng));
+  req.options.stop_on_error = true;
+  req.options.idempotency_token = "rcc-deadbeef-42";
+  Request out = RoundTrip(9, Request{MsgKind::kApplyBatch, req});
+  const ApplyBatchReq& got = std::get<ApplyBatchReq>(out.body);
+  EXPECT_EQ(got.options.idempotency_token, "rcc-deadbeef-42");
+  EXPECT_TRUE(got.options.stop_on_error);
+}
+
+TEST(WireCodecRequests, ApplyBatchDecodeToleratesTokenlessOldPayloads) {
+  // The idempotency token is a trailing optional field within codec
+  // v1: a payload written by an encoder that predates it (i.e. ends
+  // right after stop_on_error) must still decode, with an empty token.
+  Rng rng(708);
+  ApplyBatchReq req;
+  req.mutations.push_back(RandomMutation(rng));
+  req.options.stop_on_error = true;
+  // req.options.idempotency_token left empty: the current encoder
+  // appends it as a u32-length-prefixed string, so the empty token is
+  // exactly 4 trailing zero bytes — strip them to reconstruct the
+  // old-format payload.
+  std::string frame =
+      EncodeRequestFrame(11, Request{MsgKind::kApplyBatch, req});
+  Result<Frame> envelope = DecodeFrame(frame);
+  ASSERT_TRUE(envelope.ok());
+  std::string payload(envelope->payload);
+  ASSERT_GE(payload.size(), 4u);
+  std::string old_payload = payload.substr(0, payload.size() - 4);
+
+  Result<Request> decoded = DecodeRequest(MsgKind::kApplyBatch, old_payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const ApplyBatchReq& got = std::get<ApplyBatchReq>(decoded->body);
+  EXPECT_TRUE(got.options.idempotency_token.empty());
+  EXPECT_TRUE(got.options.stop_on_error);
+  EXPECT_EQ(got.mutations.size(), 1u);
+}
+
 // ------------------------- response round trips ----------------------
 
 TEST(WireCodecResponses, ErrorResponsesCarryStatusOnly) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Asserts a benchmark's aggregate items/s rate meets a floor.
+"""Asserts a benchmark's rate (or a named counter) meets a floor.
 
-Usage: check_bench_floor.py <bench.json> <benchmark-name> <floor-items-per-sec>
+Usage: check_bench_floor.py <bench.json> <benchmark-name> <floor> [counter]
 
 Reads Google Benchmark JSON output and checks the named benchmark's
 `agg_items_per_sec` counter (falling back to `items_per_second`)
@@ -10,38 +10,52 @@ benchmark is missing or below the floor. CI uses this to keep the
 compressed discovery-index path honest: the floor is a multiple of the
 pre-compression seed rate, loose enough for shared runners yet tight
 enough to catch the index degrading to a scan.
+
+With the optional fourth argument the named counter is gated instead of
+the items/s rate — e.g. `availability 0.999` holds the wire chaos
+bench (bench_wire_faults) to its client-visible success-rate floor.
 """
 
 import json
 import sys
 
 
-def rate_of(bench):
-    counter = bench.get("agg_items_per_sec")
+def rate_of(bench, counter=None):
     if counter is not None:
-        return counter
+        return bench.get(counter)
+    agg = bench.get("agg_items_per_sec")
+    if agg is not None:
+        return agg
     return bench.get("items_per_second", 0.0)
 
 
+def fmt(value):
+    # Success-rate style counters need decimals; throughputs do not.
+    return f"{value:.4f}" if abs(value) < 10 else f"{value:,.0f}"
+
+
 def main():
-    if len(sys.argv) != 4:
+    if len(sys.argv) not in (4, 5):
         sys.exit(__doc__.strip())
     path, name, floor = sys.argv[1], sys.argv[2], float(sys.argv[3])
+    counter = sys.argv[4] if len(sys.argv) == 5 else None
+    unit = counter if counter else "items/s"
     with open(path) as f:
         data = json.load(f)
     rates = {}
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        rates[bench.get("name", "?")] = rate_of(bench)
+        rates[bench.get("name", "?")] = rate_of(bench, counter)
     for bench_name, rate in sorted(rates.items()):
-        print(f"  {bench_name}: {rate:,.0f} items/s")
+        if rate is not None:
+            print(f"  {bench_name}: {fmt(rate)} {unit}")
     rate = rates.get(name)
     if rate is None:
-        sys.exit(f"benchmark {name} not found in {path}")
+        sys.exit(f"benchmark {name} has no {unit} value in {path}")
     if rate < floor:
-        sys.exit(f"{name} rate {rate:,.0f} items/s is below floor {floor:,.0f}")
-    print(f"{name} meets floor {floor:,.0f} items/s")
+        sys.exit(f"{name} {unit} {fmt(rate)} is below floor {fmt(floor)}")
+    print(f"{name} meets floor {fmt(floor)} {unit}")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_fig1_schema_ops bench_fig4_federated_index \
            bench_conc_catalog bench_fault_recovery bench_fed_rpc \
-           bench_wire_server >/dev/null
+           bench_wire_server bench_wire_faults >/dev/null
 
 # Every bench result must come from a Release-compiled binary. The
 # binaries stamp vdg_build_type into their context (bench/bench_main.cc)
@@ -297,6 +297,63 @@ for name, s in sorted(scenarios.items()):
 if failed:
     print("FAULT-TOLERANCE REGRESSION: success_rate < 0.99 in:", failed)
     sys.exit(1)
+PYEOF
+
+# Wire-layer chaos: client-visible availability with 5% connection
+# resets + 5% frame corruption injected under the resilient client
+# (two replica endpoints). The DESIGN.md §14 acceptance bar — at most
+# one hard failure per thousand calls — is gated below and the stats
+# land in BENCH_fault.json next to the workflow-level fault sweeps.
+WIREFAULT_OUT="$BUILD_DIR/bench_wire_faults.json"
+"$BUILD_DIR/bench/bench_wire_faults" \
+  --benchmark_out="$WIREFAULT_OUT" --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+assert_release "$WIREFAULT_OUT"
+
+python3 "$REPO_ROOT/tools/check_bench_floor.py" "$WIREFAULT_OUT" \
+  "BM_WireFaultAvailability/5/5" 0.999 availability
+
+python3 - "$WIREFAULT_OUT" "$FAULT_JSON" <<'PYEOF'
+import json
+import sys
+
+wire_path, fault_path = sys.argv[1:3]
+with open(wire_path) as f:
+    wire = json.load(f)
+with open(fault_path) as f:
+    fault = json.load(f)
+
+scenarios = {}
+for b in wire.get("benchmarks", []):
+    name = b["name"]  # e.g. BM_WireFaultAvailability/5/5
+    scenarios[name] = {
+        "availability": b.get("availability"),
+        "faults_injected": b.get("faults_injected"),
+        "resets": b.get("resets"),
+        "corruptions": b.get("corruptions"),
+        "retries": b.get("retries"),
+        "reconnects": b.get("reconnects"),
+        "failovers": b.get("failovers"),
+        "exhausted_calls": b.get("exhausted_calls"),
+        "calls_per_sec": b.get("items_per_second"),
+    }
+
+fault["wire"] = scenarios
+fault["benchmarks"] = fault.get("benchmarks", []) + wire.get("benchmarks", [])
+with open(fault_path, "w") as f:
+    json.dump(fault, f, indent=2)
+    f.write("\n")
+
+print("merged wire chaos results into", fault_path)
+for name, s in sorted(scenarios.items()):
+    avail = s.get("availability")
+    if avail is None:
+        continue
+    print(f"  {name}: availability={avail:.4f} "
+          f"({int(s.get('faults_injected') or 0)} faults, "
+          f"{int(s.get('reconnects') or 0)} reconnects, "
+          f"{int(s.get('retries') or 0)} retries)")
 PYEOF
 
 # Federation transport: round trips per FIG3 chain walk and per FIG4
