@@ -121,7 +121,7 @@ inline VirtualDataCatalog* ShardedCatalog(size_t num_derivations) {
   auto it = cache->find(num_derivations);
   if (it != cache->end()) return it->second;
   VirtualDataCatalog* c = CachedCanonicalCatalog(num_derivations);
-  std::vector<std::string> names = c->AllDatasetNames();
+  NameList names = c->AllDatasetNames();
   for (size_t i = 0; i < names.size(); ++i) {
     Status s = c->Annotate("dataset", names[i], "shard",
                            AttributeValue(static_cast<int64_t>(i % 16)));

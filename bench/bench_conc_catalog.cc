@@ -60,7 +60,7 @@ BENCHMARK(BM_ConcIndexedFind)->ThreadRange(1, 16)->UseRealTime();
 
 void BM_ConcPointLookup(benchmark::State& state) {
   const VirtualDataCatalog* catalog = bench::ShardedCatalog(kCatalogSize);
-  std::vector<std::string> names = catalog->AllDatasetNames();
+  NameList names = catalog->AllDatasetNames();
   size_t i = static_cast<size_t>(state.thread_index()) * 37;
   size_t hits = 0;
   for (auto _ : state) {
@@ -79,7 +79,7 @@ BENCHMARK(BM_ConcPointLookup)->ThreadRange(1, 16)->UseRealTime();
 void BM_ConcReadWithWriter(benchmark::State& state) {
   VirtualDataCatalog* catalog = bench::ShardedCatalog(kCatalogSize);
   if (state.thread_index() == 0) {
-    std::vector<std::string> names = catalog->AllDatasetNames();
+    NameList names = catalog->AllDatasetNames();
     size_t i = 0;
     for (auto _ : state) {
       Status s = catalog->Annotate(
@@ -226,14 +226,14 @@ void BM_SnapshotFindDuringWrites(benchmark::State& state) {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> batches{0};
   std::thread writer([&] {
-    std::vector<std::string> names = catalog->AllDatasetNames();
+    NameList names = catalog->AllDatasetNames();
     size_t i = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       std::vector<CatalogMutation> ops;
       ops.reserve(16);
       for (int k = 0; k < 16; ++k) {
         ops.push_back(CatalogMutation::Annotate(
-            "dataset", names[i % names.size()], "writer.tick",
+            "dataset", std::string(names[i % names.size()]), "writer.tick",
             AttributeValue(static_cast<int64_t>(i))));
         ++i;
       }
@@ -276,7 +276,7 @@ BENCHMARK(BM_SnapshotFindDuringWrites)->UseRealTime();
 VirtualDataCatalog* CompressedBenchCatalog() {
   static VirtualDataCatalog* catalog = [] {
     VirtualDataCatalog* c = bench::ShardedCatalog(kCatalogSize);
-    std::vector<std::string> names = c->AllDatasetNames();
+    NameList names = c->AllDatasetNames();
     for (size_t i = 0; i < names.size(); ++i) {
       Status s = c->Annotate("dataset", names[i], "parity",
                              AttributeValue(static_cast<int64_t>(i % 2)));

@@ -149,7 +149,7 @@ void BM_DiscoveryByCodeVersion(benchmark::State& state) {
     query.transformation =
         session->workload
             .analysis_codes[i++ % session->workload.analysis_codes.size()];
-    std::vector<std::string> found =
+    NameList found =
         session->catalog->FindDerivations(query);
     benchmark::DoNotOptimize(found);
     hits = found.size();

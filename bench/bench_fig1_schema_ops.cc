@@ -65,7 +65,7 @@ void BM_ProducerNavigation(benchmark::State& state) {
     const std::string& name = graph.outputs[i++ % graph.outputs.size()];
     Result<std::string> producer = catalog->ProducerOf(name);
     benchmark::DoNotOptimize(producer);
-    std::vector<std::string> consumers = catalog->ConsumersOf(name);
+    NameList consumers = catalog->ConsumersOf(name);
     benchmark::DoNotOptimize(consumers);
   }
   state.SetItemsProcessed(state.iterations());
@@ -78,7 +78,7 @@ void BM_AttributeDiscovery(benchmark::State& state) {
   DatasetQuery query;
   query.name_prefix = "canon-out1";
   for (auto _ : state) {
-    std::vector<std::string> hits = catalog->FindDatasets(query);
+    NameList hits = catalog->FindDatasets(query);
     benchmark::DoNotOptimize(hits);
   }
   state.SetItemsProcessed(state.iterations());
@@ -104,7 +104,7 @@ void BM_AttributeDiscoveryIndexed(benchmark::State& state) {
   query.predicates = {{"quality", PredicateOp::kEq, "approved"}};
   size_t hits = 0;
   for (auto _ : state) {
-    std::vector<std::string> found = catalog->FindDatasets(query);
+    NameList found = catalog->FindDatasets(query);
     benchmark::DoNotOptimize(found);
     hits = found.size();
   }
@@ -112,6 +112,43 @@ void BM_AttributeDiscoveryIndexed(benchmark::State& state) {
   state.counters["hits"] = static_cast<double>(hits);
 }
 BENCHMARK(BM_AttributeDiscoveryIndexed)->Arg(100)->Arg(1000)->Arg(5000)->Arg(10000);
+
+// Broad shard discovery through the zero-copy result plane: every
+// query returns a NameList whose string_views point into the pinned
+// snapshot's symbol spine, so no per-result string is allocated or
+// copied.  Items = names surfaced per second.
+void BM_ShardScanView(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  const VirtualDataCatalog* catalog = bench::ShardedCatalog(size);
+  int64_t shard = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    NameList names = catalog->FindDatasets(bench::ShardQuery(shard++ % 16));
+    benchmark::DoNotOptimize(names);
+    found += names.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(found));
+}
+BENCHMARK(BM_ShardScanView)->Arg(1000)->Arg(10000);
+
+// The pre-refactor result contract: same shard query, but every
+// result list is materialized as owned std::strings (what the old
+// Result<std::vector<std::string>> plane did on every call).  Kept as
+// the comparison baseline for the view path above.
+void BM_ShardScanLegacyCopy(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  const VirtualDataCatalog* catalog = bench::ShardedCatalog(size);
+  int64_t shard = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    std::vector<std::string> names =
+        catalog->FindDatasets(bench::ShardQuery(shard++ % 16)).ToStrings();
+    benchmark::DoNotOptimize(names);
+    found += names.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(found));
+}
+BENCHMARK(BM_ShardScanLegacyCopy)->Arg(1000)->Arg(10000);
 
 // Type-conformance discovery through the type-closure index: the
 // planner enumerates the subtype posting list instead of running
@@ -124,7 +161,7 @@ void BM_TypeDiscovery(benchmark::State& state) {
   query.type->content = "canon-data";
   size_t hits = 0;
   for (auto _ : state) {
-    std::vector<std::string> found = catalog->FindDatasets(query);
+    NameList found = catalog->FindDatasets(query);
     benchmark::DoNotOptimize(found);
     hits = found.size();
   }
@@ -155,7 +192,7 @@ void BM_MaterializedDiscovery(benchmark::State& state) {
   query.require_materialized = true;
   size_t hits = 0;
   for (auto _ : state) {
-    std::vector<std::string> found = catalog->FindDatasets(query);
+    NameList found = catalog->FindDatasets(query);
     benchmark::DoNotOptimize(found);
     hits = found.size();
   }
@@ -176,7 +213,7 @@ void BM_DerivationDiscoveryByInput(benchmark::State& state) {
   size_t hits = 0;
   for (auto _ : state) {
     query.reads_dataset = graph.raw_inputs[i++ % graph.raw_inputs.size()];
-    std::vector<std::string> found = catalog->FindDerivations(query);
+    NameList found = catalog->FindDerivations(query);
     benchmark::DoNotOptimize(found);
     hits = found.size();
   }

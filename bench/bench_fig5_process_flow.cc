@@ -154,7 +154,7 @@ void BM_Discovery(benchmark::State& state) {
   query.name_prefix = "sum";
   query.require_materialized = true;
   for (auto _ : state) {
-    std::vector<std::string> found = world.catalog.FindDatasets(query);
+    NameList found = world.catalog.FindDatasets(query);
     if (found.size() != 32) std::abort();
     Result<LineageNode> lineage = tracker.Lineage(found[0]);
     benchmark::DoNotOptimize(lineage);

@@ -133,9 +133,9 @@ struct BatchOptions {
 /// version, so ChangesSince delivers a batch all-or-nothing.
 struct BatchResult {
   std::vector<Status> statuses;       // one per op, in order
-  std::vector<std::string> assigned_ids;  // per op; empty unless the op
-                                          // assigned one (replica /
-                                          // invocation ids)
+  std::vector<std::string> assigned_ids;  // result-api-ok: per op; empty
+                                          // unless the op assigned one
+                                          // (replica / invocation ids)
   size_t applied = 0;                 // ops that succeeded
   uint64_t version = 0;               // catalog version after commit
   Status first_error = Status::OK();  // first failing op's status

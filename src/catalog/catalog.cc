@@ -468,9 +468,9 @@ Status VirtualDataCatalog::LoadTypePreset() {
     const TypeHierarchy& h = preset.dimension(dim);
     // Parents must be defined before children: insert by depth.
     std::vector<std::pair<int, std::string>> by_depth;
-    for (const std::string& name : h.AllTypes()) {
+    for (std::string_view name : h.AllTypes()) {
       Result<int> depth = h.DepthOf(name);
-      by_depth.emplace_back(depth.ok() ? *depth : 0, name);
+      by_depth.emplace_back(depth.ok() ? *depth : 0, std::string(name));
     }
     std::sort(by_depth.begin(), by_depth.end());
     for (const auto& [depth, name] : by_depth) {
@@ -1186,7 +1186,7 @@ Result<std::string> VirtualDataCatalog::ProducerOf(
   return View().ProducerOf(dataset);
 }
 
-std::vector<std::string> VirtualDataCatalog::ConsumersOf(
+NameList VirtualDataCatalog::ConsumersOf(
     std::string_view dataset) const {
   return View().ConsumersOf(dataset);
 }
@@ -1203,7 +1203,7 @@ std::vector<Invocation> VirtualDataCatalog::InvocationsOf(
   return out;
 }
 
-std::vector<std::string> VirtualDataCatalog::DerivationsUsing(
+NameList VirtualDataCatalog::DerivationsUsing(
     std::string_view transformation) const {
   return View().DerivationsUsing(transformation);
 }
@@ -1212,7 +1212,7 @@ std::vector<std::string> VirtualDataCatalog::DerivationsUsing(
 // Discovery (delegated to the pinned snapshot)
 // ---------------------------------------------------------------------
 
-std::vector<std::string> VirtualDataCatalog::FindDatasets(
+NameList VirtualDataCatalog::FindDatasets(
     const DatasetQuery& query) const {
   return View().FindDatasets(query);
 }
@@ -1222,12 +1222,12 @@ QueryPlan VirtualDataCatalog::ExplainFindDatasets(
   return View().ExplainFindDatasets(query);
 }
 
-std::vector<std::string> VirtualDataCatalog::FindTransformations(
+NameList VirtualDataCatalog::FindTransformations(
     const TransformationQuery& query) const {
   return View().FindTransformations(query);
 }
 
-std::vector<std::string> VirtualDataCatalog::FindDerivations(
+NameList VirtualDataCatalog::FindDerivations(
     const DerivationQuery& query) const {
   return View().FindDerivations(query);
 }
@@ -1288,13 +1288,13 @@ std::vector<std::string> Keys(const Map& map) {
 }
 }  // namespace
 
-std::vector<std::string> VirtualDataCatalog::AllDatasetNames() const {
+NameList VirtualDataCatalog::AllDatasetNames() const {
   return View().AllDatasetNames();
 }
-std::vector<std::string> VirtualDataCatalog::AllTransformationNames() const {
+NameList VirtualDataCatalog::AllTransformationNames() const {
   return View().AllTransformationNames();
 }
-std::vector<std::string> VirtualDataCatalog::AllDerivationNames() const {
+NameList VirtualDataCatalog::AllDerivationNames() const {
   return View().AllDerivationNames();
 }
 std::vector<std::string> VirtualDataCatalog::AllReplicaIds() const {
@@ -1330,9 +1330,9 @@ std::vector<std::string> VirtualDataCatalog::CurrentStateRecordsLocked()
     auto dim = static_cast<TypeDimension>(d);
     const TypeHierarchy& h = types_.dimension(dim);
     std::vector<std::pair<int, std::string>> by_depth;
-    for (const std::string& name : h.AllTypes()) {
+    for (std::string_view name : h.AllTypes()) {
       Result<int> depth = h.DepthOf(name);
-      by_depth.emplace_back(depth.ok() ? *depth : 0, name);
+      by_depth.emplace_back(depth.ok() ? *depth : 0, std::string(name));
     }
     std::sort(by_depth.begin(), by_depth.end());
     for (const auto& [depth, name] : by_depth) {

@@ -203,13 +203,14 @@ class VirtualDataCatalog {
 
   /// The derivation that produces `dataset` (NotFound for raw inputs).
   Result<std::string> ProducerOf(std::string_view dataset) const;
-  /// Derivations that read `dataset`.
-  std::vector<std::string> ConsumersOf(std::string_view dataset) const;
+  /// Derivations that read `dataset`. Like every NameList returned
+  /// below, the list pins the answering snapshot and views its symbol
+  /// spine — zero name copies (DESIGN.md §15).
+  NameList ConsumersOf(std::string_view dataset) const;
   /// Invocations recorded for `derivation`, in record order.
   std::vector<Invocation> InvocationsOf(std::string_view derivation) const;
   /// Derivations that invoke `transformation`.
-  std::vector<std::string> DerivationsUsing(
-      std::string_view transformation) const;
+  NameList DerivationsUsing(std::string_view transformation) const;
 
   // ------------------------------------------------------------------
   // Discovery
@@ -223,10 +224,9 @@ class VirtualDataCatalog {
   /// candidate. Queries with no indexable condition fall back to a
   /// name-prefix range scan or a full scan. All of it runs against a
   /// pinned snapshot (see View()).
-  std::vector<std::string> FindDatasets(const DatasetQuery& query) const;
-  std::vector<std::string> FindTransformations(
-      const TransformationQuery& query) const;
-  std::vector<std::string> FindDerivations(const DerivationQuery& query) const;
+  NameList FindDatasets(const DatasetQuery& query) const;
+  NameList FindTransformations(const TransformationQuery& query) const;
+  NameList FindDerivations(const DerivationQuery& query) const;
 
   /// The access path FindDatasets/FindDerivations would choose for
   /// `query`, without running it. Lets tests pin selectivity ordering
@@ -243,12 +243,14 @@ class VirtualDataCatalog {
   /// are materialized — re-use beats re-computation.
   bool HasBeenComputed(const Derivation& derivation) const;
 
-  /// All names, for enumeration by indexes and tests.
-  std::vector<std::string> AllDatasetNames() const;
-  std::vector<std::string> AllTransformationNames() const;
-  std::vector<std::string> AllDerivationNames() const;
-  std::vector<std::string> AllReplicaIds() const;
-  std::vector<std::string> AllInvocationIds() const;
+  /// All names, for enumeration by indexes and tests. Replica and
+  /// invocation ids stay owned vectors: they enumerate writer-side
+  /// state, not the snapshot result plane.
+  NameList AllDatasetNames() const;
+  NameList AllTransformationNames() const;
+  NameList AllDerivationNames() const;
+  std::vector<std::string> AllReplicaIds() const;      // result-api-ok: writer-side state
+  std::vector<std::string> AllInvocationIds() const;   // result-api-ok: writer-side state
 
   CatalogStats Stats() const;
 
@@ -284,7 +286,7 @@ class VirtualDataCatalog {
   /// The minimal journal records that reproduce the catalog's current
   /// state (types, then datasets, transformations, derivations,
   /// replicas, invocations — a replay-safe order).
-  std::vector<std::string> CurrentStateRecords() const;
+  std::vector<std::string> CurrentStateRecords() const;  // result-api-ok: journal records
 
   /// Log compaction: atomically rewrites the journal to
   /// CurrentStateRecords(), discarding superseded history (annotate
@@ -407,7 +409,7 @@ class VirtualDataCatalog {
   Result<std::string> FindEquivalentDerivationLocked(
       const Derivation& derivation) const;
   VdlProgram ExportProgramLocked() const;
-  std::vector<std::string> CurrentStateRecordsLocked() const;
+  std::vector<std::string> CurrentStateRecordsLocked() const;  // result-api-ok: journal records
 
   /// Dispatches one batch op; `result` carries ids assigned by earlier
   /// ops for intra-batch references.

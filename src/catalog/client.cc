@@ -146,22 +146,22 @@ Result<std::vector<Invocation>> InProcessCatalogClient::InvocationsOf(
   return catalog_->InvocationsOf(derivation);
 }
 
-Result<std::vector<std::string>> InProcessCatalogClient::FindDatasets(
+Result<NameList> InProcessCatalogClient::FindDatasets(
     const DatasetQuery& query) {
   return catalog_->FindDatasets(query);
 }
 
-Result<std::vector<std::string>> InProcessCatalogClient::FindTransformations(
+Result<NameList> InProcessCatalogClient::FindTransformations(
     const TransformationQuery& query) {
   return catalog_->FindTransformations(query);
 }
 
-Result<std::vector<std::string>> InProcessCatalogClient::FindDerivations(
+Result<NameList> InProcessCatalogClient::FindDerivations(
     const DerivationQuery& query) {
   return catalog_->FindDerivations(query);
 }
 
-Result<std::vector<std::string>> InProcessCatalogClient::AllNames(
+Result<NameList> InProcessCatalogClient::AllNames(
     std::string_view kind) {
   if (kind == "dataset") return catalog_->AllDatasetNames();
   if (kind == "transformation") return catalog_->AllTransformationNames();

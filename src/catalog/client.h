@@ -104,16 +104,18 @@ class CatalogClient {
   virtual Result<std::vector<Invocation>> InvocationsOf(
       std::string_view derivation) = 0;
 
-  virtual Result<std::vector<std::string>> FindDatasets(
-      const DatasetQuery& query) = 0;
-  virtual Result<std::vector<std::string>> FindTransformations(
+  /// Discovery results are NameLists: immutable shared lists whose
+  /// views stay valid for the list's lifetime regardless of transport
+  /// (in-process lists pin the answering snapshot; wire transports pin
+  /// the decoded response arena; caches share one list across hits).
+  /// See DESIGN.md §15.
+  virtual Result<NameList> FindDatasets(const DatasetQuery& query) = 0;
+  virtual Result<NameList> FindTransformations(
       const TransformationQuery& query) = 0;
-  virtual Result<std::vector<std::string>> FindDerivations(
-      const DerivationQuery& query) = 0;
+  virtual Result<NameList> FindDerivations(const DerivationQuery& query) = 0;
   /// All object names of `kind` ("dataset"|"transformation"|
   /// "derivation").
-  virtual Result<std::vector<std::string>> AllNames(
-      std::string_view kind) = 0;
+  virtual Result<NameList> AllNames(std::string_view kind) = 0;
 
   /// Type conformance judged by the owning catalog's type universe.
   virtual Result<bool> TypeConforms(const DatasetType& type,
@@ -194,13 +196,11 @@ class InProcessCatalogClient : public CatalogClient {
   Result<std::string> ProducerOf(std::string_view dataset) override;
   Result<std::vector<Invocation>> InvocationsOf(
       std::string_view derivation) override;
-  Result<std::vector<std::string>> FindDatasets(
-      const DatasetQuery& query) override;
-  Result<std::vector<std::string>> FindTransformations(
+  Result<NameList> FindDatasets(const DatasetQuery& query) override;
+  Result<NameList> FindTransformations(
       const TransformationQuery& query) override;
-  Result<std::vector<std::string>> FindDerivations(
-      const DerivationQuery& query) override;
-  Result<std::vector<std::string>> AllNames(std::string_view kind) override;
+  Result<NameList> FindDerivations(const DerivationQuery& query) override;
+  Result<NameList> AllNames(std::string_view kind) override;
   Result<bool> TypeConforms(const DatasetType& type,
                             const DatasetType& against) override;
   Result<std::vector<ObjectRecord>> BatchGet(

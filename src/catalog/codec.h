@@ -24,7 +24,7 @@ std::string EscapeField(std::string_view field);
 Result<std::string> UnescapeField(std::string_view field);
 
 /// Splits a record into its unescaped fields (including the tag).
-Result<std::vector<std::string>> SplitRecord(std::string_view record);
+Result<std::vector<std::string>> SplitRecord(std::string_view record);  // result-api-ok: record fields
 /// Joins pre-escaped... rather: escapes and joins `fields` into a record.
 std::string JoinRecord(const std::vector<std::string>& fields);
 
@@ -40,7 +40,7 @@ Result<Invocation> DecodeInvocation(const std::vector<std::string>& fields);
 
 // --- AttributeSet sub-encoding (triples appended to a field list) ---
 void AppendAttributes(const AttributeSet& attrs,
-                      std::vector<std::string>* fields);
+                      std::vector<std::string>* fields);  // result-api-ok: out-param
 Result<AttributeSet> ParseAttributes(const std::vector<std::string>& fields,
                                      size_t start);
 

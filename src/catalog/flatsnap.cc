@@ -750,9 +750,9 @@ Status VirtualDataCatalog::SaveSnapshotFile(const std::string& path) const {
     const TypeHierarchy& hierarchy =
         types_.dimension(static_cast<TypeDimension>(d));
     std::vector<std::pair<int, std::string>> ordered;
-    for (std::string& name : hierarchy.AllTypes()) {
+    for (std::string_view name : hierarchy.AllTypes()) {
       Result<int> depth = hierarchy.DepthOf(name);
-      ordered.emplace_back(depth.ok() ? *depth : 0, std::move(name));
+      ordered.emplace_back(depth.ok() ? *depth : 0, std::string(name));
     }
     std::stable_sort(ordered.begin(), ordered.end(),
                      [](const auto& a, const auto& b) {

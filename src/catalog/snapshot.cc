@@ -36,12 +36,38 @@ const CatalogSnapshot::Row<T>* FindRow(const CatalogSnapshot::Rows<T>& rows,
   return &*it;
 }
 
+/// Accumulates (view, id) pairs during a row scan and freezes them into
+/// a snapshot-pinned NameList — the zero-copy result-plane terminal:
+/// the views point straight into the symbol spine the snapshot keeps
+/// alive, so no name byte is copied between the scan and the consumer
+/// (DESIGN.md §15).
+class PinnedListBuilder {
+ public:
+  explicit PinnedListBuilder(size_t reserve_hint) {
+    views_.reserve(reserve_hint);
+    ids_.reserve(reserve_hint);
+  }
+  void Add(std::string_view name, Id id) {
+    views_.push_back(name);
+    ids_.push_back(id);
+  }
+  size_t size() const { return views_.size(); }
+  NameList Build(std::shared_ptr<const CatalogSnapshot> pin) && {
+    return NameList::FromViews(std::move(pin), std::move(views_),
+                               std::move(ids_));
+  }
+
+ private:
+  std::vector<std::string_view> views_;
+  std::vector<NameList::Id> ids_;
+};
+
 template <typename T>
-std::vector<std::string> RowNames(const CatalogSnapshot::Rows<T>& rows) {
-  std::vector<std::string> out;
-  out.reserve(rows.size());
-  for (const auto& row : rows) out.emplace_back(row.name);
-  return out;
+NameList RowNames(std::shared_ptr<const CatalogSnapshot> pin,
+                  const CatalogSnapshot::Rows<T>& rows) {
+  PinnedListBuilder out(rows.size());
+  for (const auto& row : rows) out.Add(row.name, row.id);
+  return std::move(out).Build(std::move(pin));
 }
 
 /// O(1) id -> row-index resolution (kNoRow when absent).
@@ -85,13 +111,14 @@ std::vector<Id> IntersectSorted(const std::vector<P>& postings,
 /// relative to the candidate set, ordering goes through a dense row
 /// bitmap (scatter then in-order scan) instead of a comparison sort —
 /// the common shape for selective queries over mid-sized catalogs;
-/// huge-catalog/tiny-result queries fall back to the sort.
-template <typename ForEachId>
-std::vector<uint32_t> CollectRowsInNameOrder(
-    size_t count_hint, const std::vector<uint32_t>& row_of_id, size_t num_rows,
-    ForEachId&& for_each_id) {
-  std::vector<uint32_t> rows;
-  rows.reserve(count_hint);
+/// huge-catalog/tiny-result queries fall back to the sort. Rows are
+/// delivered through `emit_row` so collectors can feed a
+/// PinnedListBuilder directly without an intermediate row vector.
+template <typename ForEachId, typename EmitRow>
+void EmitRowsInNameOrder(size_t count_hint,
+                         const std::vector<uint32_t>& row_of_id,
+                         size_t num_rows, ForEachId&& for_each_id,
+                         EmitRow&& emit_row) {
   const size_t words = (num_rows + 63) / 64;
   if (count_hint != 0 && words <= 16 * count_hint + 64) {
     thread_local std::vector<uint64_t> bits;
@@ -106,28 +133,33 @@ std::vector<uint32_t> CollectRowsInNameOrder(
     for (size_t w = 0; w < words; ++w) {
       uint64_t word = bits[w];
       while (word != 0) {
-        rows.push_back(static_cast<uint32_t>(
+        emit_row(static_cast<uint32_t>(
             (w << 6) + static_cast<uint32_t>(__builtin_ctzll(word))));
         word &= word - 1;
       }
     }
-    return rows;
+    return;
   }
+  std::vector<uint32_t> rows;
+  rows.reserve(count_hint);
   for_each_id([&](Id id) {
     const uint32_t row = RowOf(row_of_id, id);
     if (row != CatalogSnapshot::kNoRow) rows.push_back(row);
   });
   std::sort(rows.begin(), rows.end());
-  return rows;
+  for (uint32_t row : rows) emit_row(row);
 }
 
-std::vector<uint32_t> RowsInNameOrder(const std::vector<Id>& ids,
-                                      const std::vector<uint32_t>& row_of_id,
-                                      size_t num_rows) {
-  return CollectRowsInNameOrder(ids.size(), row_of_id, num_rows,
-                                [&ids](auto&& emit) {
-                                  for (Id id : ids) emit(id);
-                                });
+template <typename ForEachId>
+std::vector<uint32_t> CollectRowsInNameOrder(
+    size_t count_hint, const std::vector<uint32_t>& row_of_id, size_t num_rows,
+    ForEachId&& for_each_id) {
+  std::vector<uint32_t> rows;
+  rows.reserve(count_hint);
+  EmitRowsInNameOrder(count_hint, row_of_id, num_rows,
+                      std::forward<ForEachId>(for_each_id),
+                      [&rows](uint32_t row) { rows.push_back(row); });
+  return rows;
 }
 
 }  // namespace
@@ -206,11 +238,9 @@ Result<std::string> CatalogView::ProducerOf(std::string_view dataset) const {
   return row->object->producer;
 }
 
-std::vector<std::string> CatalogView::ConsumersOf(
-    std::string_view dataset) const {
-  std::vector<std::string> out;
+NameList CatalogView::ConsumersOf(std::string_view dataset) const {
   Id id = snap_->symbols.FindId(dataset);
-  if (id == SymbolTable::kNoSymbol) return out;
+  if (id == SymbolTable::kNoSymbol) return NameList();
   // Enumerate with duplicates (one entry per consuming argument, the
   // historical multimap behavior), restored to name order through the
   // row map.
@@ -222,16 +252,14 @@ std::vector<std::string> CatalogView::ConsumersOf(
     if (row != CatalogSnapshot::kNoRow) hits.push_back(row);
   });
   std::sort(hits.begin(), hits.end());
-  out.reserve(hits.size());
-  for (uint32_t row : hits) out.emplace_back(rows[row].name);
-  return out;
+  PinnedListBuilder out(hits.size());
+  for (uint32_t row : hits) out.Add(rows[row].name, rows[row].id);
+  return std::move(out).Build(snap_);
 }
 
-std::vector<std::string> CatalogView::DerivationsUsing(
-    std::string_view transformation) const {
-  std::vector<std::string> out;
+NameList CatalogView::DerivationsUsing(std::string_view transformation) const {
   Id id = snap_->symbols.FindId(transformation);
-  if (id == SymbolTable::kNoSymbol) return out;
+  if (id == SymbolTable::kNoSymbol) return NameList();
   const auto& row_of_id = *snap_->derivation_row_of_id;
   const auto& rows = *snap_->derivations;
   std::vector<uint32_t> hits;
@@ -240,9 +268,9 @@ std::vector<std::string> CatalogView::DerivationsUsing(
     if (row != CatalogSnapshot::kNoRow) hits.push_back(row);
   });
   std::sort(hits.begin(), hits.end());
-  out.reserve(hits.size());
-  for (uint32_t row : hits) out.emplace_back(rows[row].name);
-  return out;
+  PinnedListBuilder out(hits.size());
+  for (uint32_t row : hits) out.Add(rows[row].name, rows[row].id);
+  return std::move(out).Build(snap_);
 }
 
 // ---------------------------------------------------------------------
@@ -294,9 +322,45 @@ std::vector<CatalogView::Posting> CatalogView::DatasetPostings(
   return postings;
 }
 
-std::vector<std::string> CatalogView::FindDatasets(
-    const DatasetQuery& query) const {
-  std::vector<std::string> out;
+NameList CatalogView::FindDatasets(const DatasetQuery& query) const {
+  // Hot-path special case: one indexed kEq predicate and nothing else
+  // (the broad shard-scan shape). The answer is exactly one posting
+  // list, so skip the plan machinery — no postings vector, no
+  // shared_ptr copies, no selectivity sort — and stream the posting
+  // straight into the pinned builder.
+  if (query.predicates.size() == 1 &&
+      query.predicates[0].op == PredicateOp::kEq &&
+      (!query.type || query.type->IsAny()) && query.name_prefix.empty() &&
+      !query.require_materialized && !query.only_virtual) {
+    const AttributePredicate& predicate = query.predicates[0];
+    Id key_id = snap_->symbols.FindId(predicate.key);
+    const PostingList& only =
+        key_id == SymbolTable::kNoSymbol
+            ? EmptyPosting()
+            : LookupPosting(*snap_->attr_index,
+                            CatalogSnapshot::AttrKey(
+                                key_id, snapshot_internal::TaggedAttrValue(
+                                            predicate.operand)));
+    const auto& ds_rows = *snap_->datasets;
+    const size_t hint = only->distinct();
+    PinnedListBuilder out(query.limit != 0 ? std::min(query.limit, hint)
+                                           : hint);
+    if (query.limit == 0) {
+      EmitRowsInNameOrder(hint, *snap_->dataset_row_of_id, ds_rows.size(),
+                          [&only](auto&& emit) { only->ForEach(emit); },
+                          [&](uint32_t row) {
+                            out.Add(ds_rows[row].name, ds_rows[row].id);
+                          });
+    } else {
+      EmitRowsInNameOrder(hint, *snap_->dataset_row_of_id, ds_rows.size(),
+                          [&only](auto&& emit) { only->ForEach(emit); },
+                          [&](uint32_t row) {
+                            if (out.size() >= query.limit) return;
+                            out.Add(ds_rows[row].name, ds_rows[row].id);
+                          });
+    }
+    return std::move(out).Build(snap_);
+  }
 
   // Indexed path: intersect the posting lists rarest-first, then remap
   // the survivors to name order through the row map.
@@ -325,45 +389,57 @@ std::vector<std::string> CatalogView::FindDatasets(
                        return a.ids->size() < b.ids->size();
                      });
     const auto& ds_rows = *snap_->datasets;
-    std::vector<uint32_t> rows;
+    size_t reserve_hint;
+    std::vector<Id> candidates;
     if (postings.size() == 1) {
       // Single-list plan: the posting already holds the candidate set,
-      // so feed it straight into the row collector without an
-      // intermediate id vector.
-      const PostingBlocks& only = *postings[0].ids;
-      rows = CollectRowsInNameOrder(
-          only.distinct(), *snap_->dataset_row_of_id, ds_rows.size(),
-          [&only](auto&& emit) { only.ForEach(emit); });
+      // so stream it straight into the pinned builder — no
+      // intermediate id or row vector.
+      reserve_hint = postings[0].ids->distinct();
     } else {
       bool short_circuited = false;
-      const std::vector<Id> candidates =
-          IntersectSorted(postings, &short_circuited);
-      rows = RowsInNameOrder(candidates, *snap_->dataset_row_of_id,
-                             ds_rows.size());
+      candidates = IntersectSorted(postings, &short_circuited);
+      reserve_hint = candidates.size();
     }
-    out.reserve(query.limit != 0 ? std::min(query.limit, rows.size())
-                                 : rows.size());
-    for (uint32_t row : rows) {
+    if (query.limit != 0) reserve_hint = std::min(query.limit, reserve_hint);
+    PinnedListBuilder out(reserve_hint);
+    bool done = false;
+    auto take_row = [&](uint32_t row) {
+      if (done) return;
       if (!exact) {
         std::string_view name = ds_rows[row].name;
         const Dataset& ds = *ds_rows[row].object;
         if (!query.name_prefix.empty() &&
             !StartsWith(name, query.name_prefix)) {
-          continue;
+          return;
         }
         if (query.type && !snap_->types->Conforms(ds.type, *query.type)) {
-          continue;
+          return;
         }
-        if (!MatchesAll(ds.annotations, query.predicates)) continue;
+        if (!MatchesAll(ds.annotations, query.predicates)) return;
         if (query.only_virtual &&
             snap_->materialized->Contains(ds_rows[row].id)) {
-          continue;
+          return;
         }
       }
-      out.emplace_back(ds_rows[row].name);
-      if (query.limit != 0 && out.size() >= query.limit) break;
+      out.Add(ds_rows[row].name, ds_rows[row].id);
+      if (query.limit != 0 && out.size() >= query.limit) done = true;
+    };
+    if (postings.size() == 1) {
+      const PostingBlocks& only = *postings[0].ids;
+      EmitRowsInNameOrder(only.distinct(), *snap_->dataset_row_of_id,
+                          ds_rows.size(),
+                          [&only](auto&& emit) { only.ForEach(emit); },
+                          take_row);
+    } else {
+      EmitRowsInNameOrder(candidates.size(), *snap_->dataset_row_of_id,
+                          ds_rows.size(),
+                          [&candidates](auto&& emit) {
+                            for (Id id : candidates) emit(id);
+                          },
+                          take_row);
     }
-    return out;
+    return std::move(out).Build(snap_);
   }
 
   // Residual filter for the non-indexed paths: checks every condition.
@@ -387,12 +463,13 @@ std::vector<std::string> CatalogView::FindDatasets(
     const std::vector<uint32_t> rows = CollectRowsInNameOrder(
         mat.distinct(), *snap_->dataset_row_of_id, ds_rows.size(),
         [&mat](auto&& emit) { mat.ForEach(emit); });
+    PinnedListBuilder out(rows.size());
     for (uint32_t row : rows) {
       if (!matches(ds_rows[row].name, *ds_rows[row].object)) continue;
-      out.emplace_back(ds_rows[row].name);
+      out.Add(ds_rows[row].name, ds_rows[row].id);
       if (query.limit != 0 && out.size() >= query.limit) break;
     }
-    return out;
+    return std::move(out).Build(snap_);
   }
 
   // Name-prefix path: bounded range scan over the name-sorted rows.
@@ -404,16 +481,17 @@ std::vector<std::string> CatalogView::FindDatasets(
                       std::string_view(query.name_prefix),
                       [](const CatalogSnapshot::Row<Dataset>& row,
                          std::string_view target) { return row.name < target; });
+  PinnedListBuilder out(query.limit != 0 ? query.limit : rows.size());
   for (; it != rows.end(); ++it) {
     if (!query.name_prefix.empty() &&
         !StartsWith(it->name, query.name_prefix)) {
       break;
     }
     if (!matches(it->name, *it->object)) continue;
-    out.emplace_back(it->name);
+    out.Add(it->name, it->id);
     if (query.limit != 0 && out.size() >= query.limit) break;
   }
-  return out;
+  return std::move(out).Build(snap_);
 }
 
 QueryPlan CatalogView::ExplainFindDatasets(const DatasetQuery& query) const {
@@ -471,9 +549,8 @@ QueryPlan CatalogView::ExplainFindDatasets(const DatasetQuery& query) const {
   return plan;
 }
 
-std::vector<std::string> CatalogView::FindTransformations(
+NameList CatalogView::FindTransformations(
     const TransformationQuery& query) const {
-  std::vector<std::string> out;
   const auto& rows = *snap_->transformations;
   const TypeRegistry& types = *snap_->types;
   // Prefix queries scan only the matching range of the sorted rows.
@@ -484,6 +561,7 @@ std::vector<std::string> CatalogView::FindTransformations(
                       std::string_view(query.name_prefix),
                       [](const CatalogSnapshot::Row<Transformation>& row,
                          std::string_view target) { return row.name < target; });
+  PinnedListBuilder out(query.limit != 0 ? query.limit : rows.size());
   for (; it != rows.end(); ++it) {
     std::string_view name = it->name;
     const Transformation& tr = *it->object;
@@ -520,10 +598,10 @@ std::vector<std::string> CatalogView::FindTransformations(
       }
       if (!yields) continue;
     }
-    out.emplace_back(name);
+    out.Add(name, it->id);
     if (query.limit != 0 && out.size() >= query.limit) break;
   }
-  return out;
+  return std::move(out).Build(snap_);
 }
 
 std::vector<CatalogView::Posting> CatalogView::DerivationPostings(
@@ -577,9 +655,7 @@ std::vector<CatalogView::Posting> CatalogView::DerivationPostings(
   return postings;
 }
 
-std::vector<std::string> CatalogView::FindDerivations(
-    const DerivationQuery& query) const {
-  std::vector<std::string> out;
+NameList CatalogView::FindDerivations(const DerivationQuery& query) const {
   std::vector<Posting> postings = DerivationPostings(query, /*with_drivers=*/false);
   if (!postings.empty()) {
     // The posting lists answer the transformation/reads/writes
@@ -591,35 +667,49 @@ std::vector<std::string> CatalogView::FindDerivations(
                        return a.ids->size() < b.ids->size();
                      });
     const auto& dv_rows = *snap_->derivations;
-    std::vector<uint32_t> rows;
+    size_t reserve_hint;
+    std::vector<Id> candidates;
     if (postings.size() == 1) {
-      const PostingBlocks& only = *postings[0].ids;
-      rows = CollectRowsInNameOrder(
-          only.distinct(), *snap_->derivation_row_of_id, dv_rows.size(),
-          [&only](auto&& emit) { only.ForEach(emit); });
+      reserve_hint = postings[0].ids->distinct();
     } else {
       bool short_circuited = false;
-      const std::vector<Id> candidates =
-          IntersectSorted(postings, &short_circuited);
-      rows = RowsInNameOrder(candidates, *snap_->derivation_row_of_id,
-                             dv_rows.size());
+      candidates = IntersectSorted(postings, &short_circuited);
+      reserve_hint = candidates.size();
     }
-    for (uint32_t row : rows) {
+    if (query.limit != 0) reserve_hint = std::min(query.limit, reserve_hint);
+    PinnedListBuilder out(reserve_hint);
+    bool done = false;
+    auto take_row = [&](uint32_t row) {
+      if (done) return;
       std::string_view name = dv_rows[row].name;
       if (!exact) {
         if (!query.name_prefix.empty() &&
             !StartsWith(name, query.name_prefix)) {
-          continue;
+          return;
         }
         if (!MatchesAll(dv_rows[row].object->annotations(),
                         query.predicates)) {
-          continue;
+          return;
         }
       }
-      out.emplace_back(name);
-      if (query.limit != 0 && out.size() >= query.limit) break;
+      out.Add(name, dv_rows[row].id);
+      if (query.limit != 0 && out.size() >= query.limit) done = true;
+    };
+    if (postings.size() == 1) {
+      const PostingBlocks& only = *postings[0].ids;
+      EmitRowsInNameOrder(only.distinct(), *snap_->derivation_row_of_id,
+                          dv_rows.size(),
+                          [&only](auto&& emit) { only.ForEach(emit); },
+                          take_row);
+    } else {
+      EmitRowsInNameOrder(candidates.size(), *snap_->derivation_row_of_id,
+                          dv_rows.size(),
+                          [&candidates](auto&& emit) {
+                            for (Id id : candidates) emit(id);
+                          },
+                          take_row);
     }
-    return out;
+    return std::move(out).Build(snap_);
   }
 
   auto residual = [&query](std::string_view name, const Derivation& dv) {
@@ -636,16 +726,17 @@ std::vector<std::string> CatalogView::FindDerivations(
                       std::string_view(query.name_prefix),
                       [](const CatalogSnapshot::Row<Derivation>& row,
                          std::string_view target) { return row.name < target; });
+  PinnedListBuilder out(query.limit != 0 ? query.limit : rows.size());
   for (; it != rows.end(); ++it) {
     if (!query.name_prefix.empty() &&
         !StartsWith(it->name, query.name_prefix)) {
       break;
     }
     if (!residual(it->name, *it->object)) continue;
-    out.emplace_back(it->name);
+    out.Add(it->name, it->id);
     if (query.limit != 0 && out.size() >= query.limit) break;
   }
-  return out;
+  return std::move(out).Build(snap_);
 }
 
 QueryPlan CatalogView::ExplainFindDerivations(
@@ -689,14 +780,14 @@ QueryPlan CatalogView::ExplainFindDerivations(
 // Enumeration & changelog
 // ---------------------------------------------------------------------
 
-std::vector<std::string> CatalogView::AllDatasetNames() const {
-  return RowNames(*snap_->datasets);
+NameList CatalogView::AllDatasetNames() const {
+  return RowNames(snap_, *snap_->datasets);
 }
-std::vector<std::string> CatalogView::AllTransformationNames() const {
-  return RowNames(*snap_->transformations);
+NameList CatalogView::AllTransformationNames() const {
+  return RowNames(snap_, *snap_->transformations);
 }
-std::vector<std::string> CatalogView::AllDerivationNames() const {
-  return RowNames(*snap_->derivations);
+NameList CatalogView::AllDerivationNames() const {
+  return RowNames(snap_, *snap_->derivations);
 }
 
 uint64_t CatalogView::changelog_floor() const {

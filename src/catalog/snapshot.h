@@ -11,6 +11,7 @@
 
 #include "catalog/posting.h"
 #include "catalog/query.h"
+#include "common/name_list.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "schema/dataset.h"
@@ -152,20 +153,27 @@ class CatalogView {
 
   bool IsMaterialized(std::string_view dataset) const;
   Result<std::string> ProducerOf(std::string_view dataset) const;
-  std::vector<std::string> ConsumersOf(std::string_view dataset) const;
-  std::vector<std::string> DerivationsUsing(
-      std::string_view transformation) const;
 
-  std::vector<std::string> FindDatasets(const DatasetQuery& query) const;
-  std::vector<std::string> FindTransformations(
-      const TransformationQuery& query) const;
-  std::vector<std::string> FindDerivations(const DerivationQuery& query) const;
+  /// Name-list queries return pinned views: every NameList below holds
+  /// this view's snapshot alive and its elements point straight into
+  /// the frozen symbol spine — zero per-name copies from the row scan
+  /// to the consumer, and the producer's symbol ids ride along for
+  /// interned-space consumers. A list stays byte-stable across any
+  /// concurrent catalog mutation, snapshot republication, or journal
+  /// compaction (those build NEW snapshots; published ones are
+  /// immutable).
+  NameList ConsumersOf(std::string_view dataset) const;
+  NameList DerivationsUsing(std::string_view transformation) const;
+
+  NameList FindDatasets(const DatasetQuery& query) const;
+  NameList FindTransformations(const TransformationQuery& query) const;
+  NameList FindDerivations(const DerivationQuery& query) const;
   QueryPlan ExplainFindDatasets(const DatasetQuery& query) const;
   QueryPlan ExplainFindDerivations(const DerivationQuery& query) const;
 
-  std::vector<std::string> AllDatasetNames() const;
-  std::vector<std::string> AllTransformationNames() const;
-  std::vector<std::string> AllDerivationNames() const;
+  NameList AllDatasetNames() const;
+  NameList AllTransformationNames() const;
+  NameList AllDerivationNames() const;
 
   /// Every change with version > `since_version`, oldest first,
   /// answered from the snapshot's changelog window (anchored to the

@@ -107,6 +107,19 @@ class Reader {
     return s;
   }
 
+  /// Zero-copy read: a view into the payload buffer itself, valid only
+  /// while the frame bytes stay alive. Callers that outlive the frame
+  /// must copy (the name-list decoder appends into its arena).
+  Result<std::string_view> ReadStringView() {
+    VDG_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (data_.size() - pos_ < len) return Truncated("string body");
+    std::string_view s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
   /// Element counts are sanity-bounded by the bytes actually present:
   /// every element costs at least one byte, so a count larger than the
   /// remaining payload is corruption, not a huge message.
@@ -985,7 +998,10 @@ void EncodeResponsePayload(const Response& response, std::string* out) {
           w.PutCount(body.invocations.size());
           for (const auto& inv : body.invocations) PutInvocation(w, inv);
         } else if constexpr (std::is_same_v<T, NamesResp>) {
-          PutStringVec(w, body.names);
+          // Straight from the views: no owned-string materialization
+          // between the snapshot and the payload bytes.
+          w.PutCount(body.names.size());
+          for (std::string_view name : body.names) w.PutString(name);
         } else if constexpr (std::is_same_v<T, RecordsResp>) {
           w.PutCount(body.records.size());
           for (const auto& rec : body.records) PutObjectRecord(w, rec);
@@ -1374,8 +1390,17 @@ Result<Response> DecodeResponse(MsgKind kind, std::string_view payload) {
     case MsgKind::kFindTransformations:
     case MsgKind::kFindDerivations:
     case MsgKind::kAllNames: {
+      // Arena decode: one buffer per response holds every name;
+      // the list's views point into it (no per-name allocation).
       NamesResp body;
-      VDG_ASSIGN_OR_RETURN(body.names, ReadStringVec(r));
+      VDG_ASSIGN_OR_RETURN(size_t n, r.ReadCount());
+      NameList::ArenaBuilder names;
+      names.Reserve(n, r.remaining());
+      for (size_t i = 0; i < n; ++i) {
+        VDG_ASSIGN_OR_RETURN(std::string_view s, r.ReadStringView());
+        names.Append(s);
+      }
+      body.names = std::move(names).Build();
       resp.body = std::move(body);
       break;
     }

@@ -197,8 +197,12 @@ struct StringResp {
 struct InvocationsResp {
   std::vector<Invocation> invocations;
 };
+/// Find*/AllNames responses carry a NameList end-to-end: the server
+/// encodes straight from the snapshot-pinned views (no intermediate
+/// vector<string>), and the decoder rebuilds the list over one
+/// arena-backed buffer per response (DESIGN.md §15).
 struct NamesResp {
-  std::vector<std::string> names;
+  NameList names;
 };
 struct RecordsResp {
   std::vector<ObjectRecord> records;

@@ -1,0 +1,85 @@
+#include "common/name_list.h"
+
+namespace vdg {
+
+NameList NameList::FromViews(std::shared_ptr<const void> pin,
+                             std::vector<std::string_view> views,
+                             std::vector<Id> ids) {
+  if (views.empty()) return NameList();
+  auto rep = std::make_shared<Rep>();
+  rep->pin = std::move(pin);
+  rep->views = std::move(views);
+  rep->ids = std::move(ids);
+  return NameList(std::move(rep));
+}
+
+NameList NameList::FromStrings(std::vector<std::string> names) {
+  if (names.empty()) return NameList();
+  auto rep = std::make_shared<Rep>();
+  rep->owned = std::move(names);
+  // Views are taken only after the strings reach their final slots:
+  // the vector is never touched again, so neither its element array
+  // nor any string's character buffer (heap or SSO, inside the
+  // element) can move for the rep's lifetime.
+  rep->views.reserve(rep->owned.size());
+  for (const std::string& name : rep->owned) rep->views.emplace_back(name);
+  return NameList(std::move(rep));
+}
+
+void NameList::ArenaBuilder::Reserve(size_t names, size_t bytes) {
+  spans_.reserve(names);
+  arena_.reserve(bytes);
+}
+
+void NameList::ArenaBuilder::Append(std::string_view name) {
+  spans_.emplace_back(static_cast<uint32_t>(arena_.size()),
+                      static_cast<uint32_t>(name.size()));
+  arena_.append(name.data(), name.size());
+}
+
+NameList NameList::ArenaBuilder::Build() && {
+  if (spans_.empty()) return NameList();
+  auto arena = std::make_shared<const std::string>(std::move(arena_));
+  std::vector<std::string_view> views;
+  views.reserve(spans_.size());
+  for (const auto& [offset, length] : spans_) {
+    views.push_back(std::string_view(*arena).substr(offset, length));
+  }
+  spans_.clear();
+  return FromViews(std::move(arena), std::move(views));
+}
+
+std::vector<std::string> NameList::ToStrings() const {
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (std::string_view name : *this) out.emplace_back(name);
+  return out;
+}
+
+bool operator==(const NameList& a, const NameList& b) {
+  if (a.rep_ == b.rep_) return true;
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+bool operator==(const NameList& a, const std::vector<std::string>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const NameList& list) {
+  os << '[';
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << '"' << list[i] << '"';
+  }
+  return os << ']';
+}
+
+}  // namespace vdg

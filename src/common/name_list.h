@@ -1,0 +1,145 @@
+#ifndef VDG_COMMON_NAME_LIST_H_
+#define VDG_COMMON_NAME_LIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vdg {
+
+/// The result-plane list type: an immutable, shareable sequence of
+/// names that never copies the underlying bytes between producer and
+/// consumer.
+///
+/// A NameList is a shared_ptr to one frozen representation holding
+///  - a *pin*: an opaque shared owner (a CatalogSnapshot, a decoded
+///    wire arena, or the list's own string storage) that keeps every
+///    viewed byte alive for at least the list's lifetime,
+///  - the element views (`std::string_view`s into pinned storage), and
+///  - optionally the producer's 32-bit symbol ids, parallel to the
+///    views, so federation-internal consumers can stay in interned
+///    space.
+///
+/// Ownership and lifetime rules (DESIGN.md §15):
+///  - Copying a NameList copies one shared_ptr; all copies alias one
+///    immutable rep, so pointer identity (`identity()`) tells whether
+///    two lists share storage.
+///  - Views stay byte-stable for the life of any copy of the list:
+///    snapshot-backed lists pin their CatalogSnapshot (concurrent
+///    catalog mutation, snapshot republication, and journal compaction
+///    never touch a published snapshot), arena-backed lists pin their
+///    decode buffer, owned lists pin their own strings.
+///  - Conversion to owned strings is lazy and explicit: ToStrings()
+///    materializes a fresh vector<string> only when a caller truly
+///    needs ownership (the compatibility path, not the hot path).
+class NameList {
+ public:
+  /// Matches SymbolTable::Id without dragging in the interner header.
+  using Id = uint32_t;
+
+  /// The empty list (no rep allocated at all).
+  NameList() = default;
+
+  /// A list of views into storage owned by `pin`. `ids`, when
+  /// non-empty, must be parallel to `views` (producer symbol ids).
+  static NameList FromViews(std::shared_ptr<const void> pin,
+                            std::vector<std::string_view> views,
+                            std::vector<Id> ids = {});
+
+  /// A self-owning list: adopts the strings and views into them. The
+  /// compatibility constructor for producers that only have owned
+  /// strings (type hierarchies, tests).
+  static NameList FromStrings(std::vector<std::string> names);
+
+  /// Builds a list over one contiguous arena buffer: the wire decoder
+  /// appends every name into a single allocation and the finished list
+  /// views into it. One heap buffer per response instead of one string
+  /// per name.
+  class ArenaBuilder {
+   public:
+    ArenaBuilder() = default;
+    /// Pre-sizes for `names` elements totalling `bytes` of name data.
+    void Reserve(size_t names, size_t bytes);
+    void Append(std::string_view name);
+    size_t size() const { return spans_.size(); }
+    /// Freezes the arena into a NameList. The builder is left empty.
+    NameList Build() &&;
+
+   private:
+    std::string arena_;
+    std::vector<std::pair<uint32_t, uint32_t>> spans_;  // (offset, length)
+  };
+
+  size_t size() const { return rep_ ? rep_->views.size() : 0; }
+  bool empty() const { return size() == 0; }
+  std::string_view operator[](size_t i) const { return rep_->views[i]; }
+  std::string_view front() const { return rep_->views.front(); }
+  std::string_view back() const { return rep_->views.back(); }
+
+  using const_iterator = const std::string_view*;
+  const_iterator begin() const {
+    return rep_ ? rep_->views.data() : nullptr;
+  }
+  const_iterator end() const {
+    return rep_ ? rep_->views.data() + rep_->views.size() : nullptr;
+  }
+
+  /// True when the producer attached its interned symbol ids.
+  bool has_ids() const { return rep_ && !rep_->ids.empty(); }
+  /// Producer symbol ids parallel to the views; empty when the
+  /// producer had none (owned/arena lists). Ids are meaningful only to
+  /// the catalog generation that produced them.
+  const std::vector<Id>& ids() const {
+    static const std::vector<Id> kEmpty;
+    return rep_ ? rep_->ids : kEmpty;
+  }
+
+  /// Owned-string conversion: the explicit compatibility copy.
+  std::vector<std::string> ToStrings() const;
+
+  /// Identity of the shared rep: equal for lists that alias the same
+  /// storage (e.g. repeated cache hits), nullptr for the empty list.
+  const void* identity() const { return rep_.get(); }
+
+  friend bool operator==(const NameList& a, const NameList& b);
+  friend bool operator==(const NameList& a,
+                         const std::vector<std::string>& b);
+  friend bool operator==(const std::vector<std::string>& a,
+                         const NameList& b) {
+    return b == a;
+  }
+  friend bool operator!=(const NameList& a, const NameList& b) {
+    return !(a == b);
+  }
+  friend bool operator!=(const NameList& a,
+                         const std::vector<std::string>& b) {
+    return !(a == b);
+  }
+  friend bool operator!=(const std::vector<std::string>& a,
+                         const NameList& b) {
+    return !(b == a);
+  }
+
+  /// Readable gtest/failure rendering: ["a", "b", ...].
+  friend std::ostream& operator<<(std::ostream& os, const NameList& list);
+
+ private:
+  struct Rep {
+    std::shared_ptr<const void> pin;      // keeps viewed bytes alive
+    std::vector<std::string> owned;       // self-owning lists only
+    std::vector<std::string_view> views;  // into pin/owned storage
+    std::vector<Id> ids;                  // parallel to views, or empty
+  };
+
+  explicit NameList(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_COMMON_NAME_LIST_H_

@@ -36,7 +36,7 @@ void CostEstimator::RecordOutputSize(std::string_view transformation,
 }
 
 Status CostEstimator::LearnFromCatalog(const VirtualDataCatalog& catalog) {
-  for (const std::string& dv_name : catalog.AllDerivationNames()) {
+  for (std::string_view dv_name : catalog.AllDerivationNames()) {
     VDG_ASSIGN_OR_RETURN(Derivation dv, catalog.GetDerivation(dv_name));
     std::string tr = dv.QualifiedTransformation();
     for (const Invocation& iv : catalog.InvocationsOf(dv_name)) {

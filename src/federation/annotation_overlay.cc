@@ -61,7 +61,7 @@ Result<AttributeSet> AnnotationOverlay::EffectiveAnnotations(
   return base;
 }
 
-Result<std::vector<std::string>> AnnotationOverlay::FindAnnotated(
+Result<NameList> AnnotationOverlay::FindAnnotated(
     const CatalogRegistry& registry, std::string_view kind,
     const std::vector<AttributePredicate>& conjunction) const {
   std::vector<std::string> out;
@@ -75,7 +75,7 @@ Result<std::vector<std::string>> AnnotationOverlay::FindAnnotated(
     if (!effective.ok()) continue;  // base object gone: skip
     if (MatchesAll(*effective, conjunction)) out.push_back(ref);
   }
-  return out;
+  return NameList::FromStrings(std::move(out));
 }
 
 }  // namespace vdg

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/name_list.h"
 #include "federation/registry.h"
 
 namespace vdg {
@@ -48,7 +49,7 @@ class AnnotationOverlay {
   /// conjunction — discovery over enhanced metadata. Only objects this
   /// overlay has touched are considered (the overlay is the personal
   /// lens, not a full federation scan).
-  Result<std::vector<std::string>> FindAnnotated(
+  Result<NameList> FindAnnotated(
       const CatalogRegistry& registry, std::string_view kind,
       const std::vector<AttributePredicate>& conjunction) const;
 

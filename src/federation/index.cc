@@ -116,10 +116,9 @@ Status FederatedIndex::RebuildSource(SourceState* source) {
   std::vector<ObjectKey> keys;
   const char* kinds[] = {"dataset", "transformation", "derivation"};
   for (const char* kind : kinds) {
-    VDG_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                         client.AllNames(kind));
-    for (std::string& name : names) {
-      keys.push_back(ObjectKey{kind, std::move(name)});
+    VDG_ASSIGN_OR_RETURN(NameList names, client.AllNames(kind));
+    for (std::string_view name : names) {
+      keys.push_back(ObjectKey{kind, std::string(name)});
     }
   }
   VDG_ASSIGN_OR_RETURN(std::vector<ObjectRecord> records,
@@ -331,7 +330,7 @@ std::vector<IndexEntry> FederatedIndex::FindTransformations(
       if (owner == source_by_authority_.end()) continue;
       TransformationQuery narrowed = query;
       narrowed.name_prefix = entry.name;
-      Result<std::vector<std::string>> matches =
+      Result<NameList> matches =
           owner->second->FindTransformations(narrowed);
       if (!matches.ok() || matches->empty()) continue;
     }
@@ -377,13 +376,13 @@ std::vector<IndexEntry> FederatedIndex::ScanDatasets(
   std::vector<IndexEntry> out;
   for (const SourceState& source : sources_) {
     CatalogClient& client = *source.client;
-    Result<std::vector<std::string>> names = client.FindDatasets(query);
+    Result<NameList> names = client.FindDatasets(query);
     if (!names.ok()) continue;  // unreachable source contributes nothing
     // One batched fetch for the matches instead of a get per name.
     std::vector<ObjectKey> keys;
     keys.reserve(names->size());
-    for (const std::string& name : *names) {
-      keys.push_back(ObjectKey{"dataset", name});
+    for (std::string_view name : *names) {
+      keys.push_back(ObjectKey{"dataset", std::string(name)});
     }
     Result<std::vector<ObjectRecord>> records = client.BatchGet(keys);
     if (!records.ok()) continue;

@@ -140,17 +140,19 @@ std::string CachingCatalogClient::QueryKey(const DerivationQuery& query) {
 }
 
 template <typename Fetch>
-Result<std::vector<std::string>> CachingCatalogClient::CachedFindLocked(
-    std::string key, Fetch&& fetch) {
-  if (const std::vector<std::string>* cached = queries_.Get(key)) {
+Result<NameList> CachingCatalogClient::CachedFindLocked(std::string key,
+                                                        Fetch&& fetch) {
+  if (const NameList* cached = queries_.Get(key)) {
     VDG_RETURN_IF_ERROR(DegradedGateLocked());
     ++stats_.query_hits;
+    // A hit copies one shared_ptr: every caller aliases the SAME
+    // immutable list (no per-hit vector copy — the PR-9 fix).
     return *cached;
   }
   ++stats_.query_misses;
-  Result<std::vector<std::string>> fetched = fetch();
+  Result<NameList> fetched = fetch();
   NoteUpstreamLocked(fetched.ok() ? Status::OK() : fetched.status());
-  VDG_ASSIGN_OR_RETURN(std::vector<std::string> names, std::move(fetched));
+  VDG_ASSIGN_OR_RETURN(NameList names, std::move(fetched));
   stats_.evictions += queries_.Put(std::move(key), names);
   return names;
 }
@@ -332,28 +334,28 @@ Result<std::vector<Invocation>> CachingCatalogClient::InvocationsOf(
   return upstream_->InvocationsOf(derivation);
 }
 
-Result<std::vector<std::string>> CachingCatalogClient::FindDatasets(
+Result<NameList> CachingCatalogClient::FindDatasets(
     const DatasetQuery& query) {
   std::lock_guard<std::mutex> lock(mu_);
   return CachedFindLocked(QueryKey(query),
                           [&] { return upstream_->FindDatasets(query); });
 }
 
-Result<std::vector<std::string>> CachingCatalogClient::FindTransformations(
+Result<NameList> CachingCatalogClient::FindTransformations(
     const TransformationQuery& query) {
   std::lock_guard<std::mutex> lock(mu_);
   return CachedFindLocked(
       QueryKey(query), [&] { return upstream_->FindTransformations(query); });
 }
 
-Result<std::vector<std::string>> CachingCatalogClient::FindDerivations(
+Result<NameList> CachingCatalogClient::FindDerivations(
     const DerivationQuery& query) {
   std::lock_guard<std::mutex> lock(mu_);
   return CachedFindLocked(QueryKey(query),
                           [&] { return upstream_->FindDerivations(query); });
 }
 
-Result<std::vector<std::string>> CachingCatalogClient::AllNames(
+Result<NameList> CachingCatalogClient::AllNames(
     std::string_view kind) {
   return upstream_->AllNames(kind);
 }

@@ -224,13 +224,13 @@ class CachingCatalogClient : public CatalogClient {
   Result<std::string> ProducerOf(std::string_view dataset) override;
   Result<std::vector<Invocation>> InvocationsOf(
       std::string_view derivation) override;
-  Result<std::vector<std::string>> FindDatasets(
+  Result<NameList> FindDatasets(
       const DatasetQuery& query) override;
-  Result<std::vector<std::string>> FindTransformations(
+  Result<NameList> FindTransformations(
       const TransformationQuery& query) override;
-  Result<std::vector<std::string>> FindDerivations(
+  Result<NameList> FindDerivations(
       const DerivationQuery& query) override;
-  Result<std::vector<std::string>> AllNames(std::string_view kind) override;
+  Result<NameList> AllNames(std::string_view kind) override;
   Result<bool> TypeConforms(const DatasetType& type,
                             const DatasetType& against) override;
   Result<std::vector<ObjectRecord>> BatchGet(
@@ -278,8 +278,7 @@ class CachingCatalogClient : public CatalogClient {
   /// miss. mu_ must be held (and stays held across the fill, like
   /// every other upstream path here).
   template <typename Fetch>
-  Result<std::vector<std::string>> CachedFindLocked(std::string key,
-                                                    Fetch&& fetch);
+  Result<NameList> CachedFindLocked(std::string key, Fetch&& fetch);
   /// Drops every cached query of one kind tag ('D'/'T'/'V').
   void FlushQueriesLocked(char kind_tag);
 
@@ -304,7 +303,10 @@ class CachingCatalogClient : public CatalogClient {
   /// Whole Find* result sets by normalized query key (see QueryKey).
   /// Flushed per kind on any change of that kind; entries past capacity
   /// displace the least-recently-used set, same policy as objects_.
-  LruCacheMap<std::vector<std::string>> queries_;
+  /// One immutable NameList per query: every hit hands back a
+  /// shared_ptr copy of the SAME list (identical identity()), not a
+  /// fresh vector<string> — repeated hits allocate nothing.
+  LruCacheMap<NameList> queries_;
   uint64_t synced_version_ = 0;
   CacheStats stats_;
   DegradedReadOptions degraded_;

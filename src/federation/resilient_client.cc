@@ -286,27 +286,27 @@ Result<std::vector<Invocation>> ResilientCatalogClient::InvocationsOf(
       [&](CatalogClient& c) { return c.InvocationsOf(derivation); });
 }
 
-Result<std::vector<std::string>> ResilientCatalogClient::FindDatasets(
+Result<NameList> ResilientCatalogClient::FindDatasets(
     const DatasetQuery& query) {
-  return ReadCall<std::vector<std::string>>(
+  return ReadCall<NameList>(
       [&](CatalogClient& c) { return c.FindDatasets(query); });
 }
 
-Result<std::vector<std::string>> ResilientCatalogClient::FindTransformations(
+Result<NameList> ResilientCatalogClient::FindTransformations(
     const TransformationQuery& query) {
-  return ReadCall<std::vector<std::string>>(
+  return ReadCall<NameList>(
       [&](CatalogClient& c) { return c.FindTransformations(query); });
 }
 
-Result<std::vector<std::string>> ResilientCatalogClient::FindDerivations(
+Result<NameList> ResilientCatalogClient::FindDerivations(
     const DerivationQuery& query) {
-  return ReadCall<std::vector<std::string>>(
+  return ReadCall<NameList>(
       [&](CatalogClient& c) { return c.FindDerivations(query); });
 }
 
-Result<std::vector<std::string>> ResilientCatalogClient::AllNames(
+Result<NameList> ResilientCatalogClient::AllNames(
     std::string_view kind) {
-  return ReadCall<std::vector<std::string>>(
+  return ReadCall<NameList>(
       [&](CatalogClient& c) { return c.AllNames(kind); });
 }
 

@@ -96,23 +96,22 @@ Result<std::vector<Invocation>> SimulatedRpcCatalogClient::InvocationsOf(
   return Call([&] { return backend_->InvocationsOf(derivation); });
 }
 
-Result<std::vector<std::string>> SimulatedRpcCatalogClient::FindDatasets(
+Result<NameList> SimulatedRpcCatalogClient::FindDatasets(
     const DatasetQuery& query) {
   return Call([&] { return backend_->FindDatasets(query); });
 }
 
-Result<std::vector<std::string>>
-SimulatedRpcCatalogClient::FindTransformations(
+Result<NameList> SimulatedRpcCatalogClient::FindTransformations(
     const TransformationQuery& query) {
   return Call([&] { return backend_->FindTransformations(query); });
 }
 
-Result<std::vector<std::string>> SimulatedRpcCatalogClient::FindDerivations(
+Result<NameList> SimulatedRpcCatalogClient::FindDerivations(
     const DerivationQuery& query) {
   return Call([&] { return backend_->FindDerivations(query); });
 }
 
-Result<std::vector<std::string>> SimulatedRpcCatalogClient::AllNames(
+Result<NameList> SimulatedRpcCatalogClient::AllNames(
     std::string_view kind) {
   return Call([&] { return backend_->AllNames(kind); });
 }

@@ -86,13 +86,13 @@ class SimulatedRpcCatalogClient : public CatalogClient {
   Result<std::string> ProducerOf(std::string_view dataset) override;
   Result<std::vector<Invocation>> InvocationsOf(
       std::string_view derivation) override;
-  Result<std::vector<std::string>> FindDatasets(
+  Result<NameList> FindDatasets(
       const DatasetQuery& query) override;
-  Result<std::vector<std::string>> FindTransformations(
+  Result<NameList> FindTransformations(
       const TransformationQuery& query) override;
-  Result<std::vector<std::string>> FindDerivations(
+  Result<NameList> FindDerivations(
       const DerivationQuery& query) override;
-  Result<std::vector<std::string>> AllNames(std::string_view kind) override;
+  Result<NameList> AllNames(std::string_view kind) override;
   Result<bool> TypeConforms(const DatasetType& type,
                             const DatasetType& against) override;
   Result<std::vector<ObjectRecord>> BatchGet(

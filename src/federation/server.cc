@@ -506,30 +506,28 @@ wire::Response CatalogServer::Execute(const wire::Request& request) {
     }
     case wire::MsgKind::kFindDatasets: {
       const auto& body = std::get<wire::FindDatasetsReq>(request.body);
-      Result<std::vector<std::string>> r = backend_->FindDatasets(body.query);
+      Result<NameList> r = backend_->FindDatasets(body.query);
       if (!r.ok()) resp.status = r.status();
       else resp.body = wire::NamesResp{std::move(*r)};
       break;
     }
     case wire::MsgKind::kFindTransformations: {
       const auto& body = std::get<wire::FindTransformationsReq>(request.body);
-      Result<std::vector<std::string>> r =
-          backend_->FindTransformations(body.query);
+      Result<NameList> r = backend_->FindTransformations(body.query);
       if (!r.ok()) resp.status = r.status();
       else resp.body = wire::NamesResp{std::move(*r)};
       break;
     }
     case wire::MsgKind::kFindDerivations: {
       const auto& body = std::get<wire::FindDerivationsReq>(request.body);
-      Result<std::vector<std::string>> r =
-          backend_->FindDerivations(body.query);
+      Result<NameList> r = backend_->FindDerivations(body.query);
       if (!r.ok()) resp.status = r.status();
       else resp.body = wire::NamesResp{std::move(*r)};
       break;
     }
     case wire::MsgKind::kAllNames: {
       const auto& body = std::get<wire::NameReq>(request.body);
-      Result<std::vector<std::string>> r = backend_->AllNames(body.name);
+      Result<NameList> r = backend_->AllNames(body.name);
       if (!r.ok()) resp.status = r.status();
       else resp.body = wire::NamesResp{std::move(*r)};
       break;
@@ -966,7 +964,7 @@ Result<std::vector<Invocation>> WireCatalogClient::InvocationsOf(
   return std::move(body.invocations);
 }
 
-Result<std::vector<std::string>> WireCatalogClient::FindDatasets(
+Result<NameList> WireCatalogClient::FindDatasets(
     const DatasetQuery& query) {
   wire::Request req;
   req.kind = wire::MsgKind::kFindDatasets;
@@ -977,7 +975,7 @@ Result<std::vector<std::string>> WireCatalogClient::FindDatasets(
   return std::move(body.names);
 }
 
-Result<std::vector<std::string>> WireCatalogClient::FindTransformations(
+Result<NameList> WireCatalogClient::FindTransformations(
     const TransformationQuery& query) {
   wire::Request req;
   req.kind = wire::MsgKind::kFindTransformations;
@@ -988,7 +986,7 @@ Result<std::vector<std::string>> WireCatalogClient::FindTransformations(
   return std::move(body.names);
 }
 
-Result<std::vector<std::string>> WireCatalogClient::FindDerivations(
+Result<NameList> WireCatalogClient::FindDerivations(
     const DerivationQuery& query) {
   wire::Request req;
   req.kind = wire::MsgKind::kFindDerivations;
@@ -999,7 +997,7 @@ Result<std::vector<std::string>> WireCatalogClient::FindDerivations(
   return std::move(body.names);
 }
 
-Result<std::vector<std::string>> WireCatalogClient::AllNames(
+Result<NameList> WireCatalogClient::AllNames(
     std::string_view kind) {
   VDG_ASSIGN_OR_RETURN(
       wire::Response resp,

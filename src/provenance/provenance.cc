@@ -78,7 +78,7 @@ Status ProvenanceTracker::BuildLineage(std::string_view dataset, int depth,
     // children named "<parent>.cK"; surface their invocations here.
     DerivationQuery children;
     children.name_prefix = *producer + ".";
-    for (const std::string& child : catalog_.FindDerivations(children)) {
+    for (std::string_view child : catalog_.FindDerivations(children)) {
       for (Invocation& iv : catalog_.InvocationsOf(child)) {
         out->invocations.push_back(std::move(iv));
       }
@@ -142,7 +142,7 @@ Result<std::set<std::string>> ProvenanceTracker::Descendants(
   while (!frontier.empty()) {
     std::string current = std::move(frontier.front());
     frontier.pop_front();
-    for (const std::string& consumer : catalog_.ConsumersOf(current)) {
+    for (std::string_view consumer : catalog_.ConsumersOf(current)) {
       Result<Derivation> dv = catalog_.GetDerivation(consumer);
       if (!dv.ok()) continue;
       for (const std::string& output : dv->OutputDatasets()) {
@@ -185,7 +185,7 @@ Result<std::vector<Invocation>> ProvenanceTracker::AuditTrail(
       // "<parent>.cK"; their invocations are this derivation's trail.
       DerivationQuery children;
       children.name_prefix = *producer + ".";
-      for (const std::string& child : catalog_.FindDerivations(children)) {
+      for (std::string_view child : catalog_.FindDerivations(children)) {
         for (Invocation& iv : catalog_.InvocationsOf(child)) {
           own.push_back(std::move(iv));
         }

@@ -106,14 +106,14 @@ std::vector<std::string> TypeHierarchy::ChildrenOf(
   return out;  // map iteration order is already sorted
 }
 
-std::vector<std::string> TypeHierarchy::AllTypes() const {
+NameList TypeHierarchy::AllTypes() const {
   std::vector<std::string> out;
   out.reserve(parent_.size());
   for (const auto& [name, parent] : parent_) {
     (void)parent;
     out.push_back(name);
   }
-  return out;
+  return NameList::FromStrings(std::move(out));
 }
 
 Result<int> TypeHierarchy::DepthOf(std::string_view name) const {

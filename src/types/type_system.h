@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/name_list.h"
 #include "common/status.h"
 
 namespace vdg {
@@ -60,8 +61,11 @@ class TypeHierarchy {
   /// Direct children of `name` (sorted). `name` may be the base name.
   std::vector<std::string> ChildrenOf(std::string_view name) const;
 
-  /// All defined names (sorted), excluding the base name.
-  std::vector<std::string> AllTypes() const;
+  /// All defined names (sorted), excluding the base name — a
+  /// self-owning NameList, the same result-plane list type the catalog
+  /// returns (DESIGN.md §15), so the type layer has no private copying
+  /// result path.
+  NameList AllTypes() const;
 
   /// Distance from the base name (base = 0). Unknown names: NotFound.
   Result<int> DepthOf(std::string_view name) const;

@@ -223,7 +223,7 @@ TEST_F(CatalogTest, DiscoveryVirtualVersusMaterialized) {
             std::vector<std::string>{"file2"});
   DatasetQuery virtual_only;
   virtual_only.only_virtual = true;
-  std::vector<std::string> virtuals = catalog_.FindDatasets(virtual_only);
+  NameList virtuals = catalog_.FindDatasets(virtual_only);
   EXPECT_EQ(virtuals.size(), 2u);  // file1 (no replica), file3
 }
 

@@ -560,11 +560,11 @@ TEST(CatalogServerRuntime, ExecutorWriteBackOverTheWireMatchesInProcess) {
   // invocation records per derivation.
   EXPECT_EQ(direct.AllDatasetNames(), wired.AllDatasetNames());
   EXPECT_EQ(direct.AllDerivationNames(), wired.AllDerivationNames());
-  for (const std::string& name : direct.AllDatasetNames()) {
+  for (std::string_view name : direct.AllDatasetNames()) {
     EXPECT_EQ(direct.IsMaterialized(name), wired.IsMaterialized(name))
         << name;
   }
-  for (const std::string& name : direct.AllDerivationNames()) {
+  for (std::string_view name : direct.AllDerivationNames()) {
     std::vector<Invocation> a = direct.InvocationsOf(name);
     std::vector<Invocation> b = wired.InvocationsOf(name);
     ASSERT_EQ(a.size(), b.size()) << name;

@@ -66,7 +66,7 @@ void RunReader(const VirtualDataCatalog* catalog, const FederatedIndex* index,
     q.predicates.push_back(AttributePredicate{
         "shard", PredicateOp::kEq,
         AttributeValue(int64_t{(seed + spin) % 7})});
-    for (const std::string& name : catalog->FindDatasets(q)) {
+    for (std::string_view name : catalog->FindDatasets(q)) {
       Result<Dataset> ds = catalog->GetDataset(name);
       // The dataset may be removed between the find and the get; a
       // present dataset must still satisfy the predicate (both reads
@@ -109,12 +109,12 @@ void RunRefresher(FederatedIndex* index, const std::atomic<bool>* done) {
 std::vector<std::string> NaiveFind(const VirtualDataCatalog& catalog,
                                    const DatasetQuery& q) {
   std::vector<std::string> out;
-  for (const std::string& name : catalog.AllDatasetNames()) {
+  for (std::string_view name : catalog.AllDatasetNames()) {
     Result<Dataset> ds = catalog.GetDataset(name);
     if (!ds.ok()) continue;
     if (!MatchesAll(ds->annotations, q.predicates)) continue;
     if (q.require_materialized && !catalog.IsMaterialized(name)) continue;
-    out.push_back(name);
+    out.emplace_back(name);
   }
   return out;
 }
@@ -215,14 +215,14 @@ TEST(ConcurrencyStress, PinnedViewIsVersionConsistentUnderApplyBatch) {
         // First pass records the view's answers; later passes against
         // the SAME view must reproduce them exactly even though the
         // writer keeps publishing fresh snapshots underneath.
-        std::vector<std::vector<std::string>> first;
+        std::vector<NameList> first;
         for (int shard = 0; shard < 5; ++shard) {
           DatasetQuery q;
           q.predicates.push_back(AttributePredicate{
               "shard", PredicateOp::kEq, AttributeValue(int64_t{shard})});
           first.push_back(view.FindDatasets(q));
         }
-        std::vector<std::string> names = view.AllDatasetNames();
+        NameList names = view.AllDatasetNames();
         for (int pass = 0; pass < 3; ++pass) {
           ASSERT_EQ(view.version(), pinned);
           for (int shard = 0; shard < 5; ++shard) {
@@ -252,6 +252,87 @@ TEST(ConcurrencyStress, PinnedViewIsVersionConsistentUnderApplyBatch) {
   CatalogView final_view = catalog.View();
   EXPECT_EQ(final_view.version(), catalog.version());
   EXPECT_EQ(final_view.AllDatasetNames(), catalog.AllDatasetNames());
+  std::remove(path.c_str());
+}
+
+// PR-9 lifetime/pinning property: a NameList handed out by any query
+// pins the snapshot it was answered from, so its bytes stay stable
+// across concurrent ApplyBatch mutations, snapshot republication, and
+// journal compaction — even after the producing catalog has moved many
+// versions ahead (DESIGN.md §15). Each reader freezes an owned copy of
+// a list's contents at capture time and re-verifies the live views
+// byte-for-byte while the writer and compactor churn.
+TEST(ConcurrencyStress, NameListStaysByteStableAcrossMutationAndCompaction) {
+  std::string path = ::testing::TempDir() + "/vdg_conc_namelist.log";
+  std::remove(path.c_str());
+  VirtualDataCatalog catalog("pin.org", std::make_unique<FileJournal>(path));
+  ASSERT_TRUE(catalog.Open().ok());
+  for (int i = 0; i < 64; ++i) {
+    Dataset ds;
+    ds.name = "pin" + std::to_string(i);
+    ds.annotations.Set("shard", AttributeValue(int64_t{i % 4}));
+    ASSERT_TRUE(catalog.DefineDataset(ds).ok());
+  }
+
+  std::atomic<bool> done{false};
+  // Writer: batches of annotation rewrites plus dataset definitions
+  // and removals — every path that republishes the snapshot.
+  std::thread writer([&] {
+    for (int i = 0; i < 150; ++i) {
+      std::vector<CatalogMutation> ops;
+      for (int k = 0; k < 8; ++k) {
+        ops.push_back(CatalogMutation::Annotate(
+            "dataset", "pin" + std::to_string((i * 8 + k) % 64), "tick",
+            AttributeValue(int64_t{i})));
+      }
+      Dataset extra;
+      extra.name = "extra" + std::to_string(i);
+      extra.annotations.Set("shard", AttributeValue(int64_t{i % 4}));
+      ops.push_back(CatalogMutation::DefineDataset(extra));
+      ASSERT_TRUE(catalog.ApplyBatch(ops).first_error.ok());
+      if (i % 10 == 9) {
+        Status s = catalog.RemoveDataset("extra" + std::to_string(i - 5));
+        (void)s;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::thread compactor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(catalog.CompactJournal().ok());
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&catalog, &done, t] {
+      DatasetQuery q;
+      q.predicates.push_back(AttributePredicate{
+          "shard", PredicateOp::kEq, AttributeValue(int64_t{t % 4})});
+      while (!done.load(std::memory_order_acquire)) {
+        NameList find = catalog.FindDatasets(q);
+        NameList all = catalog.AllDatasetNames();
+        // Owned copies freeze the expected bytes at capture time.
+        const std::vector<std::string> find_then = find.ToStrings();
+        const std::vector<std::string> all_then = all.ToStrings();
+        ASSERT_TRUE(find.has_ids());
+        ASSERT_EQ(find.ids().size(), find.size());
+        // Let the writer/compactor republish underneath, then verify
+        // both held lists re-read byte-identically.
+        for (int spin = 0; spin < 50; ++spin) {
+          std::this_thread::yield();
+        }
+        ASSERT_EQ(find, find_then);
+        ASSERT_EQ(all, all_then);
+        for (size_t i = 0; i < all.size(); ++i) {
+          ASSERT_EQ(all[i], std::string_view(all_then[i]));
+        }
+      }
+    });
+  }
+  writer.join();
+  compactor.join();
+  for (std::thread& r : readers) r.join();
   std::remove(path.c_str());
 }
 

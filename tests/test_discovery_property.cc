@@ -176,7 +176,7 @@ std::vector<std::string> NaiveFindDatasets(const VirtualDataCatalog& catalog,
                                            const DatasetQuery& query) {
   std::set<std::string> materialized = NaiveMaterialized(catalog);
   std::vector<std::string> out;
-  for (const std::string& name : catalog.AllDatasetNames()) {
+  for (const std::string& name : catalog.AllDatasetNames().ToStrings()) {
     Dataset ds = *catalog.GetDataset(name);
     if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
       continue;
@@ -197,7 +197,7 @@ std::vector<std::string> NaiveFindDatasets(const VirtualDataCatalog& catalog,
 std::vector<std::string> NaiveFindDerivations(
     const VirtualDataCatalog& catalog, const DerivationQuery& query) {
   std::vector<std::string> out;
-  for (const std::string& name : catalog.AllDerivationNames()) {
+  for (const std::string& name : catalog.AllDerivationNames().ToStrings()) {
     Derivation dv = *catalog.GetDerivation(name);
     if (!query.name_prefix.empty() && !StartsWith(name, query.name_prefix)) {
       continue;
@@ -372,13 +372,12 @@ TEST_P(DiscoveryTortureTest, DeltaRefreshConvergesToFullRebuild) {
   // Element-wise equivalence over every entry both indexes hold.
   for (const char* kind : {"dataset", "transformation", "derivation"}) {
     for (VirtualDataCatalog* c : {&a, &b}) {
-      std::vector<std::string> names = kind == std::string_view("dataset")
-                                           ? c->AllDatasetNames()
-                                           : kind == std::string_view(
-                                                 "transformation")
-                                                 ? c->AllTransformationNames()
-                                                 : c->AllDerivationNames();
-      for (const std::string& name : names) {
+      NameList names = kind == std::string_view("dataset")
+                           ? c->AllDatasetNames()
+                           : kind == std::string_view("transformation")
+                                 ? c->AllTransformationNames()
+                                 : c->AllDerivationNames();
+      for (std::string_view name : names) {
         std::vector<IndexEntry> lhs = delta.LookupName(kind, name);
         std::vector<IndexEntry> rhs = full.LookupName(kind, name);
         // Multi-authority hits carry no ordering contract.

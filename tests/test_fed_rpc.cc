@@ -440,6 +440,38 @@ TEST_F(FedRpcTest, CacheWritesThroughAndReadsItsOwnWrites) {
   EXPECT_TRUE(cache.GetDataset("d3")->annotations.Has("mine"));
 }
 
+TEST_F(FedRpcTest, QueryCacheHitsShareOneImmutableList) {
+  ASSERT_TRUE(catalog_->Annotate("dataset", "d1", "tier", "gold").ok());
+  auto rpc = Rpc();
+  CachingCatalogClient cache(rpc);
+
+  DatasetQuery q;
+  q.predicates = {{"tier", PredicateOp::kEq, "gold"}};
+  Result<NameList> first = cache.FindDatasets(q);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(*first, std::vector<std::string>{"d1"});
+
+  // Every subsequent hit aliases the SAME immutable list — one shared
+  // rep, not a fresh vector<string> copy per lookup (the PR-9
+  // regression: the old cache copied the whole result set per hit).
+  for (int i = 0; i < 4; ++i) {
+    Result<NameList> hit = cache.FindDatasets(q);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ(hit->identity(), first->identity())
+        << "hit " << i << " allocated an independent list";
+  }
+  EXPECT_EQ(cache.stats().query_hits, 4u);
+
+  // The shared list survives eviction of the cache entry: holders keep
+  // their pinned rep alive independently of the cache's lifetime.
+  ASSERT_TRUE(cache.Annotate("dataset", "d2", "tier", "gold").ok());
+  EXPECT_EQ(*first, std::vector<std::string>{"d1"});
+  Result<NameList> refreshed = cache.FindDatasets(q);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_NE(refreshed->identity(), first->identity());
+  EXPECT_EQ(refreshed->size(), 2u);
+}
+
 TEST_F(FedRpcTest, QueryCacheNormalizesPredicateOrder) {
   ASSERT_TRUE(catalog_->Annotate("dataset", "d1", "tier", "gold").ok());
   ASSERT_TRUE(catalog_->Annotate("dataset", "d1", "owner", "alice").ok());
@@ -454,7 +486,7 @@ TEST_F(FedRpcTest, QueryCacheNormalizesPredicateOrder) {
   q2.predicates = {{"owner", PredicateOp::kEq, "alice"},
                    {"tier", PredicateOp::kEq, "gold"}};
 
-  Result<std::vector<std::string>> first = cache.FindDatasets(q1);
+  Result<NameList> first = cache.FindDatasets(q1);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(*first, std::vector<std::string>{"d1"});
   EXPECT_EQ(cache.stats().query_misses, 1u);
@@ -462,7 +494,7 @@ TEST_F(FedRpcTest, QueryCacheNormalizesPredicateOrder) {
   // Reordered predicates normalize to the SAME cache entry: answered
   // locally, zero round trips.
   rpc->reset_stats();
-  Result<std::vector<std::string>> second = cache.FindDatasets(q2);
+  Result<NameList> second = cache.FindDatasets(q2);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(*second, *first);
   EXPECT_EQ(cache.stats().query_hits, 1u);
@@ -497,7 +529,7 @@ TEST_F(FedRpcTest, QueryCacheInvalidatesPerKind) {
   EXPECT_EQ(cache.stats().query_hits, 1u);
   EXPECT_EQ(rpc->stats().round_trips, 0u);
 
-  Result<std::vector<std::string>> refetched = cache.FindDatasets(dq);
+  Result<NameList> refetched = cache.FindDatasets(dq);
   ASSERT_TRUE(refetched.ok());
   EXPECT_EQ(cache.stats().query_misses, 3u);  // went upstream again
   // Read-your-writes: the refetched set includes the new member.

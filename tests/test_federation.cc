@@ -348,7 +348,7 @@ TEST_F(FederationTest, OverlayDiscoveryUsesEffectiveView) {
                   .ok());
   // Find starred objects that the *base* says are astro: only survey
   // carries the base annotation.
-  Result<std::vector<std::string>> hits = overlay.FindAnnotated(
+  Result<NameList> hits = overlay.FindAnnotated(
       registry_, "dataset",
       {{"starred", PredicateOp::kEq, true},
        {"science", PredicateOp::kEq, "astro"}});
@@ -382,7 +382,7 @@ TEST_F(FederationTest, OverlayValidationAndRemoval) {
                   .status()
                   .IsNotFound());
   // FindAnnotated silently skips dangling refs.
-  Result<std::vector<std::string>> hits = overlay.FindAnnotated(
+  Result<NameList> hits = overlay.FindAnnotated(
       registry_, "dataset", {{"k", PredicateOp::kExists, {}}});
   ASSERT_TRUE(hits.ok());
   EXPECT_TRUE(hits->empty());

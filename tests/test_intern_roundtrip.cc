@@ -79,10 +79,10 @@ void ExpectSameTypes(const TypeRegistry& expected,
                      const TypeRegistry& actual) {
   for (int d = 0; d < kNumTypeDimensions; ++d) {
     TypeDimension dim = static_cast<TypeDimension>(d);
-    std::vector<std::string> names = expected.dimension(dim).AllTypes();
+    NameList names = expected.dimension(dim).AllTypes();
     ASSERT_EQ(names, actual.dimension(dim).AllTypes())
         << "type set diverged in dimension " << TypeDimensionName(dim);
-    for (const std::string& name : names) {
+    for (std::string_view name : names) {
       Result<std::string> want = expected.dimension(dim).ParentOf(name);
       Result<std::string> got = actual.dimension(dim).ParentOf(name);
       ASSERT_TRUE(want.ok());

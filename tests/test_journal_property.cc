@@ -149,25 +149,25 @@ class MutationDriver {
 // Full observational fingerprint of a catalog's contents.
 std::string Fingerprint(const VirtualDataCatalog& catalog) {
   std::string out;
-  for (const std::string& name : catalog.AllDatasetNames()) {
+  for (const std::string& name : catalog.AllDatasetNames().ToStrings()) {
     Dataset ds = *catalog.GetDataset(name);
     out += "DS " + name + " " + ds.type.ToString() + " " +
            std::to_string(ds.size_bytes) + " prod=" + ds.producer + " [" +
            ds.annotations.ToString() + "] mat=" +
            (catalog.IsMaterialized(name) ? "1" : "0") + "\n";
   }
-  for (const std::string& name : catalog.AllTransformationNames()) {
+  for (const std::string& name : catalog.AllTransformationNames().ToStrings()) {
     Transformation tr = *catalog.GetTransformation(name);
     out += "TR " + tr.TypeSignature() + " [" +
            tr.annotations().ToString() + "]\n";
   }
-  for (const std::string& name : catalog.AllDerivationNames()) {
+  for (const std::string& name : catalog.AllDerivationNames().ToStrings()) {
     Derivation dv = *catalog.GetDerivation(name);
     out += "DV " + name + " " + dv.SignatureText() + " [" +
            dv.annotations().ToString() + "] consumers=";
     for (const std::string& input : dv.InputDatasets()) {
-      for (const std::string& consumer : catalog.ConsumersOf(input)) {
-        out += consumer + ",";
+      for (std::string_view consumer : catalog.ConsumersOf(input)) {
+        out += std::string(consumer) + ",";
       }
     }
     out += "\n";
@@ -292,8 +292,8 @@ TEST(CompactionTest2, ExportVdlReimports) {
     const TypeRegistry snapshot = catalog.TypesSnapshot();
     const TypeHierarchy& h = snapshot.dimension(dim);
     std::vector<std::pair<int, std::string>> by_depth;
-    for (const std::string& name : h.AllTypes()) {
-      by_depth.emplace_back(*h.DepthOf(name), name);
+    for (std::string_view name : h.AllTypes()) {
+      by_depth.emplace_back(*h.DepthOf(name), std::string(name));
     }
     std::sort(by_depth.begin(), by_depth.end());
     for (const auto& [depth, name] : by_depth) {

@@ -8,6 +8,7 @@
 // rejected before any state is installed and fall back to full replay
 // with a diagnostic, never an error or a crash.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdint>
@@ -26,9 +27,11 @@ namespace vdg {
 namespace {
 
 std::string TempPath(const std::string& tag) {
+  // Process-unique: ctest runs each test of this binary as its own
+  // process, possibly in parallel — a bare counter would collide.
   static int counter = 0;
-  return ::testing::TempDir() + "/vdg_snap_" + tag + "_" +
-         std::to_string(++counter);
+  return ::testing::TempDir() + "/vdg_snap_" + std::to_string(::getpid()) +
+         "_" + tag + "_" + std::to_string(++counter);
 }
 
 void Populate(VirtualDataCatalog* catalog, int datasets) {
@@ -262,7 +265,7 @@ TEST_F(SnapshotPersistTest, JournalTailPastAnchorIsReplayed) {
   // The post-anchor dataset is queryable through the indexes.
   DatasetQuery gold;
   gold.predicates = {{"tier", PredicateOp::kEq, "gold"}};
-  std::vector<std::string> names = loaded->FindDatasets(gold);
+  NameList names = loaded->FindDatasets(gold);
   EXPECT_NE(std::find(names.begin(), names.end(), "late0"), names.end());
 }
 

@@ -190,7 +190,7 @@ TEST_P(PresetConformance, EveryTypeConformsToItsAncestry) {
   ASSERT_TRUE(registry.LoadAppendixCPreset().ok());
   auto dim = static_cast<TypeDimension>(GetParam());
   const TypeHierarchy& h = registry.dimension(dim);
-  for (const std::string& name : h.AllTypes()) {
+  for (std::string_view name : h.AllTypes()) {
     Result<std::vector<std::string>> chain = h.AncestryOf(name);
     ASSERT_TRUE(chain.ok());
     for (const std::string& ancestor : *chain) {

@@ -693,7 +693,7 @@ TEST(WireCodecResponses, AllBodyKindsRoundTrip) {
 
   Response names;
   names.kind = MsgKind::kFindDatasets;
-  names.body = NamesResp{{"d1", "d2", ""}};
+  names.body = NamesResp{NameList::FromStrings({"d1", "d2", ""})};
   EXPECT_EQ(std::get<NamesResp>(RoundTrip(10, names).body).names,
             (std::vector<std::string>{"d1", "d2", ""}));
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Lint: the result plane must stay zero-copy.
+
+Name-returning query APIs in the catalog and federation layers return
+``NameList`` (pinned snapshot views, one shared immutable list per
+result) — never ``Result<std::vector<std::string>>`` or bare
+``std::vector<std::string>``. A vector-of-strings return re-introduces
+a per-call copy of every name and silently defeats the zero-copy
+result plane (DESIGN.md §15).
+
+This script scans the public headers of the result-plane layers for
+function declarations that return an owned string vector and fails if
+it finds any. Declarations can be suppressed — for genuinely
+writer-side or diagnostic state that is not a name-result surface —
+with a ``// result-api-ok`` comment on the same line.
+
+Usage: check_result_api.py [repo_root]
+"""
+
+import pathlib
+import re
+import sys
+
+# Layers whose headers form the result plane. Sources (.cc) are not
+# scanned: locals and helpers may materialize owned strings (e.g.
+# NameList::ToStrings at an explicit boundary); only the API surface
+# is constrained.
+SCAN_DIRS = ["src/catalog", "src/federation"]
+
+# A declaration (or alias/field) whose type hands back an owned
+# string vector: `Result<std::vector<std::string>>`,
+# `std::vector<std::string>`, with or without whitespace variation.
+VECTOR_RETURN = re.compile(
+    r"(Result\s*<\s*)?std::vector\s*<\s*std::string\s*>"
+)
+
+SUPPRESS = "result-api-ok"
+
+
+def check_file(path: pathlib.Path) -> list:
+    violations = []
+    in_block_comment = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        stripped = line.strip()
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+            continue
+        if stripped.startswith("//"):
+            continue
+        if stripped.startswith("/*"):
+            if "*/" not in stripped:
+                in_block_comment = True
+            continue
+        if SUPPRESS in line:
+            continue
+        m = VECTOR_RETURN.search(line)
+        if not m:
+            continue
+        # Parameters taking a vector<string> (by value or const ref)
+        # are fine — the constraint is on what the API hands back.
+        # Heuristic: a match inside a parameter list follows '(' or ','
+        # on the same line before the match with no ')' in between.
+        before = line[: m.start()]
+        depth = before.count("(") - before.count(")")
+        if depth > 0:
+            continue
+        violations.append((lineno, line.rstrip()))
+    return violations
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    failed = False
+    for rel in SCAN_DIRS:
+        base = root / rel
+        if not base.is_dir():
+            print(f"check_result_api: missing directory {base}", file=sys.stderr)
+            return 2
+        for header in sorted(base.glob("*.h")):
+            for lineno, line in check_file(header):
+                failed = True
+                print(
+                    f"{header.relative_to(root)}:{lineno}: "
+                    f"owned string-vector return on the result plane "
+                    f"(use NameList; see DESIGN.md §15): {line.strip()}"
+                )
+    if failed:
+        print(
+            "\ncheck_result_api: name-result APIs in src/catalog and "
+            "src/federation headers must return NameList. Suppress "
+            "genuinely writer-side state with '// result-api-ok'."
+        )
+        return 1
+    print("check_result_api: result plane is zero-copy clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

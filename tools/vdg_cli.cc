@@ -102,11 +102,12 @@ int CmdImport(VirtualDataCatalog* catalog, const std::string& vdl_path) {
 }
 
 int CmdList(const VirtualDataCatalog& catalog, const std::string& kind) {
-  auto print_all = [](const std::vector<std::string>& names,
-                      const char* label) {
-    std::printf("%s (%zu):\n", label, names.size());
-    for (const std::string& name : names) {
-      std::printf("  %s\n", name.c_str());
+  // Generic over NameList (view elements) and vector<string> (replica
+  // and invocation ids).
+  auto print_all = [](const auto& names, const char* label) {
+    std::printf("%s (%zu):\n", label, static_cast<size_t>(names.size()));
+    for (std::string_view name : names) {
+      std::printf("  %.*s\n", static_cast<int>(name.size()), name.data());
     }
   };
   if (kind.empty() || kind == "datasets") {
@@ -186,8 +187,8 @@ int CmdSearch(const VirtualDataCatalog& catalog, const std::string& prefix,
       ++i;
     }
   }
-  for (const std::string& name : catalog.FindDatasets(query)) {
-    std::printf("%s%s\n", name.c_str(),
+  for (std::string_view name : catalog.FindDatasets(query)) {
+    std::printf("%.*s%s\n", static_cast<int>(name.size()), name.data(),
                 catalog.IsMaterialized(name) ? "" : "  (virtual)");
   }
   return 0;
