@@ -1,0 +1,68 @@
+// TRAFFIC — sharded catalog scale-out under a million-user open-loop
+// load (ISSUE 10). One benchmark, swept over the shard count: the
+// harness models `users` independent clients as a Poisson arrival
+// stream at a FIXED offered rate (calibrated once, from the 1-shard
+// run, then pinned for every other topology, so all points see equal
+// load), with every service time measured for real against the shard
+// catalogs and queueing simulated in virtual time — the only honest
+// way to show 8-way scaling on a one-core host. The claims gated in
+// tools/run_bench.sh: aggregate predicate-query throughput grows >= 3x
+// from 1 to 8 shards, and p99 latency at 8 shards is no worse than the
+// saturated 1-shard baseline.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "workload/traffic_gen.h"
+
+namespace vdg {
+namespace {
+
+// The offered rate every topology runs at, calibrated by the first
+// (1-shard) run. Benchmarks registered with Arg(1) first, so the
+// ordering is deterministic.
+double g_offered_rate = 0.0;
+
+void BM_Traffic(benchmark::State& state) {
+  Logger::set_threshold(LogLevel::kError);
+  const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  workload::TrafficOptions options;
+  options.offered_rate = g_offered_rate;  // 0 on the first run: calibrate
+  Result<std::unique_ptr<workload::TrafficWorld>> world =
+      workload::MakeTrafficWorld(shards, options);
+  if (!world.ok()) std::abort();
+  workload::TrafficHarness& harness = *(*world)->harness;
+
+  workload::TrafficReport report;
+  for (auto _ : state) {
+    Result<workload::TrafficReport> ran = harness.Run();
+    if (!ran.ok()) std::abort();
+    report = *std::move(ran);
+  }
+  if (g_offered_rate == 0.0) g_offered_rate = report.offered_rate;
+
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(report.operations));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["users"] = static_cast<double>(options.users);
+  state.counters["errors"] = static_cast<double>(report.errors);
+  state.counters["offered_rate"] = report.offered_rate;
+  state.counters["completed_rate"] = report.completed_rate;
+  state.counters["query_rate"] = report.query_rate;
+  state.counters["p50_us"] =
+      static_cast<double>(report.latency.ValueAtQuantile(0.50)) / 1e3;
+  state.counters["p95_us"] =
+      static_cast<double>(report.latency.ValueAtQuantile(0.95)) / 1e3;
+  state.counters["p99_us"] =
+      static_cast<double>(report.latency.ValueAtQuantile(0.99)) / 1e3;
+  state.counters["query_p99_us"] =
+      static_cast<double>(report.discovery_latency.ValueAtQuantile(0.99)) /
+      1e3;
+}
+BENCHMARK(BM_Traffic)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vdg

@@ -576,18 +576,25 @@ Status VirtualDataCatalog::DefineDerivationLocked(Derivation derivation) {
                               tr_name);
     }
     tr = it->second.object.get();
+    ValidationPolicy policy;
+    policy.allow_external_inputs = partition_mode_;
     VDG_RETURN_IF_ERROR(ValidateDerivationAgainst(
         derivation, *tr, types_,
-        [this](std::string_view ds) { return LookupDatasetType(ds); }));
+        [this](std::string_view ds) { return LookupDatasetType(ds); },
+        policy));
   }
 
   // Auto-define missing output datasets as virtual data, typed from
-  // the formal they bind (first union element when present).
+  // the formal they bind (first union element when present). In
+  // partition mode a missing output is owned by another shard: the
+  // sharded client pre-creates it on its home shard, so it is skipped
+  // here rather than misplaced on this one.
   for (const ActualArg& arg : derivation.args()) {
     if (!arg.is_dataset() || !DirectionWrites(*arg.direction)) continue;
     if (IsVdpUri(*arg.dataset)) continue;  // lives in another catalog
     auto existing = datasets_.find(*arg.dataset);
     if (existing == datasets_.end()) {
+      if (partition_mode_) continue;
       Dataset out;
       out.name = *arg.dataset;
       out.producer = derivation.name();

@@ -281,6 +281,22 @@ class VirtualDataCatalog {
   void set_changelog_capacity(size_t capacity);
   size_t changelog_capacity() const;
 
+  /// Partition mode: this catalog holds one hash shard of a larger
+  /// logical catalog (see ShardedCatalogClient). Two local rules
+  /// relax, because the routing layer owns them instead:
+  ///  - DefineDerivation accepts input datasets unknown locally (they
+  ///    live on their own shards; the sharded client checks existence
+  ///    before routing);
+  ///  - DefineDerivation does NOT auto-define missing output datasets
+  ///    (the sharded client pre-creates them on their hash-owned home
+  ///    shards, so an auto-define here would misplace them).
+  /// Producer backfill and single-producer conflicts still apply to
+  /// outputs that are local. Not journaled: set it before Open() and
+  /// before the catalog is shared across threads, exactly like
+  /// set_changelog_capacity.
+  void set_partition_mode(bool on) { partition_mode_ = on; }
+  bool partition_mode() const { return partition_mode_; }
+
   Status SyncJournal();
 
   /// The minimal journal records that reproduce the catalog's current
@@ -465,6 +481,7 @@ class VirtualDataCatalog {
   mutable std::shared_mutex mu_;
   std::unique_ptr<CatalogJournal> journal_;
   bool replaying_ = false;
+  bool partition_mode_ = false;
   bool opened_ = false;
   /// Durable-journal anchor for flat snapshots: how many records the
   /// in-memory state reflects and the running CRC of that record chain

@@ -5,6 +5,20 @@
 
 namespace vdg {
 
+Result<std::vector<uint64_t>> CatalogClient::ShardVersions() {
+  VDG_ASSIGN_OR_RETURN(uint64_t version, Version());
+  return std::vector<uint64_t>{version};
+}
+
+Result<std::vector<CatalogChange>> CatalogClient::ShardChangesSince(
+    uint32_t shard, uint64_t since_version) {
+  if (shard != 0) {
+    return Status::InvalidArgument("single-shard client has no shard " +
+                                   std::to_string(shard));
+  }
+  return ChangesSince(since_version);
+}
+
 Result<BatchResult> CatalogClient::ApplyBatch(
     const std::vector<CatalogMutation>& mutations,
     const BatchOptions& options) {

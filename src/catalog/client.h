@@ -44,6 +44,17 @@ struct ProvenanceStep {
   std::vector<Invocation> invocations;
 };
 
+/// Shard layout of the logical catalog behind a client. A non-sharded
+/// client is one implicit shard with fingerprint 0. The fingerprint is
+/// a stable hash over the shard authorities and count: any resharding
+/// (count change, backend swap) changes it, which is what lets caches
+/// and federated indexes detect that per-shard anchors and cached
+/// query results belong to a dead topology.
+struct ShardTopology {
+  uint32_t shard_count = 1;
+  uint64_t fingerprint = 0;
+};
+
 /// The service boundary in front of a Virtual Data Catalog (Section 4:
 /// every VDC is a *server* reached through vdp:// hyperlinks). All
 /// cross-catalog consumers — the registry, federated indexes,
@@ -88,12 +99,32 @@ class CatalogClient {
   // Reads
   // ------------------------------------------------------------------
 
-  /// The catalog's monotonic edit version (staleness poll).
+  /// The catalog's monotonic edit version (staleness poll). For a
+  /// sharded client this is the *composite* version — the sum of the
+  /// per-shard versions — which is still monotone under mutation but
+  /// is not addressable in any single shard's changelog; delta
+  /// consumers use ShardVersions/ShardChangesSince instead.
   virtual Result<uint64_t> Version() = 0;
   /// The catalog changelog since `since_version` (see
   /// VirtualDataCatalog::ChangesSince for the window contract).
   virtual Result<std::vector<CatalogChange>> ChangesSince(
       uint64_t since_version) = 0;
+
+  /// Shard layout behind this client. Defaults to one shard with
+  /// fingerprint 0; layering clients (caching, resilient) forward it.
+  /// Configuration, not a remote call.
+  virtual ShardTopology shard_topology() const { return ShardTopology{}; }
+
+  /// Per-shard versions, indexed by shard. Sums to Version(). The
+  /// default adapts any single-shard client.
+  virtual Result<std::vector<uint64_t>> ShardVersions();
+
+  /// One shard's changelog since that shard's `since_version` (same
+  /// window contract as ChangesSince). Delta consumers anchor to the
+  /// version of the last change seen *per shard*; the composite
+  /// version is only a staleness poll.
+  virtual Result<std::vector<CatalogChange>> ShardChangesSince(
+      uint32_t shard, uint64_t since_version);
 
   virtual Result<Dataset> GetDataset(std::string_view name) = 0;
   virtual Result<Transformation> GetTransformation(std::string_view name) = 0;

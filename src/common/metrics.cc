@@ -1,0 +1,79 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+namespace vdg {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBucketCount, 0) {}
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kLinearMax) return static_cast<size_t>(value);
+  const int msb = 63 - __builtin_clzll(value);
+  const int shift = msb - static_cast<int>(kSubBits);
+  const size_t group = static_cast<size_t>(msb) - (kSubBits + 1);
+  const size_t sub = static_cast<size_t>(value >> shift) - kSubCount;
+  return kLinearMax + group * kSubCount + sub;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index < kLinearMax) return static_cast<uint64_t>(index);
+  const size_t group = (index - kLinearMax) / kSubCount;
+  const size_t sub = (index - kLinearMax) % kSubCount;
+  const int shift = static_cast<int>(group) + 1;
+  const uint64_t lower = static_cast<uint64_t>(kSubCount + sub) << shift;
+  return lower + ((uint64_t{1} << shift) - 1);
+}
+
+void LatencyHistogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  buckets_[BucketIndex(value)] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+double LatencyHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q=0 -> first sample.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+}  // namespace vdg

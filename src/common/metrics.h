@@ -1,0 +1,71 @@
+#ifndef VDG_COMMON_METRICS_H_
+#define VDG_COMMON_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vdg {
+
+/// HDR-style log-linear latency histogram: constant-time Record with
+/// bounded relative error instead of unbounded per-sample storage.
+///
+/// Bucketing: values below 64 get one bucket each (exact); above that,
+/// each power-of-two range is split into 32 linear sub-buckets, so the
+/// recorded value is always within 1/32 (~3.1%) of the reported one.
+/// The full uint64 range fits in 64 + 58*32 = 1920 buckets (~15 KiB),
+/// cheap enough to keep one histogram per shard / per op class and
+/// Merge() them at report time.
+///
+/// Units are the caller's business — the traffic harness records
+/// nanoseconds. Quantiles report the *upper bound* of the owning
+/// bucket, so ValueAtQuantile never understates a latency.
+///
+/// Not thread-safe: writers keep a histogram per thread (or hold their
+/// own lock) and Merge into one for reporting.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(uint64_t value) { RecordN(value, 1); }
+  void RecordN(uint64_t value, uint64_t count);
+
+  /// Adds every sample of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  /// Exact min/max of recorded values (0 when empty).
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  /// Mean of the exact recorded values (not bucket-quantized).
+  double mean() const;
+
+  /// Smallest value v such that at least q * count() samples are <= v,
+  /// quantized up to the owning bucket's upper bound (and clamped to
+  /// the exact max). q is clamped to [0, 1]; 0 when empty.
+  uint64_t ValueAtQuantile(double q) const;
+
+  /// Bucket math, exposed for tests.
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(size_t index);
+  static size_t bucket_count() { return kBucketCount; }
+
+ private:
+  static constexpr size_t kSubBits = 5;               // 32 sub-buckets
+  static constexpr size_t kSubCount = size_t{1} << kSubBits;
+  static constexpr size_t kLinearMax = kSubCount * 2;  // exact below 64
+  static constexpr size_t kBucketCount =
+      kLinearMax + (64 - (kSubBits + 1)) * kSubCount;  // 1920
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace vdg
+
+#endif  // VDG_COMMON_METRICS_H_

@@ -38,7 +38,9 @@ Status FederatedIndex::AddSource(std::shared_ptr<CatalogClient> client) {
                                  client->authority());
   }
   source_by_authority_[client->authority()] = client.get();
-  sources_.push_back(SourceState{std::move(client), 0, {}});
+  SourceState source;
+  source.client = std::move(client);
+  sources_.push_back(std::move(source));
   return Status::OK();
 }
 
@@ -90,11 +92,13 @@ void FederatedIndex::EraseEntry(SourceState* source, std::string_view kind,
 
 Status FederatedIndex::RebuildSource(SourceState* source) {
   CatalogClient& client = *source->client;
-  // Capture the version BEFORE enumerating: a writer racing the scan
-  // may land changes we partially miss, and recording the pre-scan
-  // version makes the next delta refresh re-apply them (idempotent
-  // upserts) instead of skipping them forever.
-  VDG_ASSIGN_OR_RETURN(uint64_t version_before_scan, client.Version());
+  // Capture the per-shard versions BEFORE enumerating: a writer racing
+  // the scan may land changes we partially miss, and recording the
+  // pre-scan anchors makes the next delta refresh re-apply them
+  // (idempotent upserts) instead of skipping them forever.
+  ShardTopology topo_before_scan = client.shard_topology();
+  VDG_ASSIGN_OR_RETURN(std::vector<uint64_t> anchors_before_scan,
+                       client.ShardVersions());
   // Drop everything this source contributed, then rescan it.
   for (const std::string& key : source->entry_keys) {
     auto it = entries_.find(key);
@@ -136,12 +140,18 @@ Status FederatedIndex::RebuildSource(SourceState* source) {
     ++refresh_stats_.entries_scanned;
   }
   ++refresh_stats_.full_rebuilds;
-  source->version_at_refresh = version_before_scan;
+  source->topology_at_refresh = topo_before_scan;
+  source->shard_anchors = std::move(anchors_before_scan);
+  source->version_at_refresh = 0;
+  for (uint64_t anchor : source->shard_anchors) {
+    source->version_at_refresh += anchor;
+  }
   return Status::OK();
 }
 
 Status FederatedIndex::ApplyDelta(SourceState* source,
-                                  const std::vector<CatalogChange>& changes) {
+                                  const std::vector<CatalogChange>& changes,
+                                  uint64_t* anchor) {
   CatalogClient& client = *source->client;
   // Collapse to the final op per object: a burst of edits to one
   // dataset costs one snapshot, and interleaved define/remove settles
@@ -187,12 +197,46 @@ Status FederatedIndex::ApplyDelta(SourceState* source,
     }
     ++refresh_stats_.entries_applied;
   }
-  ++refresh_stats_.delta_refreshes;
-  // Advance to the last change actually applied, not the catalog's
-  // live version: a writer may have bumped it after ChangesSince
-  // returned, and those changes must survive into the next delta.
+  // Advance to the last change actually applied, not the shard's live
+  // version: a writer may have bumped it after ChangesSince returned,
+  // and those changes must survive into the next delta.
   if (!changes.empty()) {
-    source->version_at_refresh = changes.back().version;
+    *anchor = changes.back().version;
+  }
+  return Status::OK();
+}
+
+Status FederatedIndex::DeltaRefreshSource(SourceState* source,
+                                          const ShardTopology& topo) {
+  CatalogClient& client = *source->client;
+  if (source->shard_anchors.size() != topo.shard_count) {
+    // First refresh of this source: every shard starts from version 0,
+    // matching the pre-shard behavior of ChangesSince(0).
+    source->shard_anchors.assign(topo.shard_count, 0);
+    source->topology_at_refresh = topo;
+  }
+  for (uint32_t shard = 0; shard < topo.shard_count; ++shard) {
+    uint64_t* anchor = &source->shard_anchors[shard];
+    Result<std::vector<CatalogChange>> changes =
+        client.ShardChangesSince(shard, *anchor);
+    if (!changes.ok()) {
+      if (changes.status().code() == StatusCode::kResourceExhausted ||
+          changes.status().IsInvalidArgument()) {
+        // This shard's changelog window no longer reaches our anchor
+        // (or the anchor postdates a reset shard): rescan the whole
+        // source — entries are not attributable to shards, so a
+        // partial per-shard rebuild cannot drop this shard's stale
+        // entries without dropping everyone's.
+        return RebuildSource(source);
+      }
+      return changes.status();
+    }
+    VDG_RETURN_IF_ERROR(ApplyDelta(source, *changes, anchor));
+  }
+  ++refresh_stats_.delta_refreshes;
+  source->version_at_refresh = 0;
+  for (uint64_t anchor : source->shard_anchors) {
+    source->version_at_refresh += anchor;
   }
   return Status::OK();
 }
@@ -213,21 +257,21 @@ Status FederatedIndex::Refresh() {
       return live_version.status();
     }
     if (*live_version != source.version_at_refresh || refresh_count_ == 0) {
-      Result<std::vector<CatalogChange>> changes =
-          source.client->ChangesSince(source.version_at_refresh);
+      // Deltas anchor per shard (a composite version is a sum, not a
+      // changelog position). A fingerprint change means the anchors
+      // describe a dead topology: only a rebuild is sound. Window
+      // misses fall back to a rebuild inside DeltaRefreshSource;
+      // transport failures do NOT — an unreachable source must
+      // surface as an error, not as a silent full rebuild over the
+      // same broken link.
+      ShardTopology topo = source.client->shard_topology();
       Status applied;
-      if (changes.ok()) {
-        applied = ApplyDelta(&source, *changes);
-      } else if (changes.status().code() == StatusCode::kResourceExhausted ||
-                 changes.status().IsInvalidArgument()) {
-        // Changelog window exceeded, or our recorded version predates
-        // (or postdates, after a source reset) the window: rescan.
-        // Transport failures do NOT take this branch — an unreachable
-        // source must surface as an error, not as a silent full
-        // rebuild over the same broken link.
+      if (!source.shard_anchors.empty() &&
+          (topo.fingerprint != source.topology_at_refresh.fingerprint ||
+           topo.shard_count != source.topology_at_refresh.shard_count)) {
         applied = RebuildSource(&source);
       } else {
-        applied = changes.status();
+        applied = DeltaRefreshSource(&source, topo);
       }
       if (!applied.ok()) {
         // Keep the stats invariant: the sum always mirrors the

@@ -47,10 +47,14 @@ struct IndexRefreshStats {
 /// Sources are CatalogClient handles (read-only by construction when
 /// added as raw catalogs), so the same index federates in-process
 /// catalogs and remote endpoints. Refresh() is incremental: each
-/// source exposes a bounded per-version changelog (ChangesSince), and
+/// source exposes a bounded per-version changelog per shard
+/// (ShardChangesSince; one implicit shard for ordinary sources), and
 /// the index applies only the objects that changed since its recorded
-/// version for that source, fetching the changed objects in ONE
-/// batched round trip. When the changelog window no longer reaches
+/// per-shard anchors for that source, fetching the changed objects in
+/// ONE batched round trip per shard. A sharded source's composite
+/// version is a *sum* of shard versions — deltas anchor per shard, and
+/// a topology fingerprint change (resharding) forces that source's
+/// full rebuild. When the changelog window no longer reaches
 /// back far enough, that source alone falls back to a full rescan
 /// (also batched); transport errors (e.g. Unavailable) propagate
 /// instead of silently triggering an expensive rebuild. RebuildAll()
@@ -130,7 +134,19 @@ class FederatedIndex {
  private:
   struct SourceState {
     std::shared_ptr<CatalogClient> client;
+    /// Sum of shard_anchors — the composite version this source was
+    /// last brought current to (what IsStale compares Version()
+    /// against). For a single-shard source this IS the catalog
+    /// version, and the anchor vector has one element.
     uint64_t version_at_refresh = 0;
+    /// Per-shard changelog anchors: the version of the last change
+    /// applied from each shard. A sharded source's composite version
+    /// is a sum — not addressable in any one changelog — so deltas
+    /// anchor per shard or not at all.
+    std::vector<uint64_t> shard_anchors;
+    /// Topology the anchors belong to; a fingerprint change
+    /// (resharding) invalidates them and forces a rebuild.
+    ShardTopology topology_at_refresh;
     /// Entry keys owned by this source, for targeted rescans.
     std::set<std::string> entry_keys;
   };
@@ -142,8 +158,15 @@ class FederatedIndex {
                               std::string_view name);
 
   Status RebuildSource(SourceState* source);
+  /// Brings one source current via per-shard changelog deltas; falls
+  /// back to RebuildSource when any shard's window no longer reaches
+  /// back (or the recorded anchor postdates a reset shard).
+  Status DeltaRefreshSource(SourceState* source, const ShardTopology& topo);
+  /// Applies one shard's changes and advances that shard's `anchor` to
+  /// the last change applied.
   Status ApplyDelta(SourceState* source,
-                    const std::vector<CatalogChange>& changes);
+                    const std::vector<CatalogChange>& changes,
+                    uint64_t* anchor);
   void UpsertEntry(SourceState* source, IndexEntry entry);
   void EraseEntry(SourceState* source, std::string_view kind,
                   std::string_view name);

@@ -139,6 +139,12 @@ std::string CachingCatalogClient::QueryKey(const DerivationQuery& query) {
   return key;
 }
 
+std::string CachingCatalogClient::TopologyKey(std::string key) const {
+  key.push_back(kFieldSep);
+  key += std::to_string(upstream_->shard_topology().fingerprint);
+  return key;
+}
+
 template <typename Fetch>
 Result<NameList> CachingCatalogClient::CachedFindLocked(std::string key,
                                                         Fetch&& fetch) {
@@ -230,24 +236,85 @@ Result<ObjectRecord> CachingCatalogClient::GetOrFillLocked(
 Status CachingCatalogClient::Revalidate() {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.revalidations;
-  Result<std::vector<CatalogChange>> changes =
-      upstream_->ChangesSince(synced_version_);
-  NoteUpstreamLocked(changes.ok() ? Status::OK() : changes.status());
-  if (changes.ok()) {
-    for (const CatalogChange& change : *changes) ApplyChangeLocked(change);
-    if (!changes->empty()) synced_version_ = changes->back().version;
-    return Status::OK();
+  const ShardTopology topo = upstream_->shard_topology();
+  if (topo.shard_count <= 1 && topo.fingerprint == 0) {
+    // Unsharded upstream: the original one-round-trip path.
+    Result<std::vector<CatalogChange>> changes =
+        upstream_->ChangesSince(synced_version_);
+    NoteUpstreamLocked(changes.ok() ? Status::OK() : changes.status());
+    if (changes.ok()) {
+      for (const CatalogChange& change : *changes) ApplyChangeLocked(change);
+      if (!changes->empty()) synced_version_ = changes->back().version;
+      return Status::OK();
+    }
+    if (changes.status().code() == StatusCode::kResourceExhausted ||
+        changes.status().IsInvalidArgument()) {
+      // The server's bounded changelog no longer reaches our sync point
+      // (or our version predates/postdates its window after a reset):
+      // nothing cached can be trusted individually.
+      FlushLocked();
+      VDG_ASSIGN_OR_RETURN(synced_version_, upstream_->Version());
+      return Status::OK();
+    }
+    return changes.status();
   }
-  if (changes.status().code() == StatusCode::kResourceExhausted ||
-      changes.status().IsInvalidArgument()) {
-    // The server's bounded changelog no longer reaches our sync point
-    // (or our version predates/postdates its window after a reset):
-    // nothing cached can be trusted individually.
+
+  // Sharded upstream: its composite version is a sum, addressable in
+  // no single changelog, so deltas anchor per shard.
+  bool resync = false;
+  if (shard_synced_.empty()) {
+    // First contact: walk each shard's changelog from zero, the exact
+    // analog of the single-shard first Revalidate.
+    shard_synced_.assign(topo.shard_count, 0);
+  } else if (topo.fingerprint != synced_topology_.fingerprint ||
+             topo.shard_count != synced_topology_.shard_count) {
+    // Reshard: the anchors belong to a dead topology, and no cached
+    // entry can be attributed across the swap.
+    resync = true;
+  }
+  if (!resync) {
+    for (uint32_t shard = 0; shard < topo.shard_count; ++shard) {
+      Result<std::vector<CatalogChange>> changes =
+          upstream_->ShardChangesSince(shard, shard_synced_[shard]);
+      NoteUpstreamLocked(changes.ok() ? Status::OK() : changes.status());
+      if (changes.ok()) {
+        for (const CatalogChange& change : *changes) ApplyChangeLocked(change);
+        if (!changes->empty()) shard_synced_[shard] = changes->back().version;
+        continue;
+      }
+      if (changes.status().code() == StatusCode::kResourceExhausted ||
+          changes.status().IsInvalidArgument()) {
+        // This shard's window no longer reaches our anchor; nothing
+        // cached can be trusted individually.
+        resync = true;
+        break;
+      }
+      return changes.status();
+    }
+  }
+  if (resync) {
     FlushLocked();
-    VDG_ASSIGN_OR_RETURN(synced_version_, upstream_->Version());
-    return Status::OK();
+    Result<std::vector<uint64_t>> versions = upstream_->ShardVersions();
+    NoteUpstreamLocked(versions.ok() ? Status::OK() : versions.status());
+    VDG_ASSIGN_OR_RETURN(shard_synced_, std::move(versions));
   }
-  return changes.status();
+  synced_topology_ = topo;
+  synced_version_ = 0;
+  for (uint64_t anchor : shard_synced_) synced_version_ += anchor;
+  return Status::OK();
+}
+
+ShardTopology CachingCatalogClient::shard_topology() const {
+  return upstream_->shard_topology();
+}
+
+Result<std::vector<uint64_t>> CachingCatalogClient::ShardVersions() {
+  return upstream_->ShardVersions();
+}
+
+Result<std::vector<CatalogChange>> CachingCatalogClient::ShardChangesSince(
+    uint32_t shard, uint64_t since_version) {
+  return upstream_->ShardChangesSince(shard, since_version);
 }
 
 Result<uint64_t> CachingCatalogClient::Version() {
@@ -337,21 +404,22 @@ Result<std::vector<Invocation>> CachingCatalogClient::InvocationsOf(
 Result<NameList> CachingCatalogClient::FindDatasets(
     const DatasetQuery& query) {
   std::lock_guard<std::mutex> lock(mu_);
-  return CachedFindLocked(QueryKey(query),
+  return CachedFindLocked(TopologyKey(QueryKey(query)),
                           [&] { return upstream_->FindDatasets(query); });
 }
 
 Result<NameList> CachingCatalogClient::FindTransformations(
     const TransformationQuery& query) {
   std::lock_guard<std::mutex> lock(mu_);
-  return CachedFindLocked(
-      QueryKey(query), [&] { return upstream_->FindTransformations(query); });
+  return CachedFindLocked(TopologyKey(QueryKey(query)), [&] {
+    return upstream_->FindTransformations(query);
+  });
 }
 
 Result<NameList> CachingCatalogClient::FindDerivations(
     const DerivationQuery& query) {
   std::lock_guard<std::mutex> lock(mu_);
-  return CachedFindLocked(QueryKey(query),
+  return CachedFindLocked(TopologyKey(QueryKey(query)),
                           [&] { return upstream_->FindDerivations(query); });
 }
 

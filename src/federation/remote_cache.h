@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "catalog/client.h"
 
@@ -163,7 +164,10 @@ struct DegradedReadOptions {
 ///
 /// Find* result sets are cached whole under a *normalized* query key:
 /// the predicate conjunction is order-insensitive, so two queries that
-/// differ only in predicate order share one cache entry. Because the
+/// differ only in predicate order share one cache entry. The key also
+/// carries the upstream's shard-set fingerprint, so after a reshard a
+/// cached result from the old topology can never answer a new query
+/// (it simply never matches again and ages out). Because the
 /// per-object changelog cannot tell which result sets a change
 /// perturbs, invalidation is per query *kind*: any dataset change (or
 /// type change — the conformance closure moves) drops every cached
@@ -196,17 +200,27 @@ class CachingCatalogClient : public CatalogClient {
     return stats_;
   }
 
-  /// One ChangesSince round trip: evicts precisely the changed
-  /// objects, or flushes everything when the changelog window no
-  /// longer covers our sync point. No-op round-trip-wise only when
-  /// the server reports an error other than window overflow.
+  /// Brings the cache current against the upstream changelog, evicting
+  /// precisely the changed objects. Against an unsharded upstream this
+  /// is ONE ChangesSince round trip; against a sharded upstream (a
+  /// composite version is a sum, addressable in no single changelog)
+  /// it walks ShardChangesSince per shard from per-shard anchors. A
+  /// changelog window miss — or a topology-fingerprint change
+  /// (reshard), after which nothing cached can be attributed — flushes
+  /// everything and re-syncs the anchors.
   Status Revalidate();
 
-  /// The server version this cache last synchronized against.
+  /// The server version this cache last synchronized against (the sum
+  /// of the per-shard anchors when the upstream is sharded).
   uint64_t synced_version() const {
     std::lock_guard<std::mutex> lock(mu_);
     return synced_version_;
   }
+
+  ShardTopology shard_topology() const override;
+  Result<std::vector<uint64_t>> ShardVersions() override;
+  Result<std::vector<CatalogChange>> ShardChangesSince(
+      uint32_t shard, uint64_t since_version) override;
 
   Result<uint64_t> Version() override;
   /// Forwards upstream, then piggybacks the observed change window
@@ -263,6 +277,12 @@ class CachingCatalogClient : public CatalogClient {
   static std::string QueryKey(const DatasetQuery& query);
   static std::string QueryKey(const TransformationQuery& query);
   static std::string QueryKey(const DerivationQuery& query);
+  /// Appends the upstream shard-set fingerprint to a Find* query key:
+  /// a reshard changes the fingerprint, so a result set cached under
+  /// the old topology can never satisfy a post-reshard query. Appended,
+  /// not prefixed — FlushQueriesLocked's range erase keys on the
+  /// leading kind tag.
+  std::string TopologyKey(std::string key) const;
 
   /// Cached record for (kind, name), filling from upstream on a miss.
   /// mu_ must be held.
@@ -308,6 +328,12 @@ class CachingCatalogClient : public CatalogClient {
   /// fresh vector<string> — repeated hits allocate nothing.
   LruCacheMap<NameList> queries_;
   uint64_t synced_version_ = 0;
+  /// Per-shard changelog anchors against a sharded upstream, plus the
+  /// topology they belong to. Empty until the first Revalidate against
+  /// a sharded upstream; an unsharded upstream never populates them
+  /// (synced_version_ alone is its anchor, exactly as before).
+  std::vector<uint64_t> shard_synced_;
+  ShardTopology synced_topology_;
   CacheStats stats_;
   DegradedReadOptions degraded_;
   bool upstream_down_ = false;

@@ -21,7 +21,8 @@ bool DirectionCompatible(ArgDirection formal, ArgDirection actual) {
 Status ValidateDerivationAgainst(const Derivation& derivation,
                                  const Transformation& transformation,
                                  const TypeRegistry& registry,
-                                 const DatasetTypeLookup& lookup_type) {
+                                 const DatasetTypeLookup& lookup_type,
+                                 const ValidationPolicy& policy) {
   VDG_RETURN_IF_ERROR(derivation.Validate());
   VDG_RETURN_IF_ERROR(transformation.Validate());
 
@@ -58,6 +59,7 @@ Status ValidateDerivationAgainst(const Derivation& derivation,
         // different catalog, so they pass through here and are checked
         // by the federation layer.
         if (IsVdpUri(*actual.dataset)) continue;
+        if (policy.allow_external_inputs) continue;
         if (DirectionReads(formal->direction) &&
             formal->direction != ArgDirection::kInOut) {
           return Status::TypeError("derivation " + derivation.name() +

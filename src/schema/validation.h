@@ -18,6 +18,16 @@ namespace vdg {
 using DatasetTypeLookup =
     std::function<const DatasetType*(std::string_view dataset_name)>;
 
+/// Knobs for ValidateDerivationAgainst.
+struct ValidationPolicy {
+  /// When true, an input dataset unknown to `lookup_type` passes the
+  /// existence check the same way a vdp:// hyperlink does. Set by a
+  /// catalog operating in partition mode (one shard of a sharded
+  /// logical catalog): the input may live on another shard, and the
+  /// routing layer owns the existence check.
+  bool allow_external_inputs = false;
+};
+
 /// Type-checks `derivation` against `transformation` (Section 3.2's
 /// conformance rule):
 ///  - every formal is bound by an actual or has a default;
@@ -30,7 +40,8 @@ using DatasetTypeLookup =
 Status ValidateDerivationAgainst(const Derivation& derivation,
                                  const Transformation& transformation,
                                  const TypeRegistry& registry,
-                                 const DatasetTypeLookup& lookup_type);
+                                 const DatasetTypeLookup& lookup_type,
+                                 const ValidationPolicy& policy = {});
 
 /// The fully expanded command for one execution of a simple
 /// transformation under a derivation's actual arguments.

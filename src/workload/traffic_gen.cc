@@ -1,0 +1,310 @@
+#include "workload/traffic_gen.h"
+
+#include <chrono>
+#include <functional>
+#include <random>
+#include <utility>
+
+#include "catalog/batch.h"
+#include "schema/derivation.h"
+#include "schema/transformation.h"
+
+namespace vdg {
+namespace workload {
+
+namespace {
+
+constexpr char kTransformation[] = "xf-traffic";
+
+/// Seconds elapsed since `start` on the real (wall) clock — the
+/// measured service time that feeds the virtual-time queues.
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string BucketPrefix(uint32_t bucket) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string prefix = "ds-";
+  prefix.push_back(kHex[(bucket >> 4) & 0xf]);
+  prefix.push_back(kHex[bucket & 0xf]);
+  prefix.push_back('-');
+  return prefix;
+}
+
+uint64_t VirtualNanos(double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<uint64_t>(seconds * 1e9);
+}
+
+/// Executes one scatter/gather discovery op: issues `leg` against
+/// every shard (the same per-shard query ShardedCatalogClient sends),
+/// measures each leg and charges it to that shard's virtual clock,
+/// then measures the client-side gather merge. False when any leg
+/// fails (the op errors; no latency is recorded, matching the
+/// fail-the-gather contract).
+bool GatherOp(const std::vector<std::shared_ptr<CatalogClient>>& shards,
+              const std::function<Result<NameList>(CatalogClient&)>& leg,
+              double now, size_t merge_limit, std::vector<double>* free_at,
+              double* completion_out) {
+  std::vector<NameList> lists;
+  lists.reserve(shards.size());
+  double completion = now;
+  for (size_t k = 0; k < shards.size(); ++k) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<NameList> result = leg(*shards[k]);
+    const double service = SecondsSince(start);
+    if (!result.ok()) return false;
+    lists.push_back(*std::move(result));
+    double leg_done = std::max(now, (*free_at)[k]) + service;
+    (*free_at)[k] = leg_done;
+    if (leg_done > completion) completion = leg_done;
+  }
+  if (shards.size() > 1) {
+    // The merge runs on the issuing user's client, modeled as
+    // infinitely parallel: it delays this op but occupies no shard.
+    const auto start = std::chrono::steady_clock::now();
+    NameList merged = MergeSortedNameLists(lists, merge_limit);
+    completion += SecondsSince(start);
+    if (merged.size() > lists.size()) {
+      // Data dependency so the optimizer cannot hoist the merge.
+      lists.clear();
+    }
+  }
+  *completion_out = completion;
+  return true;
+}
+
+}  // namespace
+
+TrafficHarness::TrafficHarness(
+    std::vector<std::shared_ptr<CatalogClient>> shards,
+    TrafficOptions options)
+    : shards_(std::move(shards)), options_(options) {
+  ShardedClientOptions client_options;
+  client_options.id_tag = "tg";
+  client_ =
+      std::make_unique<ShardedCatalogClient>(shards_, client_options);
+}
+
+Status TrafficHarness::SeedCorpus() {
+  if (!corpus_.empty()) return Status::OK();
+  if (shards_.empty()) return Status::InvalidArgument("no shards");
+  if (options_.corpus_buckets == 0) {
+    return Status::InvalidArgument("corpus needs at least one bucket");
+  }
+
+  Transformation xf(kTransformation, Transformation::Kind::kSimple);
+  FormalArg out;
+  out.name = "out";
+  out.direction = ArgDirection::kOut;
+  VDG_RETURN_IF_ERROR(xf.AddArg(std::move(out)));
+  FormalArg in;
+  in.name = "in";
+  in.direction = ArgDirection::kIn;
+  VDG_RETURN_IF_ERROR(xf.AddArg(std::move(in)));
+  xf.set_executable("/usr/bin/traffic-app");
+  Status defined = client_->DefineTransformation(std::move(xf));
+  if (!defined.ok() && !defined.IsAlreadyExists()) return defined;
+
+  corpus_.reserve(options_.corpus_datasets);
+  std::vector<CatalogMutation> batch;
+  constexpr size_t kBatchSize = 2048;
+  for (uint64_t n = 0; n < options_.corpus_datasets; ++n) {
+    const uint32_t bucket =
+        static_cast<uint32_t>(n % options_.corpus_buckets);
+    Dataset ds;
+    ds.name = BucketPrefix(bucket) + std::to_string(n);
+    ds.descriptor = DatasetDescriptor::File("/traffic/" + ds.name);
+    ds.size_bytes = 1 << 20;
+    ds.annotations.Set("bin", static_cast<int64_t>(bucket));
+    corpus_.push_back(ds.name);
+    batch.push_back(CatalogMutation::DefineDataset(std::move(ds)));
+    if (batch.size() == kBatchSize || n + 1 == options_.corpus_datasets) {
+      VDG_ASSIGN_OR_RETURN(BatchResult result, client_->ApplyBatch(batch));
+      if (!result.first_error.ok() && !result.first_error.IsAlreadyExists()) {
+        return result.first_error;
+      }
+      batch.clear();
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> TrafficHarness::MeasureQueryWork(const DatasetQuery& query) {
+  double total = 0;
+  for (const std::shared_ptr<CatalogClient>& shard : shards_) {
+    const auto start = std::chrono::steady_clock::now();
+    VDG_RETURN_IF_ERROR(shard->FindDatasets(query).status());
+    total += SecondsSince(start);
+  }
+  return total;
+}
+
+Result<double> TrafficHarness::CalibrateOfferedRate() {
+  // S_ref: mean total (across-shard) service time of a bucket query.
+  // The per-shard indexes partition the same corpus, so the sum of
+  // leg times is (nearly) topology-independent and two harnesses over
+  // different shard counts land on (nearly) the same offered rate.
+  const uint32_t samples = std::min<uint32_t>(8, options_.corpus_buckets);
+  double total = 0;
+  for (uint32_t b = 0; b < samples; ++b) {
+    DatasetQuery query;
+    query.name_prefix = BucketPrefix(b);
+    VDG_ASSIGN_OR_RETURN(double work, MeasureQueryWork(query));
+    query.predicates = {
+        {"bin", PredicateOp::kEq, static_cast<int64_t>(b)}};
+    VDG_ASSIGN_OR_RETURN(double predicate_work, MeasureQueryWork(query));
+    total += (work + predicate_work) / 2;
+  }
+  const double s_ref = std::max(total / samples, 1e-7);
+  return options_.overload_factor / s_ref;
+}
+
+Result<TrafficReport> TrafficHarness::Run() {
+  if (corpus_.empty()) {
+    return Status::FailedPrecondition("SeedCorpus() has not run");
+  }
+  if (calibrated_rate_ == 0.0) {
+    if (options_.offered_rate > 0) {
+      calibrated_rate_ = options_.offered_rate;
+    } else {
+      VDG_ASSIGN_OR_RETURN(calibrated_rate_, CalibrateOfferedRate());
+    }
+  }
+  const double rate = calibrated_rate_;
+
+  TrafficReport report;
+  report.operations = options_.operations;
+  report.shard_count = static_cast<uint32_t>(shards_.size());
+  report.offered_rate = rate;
+
+  std::mt19937_64 rng(options_.seed);
+  std::exponential_distribution<double> gap(rate);
+  std::uniform_real_distribution<double> mix(0.0, 1.0);
+  std::vector<double> free_at(shards_.size(), 0.0);
+  double now = 0.0;
+  double horizon = 0.0;  // last completion seen
+
+  for (uint64_t i = 0; i < options_.operations; ++i) {
+    now += gap(rng);
+    const uint64_t user = rng() % std::max<uint64_t>(1, options_.users);
+    const double pick = mix(rng);
+
+    if (pick < options_.discovery_fraction) {
+      const uint32_t bucket =
+          static_cast<uint32_t>(user % options_.corpus_buckets);
+      double completion = now;
+      bool ok;
+      if (rng() % 100 < 15) {
+        DerivationQuery query;
+        query.name_prefix = "dv-traffic-";
+        query.limit = 256;
+        ok = GatherOp(
+            shards_,
+            [&](CatalogClient& c) { return c.FindDerivations(query); }, now,
+            query.limit, &free_at, &completion);
+      } else {
+        DatasetQuery query;
+        query.name_prefix = BucketPrefix(bucket);
+        if (rng() % 10 < 3) {
+          query.predicates = {
+              {"bin", PredicateOp::kEq, static_cast<int64_t>(bucket)}};
+        }
+        ok = GatherOp(
+            shards_, [&](CatalogClient& c) { return c.FindDatasets(query); },
+            now, query.limit, &free_at, &completion);
+      }
+      if (!ok) {
+        ++report.errors;
+        continue;
+      }
+      ++report.discovery_ops;
+      const uint64_t latency = VirtualNanos(completion - now);
+      report.latency.Record(latency);
+      report.discovery_latency.Record(latency);
+      if (completion > horizon) horizon = completion;
+      continue;
+    }
+
+    // Mutations go through the sharded client (the system under test)
+    // and occupy their home shard for the measured duration.
+    std::string target;
+    Status status = Status::OK();
+    double service = 0.0;
+    if (pick < options_.discovery_fraction + options_.derivation_fraction) {
+      const uint64_t seq = derivation_seq_++;
+      std::string name = "dv-traffic-" + std::to_string(seq);
+      Derivation dv(name, kTransformation);
+      Status arg_status = dv.AddArg(ActualArg::DatasetRef(
+          "out", "dx-traffic-" + std::to_string(seq), ArgDirection::kOut));
+      if (arg_status.ok()) {
+        arg_status = dv.AddArg(ActualArg::DatasetRef(
+            "in", corpus_[rng() % corpus_.size()], ArgDirection::kIn));
+      }
+      target = std::move(name);
+      const auto start = std::chrono::steady_clock::now();
+      status = arg_status.ok() ? client_->DefineDerivation(std::move(dv))
+                               : arg_status;
+      service = SecondsSince(start);
+      if (status.ok()) ++report.derivation_ops;
+    } else {
+      target = corpus_[user % corpus_.size()];
+      const auto start = std::chrono::steady_clock::now();
+      status = client_->Annotate("dataset", target, "hot",
+                                 static_cast<int64_t>(i));
+      service = SecondsSince(start);
+      if (status.ok()) ++report.annotation_ops;
+    }
+    if (!status.ok()) {
+      ++report.errors;
+      continue;
+    }
+    const uint32_t home = client_->ShardOf(target);
+    const double completion = std::max(now, free_at[home]) + service;
+    free_at[home] = completion;
+    if (completion > horizon) horizon = completion;
+    const uint64_t latency = VirtualNanos(completion - now);
+    report.latency.Record(latency);
+    report.mutation_latency.Record(latency);
+  }
+
+  report.virtual_seconds = std::max(horizon, now);
+  if (report.virtual_seconds > 0) {
+    const double completed =
+        static_cast<double>(options_.operations - report.errors);
+    report.completed_rate = completed / report.virtual_seconds;
+    report.query_rate =
+        static_cast<double>(report.discovery_ops) / report.virtual_seconds;
+  }
+  return report;
+}
+
+Result<std::unique_ptr<TrafficWorld>> MakeTrafficWorld(
+    uint32_t shard_count, TrafficOptions options) {
+  if (shard_count == 0) {
+    return Status::InvalidArgument("shard_count must be positive");
+  }
+  auto world = std::make_unique<TrafficWorld>();
+  std::vector<std::shared_ptr<CatalogClient>> clients;
+  for (uint32_t k = 0; k < shard_count; ++k) {
+    auto catalog = std::make_unique<VirtualDataCatalog>(
+        "traffic-s" + std::to_string(k) + ".org");
+    // Cross-shard referential checks move to the sharded client; a
+    // single shard keeps full local validation (the unsharded
+    // baseline stays bit-identical to a plain catalog).
+    if (shard_count > 1) catalog->set_partition_mode(true);
+    VDG_RETURN_IF_ERROR(catalog->Open());
+    clients.push_back(
+        std::make_shared<InProcessCatalogClient>(catalog.get()));
+    world->catalogs.push_back(std::move(catalog));
+  }
+  world->harness =
+      std::make_unique<TrafficHarness>(std::move(clients), options);
+  VDG_RETURN_IF_ERROR(world->harness->SeedCorpus());
+  return world;
+}
+
+}  // namespace workload
+}  // namespace vdg

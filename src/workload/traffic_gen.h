@@ -1,0 +1,144 @@
+#ifndef VDG_WORKLOAD_TRAFFIC_GEN_H_
+#define VDG_WORKLOAD_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/sharding.h"
+#include "common/metrics.h"
+
+namespace vdg {
+namespace workload {
+
+/// Shape of the modeled user population and its offered load.
+///
+/// The harness is OPEN-LOOP: arrivals are a Poisson process at a fixed
+/// offered rate — the superposition of `users` independent thin
+/// streams, which is how a million real users present to a shared
+/// catalog — and an op's latency includes the time it queued behind
+/// earlier ops, so saturation shows up as unbounded p99 instead of the
+/// silent back-off a closed loop would produce.
+struct TrafficOptions {
+  /// Modeled user population. Each arrival is attributed to a user;
+  /// the user's identity picks its discovery locality (name-prefix
+  /// bucket) and annotation targets.
+  uint64_t users = 1'000'000;
+  /// Arrivals to simulate per Run().
+  uint64_t operations = 4000;
+  /// Corpus size seeded before the run.
+  uint64_t corpus_datasets = 20000;
+  /// Name-prefix buckets the corpus (and discovery queries) spread
+  /// across; also the cardinality of the "bin" predicate attribute.
+  uint32_t corpus_buckets = 32;
+  /// Offered load in ops per virtual second. 0 = calibrate from
+  /// measured service times: rate = overload_factor / S_ref where
+  /// S_ref is the mean TOTAL service time of a sample discovery query
+  /// summed across shards — a topology-independent quantity, so two
+  /// harnesses over different shard counts calibrate to (nearly) the
+  /// same offered load. To compare topologies at EXACTLY equal load,
+  /// run one harness, read report.offered_rate, and pin it here for
+  /// the rest.
+  double offered_rate = 0.0;
+  double overload_factor = 6.0;
+  /// Op mix: discovery (predicate queries), derivation definition,
+  /// annotation. Remainder after the first two is annotation.
+  double discovery_fraction = 0.70;
+  double derivation_fraction = 0.15;
+  uint64_t seed = 42;
+};
+
+/// What one Run() produced. Latencies are VIRTUAL nanoseconds (see
+/// TrafficHarness); rates are per virtual second.
+struct TrafficReport {
+  uint64_t operations = 0;
+  uint64_t discovery_ops = 0;
+  uint64_t derivation_ops = 0;
+  uint64_t annotation_ops = 0;
+  uint64_t errors = 0;
+  uint32_t shard_count = 1;
+  double offered_rate = 0.0;
+  /// Ops per virtual second actually sustained: operations divided by
+  /// first-arrival-to-last-completion. Equals offered_rate when the
+  /// shards keep up; collapses to aggregate service capacity when
+  /// they saturate — the scaling number the 1-vs-8-shard gate reads.
+  double completed_rate = 0.0;
+  /// Discovery (predicate-query) ops per virtual second.
+  double query_rate = 0.0;
+  double virtual_seconds = 0.0;
+  LatencyHistogram latency;            // all ops
+  LatencyHistogram discovery_latency;  // scatter/gather queries
+  LatencyHistogram mutation_latency;   // derivations + annotations
+};
+
+/// Open-loop traffic generator over a sharded catalog, built for a
+/// one-core host: arrivals and queueing happen in VIRTUAL time, while
+/// every service time is REAL — measured wall-clock of executing the
+/// op against the actual shard catalogs. Each shard is modeled as one
+/// single-threaded server with a FIFO queue (which is what one
+/// catalog server process is); the client side (scatter issue, gather
+/// merge) is modeled as infinitely parallel since each modeled user
+/// runs its own client.
+///
+/// A point op (derivation, annotation) occupies its home shard for
+/// its measured duration. A discovery op fans out: the harness issues
+/// each per-shard leg directly — the same query ShardedCatalogClient
+/// would send — measures each leg, charges it to that shard's clock,
+/// completes at the max leg completion, then adds the measured
+/// MergeSortedNameLists gather cost on the client side. Scaling is
+/// therefore an empirical result (smaller per-shard indexes, real
+/// merge overhead, real imbalance), not an artifact of dividing one
+/// number by N.
+///
+/// Not thread-safe; one harness per thread.
+class TrafficHarness {
+ public:
+  /// `shards` are the shard backends (order defines the topology).
+  /// Multi-shard backends must be partition-mode catalogs — see
+  /// ShardedCatalogClient. MakeTrafficWorld below sets this up.
+  TrafficHarness(std::vector<std::shared_ptr<CatalogClient>> shards,
+                 TrafficOptions options = {});
+
+  /// Seeds the corpus through the sharded client: one broadcast
+  /// transformation plus corpus_datasets datasets spread over
+  /// corpus_buckets name-prefix buckets, each annotated with its
+  /// bucket as "bin" (batched; placement is real hash routing).
+  Status SeedCorpus();
+
+  /// Simulates options.operations arrivals. Repeatable on the same
+  /// instance: derivation names never repeat, so the corpus grows but
+  /// the run never trips AlreadyExists.
+  Result<TrafficReport> Run();
+
+  /// The system under test (also how callers inspect routing).
+  ShardedCatalogClient& client() { return *client_; }
+
+ private:
+  Result<double> CalibrateOfferedRate();
+  /// Sum of per-shard wall-clock leg times for one dataset query.
+  Result<double> MeasureQueryWork(const DatasetQuery& query);
+
+  std::vector<std::shared_ptr<CatalogClient>> shards_;
+  TrafficOptions options_;
+  std::unique_ptr<ShardedCatalogClient> client_;
+  std::vector<std::string> corpus_;  // seeded dataset names
+  double calibrated_rate_ = 0.0;
+  uint64_t derivation_seq_ = 0;
+};
+
+/// N in-process shard catalogs (partition mode when N > 1) plus a
+/// harness over them: the standard bench/test fixture.
+struct TrafficWorld {
+  std::vector<std::unique_ptr<VirtualDataCatalog>> catalogs;
+  std::unique_ptr<TrafficHarness> harness;
+};
+
+Result<std::unique_ptr<TrafficWorld>> MakeTrafficWorld(
+    uint32_t shard_count, TrafficOptions options = {});
+
+}  // namespace workload
+}  // namespace vdg
+
+#endif  // VDG_WORKLOAD_TRAFFIC_GEN_H_

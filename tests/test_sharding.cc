@@ -1,0 +1,729 @@
+// ShardedCatalogClient invariants (ISSUE 10): result-identity with an
+// unsharded catalog across randomized predicate mixes, fail-closed
+// partial-failure behavior, composite-version semantics, and the two
+// coherence satellites — query-cache keys carrying the shard-set
+// fingerprint, and FederatedIndex per-shard delta anchors converging
+// with a full rebuild even when a refresh lands mid-ApplyBatch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/sharding.h"
+#include "common/rng.h"
+#include "federation/index.h"
+#include "federation/remote_cache.h"
+#include "schema/derivation.h"
+#include "schema/transformation.h"
+
+namespace vdg {
+namespace {
+
+// ---------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------
+
+/// Forwarding shard wrapper whose transport can be "unplugged": every
+/// call fails with Unavailable while down. What a crashed shard server
+/// looks like to the client.
+class FlakyShard : public CatalogClient {
+ public:
+  explicit FlakyShard(std::shared_ptr<CatalogClient> inner)
+      : inner_(std::move(inner)) {}
+
+  void set_down(bool down) { down_ = down; }
+
+  const std::string& authority() const override {
+    return inner_->authority();
+  }
+  bool read_only() const override { return inner_->read_only(); }
+
+  Result<uint64_t> Version() override {
+    if (down_) return Down();
+    return inner_->Version();
+  }
+  Result<std::vector<CatalogChange>> ChangesSince(uint64_t v) override {
+    if (down_) return Down();
+    return inner_->ChangesSince(v);
+  }
+  Result<Dataset> GetDataset(std::string_view name) override {
+    if (down_) return Down();
+    return inner_->GetDataset(name);
+  }
+  Result<Transformation> GetTransformation(std::string_view name) override {
+    if (down_) return Down();
+    return inner_->GetTransformation(name);
+  }
+  Result<Derivation> GetDerivation(std::string_view name) override {
+    if (down_) return Down();
+    return inner_->GetDerivation(name);
+  }
+  Result<bool> HasDataset(std::string_view name) override {
+    if (down_) return Down();
+    return inner_->HasDataset(name);
+  }
+  Result<bool> IsMaterialized(std::string_view dataset) override {
+    if (down_) return Down();
+    return inner_->IsMaterialized(dataset);
+  }
+  Result<std::string> ProducerOf(std::string_view dataset) override {
+    if (down_) return Down();
+    return inner_->ProducerOf(dataset);
+  }
+  Result<std::vector<Invocation>> InvocationsOf(
+      std::string_view derivation) override {
+    if (down_) return Down();
+    return inner_->InvocationsOf(derivation);
+  }
+  Result<NameList> FindDatasets(const DatasetQuery& query) override {
+    if (down_) return Down();
+    return inner_->FindDatasets(query);
+  }
+  Result<NameList> FindTransformations(
+      const TransformationQuery& query) override {
+    if (down_) return Down();
+    return inner_->FindTransformations(query);
+  }
+  Result<NameList> FindDerivations(const DerivationQuery& query) override {
+    if (down_) return Down();
+    return inner_->FindDerivations(query);
+  }
+  Result<NameList> AllNames(std::string_view kind) override {
+    if (down_) return Down();
+    return inner_->AllNames(kind);
+  }
+  Result<bool> TypeConforms(const DatasetType& type,
+                            const DatasetType& against) override {
+    if (down_) return Down();
+    return inner_->TypeConforms(type, against);
+  }
+  Result<std::vector<ObjectRecord>> BatchGet(
+      const std::vector<ObjectKey>& keys) override {
+    if (down_) return Down();
+    return inner_->BatchGet(keys);
+  }
+  Result<ProvenanceStep> GetProvenanceStep(
+      std::string_view dataset) override {
+    if (down_) return Down();
+    return inner_->GetProvenanceStep(dataset);
+  }
+  Status DefineDataset(Dataset dataset) override {
+    if (down_) return Down();
+    return inner_->DefineDataset(std::move(dataset));
+  }
+  Status DefineTransformation(Transformation transformation) override {
+    if (down_) return Down();
+    return inner_->DefineTransformation(std::move(transformation));
+  }
+  Status DefineDerivation(Derivation derivation) override {
+    if (down_) return Down();
+    return inner_->DefineDerivation(std::move(derivation));
+  }
+  Status Annotate(std::string_view kind, std::string_view name,
+                  std::string_view key, AttributeValue value) override {
+    if (down_) return Down();
+    return inner_->Annotate(kind, name, key, std::move(value));
+  }
+  Result<std::string> AddReplica(Replica replica) override {
+    if (down_) return Down();
+    return inner_->AddReplica(std::move(replica));
+  }
+  Result<std::string> RecordInvocation(Invocation invocation) override {
+    if (down_) return Down();
+    return inner_->RecordInvocation(std::move(invocation));
+  }
+  Status SetDatasetSize(std::string_view name, int64_t size_bytes) override {
+    if (down_) return Down();
+    return inner_->SetDatasetSize(name, size_bytes);
+  }
+  Status InvalidateReplica(std::string_view id) override {
+    if (down_) return Down();
+    return inner_->InvalidateReplica(id);
+  }
+  Result<BatchResult> ApplyBatch(const std::vector<CatalogMutation>& m,
+                                 const BatchOptions& options) override {
+    if (down_) return Down();
+    return inner_->ApplyBatch(m, options);
+  }
+
+ private:
+  static Status Down() { return Status::Unavailable("shard down"); }
+  std::shared_ptr<CatalogClient> inner_;
+  bool down_ = false;
+};
+
+/// N partition-mode shard catalogs behind a ShardedCatalogClient.
+struct World {
+  std::vector<std::unique_ptr<VirtualDataCatalog>> catalogs;
+  std::vector<std::shared_ptr<CatalogClient>> clients;
+  std::unique_ptr<ShardedCatalogClient> sharded;
+};
+
+World MakeWorld(uint32_t shard_count, ShardedClientOptions options = {}) {
+  World world;
+  for (uint32_t k = 0; k < shard_count; ++k) {
+    auto catalog = std::make_unique<VirtualDataCatalog>(
+        "shard" + std::to_string(k) + ".org");
+    if (shard_count > 1) catalog->set_partition_mode(true);
+    EXPECT_TRUE(catalog->Open().ok());
+    world.clients.push_back(
+        std::make_shared<InProcessCatalogClient>(catalog.get()));
+    world.catalogs.push_back(std::move(catalog));
+  }
+  world.sharded =
+      std::make_unique<ShardedCatalogClient>(world.clients, options);
+  return world;
+}
+
+/// One unsharded reference catalog behind a plain in-process client.
+struct Reference {
+  std::unique_ptr<VirtualDataCatalog> catalog;
+  std::shared_ptr<CatalogClient> client;
+};
+
+Reference MakeReference() {
+  Reference ref;
+  ref.catalog = std::make_unique<VirtualDataCatalog>("ref.org");
+  EXPECT_TRUE(ref.catalog->Open().ok());
+  ref.client = std::make_shared<InProcessCatalogClient>(ref.catalog.get());
+  return ref;
+}
+
+/// Applies one deterministic mixed workload through any client: the
+/// same seed produces the same logical catalog content, so a sharded
+/// client and the unsharded reference can be diffed query-by-query.
+Status ApplyWorkload(CatalogClient* client, uint64_t seed, size_t datasets,
+                     size_t derivations) {
+  Rng rng(seed);
+  Transformation xf("xf", Transformation::Kind::kSimple);
+  FormalArg out;
+  out.name = "out";
+  out.direction = ArgDirection::kOut;
+  VDG_RETURN_IF_ERROR(xf.AddArg(std::move(out)));
+  FormalArg in;
+  in.name = "in";
+  in.direction = ArgDirection::kIn;
+  VDG_RETURN_IF_ERROR(xf.AddArg(std::move(in)));
+  xf.set_executable("/bin/xf");
+  VDG_RETURN_IF_ERROR(client->DefineTransformation(std::move(xf)));
+
+  for (size_t i = 0; i < datasets; ++i) {
+    Dataset ds;
+    ds.name = "d" + std::to_string(i);
+    ds.descriptor = DatasetDescriptor::File("/data/" + ds.name);
+    ds.size_bytes = static_cast<int64_t>(1000 + i);
+    ds.annotations.Set("bin", static_cast<int64_t>(i % 8));
+    ds.annotations.Set("tier", i % 3 == 0 ? "gold" : "std");
+    VDG_RETURN_IF_ERROR(client->DefineDataset(std::move(ds)));
+  }
+  for (size_t j = 0; j < derivations; ++j) {
+    Derivation dv("v" + std::to_string(j), "xf");
+    VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::DatasetRef(
+        "out", "o" + std::to_string(j), ArgDirection::kOut)));
+    VDG_RETURN_IF_ERROR(dv.AddArg(ActualArg::DatasetRef(
+        "in", "d" + std::to_string(rng.Index(datasets)),
+        ArgDirection::kIn)));
+    VDG_RETURN_IF_ERROR(client->DefineDerivation(std::move(dv)));
+  }
+  for (size_t a = 0; a < datasets / 4; ++a) {
+    VDG_RETURN_IF_ERROR(client->Annotate(
+        "dataset", "d" + std::to_string(rng.Index(datasets)), "hot",
+        static_cast<int64_t>(a)));
+  }
+  for (size_t r = 0; r < datasets / 5; ++r) {
+    Replica replica;
+    replica.dataset = "d" + std::to_string(rng.Index(datasets));
+    replica.site = "site" + std::to_string(r % 3);
+    replica.physical_path = "/replicas/" + std::to_string(r);
+    VDG_RETURN_IF_ERROR(client->AddReplica(std::move(replica)).status());
+  }
+  return Status::OK();
+}
+
+/// Randomized predicate-mix queries; both clients must return the SAME
+/// NameList bytes in the same (lexicographic) order.
+void ExpectQueryEquivalence(CatalogClient* sharded, CatalogClient* reference,
+                            uint64_t seed, int rounds) {
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    DatasetQuery dq;
+    const char* prefixes[] = {"", "d", "o", "d1", "zzz"};
+    dq.name_prefix = prefixes[rng.Index(5)];
+    if (rng.Chance(0.5)) {
+      dq.predicates.push_back(
+          {"bin", PredicateOp::kEq, static_cast<int64_t>(rng.Index(8))});
+    }
+    if (rng.Chance(0.3)) {
+      dq.predicates.push_back({"tier", PredicateOp::kEq, "gold"});
+    }
+    if (rng.Chance(0.3)) dq.require_materialized = true;
+    if (rng.Chance(0.4)) {
+      dq.limit = static_cast<size_t>(rng.UniformInt(1, 23));
+    }
+    Result<NameList> a = sharded->FindDatasets(dq);
+    Result<NameList> b = reference->FindDatasets(dq);
+    ASSERT_TRUE(a.ok()) << a.status().message();
+    ASSERT_TRUE(b.ok()) << b.status().message();
+    EXPECT_EQ(*a, *b) << "dataset query mismatch, round " << round;
+
+    DerivationQuery vq;
+    vq.name_prefix = rng.Chance(0.5) ? "v" : "";
+    if (rng.Chance(0.3)) vq.transformation = "xf";
+    if (rng.Chance(0.3)) {
+      vq.reads_dataset = "d" + std::to_string(rng.Index(16));
+    }
+    if (rng.Chance(0.3)) {
+      vq.writes_dataset = "o" + std::to_string(rng.Index(16));
+    }
+    if (rng.Chance(0.4)) {
+      vq.limit = static_cast<size_t>(rng.UniformInt(1, 11));
+    }
+    Result<NameList> va = sharded->FindDerivations(vq);
+    Result<NameList> vb = reference->FindDerivations(vq);
+    ASSERT_TRUE(va.ok()) << va.status().message();
+    ASSERT_TRUE(vb.ok()) << vb.status().message();
+    EXPECT_EQ(*va, *vb) << "derivation query mismatch, round " << round;
+  }
+  for (const char* kind : {"dataset", "derivation", "transformation"}) {
+    Result<NameList> a = sharded->AllNames(kind);
+    Result<NameList> b = reference->AllNames(kind);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << "AllNames(" << kind << ") mismatch";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Merge plumbing
+// ---------------------------------------------------------------------
+
+TEST(MergeSortedNameLists, MergesAndLimits) {
+  std::vector<NameList> lists;
+  lists.push_back(NameList::FromStrings({"a", "d", "g"}));
+  lists.push_back(NameList::FromStrings({"b", "e"}));
+  lists.push_back(NameList::FromStrings({}));
+  lists.push_back(NameList::FromStrings({"c", "f", "h"}));
+  EXPECT_EQ(MergeSortedNameLists(lists, 0),
+            (std::vector<std::string>{"a", "b", "c", "d", "e", "f", "g",
+                                      "h"}));
+  EXPECT_EQ(MergeSortedNameLists(lists, 3),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(MergeSortedNameLists({}, 0), (std::vector<std::string>{}));
+}
+
+// ---------------------------------------------------------------------
+// Result identity with the unsharded catalog
+// ---------------------------------------------------------------------
+
+TEST(ShardedEquivalence, RandomizedQueriesMatchUnsharded) {
+  for (uint32_t shard_count : {2u, 3u, 5u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shard_count));
+    World world = MakeWorld(shard_count);
+    Reference ref = MakeReference();
+    ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 7, 120, 40).ok());
+    ASSERT_TRUE(ApplyWorkload(ref.client.get(), 7, 120, 40).ok());
+    ExpectQueryEquivalence(world.sharded.get(), ref.client.get(),
+                           91 + shard_count, 40);
+  }
+}
+
+TEST(ShardedEquivalence, ParallelFanoutMatchesUnsharded) {
+  ShardedClientOptions options;
+  options.parallel_fanout = true;
+  World world = MakeWorld(4, options);
+  Reference ref = MakeReference();
+  ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 11, 96, 32).ok());
+  ASSERT_TRUE(ApplyWorkload(ref.client.get(), 11, 96, 32).ok());
+  ExpectQueryEquivalence(world.sharded.get(), ref.client.get(), 13, 30);
+}
+
+TEST(ShardedEquivalence, PointReadsAndProvenanceMatchUnsharded) {
+  World world = MakeWorld(3);
+  Reference ref = MakeReference();
+  ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 5, 60, 20).ok());
+  ASSERT_TRUE(ApplyWorkload(ref.client.get(), 5, 60, 20).ok());
+  for (int j = 0; j < 20; ++j) {
+    const std::string output = "o" + std::to_string(j);
+    Result<std::string> producer_s = world.sharded->ProducerOf(output);
+    Result<std::string> producer_r = ref.client->ProducerOf(output);
+    ASSERT_TRUE(producer_s.ok()) << producer_s.status().message();
+    ASSERT_TRUE(producer_r.ok());
+    EXPECT_EQ(*producer_s, *producer_r) << output;
+
+    Result<ProvenanceStep> step_s = world.sharded->GetProvenanceStep(output);
+    Result<ProvenanceStep> step_r = ref.client->GetProvenanceStep(output);
+    ASSERT_TRUE(step_s.ok()) << step_s.status().message();
+    ASSERT_TRUE(step_r.ok());
+    EXPECT_EQ(step_s->producer, step_r->producer);
+    EXPECT_EQ(step_s->exists, step_r->exists);
+    ASSERT_TRUE(step_s->derivation.has_value());
+    EXPECT_EQ(step_s->derivation->name(), step_r->derivation->name());
+  }
+  Result<Dataset> missing = world.sharded->GetDataset("nope");
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(ShardedEquivalence, ApplyBatchMatchesUnsharded) {
+  World world = MakeWorld(4);
+  Reference ref = MakeReference();
+  ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 3, 40, 10).ok());
+  ASSERT_TRUE(ApplyWorkload(ref.client.get(), 3, 40, 10).ok());
+
+  std::vector<CatalogMutation> batch;
+  for (int i = 0; i < 12; ++i) {
+    Dataset ds;
+    ds.name = "batch-d" + std::to_string(i);
+    ds.descriptor = DatasetDescriptor::File("/batch/" + ds.name);
+    ds.annotations.Set("bin", static_cast<int64_t>(i % 8));
+    batch.push_back(CatalogMutation::DefineDataset(std::move(ds)));
+  }
+  // Cross-shard intra-batch reference: annotate a replica added by an
+  // earlier op of the same batch, by positional id.
+  Replica replica;
+  replica.dataset = "batch-d3";
+  replica.site = "site0";
+  const size_t replica_op = batch.size();
+  batch.push_back(CatalogMutation::AddReplica(std::move(replica)));
+  batch.push_back(CatalogMutation::AnnotateAssigned(
+      "replica", replica_op, "checksum", "abc123"));
+  batch.push_back(
+      CatalogMutation::Annotate("dataset", "batch-d7", "hot", int64_t{1}));
+  batch.push_back(CatalogMutation::SetDatasetSize("batch-d1", 4096));
+  Derivation dv("batch-v0", "xf");
+  ASSERT_TRUE(
+      dv.AddArg(ActualArg::DatasetRef("out", "batch-o0", ArgDirection::kOut))
+          .ok());
+  ASSERT_TRUE(
+      dv.AddArg(ActualArg::DatasetRef("in", "batch-d2", ArgDirection::kIn))
+          .ok());
+  batch.push_back(CatalogMutation::DefineDerivation(dv));
+
+  BatchOptions options;
+  options.idempotency_token = "batch-eq";
+  Result<BatchResult> result_s = world.sharded->ApplyBatch(batch, options);
+  Result<BatchResult> result_r = ref.client->ApplyBatch(batch, options);
+  ASSERT_TRUE(result_s.ok()) << result_s.status().message();
+  ASSERT_TRUE(result_r.ok());
+  ASSERT_EQ(result_s->statuses.size(), result_r->statuses.size());
+  for (size_t i = 0; i < result_s->statuses.size(); ++i) {
+    EXPECT_EQ(result_s->statuses[i].ok(), result_r->statuses[i].ok())
+        << "op " << i << ": " << result_s->statuses[i].message();
+  }
+  EXPECT_EQ(result_s->applied, result_r->applied);
+  ExpectQueryEquivalence(world.sharded.get(), ref.client.get(), 77, 20);
+}
+
+// ---------------------------------------------------------------------
+// Partial failure: fail closed, never truncate
+// ---------------------------------------------------------------------
+
+TEST(ShardedFaults, DownShardFailsGatherClosed) {
+  std::vector<std::unique_ptr<VirtualDataCatalog>> catalogs;
+  std::vector<std::shared_ptr<CatalogClient>> clients;
+  std::shared_ptr<FlakyShard> flaky;
+  for (uint32_t k = 0; k < 4; ++k) {
+    auto catalog = std::make_unique<VirtualDataCatalog>(
+        "shard" + std::to_string(k) + ".org");
+    catalog->set_partition_mode(true);
+    ASSERT_TRUE(catalog->Open().ok());
+    std::shared_ptr<CatalogClient> client =
+        std::make_shared<InProcessCatalogClient>(catalog.get());
+    if (k == 2) {
+      flaky = std::make_shared<FlakyShard>(client);
+      client = flaky;
+    }
+    clients.push_back(std::move(client));
+    catalogs.push_back(std::move(catalog));
+  }
+  ShardedCatalogClient sharded(clients);
+  ASSERT_TRUE(ApplyWorkload(&sharded, 21, 64, 16).ok());
+
+  Result<NameList> healthy = sharded.FindDatasets(DatasetQuery{});
+  ASSERT_TRUE(healthy.ok());
+  const size_t full_size = healthy->size();
+  ASSERT_GT(full_size, 0u);
+
+  flaky->set_down(true);
+  // Scatter reads: the whole gather fails — never a silently truncated
+  // result missing one shard's names.
+  Result<NameList> datasets = sharded.FindDatasets(DatasetQuery{});
+  ASSERT_FALSE(datasets.ok());
+  EXPECT_TRUE(datasets.status().IsUnavailable())
+      << datasets.status().message();
+  EXPECT_TRUE(sharded.AllNames("dataset").status().IsUnavailable());
+  EXPECT_TRUE(sharded.Version().status().IsUnavailable());
+  EXPECT_TRUE(sharded.ShardVersions().status().IsUnavailable());
+
+  // Point ops: only names homed on the dead shard fail.
+  bool saw_down = false, saw_up = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::string name = "d" + std::to_string(i);
+    Result<Dataset> ds = sharded.GetDataset(name);
+    if (sharded.ShardOf(name) == 2) {
+      EXPECT_TRUE(ds.status().IsUnavailable()) << name;
+      saw_down = true;
+    } else {
+      EXPECT_TRUE(ds.ok()) << name << ": " << ds.status().message();
+      saw_up = true;
+    }
+  }
+  EXPECT_TRUE(saw_down);
+  EXPECT_TRUE(saw_up);
+
+  flaky->set_down(false);
+  Result<NameList> recovered = sharded.FindDatasets(DatasetQuery{});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->size(), full_size);
+}
+
+// ---------------------------------------------------------------------
+// Composite versions
+// ---------------------------------------------------------------------
+
+TEST(ShardedVersions, CompositeIsSumAndNotDeltaAddressable) {
+  World world = MakeWorld(3);
+  ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 9, 48, 12).ok());
+
+  Result<uint64_t> version = world.sharded->Version();
+  Result<std::vector<uint64_t>> shard_versions =
+      world.sharded->ShardVersions();
+  ASSERT_TRUE(version.ok());
+  ASSERT_TRUE(shard_versions.ok());
+  ASSERT_EQ(shard_versions->size(), 3u);
+  uint64_t sum = 0;
+  for (uint64_t v : *shard_versions) sum += v;
+  EXPECT_EQ(*version, sum);
+
+  // Trivial cases answer; everything else steers to the shard API.
+  Result<std::vector<CatalogChange>> empty =
+      world.sharded->ChangesSince(*version);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_TRUE(world.sharded->ChangesSince(*version + 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(world.sharded->ChangesSince(*version - 1)
+                  .status()
+                  .IsResourceExhausted());
+
+  // Per-shard changelogs are the real delta source.
+  for (uint32_t k = 0; k < 3; ++k) {
+    Result<std::vector<CatalogChange>> changes =
+        world.sharded->ShardChangesSince(k, 0);
+    ASSERT_TRUE(changes.ok());
+    ASSERT_FALSE(changes->empty());
+    EXPECT_EQ(changes->back().version, (*shard_versions)[k]);
+  }
+  EXPECT_TRUE(
+      world.sharded->ShardChangesSince(3, 0).status().IsInvalidArgument());
+
+  ShardTopology topo = world.sharded->shard_topology();
+  EXPECT_EQ(topo.shard_count, 3u);
+  EXPECT_NE(topo.fingerprint, 0u);
+}
+
+TEST(ShardedVersions, ReshardChangesFingerprint) {
+  World world = MakeWorld(2);
+  const uint64_t before = world.sharded->shard_topology().fingerprint;
+  // Same backends, swapped order: placement changes, so the
+  // fingerprint must too.
+  std::vector<std::shared_ptr<CatalogClient>> swapped = {world.clients[1],
+                                                         world.clients[0]};
+  ASSERT_TRUE(world.sharded->Reshard(swapped).ok());
+  EXPECT_NE(world.sharded->shard_topology().fingerprint, before);
+  EXPECT_EQ(world.sharded->shard_topology().shard_count, 2u);
+  EXPECT_TRUE(world.sharded
+                  ->Reshard(std::vector<std::shared_ptr<CatalogClient>>{})
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2: query-cache keys carry the shard-set fingerprint
+// ---------------------------------------------------------------------
+
+TEST(ShardedCaching, ReshardNeverServesStaleTopologyResults) {
+  World world = MakeWorld(2);
+  ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 15, 40, 8).ok());
+  std::shared_ptr<ShardedCatalogClient> sharded = std::move(world.sharded);
+  CachingCatalogClient cache(sharded);
+
+  DatasetQuery query;
+  query.name_prefix = "d";
+  Result<NameList> first = cache.FindDatasets(query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.stats().query_misses, 1u);
+  Result<NameList> hit = cache.FindDatasets(query);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(cache.stats().query_hits, 1u);
+  // A hit aliases the same immutable list (PR 9 contract), even
+  // through the sharded gather.
+  EXPECT_EQ(hit->identity(), first->identity());
+
+  // Reshard: same data, new topology. The old cache entry's key holds
+  // the dead fingerprint, so the next query MUST miss and refetch —
+  // a stale-topology result can never be served.
+  std::vector<std::shared_ptr<CatalogClient>> swapped = {world.clients[1],
+                                                         world.clients[0]};
+  ASSERT_TRUE(sharded->Reshard(swapped).ok());
+  Result<NameList> after = cache.FindDatasets(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(cache.stats().query_misses, 2u);
+  EXPECT_NE(after->identity(), first->identity());
+  EXPECT_EQ(*after, *first);  // same logical content, fresh fetch
+}
+
+TEST(ShardedCaching, RevalidateWalksPerShardAnchors) {
+  World world = MakeWorld(3);
+  ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 17, 48, 12).ok());
+  std::shared_ptr<ShardedCatalogClient> sharded = std::move(world.sharded);
+  CachingCatalogClient cache(sharded);
+
+  ASSERT_TRUE(cache.Revalidate().ok());
+  Result<uint64_t> composite = sharded->Version();
+  ASSERT_TRUE(composite.ok());
+  EXPECT_EQ(cache.synced_version(), *composite);
+
+  // Warm a point read, then mutate BEHIND the cache through the raw
+  // shard client: only Revalidate can learn about it.
+  Result<Dataset> before = cache.GetDataset("d1");
+  ASSERT_TRUE(before.ok());
+  const uint32_t home = sharded->ShardOf("d1");
+  ASSERT_TRUE(
+      world.clients[home]->SetDatasetSize("d1", before->size_bytes + 555)
+          .ok());
+  Result<Dataset> stale = cache.GetDataset("d1");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->size_bytes, before->size_bytes);  // cached, by design
+
+  const uint64_t flushes_before = cache.stats().flushes;
+  ASSERT_TRUE(cache.Revalidate().ok());
+  // Per-shard delta path: the changed object was evicted precisely,
+  // not via a whole-cache flush.
+  EXPECT_EQ(cache.stats().flushes, flushes_before);
+  Result<Dataset> fresh = cache.GetDataset("d1");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->size_bytes, before->size_bytes + 555);
+  Result<uint64_t> now = sharded->Version();
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(cache.synced_version(), *now);
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: FederatedIndex per-shard delta anchors
+// ---------------------------------------------------------------------
+
+TEST(ShardedIndex, DeltaRefreshUsesPerShardAnchors) {
+  World world = MakeWorld(3);
+  ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 19, 48, 12).ok());
+  std::shared_ptr<ShardedCatalogClient> sharded = std::move(world.sharded);
+
+  FederatedIndex index("sharded-src");
+  ASSERT_TRUE(index.AddSource(sharded).ok());
+  ASSERT_TRUE(index.Refresh().ok());
+  // The bootstrap itself is a delta walk from zero anchors, not a
+  // rebuild.
+  const IndexRefreshStats after_build = index.refresh_stats();
+  EXPECT_EQ(after_build.full_rebuilds, 0u);
+  EXPECT_GE(after_build.delta_refreshes, 1u);
+
+  // A small cross-shard mutation burst, then refresh: the composite
+  // version moved by more than any one shard's changelog can explain,
+  // which the per-shard anchors absorb without a rebuild.
+  for (int i = 0; i < 6; ++i) {
+    Dataset ds;
+    ds.name = "delta-d" + std::to_string(i);
+    ds.descriptor = DatasetDescriptor::File("/delta/" + ds.name);
+    ASSERT_TRUE(sharded->DefineDataset(std::move(ds)).ok());
+  }
+  ASSERT_TRUE(index.IsStale());
+  ASSERT_TRUE(index.Refresh().ok());
+  const IndexRefreshStats after_delta = index.refresh_stats();
+  EXPECT_EQ(after_delta.full_rebuilds, after_build.full_rebuilds);
+  EXPECT_GT(after_delta.delta_refreshes, after_build.delta_refreshes);
+  EXPECT_EQ(index.LookupName("dataset", "delta-d5").size(), 1u);
+  EXPECT_FALSE(index.IsStale());
+}
+
+TEST(ShardedIndex, MidBatchRefreshConvergesWithFullRebuild) {
+  World world = MakeWorld(4);
+  ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 23, 32, 8).ok());
+  std::shared_ptr<ShardedCatalogClient> sharded = std::move(world.sharded);
+
+  FederatedIndex index("mid-batch");
+  ASSERT_TRUE(index.AddSource(sharded).ok());
+  ASSERT_TRUE(index.Refresh().ok());
+
+  // A cross-shard batch, with a refresh injected the moment the FIRST
+  // shard commits its sub-batch: the index observes the batch
+  // half-applied, with per-shard versions that no single composite
+  // anchor could describe.
+  std::vector<CatalogMutation> batch;
+  for (int i = 0; i < 16; ++i) {
+    Dataset ds;
+    ds.name = "mb-d" + std::to_string(i);
+    ds.descriptor = DatasetDescriptor::File("/mb/" + ds.name);
+    batch.push_back(CatalogMutation::DefineDataset(std::move(ds)));
+  }
+  bool refreshed_mid_batch = false;
+  Status mid_status = Status::OK();
+  sharded->set_post_subbatch_hook([&](uint32_t) {
+    if (refreshed_mid_batch) return;
+    refreshed_mid_batch = true;
+    mid_status = index.Refresh();
+  });
+  Result<BatchResult> applied = sharded->ApplyBatch(batch);
+  sharded->set_post_subbatch_hook(nullptr);
+  ASSERT_TRUE(applied.ok()) << applied.status().message();
+  ASSERT_TRUE(refreshed_mid_batch);
+  ASSERT_TRUE(mid_status.ok()) << mid_status.message();
+
+  // Converge, then diff against a from-scratch rebuild of the same
+  // source: identical entries.
+  ASSERT_TRUE(index.Refresh().ok());
+  FederatedIndex rebuilt("rebuilt");
+  ASSERT_TRUE(rebuilt.AddSource(sharded).ok());
+  ASSERT_TRUE(rebuilt.RebuildAll().ok());
+  EXPECT_EQ(index.size(), rebuilt.size());
+  DatasetQuery all;
+  std::vector<IndexEntry> via_delta = index.FindDatasets(all);
+  std::vector<IndexEntry> via_rebuild = rebuilt.FindDatasets(all);
+  ASSERT_EQ(via_delta.size(), via_rebuild.size());
+  for (size_t i = 0; i < via_delta.size(); ++i) {
+    EXPECT_EQ(via_delta[i].name, via_rebuild[i].name);
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(
+        index.LookupName("dataset", "mb-d" + std::to_string(i)).size(), 1u)
+        << i;
+  }
+}
+
+TEST(ShardedIndex, ReshardForcesSourceRebuild) {
+  World world = MakeWorld(2);
+  ASSERT_TRUE(ApplyWorkload(world.sharded.get(), 29, 24, 6).ok());
+  std::shared_ptr<ShardedCatalogClient> sharded = std::move(world.sharded);
+
+  FederatedIndex index("reshard");
+  ASSERT_TRUE(index.AddSource(sharded).ok());
+  ASSERT_TRUE(index.Refresh().ok());
+  const uint64_t rebuilds = index.refresh_stats().full_rebuilds;
+
+  std::vector<std::shared_ptr<CatalogClient>> swapped = {world.clients[1],
+                                                         world.clients[0]};
+  ASSERT_TRUE(sharded->Reshard(swapped).ok());
+  // Mutate so the staleness gate opens, then refresh: the fingerprint
+  // change must force a full rebuild of this source (anchors died
+  // with the old topology).
+  Dataset ds;
+  ds.name = "post-reshard";
+  ds.descriptor = DatasetDescriptor::File("/post");
+  ASSERT_TRUE(sharded->DefineDataset(std::move(ds)).ok());
+  ASSERT_TRUE(index.Refresh().ok());
+  EXPECT_EQ(index.refresh_stats().full_rebuilds, rebuilds + 1);
+  EXPECT_EQ(index.LookupName("dataset", "post-reshard").size(), 1u);
+}
+
+}  // namespace
+}  // namespace vdg

@@ -1,0 +1,211 @@
+// LatencyHistogram bucket math + the open-loop traffic harness
+// (ISSUE 10): quantile error bounds, merge semantics, and a smoke run
+// proving the virtual-time queueing model produces sane reports.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "workload/traffic_gen.h"
+
+namespace vdg {
+namespace {
+
+// ---------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------
+
+TEST(LatencyHistogram, ExactBelowLinearMax) {
+  // Values below 64 get one bucket each: bucket upper bound == value.
+  for (uint64_t v = 0; v < 64; ++v) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(index), v) << v;
+  }
+  // Bucket indexes are monotone in the value.
+  size_t prev = 0;
+  for (uint64_t v = 1; v < (uint64_t{1} << 20); v = v * 3 / 2 + 1) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    EXPECT_GE(index, prev) << v;
+    prev = index;
+  }
+}
+
+TEST(LatencyHistogram, BoundedRelativeErrorAboveLinearMax) {
+  // Above 64, the bucket upper bound overshoots by at most 1/32.
+  for (uint64_t v : {64u, 65u, 100u, 1000u, 123456u, 7654321u}) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    const uint64_t upper = LatencyHistogram::BucketUpperBound(index);
+    EXPECT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - v), static_cast<double>(v) / 32.0)
+        << v;
+  }
+  const uint64_t huge = uint64_t{1} << 55;
+  const size_t index = LatencyHistogram::BucketIndex(huge + 3);
+  EXPECT_LT(index, LatencyHistogram::bucket_count());
+  EXPECT_GE(LatencyHistogram::BucketUpperBound(index), huge + 3);
+}
+
+TEST(LatencyHistogram, QuantilesCountsAndMoments) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0u);
+
+  // 1..100: quantiles are exact here (all values below... no — above
+  // 64 quantized, but within 1/32).
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 1u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 50u);
+  // Upper-bound quantization never understates, and is clamped to max.
+  EXPECT_GE(h.ValueAtQuantile(0.95), 95u);
+  EXPECT_LE(h.ValueAtQuantile(0.95), 98u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 100u);
+  EXPECT_EQ(h.ValueAtQuantile(2.0), 100u);  // clamped q
+
+  // Quantiles are monotone in q.
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const uint64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(LatencyHistogram, RecordNAndMerge) {
+  LatencyHistogram a;
+  a.RecordN(10, 90);
+  a.RecordN(1000000, 10);
+
+  LatencyHistogram b;
+  b.RecordN(20, 100);
+
+  LatencyHistogram merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), 200u);
+  EXPECT_EQ(merged.min(), 10u);
+  EXPECT_EQ(merged.max(), 1000000u);
+  // p50 of {90x10, 100x20, 10x1e6} is 20.
+  EXPECT_EQ(merged.ValueAtQuantile(0.5), 20u);
+  // The tail only appears past the 95th percentile.
+  EXPECT_LE(merged.ValueAtQuantile(0.94), 20u);
+  EXPECT_GE(merged.ValueAtQuantile(0.96), 1000000u * 31 / 32);
+  const double expected_mean =
+      (90.0 * 10 + 100.0 * 20 + 10.0 * 1000000) / 200.0;
+  EXPECT_DOUBLE_EQ(merged.mean(), expected_mean);
+
+  // Merging an empty histogram is a no-op.
+  merged.Merge(LatencyHistogram());
+  EXPECT_EQ(merged.count(), 200u);
+}
+
+// ---------------------------------------------------------------------
+// TrafficHarness
+// ---------------------------------------------------------------------
+
+workload::TrafficOptions SmallOptions() {
+  workload::TrafficOptions options;
+  options.users = 10'000;
+  options.operations = 600;
+  options.corpus_datasets = 800;
+  options.corpus_buckets = 16;
+  options.seed = 7;
+  return options;
+}
+
+TEST(TrafficHarness, SmokeRunProducesConsistentReport) {
+  for (uint32_t shards : {1u, 3u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    Result<std::unique_ptr<workload::TrafficWorld>> world =
+        workload::MakeTrafficWorld(shards, SmallOptions());
+    ASSERT_TRUE(world.ok()) << world.status().message();
+
+    Result<workload::TrafficReport> ran = (*world)->harness->Run();
+    ASSERT_TRUE(ran.ok()) << ran.status().message();
+    const workload::TrafficReport& report = *ran;
+
+    EXPECT_EQ(report.shard_count, shards);
+    EXPECT_EQ(report.operations, 600u);
+    EXPECT_EQ(report.errors, 0u);
+    EXPECT_EQ(report.discovery_ops + report.derivation_ops +
+                  report.annotation_ops,
+              report.operations);
+    EXPECT_GT(report.discovery_ops, report.derivation_ops);
+    EXPECT_GT(report.offered_rate, 0.0);
+    EXPECT_GT(report.completed_rate, 0.0);
+    EXPECT_GT(report.query_rate, 0.0);
+    EXPECT_GT(report.virtual_seconds, 0.0);
+
+    // The three class histograms partition the overall one.
+    EXPECT_EQ(report.latency.count(), report.operations);
+    EXPECT_EQ(report.discovery_latency.count() +
+                  report.mutation_latency.count(),
+              report.latency.count());
+    const uint64_t p50 = report.latency.ValueAtQuantile(0.50);
+    const uint64_t p95 = report.latency.ValueAtQuantile(0.95);
+    const uint64_t p99 = report.latency.ValueAtQuantile(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GT(p99, 0u);
+  }
+}
+
+TEST(TrafficHarness, RepeatRunsAndPinnedRate) {
+  Result<std::unique_ptr<workload::TrafficWorld>> world =
+      workload::MakeTrafficWorld(2, SmallOptions());
+  ASSERT_TRUE(world.ok()) << world.status().message();
+  workload::TrafficHarness& harness = *(*world)->harness;
+
+  Result<workload::TrafficReport> first = harness.Run();
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  // Re-running the same harness must not trip AlreadyExists on
+  // derivation names.
+  Result<workload::TrafficReport> second = harness.Run();
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(second->errors, 0u);
+  // The calibrated rate is sticky across runs of one harness.
+  EXPECT_DOUBLE_EQ(second->offered_rate, first->offered_rate);
+
+  // A second world with the rate pinned runs at exactly that load —
+  // the equal-offered-load contract the bench sweep relies on.
+  workload::TrafficOptions pinned = SmallOptions();
+  pinned.offered_rate = first->offered_rate;
+  Result<std::unique_ptr<workload::TrafficWorld>> world8 =
+      workload::MakeTrafficWorld(4, pinned);
+  ASSERT_TRUE(world8.ok()) << world8.status().message();
+  Result<workload::TrafficReport> ran8 = (*world8)->harness->Run();
+  ASSERT_TRUE(ran8.ok()) << ran8.status().message();
+  EXPECT_DOUBLE_EQ(ran8->offered_rate, first->offered_rate);
+  EXPECT_EQ(ran8->errors, 0u);
+}
+
+TEST(TrafficHarness, GuardsBadInputs) {
+  EXPECT_TRUE(workload::MakeTrafficWorld(0).status().IsInvalidArgument());
+
+  workload::TrafficOptions options = SmallOptions();
+  options.corpus_buckets = 0;
+  EXPECT_FALSE(workload::MakeTrafficWorld(1, options).ok());
+
+  // Run() before SeedCorpus() fails closed.
+  std::vector<std::shared_ptr<CatalogClient>> no_corpus_clients;
+  auto catalog = std::make_unique<VirtualDataCatalog>("bare.org");
+  ASSERT_TRUE(catalog->Open().ok());
+  no_corpus_clients.push_back(
+      std::make_shared<InProcessCatalogClient>(catalog.get()));
+  workload::TrafficHarness bare(no_corpus_clients);
+  EXPECT_EQ(bare.Run().status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace vdg

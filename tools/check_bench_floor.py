@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Asserts a benchmark's rate (or a named counter) meets a floor.
 
-Usage: check_bench_floor.py <bench.json> <benchmark-name> <floor> [counter]
+Usage: check_bench_floor.py [--ceiling] <bench.json> <benchmark-name> \
+           <bound> [counter]
 
 Reads Google Benchmark JSON output and checks the named benchmark's
 `agg_items_per_sec` counter (falling back to `items_per_second`)
@@ -14,6 +15,11 @@ enough to catch the index degrading to a scan.
 With the optional fourth argument the named counter is gated instead of
 the items/s rate — e.g. `availability 0.999` holds the wire chaos
 bench (bench_wire_faults) to its client-visible success-rate floor.
+
+With --ceiling the bound is an upper limit instead: the check fails
+when the value EXCEEDS it. Latency counters gate this way — e.g.
+`--ceiling ... BM_Traffic/8 <p99-of-1-shard> p99_us` holds sharded
+tail latency to the single-shard baseline.
 """
 
 import json
@@ -35,10 +41,14 @@ def fmt(value):
 
 
 def main():
-    if len(sys.argv) not in (4, 5):
+    argv = list(sys.argv[1:])
+    ceiling = "--ceiling" in argv
+    if ceiling:
+        argv.remove("--ceiling")
+    if len(argv) not in (3, 4):
         sys.exit(__doc__.strip())
-    path, name, floor = sys.argv[1], sys.argv[2], float(sys.argv[3])
-    counter = sys.argv[4] if len(sys.argv) == 5 else None
+    path, name, bound = argv[0], argv[1], float(argv[2])
+    counter = argv[3] if len(argv) == 4 else None
     unit = counter if counter else "items/s"
     with open(path) as f:
         data = json.load(f)
@@ -53,9 +63,14 @@ def main():
     rate = rates.get(name)
     if rate is None:
         sys.exit(f"benchmark {name} has no {unit} value in {path}")
-    if rate < floor:
-        sys.exit(f"{name} {unit} {fmt(rate)} is below floor {fmt(floor)}")
-    print(f"{name} meets floor {fmt(floor)} {unit}")
+    if ceiling:
+        if rate > bound:
+            sys.exit(f"{name} {unit} {fmt(rate)} exceeds ceiling {fmt(bound)}")
+        print(f"{name} meets ceiling {fmt(bound)} {unit}")
+        return
+    if rate < bound:
+        sys.exit(f"{name} {unit} {fmt(rate)} is below floor {fmt(bound)}")
+    print(f"{name} meets floor {fmt(bound)} {unit}")
 
 
 if __name__ == "__main__":
